@@ -1,0 +1,180 @@
+//! `mlc` — the MiniLang compiler/runner/tracer CLI (the substrate's
+//! equivalent of `clang + LLVM-Tracer`).
+//!
+//! ```text
+//! mlc run   <file.mc>                 # compile and execute, print output
+//! mlc trace <file.mc> -o trace.txt    # execute and write the dynamic trace
+//! mlc ir    <file.mc>                 # dump the textual IR
+//! mlc loops <file.mc> [--function f]  # list loops and their control vars
+//! mlc app   <name> [-o file.mc]       # emit a bundled benchmark's source
+//! ```
+
+use autocheck_interp::{ExecOptions, Machine, NoHook, NullSink, WriterSink};
+use autocheck_ir::{Cfg, DomTree, LoopForest};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mlc <run|trace|ir|loops|app> <file.mc | app-name> [-o out] [--function f]"
+    );
+    std::process::exit(2)
+}
+
+fn compile_file(path: &str) -> Result<autocheck_ir::Module, ExitCode> {
+    let src = std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("error: cannot read `{path}`: {e}");
+        ExitCode::FAILURE
+    })?;
+    autocheck_minilang::compile(&src).map_err(|errs| {
+        for e in errs {
+            eprintln!("{e}");
+        }
+        ExitCode::FAILURE
+    })
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.len() < 2 {
+        usage();
+    }
+    let cmd = argv[0].as_str();
+    let target = argv[1].as_str();
+    let opt = |flag: &str| {
+        argv.iter()
+            .position(|a| a == flag)
+            .and_then(|i| argv.get(i + 1))
+            .cloned()
+    };
+
+    match cmd {
+        "run" => {
+            let module = match compile_file(target) {
+                Ok(m) => m,
+                Err(c) => return c,
+            };
+            let mut machine = Machine::new(&module, ExecOptions::default());
+            match machine.run(&mut NullSink, &mut NoHook) {
+                Ok(out) => {
+                    for line in &out.output {
+                        println!("{line}");
+                    }
+                    eprintln!("[{} dynamic instructions]", out.steps);
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("runtime error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "trace" => {
+            let module = match compile_file(target) {
+                Ok(m) => m,
+                Err(c) => return c,
+            };
+            let out_path = opt("-o").unwrap_or_else(|| format!("{target}.trace"));
+            let file = match std::fs::File::create(&out_path) {
+                Ok(f) => std::io::BufWriter::new(f),
+                Err(e) => {
+                    eprintln!("error: cannot create `{out_path}`: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut sink = WriterSink::new(file);
+            let mut machine = Machine::new(&module, ExecOptions::default());
+            match machine.run(&mut sink, &mut NoHook) {
+                Ok(_) => {
+                    let records = sink.records_written();
+                    let bytes = sink.bytes_written();
+                    if sink.finish().is_err() {
+                        eprintln!("error: flush failed");
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!(
+                        "wrote {records} records ({bytes} bytes) to {out_path}"
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("runtime error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "ir" => {
+            let module = match compile_file(target) {
+                Ok(m) => m,
+                Err(c) => return c,
+            };
+            print!("{}", autocheck_ir::printer::print_module(&module));
+            ExitCode::SUCCESS
+        }
+        "loops" => {
+            let module = match compile_file(target) {
+                Ok(m) => m,
+                Err(c) => return c,
+            };
+            let fname = opt("--function").unwrap_or_else(|| "main".to_string());
+            let Some(fid) = module.function_by_name(&fname) else {
+                eprintln!("error: no function `{fname}`");
+                return ExitCode::FAILURE;
+            };
+            let f = module.function(fid);
+            let cfg = Cfg::compute(f);
+            let dom = DomTree::compute(&cfg);
+            let forest = LoopForest::compute(f, &cfg, &dom);
+            for (i, l) in forest.loops.iter().enumerate() {
+                let line = f.blocks[l.header.index()].loc.line;
+                let cv = autocheck_ir::loops::control_variables(&module, f, l);
+                println!(
+                    "loop {i}: header line {line}, depth {}, control vars: {}",
+                    l.depth,
+                    cv.iter()
+                        .map(|c| {
+                            if c.is_basic_induction {
+                                format!("{} (induction, step {})", c.name, c.step.unwrap_or(0))
+                            } else {
+                                format!("{} (control flag)", c.name)
+                            }
+                        })
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "app" => {
+            let Some(spec) = autocheck_apps::app_by_name(target) else {
+                eprintln!(
+                    "error: unknown app `{target}`; available: {}",
+                    autocheck_apps::all_apps()
+                        .iter()
+                        .map(|a| a.name)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                return ExitCode::FAILURE;
+            };
+            match opt("-o") {
+                Some(path) => {
+                    if let Err(e) = std::fs::write(&path, &spec.source) {
+                        eprintln!("error: cannot write `{path}`: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!(
+                        "wrote {} ({} lines); main loop at {}:{}-{}",
+                        path,
+                        spec.loc(),
+                        spec.region.function,
+                        spec.region.start_line,
+                        spec.region.end_line
+                    );
+                }
+                None => print!("{}", spec.source),
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

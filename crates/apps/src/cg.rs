@@ -1,0 +1,128 @@
+//! CG (NPB) — conjugate gradient with the paper's Algorithm-2 structure.
+//!
+//! Paper Table II and the §IV-D case study: `x` (WAR — read by
+//! `conj_grad`'s `r = x` at the top of each outer iteration, overwritten by
+//! `x = z/‖z‖` at its end) and `it` (Index). All other inputs to
+//! `conj_grad` — `z`, `p`, `q`, `r`, and the matrix `a` — are rewritten
+//! before use or read-only, so they need no checkpoint; `zeta` and the
+//! global `rnorm` are recomputed and printed inside the loop.
+
+use crate::spec::{region_from_markers, AppSpec};
+use autocheck_core::DepType;
+
+const TEMPLATE: &str = "\
+// cg (NPB): conjugate gradient with irregular access, Algorithm 2 shape
+global float rnorm;
+void conj_grad(float* x, float* z, float* p, float* q, float* r, float* a, int n) {
+    float rho = 0.0;
+    for (int i = 0; i < n; i = i + 1) { z[i] = 0.0; }
+    for (int i = 0; i < n; i = i + 1) { r[i] = x[i]; }
+    for (int i = 0; i < n; i = i + 1) { rho = rho + r[i] * r[i]; }
+    for (int i = 0; i < n; i = i + 1) { p[i] = r[i]; }
+    for (int cgit = 0; cgit < @CGITS@; cgit = cgit + 1) {
+        float dpq = 0.0;
+        for (int i = 0; i < n; i = i + 1) { q[i] = a[i] * p[i] + 0.3 * p[(i + 1) % n]; }
+        for (int i = 0; i < n; i = i + 1) { dpq = dpq + p[i] * q[i]; }
+        float alpha = rho / dpq;
+        for (int i = 0; i < n; i = i + 1) { z[i] = z[i] + alpha * p[i]; }
+        float rho0 = rho;
+        for (int i = 0; i < n; i = i + 1) { r[i] = r[i] - alpha * q[i]; }
+        rho = 0.0;
+        for (int i = 0; i < n; i = i + 1) { rho = rho + r[i] * r[i]; }
+        float beta = rho / rho0;
+        for (int i = 0; i < n; i = i + 1) { p[i] = r[i] + beta * p[i]; }
+    }
+    float s = 0.0;
+    for (int i = 0; i < n; i = i + 1) {
+        float d = x[i] - a[i] * z[i];
+        s = s + d * d;
+    }
+    rnorm = sqrt(s);
+}
+int main() {
+    float x[@N@];
+    float z[@N@];
+    float p[@N@];
+    float q[@N@];
+    float r[@N@];
+    float a[@N@];
+    float zeta = 0.0;
+    float shift = 20.0;
+    rnorm = 0.0;
+    for (int i = 0; i < @N@; i = i + 1) {
+        x[i] = 1.0;
+        z[i] = 0.0;
+        p[i] = 0.0;
+        q[i] = 0.0;
+        r[i] = 0.0;
+        a[i] = 2.0 + float(i % 5) * 0.1;
+    }
+    for (int it = 0; it < @ITERS@; it = it + 1) { // @loop-start
+        conj_grad(x, z, p, q, r, a, @N@);
+        float znorm = 0.0;
+        for (int i = 0; i < @N@; i = i + 1) { znorm = znorm + z[i] * z[i]; }
+        znorm = sqrt(znorm);
+        for (int i = 0; i < @N@; i = i + 1) { x[i] = z[i] / znorm; }
+        float xz = 0.0;
+        for (int i = 0; i < @N@; i = i + 1) { xz = xz + x[i] * z[i]; }
+        zeta = shift + 1.0 / xz;
+        print(zeta);
+        print(rnorm);
+    } // @loop-end
+    print(x[0]);
+    return 0;
+}
+";
+
+/// Source at vector size `n`, `iters` outer iterations, `cgits` inner CG
+/// steps.
+pub fn source(n: usize, iters: usize, cgits: usize) -> String {
+    TEMPLATE
+        .replace("@N@", &n.to_string())
+        .replace("@ITERS@", &iters.to_string())
+        .replace("@CGITS@", &cgits.to_string())
+}
+
+/// Default spec.
+pub fn spec() -> AppSpec {
+    spec_scaled(12, 5, 4)
+}
+
+/// Spec at a chosen scale.
+pub fn spec_scaled(n: usize, iters: usize, cgits: usize) -> AppSpec {
+    let source = source(n, iters, cgits);
+    let region = region_from_markers(&source, "main");
+    AppSpec {
+        name: "cg",
+        description: "Conjugate Gradient with irregular memory access (NPB)",
+        source,
+        region,
+        expected: vec![("x", DepType::War), ("it", DepType::Index)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_paper_critical_variables() {
+        let run = crate::analyze_app(&spec());
+        assert_eq!(run.report.summary(), spec().expected_summary());
+    }
+
+    #[test]
+    fn case_study_inputs_are_skipped() {
+        // Paper §IV-D: "For the remaining input variables, including z, p,
+        // q, r, and A, we did not find a dependency necessary for
+        // checkpointing."
+        let run = crate::analyze_app(&spec());
+        for v in ["z", "p", "q", "r", "a"] {
+            assert!(
+                run.report.skipped.iter().any(|(n, _)| &**n == v),
+                "{v} should be skipped; report: {}",
+                run.report
+            );
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! CoMD (ECP) — molecular-dynamics proxy app.
+//!
+//! Paper Table II: `sim` (WAR), `perf_timer` (WAR), `iStep` (Index). The
+//! paper's §III highlights `sim` (a `SimFlatSt*` holding nested Domain /
+//! LinkCell / Atoms / ... structures) as the *complicated data structure*
+//! case: only a few components carry critical dependencies, which is
+//! impossible to see by eye. Here `sim` is the flattened particle state
+//! (positions in the first half, momenta in the second) updated in place by
+//! the velocity-Verlet step each iteration.
+
+use crate::spec::{region_from_markers, AppSpec};
+use autocheck_core::DepType;
+
+const TEMPLATE: &str = "\
+// comd (ECP): velocity-Verlet molecular dynamics on a flattened state
+void compute_force(float* sim, float* cells, int n) {
+    for (int i = 0; i < n; i = i + 1) {
+        int left = (i + n - 1) % n;
+        int right = (i + 1) % n;
+        float w = cells[i * 4] * 0.25 + cells[i * 4 + 1] * 0.25 + cells[i * 4 + 2] * 0.25 + cells[i * 4 + 3] * 0.25;
+        float f = (sim[left] - 2.0 * sim[i] + sim[right]) * 0.3 * w;
+        sim[n + i] = sim[n + i] * 0.995 + f;
+    }
+}
+void advance(float* sim, int n) {
+    for (int i = 0; i < n; i = i + 1) {
+        sim[i] = sim[i] + sim[n + i] * 0.05;
+    }
+}
+void timestep(float* sim, float* cells, int n) {
+    compute_force(sim, cells, n);
+    advance(sim, n);
+}
+int main() {
+    float sim[@N2@];
+    float cells[@N4@];
+    float perf_timer = 0.0;
+    for (int i = 0; i < @N@; i = i + 1) {
+        sim[i] = float(i % 8) * 0.25;
+        sim[@N@ + i] = 0.0;
+    }
+    for (int i = 0; i < @N4@; i = i + 1) {
+        cells[i] = 1.0;
+    }
+    for (int iStep = 0; iStep < @ITERS@; iStep = iStep + 1) { // @loop-start
+        timestep(sim, cells, @N@);
+        perf_timer = perf_timer + 1.5;
+    } // @loop-end
+    print(perf_timer);
+    print(sim[0]);
+    print(sim[@N@]);
+    return 0;
+}
+";
+
+/// Source with `n` particles over `iters` steps.
+pub fn source(n: usize, iters: usize) -> String {
+    TEMPLATE
+        .replace("@N4@", &(4 * n).to_string())
+        .replace("@N2@", &(2 * n).to_string())
+        .replace("@N@", &n.to_string())
+        .replace("@ITERS@", &iters.to_string())
+}
+
+/// Default spec.
+pub fn spec() -> AppSpec {
+    spec_scaled(16, 8)
+}
+
+/// Spec at a chosen scale.
+pub fn spec_scaled(n: usize, iters: usize) -> AppSpec {
+    let source = source(n, iters);
+    let region = region_from_markers(&source, "main");
+    AppSpec {
+        name: "comd",
+        description: "Molecular dynamics proxy application (ECP CoMD)",
+        source,
+        region,
+        expected: vec![
+            ("sim", DepType::War),
+            ("perf_timer", DepType::War),
+            ("iStep", DepType::Index),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_paper_critical_variables() {
+        let run = crate::analyze_app(&spec());
+        assert_eq!(run.report.summary(), spec().expected_summary());
+    }
+
+    #[test]
+    fn sim_footprint_covers_positions_and_momenta() {
+        let run = crate::analyze_app(&spec());
+        let sim = run.report.critical_by_name("sim").unwrap();
+        assert_eq!(sim.size, 2 * 16 * 8, "both halves of the state");
+    }
+}

@@ -1,0 +1,95 @@
+//! EP (NPB) — embarrassingly parallel Gaussian-pair generation.
+//!
+//! Paper Table II: `sy` (WAR), `q` (WAR), `sx` (WAR), `k` (Index). The
+//! Gaussian sums `sx`/`sy` accumulate across iterations, and the annulus
+//! histogram `q` is read-modify-written — only the bucket being incremented
+//! is touched, so (unlike IS's scatter/scan arrays) it is WAR, not RAPO.
+//! Random deviates are derived from the induction variable each iteration,
+//! like NPB EP's per-batch seeds, so they are loop-local.
+
+use crate::spec::{region_from_markers, AppSpec};
+use autocheck_core::DepType;
+
+const TEMPLATE: &str = "\
+// ep (NPB): Gaussian pairs via an inline LCG, tallied into a histogram
+int main() {
+    float sx = 0.0;
+    float sy = 0.0;
+    float q[10];
+    for (int i = 0; i < 10; i = i + 1) {
+        q[i] = 0.0;
+    }
+    for (int k = 0; k < @ITERS@; k = k + 1) { // @loop-start
+        int s1 = (k * 1103515245 + 12345) % 1000000;
+        int s2 = (s1 * 1103515245 + 12345) % 1000000;
+        if (s1 < 0) { s1 = -s1; }
+        if (s2 < 0) { s2 = -s2; }
+        float x1 = float(s1 % 1000) / 500.0 - 1.0;
+        float x2 = float(s2 % 1000) / 500.0 - 1.0;
+        float t = x1 * x1 + x2 * x2;
+        if (t <= 1.0 && t > 0.0) {
+            float fac = sqrt(-2.0 * log(t) / t);
+            float gx = x1 * fac;
+            float gy = x2 * fac;
+            sx = sx + gx;
+            sy = sy + gy;
+            int l = int(fmax(fabs(gx), fabs(gy)));
+            if (l > 9) { l = 9; }
+            q[l] = q[l] + 1.0;
+        }
+    } // @loop-end
+    print(sx);
+    print(sy);
+    for (int i = 0; i < 10; i = i + 1) {
+        print(q[i]);
+    }
+    return 0;
+}
+";
+
+/// Source with `iters` pair draws.
+pub fn source(iters: usize) -> String {
+    TEMPLATE.replace("@ITERS@", &iters.to_string())
+}
+
+/// Default spec.
+pub fn spec() -> AppSpec {
+    spec_scaled(64)
+}
+
+/// Spec at a chosen scale.
+pub fn spec_scaled(iters: usize) -> AppSpec {
+    let source = source(iters);
+    let region = region_from_markers(&source, "main");
+    AppSpec {
+        name: "ep",
+        description: "Embarrassingly Parallel random-number kernel (NPB)",
+        source,
+        region,
+        expected: vec![
+            ("sy", DepType::War),
+            ("q", DepType::War),
+            ("sx", DepType::War),
+            ("k", DepType::Index),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_paper_critical_variables() {
+        let run = crate::analyze_app(&spec());
+        assert_eq!(run.report.summary(), spec().expected_summary());
+    }
+
+    #[test]
+    fn histogram_is_war_not_rapo() {
+        // The RMW histogram only ever reads the element it rewrites.
+        let run = crate::analyze_app(&spec());
+        let q = run.report.critical_by_name("q").expect("q detected");
+        assert_eq!(q.dep, DepType::War);
+    }
+}

@@ -1,0 +1,86 @@
+//! FT (NPB) — discrete 3-D FFT (evolve/checksum skeleton).
+//!
+//! Paper Table II: `y` (WAR), `sum` (Outcome), `kt` (Index). Like the
+//! original, `y` and `twiddle` are *globals used inside functions called
+//! from the main loop* — the situation of the paper's Challenge 1
+//! workaround (§V-B): they are initialized at region level right before the
+//! loop so the pre-processing can collect them. `evolve` multiplies `y` by
+//! the twiddle factors in place (WAR); the checksum is recomputed fresh
+//! each iteration into `sum`, which is only consumed after the loop
+//! (Outcome).
+
+use crate::spec::{region_from_markers, AppSpec};
+use autocheck_core::DepType;
+
+const TEMPLATE: &str = "\
+// ft (NPB): evolve + checksum skeleton of the 3-D FFT benchmark
+global float y[@N@];
+global float twiddle[@N@];
+void evolve(float* yy, float* tw, int n) {
+    for (int i = 0; i < n; i = i + 1) {
+        yy[i] = yy[i] * tw[i];
+    }
+}
+int main() {
+    float sum = 0.0;
+    for (int i = 0; i < @N@; i = i + 1) {
+        y[i] = 1.0 + float(i % 7) * 0.1;
+        twiddle[i] = 0.98 + float(i % 3) * 0.02;
+    }
+    for (int kt = 0; kt < @ITERS@; kt = kt + 1) { // @loop-start
+        evolve(y, twiddle, @N@);
+        float chk = 0.0;
+        for (int i = 0; i < @N@; i = i + 1) { chk = chk + y[i]; }
+        sum = chk / float(@N@);
+    } // @loop-end
+    print(sum);
+    return 0;
+}
+";
+
+/// Source at array size `n`, `iters` evolve steps.
+pub fn source(n: usize, iters: usize) -> String {
+    TEMPLATE
+        .replace("@N@", &n.to_string())
+        .replace("@ITERS@", &iters.to_string())
+}
+
+/// Default spec.
+pub fn spec() -> AppSpec {
+    spec_scaled(16, 8)
+}
+
+/// Spec at a chosen scale.
+pub fn spec_scaled(n: usize, iters: usize) -> AppSpec {
+    let source = source(n, iters);
+    let region = region_from_markers(&source, "main");
+    AppSpec {
+        name: "ft",
+        description: "Discrete 3D Fast Fourier Transform (NPB)",
+        source,
+        region,
+        expected: vec![
+            ("y", DepType::War),
+            ("sum", DepType::Outcome),
+            ("kt", DepType::Index),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_paper_critical_variables() {
+        let run = crate::analyze_app(&spec());
+        assert_eq!(run.report.summary(), spec().expected_summary());
+    }
+
+    #[test]
+    fn twiddle_global_is_read_only() {
+        let run = crate::analyze_app(&spec());
+        assert!(run.report.skipped.iter().any(|(n, r)| &**n == "twiddle"
+            && *r == autocheck_core::SkipReason::ReadOnlyInLoop));
+    }
+}

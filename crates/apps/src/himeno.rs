@@ -1,0 +1,93 @@
+//! Himeno — Poisson-equation pressure relaxation (Jacobi sweeps).
+//!
+//! Paper Table II: critical variables `p` (WAR) and `n` (Index). The
+//! pressure array is read by the stencil and fully rewritten from the work
+//! array every outer iteration; `gosa` is recomputed from scratch each
+//! iteration and printed inside the loop, so it needs no checkpoint.
+
+use crate::spec::{region_from_markers, AppSpec};
+use autocheck_core::DepType;
+
+const TEMPLATE: &str = "\
+// himeno: Jacobi pressure relaxation
+float jacobi_sweep(float* p, float* bnd, float* wrk, int nn) {
+    float gosa = 0.0;
+    for (int i = 1; i < nn - 1; i = i + 1) {
+        float s0 = p[i - 1] * 0.3 + p[i] * 0.4 + p[i + 1] * 0.3;
+        float ss = (s0 - p[i]) * bnd[i];
+        gosa = gosa + ss * ss;
+        wrk[i] = p[i] + 0.8 * ss;
+    }
+    wrk[0] = p[0];
+    wrk[nn - 1] = p[nn - 1];
+    for (int i = 0; i < nn; i = i + 1) {
+        p[i] = wrk[i];
+    }
+    return gosa;
+}
+int main() {
+    float p[@N@];
+    float bnd[@N@];
+    float wrk[@N@];
+    float gosa = 0.0;
+    for (int i = 0; i < @N@; i = i + 1) {
+        p[i] = float(i * i) / float(@NM1@ * @NM1@);
+        bnd[i] = 1.0;
+        wrk[i] = 0.0;
+    }
+    for (int n = 0; n < @ITERS@; n = n + 1) { // @loop-start
+        gosa = jacobi_sweep(p, bnd, wrk, @N@);
+        print(gosa);
+    } // @loop-end
+    print(p[@MID@]);
+    return 0;
+}
+";
+
+/// Source at pressure-array size `n` over `iters` sweeps.
+pub fn source(n: usize, iters: usize) -> String {
+    TEMPLATE
+        .replace("@N@", &n.to_string())
+        .replace("@NM1@", &(n - 1).to_string())
+        .replace("@MID@", &(n / 2).to_string())
+        .replace("@ITERS@", &iters.to_string())
+}
+
+/// Default (analysis-sized) spec.
+pub fn spec() -> AppSpec {
+    spec_scaled(16, 8)
+}
+
+/// Spec at a chosen scale.
+pub fn spec_scaled(n: usize, iters: usize) -> AppSpec {
+    let source = source(n, iters);
+    let region = region_from_markers(&source, "main");
+    AppSpec {
+        name: "himeno",
+        description: "Poisson equation solver measuring floating-point performance",
+        source,
+        region,
+        expected: vec![("p", DepType::War), ("n", DepType::Index)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_paper_critical_variables() {
+        let run = crate::analyze_app(&spec());
+        assert_eq!(run.report.summary(), spec().expected_summary());
+    }
+
+    #[test]
+    fn gosa_is_skipped_as_rewritten() {
+        let run = crate::analyze_app(&spec());
+        assert!(run
+            .report
+            .skipped
+            .iter()
+            .any(|(n, _)| &**n == "gosa"));
+    }
+}

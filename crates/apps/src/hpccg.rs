@@ -1,0 +1,118 @@
+//! HPCCG — conjugate-gradient mini-app (Mantevo).
+//!
+//! Paper Table II: `t1`, `t2`, `t3` (timer accumulators), `r`, `x`, `p`,
+//! `rtrans` — all WAR — plus `k` (Index). The CG state vectors are updated
+//! in place every iteration (read-then-overwrite), the residual dot-product
+//! `rtrans` is consumed for `alpha` before being recomputed, and the timers
+//! accumulate across iterations.
+
+use crate::spec::{region_from_markers, AppSpec};
+use autocheck_core::DepType;
+
+const TEMPLATE: &str = "\
+// hpccg: conjugate gradient for a 3D chimney domain (1-D operator here)
+float ddot(float* x, float* y, int n) {
+    float s = 0.0;
+    for (int i = 0; i < n; i = i + 1) {
+        s = s + x[i] * y[i];
+    }
+    return s;
+}
+void waxpby(float alpha, float* x, float beta, float* y, float* w, int n) {
+    for (int i = 0; i < n; i = i + 1) {
+        w[i] = alpha * x[i] + beta * y[i];
+    }
+}
+void matvec(float* x, float* y, int n) {
+    for (int i = 0; i < n; i = i + 1) {
+        y[i] = 2.0 * x[i] - 0.4 * x[(i + 1) % n] - 0.4 * x[(i + n - 1) % n];
+    }
+}
+int main() {
+    float x[@N@];
+    float r[@N@];
+    float p[@N@];
+    float ap[@N@];
+    float rtrans = 0.0;
+    float t1 = 0.0;
+    float t2 = 0.0;
+    float t3 = 0.0;
+    for (int i = 0; i < @N@; i = i + 1) {
+        x[i] = 0.0;
+        r[i] = 1.0 + float(i % 3) * 0.25;
+        p[i] = r[i];
+        ap[i] = 0.0;
+    }
+    for (int i = 0; i < @N@; i = i + 1) {
+        rtrans = rtrans + r[i] * r[i];
+    }
+    for (int k = 0; k < @ITERS@; k = k + 1) { // @loop-start
+        t1 = t1 + 1.0;
+        matvec(p, ap, @N@);
+        float alpha = rtrans / ddot(p, ap, @N@);
+        waxpby(1.0, x, alpha, p, x, @N@);
+        waxpby(1.0, r, -alpha, ap, r, @N@);
+        t2 = t2 + 0.5;
+        float oldrtrans = rtrans;
+        rtrans = ddot(r, r, @N@);
+        float beta = rtrans / oldrtrans;
+        waxpby(1.0, r, beta, p, p, @N@);
+        t3 = t3 + 0.25;
+    } // @loop-end
+    print(rtrans);
+    print(x[0]);
+    print(t1 + t2 + t3);
+    return 0;
+}
+";
+
+/// Source at vector size `n`, `iters` CG iterations.
+pub fn source(n: usize, iters: usize) -> String {
+    TEMPLATE
+        .replace("@N@", &n.to_string())
+        .replace("@ITERS@", &iters.to_string())
+}
+
+/// Default spec.
+pub fn spec() -> AppSpec {
+    spec_scaled(16, 6)
+}
+
+/// Spec at a chosen scale.
+pub fn spec_scaled(n: usize, iters: usize) -> AppSpec {
+    let source = source(n, iters);
+    let region = region_from_markers(&source, "main");
+    AppSpec {
+        name: "hpccg",
+        description: "Conjugate Gradient benchmark code for a 3D chimney domain",
+        source,
+        region,
+        expected: vec![
+            ("t1", DepType::War),
+            ("t2", DepType::War),
+            ("t3", DepType::War),
+            ("r", DepType::War),
+            ("x", DepType::War),
+            ("p", DepType::War),
+            ("rtrans", DepType::War),
+            ("k", DepType::Index),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_paper_critical_variables() {
+        let run = crate::analyze_app(&spec());
+        assert_eq!(run.report.summary(), spec().expected_summary());
+    }
+
+    #[test]
+    fn ap_is_skipped_as_rewritten() {
+        let run = crate::analyze_app(&spec());
+        assert!(run.report.skipped.iter().any(|(n, _)| &**n == "ap"));
+    }
+}

@@ -1,0 +1,114 @@
+//! IS (NPB) — integer sort with random memory access.
+//!
+//! Paper Table II: `passed_verification` (WAR), `key_array` (RAPO),
+//! `bucket_ptrs` (RAPO), `iteration` (Index). Exactly like the original,
+//! each iteration *scatters* two keys into `key_array` (partial writes) and
+//! then scans the whole array to bucket it — the elements not rewritten
+//! this iteration are read stale, which is the Read-After-
+//! Partially-Overwritten pattern. The bucket table is likewise updated
+//! sparsely and scanned fully by the verification step.
+
+use crate::spec::{region_from_markers, AppSpec};
+use autocheck_core::DepType;
+
+const TEMPLATE: &str = "\
+// is (NPB): integer sort ranking skeleton
+int main() {
+    int key_array[@KA@];
+    int bucket_ptrs[@NB@];
+    int passed_verification = 0;
+    for (int i = 0; i < @KA@; i = i + 1) {
+        key_array[i] = (i * 7 + 3) % @MAXKEY@;
+    }
+    for (int j = 0; j < @NB@; j = j + 1) {
+        bucket_ptrs[j] = 0;
+    }
+    for (int iteration = 1; iteration < @ITP1@; iteration = iteration + 1) { // @loop-start
+        key_array[iteration] = iteration;
+        key_array[iteration + @ITERS@] = @MAXKEY@ - iteration;
+        int hit = key_array[iteration] % @NB@;
+        bucket_ptrs[hit] = bucket_ptrs[hit] + 1;
+        int chk = 0;
+        for (int i = 0; i < @KA@; i = i + 1) {
+            chk = chk + key_array[i] % @NB@;
+        }
+        int bsum = 0;
+        for (int j = 0; j < @NB@; j = j + 1) {
+            bsum = bsum + bucket_ptrs[j];
+        }
+        if (chk > 0 && bsum == iteration) {
+            passed_verification = passed_verification + 1;
+        }
+    } // @loop-end
+    print(passed_verification);
+    int ksum = 0;
+    for (int i = 0; i < @KA@; i = i + 1) {
+        ksum = ksum + key_array[i] * (i + 1);
+    }
+    print(ksum);
+    int btot = 0;
+    for (int j = 0; j < @NB@; j = j + 1) {
+        btot = btot + bucket_ptrs[j] * (j + 1);
+    }
+    print(btot);
+    return 0;
+}
+";
+
+/// Source with `iters` ranking iterations and `nb` buckets.
+pub fn source(iters: usize, nb: usize) -> String {
+    let ka = 2 * iters + 4;
+    TEMPLATE
+        .replace("@KA@", &ka.to_string())
+        .replace("@NB@", &nb.to_string())
+        .replace("@ITP1@", &(iters + 1).to_string())
+        .replace("@ITERS@", &iters.to_string())
+        .replace("@MAXKEY@", "64")
+}
+
+/// Default spec.
+pub fn spec() -> AppSpec {
+    spec_scaled(10, 16)
+}
+
+/// Spec at a chosen scale.
+pub fn spec_scaled(iters: usize, nb: usize) -> AppSpec {
+    let source = source(iters, nb);
+    let region = region_from_markers(&source, "main");
+    AppSpec {
+        name: "is",
+        description: "Integer Sort with random memory access (NPB)",
+        source,
+        region,
+        expected: vec![
+            ("passed_verification", DepType::War),
+            ("key_array", DepType::Rapo),
+            ("bucket_ptrs", DepType::Rapo),
+            ("iteration", DepType::Index),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_paper_critical_variables() {
+        let run = crate::analyze_app(&spec());
+        assert_eq!(run.report.summary(), spec().expected_summary());
+    }
+
+    #[test]
+    fn rapo_arrays_are_rapo() {
+        let run = crate::analyze_app(&spec());
+        assert_eq!(
+            run.report.critical_by_name("key_array").unwrap().dep,
+            DepType::Rapo
+        );
+        assert_eq!(
+            run.report.critical_by_name("bucket_ptrs").unwrap().dep,
+            DepType::Rapo
+        );
+    }
+}

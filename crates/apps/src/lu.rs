@@ -1,0 +1,95 @@
+//! LU (NPB) — lower-upper Gauss-Seidel (SSOR) solver skeleton.
+//!
+//! Paper Table II: `u`, `rho_i`, `qs`, `rsd` (all WAR) and `istep` (Index).
+//! The SSOR sweep reads the previous residual and the derived quantities
+//! `rho_i`/`qs` (computed at the *end* of the previous iteration), then
+//! updates the residual and the solution in place and recomputes the
+//! derived fields — so all four arrays carry state across iterations.
+
+use crate::spec::{region_from_markers, AppSpec};
+use autocheck_core::DepType;
+
+const TEMPLATE: &str = "\
+// lu (NPB): SSOR time step skeleton
+void jacld_blts(float* rsd, float* u, float* rho_i, float* qs, float* coeffs, int n) {
+    for (int i = 0; i < n; i = i + 1) {
+        float c = coeffs[i * 4] + coeffs[i * 4 + 1] * 0.5;
+        rsd[i] = 0.9 * rsd[i] + 0.1 * c * (u[i] * rho_i[i] + qs[i] * 0.05);
+    }
+}
+void add_u(float* u, float* rsd, int n) {
+    for (int i = 0; i < n; i = i + 1) {
+        u[i] = u[i] + 0.5 * rsd[i];
+    }
+}
+int main() {
+    float u[@N@];
+    float rsd[@N@];
+    float rho_i[@N@];
+    float qs[@N@];
+    float coeffs[@N4@];
+    for (int i = 0; i < @N4@; i = i + 1) {
+        coeffs[i] = 0.6;
+    }
+    for (int i = 0; i < @N@; i = i + 1) {
+        u[i] = 1.0 + float(i % 4) * 0.3;
+        rsd[i] = 0.5;
+        rho_i[i] = 1.0 / (1.0 + u[i]);
+        qs[i] = u[i] * u[i] * 0.5;
+    }
+    for (int istep = 0; istep < @ITERS@; istep = istep + 1) { // @loop-start
+        jacld_blts(rsd, u, rho_i, qs, coeffs, @N@);
+        add_u(u, rsd, @N@);
+        for (int i = 0; i < @N@; i = i + 1) {
+            rho_i[i] = 1.0 / (1.0 + fabs(u[i]));
+            qs[i] = u[i] * u[i] * 0.5;
+        }
+    } // @loop-end
+    print(u[0]);
+    print(rsd[0]);
+    return 0;
+}
+";
+
+/// Source at grid size `n`, `iters` SSOR steps.
+pub fn source(n: usize, iters: usize) -> String {
+    TEMPLATE
+        .replace("@N4@", &(4 * n).to_string())
+        .replace("@N@", &n.to_string())
+        .replace("@ITERS@", &iters.to_string())
+}
+
+/// Default spec.
+pub fn spec() -> AppSpec {
+    spec_scaled(16, 8)
+}
+
+/// Spec at a chosen scale.
+pub fn spec_scaled(n: usize, iters: usize) -> AppSpec {
+    let source = source(n, iters);
+    let region = region_from_markers(&source, "main");
+    AppSpec {
+        name: "lu",
+        description: "Lower-Upper Gauss-Seidel solver (NPB)",
+        source,
+        region,
+        expected: vec![
+            ("u", DepType::War),
+            ("rho_i", DepType::War),
+            ("qs", DepType::War),
+            ("rsd", DepType::War),
+            ("istep", DepType::Index),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_paper_critical_variables() {
+        let run = crate::analyze_app(&spec());
+        assert_eq!(run.report.summary(), spec().expected_summary());
+    }
+}

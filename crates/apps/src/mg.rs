@@ -1,0 +1,89 @@
+//! MG (NPB) — multigrid on a sequence of meshes.
+//!
+//! Paper Table II: `u` (WAR), `r` (WAR), `it` (Index). Both the solution
+//! `u` and the residual `r` are updated in place each V-cycle (the residual
+//! update reads the previous residual, the smoother reads the previous
+//! solution); the right-hand side `v` is read-only.
+
+use crate::spec::{region_from_markers, AppSpec};
+use autocheck_core::DepType;
+
+const TEMPLATE: &str = "\
+// mg (NPB): multigrid V-cycle sketch on one level
+void resid(float* u, float* v, float* r, int n) {
+    for (int i = 0; i < n; i = i + 1) {
+        r[i] = v[i] - u[i] - 0.2 * r[i];
+    }
+}
+void psinv(float* r, float* u, int n) {
+    for (int i = 0; i < n; i = i + 1) {
+        u[i] = u[i] + 0.7 * r[i];
+    }
+}
+int main() {
+    float u[@N@];
+    float v[@N@];
+    float r[@N@];
+    for (int i = 0; i < @N@; i = i + 1) {
+        u[i] = 0.0;
+        v[i] = 1.0 + float(i % 4) * 0.5;
+        r[i] = v[i];
+    }
+    for (int it = 0; it < @ITERS@; it = it + 1) { // @loop-start
+        resid(u, v, r, @N@);
+        psinv(r, u, @N@);
+        float norm = 0.0;
+        for (int i = 0; i < @N@; i = i + 1) { norm = norm + r[i] * r[i]; }
+        print(sqrt(norm));
+    } // @loop-end
+    print(u[0]);
+    return 0;
+}
+";
+
+/// Source at mesh size `n`, `iters` V-cycles.
+pub fn source(n: usize, iters: usize) -> String {
+    TEMPLATE
+        .replace("@N@", &n.to_string())
+        .replace("@ITERS@", &iters.to_string())
+}
+
+/// Default spec.
+pub fn spec() -> AppSpec {
+    spec_scaled(16, 8)
+}
+
+/// Spec at a chosen scale.
+pub fn spec_scaled(n: usize, iters: usize) -> AppSpec {
+    let source = source(n, iters);
+    let region = region_from_markers(&source, "main");
+    AppSpec {
+        name: "mg",
+        description: "Multi-Grid on a sequence of meshes (NPB)",
+        source,
+        region,
+        expected: vec![
+            ("u", DepType::War),
+            ("r", DepType::War),
+            ("it", DepType::Index),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_paper_critical_variables() {
+        let run = crate::analyze_app(&spec());
+        assert_eq!(run.report.summary(), spec().expected_summary());
+    }
+
+    #[test]
+    fn rhs_is_read_only() {
+        let run = crate::analyze_app(&spec());
+        assert!(run.report.skipped.iter().any(|(n, r)| &**n == "v"
+            && *r == autocheck_core::SkipReason::ReadOnlyInLoop));
+    }
+}

@@ -1,0 +1,135 @@
+//! miniAMR (ECP) — adaptive-mesh-refinement stencil proxy.
+//!
+//! Paper Table II reports the longest critical set of the study: dozens of
+//! timer/counter accumulators (WAR), the `blocks` mesh (WAR), the extrema
+//! trackers `tmax`/`tmin` (WAR), and *two* Index variables — the timestep
+//! counter `ts` and the loop-steering flag `done` (the main loop is a
+//! `while (!done && ts < N)`). The skeleton keeps a representative subset
+//! of the accumulators plus both control variables.
+
+use crate::spec::{region_from_markers, AppSpec};
+use autocheck_core::DepType;
+
+const TEMPLATE: &str = "\
+// miniamr (ECP): AMR stencil driver with timers, counters and a done flag
+void stencil_calc(float* blocks, int n) {
+    for (int i = 0; i < n; i = i + 1) {
+        blocks[i] = blocks[i] * 0.6 + (blocks[(i + 1) % n] + blocks[(i + n - 1) % n]) * 0.2;
+    }
+}
+int main() {
+    float blocks[@N@];
+    float timer_total = 0.0;
+    float timer_calc = 0.0;
+    float timer_comm = 0.0;
+    float timer_refine = 0.0;
+    int total_blocks = 0;
+    int counter_bc = 0;
+    int total_fp_adds = 0;
+    int total_red = 0;
+    int num_moved = 0;
+    float tmax = 0.0;
+    float tmin = 1000000.0;
+    int done = 0;
+    int ts = 0;
+    for (int i = 0; i < @N@; i = i + 1) {
+        blocks[i] = 1.0 + float(i % 5) * 0.5;
+    }
+    while (done == 0 && ts < @ITERS@) { // @loop-start
+        stencil_calc(blocks, @N@);
+        float t = 1.0 + float(ts % 3) * 0.25;
+        timer_calc = timer_calc + t;
+        timer_comm = timer_comm + t * 0.1;
+        timer_refine = timer_refine + t * 0.05;
+        timer_total = timer_total + t * 1.15;
+        total_blocks = total_blocks + @N@;
+        counter_bc = counter_bc + 2;
+        total_fp_adds = total_fp_adds + @N@ * 4;
+        total_red = total_red + 1;
+        num_moved = num_moved + ts % 2;
+        tmax = fmax(tmax, t);
+        tmin = fmin(tmin, t);
+        ts = ts + 1;
+        if (blocks[0] < 0.001) {
+            done = 1;
+        }
+    } // @loop-end
+    print(timer_total);
+    print(timer_calc);
+    print(timer_comm);
+    print(timer_refine);
+    print(total_blocks);
+    print(counter_bc);
+    print(total_fp_adds);
+    print(total_red);
+    print(num_moved);
+    print(tmax);
+    print(tmin);
+    print(blocks[0]);
+    return 0;
+}
+";
+
+/// Source with `n` blocks over at most `iters` timesteps.
+pub fn source(n: usize, iters: usize) -> String {
+    TEMPLATE
+        .replace("@N@", &n.to_string())
+        .replace("@ITERS@", &iters.to_string())
+}
+
+/// Default spec.
+pub fn spec() -> AppSpec {
+    spec_scaled(16, 8)
+}
+
+/// Spec at a chosen scale.
+pub fn spec_scaled(n: usize, iters: usize) -> AppSpec {
+    let source = source(n, iters);
+    let region = region_from_markers(&source, "main");
+    AppSpec {
+        name: "miniamr",
+        description: "3D stencil calculation with Adaptive Mesh Refinement (ECP miniAMR)",
+        source,
+        region,
+        expected: vec![
+            ("timer_total", DepType::War),
+            ("timer_calc", DepType::War),
+            ("timer_comm", DepType::War),
+            ("timer_refine", DepType::War),
+            ("total_blocks", DepType::War),
+            ("counter_bc", DepType::War),
+            ("total_fp_adds", DepType::War),
+            ("total_red", DepType::War),
+            ("num_moved", DepType::War),
+            ("tmax", DepType::War),
+            ("tmin", DepType::War),
+            ("blocks", DepType::War),
+            ("done", DepType::Index),
+            ("ts", DepType::Index),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_paper_critical_variables() {
+        let run = crate::analyze_app(&spec());
+        assert_eq!(run.report.summary(), spec().expected_summary());
+    }
+
+    #[test]
+    fn both_control_variables_are_index() {
+        let run = crate::analyze_app(&spec());
+        assert_eq!(
+            run.report.critical_by_name("done").unwrap().dep,
+            DepType::Index
+        );
+        assert_eq!(
+            run.report.critical_by_name("ts").unwrap().dep,
+            DepType::Index
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! SP (NPB) — scalar penta-diagonal solver skeleton.
+//!
+//! Paper Table II: `u` (WAR), `step` (Index). Each time step computes the
+//! right-hand side from the current solution and then adds it back into
+//! `u`; `rhs` is fully rewritten before use every iteration.
+
+use crate::spec::{region_from_markers, AppSpec};
+use autocheck_core::DepType;
+
+const TEMPLATE: &str = "\
+// sp (NPB): ADI time-stepping skeleton
+void compute_rhs(float* u, float* rhs, int n) {
+    for (int i = 0; i < n; i = i + 1) {
+        rhs[i] = (u[(i + 1) % n] - 2.0 * u[i] + u[(i + n - 1) % n]) * 0.1;
+    }
+}
+void add(float* u, float* rhs, int n) {
+    for (int i = 0; i < n; i = i + 1) {
+        u[i] = u[i] + rhs[i];
+    }
+}
+int main() {
+    float u[@N@];
+    float rhs[@N@];
+    for (int i = 0; i < @N@; i = i + 1) {
+        u[i] = float(i % 5) * 0.5 + 1.0;
+        rhs[i] = 0.0;
+    }
+    for (int step = 0; step < @ITERS@; step = step + 1) { // @loop-start
+        compute_rhs(u, rhs, @N@);
+        add(u, rhs, @N@);
+    } // @loop-end
+    print(u[@MID@]);
+    return 0;
+}
+";
+
+/// Source at grid size `n`, `iters` time steps.
+pub fn source(n: usize, iters: usize) -> String {
+    TEMPLATE
+        .replace("@N@", &n.to_string())
+        .replace("@MID@", &(n / 2).to_string())
+        .replace("@ITERS@", &iters.to_string())
+}
+
+/// Default spec.
+pub fn spec() -> AppSpec {
+    spec_scaled(16, 8)
+}
+
+/// Spec at a chosen scale.
+pub fn spec_scaled(n: usize, iters: usize) -> AppSpec {
+    let source = source(n, iters);
+    let region = region_from_markers(&source, "main");
+    AppSpec {
+        name: "sp",
+        description: "Scalar Penta-diagonal solver (NPB)",
+        source,
+        region,
+        expected: vec![("u", DepType::War), ("step", DepType::Index)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_paper_critical_variables() {
+        let run = crate::analyze_app(&spec());
+        assert_eq!(run.report.summary(), spec().expected_summary());
+    }
+}

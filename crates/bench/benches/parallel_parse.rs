@@ -1,0 +1,59 @@
+//! Criterion bench: parallel trace parsing (the paper's §V-A OpenMP
+//! optimization, reported in Table III's "with optimization" columns).
+//!
+//! The expected shape: throughput scales with worker threads up to the core
+//! count (the paper reports ≈16× with 48 threads; on this machine the
+//! ceiling is `available_parallelism`).
+
+use autocheck_apps::hpccg;
+use autocheck_interp::{ExecOptions, Machine, NoHook, WriterSink};
+use autocheck_trace::{parse_parallel, ParallelConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn make_trace() -> String {
+    let spec = hpccg::spec_scaled(64, 16);
+    let module = autocheck_minilang::compile(&spec.source).expect("compiles");
+    let mut sink = WriterSink::new(Vec::new());
+    Machine::new(&module, ExecOptions::default())
+        .run(&mut sink, &mut NoHook)
+        .expect("runs");
+    String::from_utf8(sink.finish().expect("trace")).expect("utf8")
+}
+
+fn bench_parallel_parse(c: &mut Criterion) {
+    let text = make_trace();
+    let mut group = c.benchmark_group("parallel-parse");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
+    let mut threads: Vec<usize> = vec![1, 2];
+    if max > 2 {
+        threads.push(max);
+    }
+    for t in threads {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| {
+                let recs =
+                    parse_parallel(black_box(&text), ParallelConfig { threads: t }).expect("parses");
+                black_box(recs.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_chunking_overhead(c: &mut Criterion) {
+    let text = make_trace();
+    let mut group = c.benchmark_group("chunking");
+    group.sample_size(20);
+    group.bench_function("boundaries-8", |b| {
+        b.iter(|| black_box(autocheck_trace::chunk_boundaries(black_box(text.as_bytes()), 8)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_parse, bench_chunking_overhead);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Table IV reproduction: checkpoint storage cost — BLCR-style whole-image
+//! checkpoints vs AutoCheck's detected-variables-only checkpoints.
+//!
+//! One checkpoint of each kind is actually written to disk per benchmark
+//! (via the C/R driver at the first iteration boundary) and the file sizes
+//! are compared.
+//!
+//! Run with: `cargo run --release -p autocheck-bench --bin table4 [scale]`
+
+use autocheck_apps::{all_apps_scaled, analyze_app, Scale};
+use autocheck_bench::Table;
+use autocheck_checkpoint::{BlcrSim, CrDriver, Fti, FtiConfig};
+use autocheck_interp::{ExecOptions, Machine, NullSink};
+use autocheck_trace::stats::human_bytes;
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("small") => Scale::Small,
+        Some("medium") => Scale::Medium,
+        _ => Scale::Large,
+    };
+    println!("=== Table IV: storage cost for checkpointing ({scale:?} inputs) ===\n");
+    let base = std::env::temp_dir().join(format!("autocheck-table4-{}", std::process::id()));
+    let mut table = Table::new(&[
+        "Name",
+        "BLCR (bytes)",
+        "AutoCheck (bytes)",
+        "Ratio",
+        "Protected variables",
+    ]);
+    for spec in all_apps_scaled(scale) {
+        let run = analyze_app(&spec);
+        let module = autocheck_minilang::compile(&spec.source).expect("compiles");
+        let fti_dir = base.join(format!("{}-fti", spec.name));
+        let img_dir = base.join(format!("{}-img", spec.name));
+        let mut fti = Fti::new(FtiConfig::local(&fti_dir)).expect("fti");
+        for c in &run.report.critical {
+            fti.protect(&c.name);
+        }
+        let blcr = BlcrSim::new(&img_dir).expect("blcr");
+        let mut driver = CrDriver::new(
+            &mut fti,
+            &spec.region.function,
+            spec.region.start_line,
+            spec.region.end_line,
+        )
+        .expect("driver")
+        .with_whole_image(blcr);
+        Machine::new(&module, ExecOptions::default())
+            .run(&mut NullSink, &mut driver)
+            .expect("runs");
+        let auto_bytes = driver.last_checkpoint_bytes;
+        let img_bytes = driver.last_image_bytes;
+        table.row(vec![
+            spec.name.to_string(),
+            human_bytes(img_bytes),
+            human_bytes(auto_bytes),
+            format!("{:.1}x", img_bytes as f64 / auto_bytes.max(1) as f64),
+            run.report
+                .critical
+                .iter()
+                .map(|c| c.name.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("shape check vs the paper: AutoCheck checkpoints are a small fraction of");
+    println!("whole-process images (the paper reports up to seven orders of magnitude on");
+    println!("production-size inputs; the ratio here grows with the Large scale because");
+    println!("the detected set excludes all the recomputable state).");
+    let _ = std::fs::remove_dir_all(&base);
+}

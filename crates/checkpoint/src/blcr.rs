@@ -1,0 +1,179 @@
+//! BLCR-style whole-image checkpointing.
+//!
+//! Berkeley Lab Checkpoint/Restart saves the *entire process state*; the
+//! paper's Table IV uses it as the storage-cost baseline. Our equivalent
+//! serializes the interpreter's full memory image (globals segment + live
+//! stack). The interpreter's deterministic layout means a dump can also be
+//! restored into a fresh run at the same execution point, which the
+//! validation tests exercise.
+
+use crate::crc::crc64;
+use autocheck_interp::MemoryImage;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 4] = b"BLCR";
+
+/// Whole-image checkpointer.
+#[derive(Debug)]
+pub struct BlcrSim {
+    dir: PathBuf,
+    bytes_written: u64,
+}
+
+impl BlcrSim {
+    /// Create the checkpoint directory.
+    pub fn new(dir: impl Into<PathBuf>) -> io::Result<BlcrSim> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(BlcrSim {
+            dir,
+            bytes_written: 0,
+        })
+    }
+
+    fn path(&self, step: u64) -> PathBuf {
+        self.dir.join(format!("image_{step:012}.blcr"))
+    }
+
+    /// Serialize an image.
+    pub fn encode(img: &MemoryImage) -> Vec<u8> {
+        let mut out = Vec::with_capacity(img.globals.len() + img.stack.len() + 32);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&(img.globals.len() as u64).to_le_bytes());
+        out.extend_from_slice(&img.globals);
+        out.extend_from_slice(&(img.stack.len() as u64).to_le_bytes());
+        out.extend_from_slice(&img.stack);
+        let crc = crc64(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Deserialize an image.
+    pub fn decode(bytes: &[u8]) -> io::Result<MemoryImage> {
+        let err = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+        if bytes.len() < 4 + 8 + 8 + 8 {
+            return Err(err("image too short"));
+        }
+        let (body, trailer) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(trailer.try_into().expect("8"));
+        if crc64(body) != stored {
+            return Err(err("image CRC mismatch"));
+        }
+        if &body[..4] != MAGIC {
+            return Err(err("bad image magic"));
+        }
+        let glen = u64::from_le_bytes(body[4..12].try_into().expect("8")) as usize;
+        let gend = 12 + glen;
+        if body.len() < gend + 8 {
+            return Err(err("truncated globals segment"));
+        }
+        let globals = body[12..gend].to_vec();
+        let slen = u64::from_le_bytes(body[gend..gend + 8].try_into().expect("8")) as usize;
+        let send = gend + 8 + slen;
+        if body.len() != send {
+            return Err(err("truncated stack segment"));
+        }
+        let stack = body[gend + 8..send].to_vec();
+        Ok(MemoryImage { globals, stack })
+    }
+
+    /// Write the image for `step`; returns the file size — the BLCR column
+    /// of Table IV.
+    pub fn checkpoint(&mut self, step: u64, img: &MemoryImage) -> io::Result<u64> {
+        let bytes = Self::encode(img);
+        let final_path = self.path(step);
+        let tmp = final_path.with_extension("tmp");
+        fs::write(&tmp, &bytes)?;
+        fs::rename(&tmp, &final_path)?;
+        self.bytes_written += bytes.len() as u64;
+        Ok(bytes.len() as u64)
+    }
+
+    /// Read back the image for `step`.
+    pub fn restore(&self, step: u64) -> io::Result<MemoryImage> {
+        Self::decode(&fs::read(self.path(step))?)
+    }
+
+    /// Latest available step, if any.
+    pub fn latest(&self) -> io::Result<Option<u64>> {
+        let mut best = None;
+        for entry in fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if let Some(step) = name
+                .strip_prefix("image_")
+                .and_then(|s| s.strip_suffix(".blcr"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                best = best.max(Some(step));
+            }
+        }
+        Ok(best)
+    }
+
+    /// Total bytes written so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// The size one checkpoint of `img` would occupy, without writing it.
+    pub fn image_size(img: &MemoryImage) -> u64 {
+        img.byte_size() + 4 + 8 + 8 + 8
+    }
+}
+
+/// Helper for cleaning test/bench directories.
+pub fn remove_dir(dir: &Path) {
+    let _ = fs::remove_dir_all(dir);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn img() -> MemoryImage {
+        MemoryImage {
+            globals: (0..64u8).collect(),
+            stack: (0..32u8).rev().collect(),
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("autocheck-blcr-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let i = img();
+        let dec = BlcrSim::decode(&BlcrSim::encode(&i)).unwrap();
+        assert_eq!(dec, i);
+    }
+
+    #[test]
+    fn checkpoint_restore_via_disk() {
+        let dir = tmpdir("disk");
+        let mut b = BlcrSim::new(&dir).unwrap();
+        let size = b.checkpoint(7, &img()).unwrap();
+        assert_eq!(size, BlcrSim::image_size(&img()));
+        assert_eq!(b.latest().unwrap(), Some(7));
+        assert_eq!(b.restore(7).unwrap(), img());
+        remove_dir(&dir);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut bytes = BlcrSim::encode(&img());
+        bytes[20] ^= 1;
+        assert!(BlcrSim::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn image_size_dominates_payload() {
+        let i = img();
+        assert!(BlcrSim::image_size(&i) >= i.byte_size());
+    }
+}

@@ -1,0 +1,106 @@
+//! CRC-64 (ECMA-182 polynomial) for checkpoint integrity.
+//!
+//! Hand-rolled (table-driven) so the checkpoint path has no external
+//! dependencies; FTI likewise embeds its own integrity hashing.
+
+const POLY: u64 = 0x42F0_E1EB_A9EA_3693;
+
+/// Precomputed lookup table.
+static TABLE: [u64; 256] = build_table();
+
+const fn build_table() -> [u64; 256] {
+    let mut table = [0u64; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = (i as u64) << 56;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & (1u64 << 63) != 0 {
+                (crc << 1) ^ POLY
+            } else {
+                crc << 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Streaming CRC-64 hasher.
+#[derive(Clone, Copy, Debug)]
+pub struct Crc64 {
+    state: u64,
+}
+
+impl Default for Crc64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc64 {
+    /// Fresh hasher.
+    pub fn new() -> Crc64 {
+        Crc64 { state: 0 }
+    }
+
+    /// Absorb bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        for &b in data {
+            let idx = ((self.state >> 56) as u8 ^ b) as usize;
+            self.state = (self.state << 8) ^ TABLE[idx];
+        }
+    }
+
+    /// Final digest.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// One-shot CRC of a byte slice.
+pub fn crc64(data: &[u8]) -> u64 {
+    let mut c = Crc64::new();
+    c.update(data);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(crc64(&[]), 0);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let base = crc64(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut corrupted = data.clone();
+                corrupted[byte] ^= 1 << bit;
+                assert_ne!(crc64(&corrupted), base, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_equals_oneshot() {
+        let data: Vec<u8> = (0..=255).collect();
+        let mut c = Crc64::new();
+        c.update(&data[..100]);
+        c.update(&data[100..]);
+        assert_eq!(c.finish(), crc64(&data));
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_digests() {
+        assert_ne!(crc64(b"checkpoint-1"), crc64(b"checkpoint-2"));
+        assert_ne!(crc64(b"ab"), crc64(b"ba"));
+    }
+}

@@ -1,0 +1,378 @@
+//! The C/R insertion driver — an interpreter hook implementing the paper's
+//! §II-B checkpoint placement.
+//!
+//! The paper inserts *reading checkpoints* right before the main
+//! computation loop and *writing checkpoints* at the end of each iteration.
+//! The driver realizes both with one mechanism: a **sync point** at the
+//! first body line of every iteration (equivalently, immediately after the
+//! previous iteration finished and the induction step ran — the same
+//! consistency point, observed from the next iteration's side):
+//!
+//! * sync point #1 fires before any iteration work: if a checkpoint exists,
+//!   the protected variables (including the induction variable) are
+//!   restored there — execution then proceeds from the checkpointed
+//!   iteration;
+//! * sync point #k (k ≥ 2) marks the completion of an iteration: the
+//!   protected variables are captured and an FTI checkpoint is written.
+//!
+//! Sync points are detected line-granularly: an arrival at the loop's start
+//! line *arms* the driver, and the next region-function line inside the
+//! loop body triggers. This works for `for` and `while` loops alike and is
+//! insensitive to nested calls and inner loops.
+
+use crate::blcr::BlcrSim;
+use crate::format::VarBytes;
+use crate::fti::{Checkpoint, Fti};
+use autocheck_interp::{ExecHook, HookAction, HookCtx};
+use std::io;
+
+/// Whether the driver started fresh or restored a checkpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DriverMode {
+    /// No checkpoint existed; the run starts from scratch.
+    Fresh,
+    /// A checkpoint was found and will be restored at the first sync point.
+    Recovered {
+        /// The iteration the checkpoint captured.
+        step: u64,
+    },
+}
+
+/// The checkpoint/restart execution driver.
+pub struct CrDriver<'f> {
+    fti: &'f mut Fti,
+    region_fn: String,
+    start_line: u32,
+    end_line: u32,
+    /// Checkpoint every `interval` iterations.
+    interval: u64,
+    armed: bool,
+    sync_count: u64,
+    pending_restore: Option<Checkpoint>,
+    /// Optional BLCR-style whole-image checkpointing alongside FTI, for the
+    /// Table IV storage comparison.
+    whole_image: Option<BlcrSim>,
+    /// First I/O or restore failure, surfaced after the run.
+    pub error: Option<io::Error>,
+    /// Size of the last checkpoint written (bytes).
+    pub last_checkpoint_bytes: u64,
+    /// Size of the last whole-image checkpoint written (bytes).
+    pub last_image_bytes: u64,
+    /// How the run started.
+    pub mode: DriverMode,
+}
+
+impl<'f> CrDriver<'f> {
+    /// Create a driver over `fti` for the loop at
+    /// `region_fn:start_line..=end_line`. Protected variables must already
+    /// be registered on `fti`; recovery state is probed immediately (like
+    /// `FTI_Init`).
+    pub fn new(
+        fti: &'f mut Fti,
+        region_fn: &str,
+        start_line: u32,
+        end_line: u32,
+    ) -> io::Result<CrDriver<'f>> {
+        let pending = fti.recover()?;
+        let mode = match &pending {
+            Some(c) => DriverMode::Recovered { step: c.step },
+            None => DriverMode::Fresh,
+        };
+        Ok(CrDriver {
+            fti,
+            region_fn: region_fn.to_string(),
+            start_line,
+            end_line,
+            interval: 1,
+            armed: false,
+            sync_count: 0,
+            pending_restore: pending,
+            whole_image: None,
+            error: None,
+            last_checkpoint_bytes: 0,
+            last_image_bytes: 0,
+            mode,
+        })
+    }
+
+    /// Checkpoint every `interval` iterations (default 1).
+    pub fn with_interval(mut self, interval: u64) -> Self {
+        self.interval = interval.max(1);
+        self
+    }
+
+    /// Also write BLCR-style whole-memory images (Table IV measurement).
+    pub fn with_whole_image(mut self, blcr: BlcrSim) -> Self {
+        self.whole_image = Some(blcr);
+        self
+    }
+
+    /// Completed iterations observed (sync points after the first).
+    pub fn iterations_seen(&self) -> u64 {
+        self.sync_count.saturating_sub(1)
+    }
+
+    /// The BLCR handle back, if one was attached.
+    pub fn into_whole_image(self) -> Option<BlcrSim> {
+        self.whole_image
+    }
+
+    fn capture(&mut self, ctx: &HookCtx<'_>) -> Result<Vec<VarBytes>, io::Error> {
+        let mut vars = Vec::with_capacity(self.fti.protected().len());
+        for name in self.fti.protected().to_vec() {
+            match ctx.read_var(&name) {
+                Some(data) => vars.push((name, data)),
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::NotFound,
+                        format!("protected variable `{name}` not resolvable at sync point"),
+                    ))
+                }
+            }
+        }
+        Ok(vars)
+    }
+}
+
+impl ExecHook for CrDriver<'_> {
+    fn on_line(&mut self, ctx: &mut HookCtx<'_>, func: &str, line: u32) -> HookAction {
+        if func != self.region_fn {
+            return HookAction::Continue;
+        }
+        if line == self.start_line {
+            self.armed = true;
+            return HookAction::Continue;
+        }
+        if !(self.armed && line > self.start_line && line <= self.end_line) {
+            return HookAction::Continue;
+        }
+        self.armed = false;
+        self.sync_count += 1;
+
+        if self.sync_count == 1 {
+            if let Some(ckpt) = self.pending_restore.take() {
+                for (name, data) in &ckpt.vars {
+                    if !ctx.write_var(name, data) {
+                        self.error = Some(io::Error::new(
+                            io::ErrorKind::NotFound,
+                            format!("cannot restore `{name}`"),
+                        ));
+                        return HookAction::Interrupt;
+                    }
+                }
+            }
+            return HookAction::Continue;
+        }
+
+        let step = self.sync_count - 1; // start of iteration `step`
+        if step % self.interval != 0 {
+            return HookAction::Continue;
+        }
+        let vars = match self.capture(ctx) {
+            Ok(v) => v,
+            Err(e) => {
+                self.error = Some(e);
+                return HookAction::Interrupt;
+            }
+        };
+        self.last_checkpoint_bytes = Fti::encoded_size(&vars);
+        if let Err(e) = self.fti.checkpoint(step, &vars) {
+            self.error = Some(e);
+            return HookAction::Interrupt;
+        }
+        if let Some(blcr) = &mut self.whole_image {
+            match blcr.checkpoint(step, &ctx.mem.image()) {
+                Ok(size) => self.last_image_bytes = size,
+                Err(e) => {
+                    self.error = Some(e);
+                    return HookAction::Interrupt;
+                }
+            }
+        }
+        HookAction::Continue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fti::FtiConfig;
+    use autocheck_interp::{ExecOptions, Machine, NullSink};
+    use std::path::PathBuf;
+
+    /// acc accumulates it+1 each iteration (WAR); loop lines 4..=6.
+    const PROG: &str = "\
+int main() {
+    int acc = 0;
+    int scale = 2;
+    for (int it = 0; it < 8; it = it + 1) {
+        acc = acc + (it + 1) * scale;
+    }
+    print(acc);
+    return 0;
+}
+";
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "autocheck-driver-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn writes_one_checkpoint_per_iteration() {
+        let dir = tmpdir("per-iter");
+        let module = autocheck_minilang::compile(PROG).unwrap();
+        let mut fti = Fti::new(FtiConfig::local(&dir)).unwrap();
+        fti.protect("acc");
+        fti.protect("it");
+        let mut driver = CrDriver::new(&mut fti, "main", 4, 6).unwrap();
+        assert_eq!(driver.mode, DriverMode::Fresh);
+        let mut machine = Machine::new(&module, ExecOptions::default());
+        let out = machine.run(&mut NullSink, &mut driver).unwrap();
+        // 8 iterations → sync points 1..=8; checkpoints at steps 1..=7.
+        assert_eq!(driver.iterations_seen(), 7);
+        assert!(driver.error.is_none());
+        assert_eq!(out.output, vec!["72".to_string()]); // 2*(1+..+8)
+        assert_eq!(fti.checkpoints_written(), 7);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn kill_and_restart_reproduces_output() {
+        let dir = tmpdir("restart");
+        let module = autocheck_minilang::compile(PROG).unwrap();
+
+        // Reference.
+        let reference = {
+            let mut m = Machine::new(&module, ExecOptions::default());
+            m.run(&mut NullSink, &mut autocheck_interp::NoHook)
+                .unwrap()
+                .output
+        };
+        let total = {
+            let mut m = Machine::new(&module, ExecOptions::default());
+            m.run(&mut NullSink, &mut autocheck_interp::NoHook)
+                .unwrap()
+                .steps
+        };
+
+        // Run with checkpointing, kill at ~60%.
+        let mut fti = Fti::new(FtiConfig::local(&dir)).unwrap();
+        fti.protect("acc");
+        fti.protect("it");
+        {
+            let mut driver = CrDriver::new(&mut fti, "main", 4, 6).unwrap();
+            let mut machine = Machine::new(
+                &module,
+                ExecOptions {
+                    fail_after: Some(total * 6 / 10),
+                    ..ExecOptions::default()
+                },
+            );
+            let err = machine.run(&mut NullSink, &mut driver).unwrap_err();
+            assert!(matches!(err, autocheck_interp::ExecError::Interrupted { .. }));
+        }
+
+        // Restart: recovery kicks in at the first sync point.
+        let mut driver = CrDriver::new(&mut fti, "main", 4, 6).unwrap();
+        assert!(matches!(driver.mode, DriverMode::Recovered { .. }));
+        let mut machine = Machine::new(&module, ExecOptions::default());
+        let out = machine.run(&mut NullSink, &mut driver).unwrap();
+        assert_eq!(out.output, reference);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn restart_without_protecting_acc_diverges() {
+        let dir = tmpdir("falsepos");
+        let module = autocheck_minilang::compile(PROG).unwrap();
+        let reference = {
+            let mut m = Machine::new(&module, ExecOptions::default());
+            m.run(&mut NullSink, &mut autocheck_interp::NoHook)
+                .unwrap()
+                .output
+        };
+        let total = {
+            let mut m = Machine::new(&module, ExecOptions::default());
+            m.run(&mut NullSink, &mut autocheck_interp::NoHook)
+                .unwrap()
+                .steps
+        };
+        // Protect only `it` — dropping the WAR variable `acc`.
+        let mut fti = Fti::new(FtiConfig::local(&dir)).unwrap();
+        fti.protect("it");
+        {
+            let mut driver = CrDriver::new(&mut fti, "main", 4, 6).unwrap();
+            let mut machine = Machine::new(
+                &module,
+                ExecOptions {
+                    fail_after: Some(total * 6 / 10),
+                    ..ExecOptions::default()
+                },
+            );
+            let _ = machine.run(&mut NullSink, &mut driver).unwrap_err();
+        }
+        let mut driver = CrDriver::new(&mut fti, "main", 4, 6).unwrap();
+        let mut machine = Machine::new(&module, ExecOptions::default());
+        let out = machine.run(&mut NullSink, &mut driver).unwrap();
+        assert_ne!(
+            out.output, reference,
+            "dropping the WAR variable must corrupt the restart"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn interval_thins_checkpoints() {
+        let dir = tmpdir("interval");
+        let module = autocheck_minilang::compile(PROG).unwrap();
+        let mut fti = Fti::new(FtiConfig::local(&dir)).unwrap();
+        fti.protect("acc");
+        fti.protect("it");
+        let mut driver = CrDriver::new(&mut fti, "main", 4, 6)
+            .unwrap()
+            .with_interval(3);
+        let mut machine = Machine::new(&module, ExecOptions::default());
+        machine.run(&mut NullSink, &mut driver).unwrap();
+        assert_eq!(fti.checkpoints_written(), 2, "steps 3 and 6 only");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn whole_image_checkpoints_are_larger_than_fti() {
+        let dir = tmpdir("img-fti");
+        let img_dir = tmpdir("img-blcr");
+        // A program with real state beyond the protected variables: the
+        // whole-image dump must pay for `big` while FTI only stores
+        // acc + it.
+        let prog = "\
+int main() {
+    int acc = 0;
+    float big[256];
+    for (int i = 0; i < 256; i = i + 1) { big[i] = float(i); }
+    for (int it = 0; it < 8; it = it + 1) {
+        acc = acc + it + int(big[it]);
+    }
+    print(acc);
+    return 0;
+}
+";
+        let module = autocheck_minilang::compile(prog).unwrap();
+        let mut fti = Fti::new(FtiConfig::local(&dir)).unwrap();
+        fti.protect("acc");
+        fti.protect("it");
+        let blcr = BlcrSim::new(&img_dir).unwrap();
+        let mut driver = CrDriver::new(&mut fti, "main", 5, 7)
+            .unwrap()
+            .with_whole_image(blcr);
+        let mut machine = Machine::new(&module, ExecOptions::default());
+        machine.run(&mut NullSink, &mut driver).unwrap();
+        assert!(driver.last_image_bytes > driver.last_checkpoint_bytes);
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&img_dir).unwrap();
+    }
+}

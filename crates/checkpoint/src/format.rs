@@ -1,0 +1,167 @@
+//! The on-disk checkpoint container: length-prefixed binary with a CRC-64
+//! trailer.
+//!
+//! ```text
+//! magic "ACKP" | version u32 | step u64 | count u32
+//! repeat count: name_len u32 | name bytes | data_len u64 | data bytes
+//! crc64 u64   (over everything before the trailer)
+//! ```
+//!
+//! All integers little-endian. No serde: the format is simple enough to own
+//! outright, and owning it keeps the CRC coverage explicit.
+
+use crate::crc::crc64;
+use std::io;
+
+const MAGIC: &[u8; 4] = b"ACKP";
+const VERSION: u32 = 1;
+
+/// One named variable payload.
+pub type VarBytes = (String, Vec<u8>);
+
+/// Encode a checkpoint payload.
+pub fn encode(step: u64, vars: &[VarBytes]) -> Vec<u8> {
+    let body_len: usize = vars
+        .iter()
+        .map(|(n, d)| 4 + n.len() + 8 + d.len())
+        .sum::<usize>()
+        + 4
+        + 4
+        + 8
+        + 4;
+    let mut out = Vec::with_capacity(body_len + 8);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&step.to_le_bytes());
+    out.extend_from_slice(&(vars.len() as u32).to_le_bytes());
+    for (name, data) in vars {
+        out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        out.extend_from_slice(data);
+    }
+    let crc = crc64(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Decode and verify a checkpoint payload.
+pub fn decode(bytes: &[u8]) -> io::Result<(u64, Vec<VarBytes>)> {
+    let err = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+    if bytes.len() < 4 + 4 + 8 + 4 + 8 {
+        return Err(err("checkpoint too short"));
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 8);
+    let stored_crc = u64::from_le_bytes(trailer.try_into().expect("8 bytes"));
+    if crc64(body) != stored_crc {
+        return Err(err("checkpoint CRC mismatch"));
+    }
+    let mut p = Cursor { buf: body, pos: 0 };
+    if p.take(4)? != &MAGIC[..] {
+        return Err(err("bad checkpoint magic"));
+    }
+    let version = p.u32()?;
+    if version != VERSION {
+        return Err(err("unsupported checkpoint version"));
+    }
+    let step = p.u64()?;
+    let count = p.u32()? as usize;
+    let mut vars = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name_len = p.u32()? as usize;
+        let name = String::from_utf8(p.take(name_len)?.to_vec())
+            .map_err(|_| err("checkpoint variable name is not UTF-8"))?;
+        let data_len = p.u64()? as usize;
+        let data = p.take(data_len)?.to_vec();
+        vars.push((name, data));
+    }
+    if p.pos != body.len() {
+        return Err(err("trailing bytes in checkpoint"));
+    }
+    Ok((step, vars))
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "truncated checkpoint",
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<VarBytes> {
+        vec![
+            ("r".to_string(), 42i64.to_le_bytes().to_vec()),
+            ("a".to_string(), vec![7u8; 80]),
+            ("sum".to_string(), vec![]),
+        ]
+    }
+
+    #[test]
+    fn round_trip() {
+        let enc = encode(17, &sample());
+        let (step, vars) = decode(&enc).unwrap();
+        assert_eq!(step, 17);
+        assert_eq!(vars, sample());
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut enc = encode(3, &sample());
+        let mid = enc.len() / 2;
+        enc[mid] ^= 0xff;
+        let e = decode(&enc).unwrap_err();
+        assert!(e.to_string().contains("CRC"));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let enc = encode(3, &sample());
+        assert!(decode(&enc[..enc.len() - 1]).is_err());
+        assert!(decode(&enc[..10]).is_err());
+        assert!(decode(&[]).is_err());
+    }
+
+    #[test]
+    fn empty_checkpoint_round_trips() {
+        let enc = encode(0, &[]);
+        let (step, vars) = decode(&enc).unwrap();
+        assert_eq!(step, 0);
+        assert!(vars.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut enc = encode(1, &sample());
+        enc[0] = b'X';
+        // Fix the CRC so only the magic is wrong.
+        let len = enc.len();
+        let crc = crate::crc::crc64(&enc[..len - 8]);
+        enc[len - 8..].copy_from_slice(&crc.to_le_bytes());
+        let e = decode(&enc).unwrap_err();
+        assert!(e.to_string().contains("magic"));
+    }
+}

@@ -1,0 +1,333 @@
+//! The FTI-style checkpoint library: protect / checkpoint / recover.
+//!
+//! Mirrors the FTI API surface the paper uses (level L1 — local storage):
+//! the application *protects* named buffers, writes a checkpoint at the end
+//! of each main-loop iteration, and on restart *recovers* the most recent
+//! valid checkpoint. Durability details follow production practice:
+//!
+//! * checkpoints are committed atomically (write to `*.tmp`, fsync-free
+//!   rename — a crash mid-write never corrupts an existing checkpoint);
+//! * each file carries a CRC-64 trailer; recovery skips corrupt files and
+//!   falls back to the newest older valid one;
+//! * the last `keep_last` checkpoints are retained, older ones pruned;
+//! * an optional mirror directory duplicates every checkpoint — a stand-in
+//!   for FTI's partner-copy levels (L2+).
+
+use crate::format::{decode, encode, VarBytes};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Configuration for an [`Fti`] instance.
+#[derive(Clone, Debug)]
+pub struct FtiConfig {
+    /// Local checkpoint directory (FTI L1).
+    pub dir: PathBuf,
+    /// How many recent checkpoints to retain.
+    pub keep_last: usize,
+    /// Optional mirror directory (partner copy, FTI L2-style).
+    pub mirror: Option<PathBuf>,
+}
+
+impl FtiConfig {
+    /// L1-only configuration with the default retention of 2.
+    pub fn local(dir: impl Into<PathBuf>) -> FtiConfig {
+        FtiConfig {
+            dir: dir.into(),
+            keep_last: 2,
+            mirror: None,
+        }
+    }
+}
+
+/// A recovered checkpoint.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    /// The step (main-loop iteration) the checkpoint captured.
+    pub step: u64,
+    /// Protected variable payloads, in protection order.
+    pub vars: Vec<VarBytes>,
+}
+
+impl Checkpoint {
+    /// Payload of variable `name`.
+    pub fn var(&self, name: &str) -> Option<&[u8]> {
+        self.vars
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, d)| d.as_slice())
+    }
+}
+
+/// The checkpoint library handle.
+#[derive(Debug)]
+pub struct Fti {
+    cfg: FtiConfig,
+    protected: Vec<String>,
+    checkpoints_written: u64,
+    bytes_written: u64,
+}
+
+impl Fti {
+    /// Initialize: creates the checkpoint directory (and mirror).
+    pub fn new(cfg: FtiConfig) -> io::Result<Fti> {
+        fs::create_dir_all(&cfg.dir)?;
+        if let Some(m) = &cfg.mirror {
+            fs::create_dir_all(m)?;
+        }
+        Ok(Fti {
+            cfg,
+            protected: Vec::new(),
+            checkpoints_written: 0,
+            bytes_written: 0,
+        })
+    }
+
+    /// Register a variable for checkpointing (FTI_Protect).
+    pub fn protect(&mut self, name: &str) {
+        if !self.protected.iter().any(|p| p == name) {
+            self.protected.push(name.to_string());
+        }
+    }
+
+    /// Protected variable names, in registration order.
+    pub fn protected(&self) -> &[String] {
+        &self.protected
+    }
+
+    /// Number of checkpoints written.
+    pub fn checkpoints_written(&self) -> u64 {
+        self.checkpoints_written
+    }
+
+    /// Total bytes written (across retention and mirrors) — the AutoCheck
+    /// storage-cost figure of Table IV uses the per-checkpoint size.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Size in bytes of one encoded checkpoint with payloads `vars`.
+    pub fn encoded_size(vars: &[VarBytes]) -> u64 {
+        encode(0, vars).len() as u64
+    }
+
+    fn path_for(dir: &Path, step: u64) -> PathBuf {
+        dir.join(format!("ckpt_{step:012}.fti"))
+    }
+
+    /// Write checkpoint `step` (FTI_Checkpoint). `vars` must cover the
+    /// protected set; extra variables are rejected to catch driver bugs.
+    pub fn checkpoint(&mut self, step: u64, vars: &[VarBytes]) -> io::Result<()> {
+        for (name, _) in vars {
+            if !self.protected.iter().any(|p| p == name) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("variable `{name}` was never protected"),
+                ));
+            }
+        }
+        let bytes = encode(step, vars);
+        self.commit(&self.cfg.dir.clone(), step, &bytes)?;
+        if let Some(m) = &self.cfg.mirror.clone() {
+            self.commit(m, step, &bytes)?;
+        }
+        self.checkpoints_written += 1;
+        self.prune()?;
+        Ok(())
+    }
+
+    fn commit(&mut self, dir: &Path, step: u64, bytes: &[u8]) -> io::Result<()> {
+        let final_path = Self::path_for(dir, step);
+        let tmp = final_path.with_extension("tmp");
+        fs::write(&tmp, bytes)?;
+        fs::rename(&tmp, &final_path)?;
+        self.bytes_written += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn list_steps(dir: &Path) -> io::Result<Vec<u64>> {
+        let mut steps = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(step) = name
+                .strip_prefix("ckpt_")
+                .and_then(|s| s.strip_suffix(".fti"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                steps.push(step);
+            }
+        }
+        steps.sort_unstable();
+        Ok(steps)
+    }
+
+    fn prune(&self) -> io::Result<()> {
+        for dir in std::iter::once(&self.cfg.dir).chain(self.cfg.mirror.iter()) {
+            let steps = Self::list_steps(dir)?;
+            if steps.len() > self.cfg.keep_last {
+                for step in &steps[..steps.len() - self.cfg.keep_last] {
+                    let _ = fs::remove_file(Self::path_for(dir, *step));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Recover the most recent valid checkpoint (FTI_Recover), falling back
+    /// to older ones when the newest is corrupt, and to the mirror when the
+    /// local directory has nothing valid. Returns `None` when no checkpoint
+    /// exists (fresh start).
+    pub fn recover(&self) -> io::Result<Option<Checkpoint>> {
+        for dir in std::iter::once(&self.cfg.dir).chain(self.cfg.mirror.iter()) {
+            let mut steps = Self::list_steps(dir)?;
+            steps.reverse();
+            for step in steps {
+                let bytes = match fs::read(Self::path_for(dir, step)) {
+                    Ok(b) => b,
+                    Err(_) => continue,
+                };
+                match decode(&bytes) {
+                    Ok((s, vars)) => return Ok(Some(Checkpoint { step: s, vars })),
+                    Err(_) => continue, // corrupt: fall back
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Remove every checkpoint (start an experiment from scratch).
+    pub fn wipe(&self) -> io::Result<()> {
+        for dir in std::iter::once(&self.cfg.dir).chain(self.cfg.mirror.iter()) {
+            for step in Self::list_steps(dir)? {
+                let _ = fs::remove_file(Self::path_for(dir, step));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "autocheck-fti-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn vars(step: u64) -> Vec<VarBytes> {
+        vec![
+            ("r".into(), (step as i64).to_le_bytes().to_vec()),
+            ("a".into(), vec![step as u8; 40]),
+        ]
+    }
+
+    #[test]
+    fn checkpoint_and_recover_latest() {
+        let dir = tmpdir("basic");
+        let mut fti = Fti::new(FtiConfig::local(&dir)).unwrap();
+        fti.protect("r");
+        fti.protect("a");
+        for step in 1..=3 {
+            fti.checkpoint(step, &vars(step)).unwrap();
+        }
+        let c = fti.recover().unwrap().expect("checkpoint exists");
+        assert_eq!(c.step, 3);
+        assert_eq!(c.var("r").unwrap(), 3i64.to_le_bytes());
+        assert_eq!(fti.checkpoints_written(), 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn retention_prunes_old_checkpoints() {
+        let dir = tmpdir("prune");
+        let mut fti = Fti::new(FtiConfig::local(&dir)).unwrap();
+        fti.protect("r");
+        fti.protect("a");
+        for step in 1..=5 {
+            fti.checkpoint(step, &vars(step)).unwrap();
+        }
+        let files: Vec<_> = fs::read_dir(&dir).unwrap().collect();
+        assert_eq!(files.len(), 2, "keep_last=2");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_latest_falls_back_to_previous() {
+        let dir = tmpdir("fallback");
+        let mut fti = Fti::new(FtiConfig::local(&dir)).unwrap();
+        fti.protect("r");
+        fti.protect("a");
+        fti.checkpoint(1, &vars(1)).unwrap();
+        fti.checkpoint(2, &vars(2)).unwrap();
+        // Corrupt the newest file.
+        let newest = Fti::path_for(&dir, 2);
+        let mut bytes = fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x55;
+        fs::write(&newest, bytes).unwrap();
+        let c = fti.recover().unwrap().expect("fallback checkpoint");
+        assert_eq!(c.step, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recover_on_empty_dir_is_none() {
+        let dir = tmpdir("empty");
+        let fti = Fti::new(FtiConfig::local(&dir)).unwrap();
+        assert_eq!(fti.recover().unwrap(), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unprotected_variable_is_rejected() {
+        let dir = tmpdir("reject");
+        let mut fti = Fti::new(FtiConfig::local(&dir)).unwrap();
+        fti.protect("r");
+        let err = fti
+            .checkpoint(1, &[("ghost".into(), vec![1])])
+            .unwrap_err();
+        assert!(err.to_string().contains("never protected"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mirror_receives_copies_and_serves_recovery() {
+        let dir = tmpdir("mirror-l1");
+        let mir = tmpdir("mirror-l2");
+        let mut fti = Fti::new(FtiConfig {
+            dir: dir.clone(),
+            keep_last: 2,
+            mirror: Some(mir.clone()),
+        })
+        .unwrap();
+        fti.protect("r");
+        fti.protect("a");
+        fti.checkpoint(1, &vars(1)).unwrap();
+        // Destroy the whole local directory: recovery uses the mirror.
+        fs::remove_dir_all(&dir).unwrap();
+        fs::create_dir_all(&dir).unwrap();
+        let c = fti.recover().unwrap().expect("mirror recovery");
+        assert_eq!(c.step, 1);
+        fs::remove_dir_all(&dir).unwrap();
+        fs::remove_dir_all(&mir).unwrap();
+    }
+
+    #[test]
+    fn wipe_clears_everything() {
+        let dir = tmpdir("wipe");
+        let mut fti = Fti::new(FtiConfig::local(&dir)).unwrap();
+        fti.protect("r");
+        fti.protect("a");
+        fti.checkpoint(1, &vars(1)).unwrap();
+        fti.wipe().unwrap();
+        assert_eq!(fti.recover().unwrap(), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

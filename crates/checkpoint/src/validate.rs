@@ -1,0 +1,253 @@
+//! The paper's §VI-B validation experiment, packaged.
+//!
+//! For a program and a protected-variable set:
+//!
+//! 1. run failure-free → reference output;
+//! 2. run with checkpointing and kill the execution at a chosen fraction of
+//!    the reference run's dynamic instruction count (the simulated
+//!    `raise(SIGTERM)`);
+//! 3. restart from the latest checkpoint and run to completion;
+//! 4. compare outputs bit-for-bit.
+//!
+//! A restart that matches proves the protected set *sufficient*; rerunning
+//! with one variable dropped and observing divergence proves that variable
+//! *necessary* (the paper's false-positive check).
+
+use crate::driver::CrDriver;
+use crate::fti::{Fti, FtiConfig};
+use autocheck_interp::{ExecError, ExecOptions, Machine, NoHook, NullSink};
+use autocheck_ir::Module;
+use std::io;
+use std::path::Path;
+
+/// What to protect and where the loop is.
+#[derive(Clone, Debug)]
+pub struct CrSpec {
+    /// Function containing the main loop.
+    pub region_fn: String,
+    /// Loop start line.
+    pub start_line: u32,
+    /// Loop end line.
+    pub end_line: u32,
+    /// Variables to protect (AutoCheck's critical set).
+    pub protected: Vec<String>,
+}
+
+/// Result of one kill/restart experiment.
+#[derive(Clone, Debug)]
+pub struct ValidationOutcome {
+    /// Output of the failure-free run.
+    pub reference: Vec<String>,
+    /// Output of the killed-then-restarted run.
+    pub restart_output: Vec<String>,
+    /// True when the restarted run's output is the tail of the reference
+    /// output (everything from the recovered iteration onward matches
+    /// bit-for-bit).
+    pub matches: bool,
+    /// Dynamic instruction at which the failure was injected.
+    pub failure_dyn_id: u64,
+    /// Step recovered from (None = no checkpoint had been written yet).
+    pub recovered_step: Option<u64>,
+    /// Size in bytes of one FTI checkpoint of the protected set.
+    pub checkpoint_bytes: u64,
+    /// Iterations the reference run performed (from the interrupted run's
+    /// driver; informational).
+    pub iterations_before_failure: u64,
+}
+
+/// Run the full kill/restart/compare experiment.
+///
+/// `fail_fraction` ∈ (0, 1) chooses the failure point as a fraction of the
+/// failure-free run's dynamic instruction count.
+pub fn validate_restart(
+    module: &Module,
+    spec: &CrSpec,
+    ckpt_dir: &Path,
+    fail_fraction: f64,
+) -> io::Result<ValidationOutcome> {
+    // 1. Reference run.
+    let reference = {
+        let mut m = Machine::new(module, ExecOptions::default());
+        m.run(&mut NullSink, &mut NoHook)
+            .map_err(|e| io::Error::other(format!("reference run failed: {e}")))?
+    };
+    let fail_at = ((reference.steps as f64) * fail_fraction).max(1.0) as u64;
+
+    // 2. Checkpointed run, killed at `fail_at`.
+    let mut fti = Fti::new(FtiConfig::local(ckpt_dir))?;
+    fti.wipe()?;
+    for name in &spec.protected {
+        fti.protect(name);
+    }
+    let iterations_before_failure;
+    let checkpoint_bytes;
+    {
+        let mut driver = CrDriver::new(&mut fti, &spec.region_fn, spec.start_line, spec.end_line)?;
+        let mut machine = Machine::new(
+            module,
+            ExecOptions {
+                fail_after: Some(fail_at),
+                ..ExecOptions::default()
+            },
+        );
+        match machine.run(&mut NullSink, &mut driver) {
+            Err(ExecError::Interrupted { .. }) => {}
+            Err(e) => return Err(io::Error::other(format!("killed run failed oddly: {e}"))),
+            Ok(_) => {
+                return Err(io::Error::other(
+                    "failure point beyond program end; lower fail_fraction",
+                ))
+            }
+        }
+        if let Some(e) = driver.error.take() {
+            return Err(e);
+        }
+        iterations_before_failure = driver.iterations_seen();
+        checkpoint_bytes = driver.last_checkpoint_bytes;
+    }
+
+    // 3. Restart.
+    let mut driver = CrDriver::new(&mut fti, &spec.region_fn, spec.start_line, spec.end_line)?;
+    let recovered_step = match driver.mode {
+        crate::driver::DriverMode::Recovered { step } => Some(step),
+        crate::driver::DriverMode::Fresh => None,
+    };
+    let mut machine = Machine::new(module, ExecOptions::default());
+    let restarted = machine
+        .run(&mut NullSink, &mut driver)
+        .map_err(|e| io::Error::other(format!("restart run failed: {e}")))?;
+    if let Some(e) = driver.error.take() {
+        return Err(e);
+    }
+
+    // 4. Compare. The restarted run reproduces execution from the
+    // recovered iteration onward, so its output must equal the *tail* of
+    // the failure-free output (per-iteration prints from earlier, completed
+    // iterations belong to the killed run's log). A fresh restart (no
+    // checkpoint yet) reproduces the full output, which is trivially its
+    // own tail.
+    let matches = !restarted.output.is_empty()
+        && reference.output.ends_with(&restarted.output);
+    Ok(ValidationOutcome {
+        reference: reference.output,
+        restart_output: restarted.output,
+        matches,
+        failure_dyn_id: fail_at,
+        recovered_step,
+        checkpoint_bytes,
+        iterations_before_failure,
+    })
+}
+
+/// The false-positive check: validate with `drop` removed from the
+/// protected set. For a genuinely critical variable the restart must
+/// diverge (`matches == false`).
+pub fn validate_with_dropped(
+    module: &Module,
+    spec: &CrSpec,
+    drop: &str,
+    ckpt_dir: &Path,
+    fail_fraction: f64,
+) -> io::Result<ValidationOutcome> {
+    let reduced = CrSpec {
+        protected: spec
+            .protected
+            .iter()
+            .filter(|p| *p != drop)
+            .cloned()
+            .collect(),
+        ..spec.clone()
+    };
+    validate_restart(module, &reduced, ckpt_dir, fail_fraction)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    /// A two-variable kernel: `acc` (WAR) and `hist` (RAPO-style partial
+    /// writes), with an Outcome print after the loop. Loop lines 5..=8.
+    const PROG: &str = "\
+int main() {
+    int acc = 0;
+    int hist[8];
+    for (int i = 0; i < 8; i = i + 1) { hist[i] = 1; }
+    for (int it = 0; it < 8; it = it + 1) {
+        hist[it] = hist[it] + acc;
+        acc = acc + it + 1;
+    }
+    for (int i = 0; i < 8; i = i + 1) { print(hist[i]); }
+    print(acc);
+    return 0;
+}
+";
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "autocheck-validate-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn spec() -> CrSpec {
+        CrSpec {
+            region_fn: "main".into(),
+            start_line: 5,
+            end_line: 8,
+            protected: vec!["acc".into(), "hist".into(), "it".into()],
+        }
+    }
+
+    #[test]
+    fn full_protection_restores_exactly() {
+        let dir = tmpdir("full");
+        let module = autocheck_minilang::compile(PROG).unwrap();
+        let out = validate_restart(&module, &spec(), &dir, 0.6).unwrap();
+        assert!(out.matches, "restart must reproduce the reference output");
+        assert!(out.recovered_step.is_some());
+        assert!(out.checkpoint_bytes > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn multiple_failure_points_all_recover() {
+        let dir = tmpdir("sweep");
+        let module = autocheck_minilang::compile(PROG).unwrap();
+        for frac in [0.3, 0.5, 0.7, 0.9] {
+            let out = validate_restart(&module, &spec(), &dir, frac).unwrap();
+            assert!(out.matches, "failure at {frac} must recover");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dropping_war_variable_diverges() {
+        let dir = tmpdir("drop-acc");
+        let module = autocheck_minilang::compile(PROG).unwrap();
+        let out = validate_with_dropped(&module, &spec(), "acc", &dir, 0.6).unwrap();
+        assert!(!out.matches);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dropping_index_variable_diverges() {
+        let dir = tmpdir("drop-it");
+        let module = autocheck_minilang::compile(PROG).unwrap();
+        let out = validate_with_dropped(&module, &spec(), "it", &dir, 0.6).unwrap();
+        assert!(!out.matches, "without `it` the loop restarts from 0");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn early_failure_before_any_checkpoint_restarts_fresh() {
+        let dir = tmpdir("early");
+        let module = autocheck_minilang::compile(PROG).unwrap();
+        // Fail extremely early: before the loop's first sync-point write.
+        let out = validate_restart(&module, &spec(), &dir, 0.01).unwrap();
+        assert!(out.matches, "fresh restart still yields correct output");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests for the checkpoint stack: format round-trips, corruption
+//! detection, CRC streaming, and recovery-equals-uninterrupted-execution
+//! for random failure points.
+
+use autocheck_checkpoint::crc::{crc64, Crc64};
+use autocheck_checkpoint::format::{decode, encode, VarBytes};
+use autocheck_checkpoint::validate::{validate_restart, CrSpec};
+use proptest::prelude::*;
+
+fn arb_vars() -> impl Strategy<Value = Vec<VarBytes>> {
+    proptest::collection::vec(
+        (
+            "[a-z][a-z0-9_]{0,10}",
+            proptest::collection::vec(any::<u8>(), 0..200),
+        ),
+        0..8,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn format_round_trips(step in any::<u64>(), vars in arb_vars()) {
+        let enc = encode(step, &vars);
+        let (s, v) = decode(&enc).unwrap();
+        prop_assert_eq!(s, step);
+        prop_assert_eq!(v, vars);
+    }
+
+    #[test]
+    fn single_byte_corruption_is_always_detected(
+        step in any::<u64>(),
+        vars in arb_vars(),
+        pos_seed in any::<usize>(),
+        flip in 1u8..=255,
+    ) {
+        let mut enc = encode(step, &vars);
+        let pos = pos_seed % enc.len();
+        enc[pos] ^= flip;
+        prop_assert!(decode(&enc).is_err(), "corruption at byte {} missed", pos);
+    }
+
+    #[test]
+    fn truncation_is_always_detected(step in any::<u64>(), vars in arb_vars(), cut in 1usize..64) {
+        let enc = encode(step, &vars);
+        let keep = enc.len().saturating_sub(cut);
+        if keep < enc.len() {
+            prop_assert!(decode(&enc[..keep]).is_err());
+        }
+    }
+
+    #[test]
+    fn crc_streaming_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..512), split_seed in any::<usize>()) {
+        let split = if data.is_empty() { 0 } else { split_seed % data.len() };
+        let mut c = Crc64::new();
+        c.update(&data[..split]);
+        c.update(&data[split..]);
+        prop_assert_eq!(c.finish(), crc64(&data));
+    }
+}
+
+proptest! {
+    // The full kill/restart cycle is expensive (three interpreter runs per
+    // case); keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For *any* failure point in (2%, 95%) of the run, restarting from the
+    /// latest checkpoint reproduces the failure-free output tail.
+    #[test]
+    fn recovery_equals_uninterrupted_execution(frac in 0.02f64..0.95) {
+        const PROG: &str = "\
+int main() {
+    int acc = 0;
+    int hist[8];
+    for (int i = 0; i < 8; i = i + 1) { hist[i] = 1; }
+    for (int it = 0; it < 8; it = it + 1) {
+        hist[it] = hist[it] + acc;
+        acc = acc + it + 1;
+    }
+    for (int i = 0; i < 8; i = i + 1) { print(hist[i]); }
+    print(acc);
+    return 0;
+}
+";
+        let module = autocheck_minilang::compile(PROG).unwrap();
+        let dir = std::env::temp_dir().join(format!(
+            "autocheck-prop-cr-{}-{}",
+            std::process::id(),
+            (frac * 1e6) as u64
+        ));
+        let spec = CrSpec {
+            region_fn: "main".into(),
+            start_line: 5,
+            end_line: 8,
+            protected: vec!["acc".into(), "hist".into(), "it".into()],
+        };
+        let out = validate_restart(&module, &spec, &dir, frac).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        prop_assert!(out.matches, "failure at {:.3} did not recover", frac);
+    }
+}

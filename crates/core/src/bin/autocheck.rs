@@ -1,0 +1,144 @@
+//! The AutoCheck command-line tool — the interface described in the
+//! paper's §VII "Use of AutoCheck".
+//!
+//! Inputs: (1) a dynamic execution trace file, (2) the main computation
+//! loop's function and start/end line numbers, and optionally (3) the
+//! loop's index variables (the paper gets them from an LLVM loop pass; the
+//! `mlc` tool prints them for MiniLang programs). Output: the variables to
+//! checkpoint, each with its dependency type and location.
+//!
+//! ```text
+//! autocheck <trace-file> --function main --start 13 --end 21 \
+//!     [--index it,step] [--threads N] [--dot out.dot] [--collect arithmetic]
+//! ```
+
+use autocheck_core::{
+    contract_ddg, Analyzer, CollectMode, DdgAnalysis, NodeKind, Phases, PipelineConfig, Region,
+};
+use std::process::ExitCode;
+
+struct Args {
+    trace: String,
+    function: String,
+    start: u32,
+    end: u32,
+    index: Vec<String>,
+    threads: usize,
+    dot: Option<String>,
+    collect: CollectMode,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: autocheck <trace-file> --function <name> --start <line> --end <line>\n\
+         \x20                [--index v1,v2] [--threads N] [--dot <file>] [--collect any|arithmetic]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = std::env::args().skip(1);
+    let mut trace = None;
+    let mut function = "main".to_string();
+    let (mut start, mut end) = (0u32, 0u32);
+    let mut index = Vec::new();
+    let mut threads = 1usize;
+    let mut dot = None;
+    let mut collect = CollectMode::AnyAccess;
+    while let Some(a) = args.next() {
+        let mut take = || args.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--function" | "-f" => function = take(),
+            "--start" | "-s" => start = take().parse().unwrap_or_else(|_| usage()),
+            "--end" | "-e" => end = take().parse().unwrap_or_else(|_| usage()),
+            "--index" | "-i" => {
+                index = take().split(',').map(|s| s.trim().to_string()).collect()
+            }
+            "--threads" | "-t" => threads = take().parse().unwrap_or_else(|_| usage()),
+            "--dot" => dot = Some(take()),
+            "--collect" => {
+                collect = match take().as_str() {
+                    "any" => CollectMode::AnyAccess,
+                    "arithmetic" => CollectMode::Arithmetic,
+                    _ => usage(),
+                }
+            }
+            "--help" | "-h" => usage(),
+            other if trace.is_none() && !other.starts_with('-') => trace = Some(a),
+            _ => usage(),
+        }
+    }
+    let Some(trace) = trace else { usage() };
+    if start == 0 || end < start {
+        eprintln!("error: --start/--end are required and must satisfy start <= end");
+        std::process::exit(2);
+    }
+    Args {
+        trace,
+        function,
+        start,
+        end,
+        index,
+        threads,
+        dot,
+        collect,
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let text = match std::fs::read_to_string(&args.trace) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read `{}`: {e}", args.trace);
+            return ExitCode::FAILURE;
+        }
+    };
+    let region = Region::new(args.function.clone(), args.start, args.end);
+    let analyzer = Analyzer::new(region.clone())
+        .with_index_vars(args.index.clone())
+        .with_config(PipelineConfig {
+            parse_threads: args.threads,
+            collect: args.collect,
+            ..PipelineConfig::default()
+        });
+    let report = match analyzer.analyze_text(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{report}");
+    println!(
+        "timings: preprocess {:.3?}, dependency {:.3?}, identify {:.3?} (total {:.3?})",
+        report.timings.preprocess,
+        report.timings.dependency,
+        report.timings.identify,
+        report.timings.total()
+    );
+
+    if let Some(dot_path) = &args.dot {
+        // Re-run the dependency stage to export the contracted DDG.
+        let records = match autocheck_trace::parse_str(&text) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let phases = Phases::compute(&records, &region);
+        let analysis = DdgAnalysis::run(&records, &phases, &report.mli, true);
+        let bases: std::collections::HashSet<u64> =
+            report.mli.iter().map(|m| m.base_addr).collect();
+        let contracted = contract_ddg(&analysis.graph, |n| {
+            matches!(n, NodeKind::Var { base, .. } if bases.contains(base))
+        });
+        if let Err(e) = std::fs::write(dot_path, contracted.to_dot()) {
+            eprintln!("error: cannot write `{dot_path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("contracted DDG written to {dot_path}");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,347 @@
+//! Identification of critical variables — the paper's §IV-C heuristics.
+//!
+//! Consumes the time-ordered R/W event sequence and labels every MLI
+//! variable (Fig. 7):
+//!
+//! * **WAR** — the variable is written in the loop and some element's
+//!   *first access within an iteration is a read*: its value carries across
+//!   iterations, so a restart without it replays stale data. This covers
+//!   scalars (`r` in the worked example, accumulators like EP's `sx`) and
+//!   fully-rewritten-after-read arrays (`u` in BT/SP/LU).
+//! * **RAPO** — a carried *array* whose writes never cover the whole
+//!   observed footprint in any iteration: the untouched elements cannot be
+//!   reconstructed (IS's `key_array`).
+//! * **Outcome** — written in the loop, read after it, not carried (FT's
+//!   `sum`).
+//! * **Index** — the loop's control variables, supplied by the IR loop pass
+//!   (the paper's llvm-pass-loop API); they take precedence over the other
+//!   labels, matching the paper's miniAMR row where the loop-steering flag
+//!   `done` is reported as Index.
+//!
+//! Non-critical MLI variables are reported with a [`SkipReason`], mirroring
+//! the paper's CG case study (`z, p, q, r, A` need no checkpoint).
+
+use crate::ddg::{RwEvent, RwKind};
+use crate::preprocess::MliVar;
+use crate::region::Phase;
+use crate::report::{CriticalVariable, DepType, SkipReason};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Classification inputs beyond the event stream.
+#[derive(Clone, Debug, Default)]
+pub struct ClassifyConfig {
+    /// Names of the outermost loop's induction/control variables.
+    pub index_vars: Vec<String>,
+    /// The loop's start line (reported as the Index variables' location).
+    pub region_start: u32,
+}
+
+/// Classify MLI variables into critical/skipped sets.
+pub fn classify(
+    mli: &[MliVar],
+    events: &[RwEvent],
+    cfg: &ClassifyConfig,
+) -> (Vec<CriticalVariable>, Vec<(Arc<str>, SkipReason)>) {
+    let mut by_base: HashMap<u64, Vec<&RwEvent>> = HashMap::new();
+    for e in events {
+        by_base.entry(e.base).or_default().push(e);
+    }
+
+    let index_set: HashSet<&str> = cfg.index_vars.iter().map(|s| s.as_str()).collect();
+    let mut critical = Vec::new();
+    let mut skipped = Vec::new();
+
+    for var in mli {
+        if index_set.contains(&*var.name) {
+            // Handled below: Index takes precedence.
+            continue;
+        }
+        let evs = by_base.get(&var.base_addr).map(Vec::as_slice).unwrap_or(&[]);
+        match classify_one(var, evs) {
+            Ok(dep) => critical.push(CriticalVariable {
+                name: var.name.clone(),
+                dep,
+                first_line: var.first_line,
+                base_addr: var.base_addr,
+                size: var.size,
+            }),
+            Err(reason) => skipped.push((var.name.clone(), reason)),
+        }
+    }
+
+    // Index variables: always checkpointed (paper: "we also do checkpoint
+    // to the induction variables of the main computation loop").
+    for name in &cfg.index_vars {
+        let (base, size, line) = mli
+            .iter()
+            .find(|m| &*m.name == name)
+            .map(|m| (m.base_addr, m.size, m.first_line))
+            .unwrap_or((0, 8, cfg.region_start));
+        critical.push(CriticalVariable {
+            name: Arc::from(name.as_str()),
+            dep: DepType::Index,
+            first_line: line,
+            base_addr: base,
+            size,
+        });
+    }
+
+    critical.sort_by(|a, b| a.name.cmp(&b.name));
+    skipped.sort_by(|a, b| a.0.cmp(&b.0));
+    (critical, skipped)
+}
+
+fn classify_one(var: &MliVar, evs: &[&RwEvent]) -> Result<DepType, SkipReason> {
+    let loop_events: Vec<&&RwEvent> = evs.iter().filter(|e| e.phase == Phase::Inside).collect();
+    let read_after_loop = evs
+        .iter()
+        .any(|e| e.phase == Phase::After && e.kind == RwKind::Read);
+
+    let written_in_loop = loop_events.iter().any(|e| e.kind == RwKind::Write);
+    if !written_in_loop {
+        // Re-created by the pre-loop code on restart; no checkpoint needed
+        // (the matrix A in the paper's CG case study).
+        return Err(SkipReason::ReadOnlyInLoop);
+    }
+
+    // First access per (iteration, element), in time order, plus the set
+    // of elements each iteration writes at all.
+    let mut first_access: HashMap<(u32, u64), RwKind> = HashMap::new();
+    let mut writes_per_iter: HashMap<u32, HashSet<u64>> = HashMap::new();
+    let mut reads_per_iter: HashMap<u32, HashSet<u64>> = HashMap::new();
+    let mut footprint: HashSet<u64> = HashSet::new();
+    for e in &loop_events {
+        footprint.insert(e.elem);
+        first_access.entry((e.iter, e.elem)).or_insert(e.kind);
+        match e.kind {
+            RwKind::Write => {
+                writes_per_iter.entry(e.iter).or_default().insert(e.elem);
+            }
+            RwKind::Read => {
+                reads_per_iter.entry(e.iter).or_default().insert(e.elem);
+            }
+        }
+    }
+
+    let carried = first_access.values().any(|k| *k == RwKind::Read);
+    if carried {
+        let is_array = footprint.len() > 1 || var.size > 8;
+        if is_array {
+            // RAPO: some iteration reads an element it never writes (a
+            // *stale* read) — "elements that were not involved in the
+            // overwriting cannot be recovered". Read-modify-write patterns
+            // (EP's histogram `q`) touch only elements they rewrite and are
+            // plain WAR; scatter-writes + full scans (IS's `key_array`, the
+            // worked example's `a`) are RAPO.
+            let empty = HashSet::new();
+            let stale_read = reads_per_iter.iter().any(|(iter, reads)| {
+                let written = writes_per_iter.get(iter).unwrap_or(&empty);
+                !reads.is_subset(written)
+            });
+            if stale_read {
+                return Ok(DepType::Rapo);
+            }
+        }
+        return Ok(DepType::War);
+    }
+
+    if read_after_loop {
+        return Ok(DepType::Outcome);
+    }
+
+    if loop_events.iter().any(|e| e.kind == RwKind::Read) {
+        Err(SkipReason::RewrittenBeforeRead)
+    } else {
+        Err(SkipReason::DeadAfterLoop)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(name: &str, base: u64, size: u64) -> MliVar {
+        MliVar {
+            name: Arc::from(name),
+            base_addr: base,
+            size,
+            first_line: 2,
+        }
+    }
+
+    fn ev(base: u64, elem: u64, kind: RwKind, dyn_id: u64, iter: u32, phase: Phase) -> RwEvent {
+        RwEvent {
+            base,
+            elem,
+            kind,
+            dyn_id,
+            iter,
+            phase,
+            line: 10,
+        }
+    }
+
+    fn run(
+        mli: &[MliVar],
+        events: &[RwEvent],
+        index: &[&str],
+    ) -> (Vec<CriticalVariable>, Vec<(Arc<str>, SkipReason)>) {
+        classify(
+            mli,
+            events,
+            &ClassifyConfig {
+                index_vars: index.iter().map(|s| s.to_string()).collect(),
+                region_start: 13,
+            },
+        )
+    }
+
+    #[test]
+    fn scalar_read_then_written_is_war() {
+        // r: each iteration reads then writes (r = r + 1).
+        let mli = [var("r", 0x10, 8)];
+        let events = [
+            ev(0x10, 0x10, RwKind::Read, 1, 0, Phase::Inside),
+            ev(0x10, 0x10, RwKind::Write, 2, 0, Phase::Inside),
+            ev(0x10, 0x10, RwKind::Read, 3, 1, Phase::Inside),
+            ev(0x10, 0x10, RwKind::Write, 4, 1, Phase::Inside),
+        ];
+        let (crit, _) = run(&mli, &events, &[]);
+        assert_eq!(crit.len(), 1);
+        assert_eq!(crit[0].dep, DepType::War);
+    }
+
+    #[test]
+    fn scalar_rewritten_first_is_skipped() {
+        // s: written at the top of each iteration, then read.
+        let mli = [var("s", 0x10, 8)];
+        let events = [
+            ev(0x10, 0x10, RwKind::Write, 1, 0, Phase::Inside),
+            ev(0x10, 0x10, RwKind::Read, 2, 0, Phase::Inside),
+            ev(0x10, 0x10, RwKind::Write, 3, 1, Phase::Inside),
+            ev(0x10, 0x10, RwKind::Read, 4, 1, Phase::Inside),
+        ];
+        let (crit, skipped) = run(&mli, &events, &[]);
+        assert!(crit.is_empty());
+        assert_eq!(skipped[0].1, SkipReason::RewrittenBeforeRead);
+    }
+
+    #[test]
+    fn outcome_detected_from_after_loop_read() {
+        // sum: written fresh each iteration, read after the loop.
+        let mli = [var("sum", 0x10, 8)];
+        let events = [
+            ev(0x10, 0x10, RwKind::Write, 1, 0, Phase::Inside),
+            ev(0x10, 0x10, RwKind::Write, 2, 1, Phase::Inside),
+            ev(0x10, 0x10, RwKind::Read, 9, 1, Phase::After),
+        ];
+        let (crit, _) = run(&mli, &events, &[]);
+        assert_eq!(crit[0].dep, DepType::Outcome);
+    }
+
+    #[test]
+    fn carried_scalar_that_is_also_outcome_reports_war() {
+        // Accumulator read after the loop: WAR wins (it implies the
+        // stronger requirement).
+        let mli = [var("acc", 0x10, 8)];
+        let events = [
+            ev(0x10, 0x10, RwKind::Read, 1, 0, Phase::Inside),
+            ev(0x10, 0x10, RwKind::Write, 2, 0, Phase::Inside),
+            ev(0x10, 0x10, RwKind::Read, 9, 0, Phase::After),
+        ];
+        let (crit, _) = run(&mli, &events, &[]);
+        assert_eq!(crit[0].dep, DepType::War);
+    }
+
+    #[test]
+    fn partially_overwritten_array_is_rapo() {
+        // a[2]: iteration i writes a[i] then reads both elements — the
+        // worked example's `a`.
+        let mli = [var("a", 0x100, 16)];
+        let events = [
+            ev(0x100, 0x100, RwKind::Write, 1, 0, Phase::Inside),
+            ev(0x100, 0x100, RwKind::Read, 2, 0, Phase::Inside),
+            ev(0x100, 0x108, RwKind::Read, 3, 0, Phase::Inside),
+            ev(0x100, 0x108, RwKind::Write, 4, 1, Phase::Inside),
+            ev(0x100, 0x100, RwKind::Read, 5, 1, Phase::Inside),
+            ev(0x100, 0x108, RwKind::Read, 6, 1, Phase::Inside),
+        ];
+        let (crit, _) = run(&mli, &events, &[]);
+        assert_eq!(crit[0].dep, DepType::Rapo);
+    }
+
+    #[test]
+    fn fully_rewritten_array_after_read_is_war() {
+        // u[2]: read fully, then written fully, each iteration (BT's `u`).
+        let mli = [var("u", 0x100, 16)];
+        let events = [
+            ev(0x100, 0x100, RwKind::Read, 1, 0, Phase::Inside),
+            ev(0x100, 0x108, RwKind::Read, 2, 0, Phase::Inside),
+            ev(0x100, 0x100, RwKind::Write, 3, 0, Phase::Inside),
+            ev(0x100, 0x108, RwKind::Write, 4, 0, Phase::Inside),
+        ];
+        let (crit, _) = run(&mli, &events, &[]);
+        assert_eq!(crit[0].dep, DepType::War);
+    }
+
+    #[test]
+    fn array_fully_written_before_read_is_skipped() {
+        // b: foo writes every element, then elements are read.
+        let mli = [var("b", 0x100, 16)];
+        let events = [
+            ev(0x100, 0x100, RwKind::Write, 1, 0, Phase::Inside),
+            ev(0x100, 0x108, RwKind::Write, 2, 0, Phase::Inside),
+            ev(0x100, 0x100, RwKind::Read, 3, 0, Phase::Inside),
+            ev(0x100, 0x108, RwKind::Read, 4, 0, Phase::Inside),
+        ];
+        let (crit, skipped) = run(&mli, &events, &[]);
+        assert!(crit.is_empty());
+        assert_eq!(skipped[0].1, SkipReason::RewrittenBeforeRead);
+    }
+
+    #[test]
+    fn read_only_variable_is_skipped() {
+        let mli = [var("A", 0x100, 64)];
+        let events = [
+            ev(0x100, 0x100, RwKind::Read, 1, 0, Phase::Inside),
+            ev(0x100, 0x108, RwKind::Read, 2, 1, Phase::Inside),
+        ];
+        let (crit, skipped) = run(&mli, &events, &[]);
+        assert!(crit.is_empty());
+        assert_eq!(skipped[0].1, SkipReason::ReadOnlyInLoop);
+    }
+
+    #[test]
+    fn index_variables_always_reported() {
+        let (crit, _) = run(&[], &[], &["it"]);
+        assert_eq!(crit.len(), 1);
+        assert_eq!(crit[0].dep, DepType::Index);
+        assert_eq!(&*crit[0].name, "it");
+        assert_eq!(crit[0].first_line, 13);
+    }
+
+    #[test]
+    fn index_takes_precedence_over_war() {
+        // `done` would classify WAR (read in the condition, written in the
+        // body) but the loop pass reports it as a control variable — the
+        // paper's miniAMR lists it as Index.
+        let mli = [var("done", 0x10, 8)];
+        let events = [
+            ev(0x10, 0x10, RwKind::Read, 1, 0, Phase::Inside),
+            ev(0x10, 0x10, RwKind::Write, 2, 0, Phase::Inside),
+        ];
+        let (crit, _) = run(&mli, &events, &["done"]);
+        assert_eq!(crit.len(), 1);
+        assert_eq!(crit[0].dep, DepType::Index);
+    }
+
+    #[test]
+    fn written_but_never_read_is_dead() {
+        let mli = [var("dbg", 0x10, 8)];
+        let events = [ev(0x10, 0x10, RwKind::Write, 1, 0, Phase::Inside)];
+        let (crit, skipped) = run(&mli, &events, &[]);
+        assert!(crit.is_empty());
+        assert_eq!(skipped[0].1, SkipReason::DeadAfterLoop);
+    }
+}

@@ -1,0 +1,234 @@
+//! DDG contraction — the paper's Algorithm 1.
+//!
+//! The complete DDG contains MLI variables, local variables, and temporary
+//! registers. Contraction replaces every non-MLI parent of an MLI variable
+//! with that parent's own parents, repeatedly, until all remaining parents
+//! are MLI variables or terminal (parentless) vertices; terminal non-MLI
+//! parents are retained with their dependency (the paper keeps `it` in
+//! Fig. 5(d)). The result is a graph whose edges connect MLI variables
+//! (almost) directly — e.g. `a → sum`, `b → sum` for the worked example.
+
+use crate::ddg::{DepGraph, NodeKind};
+use std::collections::{BTreeSet, HashSet};
+
+/// A contracted dependency graph over MLI variables (plus retained terminal
+/// vertices).
+#[derive(Clone, Debug, Default)]
+pub struct ContractedDdg {
+    /// Nodes, indexed as in the result edges.
+    pub nodes: Vec<NodeKind>,
+    /// Edges `parent → child`.
+    pub edges: BTreeSet<(usize, usize)>,
+}
+
+impl ContractedDdg {
+    /// Parents of node `n`.
+    pub fn parents_of(&self, n: usize) -> impl Iterator<Item = usize> + '_ {
+        self.edges
+            .iter()
+            .filter(move |(_, c)| *c == n)
+            .map(|(p, _)| *p)
+    }
+
+    /// Find a node by label.
+    pub fn find_label(&self, label: &str) -> Option<usize> {
+        self.nodes.iter().position(|n| n.label() == label)
+    }
+
+    /// Render as Graphviz DOT.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::from("digraph contracted {\n");
+        for (i, n) in self.nodes.iter().enumerate() {
+            let _ = writeln!(s, "  n{i} [label=\"{}\"];", n.label());
+        }
+        for (p, c) in &self.edges {
+            let _ = writeln!(s, "  n{p} -> n{c};");
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Contract `graph` onto the MLI variables selected by `is_mli`.
+///
+/// Implements Algorithm 1: for every MLI vertex, walk its parent set,
+/// expanding non-MLI parents into *their* parents transitively (cycle-safe
+/// via a visited set); non-MLI parents that turn out parentless are
+/// retained as terminal vertices ("contract np while retaining its
+/// dependency with n").
+pub fn contract_ddg(graph: &DepGraph, is_mli: impl Fn(&NodeKind) -> bool) -> ContractedDdg {
+    let mli_ids: Vec<usize> = (0..graph.len())
+        .filter(|&i| is_mli(&graph.nodes[i]))
+        .collect();
+    let mli_set: HashSet<usize> = mli_ids.iter().copied().collect();
+
+    let mut out = ContractedDdg::default();
+    // Intern MLI nodes first so they are present even if isolated.
+    let mut out_index: Vec<Option<usize>> = vec![None; graph.len()];
+    let intern = |out: &mut ContractedDdg, out_index: &mut Vec<Option<usize>>, n: usize,
+                      graph: &DepGraph| {
+        if let Some(i) = out_index[n] {
+            return i;
+        }
+        let i = out.nodes.len();
+        out.nodes.push(graph.nodes[n].clone());
+        out_index[n] = Some(i);
+        i
+    };
+    for &n in &mli_ids {
+        intern(&mut out, &mut out_index, n, graph);
+    }
+
+    for &n in &mli_ids {
+        // Expand the parent closure of `n` up to MLI/terminal vertices.
+        let mut visited: HashSet<usize> = HashSet::new();
+        let mut stack: Vec<usize> = graph.parents_of(n).collect();
+        let mut final_parents: BTreeSet<usize> = BTreeSet::new();
+        while let Some(p) = stack.pop() {
+            if p == n || !visited.insert(p) {
+                continue;
+            }
+            if mli_set.contains(&p) {
+                final_parents.insert(p);
+                continue;
+            }
+            let mut had_parent = false;
+            for gp in graph.parents_of(p) {
+                had_parent = true;
+                stack.push(gp);
+            }
+            if !had_parent {
+                // Terminal non-MLI vertex: retained (Algorithm 1 line 10).
+                final_parents.insert(p);
+            }
+        }
+        let child = intern(&mut out, &mut out_index, n, graph);
+        for p in final_parents {
+            let parent = intern(&mut out, &mut out_index, p, graph);
+            out.edges.insert((parent, child));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// Build the paper's Fig. 5(c) complete DDG for `sum`:
+    /// a → 10 → 12 → m → 13 → sum, b → 11 → 12.
+    fn fig5c() -> DepGraph {
+        let mut g = DepGraph::default();
+        let a = g.var_node(Arc::from("a"), 0x100);
+        let b = g.var_node(Arc::from("b"), 0x200);
+        let sum = g.var_node(Arc::from("sum"), 0x300);
+        let m = g.var_node(Arc::from("m"), 0x400); // local variable
+        let t10 = g.reg_node(autocheck_trace::Name::Temp(10));
+        let t11 = g.reg_node(autocheck_trace::Name::Temp(11));
+        let t12 = g.reg_node(autocheck_trace::Name::Temp(12));
+        let t13 = g.reg_node(autocheck_trace::Name::Temp(13));
+        g.add_edge(a, t10);
+        g.add_edge(b, t11);
+        g.add_edge(t10, t12);
+        g.add_edge(t11, t12);
+        g.add_edge(t12, m);
+        g.add_edge(m, t13);
+        g.add_edge(t13, sum);
+        g
+    }
+
+    fn mli_names<'a>(names: &'a [&'a str]) -> impl Fn(&NodeKind) -> bool + 'a {
+        move |n| matches!(n, NodeKind::Var { name, .. } if names.contains(&&**name))
+    }
+
+    #[test]
+    fn contracts_fig5c_to_fig5d() {
+        let g = fig5c();
+        let c = contract_ddg(&g, mli_names(&["a", "b", "sum"]));
+        let a = c.find_label("a").unwrap();
+        let b = c.find_label("b").unwrap();
+        let sum = c.find_label("sum").unwrap();
+        // The chain a→10→12→m→13→sum collapses to a→sum; likewise b→sum.
+        assert!(c.edges.contains(&(a, sum)));
+        assert!(c.edges.contains(&(b, sum)));
+        // No register or local-variable nodes survive on sum's parents.
+        let parents: Vec<_> = c.parents_of(sum).collect();
+        assert_eq!(parents.len(), 2);
+        assert!(c.find_label("m").is_none());
+        assert!(c.find_label("12").is_none());
+    }
+
+    #[test]
+    fn terminal_non_mli_parents_are_retained() {
+        // it → 1 → s  with s MLI: `it` has no parents, so it is kept —
+        // matching Fig. 5(d), where `it` still points at `s`.
+        let mut g = DepGraph::default();
+        let it = g.var_node(Arc::from("it"), 0x10);
+        let t1 = g.reg_node(autocheck_trace::Name::Temp(1));
+        let s = g.var_node(Arc::from("s"), 0x20);
+        g.add_edge(it, t1);
+        g.add_edge(t1, s);
+        let c = contract_ddg(&g, mli_names(&["s"]));
+        let it_c = c.find_label("it").expect("terminal `it` retained");
+        let s_c = c.find_label("s").unwrap();
+        assert!(c.edges.contains(&(it_c, s_c)));
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        // r → 3 → 4 → r (self-feedback through temps, as in r = r + 1).
+        let mut g = DepGraph::default();
+        let r = g.var_node(Arc::from("r"), 0x10);
+        let t3 = g.reg_node(autocheck_trace::Name::Temp(3));
+        let t4 = g.reg_node(autocheck_trace::Name::Temp(4));
+        g.add_edge(r, t3);
+        g.add_edge(t3, t4);
+        g.add_edge(t4, r);
+        let c = contract_ddg(&g, mli_names(&["r"]));
+        let r_c = c.find_label("r").unwrap();
+        // Self-dependency r → r collapses away (p == n is skipped), leaving
+        // r isolated but present.
+        assert!(c.nodes.len() == 1);
+        assert!(!c.edges.contains(&(r_c, r_c)));
+    }
+
+    #[test]
+    fn isolated_mli_variables_survive() {
+        let mut g = DepGraph::default();
+        g.var_node(Arc::from("x"), 0x10);
+        let c = contract_ddg(&g, mli_names(&["x"]));
+        assert_eq!(c.nodes.len(), 1);
+        assert!(c.edges.is_empty());
+    }
+
+    #[test]
+    fn dot_renders() {
+        let c = contract_ddg(&fig5c(), mli_names(&["a", "b", "sum"]));
+        let dot = c.to_dot();
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("sum"));
+    }
+
+    #[test]
+    fn diamond_through_shared_register() {
+        // x → t → y and x → t → z with y,z MLI: both get parent x.
+        let mut g = DepGraph::default();
+        let x = g.var_node(Arc::from("x"), 0x1);
+        let y = g.var_node(Arc::from("y"), 0x2);
+        let z = g.var_node(Arc::from("z"), 0x3);
+        let t = g.reg_node(autocheck_trace::Name::Temp(7));
+        g.add_edge(x, t);
+        g.add_edge(t, y);
+        g.add_edge(t, z);
+        let c = contract_ddg(&g, mli_names(&["x", "y", "z"]));
+        let (x, y, z) = (
+            c.find_label("x").unwrap(),
+            c.find_label("y").unwrap(),
+            c.find_label("z").unwrap(),
+        );
+        assert!(c.edges.contains(&(x, y)));
+        assert!(c.edges.contains(&(x, z)));
+    }
+}

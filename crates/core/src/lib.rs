@@ -1,0 +1,62 @@
+//! AutoCheck — automatic identification of variables for checkpointing by
+//! data-dependency analysis.
+//!
+//! This crate is the paper's primary contribution. Given
+//!
+//! 1. a **dynamic instruction execution trace** (crate `autocheck-trace`),
+//! 2. the **main computation loop's location** (function + start/end source
+//!    lines, the "MCLR" of the paper's Table II), and
+//! 3. the loop's **control variables** (from the IR loop pass, crate
+//!    `autocheck-ir` — the paper's "llvm-pass-loop API"),
+//!
+//! it reports the **critical variables** that must be checkpointed for the
+//! program to restart correctly from the last completed iteration, each
+//! labelled with its dependency class (Fig. 7 of the paper):
+//!
+//! * **WAR** — the variable carries state across iterations: it is read
+//!   before being (fully) overwritten, so a failure loses the last written
+//!   value;
+//! * **RAPO** — an array that is only *partially* overwritten per iteration
+//!   while also being read, so unwritten elements cannot be reconstructed;
+//! * **Outcome** — the main loop's output, read after the loop;
+//! * **Index** — the loop's induction/control variables.
+//!
+//! # Pipeline
+//!
+//! [`region`] splits the trace into *before/inside/after* the main loop and
+//! numbers iterations; [`preprocess`] collects and matches variables into
+//! the MLI (main-loop-input) set; [`ddg`] drives the reg-var/reg-reg maps
+//! and builds the complete dependency graph plus the time-ordered R/W event
+//! sequence; [`contract`] reduces the complete DDG to MLI variables
+//! (Algorithm 1); [`mod@classify`] applies the four heuristics; [`pipeline`]
+//! glues everything together with the per-stage timing breakdown reported
+//! in the paper's Table III.
+//!
+//! ```no_run
+//! use autocheck_core::{Analyzer, Region};
+//!
+//! let records = autocheck_trace::parse_str("...").unwrap();
+//! let region = Region::new("main", 13, 21);
+//! let report = Analyzer::new(region)
+//!     .with_index_vars(vec!["it".into()])
+//!     .analyze(&records);
+//! for cv in &report.critical {
+//!     println!("{} ({:?})", cv.name, cv.dep);
+//! }
+//! ```
+
+pub mod classify;
+pub mod contract;
+pub mod ddg;
+pub mod pipeline;
+pub mod preprocess;
+pub mod region;
+pub mod report;
+
+pub use classify::{classify, ClassifyConfig};
+pub use contract::contract_ddg;
+pub use ddg::{DdgAnalysis, DdgOptions, DepGraph, NodeKind, RwEvent, RwKind};
+pub use pipeline::{index_variables_of, Analyzer, PipelineConfig};
+pub use preprocess::{CollectMode, MliVar};
+pub use region::{Phase, Phases, Region};
+pub use report::{CriticalVariable, DepType, Report, SkipReason, Timings};

@@ -1,0 +1,326 @@
+//! The end-to-end AutoCheck pipeline with Table-III-style timing.
+
+use crate::classify::{classify, ClassifyConfig};
+use crate::ddg::DdgAnalysis;
+use crate::preprocess::{find_mli_vars, CollectMode};
+use crate::region::{Phases, Region};
+use crate::report::{Report, Timings};
+use autocheck_trace::{parse_parallel, ParallelConfig, Record};
+use std::time::Instant;
+
+/// Tunables for the pipeline (defaults reproduce the paper's tool).
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// Occurrence-collection strictness (see [`CollectMode`]).
+    pub collect: CollectMode,
+    /// Selective trace iteration (paper §IV-B); `false` is the ablation.
+    pub selective: bool,
+    /// Worker threads for trace parsing (paper §V-A, OpenMP). `1` =
+    /// serial.
+    pub parse_threads: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            collect: CollectMode::AnyAccess,
+            selective: true,
+            parse_threads: 1,
+        }
+    }
+}
+
+/// The AutoCheck analyzer.
+///
+/// Inputs mirror the paper's §VII "Use of AutoCheck": the dynamic trace,
+/// the main loop's location, and (from the IR loop pass) the loop's
+/// control variables.
+#[derive(Clone, Debug)]
+pub struct Analyzer {
+    /// The main computation loop's location.
+    pub region: Region,
+    /// Induction/control variables of the outermost loop.
+    pub index_vars: Vec<String>,
+    /// Pipeline tunables.
+    pub config: PipelineConfig,
+}
+
+impl Analyzer {
+    /// Analyzer with default configuration.
+    pub fn new(region: Region) -> Analyzer {
+        Analyzer {
+            region,
+            index_vars: Vec::new(),
+            config: PipelineConfig::default(),
+        }
+    }
+
+    /// Set the Index variables (usually from [`index_variables_of`]).
+    pub fn with_index_vars(mut self, vars: Vec<String>) -> Analyzer {
+        self.index_vars = vars;
+        self
+    }
+
+    /// Override the configuration.
+    pub fn with_config(mut self, config: PipelineConfig) -> Analyzer {
+        self.config = config;
+        self
+    }
+
+    /// Analyze already-parsed records.
+    pub fn analyze(&self, records: &[Record]) -> Report {
+        self.analyze_inner(records, std::time::Duration::ZERO)
+    }
+
+    /// Analyze a textual trace: parsing (serial or parallel per
+    /// [`PipelineConfig::parse_threads`]) is included in the pre-processing
+    /// time, exactly like the paper's Table III.
+    pub fn analyze_text(&self, text: &str) -> Result<Report, autocheck_trace::ParseError> {
+        let t0 = Instant::now();
+        let records = parse_parallel(
+            text,
+            ParallelConfig {
+                threads: self.config.parse_threads,
+            },
+        )?;
+        let parse_time = t0.elapsed();
+        Ok(self.analyze_inner(&records, parse_time))
+    }
+
+    fn analyze_inner(&self, records: &[Record], parse_time: std::time::Duration) -> Report {
+        // Pre-processing: region partitioning + MLI identification.
+        let t0 = Instant::now();
+        let phases = Phases::compute(records, &self.region);
+        let mli = find_mli_vars(records, &phases, &self.region, self.config.collect);
+        let preprocess = parse_time + t0.elapsed();
+
+        // Dependency analysis: reg maps, DDG, events, contraction.
+        let t1 = Instant::now();
+        let analysis = DdgAnalysis::run(records, &phases, &mli, self.config.selective);
+        let mli_bases: std::collections::HashSet<u64> =
+            mli.iter().map(|m| m.base_addr).collect();
+        let _contracted = crate::contract::contract_ddg(&analysis.graph, |n| {
+            matches!(n, crate::ddg::NodeKind::Var { base, .. } if mli_bases.contains(base))
+        });
+        let dependency = t1.elapsed();
+
+        // Identification.
+        let t2 = Instant::now();
+        let (critical, skipped) = classify(
+            &mli,
+            &analysis.events,
+            &ClassifyConfig {
+                index_vars: self.index_vars.clone(),
+                region_start: self.region.start_line,
+            },
+        );
+        let identify = t2.elapsed();
+
+        Report {
+            mli,
+            critical,
+            skipped,
+            iterations: phases.iterations,
+            records: records.len() as u64,
+            timings: Timings {
+                preprocess,
+                dependency,
+                identify,
+            },
+        }
+    }
+}
+
+/// Find the Index variables of the main loop from the program's IR — our
+/// equivalent of the paper's "llvm-pass-loop API" step.
+///
+/// Returns the names of the control variables of the outermost loop whose
+/// header lies within `region` in the region's function.
+pub fn index_variables_of(module: &autocheck_ir::Module, region: &Region) -> Vec<String> {
+    let Some(fid) = module.function_by_name(&region.function) else {
+        return Vec::new();
+    };
+    let f = module.function(fid);
+    let cfg = autocheck_ir::Cfg::compute(f);
+    let dom = autocheck_ir::DomTree::compute(&cfg);
+    let forest = autocheck_ir::LoopForest::compute(f, &cfg, &dom);
+    let Some(idx) = forest.outermost_in_region(f, region.start_line, region.end_line) else {
+        return Vec::new();
+    };
+    autocheck_ir::loops::control_variables(module, f, &forest.loops[idx])
+        .into_iter()
+        .map(|c| c.name)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::DepType;
+
+    /// The paper's Figure 4 example, end to end: compile with MiniLang,
+    /// trace with the interpreter, analyze, and compare with the paper's
+    /// stated result — checkpoint `r`, `a`, `sum`, `it`.
+    ///
+    /// Line numbers: `foo` spans lines 1–5, `main` starts at 6, the main
+    /// loop is lines 13–21 (as in the paper's Fig. 4 layout).
+    const FIG4: &str = "\
+void foo(int* p, int* q) {
+    for (int i = 0; i < 10; i = i + 1) {
+        q[i] = p[i] * 2;
+    }
+}
+int main() {
+    int a[10]; int b[10];
+    int sum = 0; int s = 0; int r = 1;
+    for (int i = 0; i < 10; i = i + 1) {
+        a[i] = 0;
+        b[i] = 0;
+    }
+    for (int it = 0; it < 10; it = it + 1) {
+        int m;
+        s = it + 1;
+        a[it] = s * r;
+        foo(a, b);
+        r = r + 1;
+        m = a[it] + b[it];
+        sum = m;
+    }
+    print(sum);
+    return 0;
+}
+";
+
+    fn fig4_report() -> Report {
+        let module = autocheck_minilang::compile(FIG4).expect("compiles");
+        let mut machine =
+            autocheck_interp::Machine::new(&module, autocheck_interp::ExecOptions::default());
+        let mut sink = autocheck_interp::VecSink::default();
+        machine
+            .run(&mut sink, &mut autocheck_interp::NoHook)
+            .expect("runs");
+        let region = Region::new("main", 13, 21);
+        let index = index_variables_of(&module, &region);
+        Analyzer::new(region)
+            .with_index_vars(index)
+            .analyze(&sink.records)
+    }
+
+    #[test]
+    fn fig4_mli_variables_match_paper() {
+        let report = fig4_report();
+        let mut names: Vec<&str> = report.mli.iter().map(|m| &*m.name).collect();
+        names.sort();
+        // Paper §IV-A: "'a', 'b', 'sum', 's', 'r' are the MLI variables".
+        assert_eq!(names, vec!["a", "b", "r", "s", "sum"]);
+    }
+
+    #[test]
+    fn fig4_critical_variables_match_paper() {
+        let report = fig4_report();
+        let summary = report.summary();
+        // Paper §IV-C: "we should checkpoint variables 'r', 'a', 'sum' and
+        // 'it'". `a` is the RAPO example, `r` the WAR example, `sum` the
+        // Outcome example, `it` the Index.
+        assert_eq!(
+            summary,
+            vec![
+                ("a".to_string(), DepType::Rapo),
+                ("it".to_string(), DepType::Index),
+                ("r".to_string(), DepType::War),
+                ("sum".to_string(), DepType::Outcome),
+            ]
+        );
+    }
+
+    #[test]
+    fn fig4_skipped_variables_have_reasons() {
+        let report = fig4_report();
+        let skipped: Vec<(&str, crate::report::SkipReason)> = report
+            .skipped
+            .iter()
+            .map(|(n, r)| (&**n, *r))
+            .collect();
+        // `s` is rewritten at the top of each iteration; `b` is fully
+        // rewritten by foo before being read.
+        assert!(skipped
+            .iter()
+            .any(|(n, r)| *n == "s" && *r == crate::report::SkipReason::RewrittenBeforeRead));
+        assert!(skipped
+            .iter()
+            .any(|(n, r)| *n == "b" && *r == crate::report::SkipReason::RewrittenBeforeRead));
+    }
+
+    #[test]
+    fn fig4_iteration_count_observed() {
+        let report = fig4_report();
+        assert_eq!(report.iterations, 10);
+        assert!(report.records > 0);
+    }
+
+    #[test]
+    fn analyze_text_equals_analyze_records() {
+        let module = autocheck_minilang::compile(FIG4).unwrap();
+        let mut machine =
+            autocheck_interp::Machine::new(&module, autocheck_interp::ExecOptions::default());
+        let mut sink = autocheck_interp::WriterSink::new(Vec::new());
+        machine
+            .run(&mut sink, &mut autocheck_interp::NoHook)
+            .unwrap();
+        let text = String::from_utf8(sink.finish().unwrap()).unwrap();
+
+        let region = Region::new("main", 13, 21);
+        let analyzer = Analyzer::new(region).with_index_vars(vec!["it".into()]);
+        let from_text = analyzer.analyze_text(&text).unwrap();
+        let records = autocheck_trace::parse_str(&text).unwrap();
+        let from_records = analyzer.analyze(&records);
+        assert_eq!(from_text.summary(), from_records.summary());
+
+        // Parallel parsing changes nothing.
+        let mut par = analyzer.clone();
+        par.config.parse_threads = 4;
+        let parallel = par.analyze_text(&text).unwrap();
+        assert_eq!(parallel.summary(), from_records.summary());
+    }
+
+    #[test]
+    fn ablation_configs_agree_on_fig4() {
+        let module = autocheck_minilang::compile(FIG4).unwrap();
+        let mut machine =
+            autocheck_interp::Machine::new(&module, autocheck_interp::ExecOptions::default());
+        let mut sink = autocheck_interp::VecSink::default();
+        machine
+            .run(&mut sink, &mut autocheck_interp::NoHook)
+            .unwrap();
+        let region = Region::new("main", 13, 21);
+        let index = index_variables_of(&module, &region);
+
+        let selective = Analyzer::new(region.clone())
+            .with_index_vars(index.clone())
+            .analyze(&sink.records);
+        let exhaustive = Analyzer::new(region)
+            .with_index_vars(index)
+            .with_config(PipelineConfig {
+                selective: false,
+                ..PipelineConfig::default()
+            })
+            .analyze(&sink.records);
+        assert_eq!(selective.summary(), exhaustive.summary());
+    }
+
+    #[test]
+    fn index_variables_of_finds_it() {
+        let module = autocheck_minilang::compile(FIG4).unwrap();
+        let region = Region::new("main", 13, 21);
+        assert_eq!(index_variables_of(&module, &region), vec!["it".to_string()]);
+    }
+
+    #[test]
+    fn timings_are_populated() {
+        let report = fig4_report();
+        // Durations are non-negative by construction; just ensure the
+        // breakdown exists and total() is the sum.
+        let t = report.timings;
+        assert_eq!(t.total(), t.preprocess + t.dependency + t.identify);
+    }
+}

@@ -1,0 +1,442 @@
+//! Pre-processing: identifying the Main-Loop-Input (MLI) variables.
+//!
+//! Following the paper's §IV-A and Fig. 3:
+//!
+//! 1. collect variables from the trace region **before** the main loop
+//!    (Part A) and **inside** it (Part B);
+//! 2. match the two collections — a variable defined before and used inside
+//!    the loop is an MLI variable.
+//!
+//! Collection resolves every `Load`/`Store` to the *named base variable* it
+//! touches, chasing pointer provenance through `GetElementPtr`/`BitCast`
+//! temporaries (the paper's "POINTER ASSIGNMENT" rule: recursively search
+//! for the source variable and replace the assigned object).
+//!
+//! Implementation notes that mirror the paper's §V-B:
+//!
+//! * **Challenge 1** (local variables of functions called both before and
+//!   inside the loop would match spuriously): collection *bypasses function
+//!   call intervals* — only records executing directly in the region
+//!   function are considered. Like the paper, this means globals touched
+//!   only inside callees are missed; the benchmarks touch their globals at
+//!   region level before the loop (the paper's FT workaround).
+//! * **Challenge 2** (callee locals sharing an MLI variable's name):
+//!   matching is by *(name, base address)*, with addresses taken from the
+//!   operands — the same information the paper extracts from `Alloca` /
+//!   `Load` / `Store` records.
+//!
+//! On what counts as a collected occurrence: the paper calls these
+//! "arithmetic variables", but its own worked example collects `a`, `b`,
+//! `sum`, `s`, `r` whose pre-loop occurrences are constant stores
+//! (`a[i] = 0`). [`CollectMode::AnyAccess`] (the default) therefore counts
+//! every resolved `Load`/`Store`; [`CollectMode::Arithmetic`] implements
+//! the stricter reading (loads must feed an arithmetic instruction, stores
+//! must store an arithmetic result) and exists for the ablation study.
+
+use crate::region::{Phase, Phases, Region};
+use autocheck_trace::{record::opcodes, Name, Record};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Occurrence-counting strictness (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CollectMode {
+    /// Count every resolved load/store (matches the paper's worked example).
+    #[default]
+    AnyAccess,
+    /// Count only arithmetic participation (the paper's literal wording);
+    /// kept for the ablation bench.
+    Arithmetic,
+}
+
+/// One main-loop-input variable.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MliVar {
+    /// Source-level name.
+    pub name: Arc<str>,
+    /// Base address of its storage.
+    pub base_addr: u64,
+    /// Observed storage footprint in bytes (exact for alloca'd variables,
+    /// max-extent for globals).
+    pub size: u64,
+    /// First source line where the variable was seen used.
+    pub first_line: u32,
+}
+
+/// A variable occurrence found during collection.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct VarKey {
+    name: Arc<str>,
+    base: u64,
+}
+
+/// Resolves pointer operands to `(variable, base address, element address)`
+/// by tracking GEP/BitCast provenance on the fly.
+#[derive(Default)]
+pub(crate) struct Provenance {
+    map: HashMap<Name, (Arc<str>, u64)>,
+}
+
+impl Provenance {
+    /// Update provenance from one record; call in execution order.
+    pub(crate) fn observe(&mut self, r: &Record) {
+        match r.opcode {
+            opcodes::GETELEMENTPTR | opcodes::BITCAST => {
+                let (Some(base), Some(res)) = (r.op1(), r.result.as_ref()) else {
+                    return;
+                };
+                let resolved = self.resolve(&base.name, base.value.as_ptr());
+                if let Some((name, addr)) = resolved {
+                    self.map.insert(res.name.clone(), (name, addr));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Resolve a pointer-operand name to its base variable.
+    pub(crate) fn resolve(&self, name: &Name, value: Option<u64>) -> Option<(Arc<str>, u64)> {
+        match name {
+            Name::Sym(s) => {
+                if let Some(hit) = self.map.get(name) {
+                    // Parameter alias registered by a call triplet.
+                    Some(hit.clone())
+                } else {
+                    // A named variable is its own base.
+                    value.map(|v| (s.clone(), v))
+                }
+            }
+            Name::Temp(_) => self.map.get(name).cloned(),
+            Name::None => None,
+        }
+    }
+}
+
+/// Collect MLI variables.
+pub fn find_mli_vars(
+    records: &[Record],
+    phases: &Phases,
+    _region: &Region,
+    mode: CollectMode,
+) -> Vec<MliVar> {
+    let mut prov = Provenance::default();
+    // Registers holding results of arithmetic instructions (Arithmetic mode).
+    let mut arith_regs: HashSet<Name> = HashSet::new();
+    // Registers holding loaded values, mapped to the loaded variable.
+    let mut loaded_from: HashMap<Name, VarKey> = HashMap::new();
+
+    let mut before: HashMap<VarKey, u32> = HashMap::new();
+    let mut inside: HashMap<VarKey, u32> = HashMap::new();
+    // Footprints: maximum extent of element accesses per variable.
+    let mut extent: HashMap<VarKey, u64> = HashMap::new();
+    // Exact sizes learned from Alloca records.
+    let mut alloca_size: HashMap<VarKey, u64> = HashMap::new();
+
+    // Part-A variables indexed by base address, for recognizing them inside
+    // bypassed call intervals (the paper's Challenge-2 address matching: "if
+    // we can find a match between the variable's memory address and any MLI
+    // variable's memory address, the variable is a MLI variable").
+    let mut before_by_base: HashMap<u64, VarKey> = HashMap::new();
+
+    for (i, r) in records.iter().enumerate() {
+        let a = phases.annots[i];
+        prov.observe(r);
+        if !a.region_level {
+            // Challenge 1: bypass function-call intervals — no *new*
+            // candidates are collected here. But usage of an already
+            // A-collected variable (recognized by its address) still counts
+            // as an in-loop use; this is how globals and arrays touched only
+            // through callees (BT's `u` across its nested solvers) match.
+            if a.phase == Phase::Inside
+                && matches!(r.opcode, opcodes::LOAD | opcodes::STORE)
+            {
+                let ptr = if r.opcode == opcodes::LOAD {
+                    r.op1()
+                } else {
+                    r.op2()
+                };
+                if let Some(ptr) = ptr {
+                    if let Some((_, base)) = prov.resolve(&ptr.name, ptr.value.as_ptr()) {
+                        if let Some(key) = before_by_base.get(&base) {
+                            let line = if r.src_line > 0 { r.src_line as u32 } else { 0 };
+                            inside.entry(key.clone()).or_insert(line);
+                        }
+                    }
+                }
+            }
+            continue;
+        }
+        let is_before = match a.phase {
+            Phase::Before => true,
+            Phase::Inside => false,
+            Phase::After => continue,
+        };
+        let line = if r.src_line > 0 { r.src_line as u32 } else { 0 };
+        macro_rules! collect {
+            ($key:expr, $line:expr) => {{
+                let key: VarKey = $key;
+                if is_before {
+                    before_by_base
+                        .entry(key.base)
+                        .or_insert_with(|| key.clone());
+                    before.entry(key).or_insert($line);
+                } else {
+                    inside.entry(key).or_insert($line);
+                }
+            }};
+        }
+        match r.opcode {
+            opcodes::ALLOCA => {
+                if let (Some(size), Some(res)) = (
+                    r.op1().and_then(|o| o.value.as_int()),
+                    r.result.as_ref(),
+                ) {
+                    if let (Name::Sym(name), Some(addr)) = (&res.name, res.value.as_ptr()) {
+                        alloca_size.insert(
+                            VarKey {
+                                name: name.clone(),
+                                base: addr,
+                            },
+                            size as u64,
+                        );
+                    }
+                }
+            }
+            opcodes::LOAD => {
+                let Some(ptr) = r.op1() else { continue };
+                let Some((name, base)) = prov.resolve(&ptr.name, ptr.value.as_ptr()) else {
+                    continue;
+                };
+                let key = VarKey { name, base };
+                if let Some(elem) = ptr.value.as_ptr() {
+                    let e = extent.entry(key.clone()).or_insert(8);
+                    *e = (*e).max(elem.saturating_sub(base) + 8);
+                }
+                match mode {
+                    CollectMode::AnyAccess => {
+                        collect!(key.clone(), line);
+                    }
+                    CollectMode::Arithmetic => {
+                        // Defer: only collected when the loaded temp feeds
+                        // an arithmetic instruction (tracked below).
+                        if let Some(res) = &r.result {
+                            loaded_from.insert(res.name.clone(), key.clone());
+                        }
+                        continue;
+                    }
+                }
+                if let Some(res) = &r.result {
+                    loaded_from.insert(res.name.clone(), key);
+                }
+            }
+            opcodes::STORE => {
+                let Some(ptr) = r.op2() else { continue };
+                let Some((name, base)) = prov.resolve(&ptr.name, ptr.value.as_ptr()) else {
+                    continue;
+                };
+                let key = VarKey { name, base };
+                if let Some(elem) = ptr.value.as_ptr() {
+                    let e = extent.entry(key.clone()).or_insert(8);
+                    *e = (*e).max(elem.saturating_sub(base) + 8);
+                }
+                let collect = match mode {
+                    CollectMode::AnyAccess => true,
+                    CollectMode::Arithmetic => r
+                        .op1()
+                        .map(|v| arith_regs.contains(&v.name))
+                        .unwrap_or(false),
+                };
+                if collect {
+                    collect!(key, line);
+                }
+            }
+            op if (8..=25).contains(&op) || op == opcodes::ICMP || op == opcodes::FCMP => {
+                if mode == CollectMode::Arithmetic {
+                    // Loads feeding arithmetic are collected now.
+                    let hits: Vec<VarKey> = r
+                        .positional()
+                        .filter_map(|operand| loaded_from.get(&operand.name).cloned())
+                        .collect();
+                    for key in hits {
+                        collect!(key, line);
+                    }
+                }
+                if let Some(res) = &r.result {
+                    arith_regs.insert(res.name.clone());
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Match A against B by (name, base address).
+    let mut out: Vec<MliVar> = Vec::new();
+    for (key, first_line_before) in &before {
+        if inside.contains_key(key) {
+            let size = alloca_size
+                .get(key)
+                .copied()
+                .or_else(|| extent.get(key).copied())
+                .unwrap_or(8);
+            out.push(MliVar {
+                name: key.name.clone(),
+                base_addr: key.base,
+                size,
+                first_line: *first_line_before,
+            });
+        }
+    }
+    out.sort_by(|a, b| a.name.cmp(&b.name).then(a.base_addr.cmp(&b.base_addr)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autocheck_trace::parse_str;
+
+    /// main: line 2 stores to sum and x; loop lines 5..=7 loads sum, adds,
+    /// stores sum; after the loop prints. `x` is only used before the loop.
+    /// `tmp` is only used inside. Expected MLI: {sum}.
+    fn toy() -> (Vec<Record>, Phases, Region) {
+        let text = "\
+0,-1,main,0:0,sum,26,0,
+1,64,8,0,,
+r,64,0x7f0000000000,1,sum,
+0,-1,main,0:0,x,26,1,
+1,64,8,0,,
+r,64,0x7f0000000008,1,x,
+0,-1,main,0:0,tmp,26,2,
+1,64,8,0,,
+r,64,0x7f0000000010,1,tmp,
+0,2,main,2:1,0,28,3,
+1,64,0,0,,
+2,64,0x7f0000000000,1,sum,
+0,2,main,2:1,0,28,4,
+1,64,5,0,,
+2,64,0x7f0000000008,1,x,
+0,5,main,5:1,1,27,5,
+1,64,0x7f0000000000,1,sum,
+r,64,0,1,0,
+0,5,main,5:1,1,2,6,
+1,1,1,1,9,
+0,6,main,6:1,2,27,7,
+1,64,0x7f0000000000,1,sum,
+r,64,0,1,1,
+0,6,main,6:1,2,8,8,
+1,64,0,1,1,
+2,64,1,0,,
+r,64,1,1,2,
+0,6,main,6:1,2,28,9,
+1,64,1,1,2,
+2,64,0x7f0000000000,1,sum,
+0,7,main,7:1,2,28,10,
+1,64,3,0,,
+2,64,0x7f0000000010,1,tmp,
+0,5,main,5:1,1,27,11,
+1,64,0x7f0000000000,1,sum,
+r,64,1,1,3,
+0,5,main,5:1,1,2,12,
+1,1,0,1,9,
+0,9,main,9:1,3,27,13,
+1,64,0x7f0000000000,1,sum,
+r,64,1,1,4,
+";
+        let recs = parse_str(text).unwrap();
+        let region = Region::new("main", 5, 7);
+        let phases = Phases::compute(&recs, &region);
+        (recs, phases, region)
+    }
+
+    #[test]
+    fn matches_variables_defined_before_and_used_inside() {
+        let (recs, phases, region) = toy();
+        let mli = find_mli_vars(&recs, &phases, &region, CollectMode::AnyAccess);
+        let names: Vec<&str> = mli.iter().map(|m| &*m.name).collect();
+        assert_eq!(names, vec!["sum"]);
+        assert_eq!(mli[0].base_addr, 0x7f00_0000_0000);
+        assert_eq!(mli[0].size, 8);
+    }
+
+    #[test]
+    fn loop_local_is_not_mli() {
+        let (recs, phases, region) = toy();
+        let mli = find_mli_vars(&recs, &phases, &region, CollectMode::AnyAccess);
+        assert!(mli.iter().all(|m| &*m.name != "tmp"));
+        assert!(mli.iter().all(|m| &*m.name != "x"));
+    }
+
+    #[test]
+    fn arithmetic_mode_still_finds_sum() {
+        // `sum` is loaded into an Add inside the loop, and stored before the
+        // loop... but the pre-loop store is a constant store, which strict
+        // arithmetic collection rejects — documenting exactly why AnyAccess
+        // is the default (the paper's own example relies on constant
+        // stores).
+        let (recs, phases, region) = toy();
+        let mli = find_mli_vars(&recs, &phases, &region, CollectMode::Arithmetic);
+        assert!(mli.is_empty());
+    }
+
+    #[test]
+    fn gep_provenance_resolves_array_elements() {
+        // a[1] accessed through a GEP temp before the loop; a[0] inside.
+        let text = "\
+0,-1,main,0:0,a,26,0,
+1,64,16,0,,
+r,64,0x7f0000000000,1,a,
+0,2,main,2:1,0,29,1,
+1,64,0x7f0000000000,1,a,
+2,64,1,0,,
+r,64,0x7f0000000008,1,0,
+0,2,main,2:1,0,28,2,
+1,64,7,0,,
+2,64,0x7f0000000008,1,0,
+0,5,main,5:1,1,27,3,
+1,64,0x7f0000000000,1,a,
+r,64,0,1,1,
+0,5,main,5:1,1,2,4,
+1,1,1,1,9,
+0,6,main,6:1,2,29,5,
+1,64,0x7f0000000000,1,a,
+2,64,0,0,,
+r,64,0x7f0000000000,1,2,
+0,6,main,6:1,2,28,6,
+1,64,9,0,,
+2,64,0x7f0000000000,1,2,
+0,5,main,5:1,1,27,7,
+1,64,0x7f0000000000,1,a,
+r,64,0,1,3,
+0,5,main,5:1,1,2,8,
+1,1,0,1,9,
+";
+        let recs = parse_str(text).unwrap();
+        let region = Region::new("main", 5, 7);
+        let phases = Phases::compute(&recs, &region);
+        let mli = find_mli_vars(&recs, &phases, &region, CollectMode::AnyAccess);
+        assert_eq!(mli.len(), 1);
+        assert_eq!(&*mli[0].name, "a");
+        assert_eq!(mli[0].size, 16, "alloca size wins over extent");
+    }
+
+    #[test]
+    fn same_name_different_address_does_not_match() {
+        // `v` before the loop at one address, `v` inside at another (the
+        // Challenge-2 deceiver): no match.
+        let text = "\
+0,2,main,2:1,0,28,0,
+1,64,1,0,,
+2,64,0x7f0000000000,1,v,
+0,5,main,5:1,1,27,1,
+1,64,0x7f0000000100,1,v,
+r,64,0,1,0,
+0,5,main,5:1,1,2,2,
+1,1,0,1,9,
+";
+        let recs = parse_str(text).unwrap();
+        let region = Region::new("main", 5, 7);
+        let phases = Phases::compute(&recs, &region);
+        let mli = find_mli_vars(&recs, &phases, &region, CollectMode::AnyAccess);
+        assert!(mli.is_empty());
+    }
+}

@@ -1,0 +1,305 @@
+//! Trace partitioning around the main computation loop.
+//!
+//! The user supplies the main computation loop's location — the paper's
+//! "MCLR" input: the function containing the loop plus its start/end source
+//! lines. This module walks the trace once and annotates every record with
+//!
+//! * its **phase**: `Before` (paper's Part A / region (a)), `Inside`
+//!   (Part B / the main loop), or `After` (Part C);
+//! * its **iteration number** when inside the loop;
+//! * whether it executes at **region level** (directly in the region
+//!   function) or inside a nested call — the information Challenge 1's
+//!   "bypass function call intervals" needs.
+//!
+//! Iteration boundaries are detected from the loop header's conditional
+//! branch: the header block's `Br` record at the loop's start line fires
+//! exactly once per condition evaluation, so its occurrences delimit
+//! iterations.
+
+use autocheck_trace::{record::opcodes, Name, Record};
+use std::sync::Arc;
+
+/// The main computation loop's location (the paper's MCLR).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Region {
+    /// Function containing the loop.
+    pub function: String,
+    /// First source line of the loop statement.
+    pub start_line: u32,
+    /// Last source line of the loop body.
+    pub end_line: u32,
+}
+
+impl Region {
+    /// Build a region.
+    pub fn new(function: impl Into<String>, start_line: u32, end_line: u32) -> Region {
+        Region {
+            function: function.into(),
+            start_line,
+            end_line,
+        }
+    }
+}
+
+/// Which part of the execution a record belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Part A: before the main computation loop.
+    Before,
+    /// Part B: the main computation loop.
+    Inside,
+    /// Part C: after the main computation loop.
+    After,
+}
+
+/// Per-record annotation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Annot {
+    /// Phase of this record.
+    pub phase: Phase,
+    /// Iteration index (0-based) when `phase == Inside`. Records of the
+    /// loop preamble (`for`-init, first condition evaluation) carry 0.
+    pub iter: u32,
+    /// True when the record executes directly in the region function (not
+    /// inside a nested call).
+    pub region_level: bool,
+}
+
+/// The partitioned trace.
+#[derive(Clone, Debug)]
+pub struct Phases {
+    /// One annotation per record, parallel to the input slice.
+    pub annots: Vec<Annot>,
+    /// Number of loop iterations observed (condition evaluations minus the
+    /// final failing one; 0 when the loop never ran).
+    pub iterations: u32,
+    /// Label of the loop header's basic block, if identified.
+    pub header_label: Option<Arc<str>>,
+}
+
+impl Phases {
+    /// Annotate `records` relative to `region`.
+    ///
+    /// Call tracking uses the Call/Ret structure of the trace: a `Call`
+    /// record whose next record enters the named function pushes a frame
+    /// ("Call form 2" of the paper), and `Ret` records pop it.
+    pub fn compute(records: &[Record], region: &Region) -> Phases {
+        let mut annots = Vec::with_capacity(records.len());
+        // Call stack of function names; the first record's function is the
+        // root frame (usually `main`).
+        let mut stack: Vec<Arc<str>> = Vec::new();
+        let mut phase = Phase::Before;
+        let mut iter: u32 = 0;
+        let mut started = false;
+        let mut header_label: Option<Arc<str>> = None;
+        let mut cond_evals: u32 = 0;
+
+        for (i, r) in records.iter().enumerate() {
+            if stack.is_empty() {
+                stack.push(r.func.clone());
+            }
+            let region_level =
+                stack.len() == region_frame_depth(&stack, region) && &*r.func == region.function;
+
+            if region_level {
+                // Phase transitions are driven by region-function lines.
+                if r.src_line >= 0 {
+                    let line = r.src_line as u32;
+                    if line < region.start_line {
+                        // Lines before the loop. Only move backwards to
+                        // `Before` if the loop has not run yet (code before
+                        // the loop cannot execute again in a structured
+                        // program, but guard against line-number noise).
+                        if !started {
+                            phase = Phase::Before;
+                        }
+                    } else if line > region.end_line {
+                        if started {
+                            phase = Phase::After;
+                        }
+                    } else {
+                        if phase != Phase::After {
+                            phase = Phase::Inside;
+                            started = true;
+                        }
+                    }
+                }
+                // Header detection: the conditional branch at the start
+                // line. `Br` records of a conditional branch carry exactly
+                // one operand (the i1 condition).
+                if phase == Phase::Inside
+                    && r.opcode == opcodes::BR
+                    && r.src_line == region.start_line as i32
+                    && r.positional().count() == 1
+                {
+                    match &header_label {
+                        None => {
+                            header_label = Some(r.bb_label.clone());
+                            cond_evals = 1;
+                        }
+                        Some(l) if Arc::ptr_eq(l, &r.bb_label) || **l == *r.bb_label => {
+                            cond_evals += 1;
+                            iter = cond_evals - 1;
+                        }
+                        Some(_) => {}
+                    }
+                }
+            }
+
+            annots.push(Annot {
+                phase,
+                iter,
+                region_level,
+            });
+
+            // Maintain the call stack for the *next* record.
+            match r.opcode {
+                opcodes::CALL => {
+                    if let Some(Name::Sym(callee)) = r.op1().map(|o| &o.name) {
+                        if let Some(next) = records.get(i + 1) {
+                            if *next.func == **callee {
+                                stack.push(next.func.clone());
+                            }
+                        }
+                    }
+                }
+                opcodes::RET => {
+                    if stack.len() > 1 {
+                        stack.pop();
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // The final condition evaluation fails (loop exit): iterations =
+        // evaluations - 1.
+        let iterations = cond_evals.saturating_sub(1);
+        Phases {
+            annots,
+            iterations,
+            header_label,
+        }
+    }
+
+    /// Phase of record `i`.
+    pub fn phase(&self, i: usize) -> Phase {
+        self.annots[i].phase
+    }
+}
+
+/// Depth at which the region function's frame sits. Our traces enter the
+/// region function exactly once (the paper analyzes a single main loop), so
+/// the depth is wherever the function first appears on the stack.
+fn region_frame_depth(stack: &[Arc<str>], region: &Region) -> usize {
+    stack
+        .iter()
+        .position(|f| **f == *region.function)
+        .map(|p| p + 1)
+        .unwrap_or(usize::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autocheck_trace::parse_str;
+
+    /// A miniature trace: main does a 2-iteration loop at lines 5..=7
+    /// calling foo inside, then prints at line 9.
+    fn mini_trace() -> Vec<Record> {
+        let text = "\
+0,3,main,3:1,0,28,0,
+0,5,main,5:1,1,27,1,
+0,5,main,5:1,1,2,2,
+1,1,1,1,5,
+0,6,main,6:1,2,49,3,
+1,64,0x400010,1,foo,
+0,2,foo,2:1,0,28,4,
+0,2,foo,2:1,0,1,5,
+0,7,main,6:1,2,28,6,
+0,5,main,5:1,1,27,7,
+0,5,main,5:1,1,2,8,
+1,1,1,1,5,
+0,6,main,6:1,2,49,9,
+1,64,0x400010,1,foo,
+0,2,foo,2:1,0,28,10,
+0,2,foo,2:1,0,1,11,
+0,7,main,6:1,2,28,12,
+0,5,main,5:1,1,27,13,
+0,5,main,5:1,1,2,14,
+1,1,0,1,5,
+0,9,main,9:1,3,28,15,
+";
+        parse_str(text).unwrap()
+    }
+
+    #[test]
+    fn phases_split_before_inside_after() {
+        let recs = mini_trace();
+        let region = Region::new("main", 5, 7);
+        let ph = Phases::compute(&recs, &region);
+        assert_eq!(ph.phase(0), Phase::Before);
+        assert_eq!(ph.phase(1), Phase::Inside);
+        assert_eq!(ph.phase(14), Phase::Inside);
+        assert_eq!(ph.phase(recs.len() - 1), Phase::After);
+    }
+
+    #[test]
+    fn iteration_numbers_advance_at_header() {
+        let recs = mini_trace();
+        let region = Region::new("main", 5, 7);
+        let ph = Phases::compute(&recs, &region);
+        assert_eq!(ph.iterations, 2);
+        // Records of the second iteration carry iter == 1.
+        let second_iter_store = recs
+            .iter()
+            .position(|r| r.dyn_id == 12)
+            .unwrap();
+        assert_eq!(ph.annots[second_iter_store].iter, 1);
+        // First-iteration body records carry iter == 0.
+        let first_body = recs.iter().position(|r| r.dyn_id == 6).unwrap();
+        assert_eq!(ph.annots[first_body].iter, 0);
+    }
+
+    #[test]
+    fn callee_records_are_not_region_level_but_keep_phase() {
+        let recs = mini_trace();
+        let region = Region::new("main", 5, 7);
+        let ph = Phases::compute(&recs, &region);
+        let foo_store = recs.iter().position(|r| r.dyn_id == 4).unwrap();
+        assert_eq!(ph.annots[foo_store].phase, Phase::Inside);
+        assert!(!ph.annots[foo_store].region_level);
+        let main_store = recs.iter().position(|r| r.dyn_id == 6).unwrap();
+        assert!(ph.annots[main_store].region_level);
+    }
+
+    #[test]
+    fn header_label_is_identified() {
+        let recs = mini_trace();
+        let ph = Phases::compute(&recs, &Region::new("main", 5, 7));
+        assert_eq!(ph.header_label.as_deref(), Some("1"));
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let ph = Phases::compute(&[], &Region::new("main", 5, 7));
+        assert_eq!(ph.iterations, 0);
+        assert!(ph.annots.is_empty());
+    }
+
+    #[test]
+    fn loop_that_never_runs_keeps_everything_outside() {
+        // Condition false immediately: one evaluation, zero iterations.
+        let text = "\
+0,3,main,3:1,0,28,0,
+0,5,main,5:1,1,27,1,
+0,5,main,5:1,1,2,2,
+1,1,0,1,5,
+0,9,main,9:1,3,28,3,
+";
+        let recs = parse_str(text).unwrap();
+        let ph = Phases::compute(&recs, &Region::new("main", 5, 7));
+        assert_eq!(ph.iterations, 0);
+        assert_eq!(ph.phase(3), Phase::After);
+    }
+}

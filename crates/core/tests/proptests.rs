@@ -1,0 +1,139 @@
+//! Property tests for the analysis core: contraction invariants on random
+//! DAG-ish graphs and classification sanity on random event streams.
+
+use autocheck_core::{classify, contract_ddg, ClassifyConfig, DepGraph, NodeKind};
+use autocheck_core::{DepType, MliVar, Phase, RwEvent, RwKind};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Build a random graph: `n_vars` variable nodes (first `n_mli` are MLI)
+/// plus `n_regs` register nodes, with random edges.
+fn arb_graph() -> impl Strategy<Value = (DepGraph, usize)> {
+    (2usize..8, 0usize..6, 0usize..40, any::<u64>()).prop_map(|(n_vars, n_regs, n_edges, seed)| {
+        let mut g = DepGraph::default();
+        let mut nodes = Vec::new();
+        for i in 0..n_vars {
+            nodes.push(g.var_node(Arc::from(format!("v{i}").as_str()), 0x100 + i as u64 * 8));
+        }
+        for i in 0..n_regs {
+            nodes.push(g.reg_node(autocheck_trace::Name::Temp(i as u32)));
+        }
+        // Deterministic pseudo-random edges from the seed.
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        for _ in 0..n_edges {
+            let a = nodes[next() % nodes.len()];
+            let b = nodes[next() % nodes.len()];
+            g.add_edge(a, b);
+        }
+        let n_mli = 1 + next() % n_vars;
+        (g, n_mli)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Algorithm 1 invariants: contraction terminates (implicitly), keeps
+    /// every MLI node, and every surviving parent is either MLI or was
+    /// parentless in the complete DDG (a retained terminal).
+    #[test]
+    fn contraction_invariants((g, n_mli) in arb_graph()) {
+        let is_mli = |n: &NodeKind| matches!(
+            n,
+            NodeKind::Var { base, .. } if (*base - 0x100) / 8 < n_mli as u64
+        );
+        let c = contract_ddg(&g, is_mli);
+        // All MLI nodes survive.
+        let mli_count = (0..g.len()).filter(|&i| is_mli(&g.nodes[i])).count();
+        let surviving_mli = c.nodes.iter().filter(|n| is_mli(n)).count();
+        prop_assert_eq!(mli_count, surviving_mli);
+        // Every edge's parent is MLI or terminal-in-original.
+        for (p, _) in &c.edges {
+            let node = &c.nodes[*p];
+            if !is_mli(node) {
+                let orig = g.find(node).expect("contracted node exists in original");
+                prop_assert_eq!(
+                    g.parents_of(orig).count(),
+                    0,
+                    "non-MLI parent {:?} with parents survived",
+                    node.label()
+                );
+            }
+        }
+        // Edges only ever point INTO MLI nodes.
+        for (_, ch) in &c.edges {
+            prop_assert!(is_mli(&c.nodes[*ch]));
+        }
+    }
+
+    /// Classification sanity on random single-variable event streams:
+    /// * WAR/RAPO require a write in the loop,
+    /// * Outcome requires an after-loop read,
+    /// * never-written variables are always skipped,
+    /// * the function is deterministic.
+    #[test]
+    fn classification_sanity(
+        kinds in proptest::collection::vec((any::<bool>(), 0u32..4, 0u64..3), 1..40),
+        after_read in any::<bool>(),
+    ) {
+        let base = 0x1000u64;
+        let mut events: Vec<RwEvent> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, (is_read, iter, elem))| RwEvent {
+                base,
+                elem: base + elem * 8,
+                kind: if *is_read { RwKind::Read } else { RwKind::Write },
+                dyn_id: i as u64,
+                iter: *iter,
+                phase: Phase::Inside,
+                line: 10,
+            })
+            .collect();
+        // Iterations must be time-ordered like real traces.
+        events.sort_by_key(|e| (e.iter, e.dyn_id));
+        for (i, e) in events.iter_mut().enumerate() {
+            e.dyn_id = i as u64;
+        }
+        if after_read {
+            events.push(RwEvent {
+                base,
+                elem: base,
+                kind: RwKind::Read,
+                dyn_id: events.len() as u64,
+                iter: events.last().map(|e| e.iter).unwrap_or(0),
+                phase: Phase::After,
+                line: 90,
+            });
+        }
+        let mli = [MliVar {
+            name: Arc::from("v"),
+            base_addr: base,
+            size: 24,
+            first_line: 2,
+        }];
+        let cfg = ClassifyConfig::default();
+        let (crit, skipped) = classify(&mli, &events, &cfg);
+        let (crit2, _) = classify(&mli, &events, &cfg);
+        prop_assert_eq!(&crit, &crit2, "deterministic");
+        prop_assert_eq!(crit.len() + skipped.len(), 1, "exactly one verdict");
+
+        let written = events
+            .iter()
+            .any(|e| e.phase == Phase::Inside && e.kind == RwKind::Write);
+        if let Some(c) = crit.first() {
+            prop_assert!(written, "critical verdict requires an in-loop write");
+            if c.dep == DepType::Outcome {
+                prop_assert!(after_read);
+            }
+        } else if written {
+            // Skipped despite writes: must be rewritten-first or dead.
+        } else {
+            prop_assert!(!skipped.is_empty());
+        }
+    }
+}

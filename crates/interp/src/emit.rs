@@ -1,0 +1,182 @@
+//! Building trace records from executed instructions.
+//!
+//! The emitted shapes follow the paper's figures:
+//!
+//! * Fig. 1 — `Load`/arithmetic blocks: positional operands then an `r`
+//!   result line;
+//! * Fig. 6(a) — "Call form 1" (builtins): callee operand, argument
+//!   operands, `r` result;
+//! * Fig. 6(b) — "Call form 2" (defined functions): callee operand,
+//!   argument operands, then `f`-tagged parameter lines; the callee's body
+//!   records follow, and its `Ret` closes the invocation;
+//! * Fig. 6(c) — `Alloca`: the block-label field carries the *variable
+//!   name*, and the result line holds the variable's address.
+
+use crate::rtvalue::RtValue;
+use autocheck_ir::SrcLoc;
+use autocheck_trace::{Name, OpTag, Operand, Record};
+use std::sync::Arc;
+
+/// A fully-resolved dynamic operand, ready for serialization.
+#[derive(Clone, Debug)]
+pub struct DynOperand {
+    /// Register/variable name (`Name::None` for immediates).
+    pub name: Name,
+    /// Dynamic value.
+    pub value: RtValue,
+    /// Whether the operand is a register.
+    pub is_reg: bool,
+}
+
+impl DynOperand {
+    /// A register operand.
+    pub fn reg(name: Name, value: RtValue) -> Self {
+        DynOperand {
+            name,
+            value,
+            is_reg: true,
+        }
+    }
+
+    /// An immediate operand.
+    pub fn imm(value: RtValue) -> Self {
+        DynOperand {
+            name: Name::None,
+            value,
+            is_reg: false,
+        }
+    }
+
+    fn to_operand(&self, tag: OpTag) -> Operand {
+        Operand {
+            tag,
+            bits: self.value.bit_size(),
+            value: self.value.to_trace(),
+            is_reg: self.is_reg,
+            name: self.name.clone(),
+        }
+    }
+}
+
+/// Assemble one trace record.
+///
+/// `params` carries the `f`-tagged parameter lines of Call form 2 (empty
+/// otherwise); `label` is the basic-block label except for `Alloca`, where
+/// the caller passes the variable name.
+#[allow(clippy::too_many_arguments)]
+pub fn build_record(
+    func: Arc<str>,
+    bb_loc: SrcLoc,
+    label: Arc<str>,
+    opcode: u16,
+    loc: SrcLoc,
+    dyn_id: u64,
+    operands: &[DynOperand],
+    params: &[(Arc<str>, RtValue)],
+    result: Option<DynOperand>,
+) -> Record {
+    let mut ops: Vec<Operand> = Vec::with_capacity(operands.len() + params.len());
+    for (i, op) in operands.iter().enumerate() {
+        ops.push(op.to_operand(OpTag::Pos((i + 1) as u8)));
+    }
+    for (pname, pval) in params {
+        ops.push(Operand {
+            tag: OpTag::Param,
+            bits: pval.bit_size(),
+            value: pval.to_trace(),
+            is_reg: true,
+            name: Name::Sym(pname.clone()),
+        });
+    }
+    Record {
+        src_line: loc.trace_line(),
+        func,
+        bb: (bb_loc.line, bb_loc.col),
+        bb_label: label,
+        opcode,
+        dyn_id,
+        operands: ops,
+        result: result.map(|r| r.to_operand(OpTag::Result)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autocheck_trace::{writer, TraceValue};
+
+    #[test]
+    fn load_record_matches_fig1_shape() {
+        let r = build_record(
+            Arc::from("foo"),
+            SrcLoc::new(6, 1),
+            Arc::from("11"),
+            27,
+            SrcLoc::new(3, 1),
+            215,
+            &[DynOperand::reg(
+                Name::sym("p"),
+                RtValue::P(0x7ffc_f3f2_5a70),
+            )],
+            &[],
+            Some(DynOperand::reg(Name::Temp(8), RtValue::I(1))),
+        );
+        let mut s = String::new();
+        writer::format_record(&r, &mut s);
+        assert!(s.starts_with("0,3,foo,6:1,11,27,215,\n"));
+        assert!(s.contains("1,64,0x7ffcf3f25a70,1,p,\n"));
+        assert!(s.contains("r,64,1,1,8,\n"));
+    }
+
+    #[test]
+    fn call_form2_record_has_param_lines() {
+        let r = build_record(
+            Arc::from("main"),
+            SrcLoc::new(21, 1),
+            Arc::from("49"),
+            49,
+            SrcLoc::new(17, 1),
+            199,
+            &[
+                DynOperand::reg(Name::sym("foo"), RtValue::P(0x4009e0)),
+                DynOperand::reg(Name::Temp(6), RtValue::P(0x7ffe_c14b_0db0)),
+                DynOperand::reg(Name::Temp(7), RtValue::P(0x7ffe_c14b_0d80)),
+            ],
+            &[
+                (Arc::from("p"), RtValue::P(0x7ffe_c14b_0db0)),
+                (Arc::from("q"), RtValue::P(0x7ffe_c14b_0d80)),
+            ],
+            None,
+        );
+        assert_eq!(r.positional().count(), 3);
+        let params: Vec<_> = r.params().collect();
+        assert_eq!(params.len(), 2);
+        assert_eq!(params[0].name, Name::sym("p"));
+        assert_eq!(params[0].value, TraceValue::Ptr(0x7ffe_c14b_0db0));
+        assert!(r.result.is_none());
+    }
+
+    #[test]
+    fn alloca_record_carries_var_name_in_label() {
+        let r = build_record(
+            Arc::from("main"),
+            SrcLoc::new(0, 0),
+            Arc::from("sum"),
+            26,
+            SrcLoc::synthetic(),
+            51,
+            &[DynOperand::imm(RtValue::I(8))],
+            &[],
+            Some(DynOperand::reg(
+                Name::sym("sum"),
+                RtValue::P(0x7ffe_11de_09bc),
+            )),
+        );
+        assert_eq!(r.src_line, -1);
+        assert_eq!(&*r.bb_label, "sum");
+        assert_eq!(
+            r.result.as_ref().unwrap().value,
+            TraceValue::Ptr(0x7ffe_11de_09bc)
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Execution errors.
+
+use std::fmt;
+
+/// Why execution stopped abnormally.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExecError {
+    /// The module has no `main` function.
+    NoMain,
+    /// A register was read before being written — an interpreter or
+    /// verifier bug, not a user-program error.
+    UnboundRegister {
+        /// Function where it happened.
+        function: String,
+        /// Offending instruction index.
+        inst: u32,
+    },
+    /// A memory access fell outside every segment.
+    OutOfBounds {
+        /// The faulting address.
+        addr: u64,
+    },
+    /// Integer or float division by zero.
+    DivByZero {
+        /// Source line of the division.
+        line: u32,
+    },
+    /// The configured step budget was exhausted (runaway-loop guard).
+    StepLimit {
+        /// The limit that was hit.
+        limit: u64,
+    },
+    /// Call stack exceeded the configured depth.
+    StackOverflow,
+    /// Execution was killed by failure injection or by a hook — the
+    /// simulated fail-stop (`raise(SIGTERM)` in the paper).
+    Interrupted {
+        /// Dynamic instruction id at which execution stopped.
+        dyn_id: u64,
+    },
+    /// The trace sink failed (e.g. disk full).
+    Sink {
+        /// Description from the sink.
+        message: String,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::NoMain => write!(f, "module has no `main` function"),
+            ExecError::UnboundRegister { function, inst } => {
+                write!(f, "unbound register %i{inst} in `{function}`")
+            }
+            ExecError::OutOfBounds { addr } => write!(f, "memory access out of bounds: 0x{addr:x}"),
+            ExecError::DivByZero { line } => write!(f, "division by zero at line {line}"),
+            ExecError::StepLimit { limit } => write!(f, "step limit of {limit} instructions hit"),
+            ExecError::StackOverflow => write!(f, "call stack overflow"),
+            ExecError::Interrupted { dyn_id } => {
+                write!(f, "execution interrupted at dynamic instruction {dyn_id}")
+            }
+            ExecError::Sink { message } => write!(f, "trace sink error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(ExecError::NoMain.to_string().contains("main"));
+        assert!(ExecError::OutOfBounds { addr: 0x40 }
+            .to_string()
+            .contains("0x40"));
+        assert!(ExecError::Interrupted { dyn_id: 99 }
+            .to_string()
+            .contains("99"));
+        assert!(ExecError::DivByZero { line: 7 }.to_string().contains("7"));
+    }
+}

@@ -1,0 +1,151 @@
+//! Execution hooks: line-granular interception with memory access.
+//!
+//! The checkpoint/restart driver (crate `autocheck-checkpoint`) attaches a
+//! hook to the main computation loop's header line. Each arrival marks an
+//! iteration boundary: the first arrival is the paper's "reading
+//! checkpoints" insertion point (right before the main loop starts working),
+//! later arrivals are the "writing checkpoints" points (one completed
+//! iteration).
+
+use crate::memory::{Memory, SymbolInfo, SymbolScope};
+
+/// What a hook wants the interpreter to do next.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HookAction {
+    /// Keep executing.
+    Continue,
+    /// Stop with [`crate::ExecError::Interrupted`] — a simulated fail-stop.
+    Interrupt,
+}
+
+/// The state a hook can inspect and mutate.
+pub struct HookCtx<'a> {
+    /// The interpreter's memory.
+    pub mem: &'a mut Memory,
+    /// Symbols of the current function's frame.
+    pub frame: &'a SymbolScope,
+    /// Module globals.
+    pub globals: &'a SymbolScope,
+    /// Dynamic instruction id about to execute.
+    pub dyn_id: u64,
+}
+
+impl<'a> HookCtx<'a> {
+    /// Resolve a variable name: current frame first, then globals — the
+    /// same scoping the traced program uses.
+    pub fn symbol(&self, name: &str) -> Option<&SymbolInfo> {
+        self.frame.get(name).or_else(|| self.globals.get(name))
+    }
+
+    /// Read the full storage of variable `name`.
+    pub fn read_var(&self, name: &str) -> Option<Vec<u8>> {
+        let info = self.symbol(name)?;
+        self.mem.read_bytes(info.addr, info.byte_size()).ok()
+    }
+
+    /// Overwrite the storage of variable `name`. Returns false when the
+    /// variable is unknown or the size does not match.
+    pub fn write_var(&mut self, name: &str, data: &[u8]) -> bool {
+        let Some(info) = self.symbol(name).cloned() else {
+            return false;
+        };
+        if info.byte_size() != data.len() as u64 {
+            return false;
+        }
+        self.mem.write_bytes(info.addr, data).is_ok()
+    }
+}
+
+/// A line-granular execution hook.
+pub trait ExecHook {
+    /// Called when control reaches the first instruction of a new source
+    /// line (line transitions only, not once per instruction).
+    fn on_line(&mut self, ctx: &mut HookCtx<'_>, func: &str, line: u32) -> HookAction;
+}
+
+/// The no-op hook.
+#[derive(Default)]
+pub struct NoHook;
+
+impl ExecHook for NoHook {
+    fn on_line(&mut self, _ctx: &mut HookCtx<'_>, _func: &str, _line: u32) -> HookAction {
+        HookAction::Continue
+    }
+}
+
+/// Adapter: use a closure as a hook.
+pub struct FnHook<F>(pub F);
+
+impl<F> ExecHook for FnHook<F>
+where
+    F: FnMut(&mut HookCtx<'_>, &str, u32) -> HookAction,
+{
+    fn on_line(&mut self, ctx: &mut HookCtx<'_>, func: &str, line: u32) -> HookAction {
+        (self.0)(ctx, func, line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autocheck_ir::Type;
+
+    #[test]
+    fn ctx_symbol_resolution_prefers_frame() {
+        let mut mem = Memory::new(16);
+        let mut frame = SymbolScope::new();
+        let mut globals = SymbolScope::new();
+        globals.insert(
+            "x",
+            SymbolInfo {
+                addr: crate::memory::GLOBAL_BASE,
+                ty: Type::I64,
+                decl_line: 1,
+            },
+        );
+        let stack_addr = mem.stack_alloc(8);
+        frame.insert(
+            "x",
+            SymbolInfo {
+                addr: stack_addr,
+                ty: Type::I64,
+                decl_line: 5,
+            },
+        );
+        let mut ctx = HookCtx {
+            mem: &mut mem,
+            frame: &frame,
+            globals: &globals,
+            dyn_id: 0,
+        };
+        assert_eq!(ctx.symbol("x").unwrap().addr, stack_addr);
+        assert!(ctx.write_var("x", &7i64.to_le_bytes()));
+        assert_eq!(ctx.read_var("x").unwrap(), 7i64.to_le_bytes());
+        // Global-only symbol resolves too.
+        assert!(ctx.symbol("x").is_some());
+        assert!(ctx.symbol("missing").is_none());
+    }
+
+    #[test]
+    fn write_var_rejects_size_mismatch() {
+        let mut mem = Memory::new(16);
+        let frame = SymbolScope::new();
+        let mut globals = SymbolScope::new();
+        globals.insert(
+            "a",
+            SymbolInfo {
+                addr: crate::memory::GLOBAL_BASE,
+                ty: Type::Array(Box::new(Type::I64), 2),
+                decl_line: 1,
+            },
+        );
+        let mut ctx = HookCtx {
+            mem: &mut mem,
+            frame: &frame,
+            globals: &globals,
+            dyn_id: 0,
+        };
+        assert!(!ctx.write_var("a", &[0u8; 8])); // needs 16
+        assert!(ctx.write_var("a", &[1u8; 16]));
+    }
+}

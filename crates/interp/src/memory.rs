@@ -1,0 +1,344 @@
+//! The interpreter's concrete memory: globals segment + stack segment.
+//!
+//! Addresses are real (deterministic) numeric values so that the emitted
+//! traces carry meaningful pointers, exactly like LLVM-Tracer's output. The
+//! layout is fixed:
+//!
+//! * globals live at [`GLOBAL_BASE`], laid out at module load, 8-byte
+//!   aligned;
+//! * stack frames live at [`STACK_BASE`], growing upward through a bump
+//!   allocator that resets to the frame base on return.
+//!
+//! Determinism matters twice: it makes traces reproducible run-to-run, and
+//! it lets the BLCR-style whole-image checkpointer restore a dump into a
+//! fresh interpreter (same allocation order ⇒ same addresses).
+
+use crate::error::ExecError;
+use autocheck_ir::Type;
+use std::collections::HashMap;
+
+/// Base address of the globals segment.
+pub const GLOBAL_BASE: u64 = 0x0100_0000;
+/// Base address of the stack segment.
+pub const STACK_BASE: u64 = 0x7f00_0000_0000;
+
+/// Metadata for one named variable (global or stack-allocated).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SymbolInfo {
+    /// Base address of the storage.
+    pub addr: u64,
+    /// Storage type (scalar or array).
+    pub ty: Type,
+    /// Declaration line.
+    pub decl_line: u32,
+}
+
+impl SymbolInfo {
+    /// Size of the storage in bytes.
+    pub fn byte_size(&self) -> u64 {
+        self.ty.byte_size()
+    }
+}
+
+/// A name → storage mapping for one scope (the globals, or one frame).
+#[derive(Clone, Debug, Default)]
+pub struct SymbolScope {
+    map: HashMap<String, SymbolInfo>,
+}
+
+impl SymbolScope {
+    /// Empty scope.
+    pub fn new() -> Self {
+        SymbolScope::default()
+    }
+
+    /// Insert (or shadow) a symbol.
+    pub fn insert(&mut self, name: &str, info: SymbolInfo) {
+        self.map.insert(name.to_string(), info);
+    }
+
+    /// Look up a symbol.
+    pub fn get(&self, name: &str) -> Option<&SymbolInfo> {
+        self.map.get(name)
+    }
+
+    /// Iterate over `(name, info)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &SymbolInfo)> {
+        self.map.iter()
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no symbols are registered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// A serializable snapshot of both segments — what the BLCR-style
+/// whole-process checkpointer stores.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MemoryImage {
+    /// Globals segment contents.
+    pub globals: Vec<u8>,
+    /// Stack segment contents (up to the current stack pointer).
+    pub stack: Vec<u8>,
+}
+
+impl MemoryImage {
+    /// Total image size in bytes.
+    pub fn byte_size(&self) -> u64 {
+        (self.globals.len() + self.stack.len()) as u64
+    }
+}
+
+/// The two-segment memory.
+#[derive(Clone, Debug)]
+pub struct Memory {
+    globals: Vec<u8>,
+    stack: Vec<u8>,
+    sp: u64,
+}
+
+impl Memory {
+    /// Fresh memory with a globals segment of `global_bytes`.
+    pub fn new(global_bytes: u64) -> Memory {
+        Memory {
+            globals: vec![0u8; global_bytes as usize],
+            stack: Vec::new(),
+            sp: 0,
+        }
+    }
+
+    /// Current stack pointer offset (bytes above [`STACK_BASE`]).
+    pub fn stack_pointer(&self) -> u64 {
+        self.sp
+    }
+
+    /// Allocate `bytes` on the stack (8-byte aligned), returning the
+    /// address.
+    pub fn stack_alloc(&mut self, bytes: u64) -> u64 {
+        let aligned = (bytes + 7) & !7;
+        let addr = STACK_BASE + self.sp;
+        self.sp += aligned;
+        if self.stack.len() < self.sp as usize {
+            self.stack.resize(self.sp as usize, 0);
+        } else {
+            // Reused stack region from a returned frame: zero it so programs
+            // observe deterministic (calloc-like) contents.
+            let start = (addr - STACK_BASE) as usize;
+            self.stack[start..self.sp as usize].fill(0);
+        }
+        addr
+    }
+
+    /// Reset the stack pointer to `sp` (frame return).
+    pub fn stack_release(&mut self, sp: u64) {
+        debug_assert!(sp <= self.sp);
+        self.sp = sp;
+    }
+
+    fn locate(&self, addr: u64, len: u64) -> Result<(bool, usize), ExecError> {
+        let glen = self.globals.len() as u64;
+        if addr >= GLOBAL_BASE && addr + len <= GLOBAL_BASE + glen {
+            return Ok((true, (addr - GLOBAL_BASE) as usize));
+        }
+        if addr >= STACK_BASE && addr + len <= STACK_BASE + self.sp {
+            return Ok((false, (addr - STACK_BASE) as usize));
+        }
+        Err(ExecError::OutOfBounds { addr })
+    }
+
+    /// Read 8 little-endian bytes.
+    pub fn read_u64(&self, addr: u64) -> Result<u64, ExecError> {
+        let (is_g, off) = self.locate(addr, 8)?;
+        let seg = if is_g { &self.globals } else { &self.stack };
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&seg[off..off + 8]);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Write 8 little-endian bytes.
+    pub fn write_u64(&mut self, addr: u64, v: u64) -> Result<(), ExecError> {
+        let (is_g, off) = self.locate(addr, 8)?;
+        let seg = if is_g {
+            &mut self.globals
+        } else {
+            &mut self.stack
+        };
+        seg[off..off + 8].copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    /// Read an `i64`.
+    pub fn read_i64(&self, addr: u64) -> Result<i64, ExecError> {
+        Ok(self.read_u64(addr)? as i64)
+    }
+
+    /// Write an `i64`.
+    pub fn write_i64(&mut self, addr: u64, v: i64) -> Result<(), ExecError> {
+        self.write_u64(addr, v as u64)
+    }
+
+    /// Read an `f64`.
+    pub fn read_f64(&self, addr: u64) -> Result<f64, ExecError> {
+        Ok(f64::from_bits(self.read_u64(addr)?))
+    }
+
+    /// Write an `f64`.
+    pub fn write_f64(&mut self, addr: u64, v: f64) -> Result<(), ExecError> {
+        self.write_u64(addr, v.to_bits())
+    }
+
+    /// Copy `len` bytes starting at `addr` into a fresh vector (checkpoint
+    /// capture path).
+    pub fn read_bytes(&self, addr: u64, len: u64) -> Result<Vec<u8>, ExecError> {
+        let (is_g, off) = self.locate(addr, len)?;
+        let seg = if is_g { &self.globals } else { &self.stack };
+        Ok(seg[off..off + len as usize].to_vec())
+    }
+
+    /// Overwrite memory at `addr` with `data` (checkpoint restore path).
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) -> Result<(), ExecError> {
+        let (is_g, off) = self.locate(addr, data.len() as u64)?;
+        let seg = if is_g {
+            &mut self.globals
+        } else {
+            &mut self.stack
+        };
+        seg[off..off + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Bytes currently in use across both segments — the BLCR image size.
+    pub fn used_bytes(&self) -> u64 {
+        self.globals.len() as u64 + self.sp
+    }
+
+    /// Snapshot both segments.
+    pub fn image(&self) -> MemoryImage {
+        MemoryImage {
+            globals: self.globals.clone(),
+            stack: self.stack[..self.sp as usize].to_vec(),
+        }
+    }
+
+    /// Restore a snapshot taken by [`Memory::image`]. The stack pointer is
+    /// set to the image's stack extent; segment sizes must be compatible
+    /// (same program, same load layout).
+    pub fn restore_image(&mut self, img: &MemoryImage) -> Result<(), ExecError> {
+        if img.globals.len() != self.globals.len() {
+            return Err(ExecError::OutOfBounds { addr: GLOBAL_BASE });
+        }
+        self.globals.copy_from_slice(&img.globals);
+        if self.stack.len() < img.stack.len() {
+            self.stack.resize(img.stack.len(), 0);
+        }
+        self.stack[..img.stack.len()].copy_from_slice(&img.stack);
+        self.sp = img.stack.len() as u64;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn globals_round_trip() {
+        let mut m = Memory::new(64);
+        m.write_i64(GLOBAL_BASE, -42).unwrap();
+        m.write_f64(GLOBAL_BASE + 8, 2.75).unwrap();
+        assert_eq!(m.read_i64(GLOBAL_BASE).unwrap(), -42);
+        assert_eq!(m.read_f64(GLOBAL_BASE + 8).unwrap(), 2.75);
+    }
+
+    #[test]
+    fn stack_alloc_is_aligned_and_zeroed() {
+        let mut m = Memory::new(0);
+        let a = m.stack_alloc(5);
+        let b = m.stack_alloc(8);
+        assert_eq!(a, STACK_BASE);
+        assert_eq!(b, STACK_BASE + 8);
+        assert_eq!(m.read_i64(a).unwrap(), 0);
+    }
+
+    #[test]
+    fn released_stack_is_rezeroed_on_reuse() {
+        let mut m = Memory::new(0);
+        let base = m.stack_pointer();
+        let a = m.stack_alloc(8);
+        m.write_i64(a, 77).unwrap();
+        m.stack_release(base);
+        let b = m.stack_alloc(8);
+        assert_eq!(a, b);
+        assert_eq!(m.read_i64(b).unwrap(), 0);
+    }
+
+    #[test]
+    fn out_of_bounds_reads_fail() {
+        let m = Memory::new(8);
+        assert!(matches!(
+            m.read_i64(GLOBAL_BASE + 8),
+            Err(ExecError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            m.read_i64(STACK_BASE),
+            Err(ExecError::OutOfBounds { .. })
+        ));
+        assert!(matches!(m.read_i64(0), Err(ExecError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn byte_copies_round_trip() {
+        let mut m = Memory::new(32);
+        let data: Vec<u8> = (0..16).collect();
+        m.write_bytes(GLOBAL_BASE + 8, &data).unwrap();
+        assert_eq!(m.read_bytes(GLOBAL_BASE + 8, 16).unwrap(), data);
+    }
+
+    #[test]
+    fn image_snapshot_and_restore() {
+        let mut m = Memory::new(16);
+        m.write_i64(GLOBAL_BASE, 1).unwrap();
+        let a = m.stack_alloc(8);
+        m.write_i64(a, 2).unwrap();
+        let img = m.image();
+        assert_eq!(img.byte_size(), 16 + 8);
+
+        // Mutate, then restore.
+        m.write_i64(GLOBAL_BASE, 9).unwrap();
+        m.write_i64(a, 9).unwrap();
+        m.restore_image(&img).unwrap();
+        assert_eq!(m.read_i64(GLOBAL_BASE).unwrap(), 1);
+        assert_eq!(m.read_i64(a).unwrap(), 2);
+        assert_eq!(m.used_bytes(), 24);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_globals() {
+        let m = Memory::new(16);
+        let img = m.image();
+        let mut other = Memory::new(32);
+        assert!(other.restore_image(&img).is_err());
+    }
+
+    #[test]
+    fn symbol_scope_basics() {
+        let mut s = SymbolScope::new();
+        s.insert(
+            "sum",
+            SymbolInfo {
+                addr: GLOBAL_BASE,
+                ty: Type::I64,
+                decl_line: 9,
+            },
+        );
+        assert_eq!(s.get("sum").unwrap().byte_size(), 8);
+        assert!(s.get("nope").is_none());
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -1,0 +1,125 @@
+//! Runtime values flowing through interpreter registers.
+
+use autocheck_trace::TraceValue;
+use std::fmt;
+
+/// A dynamic value.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RtValue {
+    /// 64-bit signed integer.
+    I(i64),
+    /// Double.
+    F(f64),
+    /// Boolean (comparison results; register-only, never stored raw).
+    B(bool),
+    /// Pointer — a virtual address into the interpreter's [`crate::Memory`].
+    P(u64),
+}
+
+impl RtValue {
+    /// Integer payload; booleans coerce to 0/1 (LLVM `i1` semantics when
+    /// mixed into integer arithmetic).
+    pub fn as_i(&self) -> Option<i64> {
+        match self {
+            RtValue::I(v) => Some(*v),
+            RtValue::B(b) => Some(*b as i64),
+            _ => None,
+        }
+    }
+
+    /// Float payload.
+    pub fn as_f(&self) -> Option<f64> {
+        match self {
+            RtValue::F(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Boolean payload; integers coerce via `!= 0`.
+    pub fn as_b(&self) -> Option<bool> {
+        match self {
+            RtValue::B(b) => Some(*b),
+            RtValue::I(v) => Some(*v != 0),
+            _ => None,
+        }
+    }
+
+    /// Pointer payload.
+    pub fn as_p(&self) -> Option<u64> {
+        match self {
+            RtValue::P(p) => Some(*p),
+            _ => None,
+        }
+    }
+
+    /// Width in bits as reported in trace operand records.
+    pub fn bit_size(&self) -> u16 {
+        match self {
+            RtValue::B(_) => 1,
+            _ => 64,
+        }
+    }
+
+    /// Convert to the trace representation.
+    pub fn to_trace(&self) -> TraceValue {
+        match self {
+            RtValue::I(v) => TraceValue::I(*v),
+            RtValue::F(v) => TraceValue::F(*v),
+            RtValue::B(b) => TraceValue::I(*b as i64),
+            RtValue::P(p) => TraceValue::Ptr(*p),
+        }
+    }
+
+    /// Deterministic, round-trippable display used for program output
+    /// comparison in the restart-validation experiments.
+    pub fn display_exact(&self) -> String {
+        match self {
+            RtValue::I(v) => v.to_string(),
+            RtValue::F(v) => format!("{v:?}"),
+            RtValue::B(b) => (*b as i64).to_string(),
+            RtValue::P(p) => format!("0x{p:x}"),
+        }
+    }
+}
+
+impl fmt::Display for RtValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.display_exact())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coercions() {
+        assert_eq!(RtValue::I(5).as_i(), Some(5));
+        assert_eq!(RtValue::B(true).as_i(), Some(1));
+        assert_eq!(RtValue::F(2.5).as_i(), None);
+        assert_eq!(RtValue::I(0).as_b(), Some(false));
+        assert_eq!(RtValue::I(7).as_b(), Some(true));
+        assert_eq!(RtValue::P(16).as_p(), Some(16));
+    }
+
+    #[test]
+    fn trace_conversion() {
+        assert_eq!(RtValue::I(3).to_trace(), TraceValue::I(3));
+        assert_eq!(RtValue::B(true).to_trace(), TraceValue::I(1));
+        assert_eq!(RtValue::P(0x40).to_trace(), TraceValue::Ptr(0x40));
+        assert_eq!(RtValue::F(1.5).to_trace(), TraceValue::F(1.5));
+    }
+
+    #[test]
+    fn exact_display_round_trips_floats() {
+        let v = 0.1f64 + 0.2f64;
+        let shown = RtValue::F(v).display_exact();
+        assert_eq!(shown.parse::<f64>().unwrap(), v);
+    }
+
+    #[test]
+    fn bit_sizes() {
+        assert_eq!(RtValue::B(false).bit_size(), 1);
+        assert_eq!(RtValue::I(1).bit_size(), 64);
+    }
+}

@@ -1,0 +1,156 @@
+//! Trace sinks: where emitted records go.
+
+use crate::error::ExecError;
+use autocheck_trace::{Record, TraceWriter};
+use std::io::Write;
+
+/// Consumer of emitted trace records.
+pub trait TraceSink {
+    /// Receive one record.
+    fn record(&mut self, rec: Record) -> Result<(), ExecError>;
+
+    /// True when the sink wants records at all. The interpreter skips record
+    /// *construction* entirely when this is false, so untraced runs (the
+    /// checkpoint-validation executions) pay nothing.
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// Discards everything; `enabled()` is false so emission is skipped.
+#[derive(Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _rec: Record) -> Result<(), ExecError> {
+        Ok(())
+    }
+
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Collects records in memory — used by tests and the in-process pipeline.
+#[derive(Default)]
+pub struct VecSink {
+    /// The collected records.
+    pub records: Vec<Record>,
+}
+
+impl TraceSink for VecSink {
+    fn record(&mut self, rec: Record) -> Result<(), ExecError> {
+        self.records.push(rec);
+        Ok(())
+    }
+}
+
+/// Counts records without keeping them.
+#[derive(Default)]
+pub struct CountSink {
+    /// Number of records seen.
+    pub count: u64,
+}
+
+impl TraceSink for CountSink {
+    fn record(&mut self, _rec: Record) -> Result<(), ExecError> {
+        self.count += 1;
+        Ok(())
+    }
+}
+
+/// Streams the textual trace format into any [`Write`] — the equivalent of
+/// LLVM-Tracer's trace file.
+pub struct WriterSink<W: Write> {
+    writer: TraceWriter<W>,
+}
+
+impl<W: Write> WriterSink<W> {
+    /// Wrap `out`.
+    pub fn new(out: W) -> Self {
+        WriterSink {
+            writer: TraceWriter::new(out),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.writer.bytes_written()
+    }
+
+    /// Records written so far.
+    pub fn records_written(&self) -> u64 {
+        self.writer.records_written()
+    }
+
+    /// Flush and recover the inner writer.
+    pub fn finish(self) -> Result<W, ExecError> {
+        self.writer.finish().map_err(|e| ExecError::Sink {
+            message: e.to_string(),
+        })
+    }
+}
+
+impl<W: Write> TraceSink for WriterSink<W> {
+    fn record(&mut self, rec: Record) -> Result<(), ExecError> {
+        self.writer.write_record(&rec).map_err(|e| ExecError::Sink {
+            message: e.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn rec(id: u64) -> Record {
+        Record {
+            src_line: 1,
+            func: Arc::from("main"),
+            bb: (1, 1),
+            bb_label: Arc::from("0"),
+            opcode: 2,
+            dyn_id: id,
+            operands: vec![],
+            result: None,
+        }
+    }
+
+    #[test]
+    fn null_sink_is_disabled() {
+        let s = NullSink;
+        assert!(!s.enabled());
+    }
+
+    #[test]
+    fn vec_sink_collects() {
+        let mut s = VecSink::default();
+        s.record(rec(0)).unwrap();
+        s.record(rec(1)).unwrap();
+        assert_eq!(s.records.len(), 2);
+        assert!(s.enabled());
+    }
+
+    #[test]
+    fn count_sink_counts() {
+        let mut s = CountSink::default();
+        for i in 0..5 {
+            s.record(rec(i)).unwrap();
+        }
+        assert_eq!(s.count, 5);
+    }
+
+    #[test]
+    fn writer_sink_produces_parsable_text() {
+        let mut s = WriterSink::new(Vec::new());
+        s.record(rec(0)).unwrap();
+        s.record(rec(1)).unwrap();
+        assert_eq!(s.records_written(), 2);
+        let bytes = s.finish().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let parsed = autocheck_trace::parse_str(&text).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[1].dyn_id, 1);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests for the interpreter: random arithmetic programs computed
+//! against a Rust reference evaluator, and trace determinism.
+
+use autocheck_interp::{ExecOptions, Machine, NoHook, NullSink, VecSink};
+use proptest::prelude::*;
+
+/// A random integer expression tree over two variables, rendered both as
+/// MiniLang source and as a Rust closure.
+#[derive(Clone, Debug)]
+enum Expr {
+    A,
+    B,
+    Lit(i8),
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    fn render(&self) -> String {
+        match self {
+            Expr::A => "a".into(),
+            Expr::B => "b".into(),
+            Expr::Lit(v) => {
+                if *v < 0 {
+                    format!("(0 - {})", -(*v as i64))
+                } else {
+                    v.to_string()
+                }
+            }
+            Expr::Add(l, r) => format!("({} + {})", l.render(), r.render()),
+            Expr::Sub(l, r) => format!("({} - {})", l.render(), r.render()),
+            Expr::Mul(l, r) => format!("({} * {})", l.render(), r.render()),
+        }
+    }
+
+    fn eval(&self, a: i64, b: i64) -> i64 {
+        match self {
+            Expr::A => a,
+            Expr::B => b,
+            Expr::Lit(v) => *v as i64,
+            Expr::Add(l, r) => l.eval(a, b).wrapping_add(r.eval(a, b)),
+            Expr::Sub(l, r) => l.eval(a, b).wrapping_sub(r.eval(a, b)),
+            Expr::Mul(l, r) => l.eval(a, b).wrapping_mul(r.eval(a, b)),
+        }
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        Just(Expr::A),
+        Just(Expr::B),
+        any::<i8>().prop_map(Expr::Lit),
+    ];
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::Add(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::Sub(Box::new(l), Box::new(r))),
+            (inner.clone(), inner).prop_map(|(l, r)| Expr::Mul(Box::new(l), Box::new(r))),
+        ]
+    })
+}
+
+fn run_expr(e: &Expr, a: i64, b: i64) -> i64 {
+    let src = format!(
+        "int main() {{\n    int a = {a};\n    int b = {b};\n    int out = {};\n    print(out);\n    return 0;\n}}\n",
+        e.render()
+    );
+    let module = autocheck_minilang::compile(&src)
+        .unwrap_or_else(|err| panic!("source failed to compile: {err:?}\n{src}"));
+    let out = Machine::new(&module, ExecOptions::default())
+        .run(&mut NullSink, &mut NoHook)
+        .expect("runs");
+    out.output[0].parse().expect("integer output")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn interpreter_matches_reference_evaluator(e in arb_expr(), a in -1000i64..1000, b in -1000i64..1000) {
+        prop_assert_eq!(run_expr(&e, a, b), e.eval(a, b));
+    }
+
+    #[test]
+    fn loop_sums_match_closed_form(n in 1i64..40, step in 1i64..5) {
+        let src = format!(
+            "int main() {{\n    int s = 0;\n    for (int i = 0; i < {n}; i = i + {step}) {{\n        s = s + i;\n    }}\n    print(s);\n    return 0;\n}}\n"
+        );
+        let module = autocheck_minilang::compile(&src).unwrap();
+        let out = Machine::new(&module, ExecOptions::default())
+            .run(&mut NullSink, &mut NoHook)
+            .unwrap();
+        let expect: i64 = (0..n).step_by(step as usize).sum();
+        prop_assert_eq!(out.output[0].parse::<i64>().unwrap(), expect);
+    }
+
+    #[test]
+    fn traces_are_deterministic_and_dense(e in arb_expr()) {
+        let src = format!(
+            "int main() {{\n    int a = 3;\n    int b = 5;\n    int out = {};\n    print(out);\n    return 0;\n}}\n",
+            e.render()
+        );
+        let module = autocheck_minilang::compile(&src).unwrap();
+        let run = || {
+            let mut sink = VecSink::default();
+            Machine::new(&module, ExecOptions::default())
+                .run(&mut sink, &mut NoHook)
+                .unwrap();
+            sink.records
+        };
+        let r1 = run();
+        let r2 = run();
+        prop_assert_eq!(&r1, &r2);
+        for (i, r) in r1.iter().enumerate() {
+            prop_assert_eq!(r.dyn_id, i as u64);
+        }
+    }
+}

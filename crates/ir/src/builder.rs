@@ -1,0 +1,261 @@
+//! A cursor-style construction API.
+//!
+//! The builder keeps a current block and a current source location; the
+//! MiniLang lowering sets the location once per statement and then emits the
+//! instruction sequence for it. Every emission helper returns the [`Value`]
+//! of the produced result so expression trees compose naturally.
+
+use crate::inst::{BinOp, Builtin, Callee, CastOp, CmpPred, InstKind, SrcLoc};
+use crate::module::{BlockId, Function, InstId};
+use crate::types::Type;
+use crate::value::Value;
+
+/// Builds one function.
+pub struct FunctionBuilder {
+    func: Function,
+    cur: BlockId,
+    loc: SrcLoc,
+    /// True once the current block has a terminator; further instructions
+    /// would be unreachable and are a builder-usage bug.
+    terminated: bool,
+}
+
+impl FunctionBuilder {
+    /// Start building `func`, positioned at its entry block.
+    pub fn new(func: Function) -> Self {
+        let cur = func.entry();
+        FunctionBuilder {
+            func,
+            cur,
+            loc: SrcLoc::synthetic(),
+            terminated: false,
+        }
+    }
+
+    /// Finish and return the completed function.
+    pub fn finish(self) -> Function {
+        self.func
+    }
+
+    /// Read-only access to the function under construction.
+    pub fn func(&self) -> &Function {
+        &self.func
+    }
+
+    /// Set the source location attached to subsequently emitted instructions.
+    pub fn set_loc(&mut self, line: u32, col: u32) {
+        self.loc = SrcLoc::new(line, col);
+    }
+
+    /// The current source location.
+    pub fn loc(&self) -> SrcLoc {
+        self.loc
+    }
+
+    /// Create a new block (does not move the cursor).
+    pub fn new_block(&mut self) -> BlockId {
+        self.func.add_block(self.loc)
+    }
+
+    /// Move the cursor to `block`.
+    pub fn switch_to(&mut self, block: BlockId) {
+        self.cur = block;
+        self.terminated = self
+            .func
+            .terminator(block)
+            .is_some();
+    }
+
+    /// The block the cursor is on.
+    pub fn current_block(&self) -> BlockId {
+        self.cur
+    }
+
+    /// Whether the current block already ends in a terminator.
+    pub fn is_terminated(&self) -> bool {
+        self.terminated
+    }
+
+    fn emit(&mut self, kind: InstKind) -> InstId {
+        assert!(
+            !self.terminated,
+            "emitting into terminated block {} of `{}`",
+            self.cur.0, self.func.name
+        );
+        let loc = self.loc;
+        self.func.push_inst(self.cur, kind, loc)
+    }
+
+    fn emit_term(&mut self, kind: InstKind) -> InstId {
+        let id = self.emit(kind);
+        self.terminated = true;
+        id
+    }
+
+    /// `alloca` for a named source variable; returns the address value.
+    pub fn alloca(&mut self, var: &str, ty: Type) -> Value {
+        Value::Inst(self.emit(InstKind::Alloca {
+            ty,
+            var: var.to_string(),
+        }))
+    }
+
+    /// Load a `ty` scalar through `ptr`.
+    pub fn load(&mut self, ptr: Value, ty: Type) -> Value {
+        Value::Inst(self.emit(InstKind::Load { ptr, ty }))
+    }
+
+    /// Store `value` (of type `ty`) through `ptr`.
+    pub fn store(&mut self, value: Value, ptr: Value, ty: Type) -> InstId {
+        self.emit(InstKind::Store { value, ptr, ty })
+    }
+
+    /// Address of `base[index]` where elements have type `elem`.
+    pub fn gep(&mut self, base: Value, index: Value, elem: Type) -> Value {
+        Value::Inst(self.emit(InstKind::Gep { base, index, elem }))
+    }
+
+    /// Pointer reinterpretation.
+    pub fn bitcast(&mut self, value: Value, to: Type) -> Value {
+        Value::Inst(self.emit(InstKind::BitCast { value, to }))
+    }
+
+    /// Binary arithmetic.
+    pub fn binary(&mut self, op: BinOp, lhs: Value, rhs: Value) -> Value {
+        Value::Inst(self.emit(InstKind::Binary { op, lhs, rhs }))
+    }
+
+    /// Comparison producing `i1`.
+    pub fn cmp(&mut self, pred: CmpPred, lhs: Value, rhs: Value, float: bool) -> Value {
+        Value::Inst(self.emit(InstKind::Cmp {
+            pred,
+            lhs,
+            rhs,
+            float,
+        }))
+    }
+
+    /// Value conversion.
+    pub fn cast(&mut self, op: CastOp, value: Value) -> Value {
+        Value::Inst(self.emit(InstKind::Cast { op, value }))
+    }
+
+    /// Call a defined function.
+    pub fn call(&mut self, callee: crate::module::FuncId, args: Vec<Value>) -> Value {
+        Value::Inst(self.emit(InstKind::Call {
+            callee: Callee::Function(callee),
+            args,
+        }))
+    }
+
+    /// Call a builtin.
+    pub fn call_builtin(&mut self, b: Builtin, args: Vec<Value>) -> Value {
+        Value::Inst(self.emit(InstKind::Call {
+            callee: Callee::Builtin(b),
+            args,
+        }))
+    }
+
+    /// Return.
+    pub fn ret(&mut self, value: Option<Value>) -> InstId {
+        self.emit_term(InstKind::Ret { value })
+    }
+
+    /// Unconditional branch.
+    pub fn br(&mut self, target: BlockId) -> InstId {
+        self.emit_term(InstKind::Br { target })
+    }
+
+    /// Conditional branch.
+    pub fn cond_br(&mut self, cond: Value, then_bb: BlockId, else_bb: BlockId) -> InstId {
+        self.emit_term(InstKind::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::Param;
+
+    fn fresh(name: &str) -> FunctionBuilder {
+        FunctionBuilder::new(Function::new(
+            name,
+            vec![Param {
+                name: "n".into(),
+                ty: Type::I64,
+            }],
+            Type::I64,
+            SrcLoc::new(1, 1),
+        ))
+    }
+
+    #[test]
+    fn builds_straightline_code() {
+        let mut b = fresh("f");
+        b.set_loc(2, 1);
+        let x = b.alloca("x", Type::I64);
+        b.store(Value::Param(0), x, Type::I64);
+        let v = b.load(x, Type::I64);
+        let doubled = b.binary(BinOp::Mul, v, Value::ConstI(2));
+        b.ret(Some(doubled));
+        let f = b.finish();
+        assert_eq!(f.blocks[0].insts.len(), 5);
+        assert!(f.terminator(f.entry()).is_some());
+    }
+
+    #[test]
+    fn builds_a_loop_cfg() {
+        // for (i = 0; i < n; i = i + 1) {}
+        let mut b = fresh("loop");
+        b.set_loc(2, 1);
+        let i = b.alloca("i", Type::I64);
+        b.store(Value::ConstI(0), i, Type::I64);
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(header);
+        b.switch_to(header);
+        let iv = b.load(i, Type::I64);
+        let c = b.cmp(CmpPred::Lt, iv, Value::Param(0), false);
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let iv2 = b.load(i, Type::I64);
+        let inc = b.binary(BinOp::Add, iv2, Value::ConstI(1));
+        b.store(inc, i, Type::I64);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(Some(Value::ConstI(0)));
+        let f = b.finish();
+        assert_eq!(f.blocks.len(), 4);
+        assert!(f.blocks.iter().all(|blk| {
+            blk.insts
+                .last()
+                .map(|id| f.inst(*id).is_terminator())
+                .unwrap_or(false)
+        }));
+    }
+
+    #[test]
+    #[should_panic(expected = "terminated block")]
+    fn emitting_after_terminator_panics() {
+        let mut b = fresh("bad");
+        b.ret(None);
+        b.alloca("x", Type::I64);
+    }
+
+    #[test]
+    fn switch_to_tracks_termination() {
+        let mut b = fresh("s");
+        let other = b.new_block();
+        b.ret(None);
+        assert!(b.is_terminated());
+        b.switch_to(other);
+        assert!(!b.is_terminated());
+        b.ret(None);
+        assert!(b.is_terminated());
+    }
+}

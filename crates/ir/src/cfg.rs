@@ -1,0 +1,197 @@
+//! Control-flow graph: successor and predecessor sets per basic block.
+
+use crate::inst::InstKind;
+use crate::module::{BlockId, Function};
+
+/// The CFG of one function.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    succs: Vec<Vec<BlockId>>,
+    preds: Vec<Vec<BlockId>>,
+    rpo: Vec<BlockId>,
+}
+
+impl Cfg {
+    /// Compute the CFG of `f`. Blocks without terminators contribute no
+    /// edges (the verifier reports those separately).
+    pub fn compute(f: &Function) -> Cfg {
+        let n = f.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for (i, _) in f.blocks.iter().enumerate() {
+            let bid = BlockId(i as u32);
+            if let Some(term) = f.terminator(bid) {
+                match &term.kind {
+                    InstKind::Br { target } => succs[i].push(*target),
+                    InstKind::CondBr {
+                        then_bb, else_bb, ..
+                    } => {
+                        succs[i].push(*then_bb);
+                        if then_bb != else_bb {
+                            succs[i].push(*else_bb);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for (i, ss) in succs.iter().enumerate() {
+            for s in ss {
+                preds[s.index()].push(BlockId(i as u32));
+            }
+        }
+        let rpo = reverse_postorder(&succs, n);
+        Cfg { succs, preds, rpo }
+    }
+
+    /// Successors of `b`.
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// Predecessors of `b`.
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// Blocks in reverse postorder from the entry. Unreachable blocks are
+    /// excluded.
+    pub fn reverse_postorder(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Number of blocks (including unreachable ones).
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// True when the function has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// True if `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo.contains(&b)
+    }
+}
+
+fn reverse_postorder(succs: &[Vec<BlockId>], n: usize) -> Vec<BlockId> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut visited = vec![false; n];
+    let mut post = Vec::with_capacity(n);
+    // Iterative DFS keeping an explicit "next successor" index per frame so
+    // the postorder matches the recursive definition.
+    let mut stack: Vec<(BlockId, usize)> = vec![(BlockId(0), 0)];
+    visited[0] = true;
+    while let Some((b, i)) = stack.last_mut() {
+        let ss = &succs[b.index()];
+        if *i < ss.len() {
+            let next = ss[*i];
+            *i += 1;
+            if !visited[next.index()] {
+                visited[next.index()] = true;
+                stack.push((next, 0));
+            }
+        } else {
+            post.push(*b);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{CmpPred, SrcLoc};
+    use crate::types::Type;
+    use crate::value::Value;
+
+    /// entry -> header -> {body -> header, exit}
+    fn loop_func() -> Function {
+        let mut b = FunctionBuilder::new(Function::new(
+            "f",
+            vec![],
+            Type::Void,
+            SrcLoc::new(1, 1),
+        ));
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(header);
+        b.switch_to(header);
+        let c = b.cmp(CmpPred::Lt, Value::ConstI(0), Value::ConstI(1), false);
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn loop_edges() {
+        let f = loop_func();
+        let cfg = Cfg::compute(&f);
+        assert_eq!(cfg.succs(BlockId(0)), &[BlockId(1)]);
+        assert_eq!(cfg.succs(BlockId(1)), &[BlockId(2), BlockId(3)]);
+        assert_eq!(cfg.succs(BlockId(2)), &[BlockId(1)]);
+        assert!(cfg.succs(BlockId(3)).is_empty());
+        assert_eq!(cfg.preds(BlockId(1)).len(), 2);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable() {
+        let f = loop_func();
+        let cfg = Cfg::compute(&f);
+        let rpo = cfg.reverse_postorder();
+        assert_eq!(rpo[0], BlockId(0));
+        assert_eq!(rpo.len(), 4);
+        // Header precedes body and exit in RPO.
+        let pos = |b: BlockId| rpo.iter().position(|x| *x == b).unwrap();
+        assert!(pos(BlockId(1)) < pos(BlockId(2)));
+        assert!(pos(BlockId(1)) < pos(BlockId(3)));
+    }
+
+    #[test]
+    fn unreachable_block_excluded_from_rpo() {
+        let mut b = FunctionBuilder::new(Function::new(
+            "g",
+            vec![],
+            Type::Void,
+            SrcLoc::new(1, 1),
+        ));
+        let dead = b.new_block();
+        b.ret(None);
+        b.switch_to(dead);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        assert!(!cfg.is_reachable(dead));
+        assert_eq!(cfg.reverse_postorder().len(), 1);
+    }
+
+    #[test]
+    fn same_target_condbr_yields_single_edge() {
+        let mut b = FunctionBuilder::new(Function::new(
+            "h",
+            vec![],
+            Type::Void,
+            SrcLoc::new(1, 1),
+        ));
+        let t = b.new_block();
+        let c = b.cmp(CmpPred::Eq, Value::ConstI(1), Value::ConstI(1), false);
+        b.cond_br(c, t, t);
+        b.switch_to(t);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        assert_eq!(cfg.succs(BlockId(0)).len(), 1);
+        assert_eq!(cfg.preds(t).len(), 1);
+    }
+}

@@ -1,0 +1,650 @@
+//! Instructions and their LLVM-3.4 opcode numbering.
+
+use crate::module::{BlockId, FuncId};
+use crate::types::Type;
+use crate::value::Value;
+use std::fmt;
+
+/// A source location carried by every instruction.
+///
+/// AutoCheck's pre-processing partitions the dynamic trace by *source line
+/// numbers* (the "main computation loop range", MCLR), so locations are a
+/// first-class part of the IR, not debug metadata.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub struct SrcLoc {
+    /// 1-based source line; 0 means "synthetic / no location" and is printed
+    /// as `-1` in traces, matching LLVM-Tracer's convention for compiler
+    /// generated code such as entry-block allocas (paper Fig. 6(c)).
+    pub line: u32,
+    /// 1-based column; 0 for synthetic code.
+    pub col: u32,
+}
+
+impl SrcLoc {
+    /// A location at `line:col`.
+    pub fn new(line: u32, col: u32) -> Self {
+        SrcLoc { line, col }
+    }
+
+    /// The synthetic location used for compiler-generated instructions.
+    pub fn synthetic() -> Self {
+        SrcLoc { line: 0, col: 0 }
+    }
+
+    /// The line number as traced: `-1` for synthetic locations.
+    pub fn trace_line(&self) -> i32 {
+        if self.line == 0 {
+            -1
+        } else {
+            self.line as i32
+        }
+    }
+}
+
+impl fmt::Display for SrcLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// The name under which an instruction result appears in the trace.
+///
+/// LLVM numbers unnamed temporaries sequentially per function (`%8`, `%9`,
+/// ...) while `alloca`s of source variables keep the variable name (`%sum`).
+/// AutoCheck's reg-var and reg-reg maps are keyed by exactly these names, so
+/// we reproduce the split.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum RegName {
+    /// Numbered temporary register.
+    Temp(u32),
+    /// A named register — the symbolic name of a source variable.
+    Var(String),
+    /// The instruction produces no value (e.g. `Store`, `Br`).
+    None,
+}
+
+impl RegName {
+    /// The textual form used in trace records (empty for `None`).
+    pub fn as_trace_str(&self) -> String {
+        match self {
+            RegName::Temp(n) => n.to_string(),
+            RegName::Var(s) => s.clone(),
+            RegName::None => String::new(),
+        }
+    }
+}
+
+impl fmt::Display for RegName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegName::Temp(n) => write!(f, "%{n}"),
+            RegName::Var(s) => write!(f, "%{s}"),
+            RegName::None => write!(f, "%_"),
+        }
+    }
+}
+
+/// Binary arithmetic operators (paper Table I's "arithmetic instructions").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    FAdd,
+    Sub,
+    FSub,
+    Mul,
+    FMul,
+    UDiv,
+    SDiv,
+    FDiv,
+    URem,
+    SRem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    LShr,
+    AShr,
+}
+
+impl BinOp {
+    /// True for the floating-point variants.
+    pub fn is_float(&self) -> bool {
+        matches!(self, BinOp::FAdd | BinOp::FSub | BinOp::FMul | BinOp::FDiv)
+    }
+
+    /// Mnemonic as printed in the textual IR.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::FAdd => "fadd",
+            BinOp::Sub => "sub",
+            BinOp::FSub => "fsub",
+            BinOp::Mul => "mul",
+            BinOp::FMul => "fmul",
+            BinOp::UDiv => "udiv",
+            BinOp::SDiv => "sdiv",
+            BinOp::FDiv => "fdiv",
+            BinOp::URem => "urem",
+            BinOp::SRem => "srem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::LShr => "lshr",
+            BinOp::AShr => "ashr",
+        }
+    }
+}
+
+/// Comparison predicates (both integer and float comparisons).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CmpPred {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpPred {
+    /// Mnemonic as printed in the textual IR.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            CmpPred::Eq => "eq",
+            CmpPred::Ne => "ne",
+            CmpPred::Lt => "lt",
+            CmpPred::Le => "le",
+            CmpPred::Gt => "gt",
+            CmpPred::Ge => "ge",
+        }
+    }
+}
+
+/// Value conversions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CastOp {
+    /// Signed integer to double (`sitofp`, opcode 39).
+    SiToFp,
+    /// Double to signed integer, truncating (`fptosi`, opcode 37).
+    FpToSi,
+    /// `i1` to `i64` zero extension (`zext`, opcode 34).
+    ZExt,
+}
+
+/// Built-in functions.
+///
+/// Builtins are traced as *single `Call` instructions* without a following
+/// function body — exactly the paper's "Call form 1" (Fig. 6(a), which shows
+/// a call to libm `pow`). This gives the analysis realistic coverage of both
+/// call forms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Builtin {
+    /// Print a scalar value to the program's output stream.
+    Print,
+    /// `sqrt(f64) -> f64`.
+    Sqrt,
+    /// `pow(f64, f64) -> f64`.
+    Pow,
+    /// `fabs(f64) -> f64`.
+    FAbs,
+    /// `abs(i64) -> i64`.
+    IAbs,
+    /// `exp(f64) -> f64`.
+    Exp,
+    /// `log(f64) -> f64`.
+    Log,
+    /// `cos(f64) -> f64`.
+    Cos,
+    /// `sin(f64) -> f64`.
+    Sin,
+    /// `floor(f64) -> f64`.
+    Floor,
+    /// `fmax(f64, f64) -> f64`.
+    FMax,
+    /// `fmin(f64, f64) -> f64`.
+    FMin,
+}
+
+impl Builtin {
+    /// The symbol name as it appears in traces.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Builtin::Print => "print",
+            Builtin::Sqrt => "sqrt",
+            Builtin::Pow => "pow",
+            Builtin::FAbs => "fabs",
+            Builtin::IAbs => "abs",
+            Builtin::Exp => "exp",
+            Builtin::Log => "log",
+            Builtin::Cos => "cos",
+            Builtin::Sin => "sin",
+            Builtin::Floor => "floor",
+            Builtin::FMax => "fmax",
+            Builtin::FMin => "fmin",
+        }
+    }
+
+    /// Parameter types.
+    pub fn param_types(&self) -> &'static [Type] {
+        use Type::*;
+        match self {
+            Builtin::Print => &[],
+            Builtin::Sqrt | Builtin::FAbs | Builtin::Exp | Builtin::Log | Builtin::Cos
+            | Builtin::Sin | Builtin::Floor => const { &[F64] },
+            Builtin::Pow | Builtin::FMax | Builtin::FMin => const { &[F64, F64] },
+            Builtin::IAbs => const { &[I64] },
+        }
+    }
+
+    /// Return type.
+    pub fn ret_type(&self) -> Type {
+        match self {
+            Builtin::Print => Type::Void,
+            Builtin::IAbs => Type::I64,
+            _ => Type::F64,
+        }
+    }
+
+    /// Look a builtin up by its source-level name.
+    pub fn by_name(name: &str) -> Option<Builtin> {
+        Some(match name {
+            "print" => Builtin::Print,
+            "sqrt" => Builtin::Sqrt,
+            "pow" => Builtin::Pow,
+            "fabs" => Builtin::FAbs,
+            "abs" => Builtin::IAbs,
+            "exp" => Builtin::Exp,
+            "log" => Builtin::Log,
+            "cos" => Builtin::Cos,
+            "sin" => Builtin::Sin,
+            "floor" => Builtin::Floor,
+            "fmax" => Builtin::FMax,
+            "fmin" => Builtin::FMin,
+            _ => return None,
+        })
+    }
+}
+
+/// The target of a call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Callee {
+    /// A function defined in the module: traced as "Call form 2" — the call
+    /// block is followed by the callee's body in the dynamic trace.
+    Function(FuncId),
+    /// A builtin: traced as "Call form 1" — a lone call block.
+    Builtin(Builtin),
+}
+
+/// Instruction payloads.
+#[derive(Clone, Debug, PartialEq)]
+pub enum InstKind {
+    /// Stack allocation of a named source variable (opcode 26).
+    Alloca {
+        /// Type of the allocated storage (scalar or array).
+        ty: Type,
+        /// Source-level variable name.
+        var: String,
+    },
+    /// Read a scalar through a pointer (opcode 27).
+    Load {
+        /// Pointer operand.
+        ptr: Value,
+        /// Loaded value type.
+        ty: Type,
+    },
+    /// Write a scalar through a pointer (opcode 28).
+    Store {
+        /// The value stored.
+        value: Value,
+        /// Pointer operand.
+        ptr: Value,
+        /// Stored value type.
+        ty: Type,
+    },
+    /// Compute the address of `base[index]` (opcode 29). Single-index form;
+    /// multi-dimensional arrays are linearised by the frontend.
+    Gep {
+        /// Base pointer (alloca, global, or pointer parameter).
+        base: Value,
+        /// Element index.
+        index: Value,
+        /// Element type, determining the address scale.
+        elem: Type,
+    },
+    /// Reinterpret a pointer (opcode 44). Exists because `BitCast` is one of
+    /// the pointer-provenance instructions AutoCheck must chase (Table I).
+    BitCast {
+        /// Source pointer.
+        value: Value,
+        /// Result type.
+        to: Type,
+    },
+    /// Binary arithmetic (opcodes 8–25).
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Value,
+        /// Right operand.
+        rhs: Value,
+    },
+    /// Integer or float comparison producing an `i1` (opcodes 46/47).
+    Cmp {
+        /// Predicate.
+        pred: CmpPred,
+        /// Left operand.
+        lhs: Value,
+        /// Right operand.
+        rhs: Value,
+        /// True when the operands are floats (`FCmp`).
+        float: bool,
+    },
+    /// Value conversion (opcodes 34/37/39).
+    Cast {
+        /// Conversion kind.
+        op: CastOp,
+        /// Converted value.
+        value: Value,
+    },
+    /// Function or builtin call (opcode 49).
+    Call {
+        /// Call target.
+        callee: Callee,
+        /// Actual arguments.
+        args: Vec<Value>,
+    },
+    /// Return from the enclosing function (opcode 1).
+    Ret {
+        /// Returned value, if the function is non-void.
+        value: Option<Value>,
+    },
+    /// Unconditional branch (opcode 2).
+    Br {
+        /// Branch target.
+        target: BlockId,
+    },
+    /// Conditional branch (opcode 2).
+    CondBr {
+        /// `i1` condition.
+        cond: Value,
+        /// Target when true.
+        then_bb: BlockId,
+        /// Target when false.
+        else_bb: BlockId,
+    },
+}
+
+/// LLVM 3.4 instruction opcode numbers, as they appear in the trace
+/// (`Load` = 27 etc.; see paper Figs. 1 and 6).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Opcode(pub u16);
+
+impl Opcode {
+    pub const RET: Opcode = Opcode(1);
+    pub const BR: Opcode = Opcode(2);
+    pub const ADD: Opcode = Opcode(8);
+    pub const FADD: Opcode = Opcode(9);
+    pub const SUB: Opcode = Opcode(10);
+    pub const FSUB: Opcode = Opcode(11);
+    pub const MUL: Opcode = Opcode(12);
+    pub const FMUL: Opcode = Opcode(13);
+    pub const UDIV: Opcode = Opcode(14);
+    pub const SDIV: Opcode = Opcode(15);
+    pub const FDIV: Opcode = Opcode(16);
+    pub const UREM: Opcode = Opcode(17);
+    pub const SREM: Opcode = Opcode(18);
+    pub const SHL: Opcode = Opcode(20);
+    pub const LSHR: Opcode = Opcode(21);
+    pub const ASHR: Opcode = Opcode(22);
+    pub const AND: Opcode = Opcode(23);
+    pub const OR: Opcode = Opcode(24);
+    pub const XOR: Opcode = Opcode(25);
+    pub const ALLOCA: Opcode = Opcode(26);
+    pub const LOAD: Opcode = Opcode(27);
+    pub const STORE: Opcode = Opcode(28);
+    pub const GETELEMENTPTR: Opcode = Opcode(29);
+    pub const ZEXT: Opcode = Opcode(34);
+    pub const FPTOSI: Opcode = Opcode(37);
+    pub const SITOFP: Opcode = Opcode(39);
+    pub const BITCAST: Opcode = Opcode(44);
+    pub const ICMP: Opcode = Opcode(46);
+    pub const FCMP: Opcode = Opcode(47);
+    pub const PHI: Opcode = Opcode(48);
+    pub const CALL: Opcode = Opcode(49);
+
+    /// True for the arithmetic family the paper's reg-reg map tracks
+    /// (`Add`, `FAdd`, `Sub`, `FSub`, `Mul`, `FMul`, `UDiv`, `SDiv`, `FDiv`;
+    /// Table I). We additionally include the remainder/bitwise group, which
+    /// LLVM also classifies as binary operators.
+    pub fn is_arithmetic(&self) -> bool {
+        (Opcode::ADD.0..=Opcode::XOR.0).contains(&self.0)
+    }
+
+    /// The human-readable operation name (`"Load"`, `"Mul"`, ...).
+    pub fn name(&self) -> &'static str {
+        match *self {
+            Opcode::RET => "Ret",
+            Opcode::BR => "Br",
+            Opcode::ADD => "Add",
+            Opcode::FADD => "FAdd",
+            Opcode::SUB => "Sub",
+            Opcode::FSUB => "FSub",
+            Opcode::MUL => "Mul",
+            Opcode::FMUL => "FMul",
+            Opcode::UDIV => "UDiv",
+            Opcode::SDIV => "SDiv",
+            Opcode::FDIV => "FDiv",
+            Opcode::UREM => "URem",
+            Opcode::SREM => "SRem",
+            Opcode::SHL => "Shl",
+            Opcode::LSHR => "LShr",
+            Opcode::ASHR => "AShr",
+            Opcode::AND => "And",
+            Opcode::OR => "Or",
+            Opcode::XOR => "Xor",
+            Opcode::ALLOCA => "Alloca",
+            Opcode::LOAD => "Load",
+            Opcode::STORE => "Store",
+            Opcode::GETELEMENTPTR => "GetElementPtr",
+            Opcode::ZEXT => "ZExt",
+            Opcode::FPTOSI => "FPToSI",
+            Opcode::SITOFP => "SIToFP",
+            Opcode::BITCAST => "BitCast",
+            Opcode::ICMP => "ICmp",
+            Opcode::FCMP => "FCmp",
+            Opcode::PHI => "PHI",
+            Opcode::CALL => "Call",
+            _ => "Unknown",
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl BinOp {
+    /// The LLVM 3.4 opcode number of this operator.
+    pub fn opcode(&self) -> Opcode {
+        match self {
+            BinOp::Add => Opcode::ADD,
+            BinOp::FAdd => Opcode::FADD,
+            BinOp::Sub => Opcode::SUB,
+            BinOp::FSub => Opcode::FSUB,
+            BinOp::Mul => Opcode::MUL,
+            BinOp::FMul => Opcode::FMUL,
+            BinOp::UDiv => Opcode::UDIV,
+            BinOp::SDiv => Opcode::SDIV,
+            BinOp::FDiv => Opcode::FDIV,
+            BinOp::URem => Opcode::UREM,
+            BinOp::SRem => Opcode::SREM,
+            BinOp::And => Opcode::AND,
+            BinOp::Or => Opcode::OR,
+            BinOp::Xor => Opcode::XOR,
+            BinOp::Shl => Opcode::SHL,
+            BinOp::LShr => Opcode::LSHR,
+            BinOp::AShr => Opcode::ASHR,
+        }
+    }
+}
+
+/// One instruction: payload plus the metadata every trace record needs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Inst {
+    /// The operation.
+    pub kind: InstKind,
+    /// Source location of the originating statement.
+    pub loc: SrcLoc,
+    /// The result register name (`Temp`/`Var`/`None`).
+    pub name: RegName,
+}
+
+impl Inst {
+    /// The LLVM-3.4 opcode of this instruction.
+    pub fn opcode(&self) -> Opcode {
+        match &self.kind {
+            InstKind::Alloca { .. } => Opcode::ALLOCA,
+            InstKind::Load { .. } => Opcode::LOAD,
+            InstKind::Store { .. } => Opcode::STORE,
+            InstKind::Gep { .. } => Opcode::GETELEMENTPTR,
+            InstKind::BitCast { .. } => Opcode::BITCAST,
+            InstKind::Binary { op, .. } => op.opcode(),
+            InstKind::Cmp { float, .. } => {
+                if *float {
+                    Opcode::FCMP
+                } else {
+                    Opcode::ICMP
+                }
+            }
+            InstKind::Cast { op, .. } => match op {
+                CastOp::SiToFp => Opcode::SITOFP,
+                CastOp::FpToSi => Opcode::FPTOSI,
+                CastOp::ZExt => Opcode::ZEXT,
+            },
+            InstKind::Call { .. } => Opcode::CALL,
+            InstKind::Ret { .. } => Opcode::RET,
+            InstKind::Br { .. } | InstKind::CondBr { .. } => Opcode::BR,
+        }
+    }
+
+    /// True for block terminators.
+    pub fn is_terminator(&self) -> bool {
+        matches!(
+            self.kind,
+            InstKind::Ret { .. } | InstKind::Br { .. } | InstKind::CondBr { .. }
+        )
+    }
+
+    /// All value operands, in operand order.
+    pub fn operands(&self) -> Vec<Value> {
+        match &self.kind {
+            InstKind::Alloca { .. } => vec![],
+            InstKind::Load { ptr, .. } => vec![*ptr],
+            InstKind::Store { value, ptr, .. } => vec![*value, *ptr],
+            InstKind::Gep { base, index, .. } => vec![*base, *index],
+            InstKind::BitCast { value, .. } => vec![*value],
+            InstKind::Binary { lhs, rhs, .. } => vec![*lhs, *rhs],
+            InstKind::Cmp { lhs, rhs, .. } => vec![*lhs, *rhs],
+            InstKind::Cast { value, .. } => vec![*value],
+            InstKind::Call { args, .. } => args.clone(),
+            InstKind::Ret { value } => value.iter().copied().collect(),
+            InstKind::Br { .. } => vec![],
+            InstKind::CondBr { cond, .. } => vec![*cond],
+        }
+    }
+
+    /// True when this instruction produces an SSA value.
+    pub fn has_result(&self) -> bool {
+        match &self.kind {
+            InstKind::Store { .. }
+            | InstKind::Ret { .. }
+            | InstKind::Br { .. }
+            | InstKind::CondBr { .. } => false,
+            InstKind::Call { callee, .. } => match callee {
+                Callee::Builtin(b) => b.ret_type() != Type::Void,
+                Callee::Function(_) => true, // non-void enforced by the verifier
+            },
+            _ => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcode_numbers_match_llvm_3_4() {
+        // These constants are what the paper's figures show: Load=27 (Fig 1),
+        // Alloca=26 (Fig 6c), Call=49 (Fig 6a/b).
+        assert_eq!(Opcode::LOAD.0, 27);
+        assert_eq!(Opcode::ALLOCA.0, 26);
+        assert_eq!(Opcode::CALL.0, 49);
+        assert_eq!(Opcode::STORE.0, 28);
+        assert_eq!(Opcode::GETELEMENTPTR.0, 29);
+        assert_eq!(Opcode::BITCAST.0, 44);
+        assert_eq!(Opcode::MUL.0, 12);
+        assert_eq!(Opcode::FDIV.0, 16);
+    }
+
+    #[test]
+    fn arithmetic_family() {
+        assert!(Opcode::ADD.is_arithmetic());
+        assert!(Opcode::FDIV.is_arithmetic());
+        assert!(Opcode::XOR.is_arithmetic());
+        assert!(!Opcode::LOAD.is_arithmetic());
+        assert!(!Opcode::CALL.is_arithmetic());
+        assert!(!Opcode::BR.is_arithmetic());
+    }
+
+    #[test]
+    fn binop_to_opcode() {
+        assert_eq!(BinOp::Mul.opcode(), Opcode::MUL);
+        assert_eq!(BinOp::FAdd.opcode(), Opcode::FADD);
+        assert!(BinOp::FMul.is_float());
+        assert!(!BinOp::Mul.is_float());
+    }
+
+    #[test]
+    fn inst_classification() {
+        let store = Inst {
+            kind: InstKind::Store {
+                value: Value::ConstI(1),
+                ptr: Value::Param(0),
+                ty: Type::I64,
+            },
+            loc: SrcLoc::new(3, 1),
+            name: RegName::None,
+        };
+        assert_eq!(store.opcode(), Opcode::STORE);
+        assert!(!store.has_result());
+        assert!(!store.is_terminator());
+        assert_eq!(store.operands().len(), 2);
+
+        let ret = Inst {
+            kind: InstKind::Ret { value: None },
+            loc: SrcLoc::synthetic(),
+            name: RegName::None,
+        };
+        assert!(ret.is_terminator());
+        assert_eq!(ret.loc.trace_line(), -1);
+    }
+
+    #[test]
+    fn builtin_lookup() {
+        assert_eq!(Builtin::by_name("pow"), Some(Builtin::Pow));
+        assert_eq!(Builtin::by_name("nope"), None);
+        assert_eq!(Builtin::Pow.param_types().len(), 2);
+        assert_eq!(Builtin::Print.ret_type(), Type::Void);
+    }
+
+    #[test]
+    fn regname_trace_strings() {
+        assert_eq!(RegName::Temp(8).as_trace_str(), "8");
+        assert_eq!(RegName::Var("sum".into()).as_trace_str(), "sum");
+        assert_eq!(RegName::None.as_trace_str(), "");
+    }
+}

@@ -1,0 +1,536 @@
+//! Natural-loop detection and loop control-variable analysis.
+//!
+//! This module stands in for the paper's "llvm-pass-loop API" (§IV-C):
+//! AutoCheck checkpoints the induction variable of the outermost main
+//! computation loop ("Index" variables), which it identifies with an LLVM
+//! loop pass rather than from the trace. We do the same over our IR: back
+//! edges via the dominator tree, natural-loop bodies by backward reachability,
+//! nesting by body inclusion, and control/induction variables by pattern
+//! matching the header's exit condition against in-loop stores.
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::inst::{BinOp, InstKind};
+use crate::module::{BlockId, Function, InstId, Module};
+use crate::value::Value;
+use std::collections::BTreeSet;
+
+/// One natural loop.
+#[derive(Clone, Debug)]
+pub struct Loop {
+    /// The unique header block (target of the back edges).
+    pub header: BlockId,
+    /// Source blocks of the back edges.
+    pub latches: Vec<BlockId>,
+    /// All blocks in the loop, header included.
+    pub body: BTreeSet<BlockId>,
+    /// Index of the innermost enclosing loop in the forest, if any.
+    pub parent: Option<usize>,
+    /// Nesting depth; outermost loops have depth 1.
+    pub depth: u32,
+}
+
+impl Loop {
+    /// True when `b` belongs to this loop.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.body.contains(&b)
+    }
+}
+
+/// All natural loops of a function, with nesting.
+#[derive(Clone, Debug, Default)]
+pub struct LoopForest {
+    /// The loops; order is unspecified, use [`LoopForest::outermost`] or the
+    /// parent links.
+    pub loops: Vec<Loop>,
+}
+
+impl LoopForest {
+    /// Detect the natural loops of `f`.
+    pub fn compute(_f: &Function, cfg: &Cfg, dom: &DomTree) -> LoopForest {
+        // 1. Find back edges (n -> h where h dominates n), grouped by header.
+        let mut by_header: Vec<(BlockId, Vec<BlockId>)> = Vec::new();
+        for &n in cfg.reverse_postorder() {
+            for &s in cfg.succs(n) {
+                if dom.dominates(s, n) {
+                    match by_header.iter_mut().find(|(h, _)| *h == s) {
+                        Some((_, latches)) => latches.push(n),
+                        None => by_header.push((s, vec![n])),
+                    }
+                }
+            }
+        }
+        // 2. Natural loop body: header plus everything that reaches a latch
+        //    backwards without passing through the header.
+        let mut loops: Vec<Loop> = Vec::new();
+        for (header, latches) in by_header {
+            let mut body = BTreeSet::new();
+            body.insert(header);
+            let mut stack: Vec<BlockId> = Vec::new();
+            for &l in &latches {
+                if body.insert(l) {
+                    stack.push(l);
+                }
+            }
+            while let Some(b) = stack.pop() {
+                for &p in cfg.preds(b) {
+                    if body.insert(p) {
+                        stack.push(p);
+                    }
+                }
+            }
+            loops.push(Loop {
+                header,
+                latches,
+                body,
+                parent: None,
+                depth: 1,
+            });
+        }
+        // 3. Nesting: the parent is the smallest strict superset.
+        let snapshot: Vec<BTreeSet<BlockId>> = loops.iter().map(|l| l.body.clone()).collect();
+        for i in 0..loops.len() {
+            let mut best: Option<usize> = None;
+            for (j, body_j) in snapshot.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                if body_j.len() > snapshot[i].len() && snapshot[i].is_subset(body_j) {
+                    best = match best {
+                        None => Some(j),
+                        Some(cur) if body_j.len() < snapshot[cur].len() => Some(j),
+                        keep => keep,
+                    };
+                }
+            }
+            loops[i].parent = best;
+        }
+        // 4. Depths.
+        for i in 0..loops.len() {
+            let mut d = 1;
+            let mut p = loops[i].parent;
+            while let Some(j) = p {
+                d += 1;
+                p = loops[j].parent;
+            }
+            loops[i].depth = d;
+        }
+        LoopForest { loops }
+    }
+
+    /// Indices of the outermost loops (depth 1).
+    pub fn outermost(&self) -> impl Iterator<Item = usize> + '_ {
+        self.loops
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.depth == 1)
+            .map(|(i, _)| i)
+    }
+
+    /// The outermost loop whose header is located within the source-line
+    /// range `[start, end]` — this is how the main computation loop named by
+    /// the user's MCLR input is resolved to an IR loop.
+    pub fn outermost_in_region(&self, f: &Function, start: u32, end: u32) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, l) in self.loops.iter().enumerate() {
+            let line = f.blocks[l.header.index()].loc.line;
+            if line < start || line > end {
+                continue;
+            }
+            best = match best {
+                None => Some(i),
+                Some(cur) => {
+                    let (dc, db) = (self.loops[cur].depth, l.depth);
+                    let (lc, lb) = (
+                        f.blocks[self.loops[cur].header.index()].loc.line,
+                        line,
+                    );
+                    // Prefer shallower loops, then earlier headers.
+                    if db < dc || (db == dc && lb < lc) {
+                        Some(i)
+                    } else {
+                        Some(cur)
+                    }
+                }
+            };
+        }
+        best
+    }
+}
+
+/// A loop control variable: a named memory location read by the header's
+/// exit condition and stored to inside the loop.
+///
+/// AutoCheck's "Index" category covers exactly these (the paper's miniAMR row
+/// lists both `ts`, a classic induction variable, and `done`, a flag steering
+/// the outer `while`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ControlVar {
+    /// Variable name (an `Alloca`'d local or a module global).
+    pub name: String,
+    /// True when the in-loop update matches the basic induction pattern
+    /// `v = v ± c`.
+    pub is_basic_induction: bool,
+    /// The constant step for basic induction variables.
+    pub step: Option<i64>,
+}
+
+/// Find the control variables of loop `l` in function `f`.
+pub fn control_variables(m: &Module, f: &Function, l: &Loop) -> Vec<ControlVar> {
+    // Collect the loads feeding the header's conditional branch.
+    let header = &f.blocks[l.header.index()];
+    let Some(&term_id) = header.insts.last() else {
+        return Vec::new();
+    };
+    let cond = match &f.inst(term_id).kind {
+        InstKind::CondBr { cond, .. } => *cond,
+        _ => return Vec::new(),
+    };
+    let mut loads: Vec<InstId> = Vec::new();
+    collect_feeding_loads(f, cond, &mut loads);
+
+    let mut out: Vec<ControlVar> = Vec::new();
+    for load in loads {
+        let InstKind::Load { ptr, .. } = &f.inst(load).kind else {
+            continue;
+        };
+        let Some(name) = named_location(m, f, *ptr) else {
+            continue;
+        };
+        if out.iter().any(|c| c.name == name) {
+            continue;
+        }
+        // Must be stored somewhere inside the loop to qualify (otherwise it
+        // is a loop-invariant bound such as `n` in `i < n`).
+        let mut stored = false;
+        let mut induction_step: Option<i64> = None;
+        for &bb in &l.body {
+            for &iid in &f.blocks[bb.index()].insts {
+                let InstKind::Store { value, ptr, .. } = &f.inst(iid).kind else {
+                    continue;
+                };
+                if named_location(m, f, *ptr).as_deref() != Some(name.as_str()) {
+                    continue;
+                }
+                stored = true;
+                induction_step = induction_step.or_else(|| basic_induction_step(f, *value, &name, m));
+            }
+        }
+        if stored {
+            out.push(ControlVar {
+                name,
+                is_basic_induction: induction_step.is_some(),
+                step: induction_step,
+            });
+        }
+    }
+    out
+}
+
+/// Walk an operand tree, collecting the `Load` instructions that feed it.
+fn collect_feeding_loads(f: &Function, v: Value, out: &mut Vec<InstId>) {
+    let Some(id) = v.as_inst() else { return };
+    match &f.inst(id).kind {
+        InstKind::Load { .. } => out.push(id),
+        InstKind::Binary { lhs, rhs, .. } | InstKind::Cmp { lhs, rhs, .. } => {
+            collect_feeding_loads(f, *lhs, out);
+            collect_feeding_loads(f, *rhs, out);
+        }
+        InstKind::Cast { value, .. } => collect_feeding_loads(f, *value, out),
+        _ => {}
+    }
+}
+
+/// Resolve a pointer operand to the name of a scalar variable, if it refers
+/// directly to an `Alloca` or a `Global` (not through a GEP — array elements
+/// are never loop control variables here).
+fn named_location(m: &Module, f: &Function, ptr: Value) -> Option<String> {
+    match ptr {
+        Value::Inst(id) => match &f.inst(id).kind {
+            InstKind::Alloca { var, .. } => Some(var.clone()),
+            InstKind::BitCast { value, .. } => named_location(m, f, *value),
+            _ => None,
+        },
+        Value::Global(g) => Some(m.global(g).name.clone()),
+        _ => None,
+    }
+}
+
+/// If `value` matches `load(name) ± const`, return the signed step.
+fn basic_induction_step(f: &Function, value: Value, name: &str, m: &Module) -> Option<i64> {
+    let id = value.as_inst()?;
+    let InstKind::Binary { op, lhs, rhs } = &f.inst(id).kind else {
+        return None;
+    };
+    let sign = match op {
+        BinOp::Add => 1,
+        BinOp::Sub => -1,
+        _ => return None,
+    };
+    let (load_side, const_side) = match (lhs.as_inst(), rhs.as_const_i()) {
+        (Some(_), Some(c)) => (*lhs, c),
+        _ => match (rhs.as_inst(), lhs.as_const_i()) {
+            // `c - v` is not an induction update; only allow `c + v`.
+            (Some(_), Some(c)) if *op == BinOp::Add => (*rhs, c),
+            _ => return None,
+        },
+    };
+    let lid = load_side.as_inst()?;
+    let InstKind::Load { ptr, .. } = &f.inst(lid).kind else {
+        return None;
+    };
+    if named_location(m, f, *ptr).as_deref() == Some(name) {
+        Some(sign * const_side)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{CmpPred, SrcLoc};
+    use crate::types::Type;
+
+    /// Build `for (it = 0; it < 10; it = it + 1) { body }` with the header
+    /// at source line `hline`; returns (module, function index not needed).
+    fn counted_loop(hline: u32) -> Module {
+        let mut m = Module::new();
+        let mut b = FunctionBuilder::new(Function::new(
+            "main",
+            vec![],
+            Type::Void,
+            SrcLoc::new(1, 1),
+        ));
+        b.set_loc(2, 1);
+        let it = b.alloca("it", Type::I64);
+        b.store(Value::ConstI(0), it, Type::I64);
+        let header = b.new_block();
+        b.set_loc(hline, 1);
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(header);
+        b.switch_to(header);
+        b.set_loc(hline, 1);
+        let iv = b.load(it, Type::I64);
+        let c = b.cmp(CmpPred::Lt, iv, Value::ConstI(10), false);
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        b.set_loc(hline + 1, 1);
+        let iv2 = b.load(it, Type::I64);
+        let inc = b.binary(BinOp::Add, iv2, Value::ConstI(1));
+        b.store(inc, it, Type::I64);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(None);
+        // Header block loc was set when the block was created; fix it up so
+        // outermost_in_region sees the header line.
+        let mut f = b.finish();
+        f.blocks[1].loc = SrcLoc::new(hline, 1);
+        m.add_function(f);
+        m
+    }
+
+    #[test]
+    fn detects_single_loop() {
+        let m = counted_loop(13);
+        let f = m.function(crate::module::FuncId(0));
+        let cfg = Cfg::compute(f);
+        let dom = DomTree::compute(&cfg);
+        let forest = LoopForest::compute(f, &cfg, &dom);
+        assert_eq!(forest.loops.len(), 1);
+        let l = &forest.loops[0];
+        assert_eq!(l.header, BlockId(1));
+        assert_eq!(l.depth, 1);
+        assert!(l.contains(BlockId(2)));
+        assert!(!l.contains(BlockId(3)));
+    }
+
+    #[test]
+    fn induction_variable_found() {
+        let m = counted_loop(13);
+        let f = m.function(crate::module::FuncId(0));
+        let cfg = Cfg::compute(f);
+        let dom = DomTree::compute(&cfg);
+        let forest = LoopForest::compute(f, &cfg, &dom);
+        let cv = control_variables(&m, f, &forest.loops[0]);
+        assert_eq!(cv.len(), 1);
+        assert_eq!(cv[0].name, "it");
+        assert!(cv[0].is_basic_induction);
+        assert_eq!(cv[0].step, Some(1));
+    }
+
+    #[test]
+    fn region_lookup_uses_header_line() {
+        let m = counted_loop(13);
+        let f = m.function(crate::module::FuncId(0));
+        let cfg = Cfg::compute(f);
+        let dom = DomTree::compute(&cfg);
+        let forest = LoopForest::compute(f, &cfg, &dom);
+        assert_eq!(forest.outermost_in_region(f, 13, 20), Some(0));
+        assert_eq!(forest.outermost_in_region(f, 14, 20), None);
+    }
+
+    /// Nested loops: outer over `i`, inner over `j`.
+    #[test]
+    fn nesting_and_depths() {
+        let mut m = Module::new();
+        let mut b = FunctionBuilder::new(Function::new(
+            "main",
+            vec![],
+            Type::Void,
+            SrcLoc::new(1, 1),
+        ));
+        b.set_loc(2, 1);
+        let i = b.alloca("i", Type::I64);
+        let j = b.alloca("j", Type::I64);
+        b.store(Value::ConstI(0), i, Type::I64);
+        let oh = b.new_block();
+        let ob = b.new_block();
+        let ih = b.new_block();
+        let ib = b.new_block();
+        let oe = b.new_block();
+        let ie = b.new_block();
+        b.br(oh);
+        b.switch_to(oh);
+        let iv = b.load(i, Type::I64);
+        let c = b.cmp(CmpPred::Lt, iv, Value::ConstI(3), false);
+        b.cond_br(c, ob, oe);
+        b.switch_to(ob);
+        b.store(Value::ConstI(0), j, Type::I64);
+        b.br(ih);
+        b.switch_to(ih);
+        let jv = b.load(j, Type::I64);
+        let cj = b.cmp(CmpPred::Lt, jv, Value::ConstI(4), false);
+        b.cond_br(cj, ib, ie);
+        b.switch_to(ib);
+        let jv2 = b.load(j, Type::I64);
+        let jinc = b.binary(BinOp::Add, jv2, Value::ConstI(1));
+        b.store(jinc, j, Type::I64);
+        b.br(ih);
+        b.switch_to(ie);
+        let iv2 = b.load(i, Type::I64);
+        let iinc = b.binary(BinOp::Add, iv2, Value::ConstI(1));
+        b.store(iinc, i, Type::I64);
+        b.br(oh);
+        b.switch_to(oe);
+        b.ret(None);
+        let f = b.finish();
+        m.add_function(f);
+        let f = m.function(crate::module::FuncId(0));
+        let cfg = Cfg::compute(f);
+        let dom = DomTree::compute(&cfg);
+        let forest = LoopForest::compute(f, &cfg, &dom);
+        assert_eq!(forest.loops.len(), 2);
+        let outer = forest
+            .loops
+            .iter()
+            .position(|l| l.depth == 1)
+            .expect("outer loop");
+        let inner = forest
+            .loops
+            .iter()
+            .position(|l| l.depth == 2)
+            .expect("inner loop");
+        assert_eq!(forest.loops[inner].parent, Some(outer));
+        assert!(forest.loops[outer]
+            .body
+            .is_superset(&forest.loops[inner].body));
+        assert_eq!(forest.outermost().collect::<Vec<_>>(), vec![outer]);
+    }
+
+    /// A `while (done == 0 && ts < n)`-style loop has two control variables,
+    /// only one of which is a basic induction variable — mirroring the
+    /// paper's miniAMR row where both `done` and `ts` are "Index".
+    #[test]
+    fn flag_controlled_loop_has_two_control_vars() {
+        let mut m = Module::new();
+        let mut b = FunctionBuilder::new(Function::new(
+            "main",
+            vec![],
+            Type::Void,
+            SrcLoc::new(1, 1),
+        ));
+        b.set_loc(2, 1);
+        let ts = b.alloca("ts", Type::I64);
+        let done = b.alloca("done", Type::I64);
+        b.store(Value::ConstI(0), ts, Type::I64);
+        b.store(Value::ConstI(0), done, Type::I64);
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(header);
+        b.switch_to(header);
+        let d = b.load(done, Type::I64);
+        let c1 = b.cmp(CmpPred::Eq, d, Value::ConstI(0), false);
+        let t = b.load(ts, Type::I64);
+        let c2 = b.cmp(CmpPred::Lt, t, Value::ConstI(100), false);
+        let both = b.binary(BinOp::And, c1, c2);
+        b.cond_br(both, body, exit);
+        b.switch_to(body);
+        let t2 = b.load(ts, Type::I64);
+        let tinc = b.binary(BinOp::Add, t2, Value::ConstI(1));
+        b.store(tinc, ts, Type::I64);
+        let t3 = b.load(ts, Type::I64);
+        let fin = b.cmp(CmpPred::Ge, t3, Value::ConstI(50), false);
+        let finz = b.cast(crate::inst::CastOp::ZExt, fin);
+        b.store(finz, done, Type::I64);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(None);
+        m.add_function(b.finish());
+        let f = m.function(crate::module::FuncId(0));
+        let cfg = Cfg::compute(f);
+        let dom = DomTree::compute(&cfg);
+        let forest = LoopForest::compute(f, &cfg, &dom);
+        assert_eq!(forest.loops.len(), 1);
+        let mut cv = control_variables(&m, f, &forest.loops[0]);
+        cv.sort_by(|a, b| a.name.cmp(&b.name));
+        assert_eq!(cv.len(), 2);
+        assert_eq!(cv[0].name, "done");
+        assert!(!cv[0].is_basic_induction);
+        assert_eq!(cv[1].name, "ts");
+        assert!(cv[1].is_basic_induction);
+    }
+
+    #[test]
+    fn loop_invariant_bound_is_not_a_control_var() {
+        // `i < n` where n is never stored inside the loop.
+        let mut m = Module::new();
+        let mut b = FunctionBuilder::new(Function::new(
+            "main",
+            vec![],
+            Type::Void,
+            SrcLoc::new(1, 1),
+        ));
+        let i = b.alloca("i", Type::I64);
+        let n = b.alloca("n", Type::I64);
+        b.store(Value::ConstI(0), i, Type::I64);
+        b.store(Value::ConstI(10), n, Type::I64);
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(header);
+        b.switch_to(header);
+        let iv = b.load(i, Type::I64);
+        let nv = b.load(n, Type::I64);
+        let c = b.cmp(CmpPred::Lt, iv, nv, false);
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let iv2 = b.load(i, Type::I64);
+        let inc = b.binary(BinOp::Add, iv2, Value::ConstI(1));
+        b.store(inc, i, Type::I64);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(None);
+        m.add_function(b.finish());
+        let f = m.function(crate::module::FuncId(0));
+        let cfg = Cfg::compute(f);
+        let dom = DomTree::compute(&cfg);
+        let forest = LoopForest::compute(f, &cfg, &dom);
+        let cv = control_variables(&m, f, &forest.loops[0]);
+        assert_eq!(cv.len(), 1);
+        assert_eq!(cv[0].name, "i");
+    }
+}

@@ -1,0 +1,409 @@
+//! Functions, basic blocks, globals, and the module container.
+
+use crate::inst::{Inst, InstKind, RegName, SrcLoc};
+use crate::types::Type;
+use std::collections::HashMap;
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a basic block within a function.
+    BlockId
+);
+id_type!(
+    /// Identifies an instruction within a function's arena.
+    InstId
+);
+id_type!(
+    /// Identifies a global variable within a module.
+    GlobalId
+);
+id_type!(
+    /// Identifies a function within a module.
+    FuncId
+);
+
+/// A basic block: a label plus an ordered list of instructions ending in a
+/// terminator.
+#[derive(Clone, Debug, Default)]
+pub struct Block {
+    /// Numeric label, unique within the function; traces print it in the
+    /// "basic block label" field.
+    pub label: u32,
+    /// Source location of the block's leading statement (traces print this
+    /// in the "basic block ID" field as `line:col`).
+    pub loc: SrcLoc,
+    /// Instructions in execution order.
+    pub insts: Vec<InstId>,
+}
+
+/// A formal parameter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Param {
+    /// Source-level parameter name (the trace's "parameter" register name,
+    /// e.g. `p`/`q` in paper Fig. 6(b)).
+    pub name: String,
+    /// Parameter type.
+    pub ty: Type,
+}
+
+/// A function definition.
+#[derive(Clone, Debug)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Formal parameters.
+    pub params: Vec<Param>,
+    /// Return type.
+    pub ret: Type,
+    /// Basic blocks, entry first.
+    pub blocks: Vec<Block>,
+    /// Instruction arena; `InstId` indexes into this.
+    pub insts: Vec<Inst>,
+    /// Source location of the function definition.
+    pub loc: SrcLoc,
+    next_temp: u32,
+    next_label: u32,
+}
+
+impl Function {
+    /// Create an empty function with an entry block.
+    pub fn new(name: impl Into<String>, params: Vec<Param>, ret: Type, loc: SrcLoc) -> Self {
+        let mut f = Function {
+            name: name.into(),
+            params,
+            ret,
+            blocks: Vec::new(),
+            insts: Vec::new(),
+            loc,
+            next_temp: 0,
+            next_label: 0,
+        };
+        f.add_block(loc);
+        f
+    }
+
+    /// The entry block.
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Append a new, empty block and return its id.
+    pub fn add_block(&mut self, loc: SrcLoc) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        let label = self.next_label;
+        self.next_label += 1;
+        self.blocks.push(Block {
+            label,
+            loc,
+            insts: Vec::new(),
+        });
+        id
+    }
+
+    /// Allocate the next temporary register number.
+    pub fn fresh_temp(&mut self) -> u32 {
+        let t = self.next_temp;
+        self.next_temp += 1;
+        t
+    }
+
+    /// Append an instruction to `block`; the result name is chosen from the
+    /// instruction kind (`Var` for allocas, a fresh temp for value-producing
+    /// instructions, `None` otherwise).
+    pub fn push_inst(&mut self, block: BlockId, kind: InstKind, loc: SrcLoc) -> InstId {
+        let name = match &kind {
+            InstKind::Alloca { var, .. } => RegName::Var(var.clone()),
+            _ => {
+                let probe = Inst {
+                    kind: kind.clone(),
+                    loc,
+                    name: RegName::None,
+                };
+                if probe.has_result() {
+                    RegName::Temp(self.fresh_temp())
+                } else {
+                    RegName::None
+                }
+            }
+        };
+        let id = InstId(self.insts.len() as u32);
+        self.insts.push(Inst { kind, loc, name });
+        self.blocks[block.index()].insts.push(id);
+        id
+    }
+
+    /// Immutable access to an instruction.
+    pub fn inst(&self, id: InstId) -> &Inst {
+        &self.insts[id.index()]
+    }
+
+    /// The block containing `id`, by linear search (used by the verifier and
+    /// tests, not by hot paths).
+    pub fn block_of(&self, id: InstId) -> Option<BlockId> {
+        self.blocks
+            .iter()
+            .position(|b| b.insts.contains(&id))
+            .map(|i| BlockId(i as u32))
+    }
+
+    /// The terminator of `block`, if present.
+    pub fn terminator(&self, block: BlockId) -> Option<&Inst> {
+        self.blocks[block.index()]
+            .insts
+            .last()
+            .map(|id| self.inst(*id))
+            .filter(|i| i.is_terminator())
+    }
+
+    /// Iterate over `(InstId, &Inst)` in block order.
+    pub fn iter_insts(&self) -> impl Iterator<Item = (InstId, &Inst)> + '_ {
+        self.blocks
+            .iter()
+            .flat_map(move |b| b.insts.iter().map(move |id| (*id, self.inst(*id))))
+    }
+
+    /// Find the index of a parameter by name.
+    pub fn param_index(&self, name: &str) -> Option<u32> {
+        self.params
+            .iter()
+            .position(|p| p.name == name)
+            .map(|i| i as u32)
+    }
+}
+
+/// Initial contents of a global variable.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GlobalInit {
+    /// All-zero storage.
+    Zero,
+    /// A scalar integer.
+    I64(i64),
+    /// A scalar double.
+    F64(f64),
+}
+
+/// A module-level global variable.
+#[derive(Clone, Debug)]
+pub struct Global {
+    /// Source-level name.
+    pub name: String,
+    /// Storage type.
+    pub ty: Type,
+    /// Initializer.
+    pub init: GlobalInit,
+    /// Declaration location.
+    pub loc: SrcLoc,
+}
+
+/// A compilation unit: globals plus functions.
+#[derive(Clone, Debug, Default)]
+pub struct Module {
+    /// Global variables.
+    pub globals: Vec<Global>,
+    /// Function definitions.
+    pub functions: Vec<Function>,
+    by_name: HashMap<String, FuncId>,
+    globals_by_name: HashMap<String, GlobalId>,
+}
+
+impl Module {
+    /// An empty module.
+    pub fn new() -> Self {
+        Module::default()
+    }
+
+    /// Add a global; the name must be unique.
+    pub fn add_global(&mut self, g: Global) -> GlobalId {
+        let id = GlobalId(self.globals.len() as u32);
+        assert!(
+            self.globals_by_name.insert(g.name.clone(), id).is_none(),
+            "duplicate global `{}`",
+            g.name
+        );
+        self.globals.push(g);
+        id
+    }
+
+    /// Add a function; the name must be unique.
+    pub fn add_function(&mut self, f: Function) -> FuncId {
+        let id = FuncId(self.functions.len() as u32);
+        assert!(
+            self.by_name.insert(f.name.clone(), id).is_none(),
+            "duplicate function `{}`",
+            f.name
+        );
+        self.functions.push(f);
+        id
+    }
+
+    /// Look up a function by name.
+    pub fn function_by_name(&self, name: &str) -> Option<FuncId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Look up a global by name.
+    pub fn global_by_name(&self, name: &str) -> Option<GlobalId> {
+        self.globals_by_name.get(name).copied()
+    }
+
+    /// Immutable access to a function.
+    pub fn function(&self, id: FuncId) -> &Function {
+        &self.functions[id.index()]
+    }
+
+    /// Immutable access to a global.
+    pub fn global(&self, id: GlobalId) -> &Global {
+        &self.globals[id.index()]
+    }
+
+    /// Total number of instructions across all functions.
+    pub fn inst_count(&self) -> usize {
+        self.functions.iter().map(|f| f.insts.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn loc(l: u32) -> SrcLoc {
+        SrcLoc::new(l, 1)
+    }
+
+    #[test]
+    fn function_starts_with_entry_block() {
+        let f = Function::new("main", vec![], Type::I64, loc(1));
+        assert_eq!(f.blocks.len(), 1);
+        assert_eq!(f.entry(), BlockId(0));
+    }
+
+    #[test]
+    fn push_inst_names_results() {
+        let mut f = Function::new("main", vec![], Type::Void, loc(1));
+        let e = f.entry();
+        let a = f.push_inst(
+            e,
+            InstKind::Alloca {
+                ty: Type::I64,
+                var: "sum".into(),
+            },
+            loc(2),
+        );
+        assert_eq!(f.inst(a).name, RegName::Var("sum".into()));
+
+        let ld = f.push_inst(
+            e,
+            InstKind::Load {
+                ptr: Value::Inst(a),
+                ty: Type::I64,
+            },
+            loc(3),
+        );
+        assert!(matches!(f.inst(ld).name, RegName::Temp(_)));
+
+        let st = f.push_inst(
+            e,
+            InstKind::Store {
+                value: Value::ConstI(0),
+                ptr: Value::Inst(a),
+                ty: Type::I64,
+            },
+            loc(3),
+        );
+        assert_eq!(f.inst(st).name, RegName::None);
+        assert_eq!(f.block_of(st), Some(e));
+    }
+
+    #[test]
+    fn temp_numbers_are_sequential() {
+        let mut f = Function::new("f", vec![], Type::Void, loc(1));
+        let e = f.entry();
+        let a = f.push_inst(
+            e,
+            InstKind::Alloca {
+                ty: Type::I64,
+                var: "x".into(),
+            },
+            loc(1),
+        );
+        let l1 = f.push_inst(
+            e,
+            InstKind::Load {
+                ptr: Value::Inst(a),
+                ty: Type::I64,
+            },
+            loc(2),
+        );
+        let l2 = f.push_inst(
+            e,
+            InstKind::Load {
+                ptr: Value::Inst(a),
+                ty: Type::I64,
+            },
+            loc(2),
+        );
+        let t1 = match &f.inst(l1).name {
+            RegName::Temp(n) => *n,
+            _ => panic!(),
+        };
+        let t2 = match &f.inst(l2).name {
+            RegName::Temp(n) => *n,
+            _ => panic!(),
+        };
+        assert_eq!(t2, t1 + 1);
+    }
+
+    #[test]
+    fn module_lookup() {
+        let mut m = Module::new();
+        let g = m.add_global(Global {
+            name: "twiddle".into(),
+            ty: Type::Array(Box::new(Type::F64), 8),
+            init: GlobalInit::Zero,
+            loc: loc(1),
+        });
+        let f = m.add_function(Function::new("main", vec![], Type::I64, loc(3)));
+        assert_eq!(m.global_by_name("twiddle"), Some(g));
+        assert_eq!(m.function_by_name("main"), Some(f));
+        assert_eq!(m.function_by_name("nope"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate function")]
+    fn duplicate_function_panics() {
+        let mut m = Module::new();
+        m.add_function(Function::new("f", vec![], Type::Void, loc(1)));
+        m.add_function(Function::new("f", vec![], Type::Void, loc(2)));
+    }
+
+    #[test]
+    fn terminator_detection() {
+        let mut f = Function::new("f", vec![], Type::Void, loc(1));
+        let e = f.entry();
+        assert!(f.terminator(e).is_none());
+        f.push_inst(e, InstKind::Ret { value: None }, loc(2));
+        assert!(f.terminator(e).is_some());
+    }
+}

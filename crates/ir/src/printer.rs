@@ -1,0 +1,123 @@
+//! Human-readable textual dump of IR modules, for debugging and docs.
+
+use crate::inst::{Callee, InstKind};
+use crate::module::{Function, Module};
+use crate::value::Value;
+use std::fmt::Write as _;
+
+/// Render a whole module.
+pub fn print_module(m: &Module) -> String {
+    let mut s = String::new();
+    for g in &m.globals {
+        let _ = writeln!(s, "global @{} : {} ; line {}", g.name, g.ty, g.loc.line);
+    }
+    if !m.globals.is_empty() {
+        s.push('\n');
+    }
+    for f in &m.functions {
+        s.push_str(&print_function(m, f));
+        s.push('\n');
+    }
+    s
+}
+
+/// Render one function.
+pub fn print_function(m: &Module, f: &Function) -> String {
+    let mut s = String::new();
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .map(|p| format!("{}: {}", p.name, p.ty))
+        .collect();
+    let _ = writeln!(s, "fn {}({}) -> {} {{", f.name, params.join(", "), f.ret);
+    for (bi, block) in f.blocks.iter().enumerate() {
+        let _ = writeln!(s, "bb{} (label {}, loc {}):", bi, block.label, block.loc);
+        for &id in &block.insts {
+            let inst = f.inst(id);
+            let name = match &inst.name {
+                crate::inst::RegName::None => String::new(),
+                n => format!("{n} = "),
+            };
+            let body = match &inst.kind {
+                InstKind::Alloca { ty, var } => format!("alloca {ty} ; var `{var}`"),
+                InstKind::Load { ptr, ty } => format!("load {ty}, {}", val(ptr)),
+                InstKind::Store { value, ptr, ty } => {
+                    format!("store {ty} {}, {}", val(value), val(ptr))
+                }
+                InstKind::Gep { base, index, elem } => {
+                    format!("gep {elem}, {}[{}]", val(base), val(index))
+                }
+                InstKind::BitCast { value, to } => format!("bitcast {} to {to}", val(value)),
+                InstKind::Binary { op, lhs, rhs } => {
+                    format!("{} {}, {}", op.mnemonic(), val(lhs), val(rhs))
+                }
+                InstKind::Cmp {
+                    pred, lhs, rhs, float,
+                } => format!(
+                    "{} {} {}, {}",
+                    if *float { "fcmp" } else { "icmp" },
+                    pred.mnemonic(),
+                    val(lhs),
+                    val(rhs)
+                ),
+                InstKind::Cast { op, value } => format!("{op:?} {}", val(value)),
+                InstKind::Call { callee, args } => {
+                    let cname = match callee {
+                        Callee::Function(fid) => m.function(*fid).name.clone(),
+                        Callee::Builtin(b) => b.name().to_string(),
+                    };
+                    let args: Vec<String> = args.iter().map(val).collect();
+                    format!("call {}({})", cname, args.join(", "))
+                }
+                InstKind::Ret { value } => match value {
+                    Some(v) => format!("ret {}", val(v)),
+                    None => "ret void".to_string(),
+                },
+                InstKind::Br { target } => format!("br bb{}", target.0),
+                InstKind::CondBr {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => format!("br {}, bb{}, bb{}", val(cond), then_bb.0, else_bb.0),
+            };
+            let _ = writeln!(s, "  {name}{body} ; line {}", inst.loc.line);
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn val(v: &Value) -> String {
+    v.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{BinOp, SrcLoc};
+    use crate::types::Type;
+
+    #[test]
+    fn prints_something_sensible() {
+        let mut m = Module::new();
+        let mut b = FunctionBuilder::new(Function::new(
+            "main",
+            vec![],
+            Type::I64,
+            SrcLoc::new(1, 1),
+        ));
+        b.set_loc(2, 3);
+        let x = b.alloca("x", Type::I64);
+        b.store(Value::ConstI(41), x, Type::I64);
+        let v = b.load(x, Type::I64);
+        let w = b.binary(BinOp::Add, v, Value::ConstI(1));
+        b.ret(Some(w));
+        m.add_function(b.finish());
+        let text = print_module(&m);
+        assert!(text.contains("fn main() -> i64"));
+        assert!(text.contains("alloca i64 ; var `x`"));
+        assert!(text.contains("add"));
+        assert!(text.contains("; line 2"));
+    }
+}

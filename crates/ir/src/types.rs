@@ -1,0 +1,158 @@
+//! The IR type system.
+//!
+//! MiniLang only needs integers, doubles, fixed-size arrays of those, and
+//! pointers (for array-typed function parameters), so the type language is
+//! kept minimal. Sizes follow the LP64 model the paper's traces use: `i64`
+//! and `f64` are 8 bytes, pointers are 8 bytes, `i1` occupies one byte in
+//! memory but is traced as a 1-bit operand.
+
+use std::fmt;
+
+/// An IR type.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// No value (function return type only).
+    Void,
+    /// Booleans produced by comparisons.
+    I1,
+    /// 64-bit signed integer (MiniLang `int`).
+    I64,
+    /// IEEE-754 double (MiniLang `float`).
+    F64,
+    /// Pointer to a pointee type. Array parameters decay to pointers,
+    /// exactly as in C.
+    Ptr(Box<Type>),
+    /// Fixed-size array, used for the storage of array variables
+    /// (`Alloca`/globals). Values of array type never flow through
+    /// registers; they are always manipulated element-wise via
+    /// `GetElementPtr`.
+    Array(Box<Type>, u64),
+}
+
+impl Type {
+    /// Pointer to `self`.
+    pub fn ptr_to(&self) -> Type {
+        Type::Ptr(Box::new(self.clone()))
+    }
+
+    /// Size of a value of this type in bytes when stored in memory.
+    pub fn byte_size(&self) -> u64 {
+        match self {
+            Type::Void => 0,
+            Type::I1 => 1,
+            Type::I64 | Type::F64 | Type::Ptr(_) => 8,
+            Type::Array(elem, n) => elem.byte_size() * n,
+        }
+    }
+
+    /// Size in bits as reported in trace operand records (`64`/`32`/`1`).
+    ///
+    /// LLVM-Tracer prints the *value* width, so arrays report the width of
+    /// the pointer through which they are touched.
+    pub fn bit_size(&self) -> u16 {
+        match self {
+            Type::Void => 0,
+            Type::I1 => 1,
+            Type::I64 | Type::F64 | Type::Ptr(_) => 64,
+            Type::Array(..) => 64,
+        }
+    }
+
+    /// The element type for pointer/array types.
+    pub fn pointee(&self) -> Option<&Type> {
+        match self {
+            Type::Ptr(t) => Some(t),
+            Type::Array(t, _) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Number of elements for array types, 1 for scalars.
+    pub fn elem_count(&self) -> u64 {
+        match self {
+            Type::Array(_, n) => *n,
+            _ => 1,
+        }
+    }
+
+    /// True for `I1`/`I64`.
+    pub fn is_int(&self) -> bool {
+        matches!(self, Type::I1 | Type::I64)
+    }
+
+    /// True for `F64`.
+    pub fn is_float(&self) -> bool {
+        matches!(self, Type::F64)
+    }
+
+    /// True for scalar first-class values that can live in a register.
+    pub fn is_scalar(&self) -> bool {
+        matches!(self, Type::I1 | Type::I64 | Type::F64 | Type::Ptr(_))
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Void => write!(f, "void"),
+            Type::I1 => write!(f, "i1"),
+            Type::I64 => write!(f, "i64"),
+            Type::F64 => write!(f, "f64"),
+            Type::Ptr(t) => write!(f, "{t}*"),
+            Type::Array(t, n) => write!(f, "[{n} x {t}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_sizes_follow_lp64() {
+        assert_eq!(Type::I64.byte_size(), 8);
+        assert_eq!(Type::F64.byte_size(), 8);
+        assert_eq!(Type::I64.ptr_to().byte_size(), 8);
+        assert_eq!(Type::I1.byte_size(), 1);
+        assert_eq!(Type::Array(Box::new(Type::F64), 10).byte_size(), 80);
+        assert_eq!(
+            Type::Array(Box::new(Type::Array(Box::new(Type::I64), 4)), 3).byte_size(),
+            96
+        );
+    }
+
+    #[test]
+    fn bit_sizes_match_trace_operand_widths() {
+        assert_eq!(Type::I64.bit_size(), 64);
+        assert_eq!(Type::I1.bit_size(), 1);
+        assert_eq!(Type::Array(Box::new(Type::I64), 8).bit_size(), 64);
+    }
+
+    #[test]
+    fn pointee_and_elem_count() {
+        let arr = Type::Array(Box::new(Type::F64), 12);
+        assert_eq!(arr.pointee(), Some(&Type::F64));
+        assert_eq!(arr.elem_count(), 12);
+        assert_eq!(Type::I64.elem_count(), 1);
+        let p = Type::F64.ptr_to();
+        assert_eq!(p.pointee(), Some(&Type::F64));
+        assert_eq!(Type::I64.pointee(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Type::I64.to_string(), "i64");
+        assert_eq!(Type::F64.ptr_to().to_string(), "f64*");
+        assert_eq!(Type::Array(Box::new(Type::I64), 3).to_string(), "[3 x i64]");
+    }
+
+    #[test]
+    fn scalar_classification() {
+        assert!(Type::I64.is_scalar());
+        assert!(Type::F64.ptr_to().is_scalar());
+        assert!(!Type::Array(Box::new(Type::I64), 2).is_scalar());
+        assert!(!Type::Void.is_scalar());
+        assert!(Type::I1.is_int());
+        assert!(Type::F64.is_float());
+    }
+}

@@ -1,0 +1,89 @@
+//! SSA values: the operands of instructions.
+
+use crate::module::{GlobalId, InstId};
+use std::fmt;
+
+/// An operand of an instruction.
+///
+/// Values are lightweight, copyable references; the instruction arena inside
+/// each [`crate::Function`] owns the actual instructions.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Value {
+    /// Result of another instruction in the same function.
+    Inst(InstId),
+    /// The n-th formal parameter of the enclosing function.
+    Param(u32),
+    /// Address of a module-level global variable.
+    Global(GlobalId),
+    /// 64-bit integer constant.
+    ConstI(i64),
+    /// Double constant.
+    ConstF(f64),
+    /// Boolean constant.
+    ConstBool(bool),
+}
+
+impl Value {
+    /// True if this value is a compile-time constant.
+    pub fn is_const(&self) -> bool {
+        matches!(self, Value::ConstI(_) | Value::ConstF(_) | Value::ConstBool(_))
+    }
+
+    /// The instruction id, if this value is an instruction result.
+    pub fn as_inst(&self) -> Option<InstId> {
+        match self {
+            Value::Inst(id) => Some(*id),
+            _ => None,
+        }
+    }
+
+    /// The constant integer payload, if any.
+    pub fn as_const_i(&self) -> Option<i64> {
+        match self {
+            Value::ConstI(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Inst(id) => write!(f, "%i{}", id.0),
+            Value::Param(i) => write!(f, "%arg{i}"),
+            Value::Global(g) => write!(f, "@g{}", g.0),
+            Value::ConstI(v) => write!(f, "{v}"),
+            Value::ConstF(v) => write!(f, "{v:?}"),
+            Value::ConstBool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_classification() {
+        assert!(Value::ConstI(3).is_const());
+        assert!(Value::ConstF(1.5).is_const());
+        assert!(Value::ConstBool(true).is_const());
+        assert!(!Value::Param(0).is_const());
+        assert!(!Value::Inst(InstId(0)).is_const());
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Inst(InstId(7)).as_inst(), Some(InstId(7)));
+        assert_eq!(Value::ConstI(9).as_inst(), None);
+        assert_eq!(Value::ConstI(9).as_const_i(), Some(9));
+        assert_eq!(Value::ConstF(2.0).as_const_i(), None);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(Value::Inst(InstId(3)).to_string(), "%i3");
+        assert_eq!(Value::Param(1).to_string(), "%arg1");
+        assert_eq!(Value::ConstI(-4).to_string(), "-4");
+    }
+}

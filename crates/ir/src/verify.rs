@@ -1,0 +1,522 @@
+//! Structural and type verification of IR modules.
+//!
+//! The verifier is run by the MiniLang lowering tests and by the interpreter
+//! before execution; it catches malformed CFGs and operand type errors early,
+//! with readable diagnostics.
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::inst::{BinOp, Callee, CastOp, Inst, InstKind};
+use crate::module::{BlockId, Function, InstId, Module};
+use crate::types::Type;
+use crate::value::Value;
+use std::fmt;
+
+/// One verification failure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VerifyError {
+    /// Function where the error was found.
+    pub function: String,
+    /// Offending instruction, if the error is instruction-level.
+    pub inst: Option<InstId>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.inst {
+            Some(id) => write!(f, "{}: inst %i{}: {}", self.function, id.0, self.message),
+            None => write!(f, "{}: {}", self.function, self.message),
+        }
+    }
+}
+
+/// Verify every function of `m`.
+pub fn verify_module(m: &Module) -> Result<(), Vec<VerifyError>> {
+    let mut errs = Vec::new();
+    for f in &m.functions {
+        if let Err(mut e) = verify_function(m, f) {
+            errs.append(&mut e);
+        }
+    }
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs)
+    }
+}
+
+/// Verify a single function.
+pub fn verify_function(m: &Module, f: &Function) -> Result<(), Vec<VerifyError>> {
+    let mut v = Verifier {
+        m,
+        f,
+        errs: Vec::new(),
+    };
+    v.run();
+    if v.errs.is_empty() {
+        Ok(())
+    } else {
+        Err(v.errs)
+    }
+}
+
+struct Verifier<'a> {
+    m: &'a Module,
+    f: &'a Function,
+    errs: Vec<VerifyError>,
+}
+
+impl<'a> Verifier<'a> {
+    fn err(&mut self, inst: Option<InstId>, message: String) {
+        self.errs.push(VerifyError {
+            function: self.f.name.clone(),
+            inst,
+            message,
+        });
+    }
+
+    fn run(&mut self) {
+        self.check_block_shape();
+        let cfg = Cfg::compute(self.f);
+        let dom = DomTree::compute(&cfg);
+        self.check_operands(&cfg, &dom);
+    }
+
+    /// Every reachable block must end with exactly one terminator, and
+    /// terminators must not appear mid-block.
+    fn check_block_shape(&mut self) {
+        for (bi, block) in self.f.blocks.iter().enumerate() {
+            let bid = BlockId(bi as u32);
+            match block.insts.last() {
+                None => self.err(None, format!("block {} is empty", bid)),
+                Some(last) => {
+                    if !self.f.inst(*last).is_terminator() {
+                        self.err(
+                            Some(*last),
+                            format!("block {} does not end with a terminator", bid),
+                        );
+                    }
+                }
+            }
+            for &id in block.insts.iter().rev().skip(1) {
+                if self.f.inst(id).is_terminator() {
+                    self.err(Some(id), format!("terminator in the middle of block {bid}"));
+                }
+            }
+        }
+        // Branch targets must exist.
+        for (id, inst) in self.f.iter_insts() {
+            let targets: Vec<BlockId> = match &inst.kind {
+                InstKind::Br { target } => vec![*target],
+                InstKind::CondBr {
+                    then_bb, else_bb, ..
+                } => vec![*then_bb, *else_bb],
+                _ => continue,
+            };
+            for t in targets {
+                if t.index() >= self.f.blocks.len() {
+                    self.err(Some(id), format!("branch to nonexistent block {t}"));
+                }
+            }
+        }
+    }
+
+    /// The type of a value, if determinable.
+    fn type_of(&self, v: Value) -> Option<Type> {
+        match v {
+            Value::ConstI(_) => Some(Type::I64),
+            Value::ConstF(_) => Some(Type::F64),
+            Value::ConstBool(_) => Some(Type::I1),
+            Value::Param(i) => self.f.params.get(i as usize).map(|p| p.ty.clone()),
+            Value::Global(g) => {
+                let t = &self.m.global(g).ty;
+                Some(match t {
+                    Type::Array(elem, _) => elem.ptr_to(),
+                    other => other.ptr_to(),
+                })
+            }
+            Value::Inst(id) => {
+                let inst = self.f.insts.get(id.index())?;
+                self.result_type(inst)
+            }
+        }
+    }
+
+    fn result_type(&self, inst: &Inst) -> Option<Type> {
+        match &inst.kind {
+            InstKind::Alloca { ty, .. } => Some(match ty {
+                Type::Array(elem, _) => elem.ptr_to(),
+                other => other.ptr_to(),
+            }),
+            InstKind::Load { ty, .. } => Some(ty.clone()),
+            InstKind::Store { .. } => None,
+            InstKind::Gep { elem, .. } => Some(elem.ptr_to()),
+            InstKind::BitCast { to, .. } => Some(to.clone()),
+            InstKind::Binary { op, .. } => Some(if op.is_float() { Type::F64 } else { Type::I64 }),
+            InstKind::Cmp { .. } => Some(Type::I1),
+            InstKind::Cast { op, .. } => Some(match op {
+                CastOp::SiToFp => Type::F64,
+                CastOp::FpToSi => Type::I64,
+                CastOp::ZExt => Type::I64,
+            }),
+            InstKind::Call { callee, .. } => match callee {
+                Callee::Builtin(b) => Some(b.ret_type()),
+                Callee::Function(fid) => Some(self.m.function(*fid).ret.clone()),
+            },
+            InstKind::Ret { .. } | InstKind::Br { .. } | InstKind::CondBr { .. } => None,
+        }
+    }
+
+    fn check_operands(&mut self, cfg: &Cfg, dom: &DomTree) {
+        // Instruction-result operands must refer to existing instructions
+        // whose definition dominates the use.
+        let block_of: Vec<Option<BlockId>> = {
+            let mut v = vec![None; self.f.insts.len()];
+            for (bi, block) in self.f.blocks.iter().enumerate() {
+                for &id in &block.insts {
+                    v[id.index()] = Some(BlockId(bi as u32));
+                }
+            }
+            v
+        };
+        let pos_in_block: Vec<usize> = {
+            let mut v = vec![0usize; self.f.insts.len()];
+            for block in &self.f.blocks {
+                for (i, &id) in block.insts.iter().enumerate() {
+                    v[id.index()] = i;
+                }
+            }
+            v
+        };
+        for (use_id, inst) in self.f.iter_insts() {
+            for op in inst.operands() {
+                match op {
+                    Value::Inst(def_id) => {
+                        if def_id.index() >= self.f.insts.len() {
+                            self.err(Some(use_id), format!("operand %i{} does not exist", def_id.0));
+                            continue;
+                        }
+                        let (Some(def_bb), Some(use_bb)) =
+                            (block_of[def_id.index()], block_of[use_id.index()])
+                        else {
+                            self.err(Some(use_id), "operand not inside a block".to_string());
+                            continue;
+                        };
+                        if !cfg.is_reachable(use_bb) {
+                            continue; // dominance is vacuous in dead code
+                        }
+                        let ok = if def_bb == use_bb {
+                            pos_in_block[def_id.index()] < pos_in_block[use_id.index()]
+                        } else {
+                            dom.dominates(def_bb, use_bb)
+                        };
+                        if !ok {
+                            self.err(
+                                Some(use_id),
+                                format!("use of %i{} does not follow its definition", def_id.0),
+                            );
+                        }
+                    }
+                    Value::Param(i) => {
+                        if i as usize >= self.f.params.len() {
+                            self.err(Some(use_id), format!("parameter index {i} out of range"));
+                        }
+                    }
+                    Value::Global(g) => {
+                        if g.index() >= self.m.globals.len() {
+                            self.err(Some(use_id), format!("global @g{} does not exist", g.0));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            self.check_types(use_id, inst);
+        }
+    }
+
+    fn check_types(&mut self, id: InstId, inst: &Inst) {
+        match &inst.kind {
+            InstKind::Binary { op, lhs, rhs } => {
+                let want = if op.is_float() { Type::F64 } else { Type::I64 };
+                for (side, v) in [("lhs", lhs), ("rhs", rhs)] {
+                    match self.type_of(*v) {
+                        Some(t)
+                            if t == want
+                                // Integer ops also accept i1 (from zext-less
+                                // logical combinations in conditions).
+                                || (!op.is_float() && t == Type::I1) => {}
+                        Some(t) => self.err(
+                            Some(id),
+                            format!("{} operand of {} has type {t}, expected {want}", side, op.mnemonic()),
+                        ),
+                        None => self.err(Some(id), format!("{side} operand has no type")),
+                    }
+                }
+                if matches!(op, BinOp::UDiv | BinOp::SDiv | BinOp::FDiv) {
+                    // Nothing structural to check; division by zero is a
+                    // runtime error handled by the interpreter.
+                }
+            }
+            InstKind::Cmp { lhs, rhs, float, .. } => {
+                let want = if *float { Type::F64 } else { Type::I64 };
+                for v in [lhs, rhs] {
+                    match self.type_of(*v) {
+                        Some(t) if t == want || (!*float && t == Type::I1) => {}
+                        Some(t) => self.err(
+                            Some(id),
+                            format!("cmp operand has type {t}, expected {want}"),
+                        ),
+                        None => self.err(Some(id), "cmp operand has no type".into()),
+                    }
+                }
+            }
+            InstKind::Load { ptr, ty } => {
+                match self.type_of(*ptr) {
+                    Some(Type::Ptr(p)) if *p == *ty => {}
+                    Some(t) => self.err(
+                        Some(id),
+                        format!("load of {ty} through pointer of type {t}"),
+                    ),
+                    None => self.err(Some(id), "load pointer has no type".into()),
+                }
+            }
+            InstKind::Store { value, ptr, ty } => {
+                match self.type_of(*ptr) {
+                    Some(Type::Ptr(p)) if *p == *ty => {}
+                    Some(t) => self.err(
+                        Some(id),
+                        format!("store of {ty} through pointer of type {t}"),
+                    ),
+                    None => self.err(Some(id), "store pointer has no type".into()),
+                }
+                match self.type_of(*value) {
+                    Some(t) if t == *ty => {}
+                    Some(t) => self.err(Some(id), format!("store value has type {t}, expected {ty}")),
+                    None => self.err(Some(id), "store value has no type".into()),
+                }
+            }
+            InstKind::Gep { base, index, elem } => {
+                match self.type_of(*base) {
+                    Some(Type::Ptr(p)) if *p == *elem => {}
+                    Some(t) => self.err(
+                        Some(id),
+                        format!("gep over {elem} elements on pointer of type {t}"),
+                    ),
+                    None => self.err(Some(id), "gep base has no type".into()),
+                }
+                match self.type_of(*index) {
+                    Some(Type::I64) => {}
+                    Some(t) => self.err(Some(id), format!("gep index has type {t}, expected i64")),
+                    None => self.err(Some(id), "gep index has no type".into()),
+                }
+            }
+            InstKind::CondBr { cond, .. } => match self.type_of(*cond) {
+                Some(Type::I1) => {}
+                Some(t) => self.err(Some(id), format!("branch condition has type {t}, expected i1")),
+                None => self.err(Some(id), "branch condition has no type".into()),
+            },
+            InstKind::Call { callee, args } => {
+                let (want, name): (Vec<Type>, String) = match callee {
+                    Callee::Builtin(b) => {
+                        if *b == crate::inst::Builtin::Print {
+                            // print accepts one scalar of any numeric type
+                            if args.len() != 1 {
+                                self.err(Some(id), "print takes exactly one argument".into());
+                            }
+                            return;
+                        }
+                        (b.param_types().to_vec(), b.name().to_string())
+                    }
+                    Callee::Function(fid) => {
+                        let callee_f = self.m.function(*fid);
+                        (
+                            callee_f.params.iter().map(|p| p.ty.clone()).collect(),
+                            callee_f.name.clone(),
+                        )
+                    }
+                };
+                if want.len() != args.len() {
+                    self.err(
+                        Some(id),
+                        format!("call to {} with {} args, expected {}", name, args.len(), want.len()),
+                    );
+                    return;
+                }
+                for (i, (a, w)) in args.iter().zip(&want).enumerate() {
+                    match self.type_of(*a) {
+                        Some(t) if t == *w => {}
+                        Some(t) => self.err(
+                            Some(id),
+                            format!("arg {i} of call to {name} has type {t}, expected {w}"),
+                        ),
+                        None => self.err(Some(id), format!("arg {i} of call to {name} has no type")),
+                    }
+                }
+            }
+            InstKind::Ret { value } => {
+                match (value, &self.f.ret) {
+                    (None, Type::Void) => {}
+                    (Some(v), want) if *want != Type::Void => match self.type_of(*v) {
+                        Some(t) if t == *want => {}
+                        Some(t) => self.err(Some(id), format!("return of {t}, expected {want}")),
+                        None => self.err(Some(id), "return value has no type".into()),
+                    },
+                    _ => self.err(Some(id), "return arity does not match function type".into()),
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::SrcLoc;
+    use crate::module::Param;
+
+    fn module_with(f: Function) -> Module {
+        let mut m = Module::new();
+        m.add_function(f);
+        m
+    }
+
+    #[test]
+    fn accepts_well_formed_function() {
+        let mut b = FunctionBuilder::new(Function::new(
+            "ok",
+            vec![Param {
+                name: "n".into(),
+                ty: Type::I64,
+            }],
+            Type::I64,
+            SrcLoc::new(1, 1),
+        ));
+        let x = b.alloca("x", Type::I64);
+        b.store(Value::Param(0), x, Type::I64);
+        let v = b.load(x, Type::I64);
+        let d = b.binary(BinOp::Mul, v, Value::ConstI(2));
+        b.ret(Some(d));
+        let m = module_with(b.finish());
+        assert!(verify_module(&m).is_ok());
+    }
+
+    #[test]
+    fn rejects_missing_terminator() {
+        let mut f = Function::new("bad", vec![], Type::Void, SrcLoc::new(1, 1));
+        let e = f.entry();
+        f.push_inst(
+            e,
+            InstKind::Alloca {
+                ty: Type::I64,
+                var: "x".into(),
+            },
+            SrcLoc::new(1, 1),
+        );
+        let m = module_with(f);
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("terminator")));
+    }
+
+    #[test]
+    fn rejects_type_mismatch_in_store() {
+        let mut b = FunctionBuilder::new(Function::new(
+            "bad",
+            vec![],
+            Type::Void,
+            SrcLoc::new(1, 1),
+        ));
+        let x = b.alloca("x", Type::I64);
+        b.store(Value::ConstF(1.0), x, Type::I64);
+        b.ret(None);
+        let m = module_with(b.finish());
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("store value has type f64")));
+    }
+
+    #[test]
+    fn rejects_float_operand_in_integer_add() {
+        let mut b = FunctionBuilder::new(Function::new(
+            "bad2",
+            vec![],
+            Type::Void,
+            SrcLoc::new(1, 1),
+        ));
+        let v = b.binary(BinOp::Add, Value::ConstF(1.0), Value::ConstI(2));
+        let x = b.alloca("x", Type::I64);
+        b.store(v, x, Type::I64);
+        b.ret(None);
+        let m = module_with(b.finish());
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("expected i64")));
+    }
+
+    #[test]
+    fn rejects_call_arity_mismatch() {
+        let mut m = Module::new();
+        let mut callee = FunctionBuilder::new(Function::new(
+            "callee",
+            vec![Param {
+                name: "a".into(),
+                ty: Type::I64,
+            }],
+            Type::I64,
+            SrcLoc::new(1, 1),
+        ));
+        callee.ret(Some(Value::Param(0)));
+        let callee_id = m.add_function(callee.finish());
+
+        let mut caller = FunctionBuilder::new(Function::new(
+            "caller",
+            vec![],
+            Type::Void,
+            SrcLoc::new(5, 1),
+        ));
+        let r = caller.call(callee_id, vec![]);
+        let x = caller.alloca("x", Type::I64);
+        caller.store(r, x, Type::I64);
+        caller.ret(None);
+        m.add_function(caller.finish());
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("expected 1")));
+    }
+
+    #[test]
+    fn rejects_use_before_def_across_blocks() {
+        // Build: entry jumps to B; B uses a value defined in C (which is
+        // never executed before B).
+        let mut f = Function::new("ubd", vec![], Type::Void, SrcLoc::new(1, 1));
+        let entry = f.entry();
+        let b = f.add_block(SrcLoc::new(2, 1));
+        let c = f.add_block(SrcLoc::new(3, 1));
+        f.push_inst(entry, InstKind::Br { target: b }, SrcLoc::new(1, 1));
+        // In C: define an alloca.
+        let def = f.push_inst(
+            c,
+            InstKind::Alloca {
+                ty: Type::I64,
+                var: "x".into(),
+            },
+            SrcLoc::new(3, 1),
+        );
+        f.push_inst(c, InstKind::Ret { value: None }, SrcLoc::new(3, 1));
+        // In B: load it (def does not dominate use).
+        f.push_inst(
+            b,
+            InstKind::Load {
+                ptr: Value::Inst(def),
+                ty: Type::I64,
+            },
+            SrcLoc::new(2, 1),
+        );
+        f.push_inst(b, InstKind::Ret { value: None }, SrcLoc::new(2, 1));
+        let m = module_with(f);
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("does not follow its definition")));
+    }
+}

@@ -1,0 +1,242 @@
+//! Abstract syntax tree.
+
+/// Source position.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// Scalar element types.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scalar {
+    /// `int` (i64).
+    Int,
+    /// `float` (f64).
+    Float,
+}
+
+/// Declared variable types.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeclTy {
+    /// A scalar.
+    Scalar(Scalar),
+    /// A fixed-size array.
+    Array(Scalar, u64),
+}
+
+/// Parameter types: scalars or pointers (array parameters decay).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParamTy {
+    /// Read-only scalar parameter.
+    Scalar(Scalar),
+    /// Pointer parameter (`int* p` / `int p[]`).
+    Ptr(Scalar),
+}
+
+/// Function return types.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RetTy {
+    /// `void`.
+    Void,
+    /// `int`.
+    Int,
+    /// `float`.
+    Float,
+}
+
+/// Binary operators (surface level).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOpKind {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+impl BinOpKind {
+    /// True for `== != < <= > >=`.
+    pub fn is_comparison(&self) -> bool {
+        matches!(
+            self,
+            BinOpKind::Eq | BinOpKind::Ne | BinOpKind::Lt | BinOpKind::Le | BinOpKind::Gt | BinOpKind::Ge
+        )
+    }
+
+    /// True for `&&` / `||`.
+    pub fn is_logical(&self) -> bool {
+        matches!(self, BinOpKind::And | BinOpKind::Or)
+    }
+}
+
+/// Expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal.
+    FloatLit(f64),
+    /// Variable reference.
+    Var(String),
+    /// Array element `name[index]`.
+    Index(String, Box<Expr>),
+    /// Unary negation `-e`.
+    Neg(Box<Expr>),
+    /// Logical not `!e`.
+    Not(Box<Expr>),
+    /// Binary operation.
+    Bin(BinOpKind, Box<Expr>, Box<Expr>),
+    /// Call `name(args...)` — user function, builtin, or the cast
+    /// pseudo-functions `int(x)` / `float(x)`.
+    Call(String, Vec<Expr>),
+}
+
+/// An expression with position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Expr {
+    /// Payload.
+    pub kind: ExprKind,
+    /// Position of the expression's first token.
+    pub pos: Pos,
+}
+
+/// Assignment targets.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LValue {
+    /// Scalar variable.
+    Var(String),
+    /// Array element.
+    Index(String, Box<Expr>),
+}
+
+/// Statements.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StmtKind {
+    /// Variable declaration with optional initializer.
+    Decl {
+        /// Declared name.
+        name: String,
+        /// Declared type.
+        ty: DeclTy,
+        /// Optional initializer (scalars only).
+        init: Option<Expr>,
+    },
+    /// Assignment.
+    Assign {
+        /// Target.
+        lhs: LValue,
+        /// Source expression.
+        rhs: Expr,
+    },
+    /// `if` with optional `else`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_body: Vec<Stmt>,
+        /// Else branch.
+        else_body: Vec<Stmt>,
+    },
+    /// `while` loop.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `for` loop. Init/step are restricted to declarations/assignments,
+    /// like the benchmarks use.
+    For {
+        /// Init statement.
+        init: Option<Box<Stmt>>,
+        /// Condition (defaults to true when omitted).
+        cond: Option<Expr>,
+        /// Step statement.
+        step: Option<Box<Stmt>>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `return`.
+    Return(Option<Expr>),
+    /// Expression statement (void calls).
+    ExprStmt(Expr),
+}
+
+/// A statement with position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Stmt {
+    /// Payload.
+    pub kind: StmtKind,
+    /// Position of the statement's first token.
+    pub pos: Pos,
+}
+
+/// A function parameter.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParamDecl {
+    /// Name.
+    pub name: String,
+    /// Type.
+    pub ty: ParamTy,
+}
+
+/// A function definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FuncDecl {
+    /// Name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<ParamDecl>,
+    /// Return type.
+    pub ret: RetTy,
+    /// Body.
+    pub body: Vec<Stmt>,
+    /// Position of the definition.
+    pub pos: Pos,
+}
+
+/// A global variable declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GlobalDecl {
+    /// Name.
+    pub name: String,
+    /// Type.
+    pub ty: DeclTy,
+    /// Optional scalar initializer literal.
+    pub init: Option<Expr>,
+    /// Position.
+    pub pos: Pos,
+}
+
+/// A whole program.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Program {
+    /// Globals in declaration order.
+    pub globals: Vec<GlobalDecl>,
+    /// Functions in definition order.
+    pub funcs: Vec<FuncDecl>,
+}

@@ -1,0 +1,59 @@
+//! Compile-time diagnostics.
+
+use std::fmt;
+
+/// A diagnostic with source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompileError {
+    /// 1-based line (0 for internal errors with no position).
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Description.
+    pub message: String,
+}
+
+impl CompileError {
+    /// Error at a position.
+    pub fn at(line: u32, col: u32, message: impl Into<String>) -> Self {
+        CompileError {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+
+    /// Internal (positionless) error.
+    pub fn internal(message: impl Into<String>) -> Self {
+        CompileError {
+            line: 0,
+            col: 0,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "error: {}", self.message)
+        } else {
+            write!(f, "error at line {}:{}: {}", self.line, self.col, self.message)
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = CompileError::at(7, 3, "unexpected token");
+        assert_eq!(e.to_string(), "error at line 7:3: unexpected token");
+        let i = CompileError::internal("oops");
+        assert_eq!(i.to_string(), "error: oops");
+    }
+}

@@ -1,0 +1,225 @@
+//! Hand-written lexer.
+
+use crate::error::CompileError;
+use crate::token::{Tok, Token};
+
+/// Tokenize `source`. `//` comments run to end of line.
+pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
+    let mut out = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! push {
+        ($tok:expr, $l:expr, $c:expr) => {
+            out.push(Token {
+                tok: $tok,
+                line: $l,
+                col: $c,
+            })
+        };
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        let (tl, tc) = (line, col);
+        match b {
+            b'\n' => {
+                line += 1;
+                col = 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => {
+                col += 1;
+                i += 1;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let mut is_float = false;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i < bytes.len() && bytes[i] == b'.' {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    is_float = true;
+                    i += 1;
+                    if i < bytes.len() && (bytes[i] == b'+' || bytes[i] == b'-') {
+                        i += 1;
+                    }
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &source[start..i];
+                col += (i - start) as u32;
+                if is_float {
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| CompileError::at(tl, tc, format!("bad float literal `{text}`")))?;
+                    push!(Tok::Float(v), tl, tc);
+                } else {
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| CompileError::at(tl, tc, format!("bad int literal `{text}`")))?;
+                    push!(Tok::Int(v), tl, tc);
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let text = &source[start..i];
+                col += (i - start) as u32;
+                let tok = match text {
+                    "int" => Tok::KwInt,
+                    "float" => Tok::KwFloat,
+                    "void" => Tok::KwVoid,
+                    "global" => Tok::KwGlobal,
+                    "if" => Tok::KwIf,
+                    "else" => Tok::KwElse,
+                    "while" => Tok::KwWhile,
+                    "for" => Tok::KwFor,
+                    "return" => Tok::KwReturn,
+                    _ => Tok::Ident(text.to_string()),
+                };
+                push!(tok, tl, tc);
+            }
+            _ => {
+                let two = |a: u8| bytes.get(i + 1) == Some(&a);
+                let (tok, len) = match b {
+                    b'(' => (Tok::LParen, 1),
+                    b')' => (Tok::RParen, 1),
+                    b'{' => (Tok::LBrace, 1),
+                    b'}' => (Tok::RBrace, 1),
+                    b'[' => (Tok::LBracket, 1),
+                    b']' => (Tok::RBracket, 1),
+                    b';' => (Tok::Semi, 1),
+                    b',' => (Tok::Comma, 1),
+                    b'+' => (Tok::Plus, 1),
+                    b'-' => (Tok::Minus, 1),
+                    b'*' => (Tok::Star, 1),
+                    b'/' => (Tok::Slash, 1),
+                    b'%' => (Tok::Percent, 1),
+                    b'=' if two(b'=') => (Tok::EqEq, 2),
+                    b'=' => (Tok::Assign, 1),
+                    b'!' if two(b'=') => (Tok::NotEq, 2),
+                    b'!' => (Tok::Not, 1),
+                    b'<' if two(b'=') => (Tok::Le, 2),
+                    b'<' => (Tok::Lt, 1),
+                    b'>' if two(b'=') => (Tok::Ge, 2),
+                    b'>' => (Tok::Gt, 1),
+                    b'&' if two(b'&') => (Tok::AndAnd, 2),
+                    b'|' if two(b'|') => (Tok::OrOr, 2),
+                    other => {
+                        return Err(CompileError::at(
+                            tl,
+                            tc,
+                            format!("unexpected character `{}`", other as char),
+                        ))
+                    }
+                };
+                push!(tok, tl, tc);
+                i += len;
+                col += len as u32;
+            }
+        }
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        line,
+        col,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_declaration() {
+        assert_eq!(
+            kinds("int x = 42;"),
+            vec![
+                Tok::KwInt,
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Int(42),
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_floats_and_exponents() {
+        assert_eq!(kinds("1.5")[0], Tok::Float(1.5));
+        assert_eq!(kinds("2e3")[0], Tok::Float(2000.0));
+        assert_eq!(kinds("1.25e-2")[0], Tok::Float(0.0125));
+        assert_eq!(kinds("7")[0], Tok::Int(7));
+    }
+
+    #[test]
+    fn lexes_two_char_operators() {
+        assert_eq!(
+            kinds("== != <= >= && ||"),
+            vec![
+                Tok::EqEq,
+                Tok::NotEq,
+                Tok::Le,
+                Tok::Ge,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_but_lines_counted() {
+        let toks = lex("// hello\nint x;\n").unwrap();
+        assert_eq!(toks[0].tok, Tok::KwInt);
+        assert_eq!(toks[0].line, 2);
+        assert_eq!(toks[0].col, 1);
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let toks = lex("int main() {\n  return 0;\n}\n").unwrap();
+        let ret = toks.iter().find(|t| t.tok == Tok::KwReturn).unwrap();
+        assert_eq!((ret.line, ret.col), (2, 3));
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        let err = lex("int @x;").unwrap_err();
+        assert!(err.message.contains('@'));
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        assert_eq!(kinds("form")[0], Tok::Ident("form".into()));
+        assert_eq!(kinds("for")[0], Tok::KwFor);
+        assert_eq!(kinds("int_x")[0], Tok::Ident("int_x".into()));
+    }
+}

@@ -1,0 +1,648 @@
+//! Recursive-descent parser with precedence climbing for expressions.
+
+use crate::ast::*;
+use crate::error::CompileError;
+use crate::token::{Tok, Token};
+
+/// Parse a token stream into a [`Program`].
+pub fn parse(tokens: &[Token]) -> Result<Program, CompileError> {
+    let mut p = Parser { tokens, pos: 0 };
+    p.program()
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].tok
+    }
+
+    fn here(&self) -> Pos {
+        let t = self.peek();
+        Pos {
+            line: t.line,
+            col: t.col,
+        }
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, want: &Tok) -> bool {
+        if &self.peek().tok == want {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<Token, CompileError> {
+        if &self.peek().tok == want {
+            Ok(self.bump())
+        } else {
+            let t = self.peek();
+            Err(CompileError::at(
+                t.line,
+                t.col,
+                format!("expected `{}`, found `{}`", want, t.tok),
+            ))
+        }
+    }
+
+    fn err_here(&self, msg: impl Into<String>) -> CompileError {
+        let t = self.peek();
+        CompileError::at(t.line, t.col, msg)
+    }
+
+    fn ident(&mut self) -> Result<(String, Pos), CompileError> {
+        let pos = self.here();
+        match self.peek().tok.clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok((s, pos))
+            }
+            other => Err(self.err_here(format!("expected identifier, found `{other}`"))),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, CompileError> {
+        let mut prog = Program::default();
+        loop {
+            match &self.peek().tok {
+                Tok::Eof => break,
+                Tok::KwGlobal => prog.globals.push(self.global_decl()?),
+                Tok::KwInt | Tok::KwFloat | Tok::KwVoid => prog.funcs.push(self.func_decl()?),
+                other => {
+                    return Err(self.err_here(format!(
+                        "expected `global` or a function definition, found `{other}`"
+                    )))
+                }
+            }
+        }
+        Ok(prog)
+    }
+
+    fn scalar(&mut self) -> Result<Scalar, CompileError> {
+        match self.peek().tok {
+            Tok::KwInt => {
+                self.bump();
+                Ok(Scalar::Int)
+            }
+            Tok::KwFloat => {
+                self.bump();
+                Ok(Scalar::Float)
+            }
+            _ => Err(self.err_here("expected `int` or `float`")),
+        }
+    }
+
+    fn global_decl(&mut self) -> Result<GlobalDecl, CompileError> {
+        let pos = self.here();
+        self.expect(&Tok::KwGlobal)?;
+        let sc = self.scalar()?;
+        let (name, _) = self.ident()?;
+        let ty = if self.eat(&Tok::LBracket) {
+            let n = match self.bump().tok {
+                Tok::Int(v) if v > 0 => v as u64,
+                other => {
+                    return Err(self.err_here(format!(
+                        "array size must be a positive integer literal, found `{other}`"
+                    )))
+                }
+            };
+            self.expect(&Tok::RBracket)?;
+            DeclTy::Array(sc, n)
+        } else {
+            DeclTy::Scalar(sc)
+        };
+        let init = if self.eat(&Tok::Assign) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.expect(&Tok::Semi)?;
+        Ok(GlobalDecl {
+            name,
+            ty,
+            init,
+            pos,
+        })
+    }
+
+    fn func_decl(&mut self) -> Result<FuncDecl, CompileError> {
+        let pos = self.here();
+        let ret = match self.bump().tok {
+            Tok::KwInt => RetTy::Int,
+            Tok::KwFloat => RetTy::Float,
+            Tok::KwVoid => RetTy::Void,
+            other => return Err(self.err_here(format!("expected return type, found `{other}`"))),
+        };
+        let (name, _) = self.ident()?;
+        self.expect(&Tok::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(&Tok::RParen) {
+            loop {
+                let sc = self.scalar()?;
+                let is_ptr_star = self.eat(&Tok::Star);
+                let (pname, _) = self.ident()?;
+                let is_ptr_brackets = if self.eat(&Tok::LBracket) {
+                    self.expect(&Tok::RBracket)?;
+                    true
+                } else {
+                    false
+                };
+                let ty = if is_ptr_star || is_ptr_brackets {
+                    ParamTy::Ptr(sc)
+                } else {
+                    ParamTy::Scalar(sc)
+                };
+                params.push(ParamDecl { name: pname, ty });
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Tok::RParen)?;
+        }
+        let body = self.block()?;
+        Ok(FuncDecl {
+            name,
+            params,
+            ret,
+            body,
+            pos,
+        })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.expect(&Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            if self.peek().tok == Tok::Eof {
+                return Err(self.err_here("unclosed block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let pos = self.here();
+        match &self.peek().tok {
+            Tok::KwInt | Tok::KwFloat => {
+                let s = self.decl_stmt()?;
+                self.expect(&Tok::Semi)?;
+                Ok(s)
+            }
+            Tok::KwIf => self.if_stmt(),
+            Tok::KwWhile => self.while_stmt(),
+            Tok::KwFor => self.for_stmt(),
+            Tok::KwReturn => {
+                self.bump();
+                let value = if self.peek().tok == Tok::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt {
+                    kind: StmtKind::Return(value),
+                    pos,
+                })
+            }
+            Tok::LBrace => {
+                // Flatten nested bare blocks into an if(1)-style sequence is
+                // unnecessary; treat as statements inline by wrapping in an
+                // always-true if. Simpler: disallow bare blocks.
+                Err(self.err_here("bare blocks are not supported; use `if`/loops"))
+            }
+            Tok::Ident(_) if matches!(self.peek2(), Tok::Assign | Tok::LBracket) => {
+                let s = self.assign_stmt()?;
+                self.expect(&Tok::Semi)?;
+                Ok(s)
+            }
+            _ => {
+                let e = self.expr()?;
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt {
+                    kind: StmtKind::ExprStmt(e),
+                    pos,
+                })
+            }
+        }
+    }
+
+    /// `int x`, `int x = e`, `int a[10]`, `float y = 0.5` — no trailing `;`.
+    fn decl_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let pos = self.here();
+        let sc = self.scalar()?;
+        let (name, _) = self.ident()?;
+        if self.eat(&Tok::LBracket) {
+            let n = match self.bump().tok {
+                Tok::Int(v) if v > 0 => v as u64,
+                other => {
+                    return Err(self.err_here(format!(
+                        "array size must be a positive integer literal, found `{other}`"
+                    )))
+                }
+            };
+            self.expect(&Tok::RBracket)?;
+            Ok(Stmt {
+                kind: StmtKind::Decl {
+                    name,
+                    ty: DeclTy::Array(sc, n),
+                    init: None,
+                },
+                pos,
+            })
+        } else {
+            let init = if self.eat(&Tok::Assign) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            Ok(Stmt {
+                kind: StmtKind::Decl {
+                    name,
+                    ty: DeclTy::Scalar(sc),
+                    init,
+                },
+                pos,
+            })
+        }
+    }
+
+    /// `x = e` or `a[i] = e` — no trailing `;`.
+    fn assign_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let pos = self.here();
+        let (name, _) = self.ident()?;
+        let lhs = if self.eat(&Tok::LBracket) {
+            let idx = self.expr()?;
+            self.expect(&Tok::RBracket)?;
+            LValue::Index(name, Box::new(idx))
+        } else {
+            LValue::Var(name)
+        };
+        self.expect(&Tok::Assign)?;
+        let rhs = self.expr()?;
+        Ok(Stmt {
+            kind: StmtKind::Assign { lhs, rhs },
+            pos,
+        })
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let pos = self.here();
+        self.expect(&Tok::KwIf)?;
+        self.expect(&Tok::LParen)?;
+        let cond = self.expr()?;
+        self.expect(&Tok::RParen)?;
+        let then_body = self.block()?;
+        let else_body = if self.eat(&Tok::KwElse) {
+            if self.peek().tok == Tok::KwIf {
+                vec![self.if_stmt()?]
+            } else {
+                self.block()?
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt {
+            kind: StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            },
+            pos,
+        })
+    }
+
+    fn while_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let pos = self.here();
+        self.expect(&Tok::KwWhile)?;
+        self.expect(&Tok::LParen)?;
+        let cond = self.expr()?;
+        self.expect(&Tok::RParen)?;
+        let body = self.block()?;
+        Ok(Stmt {
+            kind: StmtKind::While { cond, body },
+            pos,
+        })
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let pos = self.here();
+        self.expect(&Tok::KwFor)?;
+        self.expect(&Tok::LParen)?;
+        let init = if self.peek().tok == Tok::Semi {
+            None
+        } else if matches!(self.peek().tok, Tok::KwInt | Tok::KwFloat) {
+            Some(Box::new(self.decl_stmt()?))
+        } else {
+            Some(Box::new(self.assign_stmt()?))
+        };
+        self.expect(&Tok::Semi)?;
+        let cond = if self.peek().tok == Tok::Semi {
+            None
+        } else {
+            Some(self.expr()?)
+        };
+        self.expect(&Tok::Semi)?;
+        let step = if self.peek().tok == Tok::RParen {
+            None
+        } else {
+            Some(Box::new(self.assign_stmt()?))
+        };
+        self.expect(&Tok::RParen)?;
+        let body = self.block()?;
+        Ok(Stmt {
+            kind: StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            },
+            pos,
+        })
+    }
+
+    // ----- expressions (precedence climbing) -----
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.bin_expr(0)
+    }
+
+    fn bin_expr(&mut self, min_prec: u8) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let (op, prec) = match self.peek().tok {
+                Tok::OrOr => (BinOpKind::Or, 1),
+                Tok::AndAnd => (BinOpKind::And, 2),
+                Tok::EqEq => (BinOpKind::Eq, 3),
+                Tok::NotEq => (BinOpKind::Ne, 3),
+                Tok::Lt => (BinOpKind::Lt, 4),
+                Tok::Le => (BinOpKind::Le, 4),
+                Tok::Gt => (BinOpKind::Gt, 4),
+                Tok::Ge => (BinOpKind::Ge, 4),
+                Tok::Plus => (BinOpKind::Add, 5),
+                Tok::Minus => (BinOpKind::Sub, 5),
+                Tok::Star => (BinOpKind::Mul, 6),
+                Tok::Slash => (BinOpKind::Div, 6),
+                Tok::Percent => (BinOpKind::Rem, 6),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            let pos = self.here();
+            self.bump();
+            let rhs = self.bin_expr(prec + 1)?;
+            lhs = Expr {
+                kind: ExprKind::Bin(op, Box::new(lhs), Box::new(rhs)),
+                pos,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, CompileError> {
+        let pos = self.here();
+        if self.eat(&Tok::Minus) {
+            let e = self.unary()?;
+            return Ok(Expr {
+                kind: ExprKind::Neg(Box::new(e)),
+                pos,
+            });
+        }
+        if self.eat(&Tok::Not) {
+            let e = self.unary()?;
+            return Ok(Expr {
+                kind: ExprKind::Not(Box::new(e)),
+                pos,
+            });
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, CompileError> {
+        let pos = self.here();
+        match self.peek().tok.clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr {
+                    kind: ExprKind::IntLit(v),
+                    pos,
+                })
+            }
+            Tok::Float(v) => {
+                self.bump();
+                Ok(Expr {
+                    kind: ExprKind::FloatLit(v),
+                    pos,
+                })
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            // Cast pseudo-functions `int(x)` / `float(x)`.
+            Tok::KwInt if *self.peek2() == Tok::LParen => {
+                self.bump();
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(Expr {
+                    kind: ExprKind::Call("int".to_string(), vec![e]),
+                    pos,
+                })
+            }
+            Tok::KwFloat if *self.peek2() == Tok::LParen => {
+                self.bump();
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(Expr {
+                    kind: ExprKind::Call("float".to_string(), vec![e]),
+                    pos,
+                })
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                if self.eat(&Tok::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(&Tok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&Tok::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(&Tok::RParen)?;
+                    }
+                    Ok(Expr {
+                        kind: ExprKind::Call(name, args),
+                        pos,
+                    })
+                } else if self.eat(&Tok::LBracket) {
+                    let idx = self.expr()?;
+                    self.expect(&Tok::RBracket)?;
+                    Ok(Expr {
+                        kind: ExprKind::Index(name, Box::new(idx)),
+                        pos,
+                    })
+                } else {
+                    Ok(Expr {
+                        kind: ExprKind::Var(name),
+                        pos,
+                    })
+                }
+            }
+            other => Err(self.err_here(format!("expected expression, found `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Program {
+        parse(&lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parses_fig4_example_shape() {
+        let src = r#"
+void foo(int* p, int* q) {
+    for (int i = 0; i < 10; i = i + 1) {
+        q[i] = p[i] * 2;
+    }
+}
+
+int main() {
+    int a[10];
+    int b[10];
+    int sum = 0;
+    int s = 0;
+    int r = 1;
+    for (int i = 0; i < 10; i = i + 1) {
+        a[i] = 0;
+        b[i] = 0;
+    }
+    for (int it = 0; it < 10; it = it + 1) {
+        int m;
+        s = it + 1;
+        a[it] = s * r;
+        foo(a, b);
+        r = r + 1;
+        m = a[it] + b[it];
+        sum = m;
+    }
+    print(sum);
+    return 0;
+}
+"#;
+        let prog = parse_src(src);
+        assert_eq!(prog.funcs.len(), 2);
+        assert_eq!(prog.funcs[0].name, "foo");
+        assert_eq!(prog.funcs[0].params.len(), 2);
+        assert_eq!(prog.funcs[0].params[0].ty, ParamTy::Ptr(Scalar::Int));
+        assert_eq!(prog.funcs[1].name, "main");
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter_than_add() {
+        let prog = parse_src("int main() { int x = 1 + 2 * 3; return x; }");
+        let StmtKind::Decl { init: Some(e), .. } = &prog.funcs[0].body[0].kind else {
+            panic!()
+        };
+        let ExprKind::Bin(BinOpKind::Add, _, rhs) = &e.kind else {
+            panic!("expected top-level add, got {e:?}")
+        };
+        assert!(matches!(rhs.kind, ExprKind::Bin(BinOpKind::Mul, _, _)));
+    }
+
+    #[test]
+    fn comparison_below_logical() {
+        let prog = parse_src("int main() { int x = 0; if (x < 1 && x >= 0) { x = 2; } return x; }");
+        let StmtKind::If { cond, .. } = &prog.funcs[0].body[1].kind else {
+            panic!()
+        };
+        assert!(matches!(cond.kind, ExprKind::Bin(BinOpKind::And, _, _)));
+    }
+
+    #[test]
+    fn parses_globals_with_init() {
+        let prog = parse_src("global float xnt = 1.5;\nglobal int sums[8];\nint main() { return 0; }");
+        assert_eq!(prog.globals.len(), 2);
+        assert_eq!(prog.globals[0].ty, DeclTy::Scalar(Scalar::Float));
+        assert_eq!(prog.globals[1].ty, DeclTy::Array(Scalar::Int, 8));
+    }
+
+    #[test]
+    fn parses_while_and_else_if() {
+        let prog = parse_src(
+            "int main() { int x = 0; while (x < 3) { if (x == 0) { x = 1; } else if (x == 1) { x = 2; } else { x = 3; } } return x; }",
+        );
+        let StmtKind::While { body, .. } = &prog.funcs[0].body[1].kind else {
+            panic!()
+        };
+        let StmtKind::If { else_body, .. } = &body[0].kind else {
+            panic!()
+        };
+        assert!(matches!(else_body[0].kind, StmtKind::If { .. }));
+    }
+
+    #[test]
+    fn cast_pseudo_functions() {
+        let prog = parse_src("int main() { float y = float(3); int z = int(y); return z; }");
+        let StmtKind::Decl { init: Some(e), .. } = &prog.funcs[0].body[0].kind else {
+            panic!()
+        };
+        assert!(matches!(&e.kind, ExprKind::Call(n, _) if n == "float"));
+    }
+
+    #[test]
+    fn statement_positions_use_first_token() {
+        let src = "int main() {\n    int x = 1;\n    x = x + 1;\n    return x;\n}\n";
+        let prog = parse_src(src);
+        assert_eq!(prog.funcs[0].body[0].pos.line, 2);
+        assert_eq!(prog.funcs[0].body[1].pos.line, 3);
+        assert_eq!(prog.funcs[0].body[2].pos.line, 4);
+    }
+
+    #[test]
+    fn error_messages_have_positions() {
+        let toks = lex("int main() { int = 3; }").unwrap();
+        let err = parse(&toks).unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("identifier"));
+    }
+
+    #[test]
+    fn for_with_empty_slots() {
+        let prog = parse_src("int main() { int i = 0; for (;;) { i = i + 1; return i; } return 0; }");
+        let StmtKind::For {
+            init, cond, step, ..
+        } = &prog.funcs[0].body[1].kind
+        else {
+            panic!()
+        };
+        assert!(init.is_none() && cond.is_none() && step.is_none());
+    }
+}

@@ -1,0 +1,734 @@
+//! Semantic analysis: scoping and type checking.
+//!
+//! MiniLang is strict about numeric types (no implicit `int`/`float`
+//! conversion) so that the lowering can pick integer vs. float opcodes
+//! mechanically — the same property Clang relies on after its implicit
+//! conversions have been made explicit in the AST.
+
+use crate::ast::*;
+use crate::error::CompileError;
+use std::collections::HashMap;
+
+/// The type of an expression.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExprTy {
+    /// `int`.
+    Int,
+    /// `float`.
+    Float,
+    /// Comparison/logical result.
+    Bool,
+    /// Pointer to int (array parameter or decayed array).
+    IntPtr,
+    /// Pointer to float.
+    FloatPtr,
+    /// `int` array of known size.
+    IntArr(u64),
+    /// `float` array of known size.
+    FloatArr(u64),
+    /// No value.
+    Void,
+}
+
+impl ExprTy {
+    fn of_decl(d: &DeclTy) -> ExprTy {
+        match d {
+            DeclTy::Scalar(Scalar::Int) => ExprTy::Int,
+            DeclTy::Scalar(Scalar::Float) => ExprTy::Float,
+            DeclTy::Array(Scalar::Int, n) => ExprTy::IntArr(*n),
+            DeclTy::Array(Scalar::Float, n) => ExprTy::FloatArr(*n),
+        }
+    }
+
+    fn of_param(p: &ParamTy) -> ExprTy {
+        match p {
+            ParamTy::Scalar(Scalar::Int) => ExprTy::Int,
+            ParamTy::Scalar(Scalar::Float) => ExprTy::Float,
+            ParamTy::Ptr(Scalar::Int) => ExprTy::IntPtr,
+            ParamTy::Ptr(Scalar::Float) => ExprTy::FloatPtr,
+        }
+    }
+
+    /// Element type for indexable types.
+    fn elem(&self) -> Option<ExprTy> {
+        match self {
+            ExprTy::IntPtr | ExprTy::IntArr(_) => Some(ExprTy::Int),
+            ExprTy::FloatPtr | ExprTy::FloatArr(_) => Some(ExprTy::Float),
+            _ => None,
+        }
+    }
+
+    fn is_indexable(&self) -> bool {
+        self.elem().is_some()
+    }
+
+    fn display(&self) -> &'static str {
+        match self {
+            ExprTy::Int => "int",
+            ExprTy::Float => "float",
+            ExprTy::Bool => "bool",
+            ExprTy::IntPtr => "int*",
+            ExprTy::FloatPtr => "float*",
+            ExprTy::IntArr(_) => "int[]",
+            ExprTy::FloatArr(_) => "float[]",
+            ExprTy::Void => "void",
+        }
+    }
+}
+
+/// Information about one variable binding.
+#[derive(Clone, Debug)]
+struct Binding {
+    ty: ExprTy,
+    /// Scalar parameters are read-only.
+    assignable: bool,
+}
+
+struct Scopes {
+    stack: Vec<HashMap<String, Binding>>,
+}
+
+impl Scopes {
+    fn new() -> Self {
+        Scopes { stack: vec![HashMap::new()] }
+    }
+
+    fn push(&mut self) {
+        self.stack.push(HashMap::new());
+    }
+
+    fn pop(&mut self) {
+        self.stack.pop();
+    }
+
+    fn declare(&mut self, name: &str, b: Binding) -> bool {
+        self.stack
+            .last_mut()
+            .expect("scope stack never empty")
+            .insert(name.to_string(), b)
+            .is_none()
+    }
+
+    fn lookup(&self, name: &str) -> Option<&Binding> {
+        self.stack.iter().rev().find_map(|s| s.get(name))
+    }
+}
+
+struct FuncSig {
+    params: Vec<ParamTy>,
+    ret: RetTy,
+}
+
+/// Check `prog`; returns all diagnostics found.
+pub fn check(prog: &Program) -> Result<(), Vec<CompileError>> {
+    let mut errs = Vec::new();
+    // Pass 1: signatures and globals.
+    let mut funcs: HashMap<String, FuncSig> = HashMap::new();
+    for f in &prog.funcs {
+        if autocheck_ir::Builtin::by_name(&f.name).is_some() || f.name == "int" || f.name == "float"
+        {
+            errs.push(CompileError::at(
+                f.pos.line,
+                f.pos.col,
+                format!("`{}` is a reserved builtin name", f.name),
+            ));
+        }
+        if funcs
+            .insert(
+                f.name.clone(),
+                FuncSig {
+                    params: f.params.iter().map(|p| p.ty.clone()).collect(),
+                    ret: f.ret,
+                },
+            )
+            .is_some()
+        {
+            errs.push(CompileError::at(
+                f.pos.line,
+                f.pos.col,
+                format!("duplicate function `{}`", f.name),
+            ));
+        }
+    }
+    let mut globals: HashMap<String, ExprTy> = HashMap::new();
+    for g in &prog.globals {
+        match (&g.init, &g.ty) {
+            (None, _) => {}
+            (Some(e), DeclTy::Scalar(sc)) => {
+                let ok = matches!(
+                    (&e.kind, sc),
+                    (ExprKind::IntLit(_), Scalar::Int) | (ExprKind::FloatLit(_), Scalar::Float)
+                ) || matches!(
+                    (&e.kind, sc),
+                    (ExprKind::Neg(inner), Scalar::Int) if matches!(inner.kind, ExprKind::IntLit(_))
+                ) || matches!(
+                    (&e.kind, sc),
+                    (ExprKind::Neg(inner), Scalar::Float) if matches!(inner.kind, ExprKind::FloatLit(_))
+                );
+                if !ok {
+                    errs.push(CompileError::at(
+                        g.pos.line,
+                        g.pos.col,
+                        "global initializers must be literals of the declared type",
+                    ));
+                }
+            }
+            (Some(_), DeclTy::Array(..)) => {
+                errs.push(CompileError::at(
+                    g.pos.line,
+                    g.pos.col,
+                    "array globals cannot have initializers (they are zero-initialized)",
+                ));
+            }
+        }
+        if globals.insert(g.name.clone(), ExprTy::of_decl(&g.ty)).is_some() {
+            errs.push(CompileError::at(
+                g.pos.line,
+                g.pos.col,
+                format!("duplicate global `{}`", g.name),
+            ));
+        }
+    }
+
+    // Pass 2: function bodies.
+    for f in &prog.funcs {
+        let mut ck = Checker {
+            funcs: &funcs,
+            globals: &globals,
+            scopes: Scopes::new(),
+            ret: f.ret,
+            errs: &mut errs,
+        };
+        for p in &f.params {
+            let assignable = matches!(p.ty, ParamTy::Ptr(_));
+            if !ck.scopes.declare(
+                &p.name,
+                Binding {
+                    ty: ExprTy::of_param(&p.ty),
+                    assignable,
+                },
+            ) {
+                ck.errs.push(CompileError::at(
+                    f.pos.line,
+                    f.pos.col,
+                    format!("duplicate parameter `{}`", p.name),
+                ));
+            }
+        }
+        ck.block(&f.body);
+    }
+
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs)
+    }
+}
+
+struct Checker<'a> {
+    funcs: &'a HashMap<String, FuncSig>,
+    globals: &'a HashMap<String, ExprTy>,
+    scopes: Scopes,
+    ret: RetTy,
+    errs: &'a mut Vec<CompileError>,
+}
+
+impl<'a> Checker<'a> {
+    fn err(&mut self, pos: Pos, msg: impl Into<String>) {
+        self.errs.push(CompileError::at(pos.line, pos.col, msg));
+    }
+
+    fn block(&mut self, stmts: &[Stmt]) {
+        self.scopes.push();
+        for s in stmts {
+            self.stmt(s);
+        }
+        self.scopes.pop();
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match &s.kind {
+            StmtKind::Decl { name, ty, init } => {
+                if let Some(e) = init {
+                    let et = self.expr(e);
+                    let want = ExprTy::of_decl(ty);
+                    if !self.assign_compatible(want, et) {
+                        self.err(
+                            s.pos,
+                            format!(
+                                "cannot initialize `{name}` ({}) from {}",
+                                want.display(),
+                                et.display()
+                            ),
+                        );
+                    }
+                }
+                if !self.scopes.declare(
+                    name,
+                    Binding {
+                        ty: ExprTy::of_decl(ty),
+                        assignable: true,
+                    },
+                ) {
+                    self.err(s.pos, format!("duplicate variable `{name}` in this scope"));
+                }
+            }
+            StmtKind::Assign { lhs, rhs } => {
+                let rt = self.expr(rhs);
+                match lhs {
+                    LValue::Var(name) => match self.lookup(name) {
+                        Some(b) => {
+                            if !b.assignable {
+                                self.err(
+                                    s.pos,
+                                    format!("scalar parameter `{name}` is read-only in MiniLang"),
+                                );
+                            } else if matches!(b.ty, ExprTy::IntArr(_) | ExprTy::FloatArr(_)) {
+                                self.err(s.pos, format!("cannot assign to array `{name}`"));
+                            } else if !self.assign_compatible(b.ty, rt) {
+                                self.err(
+                                    s.pos,
+                                    format!(
+                                        "cannot assign {} to `{name}` ({})",
+                                        rt.display(),
+                                        b.ty.display()
+                                    ),
+                                );
+                            }
+                        }
+                        None => self.err(s.pos, format!("undeclared variable `{name}`")),
+                    },
+                    LValue::Index(name, idx) => {
+                        let it = self.expr(idx);
+                        if it != ExprTy::Int {
+                            self.err(idx.pos, "array index must be int");
+                        }
+                        match self.lookup(name) {
+                            Some(b) if b.ty.is_indexable() => {
+                                let want = b.ty.elem().expect("indexable");
+                                if !self.assign_compatible(want, rt) {
+                                    self.err(
+                                        s.pos,
+                                        format!(
+                                            "cannot store {} into `{name}[]` ({})",
+                                            rt.display(),
+                                            want.display()
+                                        ),
+                                    );
+                                }
+                            }
+                            Some(_) => self.err(s.pos, format!("`{name}` is not indexable")),
+                            None => self.err(s.pos, format!("undeclared variable `{name}`")),
+                        }
+                    }
+                }
+            }
+            StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                self.cond(cond);
+                self.block(then_body);
+                self.block(else_body);
+            }
+            StmtKind::While { cond, body } => {
+                self.cond(cond);
+                self.block(body);
+            }
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                self.scopes.push();
+                if let Some(i) = init {
+                    self.stmt(i);
+                }
+                if let Some(c) = cond {
+                    self.cond(c);
+                }
+                if let Some(st) = step {
+                    self.stmt(st);
+                }
+                self.block(body);
+                self.scopes.pop();
+            }
+            StmtKind::Return(v) => {
+                let got = v.as_ref().map(|e| self.expr(e));
+                match (self.ret, got) {
+                    (RetTy::Void, None) => {}
+                    (RetTy::Int, Some(t)) if t == ExprTy::Int || t == ExprTy::Bool => {}
+                    (RetTy::Float, Some(ExprTy::Float)) => {}
+                    (want, got) => self.err(
+                        s.pos,
+                        format!(
+                            "return type mismatch: function returns {:?}, got {}",
+                            want,
+                            got.map(|t| t.display()).unwrap_or("nothing")
+                        ),
+                    ),
+                }
+            }
+            StmtKind::ExprStmt(e) => {
+                self.expr(e);
+            }
+        }
+    }
+
+    fn cond(&mut self, e: &Expr) {
+        let t = self.expr(e);
+        if !matches!(t, ExprTy::Bool | ExprTy::Int) {
+            self.err(e.pos, format!("condition must be bool or int, got {}", t.display()));
+        }
+    }
+
+    /// `bool` stores into `int` via zero-extension (C semantics).
+    fn assign_compatible(&self, want: ExprTy, got: ExprTy) -> bool {
+        want == got || (want == ExprTy::Int && got == ExprTy::Bool)
+    }
+
+    fn lookup(&self, name: &str) -> Option<Binding> {
+        self.scopes
+            .lookup(name)
+            .cloned()
+            .or_else(|| {
+                self.globals.get(name).map(|t| Binding {
+                    ty: *t,
+                    assignable: true,
+                })
+            })
+    }
+
+    fn expr(&mut self, e: &Expr) -> ExprTy {
+        match &e.kind {
+            ExprKind::IntLit(_) => ExprTy::Int,
+            ExprKind::FloatLit(_) => ExprTy::Float,
+            ExprKind::Var(name) => match self.lookup(name) {
+                Some(b) => b.ty,
+                None => {
+                    self.err(e.pos, format!("undeclared variable `{name}`"));
+                    ExprTy::Int
+                }
+            },
+            ExprKind::Index(name, idx) => {
+                let it = self.expr(idx);
+                if it != ExprTy::Int {
+                    self.err(idx.pos, "array index must be int");
+                }
+                match self.lookup(name) {
+                    Some(b) if b.ty.is_indexable() => b.ty.elem().expect("indexable"),
+                    Some(b) => {
+                        self.err(e.pos, format!("`{name}` ({}) is not indexable", b.ty.display()));
+                        ExprTy::Int
+                    }
+                    None => {
+                        self.err(e.pos, format!("undeclared variable `{name}`"));
+                        ExprTy::Int
+                    }
+                }
+            }
+            ExprKind::Neg(inner) => {
+                let t = self.expr(inner);
+                if !matches!(t, ExprTy::Int | ExprTy::Float) {
+                    self.err(e.pos, format!("cannot negate {}", t.display()));
+                    return ExprTy::Int;
+                }
+                t
+            }
+            ExprKind::Not(inner) => {
+                let t = self.expr(inner);
+                if !matches!(t, ExprTy::Bool | ExprTy::Int) {
+                    self.err(e.pos, format!("cannot apply `!` to {}", t.display()));
+                }
+                ExprTy::Bool
+            }
+            ExprKind::Bin(op, l, r) => {
+                let lt = self.expr(l);
+                let rt = self.expr(r);
+                if op.is_logical() {
+                    for (t, side) in [(lt, l), (rt, r)] {
+                        if !matches!(t, ExprTy::Bool | ExprTy::Int) {
+                            self.err(
+                                side.pos,
+                                format!("logical operand must be bool or int, got {}", t.display()),
+                            );
+                        }
+                    }
+                    return ExprTy::Bool;
+                }
+                if op.is_comparison() {
+                    if !((lt == ExprTy::Int && rt == ExprTy::Int)
+                        || (lt == ExprTy::Float && rt == ExprTy::Float))
+                    {
+                        self.err(
+                            e.pos,
+                            format!(
+                                "comparison operands must both be int or both float, got {} and {}",
+                                lt.display(),
+                                rt.display()
+                            ),
+                        );
+                    }
+                    return ExprTy::Bool;
+                }
+                // Arithmetic.
+                match (lt, rt) {
+                    (ExprTy::Int, ExprTy::Int) => ExprTy::Int,
+                    (ExprTy::Float, ExprTy::Float) => {
+                        if *op == BinOpKind::Rem {
+                            self.err(e.pos, "`%` requires int operands");
+                        }
+                        ExprTy::Float
+                    }
+                    _ => {
+                        self.err(
+                            e.pos,
+                            format!(
+                                "arithmetic operands must both be int or both float, got {} and {} (use int()/float())",
+                                lt.display(),
+                                rt.display()
+                            ),
+                        );
+                        ExprTy::Int
+                    }
+                }
+            }
+            ExprKind::Call(name, args) => self.call(e.pos, name, args),
+        }
+    }
+
+    fn call(&mut self, pos: Pos, name: &str, args: &[Expr]) -> ExprTy {
+        let arg_tys: Vec<ExprTy> = args.iter().map(|a| self.expr(a)).collect();
+        // Casts.
+        if name == "int" || name == "float" {
+            if args.len() != 1 {
+                self.err(pos, format!("`{name}()` takes exactly one argument"));
+                return if name == "int" { ExprTy::Int } else { ExprTy::Float };
+            }
+            let ok = match name {
+                "int" => arg_tys[0] == ExprTy::Float || arg_tys[0] == ExprTy::Bool,
+                _ => arg_tys[0] == ExprTy::Int,
+            };
+            if !ok {
+                self.err(pos, format!("invalid cast `{name}({})`", arg_tys[0].display()));
+            }
+            return if name == "int" { ExprTy::Int } else { ExprTy::Float };
+        }
+        // Builtins.
+        if let Some(b) = autocheck_ir::Builtin::by_name(name) {
+            if b == autocheck_ir::Builtin::Print {
+                if args.len() != 1 || !matches!(arg_tys[0], ExprTy::Int | ExprTy::Float) {
+                    self.err(pos, "print takes one int or float argument");
+                }
+                return ExprTy::Void;
+            }
+            let want = b.param_types();
+            if want.len() != args.len() {
+                self.err(
+                    pos,
+                    format!("`{name}` takes {} argument(s), got {}", want.len(), args.len()),
+                );
+                return builtin_ret(b);
+            }
+            for (i, w) in want.iter().enumerate() {
+                let ok = match w {
+                    autocheck_ir::Type::F64 => arg_tys[i] == ExprTy::Float,
+                    autocheck_ir::Type::I64 => arg_tys[i] == ExprTy::Int,
+                    _ => false,
+                };
+                if !ok {
+                    self.err(pos, format!("argument {} of `{name}` has the wrong type", i + 1));
+                }
+            }
+            return builtin_ret(b);
+        }
+        // User functions.
+        match self.funcs.get(name) {
+            Some(sig) => {
+                if sig.params.len() != args.len() {
+                    self.err(
+                        pos,
+                        format!(
+                            "`{name}` takes {} argument(s), got {}",
+                            sig.params.len(),
+                            args.len()
+                        ),
+                    );
+                } else {
+                    for (i, p) in sig.params.iter().enumerate() {
+                        let ok = match p {
+                            ParamTy::Scalar(Scalar::Int) => arg_tys[i] == ExprTy::Int,
+                            ParamTy::Scalar(Scalar::Float) => arg_tys[i] == ExprTy::Float,
+                            ParamTy::Ptr(Scalar::Int) => {
+                                matches!(arg_tys[i], ExprTy::IntPtr | ExprTy::IntArr(_))
+                            }
+                            ParamTy::Ptr(Scalar::Float) => {
+                                matches!(arg_tys[i], ExprTy::FloatPtr | ExprTy::FloatArr(_))
+                            }
+                        };
+                        if !ok {
+                            self.err(
+                                pos,
+                                format!(
+                                    "argument {} of `{name}`: expected {:?}, got {}",
+                                    i + 1,
+                                    p,
+                                    arg_tys[i].display()
+                                ),
+                            );
+                        }
+                    }
+                }
+                match sig.ret {
+                    RetTy::Void => ExprTy::Void,
+                    RetTy::Int => ExprTy::Int,
+                    RetTy::Float => ExprTy::Float,
+                }
+            }
+            None => {
+                self.err(pos, format!("unknown function `{name}`"));
+                ExprTy::Int
+            }
+        }
+    }
+}
+
+fn builtin_ret(b: autocheck_ir::Builtin) -> ExprTy {
+    match b.ret_type() {
+        autocheck_ir::Type::Void => ExprTy::Void,
+        autocheck_ir::Type::I64 => ExprTy::Int,
+        _ => ExprTy::Float,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn check_src(src: &str) -> Result<(), Vec<CompileError>> {
+        check(&parse(&lex(src).unwrap()).unwrap())
+    }
+
+    fn first_err(src: &str) -> String {
+        check_src(src).unwrap_err()[0].message.clone()
+    }
+
+    #[test]
+    fn accepts_well_typed_program() {
+        assert!(check_src(
+            r#"
+global float shift = 0.5;
+float norm(float* v, int n) {
+    float s = 0.0;
+    for (int i = 0; i < n; i = i + 1) { s = s + v[i] * v[i]; }
+    return sqrt(s);
+}
+int main() {
+    float x[4];
+    for (int i = 0; i < 4; i = i + 1) { x[i] = float(i); }
+    print(norm(x, 4) + shift);
+    return 0;
+}
+"#
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn rejects_undeclared_variable() {
+        assert!(first_err("int main() { x = 1; return 0; }").contains("undeclared"));
+    }
+
+    #[test]
+    fn rejects_int_float_mixing() {
+        assert!(first_err("int main() { int x = 1 + 2.0; return x; }").contains("arithmetic"));
+    }
+
+    #[test]
+    fn rejects_float_index() {
+        assert!(first_err("int main() { int a[4]; a[1.5] = 0; return 0; }").contains("index"));
+    }
+
+    #[test]
+    fn rejects_assignment_to_scalar_param() {
+        assert!(
+            first_err("void f(int n) { n = 3; } int main() { f(1); return 0; }")
+                .contains("read-only")
+        );
+    }
+
+    #[test]
+    fn bool_assigns_to_int() {
+        assert!(check_src("int main() { int done = 0; done = 3 > 2; return done; }").is_ok());
+    }
+
+    #[test]
+    fn rejects_wrong_arity_call() {
+        assert!(first_err(
+            "void f(int* p) { p[0] = 1; } int main() { int a[2]; f(a, a); return 0; }"
+        )
+        .contains("argument"));
+    }
+
+    #[test]
+    fn rejects_scalar_where_pointer_expected() {
+        assert!(first_err(
+            "void f(int* p) { p[0] = 1; } int main() { int x = 0; f(x); return 0; }"
+        )
+        .contains("argument 1"));
+    }
+
+    #[test]
+    fn rejects_duplicate_local_in_same_scope() {
+        assert!(
+            first_err("int main() { int x = 0; int x = 1; return x; }").contains("duplicate")
+        );
+    }
+
+    #[test]
+    fn allows_shadowing_in_inner_scope() {
+        assert!(check_src(
+            "int main() { int x = 0; for (int i = 0; i < 2; i = i + 1) { int x = 5; x = x + 1; } return x; }"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn rejects_return_mismatch() {
+        assert!(first_err("float f() { return 1; } int main() { return 0; }")
+            .contains("return type"));
+    }
+
+    #[test]
+    fn rejects_reserved_builtin_redefinition() {
+        assert!(first_err("void print(int x) { } int main() { return 0; }").contains("reserved"));
+    }
+
+    #[test]
+    fn rejects_float_rem() {
+        assert!(first_err("int main() { float x = 1.0 % 2.0; return 0; }").contains("%"));
+    }
+
+    #[test]
+    fn rejects_array_global_initializer() {
+        assert!(first_err("global int a[4] = 3;\nint main() { return 0; }")
+            .contains("zero-initialized"));
+    }
+
+    #[test]
+    fn globals_visible_in_functions() {
+        assert!(check_src(
+            "global int counter;\nint main() { counter = counter + 1; return counter; }"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn negative_global_initializers_allowed() {
+        assert!(check_src("global float s = -1.5;\nglobal int k = -3;\nint main() { return 0; }").is_ok());
+    }
+}

@@ -1,0 +1,145 @@
+//! Block-aligned chunking of trace text for parallel parsing.
+//!
+//! Mirrors the paper's §V-A: "the master thread partitions the input file
+//! stream into sub-file-streams *while not breaking individual instruction
+//! blocks* into two sub-file-streams". A block boundary is a line starting
+//! with `0,` (operand tags are `1..=n`, `f`, or `r`, never `0`), so the
+//! splitter only needs to find the next `\n0,` after each tentative cut.
+
+/// Compute `n` chunk boundaries over `data`, each starting at a block
+/// header. Returns byte ranges covering the entire input; fewer than `n`
+/// ranges are returned when the input is too small to split further.
+pub fn chunk_boundaries(data: &[u8], n: usize) -> Vec<std::ops::Range<usize>> {
+    let len = data.len();
+    if len == 0 || n <= 1 {
+        return vec![0..len];
+    }
+    let approx = len / n;
+    let mut starts = vec![0usize];
+    for i in 1..n {
+        let tentative = i * approx;
+        if let Some(next) = next_block_start(data, tentative) {
+            if *starts.last().unwrap() < next && next < len {
+                starts.push(next);
+            }
+        }
+    }
+    let mut ranges = Vec::with_capacity(starts.len());
+    for (i, &s) in starts.iter().enumerate() {
+        let e = starts.get(i + 1).copied().unwrap_or(len);
+        ranges.push(s..e);
+    }
+    ranges
+}
+
+/// The offset of the first block header at or after `from`.
+pub fn next_block_start(data: &[u8], from: usize) -> Option<usize> {
+    if from >= data.len() {
+        return None;
+    }
+    // The very beginning of the input is a block start if it begins with "0,".
+    if from == 0 && data.starts_with(b"0,") {
+        return Some(0);
+    }
+    let mut i = from.saturating_sub(1);
+    while i < data.len() {
+        match memchr(data, b'\n', i) {
+            Some(nl) => {
+                let cand = nl + 1;
+                if data[cand..].starts_with(b"0,") {
+                    return Some(cand);
+                }
+                i = cand;
+            }
+            None => return None,
+        }
+    }
+    None
+}
+
+fn memchr(data: &[u8], needle: u8, from: usize) -> Option<usize> {
+    data[from..].iter().position(|&b| b == needle).map(|p| p + from)
+}
+
+/// Split `data` into block-aligned string slices (UTF-8 is guaranteed by the
+/// writer; invalid UTF-8 is a caller bug surfaced as a panic here).
+pub fn split_blocks(data: &str, n: usize) -> Vec<&str> {
+    chunk_boundaries(data.as_bytes(), n)
+        .into_iter()
+        .map(|r| &data[r])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TRACE: &str = "0,3,foo,6:1,11,27,215,\n\
+                         1,64,0x7ffcf3f25a70,1,p,\n\
+                         r,32,1,1,8,\n\
+                         0,3,foo,6:1,12,12,216,\n\
+                         1,32,2,1,8,\n\
+                         2,32,2,0,,\n\
+                         r,32,4,1,9,\n\
+                         0,4,foo,6:1,13,28,217,\n\
+                         1,32,4,1,9,\n\
+                         2,64,0x7ffcf3f25a80,1,q,\n";
+
+    #[test]
+    fn chunks_cover_input_exactly() {
+        for n in 1..=8 {
+            let ranges = chunk_boundaries(TRACE.as_bytes(), n);
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges.last().unwrap().end, TRACE.len());
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+        }
+    }
+
+    #[test]
+    fn every_chunk_starts_at_a_header() {
+        for n in 2..=6 {
+            for part in split_blocks(TRACE, n) {
+                if !part.is_empty() {
+                    assert!(
+                        part.starts_with("0,"),
+                        "chunk does not start at a block header: {part:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_parse_equals_whole_parse() {
+        let whole = crate::parser::parse_str(TRACE).unwrap();
+        for n in 1..=6 {
+            let mut merged = Vec::new();
+            for part in split_blocks(TRACE, n) {
+                merged.extend(crate::parser::parse_str(part).unwrap());
+            }
+            assert_eq!(whole, merged, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn tiny_input_yields_single_chunk() {
+        let ranges = chunk_boundaries(b"0,1,f,1:1,0,2,0,\n", 8);
+        assert_eq!(ranges.len(), 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(chunk_boundaries(b"", 4), vec![0..0]);
+    }
+
+    #[test]
+    fn next_block_start_finds_headers_not_operands() {
+        let data = TRACE.as_bytes();
+        // From offset 1, the next header is the *second* block, not the
+        // operand line `1,64,...`.
+        let s = next_block_start(data, 1).unwrap();
+        assert!(data[s..].starts_with(b"0,3,foo,6:1,12"));
+    }
+}

@@ -1,0 +1,50 @@
+//! The dynamic instruction execution trace format.
+//!
+//! AutoCheck consumes a *dynamic trace*: one text block per executed
+//! instruction, carrying its source location, function, basic block, opcode,
+//! dynamic instruction id, and the dynamic values/names of its operands.
+//! This crate defines that format — mirroring the LLVM-Tracer output shown
+//! in the paper's Figures 1 and 6 — together with a writer, a streaming
+//! parser, a block-aligned chunk splitter, and a parallel reader (the
+//! reproduction of the paper's §V-A OpenMP trace-processing optimization).
+//!
+//! # Format
+//!
+//! Each executed instruction produces one *block* of comma-terminated lines:
+//!
+//! ```text
+//! 0,<line>,<function>,<bb_line>:<bb_col>,<bb_label>,<opcode>,<dyn_id>,
+//! <op_id>,<bits>,<value>,<is_reg>,<name>,
+//! ...
+//! f,<bits>,<value>,<is_reg>,<name>,        (parameter lines, Call form 2 only)
+//! r,<bits>,<value>,<is_reg>,<name>,        (result line, if any)
+//! ```
+//!
+//! * the header always starts with `0` (operand ids start at 1, so a leading
+//!   `0,` unambiguously marks a block boundary — this is what makes parallel
+//!   chunking safe);
+//! * `<opcode>` is the numeric LLVM 3.4 opcode (`Load` = 27, `Alloca` = 26,
+//!   `Call` = 49, ...);
+//! * `<line>` is `-1` for compiler-generated instructions (entry-block
+//!   allocas, Fig. 6(c));
+//! * `f`-tagged lines carry the *parameters* of a called function, following
+//!   the argument operands — the "parameter indicator" of Fig. 6(b);
+//! * `<value>` is a decimal integer, a `%.6f` float, or a `0x…` pointer;
+//!   `<is_reg>` is `1` when the operand names a register (then `<name>` is
+//!   the register/variable name) and `0` for immediates (empty name).
+
+pub mod chunk;
+pub mod name;
+pub mod parallel;
+pub mod parser;
+pub mod record;
+pub mod stats;
+pub mod writer;
+
+pub use chunk::{chunk_boundaries, split_blocks};
+pub use name::Name;
+pub use parallel::{parse_parallel, ParallelConfig};
+pub use parser::{parse_str, ParseError, TraceParser};
+pub use record::{OpTag, Operand, Record, TraceValue};
+pub use stats::TraceStats;
+pub use writer::TraceWriter;

@@ -1,0 +1,106 @@
+//! Register and variable names as they appear in trace operand records.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A register name in the trace.
+///
+/// LLVM temporaries are plain numbers (`8`, `9`, ...) while named variables
+/// keep their symbolic name (`p`, `sum`). AutoCheck's reg-var and reg-reg
+/// maps key on these, so the distinction is structural: `Temp` for numbered
+/// temporaries, `Sym` for symbolic names, `None` for immediates.
+///
+/// MiniLang identifiers cannot start with a digit, so the textual encoding
+/// is unambiguous: an all-digit name parses as `Temp`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Name {
+    /// Numbered temporary register.
+    Temp(u32),
+    /// Symbolic (variable, parameter, or function) name.
+    Sym(Arc<str>),
+    /// No name — the operand is an immediate constant.
+    None,
+}
+
+impl Name {
+    /// Symbolic name from a string slice.
+    pub fn sym(s: &str) -> Name {
+        Name::Sym(Arc::from(s))
+    }
+
+    /// Parse the textual form (empty → `None`, digits → `Temp`, else `Sym`).
+    pub fn parse(s: &str) -> Name {
+        if s.is_empty() || s == " " {
+            Name::None
+        } else if s.bytes().all(|b| b.is_ascii_digit()) {
+            match s.parse::<u32>() {
+                Ok(n) => Name::Temp(n),
+                Err(_) => Name::Sym(Arc::from(s)),
+            }
+        } else {
+            Name::Sym(Arc::from(s))
+        }
+    }
+
+    /// True when this is a symbolic (variable) name.
+    pub fn is_sym(&self) -> bool {
+        matches!(self, Name::Sym(_))
+    }
+
+    /// The symbolic name, if any.
+    pub fn as_sym(&self) -> Option<&str> {
+        match self {
+            Name::Sym(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Name::Temp(n) => write!(f, "{n}"),
+            Name::Sym(s) => write!(f, "{s}"),
+            Name::None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        for n in [Name::Temp(0), Name::Temp(81), Name::sym("sum"), Name::None] {
+            assert_eq!(Name::parse(&n.to_string()), n);
+        }
+    }
+
+    #[test]
+    fn digits_parse_as_temp() {
+        assert_eq!(Name::parse("8"), Name::Temp(8));
+        assert_eq!(Name::parse("0"), Name::Temp(0));
+    }
+
+    #[test]
+    fn identifiers_parse_as_sym() {
+        assert_eq!(Name::parse("p"), Name::sym("p"));
+        assert_eq!(Name::parse("key_array"), Name::sym("key_array"));
+        // Mixed alphanumerics are symbolic.
+        assert_eq!(Name::parse("t1"), Name::sym("t1"));
+    }
+
+    #[test]
+    fn space_and_empty_are_none() {
+        assert_eq!(Name::parse(""), Name::None);
+        assert_eq!(Name::parse(" "), Name::None);
+    }
+
+    #[test]
+    fn huge_digit_strings_do_not_panic() {
+        // Longer than u32: falls back to Sym rather than panicking.
+        let s = "99999999999999999999";
+        assert!(matches!(Name::parse(s), Name::Sym(_)));
+    }
+}

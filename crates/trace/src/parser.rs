@@ -1,0 +1,377 @@
+//! Streaming parser for the textual trace format.
+//!
+//! The parser is written for throughput: it works line-by-line over borrowed
+//! bytes, splits fields manually (no regex), and interns function names and
+//! block labels so the per-record allocation count stays O(operands).
+
+use crate::name::Name;
+use crate::record::{OpTag, Operand, Record, TraceValue};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A parse failure, with the 1-based line number where it occurred.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    /// 1-based line number in the input.
+    pub line: u64,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Incremental trace parser. Feed it lines; finished records come out.
+pub struct TraceParser {
+    interner: HashMap<String, Arc<str>>,
+    current: Option<Record>,
+    line_no: u64,
+}
+
+impl Default for TraceParser {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceParser {
+    /// A fresh parser.
+    pub fn new() -> Self {
+        TraceParser {
+            interner: HashMap::new(),
+            current: None,
+            line_no: 0,
+        }
+    }
+
+    fn intern(&mut self, s: &str) -> Arc<str> {
+        if let Some(a) = self.interner.get(s) {
+            return a.clone();
+        }
+        let a: Arc<str> = Arc::from(s);
+        self.interner.insert(s.to_string(), a.clone());
+        a
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line_no,
+            message: message.into(),
+        }
+    }
+
+    /// Feed one line. Returns a completed record when the line *starts a new
+    /// block* and a previous block was in flight.
+    pub fn feed_line(&mut self, line: &str) -> Result<Option<Record>, ParseError> {
+        self.line_no += 1;
+        let line = line.trim_end_matches(['\n', '\r']);
+        if line.is_empty() {
+            return Ok(None);
+        }
+        let mut fields = FieldIter::new(line);
+        let tag = fields.next().ok_or_else(|| self.err("empty line"))?;
+        if tag == "0" {
+            let done = self.current.take();
+            let rec = self.parse_header(&mut fields)?;
+            self.current = Some(rec);
+            Ok(done)
+        } else {
+            let op = self.parse_operand(tag, &mut fields)?;
+            if self.current.is_none() {
+                return Err(self.err("operand line before any header"));
+            }
+            if op.tag == OpTag::Result {
+                if self.current.as_ref().is_some_and(|c| c.result.is_some()) {
+                    return Err(self.err("duplicate result line"));
+                }
+                self.current.as_mut().unwrap().result = Some(op);
+            } else {
+                self.current.as_mut().unwrap().operands.push(op);
+            }
+            Ok(None)
+        }
+    }
+
+    /// Flush the final in-flight record at end of input.
+    pub fn finish(&mut self) -> Option<Record> {
+        self.current.take()
+    }
+
+    fn parse_header(&mut self, fields: &mut FieldIter<'_>) -> Result<Record, ParseError> {
+        let src_line: i32 = self.take_parse(fields, "src line")?;
+        let func = {
+            let f = fields.next().ok_or_else(|| self.err("missing function"))?;
+            self.intern(f)
+        };
+        let bb_str = fields.next().ok_or_else(|| self.err("missing bb id"))?;
+        let bb = {
+            let (l, c) = bb_str
+                .split_once(':')
+                .ok_or_else(|| self.err(format!("malformed bb id `{bb_str}`")))?;
+            (
+                l.parse::<u32>()
+                    .map_err(|_| self.err(format!("bad bb line `{l}`")))?,
+                c.parse::<u32>()
+                    .map_err(|_| self.err(format!("bad bb col `{c}`")))?,
+            )
+        };
+        let bb_label = {
+            let l = fields.next().ok_or_else(|| self.err("missing bb label"))?;
+            self.intern(l)
+        };
+        let opcode: u16 = self.take_parse(fields, "opcode")?;
+        let dyn_id: u64 = self.take_parse(fields, "dyn id")?;
+        Ok(Record {
+            src_line,
+            func,
+            bb,
+            bb_label,
+            opcode,
+            dyn_id,
+            operands: Vec::new(),
+            result: None,
+        })
+    }
+
+    fn take_parse<T: std::str::FromStr>(
+        &self,
+        fields: &mut FieldIter<'_>,
+        what: &str,
+    ) -> Result<T, ParseError> {
+        let f = fields
+            .next()
+            .ok_or_else(|| self.err(format!("missing {what}")))?;
+        f.parse::<T>()
+            .map_err(|_| self.err(format!("bad {what} `{f}`")))
+    }
+
+    /// Like [`Name::parse`], but interning symbolic names: operand names
+    /// repeat millions of times in real traces, and sharing their
+    /// allocations is what keeps parallel parsing off the allocator lock.
+    fn parse_name(&mut self, s: &str) -> Name {
+        if s.is_empty() || s == " " {
+            Name::None
+        } else if s.bytes().all(|b| b.is_ascii_digit()) {
+            match s.parse::<u32>() {
+                Ok(n) => Name::Temp(n),
+                Err(_) => Name::Sym(self.intern(s)),
+            }
+        } else {
+            Name::Sym(self.intern(s))
+        }
+    }
+
+    fn parse_operand(
+        &mut self,
+        tag: &str,
+        fields: &mut FieldIter<'_>,
+    ) -> Result<Operand, ParseError> {
+        let tag = match tag {
+            "r" => OpTag::Result,
+            "f" => OpTag::Param,
+            d => {
+                let i: u8 = d
+                    .parse()
+                    .map_err(|_| self.err(format!("bad operand tag `{d}`")))?;
+                if i == 0 {
+                    return Err(self.err("operand id 0 is reserved for headers"));
+                }
+                OpTag::Pos(i)
+            }
+        };
+        let bits: u16 = self.take_parse(fields, "operand bits")?;
+        let value_str = fields
+            .next()
+            .ok_or_else(|| self.err("missing operand value"))?;
+        let value = parse_value(value_str)
+            .ok_or_else(|| self.err(format!("bad operand value `{value_str}`")))?;
+        let is_reg_str = fields.next().ok_or_else(|| self.err("missing is_reg"))?;
+        let is_reg = match is_reg_str {
+            "1" => true,
+            "0" => false,
+            other => return Err(self.err(format!("bad is_reg `{other}`"))),
+        };
+        let name = self.parse_name(fields.next().unwrap_or(""));
+        Ok(Operand {
+            tag,
+            bits,
+            value,
+            is_reg,
+            name,
+        })
+    }
+}
+
+/// Parse an operand value field.
+pub fn parse_value(s: &str) -> Option<TraceValue> {
+    if s.is_empty() || s == " " {
+        return Some(TraceValue::None);
+    }
+    if let Some(hex) = s.strip_prefix("0x") {
+        return u64::from_str_radix(hex, 16).ok().map(TraceValue::Ptr);
+    }
+    if s.bytes()
+        .all(|b| b.is_ascii_digit() || b == b'-' || b == b'+')
+    {
+        if let Ok(i) = s.parse::<i64>() {
+            return Some(TraceValue::I(i));
+        }
+    }
+    s.parse::<f64>().ok().map(TraceValue::F)
+}
+
+/// Iterator over comma-separated fields, ignoring a single trailing comma.
+struct FieldIter<'a> {
+    rest: &'a str,
+}
+
+impl<'a> FieldIter<'a> {
+    fn new(s: &'a str) -> Self {
+        FieldIter {
+            rest: s.strip_suffix(',').unwrap_or(s),
+        }
+    }
+}
+
+impl<'a> Iterator for FieldIter<'a> {
+    type Item = &'a str;
+
+    fn next(&mut self) -> Option<&'a str> {
+        if self.rest.is_empty() {
+            return None;
+        }
+        match self.rest.split_once(',') {
+            Some((head, tail)) => {
+                self.rest = tail;
+                Some(head)
+            }
+            None => {
+                let head = self.rest;
+                self.rest = "";
+                Some(head)
+            }
+        }
+    }
+}
+
+/// Parse a complete trace held in a string.
+pub fn parse_str(input: &str) -> Result<Vec<Record>, ParseError> {
+    let mut p = TraceParser::new();
+    let mut out = Vec::new();
+    for line in input.lines() {
+        if let Some(r) = p.feed_line(line)? {
+            out.push(r);
+        }
+    }
+    if let Some(r) = p.finish() {
+        out.push(r);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::opcodes;
+    use crate::writer;
+
+    const FIG1: &str = "0,3,foo,6:1,11,27,215,\n1,64,0x7ffcf3f25a70,1,p,\nr,32,1,1,8,\n0,3,foo,6:1,12,12,216,\n1,32,2,1,8,\n2,32,2,0,,\nr,32,4,1,9,\n";
+
+    #[test]
+    fn parses_fig1_blocks() {
+        let recs = parse_str(FIG1).unwrap();
+        assert_eq!(recs.len(), 2);
+        let load = &recs[0];
+        assert_eq!(load.opcode, opcodes::LOAD);
+        assert_eq!(&*load.func, "foo");
+        assert_eq!(load.bb, (6, 1));
+        assert_eq!(load.dyn_id, 215);
+        assert_eq!(load.op1().unwrap().name, Name::sym("p"));
+        assert_eq!(load.op1().unwrap().value, TraceValue::Ptr(0x7ffcf3f25a70));
+        assert_eq!(load.result.as_ref().unwrap().name, Name::Temp(8));
+
+        let mul = &recs[1];
+        assert_eq!(mul.opcode, opcodes::MUL);
+        assert!(mul.is_arithmetic());
+        assert_eq!(mul.op2().unwrap().is_reg, false);
+        assert_eq!(mul.result.as_ref().unwrap().name, Name::Temp(9));
+    }
+
+    #[test]
+    fn write_then_parse_round_trips() {
+        let recs = parse_str(FIG1).unwrap();
+        let text = writer::to_string(&recs);
+        let again = parse_str(&text).unwrap();
+        assert_eq!(recs, again);
+    }
+
+    #[test]
+    fn interner_shares_function_names() {
+        let recs = parse_str(FIG1).unwrap();
+        // The interner hands out literally the same allocation for repeated
+        // function names.
+        assert!(Arc::ptr_eq(&recs[0].func, &recs[1].func));
+    }
+
+    #[test]
+    fn rejects_operand_before_header() {
+        let err = parse_str("1,64,0x10,1,p,\n").unwrap_err();
+        assert!(err.message.contains("before any header"));
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn rejects_garbage_header() {
+        let err = parse_str("0,xx,foo,1:1,0,27,1,\n").unwrap_err();
+        assert!(err.message.contains("src line"));
+    }
+
+    #[test]
+    fn rejects_duplicate_result() {
+        let input = "0,3,foo,6:1,11,27,215,\nr,32,1,1,8,\nr,32,1,1,9,\n";
+        let err = parse_str(input).unwrap_err();
+        assert!(err.message.contains("duplicate result"));
+    }
+
+    #[test]
+    fn value_parsing_variants() {
+        assert_eq!(parse_value("42"), Some(TraceValue::I(42)));
+        assert_eq!(parse_value("-7"), Some(TraceValue::I(-7)));
+        assert_eq!(parse_value("0x10"), Some(TraceValue::Ptr(16)));
+        assert_eq!(parse_value("44.000000"), Some(TraceValue::F(44.0)));
+        assert_eq!(parse_value(""), Some(TraceValue::None));
+        assert_eq!(parse_value(" "), Some(TraceValue::None));
+        assert_eq!(parse_value("0xzz"), None);
+    }
+
+    #[test]
+    fn empty_input_is_empty_trace() {
+        assert_eq!(parse_str("").unwrap(), vec![]);
+        assert_eq!(parse_str("\n\n").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn call_form2_param_lines() {
+        // Paper Fig. 6(b): call with two args + two `f`-tagged params.
+        let input = "0,17,main,21:1,49,49,199,\n\
+                     1,64,0x7ffec14b0db0,1,6,\n\
+                     2,64,0x7ffec14b0d80,1,7,\n\
+                     f,64,0x7ffec14b0db0,1,p,\n\
+                     f,64,0x7ffec14b0d80,1,q,\n";
+        let recs = parse_str(input).unwrap();
+        assert_eq!(recs.len(), 1);
+        let call = &recs[0];
+        assert_eq!(call.opcode, opcodes::CALL);
+        assert_eq!(call.positional().count(), 2);
+        let params: Vec<_> = call.params().collect();
+        assert_eq!(params.len(), 2);
+        assert_eq!(params[0].name, Name::sym("p"));
+        assert_eq!(params[1].name, Name::sym("q"));
+    }
+}

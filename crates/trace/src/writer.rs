@@ -1,0 +1,183 @@
+//! Serializing records into the textual trace format.
+
+use crate::record::{Operand, Record};
+use std::fmt::Write as FmtWrite;
+use std::io::{self, Write};
+
+/// Streaming trace writer over any [`io::Write`].
+///
+/// The writer buffers one block at a time in a reusable `String`, so the
+/// per-record allocation cost is amortized away — the trace emitter sits on
+/// the interpreter's hot path.
+pub struct TraceWriter<W: Write> {
+    out: W,
+    buf: String,
+    records: u64,
+    bytes: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Wrap `out`.
+    pub fn new(out: W) -> Self {
+        TraceWriter {
+            out,
+            buf: String::with_capacity(256),
+            records: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Serialize one record.
+    pub fn write_record(&mut self, r: &Record) -> io::Result<()> {
+        self.buf.clear();
+        format_record(r, &mut self.buf);
+        self.records += 1;
+        self.bytes += self.buf.len() as u64;
+        self.out.write_all(self.buf.as_bytes())
+    }
+
+    /// Number of records written so far.
+    pub fn records_written(&self) -> u64 {
+        self.records
+    }
+
+    /// Number of bytes written so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Flush and return the inner writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+
+    /// Mutable access to the underlying writer.
+    pub fn get_mut(&mut self) -> &mut W {
+        &mut self.out
+    }
+}
+
+/// Append the textual form of `r` to `buf`.
+pub fn format_record(r: &Record, buf: &mut String) {
+    // Header: 0,<line>,<func>,<bb_line>:<bb_col>,<label>,<opcode>,<dyn_id>,
+    let _ = write!(
+        buf,
+        "0,{},{},{}:{},{},{},{},\n",
+        r.src_line, r.func, r.bb.0, r.bb.1, r.bb_label, r.opcode, r.dyn_id
+    );
+    for op in &r.operands {
+        format_operand(op, buf);
+    }
+    if let Some(res) = &r.result {
+        format_operand(res, buf);
+    }
+}
+
+fn format_operand(op: &Operand, buf: &mut String) {
+    let _ = write!(
+        buf,
+        "{},{},{},{},{},\n",
+        op.tag,
+        op.bits,
+        op.value,
+        if op.is_reg { 1 } else { 0 },
+        op.name
+    );
+}
+
+/// Serialize a slice of records to a `String` (convenience for tests and
+/// small traces).
+pub fn to_string(records: &[Record]) -> String {
+    let mut s = String::new();
+    for r in records {
+        format_record(r, &mut s);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::Name;
+    use crate::record::{opcodes, OpTag, TraceValue};
+    use std::sync::Arc;
+
+    /// The `Load` block from paper Fig. 1, transliterated to our canonical
+    /// field order.
+    #[test]
+    fn formats_load_block() {
+        let r = Record {
+            src_line: 3,
+            func: Arc::from("foo"),
+            bb: (6, 1),
+            bb_label: Arc::from("11"),
+            opcode: opcodes::LOAD,
+            dyn_id: 215,
+            operands: vec![Operand::reg(
+                OpTag::Pos(1),
+                64,
+                TraceValue::Ptr(0x7ffc_f3f2_5a70),
+                Name::sym("p"),
+            )],
+            result: Some(Operand::reg(
+                OpTag::Result,
+                32,
+                TraceValue::I(1),
+                Name::Temp(8),
+            )),
+        };
+        let mut s = String::new();
+        format_record(&r, &mut s);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "0,3,foo,6:1,11,27,215,");
+        assert_eq!(lines[1], "1,64,0x7ffcf3f25a70,1,p,");
+        assert_eq!(lines[2], "r,32,1,1,8,");
+    }
+
+    #[test]
+    fn formats_immediate_operand_with_empty_name() {
+        let r = Record {
+            src_line: 12,
+            func: Arc::from("foo"),
+            bb: (6, 1),
+            bb_label: Arc::from("12"),
+            opcode: opcodes::MUL,
+            dyn_id: 216,
+            operands: vec![
+                Operand::reg(OpTag::Pos(1), 32, TraceValue::I(2), Name::Temp(8)),
+                Operand::imm(OpTag::Pos(2), 32, TraceValue::I(2)),
+            ],
+            result: Some(Operand::reg(
+                OpTag::Result,
+                32,
+                TraceValue::I(4),
+                Name::Temp(9),
+            )),
+        };
+        let mut s = String::new();
+        format_record(&r, &mut s);
+        assert!(s.contains("2,32,2,0,,\n"), "immediate line malformed: {s}");
+    }
+
+    #[test]
+    fn writer_counts_records_and_bytes() {
+        let r = Record {
+            src_line: 1,
+            func: Arc::from("main"),
+            bb: (1, 1),
+            bb_label: Arc::from("0"),
+            opcode: opcodes::BR,
+            dyn_id: 0,
+            operands: vec![],
+            result: None,
+        };
+        let mut w = TraceWriter::new(Vec::new());
+        w.write_record(&r).unwrap();
+        w.write_record(&r).unwrap();
+        assert_eq!(w.records_written(), 2);
+        let bytes = w.bytes_written();
+        let inner = w.finish().unwrap();
+        assert_eq!(inner.len() as u64, bytes);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests for the trace format: serialization round-trips, chunking
+//! never splits blocks, and parallel parsing equals serial parsing for
+//! arbitrary traces.
+
+use autocheck_trace::{
+    chunk_boundaries, parse_parallel, parse_str, split_blocks, writer, Name, OpTag, Operand,
+    ParallelConfig, Record, TraceValue,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arb_name() -> impl Strategy<Value = Name> {
+    prop_oneof![
+        any::<u32>().prop_map(Name::Temp),
+        "[a-z][a-z0-9_]{0,8}".prop_map(|s| Name::sym(&s)),
+        Just(Name::None),
+    ]
+}
+
+fn arb_value() -> impl Strategy<Value = TraceValue> {
+    prop_oneof![
+        any::<i64>().prop_map(TraceValue::I),
+        any::<u64>().prop_map(TraceValue::Ptr),
+        Just(TraceValue::None),
+        // Floats are serialized %.6f (lossy, like LLVM-Tracer); restrict to
+        // values that survive, so equality round-trips.
+        (-1_000_000i32..1_000_000).prop_map(|v| TraceValue::F(v as f64 / 64.0)),
+    ]
+}
+
+fn arb_operand(tag: OpTag) -> impl Strategy<Value = Operand> {
+    (arb_value(), any::<bool>(), arb_name()).prop_map(move |(value, is_reg, name)| Operand {
+        tag,
+        bits: 64,
+        value,
+        is_reg,
+        name,
+    })
+}
+
+prop_compose! {
+    fn arb_record()(
+        src_line in -1i32..500,
+        func in "[a-z][a-z0-9_]{0,6}",
+        bb in (0u32..100, 0u32..10),
+        label in 0u32..64,
+        opcode in 1u16..60,
+        dyn_id in any::<u64>(),
+        n_ops in 0usize..3,
+        ops in proptest::collection::vec(arb_operand(OpTag::Pos(1)), 0..3),
+        has_result in any::<bool>(),
+        res in arb_operand(OpTag::Result),
+    ) -> Record {
+        let mut operands = Vec::new();
+        for (i, mut o) in ops.into_iter().take(n_ops).enumerate() {
+            o.tag = OpTag::Pos((i + 1) as u8);
+            operands.push(o);
+        }
+        Record {
+            src_line,
+            func: Arc::from(func.as_str()),
+            bb,
+            bb_label: Arc::from(label.to_string().as_str()),
+            opcode,
+            dyn_id,
+            operands,
+            result: if has_result { Some(res) } else { None },
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn write_parse_round_trips(records in proptest::collection::vec(arb_record(), 0..40)) {
+        let text = writer::to_string(&records);
+        let parsed = parse_str(&text).unwrap();
+        prop_assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn chunks_partition_input_and_start_at_headers(
+        records in proptest::collection::vec(arb_record(), 1..60),
+        n in 1usize..12,
+    ) {
+        let text = writer::to_string(&records);
+        let ranges = chunk_boundaries(text.as_bytes(), n);
+        // Partition: contiguous cover of the whole input.
+        prop_assert_eq!(ranges[0].start, 0);
+        prop_assert_eq!(ranges.last().unwrap().end, text.len());
+        for w in ranges.windows(2) {
+            prop_assert_eq!(w[0].end, w[1].start);
+        }
+        // Alignment: every chunk starts at a block header.
+        for part in split_blocks(&text, n) {
+            if !part.is_empty() {
+                prop_assert!(part.starts_with("0,"));
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_parse_equals_whole_parse(
+        records in proptest::collection::vec(arb_record(), 1..60),
+        n in 1usize..10,
+    ) {
+        let text = writer::to_string(&records);
+        let mut merged = Vec::new();
+        for part in split_blocks(&text, n) {
+            merged.extend(parse_str(part).unwrap());
+        }
+        prop_assert_eq!(merged, records);
+    }
+
+    #[test]
+    fn parallel_parse_equals_serial(
+        records in proptest::collection::vec(arb_record(), 0..80),
+        threads in 1usize..6,
+    ) {
+        let text = writer::to_string(&records);
+        let serial = parse_str(&text).unwrap();
+        let parallel = parse_parallel(&text, ParallelConfig { threads }).unwrap();
+        prop_assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn canonical_form_is_idempotent(records in proptest::collection::vec(arb_record(), 0..30)) {
+        let once = writer::to_string(&records);
+        let twice = writer::to_string(&parse_str(&once).unwrap());
+        prop_assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,87 @@
+//! Table II reproduction: every benchmark's detected critical variables
+//! equal the paper-aligned expected set, and the analysis is deterministic.
+
+use autocheck_apps::{all_apps, analyze_app};
+
+#[test]
+fn all_fourteen_benchmarks_match_expected_critical_sets() {
+    for spec in all_apps() {
+        let run = analyze_app(&spec);
+        assert_eq!(
+            run.report.summary(),
+            spec.expected_summary(),
+            "{}: detected set diverges from Table II expectations\n{}",
+            spec.name,
+            run.report
+        );
+    }
+}
+
+#[test]
+fn dependency_type_census_is_war_dominated() {
+    // Paper §VI-B: of the 102 variables, WAR dominates (76/95 non-index),
+    // with a couple of Outcomes and RAPOs. Our 14 skeletons reproduce the
+    // same skew.
+    use autocheck_core::DepType;
+    let mut war = 0;
+    let mut outcome = 0;
+    let mut rapo = 0;
+    let mut index = 0;
+    for spec in all_apps() {
+        let run = analyze_app(&spec);
+        for c in &run.report.critical {
+            match c.dep {
+                DepType::War => war += 1,
+                DepType::Outcome => outcome += 1,
+                DepType::Rapo => rapo += 1,
+                DepType::Index => index += 1,
+            }
+        }
+    }
+    assert!(war > outcome + rapo + index, "WAR dominates ({war} vs rest)");
+    assert_eq!(outcome, 2, "FT's sum and AMG's final_res_norm");
+    assert_eq!(rapo, 2, "IS's key_array and bucket_ptrs");
+    assert!(index >= 14, "at least one Index per benchmark");
+}
+
+#[test]
+fn analysis_is_deterministic_per_app() {
+    for spec in all_apps().into_iter().take(4) {
+        let a = analyze_app(&spec);
+        let b = analyze_app(&spec);
+        assert_eq!(a.report.summary(), b.report.summary(), "{}", spec.name);
+        assert_eq!(a.records.len(), b.records.len(), "{}", spec.name);
+        assert_eq!(a.output, b.output, "{}", spec.name);
+    }
+}
+
+#[test]
+fn scaled_inputs_detect_the_same_variables() {
+    // Paper §VII "With different inputs": variables to checkpoint do not
+    // change across problem sizes.
+    use autocheck_apps::{cg, comd, hpccg, sp};
+    let pairs = [
+        (cg::spec_scaled(12, 5, 4), cg::spec_scaled(24, 8, 6)),
+        (hpccg::spec_scaled(16, 6), hpccg::spec_scaled(48, 12)),
+        (sp::spec_scaled(16, 8), sp::spec_scaled(40, 16)),
+        (comd::spec_scaled(16, 8), comd::spec_scaled(32, 20)),
+    ];
+    for (small, large) in pairs {
+        let a = analyze_app(&small);
+        let b = analyze_app(&large);
+        assert_eq!(
+            a.report.summary(),
+            b.report.summary(),
+            "{}: critical set must be input-size invariant",
+            small.name
+        );
+    }
+}
+
+#[test]
+fn trace_sizes_scale_with_input() {
+    use autocheck_apps::hpccg;
+    let small = analyze_app(&hpccg::spec_scaled(16, 6));
+    let large = analyze_app(&hpccg::spec_scaled(64, 12));
+    assert!(large.trace_bytes > small.trace_bytes * 2);
+}
