@@ -14,9 +14,7 @@ use autocheck_ir::{Cfg, DomTree, LoopForest};
 use std::process::ExitCode;
 
 fn usage() -> ! {
-    eprintln!(
-        "usage: mlc <run|trace|ir|loops|app> <file.mc | app-name> [-o out] [--function f]"
-    );
+    eprintln!("usage: mlc <run|trace|ir|loops|app> <file.mc | app-name> [-o out] [--function f]");
     std::process::exit(2)
 }
 
@@ -91,9 +89,7 @@ fn main() -> ExitCode {
                         eprintln!("error: flush failed");
                         return ExitCode::FAILURE;
                     }
-                    eprintln!(
-                        "wrote {records} records ({bytes} bytes) to {out_path}"
-                    );
+                    eprintln!("wrote {records} records ({bytes} bytes) to {out_path}");
                     ExitCode::SUCCESS
                 }
                 Err(e) => {

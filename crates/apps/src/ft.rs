@@ -80,7 +80,10 @@ mod tests {
     #[test]
     fn twiddle_global_is_read_only() {
         let run = crate::analyze_app(&spec());
-        assert!(run.report.skipped.iter().any(|(n, r)| &**n == "twiddle"
-            && *r == autocheck_core::SkipReason::ReadOnlyInLoop));
+        assert!(run
+            .report
+            .skipped
+            .iter()
+            .any(|(n, r)| &**n == "twiddle" && *r == autocheck_core::SkipReason::ReadOnlyInLoop));
     }
 }

@@ -84,10 +84,6 @@ mod tests {
     #[test]
     fn gosa_is_skipped_as_rewritten() {
         let run = crate::analyze_app(&spec());
-        assert!(run
-            .report
-            .skipped
-            .iter()
-            .any(|(n, _)| &**n == "gosa"));
+        assert!(run.report.skipped.iter().any(|(n, _)| &**n == "gosa"));
     }
 }

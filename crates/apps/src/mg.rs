@@ -83,7 +83,10 @@ mod tests {
     #[test]
     fn rhs_is_read_only() {
         let run = crate::analyze_app(&spec());
-        assert!(run.report.skipped.iter().any(|(n, r)| &**n == "v"
-            && *r == autocheck_core::SkipReason::ReadOnlyInLoop));
+        assert!(run
+            .report
+            .skipped
+            .iter()
+            .any(|(n, r)| &**n == "v" && *r == autocheck_core::SkipReason::ReadOnlyInLoop));
     }
 }

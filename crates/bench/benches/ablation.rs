@@ -16,7 +16,13 @@ use autocheck_interp::{ExecOptions, Machine, NoHook, VecSink};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn traced(name: &str) -> (autocheck_apps::AppSpec, Vec<autocheck_trace::Record>, Vec<String>) {
+fn traced(
+    name: &str,
+) -> (
+    autocheck_apps::AppSpec,
+    Vec<autocheck_trace::Record>,
+    Vec<String>,
+) {
     let spec = app_by_name(name).expect("known app");
     let module = autocheck_minilang::compile(&spec.source).expect("compiles");
     let mut sink = VecSink::default();
@@ -72,8 +78,7 @@ fn bench_contraction(c: &mut Criterion) {
     let report = analyzer.analyze(&records);
     let phases = Phases::compute(&records, &spec.region);
     let analysis = DdgAnalysis::run(&records, &phases, &report.mli, true);
-    let bases: std::collections::HashSet<u64> =
-        report.mli.iter().map(|m| m.base_addr).collect();
+    let bases: std::collections::HashSet<u64> = report.mli.iter().map(|m| m.base_addr).collect();
     let mut group = c.benchmark_group("ablation-contraction");
     group.sample_size(20);
     group.bench_function("ddg-build", |b| {
@@ -87,9 +92,10 @@ fn bench_contraction(c: &mut Criterion) {
     });
     group.bench_function("contract-algorithm1", |b| {
         b.iter(|| {
-            let c = contract_ddg(black_box(&analysis.graph), |n| {
-                matches!(n, NodeKind::Var { base, .. } if bases.contains(base))
-            });
+            let c = contract_ddg(
+                black_box(&analysis.graph),
+                |n| matches!(n, NodeKind::Var { base, .. } if bases.contains(base)),
+            );
             black_box(c.nodes.len())
         })
     });

@@ -36,8 +36,8 @@ fn bench_parallel_parse(c: &mut Criterion) {
     for t in threads {
         group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
             b.iter(|| {
-                let recs =
-                    parse_parallel(black_box(&text), ParallelConfig { threads: t }).expect("parses");
+                let recs = parse_parallel(black_box(&text), ParallelConfig { threads: t })
+                    .expect("parses");
                 black_box(recs.len())
             })
         });
@@ -50,7 +50,12 @@ fn bench_chunking_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("chunking");
     group.sample_size(20);
     group.bench_function("boundaries-8", |b| {
-        b.iter(|| black_box(autocheck_trace::chunk_boundaries(black_box(text.as_bytes()), 8)))
+        b.iter(|| {
+            black_box(autocheck_trace::chunk_boundaries(
+                black_box(text.as_bytes()),
+                8,
+            ))
+        })
     });
     group.finish();
 }

@@ -1,7 +1,7 @@
 //! Criterion bench: end-to-end AutoCheck analysis per benchmark
 //! (Table III's "Total Time" column as a repeatable microbenchmark).
 
-use autocheck_apps::{app_by_name, analyze_app};
+use autocheck_apps::{analyze_app, app_by_name};
 use autocheck_core::{index_variables_of, Analyzer};
 use autocheck_interp::{ExecOptions, Machine, NoHook, VecSink};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -63,5 +63,10 @@ fn bench_full_chain(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pipeline, bench_trace_generation, bench_full_chain);
+criterion_group!(
+    benches,
+    bench_pipeline,
+    bench_trace_generation,
+    bench_full_chain
+);
 criterion_main!(benches);

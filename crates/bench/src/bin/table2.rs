@@ -16,7 +16,13 @@ fn main() {
     };
     println!("=== Table II: benchmarks, traces, and identified critical variables ({scale:?} inputs) ===\n");
     let mut table = Table::new(&[
-        "Name", "LOC", "Trace size", "Trace gen (s)", "Records", "Critical variables (dependency type)", "MCLR",
+        "Name",
+        "LOC",
+        "Trace size",
+        "Trace gen (s)",
+        "Records",
+        "Critical variables (dependency type)",
+        "MCLR",
     ]);
     let mut total_vars = 0usize;
     for spec in all_apps_scaled(scale) {

@@ -65,9 +65,7 @@ fn main() {
         .filter(|(d, _)| **d != DepType::War)
         .map(|(_, n)| n)
         .sum();
-    println!(
-        "\nWAR dominates ({war} vs {rest} others) — matching the paper's 76/95 skew."
-    );
+    println!("\nWAR dominates ({war} vs {rest} others) — matching the paper's 76/95 skew.");
     println!(
         "\nall restarts {}",
         if all_ok { "SUCCEEDED" } else { "FAILED" }

@@ -165,7 +165,7 @@ impl ExecHook for CrDriver<'_> {
         }
 
         let step = self.sync_count - 1; // start of iteration `step`
-        if step % self.interval != 0 {
+        if !step.is_multiple_of(self.interval) {
             return HookAction::Continue;
         }
         let vars = match self.capture(ctx) {
@@ -214,10 +214,7 @@ int main() {
 ";
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let d = std::env::temp_dir().join(format!(
-            "autocheck-driver-{tag}-{}",
-            std::process::id()
-        ));
+        let d = std::env::temp_dir().join(format!("autocheck-driver-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&d);
         d
     }
@@ -274,7 +271,10 @@ int main() {
                 },
             );
             let err = machine.run(&mut NullSink, &mut driver).unwrap_err();
-            assert!(matches!(err, autocheck_interp::ExecError::Interrupted { .. }));
+            assert!(matches!(
+                err,
+                autocheck_interp::ExecError::Interrupted { .. }
+            ));
         }
 
         // Restart: recovery kicks in at the first sync point.

@@ -213,10 +213,7 @@ mod tests {
     use super::*;
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let d = std::env::temp_dir().join(format!(
-            "autocheck-fti-{tag}-{}",
-            std::process::id()
-        ));
+        let d = std::env::temp_dir().join(format!("autocheck-fti-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&d);
         d
     }
@@ -290,9 +287,7 @@ mod tests {
         let dir = tmpdir("reject");
         let mut fti = Fti::new(FtiConfig::local(&dir)).unwrap();
         fti.protect("r");
-        let err = fti
-            .checkpoint(1, &[("ghost".into(), vec![1])])
-            .unwrap_err();
+        let err = fti.checkpoint(1, &[("ghost".into(), vec![1])]).unwrap_err();
         assert!(err.to_string().contains("never protected"));
         fs::remove_dir_all(&dir).unwrap();
     }

@@ -126,8 +126,7 @@ pub fn validate_restart(
     // iterations belong to the killed run's log). A fresh restart (no
     // checkpoint yet) reproduces the full output, which is trivially its
     // own tail.
-    let matches = !restarted.output.is_empty()
-        && reference.output.ends_with(&restarted.output);
+    let matches = !restarted.output.is_empty() && reference.output.ends_with(&restarted.output);
     Ok(ValidationOutcome {
         reference: reference.output,
         restart_output: restarted.output,
@@ -184,10 +183,8 @@ int main() {
 ";
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let d = std::env::temp_dir().join(format!(
-            "autocheck-validate-{tag}-{}",
-            std::process::id()
-        ));
+        let d =
+            std::env::temp_dir().join(format!("autocheck-validate-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&d);
         d
     }

@@ -51,9 +51,7 @@ fn parse_args() -> Args {
             "--function" | "-f" => function = take(),
             "--start" | "-s" => start = take().parse().unwrap_or_else(|_| usage()),
             "--end" | "-e" => end = take().parse().unwrap_or_else(|_| usage()),
-            "--index" | "-i" => {
-                index = take().split(',').map(|s| s.trim().to_string()).collect()
-            }
+            "--index" | "-i" => index = take().split(',').map(|s| s.trim().to_string()).collect(),
             "--threads" | "-t" => threads = take().parse().unwrap_or_else(|_| usage()),
             "--dot" => dot = Some(take()),
             "--collect" => {
@@ -131,9 +129,10 @@ fn main() -> ExitCode {
         let analysis = DdgAnalysis::run(&records, &phases, &report.mli, true);
         let bases: std::collections::HashSet<u64> =
             report.mli.iter().map(|m| m.base_addr).collect();
-        let contracted = contract_ddg(&analysis.graph, |n| {
-            matches!(n, NodeKind::Var { base, .. } if bases.contains(base))
-        });
+        let contracted = contract_ddg(
+            &analysis.graph,
+            |n| matches!(n, NodeKind::Var { base, .. } if bases.contains(base)),
+        );
         if let Err(e) = std::fs::write(dot_path, contracted.to_dot()) {
             eprintln!("error: cannot write `{dot_path}`: {e}");
             return ExitCode::FAILURE;

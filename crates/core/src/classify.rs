@@ -57,7 +57,10 @@ pub fn classify(
             // Handled below: Index takes precedence.
             continue;
         }
-        let evs = by_base.get(&var.base_addr).map(Vec::as_slice).unwrap_or(&[]);
+        let evs = by_base
+            .get(&var.base_addr)
+            .map(Vec::as_slice)
+            .unwrap_or(&[]);
         match classify_one(var, evs) {
             Ok(dep) => critical.push(CriticalVariable {
                 name: var.name.clone(),

@@ -66,8 +66,10 @@ pub fn contract_ddg(graph: &DepGraph, is_mli: impl Fn(&NodeKind) -> bool) -> Con
     let mut out = ContractedDdg::default();
     // Intern MLI nodes first so they are present even if isolated.
     let mut out_index: Vec<Option<usize>> = vec![None; graph.len()];
-    let intern = |out: &mut ContractedDdg, out_index: &mut Vec<Option<usize>>, n: usize,
-                      graph: &DepGraph| {
+    let intern = |out: &mut ContractedDdg,
+                  out_index: &mut Vec<Option<usize>>,
+                  n: usize,
+                  graph: &DepGraph| {
         if let Some(i) = out_index[n] {
             return i;
         }

@@ -562,9 +562,10 @@ r,64,5,1,7,
         // synthetic condition uses sum). Then read at dyn 7, write at dyn 9,
         // read at dyn 10 (header), and the after-loop read at dyn 12.
         assert!(sum_events.iter().any(|e| e.kind == RwKind::Write));
-        assert!(sum_events
-            .windows(2)
-            .all(|w| w[0].dyn_id <= w[1].dyn_id), "time ordered");
+        assert!(
+            sum_events.windows(2).all(|w| w[0].dyn_id <= w[1].dyn_id),
+            "time ordered"
+        );
         let after: Vec<_> = sum_events
             .iter()
             .filter(|e| e.phase == Phase::After)
@@ -660,8 +661,12 @@ r,64,1,1,9,
             .collect();
 
         let fly = DdgAnalysis::run_with(&recs, &phases, &mli, DdgOptions::default());
-        let writes =
-            |a: &DdgAnalysis, base: u64| a.events.iter().filter(|e| e.base == base && e.kind == RwKind::Write).count();
+        let writes = |a: &DdgAnalysis, base: u64| {
+            a.events
+                .iter()
+                .filter(|e| e.base == base && e.kind == RwKind::Write)
+                .count()
+        };
         assert_eq!(writes(&fly, 0x7f00_0000_0000), 1, "one write on x");
         assert_eq!(writes(&fly, 0x7f00_0000_0100), 1, "one write on z");
 
@@ -707,7 +712,9 @@ r,64,1,1,9,
     fn dot_output_renders() {
         let (recs, phases, _region, mli) = trace_with_array();
         let ana = DdgAnalysis::run(&recs, &phases, &mli, true);
-        let dot = ana.graph.to_dot(|n| matches!(n, NodeKind::Var { name, .. } if &**name == "sum"));
+        let dot = ana
+            .graph
+            .to_dot(|n| matches!(n, NodeKind::Var { name, .. } if &**name == "sum"));
         assert!(dot.starts_with("digraph"));
         assert!(dot.contains("doublecircle"));
         assert!(dot.contains("->"));

@@ -97,11 +97,11 @@ impl Analyzer {
         // Dependency analysis: reg maps, DDG, events, contraction.
         let t1 = Instant::now();
         let analysis = DdgAnalysis::run(records, &phases, &mli, self.config.selective);
-        let mli_bases: std::collections::HashSet<u64> =
-            mli.iter().map(|m| m.base_addr).collect();
-        let _contracted = crate::contract::contract_ddg(&analysis.graph, |n| {
-            matches!(n, crate::ddg::NodeKind::Var { base, .. } if mli_bases.contains(base))
-        });
+        let mli_bases: std::collections::HashSet<u64> = mli.iter().map(|m| m.base_addr).collect();
+        let _contracted = crate::contract::contract_ddg(
+            &analysis.graph,
+            |n| matches!(n, crate::ddg::NodeKind::Var { base, .. } if mli_bases.contains(base)),
+        );
         let dependency = t1.elapsed();
 
         // Identification.
@@ -236,11 +236,8 @@ int main() {
     #[test]
     fn fig4_skipped_variables_have_reasons() {
         let report = fig4_report();
-        let skipped: Vec<(&str, crate::report::SkipReason)> = report
-            .skipped
-            .iter()
-            .map(|(n, r)| (&**n, *r))
-            .collect();
+        let skipped: Vec<(&str, crate::report::SkipReason)> =
+            report.skipped.iter().map(|(n, r)| (&**n, *r)).collect();
         // `s` is rewritten at the top of each iteration; `b` is fully
         // rewritten by foo before being read.
         assert!(skipped

@@ -147,9 +147,7 @@ pub fn find_mli_vars(
             // A-collected variable (recognized by its address) still counts
             // as an in-loop use; this is how globals and arrays touched only
             // through callees (BT's `u` across its nested solvers) match.
-            if a.phase == Phase::Inside
-                && matches!(r.opcode, opcodes::LOAD | opcodes::STORE)
-            {
+            if a.phase == Phase::Inside && matches!(r.opcode, opcodes::LOAD | opcodes::STORE) {
                 let ptr = if r.opcode == opcodes::LOAD {
                     r.op1()
                 } else {
@@ -187,10 +185,9 @@ pub fn find_mli_vars(
         }
         match r.opcode {
             opcodes::ALLOCA => {
-                if let (Some(size), Some(res)) = (
-                    r.op1().and_then(|o| o.value.as_int()),
-                    r.result.as_ref(),
-                ) {
+                if let (Some(size), Some(res)) =
+                    (r.op1().and_then(|o| o.value.as_int()), r.result.as_ref())
+                {
                     if let (Name::Sym(name), Some(addr)) = (&res.name, res.value.as_ptr()) {
                         alloca_size.insert(
                             VarKey {

@@ -99,7 +99,7 @@ impl Phases {
                 stack.push(r.func.clone());
             }
             let region_level =
-                stack.len() == region_frame_depth(&stack, region) && &*r.func == region.function;
+                stack.len() == region_frame_depth(&stack, region) && *r.func == region.function;
 
             if region_level {
                 // Phase transitions are driven by region-function lines.
@@ -163,10 +163,8 @@ impl Phases {
                         }
                     }
                 }
-                opcodes::RET => {
-                    if stack.len() > 1 {
-                        stack.pop();
-                    }
+                opcodes::RET if stack.len() > 1 => {
+                    stack.pop();
                 }
                 _ => {}
             }
@@ -251,10 +249,7 @@ mod tests {
         let ph = Phases::compute(&recs, &region);
         assert_eq!(ph.iterations, 2);
         // Records of the second iteration carry iter == 1.
-        let second_iter_store = recs
-            .iter()
-            .position(|r| r.dyn_id == 12)
-            .unwrap();
+        let second_iter_store = recs.iter().position(|r| r.dyn_id == 12).unwrap();
         assert_eq!(ph.annots[second_iter_store].iter, 1);
         // First-iteration body records carry iter == 0.
         let first_body = recs.iter().position(|r| r.dyn_id == 6).unwrap();

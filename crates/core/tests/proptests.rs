@@ -21,7 +21,9 @@ fn arb_graph() -> impl Strategy<Value = (DepGraph, usize)> {
         // Deterministic pseudo-random edges from the seed.
         let mut state = seed | 1;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as usize
         };
         for _ in 0..n_edges {

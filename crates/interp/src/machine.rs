@@ -7,8 +7,8 @@ use crate::memory::{Memory, SymbolInfo, SymbolScope, GLOBAL_BASE};
 use crate::rtvalue::RtValue;
 use crate::sink::TraceSink;
 use autocheck_ir::{
-    BinOp, BlockId, Builtin, Callee, CastOp, CmpPred, FuncId, Function, GlobalInit, Inst,
-    InstKind, Module, RegName, SrcLoc, Type, Value,
+    BinOp, BlockId, Builtin, Callee, CastOp, CmpPred, FuncId, Function, GlobalInit, Inst, InstKind,
+    Module, RegName, SrcLoc, Type, Value,
 };
 use autocheck_trace::Name;
 use std::sync::Arc;
@@ -182,12 +182,10 @@ impl<'m> Machine<'m> {
 
     fn eval(&self, frame: &Frame, v: Value) -> Result<RtValue, ExecError> {
         match v {
-            Value::Inst(id) =>
-
-                frame.regs[id.index()].ok_or_else(|| ExecError::UnboundRegister {
-                    function: self.module.function(frame.func).name.clone(),
-                    inst: id.0,
-                }),
+            Value::Inst(id) => frame.regs[id.index()].ok_or_else(|| ExecError::UnboundRegister {
+                function: self.module.function(frame.func).name.clone(),
+                inst: id.0,
+            }),
             Value::Param(i) => Ok(frame.args[i as usize]),
             Value::Global(g) => Ok(RtValue::P(self.global_addrs[g.index()])),
             Value::ConstI(v) => Ok(RtValue::I(v)),
@@ -271,7 +269,9 @@ impl<'m> Machine<'m> {
         }
         if let Some(f) = self.opts.fail_after {
             if self.dyn_id >= f {
-                return Err(ExecError::Interrupted { dyn_id: self.dyn_id });
+                return Err(ExecError::Interrupted {
+                    dyn_id: self.dyn_id,
+                });
             }
         }
         Ok(())
@@ -323,7 +323,9 @@ impl<'m> Machine<'m> {
                         dyn_id: self.dyn_id,
                     };
                     if hook.on_line(&mut ctx, &func.name, inst.loc.line) == HookAction::Interrupt {
-                        return Err(ExecError::Interrupted { dyn_id: self.dyn_id });
+                        return Err(ExecError::Interrupted {
+                            dyn_id: self.dyn_id,
+                        });
                     }
                 }
             }
@@ -437,7 +439,10 @@ impl<'m> Machine<'m> {
                     }
                 }
                 InstKind::Cmp {
-                    pred, lhs, rhs, float,
+                    pred,
+                    lhs,
+                    rhs,
+                    float,
                 } => {
                     let lv = self.dyn_operand(&frame, *lhs)?;
                     let rv = self.dyn_operand(&frame, *rhs)?;
@@ -539,7 +544,8 @@ impl<'m> Machine<'m> {
                                 )?;
                             }
                             self.dyn_id += 1;
-                            let ret = self.call_function(*callee_id, vals, sink, hook, depth + 1)?;
+                            let ret =
+                                self.call_function(*callee_id, vals, sink, hook, depth + 1)?;
                             if let Some(v) = ret {
                                 frame.regs[inst_id.index()] = Some(v);
                             }
@@ -600,10 +606,7 @@ impl<'m> Machine<'m> {
         let f = |i: usize| args.get(i).and_then(|v| v.as_f()).unwrap_or(0.0);
         Some(match b {
             Builtin::Print => {
-                let line = args
-                    .first()
-                    .map(|v| v.display_exact())
-                    .unwrap_or_default();
+                let line = args.first().map(|v| v.display_exact()).unwrap_or_default();
                 self.output.push(line);
                 return None;
             }
@@ -767,10 +770,7 @@ mod tests {
             .iter()
             .find(|r| r.opcode == 27)
             .expect("load record");
-        assert!(matches!(
-            load.result.as_ref().unwrap().name,
-            Name::Temp(_)
-        ));
+        assert!(matches!(load.result.as_ref().unwrap().name, Name::Temp(_)));
     }
 
     #[test]
@@ -861,7 +861,11 @@ mod tests {
         // analysis appends to the reg-var map).
         assert_eq!(call.positional().nth(1).unwrap().value, params[0].value);
         // Callee body records appear after the call, attributed to `foo`.
-        let call_pos = sink.records.iter().position(|r| r.dyn_id == call.dyn_id).unwrap();
+        let call_pos = sink
+            .records
+            .iter()
+            .position(|r| r.dyn_id == call.dyn_id)
+            .unwrap();
         assert!(sink.records[call_pos + 1..]
             .iter()
             .any(|r| &*r.func == "foo"));

@@ -140,7 +140,13 @@ int main() {
     return 0;
 }
 "#;
-    assert_eq!(run(src), vec!["-1", "0", "1"].into_iter().map(String::from).collect::<Vec<_>>());
+    assert_eq!(
+        run(src),
+        vec!["-1", "0", "1"]
+            .into_iter()
+            .map(String::from)
+            .collect::<Vec<_>>()
+    );
 }
 
 #[test]
@@ -208,7 +214,10 @@ fn interrupted_run_matches_prefix_of_full_run() {
     )
     .run(&mut partial, &mut NoHook)
     .unwrap_err();
-    assert!(matches!(err, autocheck_interp::ExecError::Interrupted { .. }));
+    assert!(matches!(
+        err,
+        autocheck_interp::ExecError::Interrupted { .. }
+    ));
     assert_eq!(partial.records.len() as u64, cut);
     assert_eq!(&full.records[..cut as usize], &partial.records[..]);
 }

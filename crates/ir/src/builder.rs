@@ -60,10 +60,7 @@ impl FunctionBuilder {
     /// Move the cursor to `block`.
     pub fn switch_to(&mut self, block: BlockId) {
         self.cur = block;
-        self.terminated = self
-            .func
-            .terminator(block)
-            .is_some();
+        self.terminated = self.func.terminator(block).is_some();
     }
 
     /// The block the cursor is on.

@@ -114,12 +114,7 @@ mod tests {
 
     /// entry -> header -> {body -> header, exit}
     fn loop_func() -> Function {
-        let mut b = FunctionBuilder::new(Function::new(
-            "f",
-            vec![],
-            Type::Void,
-            SrcLoc::new(1, 1),
-        ));
+        let mut b = FunctionBuilder::new(Function::new("f", vec![], Type::Void, SrcLoc::new(1, 1)));
         let header = b.new_block();
         let body = b.new_block();
         let exit = b.new_block();
@@ -160,12 +155,7 @@ mod tests {
 
     #[test]
     fn unreachable_block_excluded_from_rpo() {
-        let mut b = FunctionBuilder::new(Function::new(
-            "g",
-            vec![],
-            Type::Void,
-            SrcLoc::new(1, 1),
-        ));
+        let mut b = FunctionBuilder::new(Function::new("g", vec![], Type::Void, SrcLoc::new(1, 1)));
         let dead = b.new_block();
         b.ret(None);
         b.switch_to(dead);
@@ -178,12 +168,7 @@ mod tests {
 
     #[test]
     fn same_target_condbr_yields_single_edge() {
-        let mut b = FunctionBuilder::new(Function::new(
-            "h",
-            vec![],
-            Type::Void,
-            SrcLoc::new(1, 1),
-        ));
+        let mut b = FunctionBuilder::new(Function::new("h", vec![], Type::Void, SrcLoc::new(1, 1)));
         let t = b.new_block();
         let c = b.cmp(CmpPred::Eq, Value::ConstI(1), Value::ConstI(1), false);
         b.cond_br(c, t, t);

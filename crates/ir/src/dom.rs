@@ -112,12 +112,7 @@ mod tests {
     /// Diamond: entry -> {l, r} -> join.
     #[test]
     fn diamond_dominators() {
-        let mut b = FunctionBuilder::new(Function::new(
-            "d",
-            vec![],
-            Type::Void,
-            SrcLoc::new(1, 1),
-        ));
+        let mut b = FunctionBuilder::new(Function::new("d", vec![], Type::Void, SrcLoc::new(1, 1)));
         let l = b.new_block();
         let r = b.new_block();
         let join = b.new_block();
@@ -144,12 +139,7 @@ mod tests {
     /// entry -> header -> body -> header, header -> exit.
     #[test]
     fn loop_dominators() {
-        let mut b = FunctionBuilder::new(Function::new(
-            "l",
-            vec![],
-            Type::Void,
-            SrcLoc::new(1, 1),
-        ));
+        let mut b = FunctionBuilder::new(Function::new("l", vec![], Type::Void, SrcLoc::new(1, 1)));
         let header = b.new_block();
         let body = b.new_block();
         let exit = b.new_block();
@@ -173,12 +163,7 @@ mod tests {
 
     #[test]
     fn unreachable_blocks_have_no_idom() {
-        let mut b = FunctionBuilder::new(Function::new(
-            "u",
-            vec![],
-            Type::Void,
-            SrcLoc::new(1, 1),
-        ));
+        let mut b = FunctionBuilder::new(Function::new("u", vec![], Type::Void, SrcLoc::new(1, 1)));
         let dead = b.new_block();
         b.ret(None);
         b.switch_to(dead);

@@ -230,8 +230,13 @@ impl Builtin {
         use Type::*;
         match self {
             Builtin::Print => &[],
-            Builtin::Sqrt | Builtin::FAbs | Builtin::Exp | Builtin::Log | Builtin::Cos
-            | Builtin::Sin | Builtin::Floor => const { &[F64] },
+            Builtin::Sqrt
+            | Builtin::FAbs
+            | Builtin::Exp
+            | Builtin::Log
+            | Builtin::Cos
+            | Builtin::Sin
+            | Builtin::Floor => const { &[F64] },
             Builtin::Pow | Builtin::FMax | Builtin::FMin => const { &[F64, F64] },
             Builtin::IAbs => const { &[I64] },
         }

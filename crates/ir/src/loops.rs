@@ -141,10 +141,7 @@ impl LoopForest {
                 None => Some(i),
                 Some(cur) => {
                     let (dc, db) = (self.loops[cur].depth, l.depth);
-                    let (lc, lb) = (
-                        f.blocks[self.loops[cur].header.index()].loc.line,
-                        line,
-                    );
+                    let (lc, lb) = (f.blocks[self.loops[cur].header.index()].loc.line, line);
                     // Prefer shallower loops, then earlier headers.
                     if db < dc || (db == dc && lb < lc) {
                         Some(i)
@@ -213,7 +210,8 @@ pub fn control_variables(m: &Module, f: &Function, l: &Loop) -> Vec<ControlVar> 
                     continue;
                 }
                 stored = true;
-                induction_step = induction_step.or_else(|| basic_induction_step(f, *value, &name, m));
+                induction_step =
+                    induction_step.or_else(|| basic_induction_step(f, *value, &name, m));
             }
         }
         if stored {
@@ -297,12 +295,8 @@ mod tests {
     /// at source line `hline`; returns (module, function index not needed).
     fn counted_loop(hline: u32) -> Module {
         let mut m = Module::new();
-        let mut b = FunctionBuilder::new(Function::new(
-            "main",
-            vec![],
-            Type::Void,
-            SrcLoc::new(1, 1),
-        ));
+        let mut b =
+            FunctionBuilder::new(Function::new("main", vec![], Type::Void, SrcLoc::new(1, 1)));
         b.set_loc(2, 1);
         let it = b.alloca("it", Type::I64);
         b.store(Value::ConstI(0), it, Type::I64);
@@ -376,12 +370,8 @@ mod tests {
     #[test]
     fn nesting_and_depths() {
         let mut m = Module::new();
-        let mut b = FunctionBuilder::new(Function::new(
-            "main",
-            vec![],
-            Type::Void,
-            SrcLoc::new(1, 1),
-        ));
+        let mut b =
+            FunctionBuilder::new(Function::new("main", vec![], Type::Void, SrcLoc::new(1, 1)));
         b.set_loc(2, 1);
         let i = b.alloca("i", Type::I64);
         let j = b.alloca("j", Type::I64);
@@ -446,12 +436,8 @@ mod tests {
     #[test]
     fn flag_controlled_loop_has_two_control_vars() {
         let mut m = Module::new();
-        let mut b = FunctionBuilder::new(Function::new(
-            "main",
-            vec![],
-            Type::Void,
-            SrcLoc::new(1, 1),
-        ));
+        let mut b =
+            FunctionBuilder::new(Function::new("main", vec![], Type::Void, SrcLoc::new(1, 1)));
         b.set_loc(2, 1);
         let ts = b.alloca("ts", Type::I64);
         let done = b.alloca("done", Type::I64);
@@ -498,12 +484,8 @@ mod tests {
     fn loop_invariant_bound_is_not_a_control_var() {
         // `i < n` where n is never stored inside the loop.
         let mut m = Module::new();
-        let mut b = FunctionBuilder::new(Function::new(
-            "main",
-            vec![],
-            Type::Void,
-            SrcLoc::new(1, 1),
-        ));
+        let mut b =
+            FunctionBuilder::new(Function::new("main", vec![], Type::Void, SrcLoc::new(1, 1)));
         let i = b.alloca("i", Type::I64);
         let n = b.alloca("n", Type::I64);
         b.store(Value::ConstI(0), i, Type::I64);

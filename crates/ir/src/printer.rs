@@ -52,7 +52,10 @@ pub fn print_function(m: &Module, f: &Function) -> String {
                     format!("{} {}, {}", op.mnemonic(), val(lhs), val(rhs))
                 }
                 InstKind::Cmp {
-                    pred, lhs, rhs, float,
+                    pred,
+                    lhs,
+                    rhs,
+                    float,
                 } => format!(
                     "{} {} {}, {}",
                     if *float { "fcmp" } else { "icmp" },
@@ -101,12 +104,8 @@ mod tests {
     #[test]
     fn prints_something_sensible() {
         let mut m = Module::new();
-        let mut b = FunctionBuilder::new(Function::new(
-            "main",
-            vec![],
-            Type::I64,
-            SrcLoc::new(1, 1),
-        ));
+        let mut b =
+            FunctionBuilder::new(Function::new("main", vec![], Type::I64, SrcLoc::new(1, 1)));
         b.set_loc(2, 3);
         let x = b.alloca("x", Type::I64);
         b.store(Value::ConstI(41), x, Type::I64);

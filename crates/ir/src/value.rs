@@ -26,7 +26,10 @@ pub enum Value {
 impl Value {
     /// True if this value is a compile-time constant.
     pub fn is_const(&self) -> bool {
-        matches!(self, Value::ConstI(_) | Value::ConstF(_) | Value::ConstBool(_))
+        matches!(
+            self,
+            Value::ConstI(_) | Value::ConstF(_) | Value::ConstBool(_)
+        )
     }
 
     /// The instruction id, if this value is an instruction result.

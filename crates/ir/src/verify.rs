@@ -195,7 +195,10 @@ impl<'a> Verifier<'a> {
                 match op {
                     Value::Inst(def_id) => {
                         if def_id.index() >= self.f.insts.len() {
-                            self.err(Some(use_id), format!("operand %i{} does not exist", def_id.0));
+                            self.err(
+                                Some(use_id),
+                                format!("operand %i{} does not exist", def_id.0),
+                            );
                             continue;
                         }
                         let (Some(def_bb), Some(use_bb)) =
@@ -219,15 +222,11 @@ impl<'a> Verifier<'a> {
                             );
                         }
                     }
-                    Value::Param(i) => {
-                        if i as usize >= self.f.params.len() {
-                            self.err(Some(use_id), format!("parameter index {i} out of range"));
-                        }
+                    Value::Param(i) if i as usize >= self.f.params.len() => {
+                        self.err(Some(use_id), format!("parameter index {i} out of range"));
                     }
-                    Value::Global(g) => {
-                        if g.index() >= self.m.globals.len() {
-                            self.err(Some(use_id), format!("global @g{} does not exist", g.0));
-                        }
+                    Value::Global(g) if g.index() >= self.m.globals.len() => {
+                        self.err(Some(use_id), format!("global @g{} does not exist", g.0));
                     }
                     _ => {}
                 }
@@ -249,7 +248,11 @@ impl<'a> Verifier<'a> {
                                 || (!op.is_float() && t == Type::I1) => {}
                         Some(t) => self.err(
                             Some(id),
-                            format!("{} operand of {} has type {t}, expected {want}", side, op.mnemonic()),
+                            format!(
+                                "{} operand of {} has type {t}, expected {want}",
+                                side,
+                                op.mnemonic()
+                            ),
                         ),
                         None => self.err(Some(id), format!("{side} operand has no type")),
                     }
@@ -259,7 +262,9 @@ impl<'a> Verifier<'a> {
                     // runtime error handled by the interpreter.
                 }
             }
-            InstKind::Cmp { lhs, rhs, float, .. } => {
+            InstKind::Cmp {
+                lhs, rhs, float, ..
+            } => {
                 let want = if *float { Type::F64 } else { Type::I64 };
                 for v in [lhs, rhs] {
                     match self.type_of(*v) {
@@ -272,16 +277,14 @@ impl<'a> Verifier<'a> {
                     }
                 }
             }
-            InstKind::Load { ptr, ty } => {
-                match self.type_of(*ptr) {
-                    Some(Type::Ptr(p)) if *p == *ty => {}
-                    Some(t) => self.err(
-                        Some(id),
-                        format!("load of {ty} through pointer of type {t}"),
-                    ),
-                    None => self.err(Some(id), "load pointer has no type".into()),
-                }
-            }
+            InstKind::Load { ptr, ty } => match self.type_of(*ptr) {
+                Some(Type::Ptr(p)) if *p == *ty => {}
+                Some(t) => self.err(
+                    Some(id),
+                    format!("load of {ty} through pointer of type {t}"),
+                ),
+                None => self.err(Some(id), "load pointer has no type".into()),
+            },
             InstKind::Store { value, ptr, ty } => {
                 match self.type_of(*ptr) {
                     Some(Type::Ptr(p)) if *p == *ty => {}
@@ -293,7 +296,9 @@ impl<'a> Verifier<'a> {
                 }
                 match self.type_of(*value) {
                     Some(t) if t == *ty => {}
-                    Some(t) => self.err(Some(id), format!("store value has type {t}, expected {ty}")),
+                    Some(t) => {
+                        self.err(Some(id), format!("store value has type {t}, expected {ty}"))
+                    }
                     None => self.err(Some(id), "store value has no type".into()),
                 }
             }
@@ -314,7 +319,10 @@ impl<'a> Verifier<'a> {
             }
             InstKind::CondBr { cond, .. } => match self.type_of(*cond) {
                 Some(Type::I1) => {}
-                Some(t) => self.err(Some(id), format!("branch condition has type {t}, expected i1")),
+                Some(t) => self.err(
+                    Some(id),
+                    format!("branch condition has type {t}, expected i1"),
+                ),
                 None => self.err(Some(id), "branch condition has no type".into()),
             },
             InstKind::Call { callee, args } => {
@@ -340,7 +348,12 @@ impl<'a> Verifier<'a> {
                 if want.len() != args.len() {
                     self.err(
                         Some(id),
-                        format!("call to {} with {} args, expected {}", name, args.len(), want.len()),
+                        format!(
+                            "call to {} with {} args, expected {}",
+                            name,
+                            args.len(),
+                            want.len()
+                        ),
                     );
                     return;
                 }
@@ -351,21 +364,21 @@ impl<'a> Verifier<'a> {
                             Some(id),
                             format!("arg {i} of call to {name} has type {t}, expected {w}"),
                         ),
-                        None => self.err(Some(id), format!("arg {i} of call to {name} has no type")),
+                        None => {
+                            self.err(Some(id), format!("arg {i} of call to {name} has no type"))
+                        }
                     }
                 }
             }
-            InstKind::Ret { value } => {
-                match (value, &self.f.ret) {
-                    (None, Type::Void) => {}
-                    (Some(v), want) if *want != Type::Void => match self.type_of(*v) {
-                        Some(t) if t == *want => {}
-                        Some(t) => self.err(Some(id), format!("return of {t}, expected {want}")),
-                        None => self.err(Some(id), "return value has no type".into()),
-                    },
-                    _ => self.err(Some(id), "return arity does not match function type".into()),
-                }
-            }
+            InstKind::Ret { value } => match (value, &self.f.ret) {
+                (None, Type::Void) => {}
+                (Some(v), want) if *want != Type::Void => match self.type_of(*v) {
+                    Some(t) if t == *want => {}
+                    Some(t) => self.err(Some(id), format!("return of {t}, expected {want}")),
+                    None => self.err(Some(id), "return value has no type".into()),
+                },
+                _ => self.err(Some(id), "return arity does not match function type".into()),
+            },
             _ => {}
         }
     }
@@ -423,28 +436,22 @@ mod tests {
 
     #[test]
     fn rejects_type_mismatch_in_store() {
-        let mut b = FunctionBuilder::new(Function::new(
-            "bad",
-            vec![],
-            Type::Void,
-            SrcLoc::new(1, 1),
-        ));
+        let mut b =
+            FunctionBuilder::new(Function::new("bad", vec![], Type::Void, SrcLoc::new(1, 1)));
         let x = b.alloca("x", Type::I64);
         b.store(Value::ConstF(1.0), x, Type::I64);
         b.ret(None);
         let m = module_with(b.finish());
         let errs = verify_module(&m).unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("store value has type f64")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("store value has type f64")));
     }
 
     #[test]
     fn rejects_float_operand_in_integer_add() {
-        let mut b = FunctionBuilder::new(Function::new(
-            "bad2",
-            vec![],
-            Type::Void,
-            SrcLoc::new(1, 1),
-        ));
+        let mut b =
+            FunctionBuilder::new(Function::new("bad2", vec![], Type::Void, SrcLoc::new(1, 1)));
         let v = b.binary(BinOp::Add, Value::ConstF(1.0), Value::ConstI(2));
         let x = b.alloca("x", Type::I64);
         b.store(v, x, Type::I64);

@@ -38,7 +38,11 @@ impl fmt::Display for CompileError {
         if self.line == 0 {
             write!(f, "error: {}", self.message)
         } else {
-            write!(f, "error at line {}:{}: {}", self.line, self.col, self.message)
+            write!(
+                f,
+                "error at line {}:{}: {}",
+                self.line, self.col, self.message
+            )
         }
     }
 }

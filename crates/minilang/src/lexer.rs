@@ -65,22 +65,20 @@ pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
                 let text = &source[start..i];
                 col += (i - start) as u32;
                 if is_float {
-                    let v: f64 = text
-                        .parse()
-                        .map_err(|_| CompileError::at(tl, tc, format!("bad float literal `{text}`")))?;
+                    let v: f64 = text.parse().map_err(|_| {
+                        CompileError::at(tl, tc, format!("bad float literal `{text}`"))
+                    })?;
                     push!(Tok::Float(v), tl, tc);
                 } else {
-                    let v: i64 = text
-                        .parse()
-                        .map_err(|_| CompileError::at(tl, tc, format!("bad int literal `{text}`")))?;
+                    let v: i64 = text.parse().map_err(|_| {
+                        CompileError::at(tl, tc, format!("bad int literal `{text}`"))
+                    })?;
                     push!(Tok::Int(v), tl, tc);
                 }
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let text = &source[start..i];

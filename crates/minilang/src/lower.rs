@@ -99,8 +99,8 @@ fn param_ir_type(p: &ParamTy) -> (Type, ExprTy) {
 #[derive(Clone)]
 enum Slot {
     Local(Value, ExprTy),
-    ParamSlot(u32, ExprTy),
-    GlobalSlot(GlobalId, ExprTy),
+    Param(u32, ExprTy),
+    Global(GlobalId, ExprTy),
 }
 
 struct Lowerer<'a> {
@@ -162,7 +162,7 @@ fn lower_func(
         lw.scopes
             .last_mut()
             .expect("scope")
-            .insert(pd.name.clone(), Slot::ParamSlot(i as u32, ety));
+            .insert(pd.name.clone(), Slot::Param(i as u32, ety));
     }
     lw.stmts(&f.body);
     if !lw.b.is_terminated() {
@@ -215,7 +215,7 @@ impl<'a> Lowerer<'a> {
             .globals
             .get(name)
             .unwrap_or_else(|| panic!("sema guaranteed binding for `{name}`"));
-        Slot::GlobalSlot(*gid, *ety)
+        Slot::Global(*gid, *ety)
     }
 
     fn set_loc(&mut self, pos: Pos) {
@@ -380,8 +380,8 @@ impl<'a> Lowerer<'a> {
     fn scalar_address(&mut self, name: &str) -> (Value, ExprTy) {
         match self.lookup(name) {
             Slot::Local(v, ety) => (v, ety),
-            Slot::GlobalSlot(g, ety) => (Value::Global(g), ety),
-            Slot::ParamSlot(..) => unreachable!("sema rejects scalar-parameter assignment"),
+            Slot::Global(g, ety) => (Value::Global(g), ety),
+            Slot::Param(..) => unreachable!("sema rejects scalar-parameter assignment"),
         }
     }
 
@@ -389,8 +389,8 @@ impl<'a> Lowerer<'a> {
     fn element_base(&mut self, name: &str) -> (Value, ExprTy) {
         match self.lookup(name) {
             Slot::Local(v, ety) => (v, elem_of(ety)),
-            Slot::GlobalSlot(g, ety) => (Value::Global(g), elem_of(ety)),
-            Slot::ParamSlot(i, ety) => (Value::Param(i), elem_of(ety)),
+            Slot::Global(g, ety) => (Value::Global(g), elem_of(ety)),
+            Slot::Param(i, ety) => (Value::Param(i), elem_of(ety)),
         }
     }
 
@@ -401,9 +401,7 @@ impl<'a> Lowerer<'a> {
             ExprKind::FloatLit(v) => (Value::ConstF(*v), ExprTy::Float),
             ExprKind::Var(name) => match self.lookup(name) {
                 Slot::Local(ptr, ety) => match ety {
-                    ExprTy::Int | ExprTy::Float => {
-                        (self.b.load(ptr, scalar_ir(ety)), ety)
-                    }
+                    ExprTy::Int | ExprTy::Float => (self.b.load(ptr, scalar_ir(ety)), ety),
                     // Array value position: decays to a pointer.
                     ExprTy::IntArr(_) => {
                         (self.b.gep(ptr, Value::ConstI(0), Type::I64), ExprTy::IntPtr)
@@ -414,8 +412,8 @@ impl<'a> Lowerer<'a> {
                     ),
                     _ => unreachable!(),
                 },
-                Slot::ParamSlot(i, ety) => (Value::Param(i), ety),
-                Slot::GlobalSlot(g, ety) => match ety {
+                Slot::Param(i, ety) => (Value::Param(i), ety),
+                Slot::Global(g, ety) => match ety {
                     ExprTy::Int | ExprTy::Float => {
                         (self.b.load(Value::Global(g), scalar_ir(ety)), ety)
                     }
@@ -445,7 +443,7 @@ impl<'a> Lowerer<'a> {
             }
             ExprKind::Not(inner) => {
                 let (v, t) = self.expr(inner);
-                let v1 = self.to_i1(v, t);
+                let v1 = self.coerce_i1(v, t);
                 (
                     self.b.cmp(CmpPred::Eq, v1, Value::ConstI(0), false),
                     ExprTy::Bool,
@@ -460,8 +458,8 @@ impl<'a> Lowerer<'a> {
         let (lv, lt) = self.expr(l);
         let (rv, rt) = self.expr(r);
         if op.is_logical() {
-            let li = self.to_i1(lv, lt);
-            let ri = self.to_i1(rv, rt);
+            let li = self.coerce_i1(lv, lt);
+            let ri = self.coerce_i1(rv, rt);
             let combined = match op {
                 BinOpKind::And => self.b.binary(BinOp::And, li, ri),
                 _ => self.b.binary(BinOp::Or, li, ri),
@@ -559,10 +557,10 @@ impl<'a> Lowerer<'a> {
     /// Lower a condition expression to an `i1` value.
     fn cond_value(&mut self, e: &Expr) -> Value {
         let (v, t) = self.expr(e);
-        self.to_i1(v, t)
+        self.coerce_i1(v, t)
     }
 
-    fn to_i1(&mut self, v: Value, t: ExprTy) -> Value {
+    fn coerce_i1(&mut self, v: Value, t: ExprTy) -> Value {
         match t {
             ExprTy::Bool => v,
             _ => self.b.cmp(CmpPred::Ne, v, Value::ConstI(0), false),

@@ -588,7 +588,8 @@ int main() {
 
     #[test]
     fn parses_globals_with_init() {
-        let prog = parse_src("global float xnt = 1.5;\nglobal int sums[8];\nint main() { return 0; }");
+        let prog =
+            parse_src("global float xnt = 1.5;\nglobal int sums[8];\nint main() { return 0; }");
         assert_eq!(prog.globals.len(), 2);
         assert_eq!(prog.globals[0].ty, DeclTy::Scalar(Scalar::Float));
         assert_eq!(prog.globals[1].ty, DeclTy::Array(Scalar::Int, 8));
@@ -636,7 +637,8 @@ int main() {
 
     #[test]
     fn for_with_empty_slots() {
-        let prog = parse_src("int main() { int i = 0; for (;;) { i = i + 1; return i; } return 0; }");
+        let prog =
+            parse_src("int main() { int i = 0; for (;;) { i = i + 1; return i; } return 0; }");
         let StmtKind::For {
             init, cond, step, ..
         } = &prog.funcs[0].body[1].kind

@@ -90,7 +90,9 @@ struct Scopes {
 
 impl Scopes {
     fn new() -> Self {
-        Scopes { stack: vec![HashMap::new()] }
+        Scopes {
+            stack: vec![HashMap::new()],
+        }
     }
 
     fn push(&mut self) {
@@ -181,7 +183,10 @@ pub fn check(prog: &Program) -> Result<(), Vec<CompileError>> {
                 ));
             }
         }
-        if globals.insert(g.name.clone(), ExprTy::of_decl(&g.ty)).is_some() {
+        if globals
+            .insert(g.name.clone(), ExprTy::of_decl(&g.ty))
+            .is_some()
+        {
             errs.push(CompileError::at(
                 g.pos.line,
                 g.pos.col,
@@ -380,7 +385,10 @@ impl<'a> Checker<'a> {
     fn cond(&mut self, e: &Expr) {
         let t = self.expr(e);
         if !matches!(t, ExprTy::Bool | ExprTy::Int) {
-            self.err(e.pos, format!("condition must be bool or int, got {}", t.display()));
+            self.err(
+                e.pos,
+                format!("condition must be bool or int, got {}", t.display()),
+            );
         }
     }
 
@@ -390,15 +398,12 @@ impl<'a> Checker<'a> {
     }
 
     fn lookup(&self, name: &str) -> Option<Binding> {
-        self.scopes
-            .lookup(name)
-            .cloned()
-            .or_else(|| {
-                self.globals.get(name).map(|t| Binding {
-                    ty: *t,
-                    assignable: true,
-                })
+        self.scopes.lookup(name).cloned().or_else(|| {
+            self.globals.get(name).map(|t| Binding {
+                ty: *t,
+                assignable: true,
             })
+        })
     }
 
     fn expr(&mut self, e: &Expr) -> ExprTy {
@@ -420,7 +425,10 @@ impl<'a> Checker<'a> {
                 match self.lookup(name) {
                     Some(b) if b.ty.is_indexable() => b.ty.elem().expect("indexable"),
                     Some(b) => {
-                        self.err(e.pos, format!("`{name}` ({}) is not indexable", b.ty.display()));
+                        self.err(
+                            e.pos,
+                            format!("`{name}` ({}) is not indexable", b.ty.display()),
+                        );
                         ExprTy::Int
                     }
                     None => {
@@ -505,16 +513,27 @@ impl<'a> Checker<'a> {
         if name == "int" || name == "float" {
             if args.len() != 1 {
                 self.err(pos, format!("`{name}()` takes exactly one argument"));
-                return if name == "int" { ExprTy::Int } else { ExprTy::Float };
+                return if name == "int" {
+                    ExprTy::Int
+                } else {
+                    ExprTy::Float
+                };
             }
             let ok = match name {
                 "int" => arg_tys[0] == ExprTy::Float || arg_tys[0] == ExprTy::Bool,
                 _ => arg_tys[0] == ExprTy::Int,
             };
             if !ok {
-                self.err(pos, format!("invalid cast `{name}({})`", arg_tys[0].display()));
+                self.err(
+                    pos,
+                    format!("invalid cast `{name}({})`", arg_tys[0].display()),
+                );
             }
-            return if name == "int" { ExprTy::Int } else { ExprTy::Float };
+            return if name == "int" {
+                ExprTy::Int
+            } else {
+                ExprTy::Float
+            };
         }
         // Builtins.
         if let Some(b) = autocheck_ir::Builtin::by_name(name) {
@@ -528,7 +547,11 @@ impl<'a> Checker<'a> {
             if want.len() != args.len() {
                 self.err(
                     pos,
-                    format!("`{name}` takes {} argument(s), got {}", want.len(), args.len()),
+                    format!(
+                        "`{name}` takes {} argument(s), got {}",
+                        want.len(),
+                        args.len()
+                    ),
                 );
                 return builtin_ret(b);
             }
@@ -539,7 +562,10 @@ impl<'a> Checker<'a> {
                     _ => false,
                 };
                 if !ok {
-                    self.err(pos, format!("argument {} of `{name}` has the wrong type", i + 1));
+                    self.err(
+                        pos,
+                        format!("argument {} of `{name}` has the wrong type", i + 1),
+                    );
                 }
             }
             return builtin_ret(b);
@@ -684,9 +710,7 @@ int main() {
 
     #[test]
     fn rejects_duplicate_local_in_same_scope() {
-        assert!(
-            first_err("int main() { int x = 0; int x = 1; return x; }").contains("duplicate")
-        );
+        assert!(first_err("int main() { int x = 0; int x = 1; return x; }").contains("duplicate"));
     }
 
     #[test]
@@ -699,8 +723,9 @@ int main() {
 
     #[test]
     fn rejects_return_mismatch() {
-        assert!(first_err("float f() { return 1; } int main() { return 0; }")
-            .contains("return type"));
+        assert!(
+            first_err("float f() { return 1; } int main() { return 0; }").contains("return type")
+        );
     }
 
     #[test]
@@ -729,6 +754,9 @@ int main() {
 
     #[test]
     fn negative_global_initializers_allowed() {
-        assert!(check_src("global float s = -1.5;\nglobal int k = -3;\nint main() { return 0; }").is_ok());
+        assert!(
+            check_src("global float s = -1.5;\nglobal int k = -3;\nint main() { return 0; }")
+                .is_ok()
+        );
     }
 }

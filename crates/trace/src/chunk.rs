@@ -12,7 +12,10 @@
 pub fn chunk_boundaries(data: &[u8], n: usize) -> Vec<std::ops::Range<usize>> {
     let len = data.len();
     if len == 0 || n <= 1 {
-        return vec![0..len];
+        // One chunk: the whole input (a single Range element, not 0..len
+        // expanded — spelled via `once` to keep clippy's
+        // `single_range_in_vec_init` from reading it as a mistake).
+        return std::iter::once(0..len).collect();
     }
     let approx = len / n;
     let mut starts = vec![0usize];
@@ -58,7 +61,10 @@ pub fn next_block_start(data: &[u8], from: usize) -> Option<usize> {
 }
 
 fn memchr(data: &[u8], needle: u8, from: usize) -> Option<usize> {
-    data[from..].iter().position(|&b| b == needle).map(|p| p + from)
+    data[from..]
+        .iter()
+        .position(|&b| b == needle)
+        .map(|p| p + from)
 }
 
 /// Split `data` into block-aligned string slices (UTF-8 is guaranteed by the

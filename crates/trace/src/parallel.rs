@@ -4,7 +4,7 @@
 //! The paper parallelizes trace-file pre-processing with OpenMP: the master
 //! thread partitions the input into block-aligned sub-streams and worker
 //! threads parse them concurrently (48 threads, ≈16× average speedup in the
-//! paper's evaluation). We reproduce the same structure with `crossbeam`
+//! paper's evaluation). We reproduce the same structure with `std::thread`
 //! scoped threads: [`crate::chunk::chunk_boundaries`]
 //! plays the master's role, and each worker runs an independent
 //! [`TraceParser`](crate::parser::TraceParser) over its chunk. Results are
@@ -59,12 +59,12 @@ pub fn parse_parallel(input: &str, cfg: ParallelConfig) -> Result<Vec<Record>, P
     // indexing: each index is claimed exactly once via `next`, so no two
     // workers touch the same slot.
     let slot_ptr = SlotsPtr(slots.as_mut_ptr());
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads.min(ranges.len()) {
             let ranges = &ranges;
             let next = &next;
             let slot_ptr = &slot_ptr;
-            scope.spawn(move |_| loop {
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= ranges.len() {
                     break;
@@ -77,8 +77,7 @@ pub fn parse_parallel(input: &str, cfg: ParallelConfig) -> Result<Vec<Record>, P
                 }
             });
         }
-    })
-    .expect("crossbeam scope failed");
+    });
 
     let mut out = Vec::new();
     for slot in slots {

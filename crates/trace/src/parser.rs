@@ -21,7 +21,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -299,7 +303,7 @@ mod tests {
         let mul = &recs[1];
         assert_eq!(mul.opcode, opcodes::MUL);
         assert!(mul.is_arithmetic());
-        assert_eq!(mul.op2().unwrap().is_reg, false);
+        assert!(!mul.op2().unwrap().is_reg);
         assert_eq!(mul.result.as_ref().unwrap().name, Name::Temp(9));
     }
 

@@ -61,9 +61,9 @@ impl<W: Write> TraceWriter<W> {
 /// Append the textual form of `r` to `buf`.
 pub fn format_record(r: &Record, buf: &mut String) {
     // Header: 0,<line>,<func>,<bb_line>:<bb_col>,<label>,<opcode>,<dyn_id>,
-    let _ = write!(
+    let _ = writeln!(
         buf,
-        "0,{},{},{}:{},{},{},{},\n",
+        "0,{},{},{}:{},{},{},{},",
         r.src_line, r.func, r.bb.0, r.bb.1, r.bb_label, r.opcode, r.dyn_id
     );
     for op in &r.operands {
@@ -75,9 +75,9 @@ pub fn format_record(r: &Record, buf: &mut String) {
 }
 
 fn format_operand(op: &Operand, buf: &mut String) {
-    let _ = write!(
+    let _ = writeln!(
         buf,
-        "{},{},{},{},{},\n",
+        "{},{},{},{},{},",
         op.tag,
         op.bits,
         op.value,

@@ -41,19 +41,12 @@ fn main() {
         .expect("x is MLI");
     println!("--- R/W dependencies on `x` in the first iteration ---");
     let phases = autocheck_core::Phases::compute(&run.records, &spec.region);
-    let analysis = autocheck_core::DdgAnalysis::run(
-        &run.records,
-        &phases,
-        &run.report.mli,
-        true,
-    );
+    let analysis = autocheck_core::DdgAnalysis::run(&run.records, &phases, &run.report.mli, true);
     let mut reads = 0;
     let mut writes = 0;
     let mut first_kind = None;
     for e in analysis.events.iter().filter(|e| {
-        e.base == x.base_addr
-            && e.iter == 0
-            && e.phase == autocheck_core::Phase::Inside
+        e.base == x.base_addr && e.iter == 0 && e.phase == autocheck_core::Phase::Inside
     }) {
         if first_kind.is_none() {
             first_kind = Some(e.kind);

@@ -98,9 +98,10 @@ fn main() {
     let analysis = DdgAnalysis::run(&sink.records, &phases, &report.mli, true);
     let mli_bases: std::collections::HashSet<u64> =
         report.mli.iter().map(|m| m.base_addr).collect();
-    let contracted = contract_ddg(&analysis.graph, |n| {
-        matches!(n, NodeKind::Var { base, .. } if mli_bases.contains(base))
-    });
+    let contracted = contract_ddg(
+        &analysis.graph,
+        |n| matches!(n, NodeKind::Var { base, .. } if mli_bases.contains(base)),
+    );
     println!("\n--- contracted DDG (Fig. 5(d)) as DOT ---");
     print!("{}", contracted.to_dot());
 

@@ -12,7 +12,7 @@
 //! * [`checkpoint`] — FTI-style C/R, BLCR-style images, restart validation;
 //! * [`apps`] — the paper's 14 evaluation benchmarks.
 //!
-//! ```no_run
+//! ```
 //! use autocheck_suite::{core::{Analyzer, Region, index_variables_of}, interp, minilang};
 //!
 //! let module = minilang::compile("int main() { return 0; }").unwrap();

@@ -38,7 +38,10 @@ fn dependency_type_census_is_war_dominated() {
             }
         }
     }
-    assert!(war > outcome + rapo + index, "WAR dominates ({war} vs rest)");
+    assert!(
+        war > outcome + rapo + index,
+        "WAR dominates ({war} vs rest)"
+    );
     assert_eq!(outcome, 2, "FT's sum and AMG's final_res_norm");
     assert_eq!(rapo, 2, "IS's key_array and bucket_ptrs");
     assert!(index >= 14, "at least one Index per benchmark");

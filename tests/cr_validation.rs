@@ -63,9 +63,8 @@ fn several_failure_points_recover_for_every_benchmark() {
         let module = autocheck_minilang::compile(&spec.source).unwrap();
         let dir = tmpdir(&format!("{}-sweep", spec.name));
         for frac in [0.35, 0.55, 0.75, 0.92] {
-            let out =
-                validate_restart(&module, &cr_spec_for(&spec, detected.clone()), &dir, frac)
-                    .unwrap();
+            let out = validate_restart(&module, &cr_spec_for(&spec, detected.clone()), &dir, frac)
+                .unwrap();
             assert!(out.matches, "{} at {frac}", spec.name);
         }
         let _ = std::fs::remove_dir_all(&dir);
@@ -176,7 +175,10 @@ fn blcr_restore_also_recovers_but_costs_more() {
     )
     .run(&mut NullSink, &mut driver)
     .unwrap_err();
-    assert!(matches!(err, autocheck_interp::ExecError::Interrupted { .. }));
+    assert!(matches!(
+        err,
+        autocheck_interp::ExecError::Interrupted { .. }
+    ));
     let fti_bytes = driver.last_checkpoint_bytes;
     let img_bytes = driver.last_image_bytes;
     assert!(

@@ -92,11 +92,11 @@ fn contracted_ddg_has_fig5d_edges() {
     let report = Analyzer::new(region()).analyze(&records);
     let phases = Phases::compute(&records, &region());
     let analysis = DdgAnalysis::run(&records, &phases, &report.mli, true);
-    let bases: std::collections::HashSet<u64> =
-        report.mli.iter().map(|m| m.base_addr).collect();
-    let c = contract_ddg(&analysis.graph, |n| {
-        matches!(n, NodeKind::Var { base, .. } if bases.contains(base))
-    });
+    let bases: std::collections::HashSet<u64> = report.mli.iter().map(|m| m.base_addr).collect();
+    let c = contract_ddg(
+        &analysis.graph,
+        |n| matches!(n, NodeKind::Var { base, .. } if bases.contains(base)),
+    );
     let edge = |p: &str, ch: &str| {
         let pi = c.find_label(p).unwrap_or_else(|| panic!("node {p}"));
         let ci = c.find_label(ch).unwrap_or_else(|| panic!("node {ch}"));
@@ -144,5 +144,8 @@ fn iteration_count_and_records_reported() {
         .analyze(&records);
     assert_eq!(report.iterations, 10);
     assert_eq!(report.records, records.len() as u64);
-    assert!(report.checkpoint_bytes() >= 80 + 8 + 8, "a + r + sum at least");
+    assert!(
+        report.checkpoint_bytes() >= 80 + 8 + 8,
+        "a + r + sum at least"
+    );
 }
