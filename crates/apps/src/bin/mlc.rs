@@ -4,17 +4,30 @@
 //! ```text
 //! mlc run   <file.mc>                 # compile and execute, print output
 //! mlc trace <file.mc> -o trace.txt    # execute and write the dynamic trace
+//! mlc trace <file.mc> --stream --function f --start a --end b
+//!                                     # execute and analyze online: records
+//!                                     # flow interpreter -> analyzer with no
+//!                                     # trace file or record buffer at all
 //! mlc ir    <file.mc>                 # dump the textual IR
 //! mlc loops <file.mc> [--function f]  # list loops and their control vars
 //! mlc app   <name> [-o file.mc]       # emit a bundled benchmark's source
 //! ```
+//!
+//! In `--stream` mode the region defaults to `// @loop-start` /
+//! `// @loop-end` markers when `--start`/`--end` are not given, and the
+//! loop pass supplies the Index variables automatically.
 
-use autocheck_interp::{ExecOptions, Machine, NoHook, NullSink, WriterSink};
+use autocheck_core::{index_variables_of, Region, StreamAnalyzer, StreamConfig};
+use autocheck_interp::{ExecError, ExecOptions, FnSink, Machine, NoHook, NullSink, WriterSink};
 use autocheck_ir::{Cfg, DomTree, LoopForest};
 use std::process::ExitCode;
 
 fn usage() -> ! {
-    eprintln!("usage: mlc <run|trace|ir|loops|app> <file.mc | app-name> [-o out] [--function f]");
+    eprintln!(
+        "usage: mlc <run|trace|ir|loops|app> <file.mc | app-name> [-o out] [--function f]\n\
+         \x20      mlc trace <file.mc> --stream [--function f] [--start n --end n]\n\
+         \x20                [--max-live-records N]"
+    );
     std::process::exit(2)
 }
 
@@ -65,6 +78,95 @@ fn main() -> ExitCode {
                     ExitCode::FAILURE
                 }
             }
+        }
+        "trace" if argv.iter().any(|a| a == "--stream") => {
+            let src = match std::fs::read_to_string(target) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot read `{target}`: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            // Compile from the bytes already read — re-reading the file
+            // here could race with an edit and analyze a region computed
+            // from different source than the module being executed.
+            let module = match autocheck_minilang::compile(&src) {
+                Ok(m) => m,
+                Err(errs) => {
+                    for e in errs {
+                        eprintln!("{e}");
+                    }
+                    return ExitCode::FAILURE;
+                }
+            };
+            let function = opt("--function").unwrap_or_else(|| "main".to_string());
+            let region = match (opt("--start"), opt("--end")) {
+                (Some(s), Some(e)) => {
+                    let (Ok(s), Ok(e)) = (s.parse::<u32>(), e.parse::<u32>()) else {
+                        usage()
+                    };
+                    if s == 0 || e < s {
+                        eprintln!("error: --start/--end must satisfy 1 <= start <= end");
+                        return ExitCode::FAILURE;
+                    }
+                    Region::new(function, s, e)
+                }
+                (None, None) => match autocheck_apps::try_region_from_markers(&src, &function) {
+                    Some(r) => r,
+                    None => {
+                        eprintln!(
+                            "error: --stream needs --start/--end (or a @loop-start \
+                                 marker followed by @loop-end in the source)"
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                },
+                _ => {
+                    eprintln!("error: --start and --end must be given together");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if opt("-o").is_some() {
+                eprintln!("note: -o is ignored in --stream mode; no trace file is written");
+            }
+            let max_live = match opt("--max-live-records") {
+                Some(v) => match v.parse::<usize>() {
+                    Ok(n) => Some(n),
+                    Err(_) => usage(),
+                },
+                None => None,
+            };
+            let index = index_variables_of(&module, &region);
+            let analyzer = StreamAnalyzer::new(region)
+                .with_index_vars(index)
+                .with_config(StreamConfig {
+                    max_live_records: max_live,
+                    ..StreamConfig::default()
+                });
+            // Interpreter → analyzer directly: every emitted record is
+            // pushed into the session and dropped; nothing touches disk.
+            let mut session = analyzer.session();
+            let mut sink = FnSink::new(|rec| {
+                session.push(&rec).map_err(|e| ExecError::Sink {
+                    message: e.to_string(),
+                })
+            });
+            let mut machine = Machine::new(&module, ExecOptions::default());
+            if let Err(e) = machine.run(&mut sink, &mut NoHook) {
+                eprintln!("runtime error: {e}");
+                return ExitCode::FAILURE;
+            }
+            let run = session.finish();
+            println!("{}", run.report);
+            let bound = match run.stats.live_bound {
+                Some(b) => format!("{b}"),
+                None => "unbounded".to_string(),
+            };
+            println!(
+                "streaming: peak {} live records of {} total (bound: {}); no trace file written",
+                run.stats.peak_live_records, run.report.records, bound
+            );
+            ExitCode::SUCCESS
         }
         "trace" => {
             let module = match compile_file(target) {

@@ -34,7 +34,7 @@ pub mod miniamr;
 pub mod sp;
 pub mod spec;
 
-pub use spec::{analyze_app, region_from_markers, AppRun, AppSpec};
+pub use spec::{analyze_app, region_from_markers, try_region_from_markers, AppRun, AppSpec};
 
 /// All 14 benchmarks at their default (analysis-friendly) sizes, in the
 /// paper's Table II order.

@@ -46,6 +46,13 @@ impl AppSpec {
 /// on its closing brace, so the resulting region is exactly the paper's
 /// MCLR convention (start/end line numbers in the named function).
 pub fn region_from_markers(source: &str, function: &str) -> Region {
+    try_region_from_markers(source, function).expect("loop markers missing or inverted")
+}
+
+/// Fallible [`region_from_markers`] for user-supplied sources: `None` when
+/// either marker is missing or `@loop-end` does not come after
+/// `@loop-start`.
+pub fn try_region_from_markers(source: &str, function: &str) -> Option<Region> {
     let mut start = 0u32;
     let mut end = 0u32;
     for (i, line) in source.lines().enumerate() {
@@ -56,8 +63,7 @@ pub fn region_from_markers(source: &str, function: &str) -> Region {
             end = i as u32 + 1;
         }
     }
-    assert!(start > 0 && end > start, "loop markers missing or inverted");
-    Region::new(function, start, end)
+    (start > 0 && end > start).then(|| Region::new(function, start, end))
 }
 
 /// Everything produced by one full run of the substrate chain on an app.

@@ -9,11 +9,20 @@
 //!
 //! ```text
 //! autocheck <trace-file> --function main --start 13 --end 21 \
-//!     [--index it,step] [--threads N] [--dot out.dot] [--collect arithmetic]
+//!     [--index it,step] [--threads N] [--dot out.dot] [--collect arithmetic] \
+//!     [--stream] [--max-live-records N]
 //! ```
+//!
+//! `--stream` analyzes the trace online through the bounded-memory
+//! streaming engine instead of materializing it: the file is pulled
+//! chunk-by-chunk, per-iteration analysis state is retired at iteration
+//! boundaries, and the report footer shows the peak live-record count so
+//! the memory bound is observable. `--max-live-records N` turns that bound
+//! into a hard limit (exceeding it is an error, not an OOM).
 
 use autocheck_core::{
     contract_ddg, Analyzer, CollectMode, DdgAnalysis, NodeKind, Phases, PipelineConfig, Region,
+    StreamAnalyzer, StreamConfig,
 };
 use std::process::ExitCode;
 
@@ -26,12 +35,15 @@ struct Args {
     threads: usize,
     dot: Option<String>,
     collect: CollectMode,
+    stream: bool,
+    max_live_records: Option<usize>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: autocheck <trace-file> --function <name> --start <line> --end <line>\n\
-         \x20                [--index v1,v2] [--threads N] [--dot <file>] [--collect any|arithmetic]"
+         \x20                [--index v1,v2] [--threads N] [--dot <file>] [--collect any|arithmetic]\n\
+         \x20                [--stream] [--max-live-records N]"
     );
     std::process::exit(2)
 }
@@ -43,8 +55,11 @@ fn parse_args() -> Args {
     let (mut start, mut end) = (0u32, 0u32);
     let mut index = Vec::new();
     let mut threads = 1usize;
+    let mut threads_set = false;
     let mut dot = None;
     let mut collect = CollectMode::AnyAccess;
+    let mut stream = false;
+    let mut max_live_records = None;
     while let Some(a) = args.next() {
         let mut take = || args.next().unwrap_or_else(|| usage());
         match a.as_str() {
@@ -52,7 +67,10 @@ fn parse_args() -> Args {
             "--start" | "-s" => start = take().parse().unwrap_or_else(|_| usage()),
             "--end" | "-e" => end = take().parse().unwrap_or_else(|_| usage()),
             "--index" | "-i" => index = take().split(',').map(|s| s.trim().to_string()).collect(),
-            "--threads" | "-t" => threads = take().parse().unwrap_or_else(|_| usage()),
+            "--threads" | "-t" => {
+                threads = take().parse().unwrap_or_else(|_| usage());
+                threads_set = true;
+            }
             "--dot" => dot = Some(take()),
             "--collect" => {
                 collect = match take().as_str() {
@@ -60,6 +78,10 @@ fn parse_args() -> Args {
                     "arithmetic" => CollectMode::Arithmetic,
                     _ => usage(),
                 }
+            }
+            "--stream" => stream = true,
+            "--max-live-records" => {
+                max_live_records = Some(take().parse().unwrap_or_else(|_| usage()))
             }
             "--help" | "-h" => usage(),
             other if trace.is_none() && !other.starts_with('-') => trace = Some(a),
@@ -71,6 +93,18 @@ fn parse_args() -> Args {
         eprintln!("error: --start/--end are required and must satisfy start <= end");
         std::process::exit(2);
     }
+    if max_live_records.is_some() && !stream {
+        eprintln!("error: --max-live-records only applies to --stream mode");
+        std::process::exit(2);
+    }
+    if threads_set && stream {
+        eprintln!("error: --threads does not apply to --stream mode (single online pass)");
+        std::process::exit(2);
+    }
+    if dot.is_some() && stream {
+        eprintln!("error: --dot requires the batch pipeline; rerun without --stream");
+        std::process::exit(2);
+    }
     Args {
         trace,
         function,
@@ -80,11 +114,61 @@ fn parse_args() -> Args {
         threads,
         dot,
         collect,
+        stream,
+        max_live_records,
     }
+}
+
+fn run_streaming(args: &Args, region: &Region) -> ExitCode {
+    let file = match std::fs::File::open(&args.trace) {
+        Ok(f) => std::io::BufReader::new(f),
+        Err(e) => {
+            eprintln!("error: cannot read `{}`: {e}", args.trace);
+            return ExitCode::FAILURE;
+        }
+    };
+    let analyzer = StreamAnalyzer::new(region.clone())
+        .with_index_vars(args.index.clone())
+        .with_config(StreamConfig {
+            collect: args.collect,
+            max_live_records: args.max_live_records,
+            ..StreamConfig::default()
+        });
+    let run = match analyzer.run_read(file) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", run.report);
+    println!(
+        "timings: ingest {:.3?}, identify {:.3?} (total {:.3?}; single online pass)",
+        run.report.timings.preprocess,
+        run.report.timings.identify,
+        run.report.timings.total()
+    );
+    let bound = match run.stats.live_bound {
+        Some(b) => format!("{b}"),
+        None => "unbounded".to_string(),
+    };
+    println!(
+        "streaming: peak {} live records of {} total (bound: {}); ddg {} nodes / {} edges",
+        run.stats.peak_live_records,
+        run.report.records,
+        bound,
+        run.stats.ddg_nodes,
+        run.stats.ddg_edges
+    );
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
     let args = parse_args();
+    let region = Region::new(args.function.clone(), args.start, args.end);
+    if args.stream {
+        return run_streaming(&args, &region);
+    }
     let text = match std::fs::read_to_string(&args.trace) {
         Ok(t) => t,
         Err(e) => {
@@ -92,7 +176,6 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let region = Region::new(args.function.clone(), args.start, args.end);
     let analyzer = Analyzer::new(region.clone())
         .with_index_vars(args.index.clone())
         .with_config(PipelineConfig {

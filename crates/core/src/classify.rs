@@ -25,6 +25,7 @@ use crate::ddg::{RwEvent, RwKind};
 use crate::preprocess::MliVar;
 use crate::region::Phase;
 use crate::report::{CriticalVariable, DepType, SkipReason};
+use autocheck_stream::{VarStats, VarStatsBuilder};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
@@ -48,7 +49,27 @@ pub fn classify(
         by_base.entry(e.base).or_default().push(e);
     }
 
-    let index_set: HashSet<&str> = cfg.index_vars.iter().map(|s| s.as_str()).collect();
+    select(mli, &cfg.index_vars, cfg.region_start, |var| {
+        let evs = by_base
+            .get(&var.base_addr)
+            .map(Vec::as_slice)
+            .unwrap_or(&[]);
+        classify_one(var, evs)
+    })
+}
+
+/// The shared critical/skipped selection over MLI variables — Index
+/// precedence, per-variable decision, the Index fallback location, and the
+/// deterministic output order. One copy for both pipelines (the batch
+/// [`classify`] and the streaming session's finish), so selection policy
+/// cannot drift between them any more than the [`decide`] heuristics can.
+pub(crate) fn select(
+    mli: &[MliVar],
+    index_vars: &[String],
+    region_start: u32,
+    mut decide_var: impl FnMut(&MliVar) -> Result<DepType, SkipReason>,
+) -> (Vec<CriticalVariable>, Vec<(Arc<str>, SkipReason)>) {
+    let index_set: HashSet<&str> = index_vars.iter().map(|s| s.as_str()).collect();
     let mut critical = Vec::new();
     let mut skipped = Vec::new();
 
@@ -57,11 +78,7 @@ pub fn classify(
             // Handled below: Index takes precedence.
             continue;
         }
-        let evs = by_base
-            .get(&var.base_addr)
-            .map(Vec::as_slice)
-            .unwrap_or(&[]);
-        match classify_one(var, evs) {
+        match decide_var(var) {
             Ok(dep) => critical.push(CriticalVariable {
                 name: var.name.clone(),
                 dep,
@@ -75,12 +92,12 @@ pub fn classify(
 
     // Index variables: always checkpointed (paper: "we also do checkpoint
     // to the induction variables of the main computation loop").
-    for name in &cfg.index_vars {
+    for name in index_vars {
         let (base, size, line) = mli
             .iter()
             .find(|m| &*m.name == name)
             .map(|m| (m.base_addr, m.size, m.first_line))
-            .unwrap_or((0, 8, cfg.region_start));
+            .unwrap_or((0, 8, region_start));
         critical.push(CriticalVariable {
             name: Arc::from(name.as_str()),
             dep: DepType::Index,
@@ -95,65 +112,52 @@ pub fn classify(
     (critical, skipped)
 }
 
+/// Classify one variable from its time-ordered event slice: fold the
+/// events through the shared incremental [`VarStatsBuilder`] (the same
+/// fold the streaming engine runs online), then [`decide`].
 fn classify_one(var: &MliVar, evs: &[&RwEvent]) -> Result<DepType, SkipReason> {
-    let loop_events: Vec<&&RwEvent> = evs.iter().filter(|e| e.phase == Phase::Inside).collect();
-    let read_after_loop = evs
-        .iter()
-        .any(|e| e.phase == Phase::After && e.kind == RwKind::Read);
+    let mut fold = VarStatsBuilder::new();
+    for e in evs {
+        match (e.phase, e.kind) {
+            (Phase::Inside, kind) => {
+                fold.feed_inside(e.iter, e.elem, kind == RwKind::Write);
+            }
+            (Phase::After, RwKind::Read) => fold.feed_after_read(),
+            _ => {}
+        }
+    }
+    decide(&fold.finish(), var.size)
+}
 
-    let written_in_loop = loop_events.iter().any(|e| e.kind == RwKind::Write);
-    if !written_in_loop {
+/// The §IV-C dependency-class decision, shared verbatim by the batch and
+/// streaming pipelines (both feed it a [`VarStats`] fold of the variable's
+/// access events; `size` is the variable's observed footprint in bytes).
+pub fn decide(stats: &VarStats, size: u64) -> Result<DepType, SkipReason> {
+    if !stats.written_in_loop {
         // Re-created by the pre-loop code on restart; no checkpoint needed
         // (the matrix A in the paper's CG case study).
         return Err(SkipReason::ReadOnlyInLoop);
     }
 
-    // First access per (iteration, element), in time order, plus the set
-    // of elements each iteration writes at all.
-    let mut first_access: HashMap<(u32, u64), RwKind> = HashMap::new();
-    let mut writes_per_iter: HashMap<u32, HashSet<u64>> = HashMap::new();
-    let mut reads_per_iter: HashMap<u32, HashSet<u64>> = HashMap::new();
-    let mut footprint: HashSet<u64> = HashSet::new();
-    for e in &loop_events {
-        footprint.insert(e.elem);
-        first_access.entry((e.iter, e.elem)).or_insert(e.kind);
-        match e.kind {
-            RwKind::Write => {
-                writes_per_iter.entry(e.iter).or_default().insert(e.elem);
-            }
-            RwKind::Read => {
-                reads_per_iter.entry(e.iter).or_default().insert(e.elem);
-            }
-        }
-    }
-
-    let carried = first_access.values().any(|k| *k == RwKind::Read);
-    if carried {
-        let is_array = footprint.len() > 1 || var.size > 8;
-        if is_array {
-            // RAPO: some iteration reads an element it never writes (a
-            // *stale* read) — "elements that were not involved in the
-            // overwriting cannot be recovered". Read-modify-write patterns
-            // (EP's histogram `q`) touch only elements they rewrite and are
-            // plain WAR; scatter-writes + full scans (IS's `key_array`, the
-            // worked example's `a`) are RAPO.
-            let empty = HashSet::new();
-            let stale_read = reads_per_iter.iter().any(|(iter, reads)| {
-                let written = writes_per_iter.get(iter).unwrap_or(&empty);
-                !reads.is_subset(written)
-            });
-            if stale_read {
-                return Ok(DepType::Rapo);
-            }
+    if stats.carried {
+        let is_array = stats.multi_elem || size > 8;
+        // RAPO: some iteration reads an element it never writes (a *stale*
+        // read) — "elements that were not involved in the overwriting
+        // cannot be recovered". Read-modify-write patterns (EP's histogram
+        // `q`) touch only elements they rewrite and are plain WAR;
+        // scatter-writes + full scans (IS's `key_array`, the worked
+        // example's `a`) are RAPO.
+        if is_array && stats.stale_read {
+            return Ok(DepType::Rapo);
         }
         return Ok(DepType::War);
     }
 
-    if read_after_loop {
+    if stats.read_after_loop {
         return Ok(DepType::Outcome);
     }
 
-    if loop_events.iter().any(|e| e.kind == RwKind::Read) {
+    if stats.read_in_loop {
         Err(SkipReason::RewrittenBeforeRead)
     } else {
         Err(SkipReason::DeadAfterLoop)

@@ -25,6 +25,7 @@
 
 use crate::preprocess::MliVar;
 use crate::region::{Phase, Phases};
+use autocheck_stream::{relevant_opcode, resolve_alias as resolve};
 use autocheck_trace::{record::opcodes, Name, Record};
 use std::collections::{BTreeSet, HashMap};
 use std::fmt::Write as _;
@@ -447,49 +448,6 @@ fn record_event(
         phase: a.phase,
         line: if r.src_line > 0 { r.src_line as u32 } else { 0 },
     });
-}
-
-fn resolve(
-    reg_var: &HashMap<Name, (Arc<str>, u64)>,
-    name: &Name,
-    value: Option<u64>,
-) -> Option<(Arc<str>, u64)> {
-    match name {
-        Name::Sym(s) => {
-            if let Some((n, b)) = reg_var.get(name) {
-                // A registered alias (parameter triplet or alloca): trust it
-                // only when consistent with the observed address, so stale
-                // aliases from returned frames never misattribute (the
-                // paper's address-based Challenge-2 discrimination).
-                if value.is_none() || value == Some(*b) {
-                    return Some((n.clone(), *b));
-                }
-            }
-            value.map(|v| (s.clone(), v))
-        }
-        Name::Temp(_) => reg_var.get(name).cloned(),
-        Name::None => None,
-    }
-}
-
-/// The paper's Table-I opcode set (plus `Ret`, needed to track call exits).
-fn relevant_opcode(op: u16) -> bool {
-    (8..=25).contains(&op)
-        || matches!(
-            op,
-            opcodes::ALLOCA
-                | opcodes::LOAD
-                | opcodes::STORE
-                | opcodes::GETELEMENTPTR
-                | opcodes::BITCAST
-                | opcodes::ICMP
-                | opcodes::FCMP
-                | opcodes::ZEXT
-                | opcodes::SITOFP
-                | opcodes::FPTOSI
-                | opcodes::CALL
-                | opcodes::RET
-        )
 }
 
 #[cfg(test)]

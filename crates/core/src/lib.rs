@@ -32,6 +32,12 @@
 //! glues everything together with the per-stage timing breakdown reported
 //! in the paper's Table III.
 //!
+//! For traces too big (or too ephemeral) to materialize, [`stream`] offers
+//! the same analysis as a single online pass with O(live window) memory:
+//! [`StreamAnalyzer`] mirrors [`Analyzer`]'s API, consumes records pushed
+//! from the interpreter or pulled from any `io::Read`, and produces
+//! identical reports (same classification decisions via [`decide`]).
+//!
 //! ```no_run
 //! use autocheck_core::{Analyzer, Region};
 //!
@@ -52,11 +58,18 @@ pub mod pipeline;
 pub mod preprocess;
 pub mod region;
 pub mod report;
+pub mod stream;
 
-pub use classify::{classify, ClassifyConfig};
+pub use classify::{classify, decide, ClassifyConfig};
 pub use contract::contract_ddg;
 pub use ddg::{DdgAnalysis, DdgOptions, DepGraph, NodeKind, RwEvent, RwKind};
 pub use pipeline::{index_variables_of, Analyzer, PipelineConfig};
 pub use preprocess::{CollectMode, MliVar};
 pub use region::{Phase, Phases, Region};
 pub use report::{CriticalVariable, DepType, Report, SkipReason, Timings};
+pub use stream::{
+    StreamAnalyzer, StreamConfig, StreamError, StreamRun, StreamSession, StreamStats,
+};
+// Re-exported so `decide`'s parameter type is nameable from this crate
+// alone, without a direct autocheck-stream dependency.
+pub use autocheck_stream::{VarStats, VarStatsBuilder};

@@ -34,6 +34,7 @@
 //! must store an arithmetic result) and exists for the ablation study.
 
 use crate::region::{Phase, Phases, Region};
+use autocheck_stream::Provenance;
 use autocheck_trace::{record::opcodes, Name, Record};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -68,48 +69,6 @@ pub struct MliVar {
 struct VarKey {
     name: Arc<str>,
     base: u64,
-}
-
-/// Resolves pointer operands to `(variable, base address, element address)`
-/// by tracking GEP/BitCast provenance on the fly.
-#[derive(Default)]
-pub(crate) struct Provenance {
-    map: HashMap<Name, (Arc<str>, u64)>,
-}
-
-impl Provenance {
-    /// Update provenance from one record; call in execution order.
-    pub(crate) fn observe(&mut self, r: &Record) {
-        match r.opcode {
-            opcodes::GETELEMENTPTR | opcodes::BITCAST => {
-                let (Some(base), Some(res)) = (r.op1(), r.result.as_ref()) else {
-                    return;
-                };
-                let resolved = self.resolve(&base.name, base.value.as_ptr());
-                if let Some((name, addr)) = resolved {
-                    self.map.insert(res.name.clone(), (name, addr));
-                }
-            }
-            _ => {}
-        }
-    }
-
-    /// Resolve a pointer-operand name to its base variable.
-    pub(crate) fn resolve(&self, name: &Name, value: Option<u64>) -> Option<(Arc<str>, u64)> {
-        match name {
-            Name::Sym(s) => {
-                if let Some(hit) = self.map.get(name) {
-                    // Parameter alias registered by a call triplet.
-                    Some(hit.clone())
-                } else {
-                    // A named variable is its own base.
-                    value.map(|v| (s.clone(), v))
-                }
-            }
-            Name::Temp(_) => self.map.get(name).cloned(),
-            Name::None => None,
-        }
-    }
 }
 
 /// Collect MLI variables.

@@ -1,0 +1,456 @@
+//! Streaming front door: the online counterpart of [`crate::Analyzer`].
+//!
+//! [`StreamAnalyzer`] mirrors the batch analyzer's API (region in, index
+//! variables in, [`Report`] out) but consumes records **as they arrive**
+//! instead of requiring the whole trace in memory: push records into a
+//! [`StreamSession`] (e.g. straight from the interpreter's sink — no trace
+//! file at all), or pull them from any [`io::Read`] through the trace
+//! crate's bounded [`autocheck_trace::RecordReader`].
+//!
+//! The analysis itself runs in `autocheck-stream`'s [`Engine`]: one pass,
+//! per-iteration state retired at iteration boundaries, peak memory
+//! observable as the *live-record count* ([`StreamStats`]) and optionally
+//! hard-bounded ([`StreamConfig::max_live_records`]). Classification
+//! decisions are shared with the batch pipeline ([`crate::classify::decide`]),
+//! so both produce identical reports by construction — a property the
+//! integration and property tests assert over the Fig. 4 example, all 14
+//! benchmarks, and random MiniLang programs.
+
+use crate::preprocess::{CollectMode, MliVar};
+use crate::region::Region;
+use crate::report::{Report, Timings};
+use autocheck_stream::{Collect, Engine, EngineConfig, LiveBoundExceeded};
+use autocheck_trace::{Record, RecordReader, TraceReadError};
+use std::fmt;
+use std::io;
+use std::time::Instant;
+
+/// Tunables for the streaming pipeline (defaults match the batch
+/// [`crate::PipelineConfig`] where the two overlap).
+#[derive(Clone, Debug)]
+pub struct StreamConfig {
+    /// Occurrence-collection strictness (see [`CollectMode`]).
+    pub collect: CollectMode,
+    /// Selective trace iteration (paper §IV-B); `false` is the ablation.
+    pub selective: bool,
+    /// Hard bound on the live-record window; `None` = observe only.
+    pub max_live_records: Option<usize>,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            collect: CollectMode::AnyAccess,
+            selective: true,
+            max_live_records: None,
+        }
+    }
+}
+
+/// A streaming analysis failure.
+#[derive(Debug)]
+pub enum StreamError {
+    /// Reading or parsing the trace stream failed.
+    Source(TraceReadError),
+    /// The configured live-record bound was exceeded.
+    LiveBound(LiveBoundExceeded),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Source(e) => write!(f, "{e}"),
+            StreamError::LiveBound(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<TraceReadError> for StreamError {
+    fn from(e: TraceReadError) -> Self {
+        StreamError::Source(e)
+    }
+}
+
+impl From<LiveBoundExceeded> for StreamError {
+    fn from(e: LiveBoundExceeded) -> Self {
+        StreamError::LiveBound(e)
+    }
+}
+
+/// Memory-bound observability for one streaming run — what the batch
+/// pipeline cannot report, because it holds everything.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StreamStats {
+    /// Peak live-record window (per-iteration state entries) over the run.
+    pub peak_live_records: usize,
+    /// The configured bound, if any.
+    pub live_bound: Option<usize>,
+    /// Streaming DDG node count (bounded by the program).
+    pub ddg_nodes: usize,
+    /// Streaming DDG edge count.
+    pub ddg_edges: usize,
+}
+
+/// A finished streaming run: the batch-identical report plus the
+/// memory-bound statistics.
+#[derive(Clone, Debug)]
+pub struct StreamRun {
+    /// The analysis report, identical to the batch pipeline's.
+    pub report: Report,
+    /// Live-window statistics.
+    pub stats: StreamStats,
+}
+
+/// The streaming AutoCheck analyzer. Construction mirrors
+/// [`crate::Analyzer`]: region, index variables, configuration.
+#[derive(Clone, Debug)]
+pub struct StreamAnalyzer {
+    /// The main computation loop's location.
+    pub region: Region,
+    /// Induction/control variables of the outermost loop.
+    pub index_vars: Vec<String>,
+    /// Pipeline tunables.
+    pub config: StreamConfig,
+}
+
+impl StreamAnalyzer {
+    /// Analyzer with default configuration.
+    pub fn new(region: Region) -> StreamAnalyzer {
+        StreamAnalyzer {
+            region,
+            index_vars: Vec::new(),
+            config: StreamConfig::default(),
+        }
+    }
+
+    /// Set the Index variables (usually from [`crate::index_variables_of`]).
+    pub fn with_index_vars(mut self, vars: Vec<String>) -> StreamAnalyzer {
+        self.index_vars = vars;
+        self
+    }
+
+    /// Override the configuration.
+    pub fn with_config(mut self, config: StreamConfig) -> StreamAnalyzer {
+        self.config = config;
+        self
+    }
+
+    /// Open a push-based session: feed records in execution order, then
+    /// [`StreamSession::finish`].
+    pub fn session(&self) -> StreamSession {
+        let cfg = EngineConfig {
+            function: self.region.function.clone(),
+            start_line: self.region.start_line,
+            end_line: self.region.end_line,
+            collect: match self.config.collect {
+                CollectMode::AnyAccess => Collect::AnyAccess,
+                CollectMode::Arithmetic => Collect::Arithmetic,
+            },
+            selective: self.config.selective,
+            max_live_records: self.config.max_live_records,
+        };
+        StreamSession {
+            engine: Engine::new(cfg),
+            index_vars: self.index_vars.clone(),
+            region_start: self.region.start_line,
+            live_bound: self.config.max_live_records,
+            started: None,
+        }
+    }
+
+    /// Analyze already-materialized records through the streaming engine —
+    /// the drop-in equivalent of [`crate::Analyzer::analyze`], used by the
+    /// equivalence tests.
+    pub fn analyze(&self, records: &[Record]) -> Result<Report, StreamError> {
+        let mut session = self.session();
+        for r in records {
+            session.push(r)?;
+        }
+        Ok(session.finish().report)
+    }
+
+    /// Analyze a trace pulled from any reader (file, pipe, socket, …) with
+    /// bounded buffering — the streaming equivalent of
+    /// [`crate::Analyzer::analyze_text`].
+    pub fn analyze_read<R: io::Read>(&self, reader: R) -> Result<Report, StreamError> {
+        self.run_read(reader).map(|run| run.report)
+    }
+
+    /// Like [`analyze_read`](Self::analyze_read), also returning the
+    /// live-window statistics.
+    pub fn run_read<R: io::Read>(&self, reader: R) -> Result<StreamRun, StreamError> {
+        let mut session = self.session();
+        for item in RecordReader::new(reader) {
+            session.push(&item?)?;
+        }
+        Ok(session.finish())
+    }
+}
+
+/// An in-flight streaming analysis.
+///
+/// Timing semantics: the report's ingest (pre-processing) figure is the
+/// wall-clock span from the **first push** to [`finish`](Self::finish).
+/// When records are pulled from a reader ([`StreamAnalyzer::run_read`]) or
+/// pushed in a tight loop ([`StreamAnalyzer::analyze`]) that is pure
+/// analysis time; in interpreter-direct mode (a sink pushing as the program
+/// runs) trace generation and analysis are fused, so the span deliberately
+/// includes program execution — there is no separable analysis time to
+/// report, and the figure must not be compared against batch pre-processing.
+pub struct StreamSession {
+    engine: Engine,
+    index_vars: Vec<String>,
+    region_start: u32,
+    live_bound: Option<usize>,
+    started: Option<Instant>,
+}
+
+impl StreamSession {
+    /// Consume one record. Fails fast if the configured live-record bound
+    /// is exceeded.
+    pub fn push(&mut self, record: &Record) -> Result<(), LiveBoundExceeded> {
+        if self.started.is_none() {
+            self.started = Some(Instant::now());
+        }
+        self.engine.push(record)
+    }
+
+    /// Live window entries currently held.
+    pub fn live_records(&self) -> usize {
+        self.engine.live_records()
+    }
+
+    /// Peak live window so far.
+    pub fn peak_live_records(&self) -> usize {
+        self.engine.peak_live_records()
+    }
+
+    /// Records consumed so far.
+    pub fn records_seen(&self) -> u64 {
+        self.engine.records_seen()
+    }
+
+    /// Finalize the analysis into a batch-identical [`Report`].
+    pub fn finish(self) -> StreamRun {
+        // Everything up to here — parse, region partitioning, MLI
+        // collection, dependency analysis — ran fused in the single online
+        // pass; report it as the pre-processing + dependency stages'
+        // combined time, with the finish step as identification.
+        let ingest = self
+            .started
+            .map(|t| t.elapsed())
+            .unwrap_or(std::time::Duration::ZERO);
+        let t1 = Instant::now();
+        let outcome = self.engine.finish();
+
+        let mli: Vec<MliVar> = outcome
+            .mli
+            .iter()
+            .map(|m| MliVar {
+                name: m.name.clone(),
+                base_addr: m.base_addr,
+                size: m.size,
+                first_line: m.first_line,
+            })
+            .collect();
+
+        // The exact selection the batch `classify` performs — same shared
+        // function, driven by the shared decision heuristics over the
+        // engine's folded statistics.
+        let (critical, skipped) =
+            crate::classify::select(&mli, &self.index_vars, self.region_start, |var| {
+                let stats = outcome
+                    .stats
+                    .get(&var.base_addr)
+                    .copied()
+                    .unwrap_or_default();
+                crate::classify::decide(&stats, var.size)
+            });
+
+        let identify = t1.elapsed();
+        StreamRun {
+            report: Report {
+                mli,
+                critical,
+                skipped,
+                iterations: outcome.iterations,
+                records: outcome.records,
+                timings: Timings {
+                    preprocess: ingest,
+                    dependency: std::time::Duration::ZERO,
+                    identify,
+                },
+            },
+            stats: StreamStats {
+                peak_live_records: outcome.peak_live_records,
+                live_bound: self.live_bound,
+                ddg_nodes: outcome.ddg_nodes,
+                ddg_edges: outcome.ddg_edges,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{index_variables_of, Analyzer};
+
+    /// The Fig. 4 worked example (same source as the batch pipeline tests).
+    const FIG4: &str = "\
+void foo(int* p, int* q) {
+    for (int i = 0; i < 10; i = i + 1) {
+        q[i] = p[i] * 2;
+    }
+}
+int main() {
+    int a[10]; int b[10];
+    int sum = 0; int s = 0; int r = 1;
+    for (int i = 0; i < 10; i = i + 1) {
+        a[i] = 0;
+        b[i] = 0;
+    }
+    for (int it = 0; it < 10; it = it + 1) {
+        int m;
+        s = it + 1;
+        a[it] = s * r;
+        foo(a, b);
+        r = r + 1;
+        m = a[it] + b[it];
+        sum = m;
+    }
+    print(sum);
+    return 0;
+}
+";
+
+    fn fig4_records() -> (autocheck_ir::Module, Vec<Record>) {
+        let module = autocheck_minilang::compile(FIG4).expect("compiles");
+        let mut machine =
+            autocheck_interp::Machine::new(&module, autocheck_interp::ExecOptions::default());
+        let mut sink = autocheck_interp::VecSink::default();
+        machine
+            .run(&mut sink, &mut autocheck_interp::NoHook)
+            .expect("runs");
+        (module, sink.records)
+    }
+
+    fn assert_reports_match(batch: &Report, stream: &Report) {
+        assert_eq!(batch.mli, stream.mli);
+        assert_eq!(batch.critical, stream.critical);
+        assert_eq!(batch.skipped, stream.skipped);
+        assert_eq!(batch.iterations, stream.iterations);
+        assert_eq!(batch.records, stream.records);
+    }
+
+    #[test]
+    fn streaming_equals_batch_on_fig4() {
+        let (module, records) = fig4_records();
+        let region = Region::new("main", 13, 21);
+        let index = index_variables_of(&module, &region);
+        let batch = Analyzer::new(region.clone())
+            .with_index_vars(index.clone())
+            .analyze(&records);
+        let stream = StreamAnalyzer::new(region)
+            .with_index_vars(index)
+            .analyze(&records)
+            .expect("streams");
+        assert_reports_match(&batch, &stream);
+        assert_eq!(
+            stream
+                .summary()
+                .iter()
+                .map(|(n, _)| n.as_str())
+                .collect::<Vec<_>>(),
+            vec!["a", "it", "r", "sum"]
+        );
+    }
+
+    #[test]
+    fn push_session_reports_live_window() {
+        let (module, records) = fig4_records();
+        let region = Region::new("main", 13, 21);
+        let index = index_variables_of(&module, &region);
+        let mut session = StreamAnalyzer::new(region).with_index_vars(index).session();
+        for r in &records {
+            session.push(r).expect("no bound set");
+        }
+        let peak = session.peak_live_records();
+        assert!(peak > 0);
+        assert!(
+            (peak as u64) < session.records_seen(),
+            "live window must undercut the trace length"
+        );
+        let run = session.finish();
+        assert_eq!(run.stats.peak_live_records, peak);
+        assert!(run.stats.ddg_nodes > 0);
+    }
+
+    #[test]
+    fn analyze_read_streams_the_textual_trace() {
+        let (module, records) = fig4_records();
+        let mut sink = autocheck_interp::WriterSink::new(Vec::new());
+        for r in &records {
+            use autocheck_interp::TraceSink as _;
+            sink.record(r.clone()).unwrap();
+        }
+        let text = sink.finish().unwrap();
+
+        let region = Region::new("main", 13, 21);
+        let index = index_variables_of(&module, &region);
+        let batch = Analyzer::new(region.clone())
+            .with_index_vars(index.clone())
+            .analyze(&records);
+        let stream = StreamAnalyzer::new(region)
+            .with_index_vars(index)
+            .analyze_read(&text[..])
+            .expect("streams");
+        assert_reports_match(&batch, &stream);
+    }
+
+    #[test]
+    fn live_bound_is_enforced() {
+        let (module, records) = fig4_records();
+        let region = Region::new("main", 13, 21);
+        let index = index_variables_of(&module, &region);
+        let analyzer = StreamAnalyzer::new(region)
+            .with_index_vars(index)
+            .with_config(StreamConfig {
+                max_live_records: Some(1),
+                ..StreamConfig::default()
+            });
+        let err = analyzer.analyze(&records).unwrap_err();
+        assert!(matches!(err, StreamError::LiveBound(_)));
+        assert!(err.to_string().contains("bound"));
+    }
+
+    #[test]
+    fn generous_live_bound_passes() {
+        let (module, records) = fig4_records();
+        let region = Region::new("main", 13, 21);
+        let index = index_variables_of(&module, &region);
+        let analyzer = StreamAnalyzer::new(region.clone())
+            .with_index_vars(index.clone())
+            .with_config(StreamConfig {
+                max_live_records: Some(1 << 20),
+                ..StreamConfig::default()
+            });
+        let stream = analyzer.analyze(&records).expect("bound never hit");
+        let batch = Analyzer::new(region)
+            .with_index_vars(index)
+            .analyze(&records);
+        assert_reports_match(&batch, &stream);
+    }
+
+    #[test]
+    fn malformed_stream_surfaces_parse_error() {
+        let region = Region::new("main", 5, 7);
+        let err = StreamAnalyzer::new(region)
+            .analyze_read(&b"0,zz,broken,1:1,0,27,9,\n"[..])
+            .unwrap_err();
+        assert!(matches!(err, StreamError::Source(_)));
+        assert!(err.to_string().contains("src line"));
+    }
+}

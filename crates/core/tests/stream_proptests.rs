@@ -1,0 +1,122 @@
+//! Property test: for random MiniLang programs, the streaming analyzer's
+//! report is identical to the batch pipeline's — critical set, dependency
+//! classes, skip reasons, first-seen lines, byte sizes, iteration and
+//! record counts.
+
+use autocheck_core::{index_variables_of, Analyzer, Region, StreamAnalyzer};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Statement palette for the main loop body. Every statement is valid for
+/// any loop bound `it < m` with `m <= 8` (the array has 8 elements), and
+/// the palette spans the access patterns the classifier distinguishes:
+/// accumulators (WAR), partial array overwrites with full-ish reads
+/// (RAPO-shaped), loop-local rewrites (skips), and outputs (Outcome).
+const STMTS: &[&str] = &[
+    "acc = acc + arr[it];",
+    "aux = it + 1;",
+    "arr[it] = acc + aux;",
+    "out = acc + 1;",
+    "acc = acc * 2;",
+    "arr[0] = arr[it] + 1;",
+    "aux = aux + arr[0];",
+    "out = out + arr[it];",
+    "tmp = acc + it;",
+    "acc = acc + tmp;",
+];
+
+/// Render a random program and return (source, loop start line, loop end
+/// line). The prologue initializes every variable before the loop so each
+/// is an MLI candidate; what the loop body does with them decides the
+/// classification.
+fn program(stmt_idx: &[usize], m: u32) -> (String, u32, u32) {
+    let mut lines: Vec<String> = vec![
+        "int main() {".into(),
+        "    int acc = 1;".into(),
+        "    int aux = 2;".into(),
+        "    int out = 0;".into(),
+        "    int tmp = 0;".into(),
+        "    int arr[8];".into(),
+        "    for (int i = 0; i < 8; i = i + 1) {".into(),
+        "        arr[i] = i;".into(),
+        "    }".into(),
+    ];
+    let start = lines.len() as u32 + 1;
+    lines.push(format!("    for (int it = 0; it < {m}; it = it + 1) {{"));
+    for &i in stmt_idx {
+        lines.push(format!("        {}", STMTS[i % STMTS.len()]));
+    }
+    lines.push("    }".into());
+    let end = lines.len() as u32;
+    lines.push("    print(out);".into());
+    lines.push("    print(acc);".into());
+    lines.push("    return 0;".into());
+    lines.push("}".into());
+    (lines.join("\n") + "\n", start, end)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn streaming_report_equals_batch_report(
+        stmt_idx in vec(0usize..10, 1..7),
+        m in 2u32..8,
+    ) {
+        let (src, start, end) = program(&stmt_idx, m);
+        let module = autocheck_minilang::compile(&src)
+            .unwrap_or_else(|e| panic!("generated program failed to compile: {e:?}\n{src}"));
+        let mut sink = autocheck_interp::VecSink::default();
+        autocheck_interp::Machine::new(&module, autocheck_interp::ExecOptions::default())
+            .run(&mut sink, &mut autocheck_interp::NoHook)
+            .expect("generated program runs");
+
+        let region = Region::new("main", start, end);
+        let index = index_variables_of(&module, &region);
+        let batch = Analyzer::new(region.clone())
+            .with_index_vars(index.clone())
+            .analyze(&sink.records);
+        let stream = StreamAnalyzer::new(region)
+            .with_index_vars(index)
+            .analyze(&sink.records)
+            .expect("no live bound configured");
+
+        prop_assert_eq!(&batch.mli, &stream.mli, "MLI sets differ\n{}", src);
+        prop_assert_eq!(&batch.critical, &stream.critical, "critical sets differ\n{}", src);
+        prop_assert_eq!(&batch.skipped, &stream.skipped, "skip sets differ\n{}", src);
+        prop_assert_eq!(batch.iterations, stream.iterations);
+        prop_assert_eq!(batch.records, stream.records);
+        prop_assert_eq!(batch.checkpoint_bytes(), stream.checkpoint_bytes());
+    }
+
+    #[test]
+    fn streaming_from_text_equals_batch_from_text(
+        stmt_idx in vec(0usize..10, 1..5),
+        m in 2u32..6,
+    ) {
+        // Same property through the other front doors: the batch analyzer's
+        // text path vs the streaming analyzer's reader path.
+        let (src, start, end) = program(&stmt_idx, m);
+        let module = autocheck_minilang::compile(&src).unwrap();
+        let mut sink = autocheck_interp::WriterSink::new(Vec::new());
+        autocheck_interp::Machine::new(&module, autocheck_interp::ExecOptions::default())
+            .run(&mut sink, &mut autocheck_interp::NoHook)
+            .expect("runs");
+        let text = sink.finish().expect("trace bytes");
+
+        let region = Region::new("main", start, end);
+        let index = index_variables_of(&module, &region);
+        let batch = Analyzer::new(region.clone())
+            .with_index_vars(index.clone())
+            .analyze_text(std::str::from_utf8(&text).unwrap())
+            .expect("parses");
+        let stream = StreamAnalyzer::new(region)
+            .with_index_vars(index)
+            .analyze_read(&text[..])
+            .expect("streams");
+
+        prop_assert_eq!(&batch.critical, &stream.critical);
+        prop_assert_eq!(&batch.skipped, &stream.skipped);
+        prop_assert_eq!(batch.records, stream.records);
+    }
+}

@@ -59,6 +59,36 @@ impl TraceSink for CountSink {
     }
 }
 
+/// Push-based adapter: forwards every record to a closure. This is the
+/// interpreter→analyzer direct path — a streaming analysis session can sit
+/// on the other side of the closure, so a program is traced and analyzed
+/// with **no intermediate trace file or record buffer at all**.
+///
+/// ```ignore
+/// let mut session = analyzer.session();
+/// let mut sink = FnSink::new(|rec| {
+///     session.push(&rec).map_err(|e| ExecError::Sink { message: e.to_string() })
+/// });
+/// machine.run(&mut sink, &mut NoHook)?;
+/// let report = session.finish();
+/// ```
+pub struct FnSink<F: FnMut(Record) -> Result<(), ExecError>> {
+    f: F,
+}
+
+impl<F: FnMut(Record) -> Result<(), ExecError>> FnSink<F> {
+    /// Wrap `f`.
+    pub fn new(f: F) -> FnSink<F> {
+        FnSink { f }
+    }
+}
+
+impl<F: FnMut(Record) -> Result<(), ExecError>> TraceSink for FnSink<F> {
+    fn record(&mut self, rec: Record) -> Result<(), ExecError> {
+        (self.f)(rec)
+    }
+}
+
 /// Streams the textual trace format into any [`Write`] — the equivalent of
 /// LLVM-Tracer's trace file.
 pub struct WriterSink<W: Write> {
@@ -139,6 +169,25 @@ mod tests {
             s.record(rec(i)).unwrap();
         }
         assert_eq!(s.count, 5);
+    }
+
+    #[test]
+    fn fn_sink_forwards_records_and_errors() {
+        let mut ids = Vec::new();
+        let mut s = FnSink::new(|r: Record| {
+            if r.dyn_id >= 2 {
+                return Err(ExecError::Sink {
+                    message: "full".into(),
+                });
+            }
+            ids.push(r.dyn_id);
+            Ok(())
+        });
+        s.record(rec(0)).unwrap();
+        s.record(rec(1)).unwrap();
+        assert!(s.record(rec(2)).is_err());
+        assert_eq!(ids, vec![0, 1]);
+        assert!(FnSink::new(|_| Ok(())).enabled());
     }
 
     #[test]

@@ -1,0 +1,440 @@
+//! Incremental dependency analysis: reg-var/reg-reg maps, a streaming DDG,
+//! and per-access event emission.
+//!
+//! The streaming port of `autocheck_core::ddg::DdgAnalysis::run_with`. Two
+//! differences, both required by the online setting:
+//!
+//! * the batch analysis receives the final MLI set up front and filters the
+//!   event sequence to MLI bases; online, MLI membership is only known at
+//!   end-of-trace, so the builder emits an [`AccessEvent`] for **every**
+//!   resolved memory access and leaves the filtering to the engine's
+//!   finish step (per-base state is bounded by the program's variable
+//!   count, so this costs O(variables), not O(trace));
+//! * instead of accumulating an O(trace) `Vec<RwEvent>`, each record yields
+//!   at most one event which the caller folds immediately into
+//!   [`crate::stats::VarStatsBuilder`] — nothing is retained.
+//!
+//! The reg-var map semantics (on-the-fly SSA reload rebinding, the paper's
+//! "Mutable-register" resolution), the call-form handling (builtin calls as
+//! arithmetic, argument/parameter triplets, return-value linking), and the
+//! Table-I selective opcode set are identical to the batch implementation.
+
+use crate::prov::{relevant_opcode, resolve_alias as resolve};
+use crate::region::{Phase, StreamAnnot};
+use autocheck_trace::{record::opcodes, Name, Record};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// One read or write on a named memory location, as observed mid-stream.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AccessEvent {
+    /// Base address of the variable touched.
+    pub base: u64,
+    /// Address of the accessed element (== `base` for scalars).
+    pub elem: u64,
+    /// True for a write (store), false for a read (load).
+    pub is_write: bool,
+    /// Loop iteration (0-based) the access occurred in.
+    pub iter: u32,
+    /// Phase the access occurred in.
+    pub phase: Phase,
+}
+
+/// A node of the streaming DDG.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum GNode {
+    Var { name: Arc<str>, base: u64 },
+    Reg { name: Name },
+}
+
+/// The dependency graph grown online. Node and edge counts are bounded by
+/// the program's distinct names, not the trace length.
+#[derive(Default)]
+pub struct StreamGraph {
+    index: HashMap<GNode, usize>,
+    edges: HashSet<(usize, usize)>,
+}
+
+impl StreamGraph {
+    fn node(&mut self, kind: GNode) -> usize {
+        let next = self.index.len();
+        *self.index.entry(kind).or_insert(next)
+    }
+
+    fn var_node(&mut self, name: Arc<str>, base: u64) -> usize {
+        self.node(GNode::Var { name, base })
+    }
+
+    fn reg_node(&mut self, name: Name) -> usize {
+        self.node(GNode::Reg { name })
+    }
+
+    fn add_edge(&mut self, parent: usize, child: usize) {
+        if parent != child {
+            self.edges.insert((parent, child));
+        }
+    }
+
+    /// Number of nodes interned so far.
+    pub fn node_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Number of distinct dependency edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+/// Incremental dependency analyzer. Feed records (with annotations) in
+/// execution order; each call may emit one [`AccessEvent`].
+pub struct DdgBuilder {
+    selective: bool,
+    graph: StreamGraph,
+    reg_var: HashMap<Name, (Arc<str>, u64)>,
+    call_stack: Vec<Option<Name>>,
+}
+
+impl DdgBuilder {
+    /// A fresh builder. `selective` is the paper's §IV-B trace iteration
+    /// toggle (identical results either way; `true` skips irrelevant
+    /// opcodes).
+    pub fn new(selective: bool) -> DdgBuilder {
+        DdgBuilder {
+            selective,
+            graph: StreamGraph::default(),
+            reg_var: HashMap::new(),
+            call_stack: Vec::new(),
+        }
+    }
+
+    /// The graph grown so far.
+    pub fn graph(&self) -> &StreamGraph {
+        &self.graph
+    }
+
+    /// Advance over one record, emitting the access event (if any) for the
+    /// caller to fold into its per-variable statistics.
+    pub fn observe(&mut self, r: &Record, a: StreamAnnot) -> Option<AccessEvent> {
+        if self.selective && !relevant_opcode(r.opcode) {
+            return None;
+        }
+        match r.opcode {
+            opcodes::LOAD => {
+                let (Some(ptr), Some(res)) = (r.op1(), &r.result) else {
+                    return None;
+                };
+                let (name, base) = resolve(&self.reg_var, &ptr.name, ptr.value.as_ptr())?;
+                // On-the-fly reg-var update: SSA reloads rebind a shared
+                // temporary to the right variable at each use.
+                self.reg_var.insert(res.name.clone(), (name.clone(), base));
+                let vn = self.graph.var_node(name, base);
+                let rn = self.graph.reg_node(res.name.clone());
+                self.graph.add_edge(vn, rn);
+                event(a, base, ptr.value.as_ptr(), false)
+            }
+            opcodes::STORE => {
+                let (Some(val), Some(ptr)) = (r.op1(), r.op2()) else {
+                    return None;
+                };
+                let (name, base) = resolve(&self.reg_var, &ptr.name, ptr.value.as_ptr())?;
+                let dst = self.graph.var_node(name, base);
+                if val.is_reg && val.name != Name::None {
+                    let src = self.graph.reg_node(val.name.clone());
+                    self.graph.add_edge(src, dst);
+                }
+                event(a, base, ptr.value.as_ptr(), true)
+            }
+            opcodes::GETELEMENTPTR | opcodes::BITCAST => {
+                let (Some(basep), Some(res)) = (r.op1(), &r.result) else {
+                    return None;
+                };
+                if let Some((name, base)) =
+                    resolve(&self.reg_var, &basep.name, basep.value.as_ptr())
+                {
+                    self.reg_var.insert(res.name.clone(), (name.clone(), base));
+                    let vn = self.graph.var_node(name, base);
+                    let rn = self.graph.reg_node(res.name.clone());
+                    self.graph.add_edge(vn, rn);
+                }
+                None
+            }
+            opcodes::ALLOCA => {
+                // Locals are identified by their Alloca (Challenge 2).
+                if let Some(res) = &r.result {
+                    if let (Name::Sym(s), Some(addr)) = (&res.name, res.value.as_ptr()) {
+                        self.reg_var.insert(res.name.clone(), (s.clone(), addr));
+                    }
+                }
+                None
+            }
+            op if (8..=25).contains(&op)
+                || op == opcodes::ICMP
+                || op == opcodes::FCMP
+                || op == opcodes::ZEXT
+                || op == opcodes::SITOFP
+                || op == opcodes::FPTOSI =>
+            {
+                // reg-reg map: link inputs to the result.
+                let res = r.result.as_ref()?;
+                let rn = self.graph.reg_node(res.name.clone());
+                for operand in r.positional() {
+                    if operand.is_reg && operand.name != Name::None {
+                        let on = self.graph.reg_node(operand.name.clone());
+                        self.graph.add_edge(on, rn);
+                    }
+                }
+                None
+            }
+            opcodes::CALL => {
+                let params: Vec<_> = r.params().collect();
+                if params.is_empty() {
+                    // Form 1 (builtin): treat as arithmetic.
+                    if let Some(res) = &r.result {
+                        let rn = self.graph.reg_node(res.name.clone());
+                        for operand in r.positional().skip(1) {
+                            if operand.is_reg && operand.name != Name::None {
+                                let on = self.graph.reg_node(operand.name.clone());
+                                self.graph.add_edge(on, rn);
+                            }
+                        }
+                    }
+                } else {
+                    // Form 2: argument/parameter triplets.
+                    for (arg, param) in r.positional().skip(1).zip(params.iter()) {
+                        if let Some((name, base)) =
+                            resolve(&self.reg_var, &arg.name, arg.value.as_ptr())
+                        {
+                            self.reg_var
+                                .insert(param.name.clone(), (name.clone(), base));
+                            let vn = self.graph.var_node(name, base);
+                            let pn = self.graph.reg_node(param.name.clone());
+                            self.graph.add_edge(vn, pn);
+                        } else if arg.is_reg && arg.name != Name::None {
+                            let an = self.graph.reg_node(arg.name.clone());
+                            let pn = self.graph.reg_node(param.name.clone());
+                            self.graph.add_edge(an, pn);
+                        }
+                    }
+                    self.call_stack
+                        .push(r.result.as_ref().map(|res| res.name.clone()));
+                }
+                None
+            }
+            opcodes::RET => {
+                if let Some(pending) = self.call_stack.pop().flatten() {
+                    if let Some(op) = r.op1() {
+                        if op.is_reg && op.name != Name::None {
+                            let from = self.graph.reg_node(op.name.clone());
+                            let to = self.graph.reg_node(pending.clone());
+                            self.graph.add_edge(from, to);
+                            if let Some(v) = self.reg_var.get(&op.name).cloned() {
+                                self.reg_var.insert(pending, v);
+                            }
+                        }
+                    }
+                }
+                None
+            }
+            _ => None,
+        }
+    }
+}
+
+/// The batch `record_event` filter: only loop-phase accesses and after-loop
+/// reads matter to the heuristics.
+fn event(a: StreamAnnot, base: u64, elem: Option<u64>, is_write: bool) -> Option<AccessEvent> {
+    match (a.phase, is_write) {
+        (Phase::Inside, _) | (Phase::After, false) => {}
+        _ => return None,
+    }
+    Some(AccessEvent {
+        base,
+        elem: elem.unwrap_or(base),
+        is_write,
+        iter: a.iter,
+        phase: a.phase,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::RegionTracker;
+    use autocheck_trace::parse_str;
+
+    fn events_of(text: &str, selective: bool) -> (Vec<AccessEvent>, usize, usize) {
+        let recs = parse_str(text).unwrap();
+        let mut tracker = RegionTracker::new("main", 5, 7);
+        let mut ddg = DdgBuilder::new(selective);
+        let mut events = Vec::new();
+        for r in &recs {
+            let a = tracker.annotate(r);
+            if let Some(e) = ddg.observe(r, a) {
+                events.push(e);
+            }
+        }
+        (events, ddg.graph().node_count(), ddg.graph().edge_count())
+    }
+
+    /// sum += a[i] in the loop (the batch ddg test trace).
+    const SUM_ARRAY: &str = "\
+0,2,main,2:1,0,28,0,
+1,64,0,0,,
+2,64,0x7f0000000000,1,sum,
+0,2,main,2:1,0,29,1,
+1,64,0x7f0000000100,1,a,
+2,64,0,0,,
+r,64,0x7f0000000100,1,0,
+0,2,main,2:1,0,28,2,
+1,64,5,0,,
+2,64,0x7f0000000100,1,0,
+0,5,main,5:1,1,27,3,
+1,64,0x7f0000000000,1,sum,
+r,64,0,1,1,
+0,5,main,5:1,1,2,4,
+1,1,1,1,9,
+0,6,main,6:1,2,29,5,
+1,64,0x7f0000000100,1,a,
+2,64,0,0,,
+r,64,0x7f0000000100,1,2,
+0,6,main,6:1,2,27,6,
+1,64,0x7f0000000100,1,2,
+r,64,5,1,3,
+0,6,main,6:1,2,27,7,
+1,64,0x7f0000000000,1,sum,
+r,64,0,1,4,
+0,6,main,6:1,2,8,8,
+1,64,0,1,4,
+2,64,5,1,3,
+r,64,5,1,5,
+0,6,main,6:1,2,28,9,
+1,64,5,1,5,
+2,64,0x7f0000000000,1,sum,
+0,5,main,5:1,1,27,10,
+1,64,0x7f0000000000,1,sum,
+r,64,5,1,6,
+0,5,main,5:1,1,2,11,
+1,1,0,1,9,
+0,9,main,9:1,3,27,12,
+1,64,0x7f0000000000,1,sum,
+r,64,5,1,7,
+";
+
+    #[test]
+    fn loop_reads_writes_and_after_loop_read_are_emitted() {
+        let (events, _, _) = events_of(SUM_ARRAY, true);
+        let sum = 0x7f00_0000_0000u64;
+        assert!(events
+            .iter()
+            .any(|e| e.base == sum && e.is_write && e.phase == Phase::Inside));
+        assert!(events
+            .iter()
+            .any(|e| e.base == sum && !e.is_write && e.phase == Phase::After));
+        // Pre-loop stores must NOT surface (the batch record_event filter).
+        assert!(events.iter().all(|e| e.phase != Phase::Before));
+    }
+
+    #[test]
+    fn selective_and_exhaustive_agree() {
+        let (sel, sel_nodes, sel_edges) = events_of(SUM_ARRAY, true);
+        let (all, all_nodes, all_edges) = events_of(SUM_ARRAY, false);
+        assert_eq!(sel, all);
+        assert_eq!(sel_nodes, all_nodes);
+        assert_eq!(sel_edges, all_edges);
+    }
+
+    /// The paper's Mutable-register challenge: a temp reused as a pointer
+    /// for two different arrays must be rebound on the fly.
+    #[test]
+    fn mutable_register_rebinds_on_the_fly() {
+        let text = "\
+0,2,main,2:1,0,28,0,
+1,64,1,0,,
+2,64,0x7f0000000000,1,x,
+0,2,main,2:1,0,28,1,
+1,64,2,0,,
+2,64,0x7f0000000100,1,z,
+0,5,main,5:1,1,27,2,
+1,64,0x7f0000000000,1,x,
+r,64,1,1,9,
+0,5,main,5:1,1,2,3,
+1,1,1,1,9,
+0,6,main,6:1,2,29,4,
+1,64,0x7f0000000000,1,x,
+2,64,0,0,,
+r,64,0x7f0000000000,1,8,
+0,6,main,6:1,2,28,5,
+1,64,7,0,,
+2,64,0x7f0000000000,1,8,
+0,7,main,7:1,2,29,6,
+1,64,0x7f0000000100,1,z,
+2,64,0,0,,
+r,64,0x7f0000000100,1,8,
+0,7,main,7:1,2,28,7,
+1,64,9,0,,
+2,64,0x7f0000000100,1,8,
+0,5,main,5:1,1,27,8,
+1,64,0x7f0000000000,1,x,
+r,64,1,1,9,
+0,5,main,5:1,1,2,9,
+1,1,0,1,9,
+";
+        let (events, _, _) = events_of(text, true);
+        let writes = |base: u64| {
+            events
+                .iter()
+                .filter(|e| e.base == base && e.is_write)
+                .count()
+        };
+        assert_eq!(writes(0x7f00_0000_0000), 1, "one write on x");
+        assert_eq!(writes(0x7f00_0000_0100), 1, "one write on z");
+    }
+
+    /// Fig. 6(b)-style triplet: foo(p) writes through p which aliases a.
+    #[test]
+    fn call_triplets_attribute_callee_stores_to_caller_vars() {
+        let text = "\
+0,2,main,2:1,0,29,0,
+1,64,0x7f0000000100,1,a,
+2,64,0,0,,
+r,64,0x7f0000000100,1,0,
+0,2,main,2:1,0,28,1,
+1,64,1,0,,
+2,64,0x7f0000000100,1,0,
+0,5,main,5:1,1,27,2,
+1,64,0x7f0000000100,1,a,
+r,64,1,1,1,
+0,5,main,5:1,1,2,3,
+1,1,1,1,9,
+0,6,main,6:1,2,29,4,
+1,64,0x7f0000000100,1,a,
+2,64,0,0,,
+r,64,0x7f0000000100,1,2,
+0,6,main,6:1,2,49,5,
+1,64,0x400000,1,foo,
+2,64,0x7f0000000100,1,2,
+f,64,0x7f0000000100,1,p,
+0,1,foo,1:1,0,29,6,
+1,64,0x7f0000000100,1,p,
+2,64,0,0,,
+r,64,0x7f0000000100,1,0,
+0,1,foo,1:1,0,28,7,
+1,64,9,0,,
+2,64,0x7f0000000100,1,0,
+0,1,foo,1:1,0,1,8,
+0,5,main,5:1,1,27,9,
+1,64,0x7f0000000100,1,a,
+r,64,9,1,3,
+0,5,main,5:1,1,2,10,
+1,1,0,1,9,
+";
+        let (events, _, _) = events_of(text, true);
+        let writes: Vec<_> = events
+            .iter()
+            .filter(|e| e.base == 0x7f00_0000_0100 && e.is_write)
+            .collect();
+        assert_eq!(writes.len(), 1);
+        assert_eq!(writes[0].phase, Phase::Inside);
+    }
+}

@@ -1,0 +1,305 @@
+//! The online analysis engine: one record in, all state machines advance.
+//!
+//! [`Engine`] owns a [`RegionTracker`], an [`MliCollector`], a
+//! [`DdgBuilder`], and one [`VarStatsBuilder`] per observed variable base.
+//! Every [`push`](Engine::push) annotates the record, advances occurrence
+//! collection, advances dependency analysis, and folds the resulting access
+//! event (if any) into the owning variable's statistics — retiring
+//! per-iteration state at iteration boundaries.
+//!
+//! Memory never scales with the trace: the *live-record count* — the
+//! number of per-iteration window entries currently held across all
+//! variables — is observable via [`Engine::live_records`] /
+//! [`Engine::peak_live_records`] and can be hard-bounded with
+//! [`EngineConfig::max_live_records`], in which case `push` fails fast
+//! instead of growing past the bound.
+
+use crate::ddg::DdgBuilder;
+use crate::mli::{Collect, MliCollector, MliEntry};
+use crate::region::RegionTracker;
+use crate::stats::{VarStats, VarStatsBuilder};
+use autocheck_trace::Record;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Function containing the main computation loop.
+    pub function: String,
+    /// First source line of the loop statement.
+    pub start_line: u32,
+    /// Last source line of the loop body.
+    pub end_line: u32,
+    /// Occurrence-collection strictness.
+    pub collect: Collect,
+    /// Selective trace iteration (identical results; `true` skips
+    /// irrelevant opcodes).
+    pub selective: bool,
+    /// Hard bound on the live-record window; `None` = observe only.
+    pub max_live_records: Option<usize>,
+}
+
+impl EngineConfig {
+    /// Configuration for the given main-loop region with batch-default
+    /// analysis settings.
+    pub fn for_region(function: impl Into<String>, start_line: u32, end_line: u32) -> EngineConfig {
+        EngineConfig {
+            function: function.into(),
+            start_line,
+            end_line,
+            collect: Collect::AnyAccess,
+            selective: true,
+            max_live_records: None,
+        }
+    }
+}
+
+/// `push` exceeded [`EngineConfig::max_live_records`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LiveBoundExceeded {
+    /// Live window entries at the moment of failure.
+    pub live: usize,
+    /// The configured bound.
+    pub bound: usize,
+}
+
+impl fmt::Display for LiveBoundExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "streaming live-record bound exceeded: {} live records > bound {}",
+            self.live, self.bound
+        )
+    }
+}
+
+impl std::error::Error for LiveBoundExceeded {}
+
+/// Everything the engine knows at end-of-trace. `autocheck-core` turns
+/// this into a `Report` byte-identical to the batch pipeline's.
+#[derive(Clone, Debug)]
+pub struct EngineOutcome {
+    /// The MLI set, sorted like the batch `find_mli_vars`.
+    pub mli: Vec<MliEntry>,
+    /// Folded access statistics per variable base address (all observed
+    /// bases, not just MLI — the consumer filters).
+    pub stats: HashMap<u64, VarStats>,
+    /// Loop iterations observed.
+    pub iterations: u32,
+    /// Records consumed.
+    pub records: u64,
+    /// Peak live-record window across the run.
+    pub peak_live_records: usize,
+    /// Label of the loop header's basic block, if identified.
+    pub header_label: Option<Arc<str>>,
+    /// Streaming DDG size (bounded by the program, not the trace).
+    pub ddg_nodes: usize,
+    /// Streaming DDG edge count.
+    pub ddg_edges: usize,
+}
+
+/// The online analysis engine.
+pub struct Engine {
+    region: RegionTracker,
+    mli: MliCollector,
+    ddg: DdgBuilder,
+    stats: HashMap<u64, VarStatsBuilder>,
+    records: u64,
+    live: usize,
+    peak_live: usize,
+    max_live: Option<usize>,
+}
+
+impl Engine {
+    /// Build an engine for one analysis run.
+    pub fn new(cfg: EngineConfig) -> Engine {
+        Engine {
+            region: RegionTracker::new(cfg.function, cfg.start_line, cfg.end_line),
+            mli: MliCollector::new(cfg.collect),
+            ddg: DdgBuilder::new(cfg.selective),
+            stats: HashMap::new(),
+            records: 0,
+            live: 0,
+            peak_live: 0,
+            max_live: cfg.max_live_records,
+        }
+    }
+
+    /// Consume one trace record. Call in execution order.
+    pub fn push(&mut self, r: &Record) -> Result<(), LiveBoundExceeded> {
+        self.records += 1;
+        let a = self.region.annotate(r);
+        self.mli.observe(r, a);
+        if let Some(e) = self.ddg.observe(r, a) {
+            let builder = self.stats.entry(e.base).or_default();
+            if e.phase == crate::region::Phase::After {
+                // After-loop events are reads by construction.
+                builder.feed_after_read();
+            } else {
+                let before = builder.live();
+                builder.feed_inside(e.iter, e.elem, e.is_write);
+                // feed_inside may have retired a whole window and added one
+                // entry; apply the net change (live always includes this
+                // builder's `before` entries, so the subtraction is safe).
+                let after = builder.live();
+                self.live = self.live + after - before;
+            }
+            self.peak_live = self.peak_live.max(self.live);
+            if let Some(bound) = self.max_live {
+                if self.live > bound {
+                    return Err(LiveBoundExceeded {
+                        live: self.live,
+                        bound,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Live window entries currently held across all variables.
+    pub fn live_records(&self) -> usize {
+        self.live
+    }
+
+    /// Maximum of [`live_records`](Engine::live_records) over the run.
+    pub fn peak_live_records(&self) -> usize {
+        self.peak_live
+    }
+
+    /// Records consumed so far.
+    pub fn records_seen(&self) -> u64 {
+        self.records
+    }
+
+    /// Finalize: match the MLI set, retire all windows, and hand back the
+    /// folded statistics.
+    pub fn finish(self) -> EngineOutcome {
+        let mli = self.mli.finish();
+        let stats = self
+            .stats
+            .into_iter()
+            .map(|(base, b)| (base, b.finish()))
+            .collect();
+        EngineOutcome {
+            mli,
+            stats,
+            iterations: self.region.iterations(),
+            records: self.records,
+            peak_live_records: self.peak_live,
+            header_label: self.region.header_label().cloned(),
+            ddg_nodes: self.ddg.graph().node_count(),
+            ddg_edges: self.ddg.graph().edge_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autocheck_trace::parse_str;
+
+    /// Two-iteration accumulator loop (sum read+written per iteration).
+    const TWO_ITER: &str = "\
+0,2,main,2:1,0,28,0,
+1,64,0,0,,
+2,64,0x7f0000000000,1,sum,
+0,5,main,5:1,1,27,1,
+1,64,0x7f0000000000,1,sum,
+r,64,0,1,1,
+0,5,main,5:1,1,2,2,
+1,1,1,1,9,
+0,6,main,6:1,2,27,3,
+1,64,0x7f0000000000,1,sum,
+r,64,0,1,2,
+0,6,main,6:1,2,8,4,
+1,64,0,1,2,
+2,64,1,0,,
+r,64,1,1,3,
+0,6,main,6:1,2,28,5,
+1,64,1,1,3,
+2,64,0x7f0000000000,1,sum,
+0,5,main,5:1,1,27,6,
+1,64,0x7f0000000000,1,sum,
+r,64,1,1,4,
+0,5,main,5:1,1,2,7,
+1,1,1,1,9,
+0,6,main,6:1,2,27,8,
+1,64,1,1,5,
+2,64,2,0,,
+r,64,2,1,6,
+0,6,main,6:1,2,27,9,
+1,64,0x7f0000000000,1,sum,
+r,64,1,1,7,
+0,6,main,6:1,2,8,10,
+1,64,1,1,7,
+2,64,1,0,,
+r,64,2,1,8,
+0,6,main,6:1,2,28,11,
+1,64,2,1,8,
+2,64,0x7f0000000000,1,sum,
+0,5,main,5:1,1,27,12,
+1,64,0x7f0000000000,1,sum,
+r,64,2,1,9,
+0,5,main,5:1,1,2,13,
+1,1,0,1,9,
+0,9,main,9:1,3,27,14,
+1,64,0x7f0000000000,1,sum,
+r,64,2,1,10,
+";
+
+    fn run_engine(max_live: Option<usize>) -> Result<EngineOutcome, LiveBoundExceeded> {
+        let recs = parse_str(TWO_ITER).unwrap();
+        let mut cfg = EngineConfig::for_region("main", 5, 7);
+        cfg.max_live_records = max_live;
+        let mut engine = Engine::new(cfg);
+        for r in &recs {
+            engine.push(r)?;
+        }
+        Ok(engine.finish())
+    }
+
+    #[test]
+    fn mli_and_stats_come_out() {
+        let out = run_engine(None).unwrap();
+        assert_eq!(out.mli.len(), 1);
+        assert_eq!(&*out.mli[0].name, "sum");
+        let s = out.stats[&0x7f00_0000_0000];
+        assert!(s.carried, "sum is read before written each iteration");
+        assert!(s.written_in_loop);
+        assert!(s.read_after_loop);
+        assert_eq!(out.iterations, 2);
+        assert_eq!(out.records, 15);
+    }
+
+    #[test]
+    fn live_window_stays_below_trace_length() {
+        let out = run_engine(None).unwrap();
+        assert!(out.peak_live_records >= 1);
+        assert!(
+            (out.peak_live_records as u64) < out.records,
+            "peak live {} must undercut total {}",
+            out.peak_live_records,
+            out.records
+        );
+    }
+
+    #[test]
+    fn generous_bound_passes_tight_bound_fails() {
+        assert!(run_engine(Some(64)).is_ok());
+        let err = run_engine(Some(0)).unwrap_err();
+        assert_eq!(err.bound, 0);
+        assert!(err.live > 0);
+        assert!(err.to_string().contains("bound 0"));
+    }
+
+    #[test]
+    fn ddg_counts_are_bounded_and_present() {
+        let out = run_engine(None).unwrap();
+        assert!(out.ddg_nodes > 0);
+        assert!(out.ddg_edges > 0);
+        assert_eq!(out.header_label.as_deref(), Some("1"));
+    }
+}

@@ -1,0 +1,56 @@
+//! Online AutoCheck analysis — the streaming counterpart of the batch
+//! pipeline in `autocheck-core`.
+//!
+//! The batch pipeline materializes the entire dynamic trace (as a file,
+//! then as a `Vec<Record>`), walks it three times (region partitioning, MLI
+//! identification, dependency analysis), and only then classifies. Dynamic
+//! traces grow to GBs, so that design's peak memory is O(trace). This crate
+//! inverts the control flow: records are consumed **one at a time**, all
+//! analysis state machines advance **in a single pass**, and per-iteration
+//! classification state is **retired at iteration boundaries** — peak
+//! memory is O(live window): the distinct variables/registers of the
+//! program plus the elements touched by the current loop iteration, never
+//! the trace length.
+//!
+//! The crate sits *below* `autocheck-core` in the dependency graph (it
+//! depends only on `autocheck-trace`), so `autocheck-core` can offer a
+//! `StreamAnalyzer` front door that assembles these state machines into a
+//! drop-in replacement for its batch `Analyzer`. The pieces:
+//!
+//! * [`region::RegionTracker`] — incremental trace partitioning: phase
+//!   (before/inside/after the main loop), iteration number, and
+//!   region-level discrimination per record, with the one-record call
+//!   lookahead of the batch implementation replaced by a deferred
+//!   stack operation;
+//! * [`mli::MliCollector`] — incremental Main-Loop-Input identification
+//!   (collect part-A and part-B occurrences as they fly past, match at
+//!   finish);
+//! * [`ddg::DdgBuilder`] — incremental reg-var/reg-reg maps and dependency
+//!   graph, emitting one read/write [`ddg::AccessEvent`] per memory access
+//!   instead of accumulating an O(trace) event vector;
+//! * [`stats::VarStatsBuilder`] — folds a variable's access events into the
+//!   bounded [`stats::VarStats`] summary the classification heuristics
+//!   need, retiring the per-iteration element window at each iteration
+//!   boundary;
+//! * [`engine::Engine`] — glues the four together, tracks the live-record
+//!   window (observable, and optionally bounded by
+//!   [`engine::EngineConfig::max_live_records`]).
+//!
+//! Classification *decisions* (WAR / RAPO / Outcome / Index and the skip
+//! reasons) deliberately do **not** live here: `autocheck-core` makes them
+//! from [`stats::VarStats`] through one shared function, so the batch and
+//! streaming paths cannot drift apart.
+
+pub mod ddg;
+pub mod engine;
+pub mod mli;
+pub mod prov;
+pub mod region;
+pub mod stats;
+
+pub use ddg::{AccessEvent, DdgBuilder, StreamGraph};
+pub use engine::{Engine, EngineConfig, EngineOutcome, LiveBoundExceeded};
+pub use mli::{Collect, MliCollector, MliEntry};
+pub use prov::{relevant_opcode, resolve_alias, Provenance};
+pub use region::{Phase, RegionTracker, StreamAnnot};
+pub use stats::{VarStats, VarStatsBuilder};

@@ -1,0 +1,144 @@
+//! Pointer provenance and opcode relevance — the record-level rules shared
+//! verbatim by the batch and streaming pipelines.
+//!
+//! Both pipelines resolve pointer operands to `(variable, base address)`
+//! with the same two rules (the paper's "POINTER ASSIGNMENT" tracking and
+//! the address-consistency Challenge-2 discrimination) and filter records
+//! by the same Table-I opcode set. Keeping the single copy here — the crate
+//! both pipelines depend on — means a future fix to either rule cannot
+//! desynchronize batch and streaming results.
+
+use autocheck_trace::{record::opcodes, Name, Record};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Resolves pointer operands to `(variable, base address)` by tracking
+/// GEP/BitCast provenance on the fly (the paper's "POINTER ASSIGNMENT"
+/// rule).
+#[derive(Clone, Debug, Default)]
+pub struct Provenance {
+    map: HashMap<Name, (Arc<str>, u64)>,
+}
+
+impl Provenance {
+    /// Update provenance from one record; call in execution order.
+    pub fn observe(&mut self, r: &Record) {
+        match r.opcode {
+            opcodes::GETELEMENTPTR | opcodes::BITCAST => {
+                let (Some(base), Some(res)) = (r.op1(), r.result.as_ref()) else {
+                    return;
+                };
+                let resolved = self.resolve(&base.name, base.value.as_ptr());
+                if let Some((name, addr)) = resolved {
+                    self.map.insert(res.name.clone(), (name, addr));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Resolve a pointer-operand name to its base variable.
+    pub fn resolve(&self, name: &Name, value: Option<u64>) -> Option<(Arc<str>, u64)> {
+        match name {
+            Name::Sym(s) => {
+                if let Some(hit) = self.map.get(name) {
+                    // An alias registered by an earlier GEP/BitCast.
+                    Some(hit.clone())
+                } else {
+                    // A named variable is its own base.
+                    value.map(|v| (s.clone(), v))
+                }
+            }
+            Name::Temp(_) => self.map.get(name).cloned(),
+            Name::None => None,
+        }
+    }
+}
+
+/// Resolve a name against a dependency-analysis register/variable map,
+/// trusting a registered alias (parameter triplet or alloca) only when it
+/// is consistent with the observed address, so stale aliases from returned
+/// frames never misattribute (the paper's address-based Challenge-2
+/// discrimination).
+pub fn resolve_alias(
+    reg_var: &HashMap<Name, (Arc<str>, u64)>,
+    name: &Name,
+    value: Option<u64>,
+) -> Option<(Arc<str>, u64)> {
+    match name {
+        Name::Sym(s) => {
+            if let Some((n, b)) = reg_var.get(name) {
+                if value.is_none() || value == Some(*b) {
+                    return Some((n.clone(), *b));
+                }
+            }
+            value.map(|v| (s.clone(), v))
+        }
+        Name::Temp(_) => reg_var.get(name).cloned(),
+        Name::None => None,
+    }
+}
+
+/// The paper's Table-I opcode set (plus `Ret`, needed to track call exits).
+pub fn relevant_opcode(op: u16) -> bool {
+    (8..=25).contains(&op)
+        || matches!(
+            op,
+            opcodes::ALLOCA
+                | opcodes::LOAD
+                | opcodes::STORE
+                | opcodes::GETELEMENTPTR
+                | opcodes::BITCAST
+                | opcodes::ICMP
+                | opcodes::FCMP
+                | opcodes::ZEXT
+                | opcodes::SITOFP
+                | opcodes::FPTOSI
+                | opcodes::CALL
+                | opcodes::RET
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_variable_is_its_own_base() {
+        let p = Provenance::default();
+        let got = p.resolve(&Name::sym("a"), Some(0x1000));
+        assert_eq!(got, Some((Arc::from("a"), 0x1000)));
+    }
+
+    #[test]
+    fn unregistered_temp_does_not_resolve() {
+        let p = Provenance::default();
+        assert_eq!(p.resolve(&Name::Temp(3), Some(0x1000)), None);
+        assert_eq!(p.resolve(&Name::None, Some(0x1000)), None);
+    }
+
+    #[test]
+    fn alias_with_stale_address_falls_back_to_value() {
+        let mut reg_var = HashMap::new();
+        reg_var.insert(Name::sym("p"), (Arc::from("a"), 0x1000u64));
+        // Consistent address: trust the alias.
+        assert_eq!(
+            resolve_alias(&reg_var, &Name::sym("p"), Some(0x1000)),
+            Some((Arc::from("a"), 0x1000))
+        );
+        // Inconsistent address (stale frame): fall back to the observation.
+        assert_eq!(
+            resolve_alias(&reg_var, &Name::sym("p"), Some(0x2000)),
+            Some((Arc::from("p"), 0x2000))
+        );
+    }
+
+    #[test]
+    fn table_one_opcode_set() {
+        assert!(relevant_opcode(opcodes::LOAD));
+        assert!(relevant_opcode(opcodes::STORE));
+        assert!(relevant_opcode(opcodes::RET));
+        assert!(relevant_opcode(8) && relevant_opcode(25), "arithmetic band");
+        assert!(!relevant_opcode(0));
+    }
+}

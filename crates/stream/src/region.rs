@@ -1,0 +1,282 @@
+//! Incremental trace partitioning around the main computation loop.
+//!
+//! The streaming port of `autocheck_core::region::Phases::compute`: instead
+//! of a whole-trace pass producing a `Vec<Annot>`, [`RegionTracker`]
+//! annotates each record as it arrives. The batch implementation needs one
+//! record of lookahead (a `Call` record pushes a call frame only if the
+//! *next* record enters the callee); the tracker reproduces that exactly by
+//! deferring the stack operation of each record until the next record shows
+//! up — no buffering, identical annotations.
+
+use autocheck_trace::{record::opcodes, Name, Record};
+use std::sync::Arc;
+
+/// Which part of the execution a record belongs to (the paper's Part A /
+/// Part B / Part C). Mirrors `autocheck_core::Phase`; redeclared here so
+/// this crate stays below `autocheck-core` in the dependency graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Before the main computation loop.
+    Before,
+    /// Inside the main computation loop.
+    Inside,
+    /// After the main computation loop.
+    After,
+}
+
+/// Per-record annotation, identical in content to the batch `Annot`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StreamAnnot {
+    /// Phase of this record.
+    pub phase: Phase,
+    /// Iteration index (0-based) when `phase == Inside`.
+    pub iter: u32,
+    /// True when the record executes directly in the region function.
+    pub region_level: bool,
+}
+
+/// Call-stack maintenance deferred from the previous record (the batch
+/// code's `records.get(i + 1)` lookahead, inverted).
+enum Pending {
+    None,
+    /// The previous record was a form-2 `Call` of this callee: push a frame
+    /// if the next record enters it.
+    Call(Arc<str>),
+    /// The previous record was a `Ret`: pop (guarded against the root).
+    Ret,
+}
+
+/// Incremental region partitioner.
+pub struct RegionTracker {
+    function: String,
+    start_line: u32,
+    end_line: u32,
+    stack: Vec<Arc<str>>,
+    phase: Phase,
+    iter: u32,
+    started: bool,
+    header_label: Option<Arc<str>>,
+    cond_evals: u32,
+    pending: Pending,
+}
+
+impl RegionTracker {
+    /// Track the region `function`:`start_line`..=`end_line` (the paper's
+    /// MCLR input).
+    pub fn new(function: impl Into<String>, start_line: u32, end_line: u32) -> RegionTracker {
+        RegionTracker {
+            function: function.into(),
+            start_line,
+            end_line,
+            stack: Vec::new(),
+            phase: Phase::Before,
+            iter: 0,
+            started: false,
+            header_label: None,
+            cond_evals: 0,
+            pending: Pending::None,
+        }
+    }
+
+    /// Annotate the next record of the trace. Call in execution order.
+    pub fn annotate(&mut self, r: &Record) -> StreamAnnot {
+        // Apply the stack operation deferred from the previous record, now
+        // that this record supplies the lookahead the batch code reads from
+        // `records[i + 1]`.
+        match std::mem::replace(&mut self.pending, Pending::None) {
+            Pending::Call(callee) => {
+                if *r.func == *callee {
+                    self.stack.push(r.func.clone());
+                }
+            }
+            Pending::Ret => {
+                if self.stack.len() > 1 {
+                    self.stack.pop();
+                }
+            }
+            Pending::None => {}
+        }
+        if self.stack.is_empty() {
+            self.stack.push(r.func.clone());
+        }
+        let region_level =
+            self.stack.len() == self.region_frame_depth() && *r.func == self.function;
+
+        if region_level {
+            // Phase transitions are driven by region-function lines.
+            if r.src_line >= 0 {
+                let line = r.src_line as u32;
+                if line < self.start_line {
+                    if !self.started {
+                        self.phase = Phase::Before;
+                    }
+                } else if line > self.end_line {
+                    if self.started {
+                        self.phase = Phase::After;
+                    }
+                } else if self.phase != Phase::After {
+                    self.phase = Phase::Inside;
+                    self.started = true;
+                }
+            }
+            // Header detection: the conditional branch at the start line
+            // (one positional operand: the i1 condition).
+            if self.phase == Phase::Inside
+                && r.opcode == opcodes::BR
+                && r.src_line == self.start_line as i32
+                && r.positional().count() == 1
+            {
+                match &self.header_label {
+                    None => {
+                        self.header_label = Some(r.bb_label.clone());
+                        self.cond_evals = 1;
+                    }
+                    Some(l) if Arc::ptr_eq(l, &r.bb_label) || **l == *r.bb_label => {
+                        self.cond_evals += 1;
+                        self.iter = self.cond_evals - 1;
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+
+        // Defer this record's own stack maintenance until the next record.
+        match r.opcode {
+            opcodes::CALL => {
+                if let Some(Name::Sym(callee)) = r.op1().map(|o| &o.name) {
+                    self.pending = Pending::Call(callee.clone());
+                }
+            }
+            opcodes::RET => self.pending = Pending::Ret,
+            _ => {}
+        }
+
+        StreamAnnot {
+            phase: self.phase,
+            iter: self.iter,
+            region_level,
+        }
+    }
+
+    /// Loop iterations observed so far (condition evaluations minus the
+    /// final failing one — call after the trace ends for the batch-equal
+    /// count).
+    pub fn iterations(&self) -> u32 {
+        self.cond_evals.saturating_sub(1)
+    }
+
+    /// Label of the loop header's basic block, if identified.
+    pub fn header_label(&self) -> Option<&Arc<str>> {
+        self.header_label.as_ref()
+    }
+
+    fn region_frame_depth(&self) -> usize {
+        self.stack
+            .iter()
+            .position(|f| **f == *self.function)
+            .map(|p| p + 1)
+            .unwrap_or(usize::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autocheck_trace::parse_str;
+
+    /// The same miniature trace the batch region tests use: main runs a
+    /// 2-iteration loop at lines 5..=7 calling foo inside, then prints.
+    fn mini_trace() -> Vec<Record> {
+        let text = "\
+0,3,main,3:1,0,28,0,
+0,5,main,5:1,1,27,1,
+0,5,main,5:1,1,2,2,
+1,1,1,1,5,
+0,6,main,6:1,2,49,3,
+1,64,0x400010,1,foo,
+0,2,foo,2:1,0,28,4,
+0,2,foo,2:1,0,1,5,
+0,7,main,6:1,2,28,6,
+0,5,main,5:1,1,27,7,
+0,5,main,5:1,1,2,8,
+1,1,1,1,5,
+0,6,main,6:1,2,49,9,
+1,64,0x400010,1,foo,
+0,2,foo,2:1,0,28,10,
+0,2,foo,2:1,0,1,11,
+0,7,main,6:1,2,28,12,
+0,5,main,5:1,1,27,13,
+0,5,main,5:1,1,2,14,
+1,1,0,1,5,
+0,9,main,9:1,3,28,15,
+";
+        parse_str(text).unwrap()
+    }
+
+    fn annotate_all(recs: &[Record]) -> (Vec<StreamAnnot>, RegionTracker) {
+        let mut t = RegionTracker::new("main", 5, 7);
+        let annots = recs.iter().map(|r| t.annotate(r)).collect();
+        (annots, t)
+    }
+
+    #[test]
+    fn phases_split_before_inside_after() {
+        let recs = mini_trace();
+        let (annots, _) = annotate_all(&recs);
+        assert_eq!(annots[0].phase, Phase::Before);
+        assert_eq!(annots[1].phase, Phase::Inside);
+        assert_eq!(annots[14].phase, Phase::Inside);
+        assert_eq!(annots[recs.len() - 1].phase, Phase::After);
+    }
+
+    #[test]
+    fn iteration_numbers_and_count() {
+        let recs = mini_trace();
+        let (annots, t) = annotate_all(&recs);
+        assert_eq!(t.iterations(), 2);
+        let second_iter_store = recs.iter().position(|r| r.dyn_id == 12).unwrap();
+        assert_eq!(annots[second_iter_store].iter, 1);
+        let first_body = recs.iter().position(|r| r.dyn_id == 6).unwrap();
+        assert_eq!(annots[first_body].iter, 0);
+    }
+
+    #[test]
+    fn callee_records_are_not_region_level_but_keep_phase() {
+        let recs = mini_trace();
+        let (annots, _) = annotate_all(&recs);
+        let foo_store = recs.iter().position(|r| r.dyn_id == 4).unwrap();
+        assert_eq!(annots[foo_store].phase, Phase::Inside);
+        assert!(!annots[foo_store].region_level);
+        let main_store = recs.iter().position(|r| r.dyn_id == 6).unwrap();
+        assert!(annots[main_store].region_level);
+    }
+
+    #[test]
+    fn header_label_is_identified() {
+        let recs = mini_trace();
+        let (_, t) = annotate_all(&recs);
+        assert_eq!(t.header_label().map(|l| &**l), Some("1"));
+    }
+
+    #[test]
+    fn empty_stream_is_fine() {
+        let t = RegionTracker::new("main", 5, 7);
+        assert_eq!(t.iterations(), 0);
+        assert!(t.header_label().is_none());
+    }
+
+    #[test]
+    fn loop_that_never_runs_keeps_everything_outside() {
+        let text = "\
+0,3,main,3:1,0,28,0,
+0,5,main,5:1,1,27,1,
+0,5,main,5:1,1,2,2,
+1,1,0,1,5,
+0,9,main,9:1,3,28,3,
+";
+        let recs = parse_str(text).unwrap();
+        let (annots, t) = annotate_all(&recs);
+        assert_eq!(t.iterations(), 0);
+        assert_eq!(annots[3].phase, Phase::After);
+    }
+}

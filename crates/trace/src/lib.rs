@@ -37,14 +37,16 @@ pub mod chunk;
 pub mod name;
 pub mod parallel;
 pub mod parser;
+pub mod reader;
 pub mod record;
 pub mod stats;
 pub mod writer;
 
 pub use chunk::{chunk_boundaries, split_blocks};
 pub use name::Name;
-pub use parallel::{parse_parallel, ParallelConfig};
+pub use parallel::{parse_parallel, parse_parallel_read, ParallelConfig};
 pub use parser::{parse_str, ParseError, TraceParser};
+pub use reader::{parse_read, RecordReader, TraceReadError};
 pub use record::{OpTag, Operand, Record, TraceValue};
 pub use stats::TraceStats;
 pub use writer::TraceWriter;

@@ -13,7 +13,12 @@
 
 use crate::chunk::chunk_boundaries;
 use crate::parser::{parse_str, ParseError};
+use crate::reader::TraceReadError;
 use crate::record::Record;
+use std::io::Read;
+
+/// Default bounded-lookahead window for [`parse_parallel_read`] (bytes).
+pub const DEFAULT_WINDOW_BYTES: usize = 8 * 1024 * 1024;
 
 /// Configuration for the parallel reader.
 #[derive(Clone, Copy, Debug)]
@@ -33,11 +38,115 @@ impl Default for ParallelConfig {
     }
 }
 
-/// Parse a whole trace with `cfg.threads` workers.
+/// Parse a whole trace held in memory with `cfg.threads` workers — a thin
+/// wrapper over the same block-aligned chunk machinery
+/// [`parse_parallel_read`] applies to each lookahead window.
 ///
 /// Record order in the result equals serial parse order.
 pub fn parse_parallel(input: &str, cfg: ParallelConfig) -> Result<Vec<Record>, ParseError> {
-    let threads = cfg.threads.max(1);
+    parse_chunks(input, cfg.threads)
+}
+
+/// Parse a trace from any [`Read`] with `cfg.threads` workers and the
+/// default bounded lookahead ([`DEFAULT_WINDOW_BYTES`]).
+///
+/// Unlike [`parse_parallel`], the full trace never has to fit in memory as
+/// text: bytes are pulled into a window, the window is cut at the last
+/// block-header boundary, and the complete-block prefix is parsed in
+/// parallel while the partial tail carries into the next window.
+pub fn parse_parallel_read<R: Read>(
+    reader: R,
+    cfg: ParallelConfig,
+) -> Result<Vec<Record>, TraceReadError> {
+    parse_parallel_read_with_window(reader, cfg, DEFAULT_WINDOW_BYTES)
+}
+
+/// [`parse_parallel_read`] with an explicit lookahead window size. The
+/// window grows past `window_bytes` only when a single trace block is
+/// larger than the window (blocks are a handful of lines, so in practice
+/// the bound holds).
+pub fn parse_parallel_read_with_window<R: Read>(
+    mut reader: R,
+    cfg: ParallelConfig,
+    window_bytes: usize,
+) -> Result<Vec<Record>, TraceReadError> {
+    let window_bytes = window_bytes.max(64);
+    let mut out = Vec::new();
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = vec![0u8; window_bytes.clamp(4096, 1 << 20)];
+    let mut target = window_bytes;
+    // `buf[..scanned]` is known to contain no block-header split, so each
+    // header search only covers newly read bytes (minus the 2-byte pattern
+    // overlap). Without this, a block larger than the window would rescan
+    // the whole buffer on every refill — quadratic in the block size.
+    let mut scanned = 0usize;
+    // Lines already parsed out of earlier windows, so in-window parse-error
+    // line numbers can be reported as absolute positions in the stream —
+    // matching what the serial `RecordReader` reports for the same trace.
+    let mut lines_done = 0u64;
+    let mut eof = false;
+    loop {
+        while buf.len() < target && !eof {
+            let n = reader.read(&mut chunk)?;
+            if n == 0 {
+                eof = true;
+            } else {
+                buf.extend_from_slice(&chunk[..n]);
+            }
+        }
+        if eof {
+            if !buf.is_empty() {
+                let text = window_text(&buf).map_err(|e| offset_lines(e, lines_done))?;
+                let recs =
+                    parse_chunks(text, cfg.threads).map_err(|e| offset_lines(e, lines_done))?;
+                out.extend(recs);
+            }
+            return Ok(out);
+        }
+        // Cut at the start of the last block header: everything before it
+        // is complete blocks; the tail may continue beyond the window.
+        let from = scanned.saturating_sub(2);
+        match last_block_header(&buf[from..]).map(|cut| cut + from) {
+            Some(cut) if cut > 0 => {
+                let text = window_text(&buf[..cut]).map_err(|e| offset_lines(e, lines_done))?;
+                let recs =
+                    parse_chunks(text, cfg.threads).map_err(|e| offset_lines(e, lines_done))?;
+                out.extend(recs);
+                lines_done += buf[..cut].iter().filter(|&&b| b == b'\n').count() as u64;
+                buf.drain(..cut);
+                scanned = 0;
+                target = window_bytes;
+            }
+            _ => {
+                // No interior split point yet — keep reading until the next
+                // block header shows up.
+                scanned = buf.len();
+                target = buf.len() + window_bytes;
+            }
+        }
+    }
+}
+
+/// Offset just past the last `\n` that is followed by a block header.
+fn last_block_header(buf: &[u8]) -> Option<usize> {
+    buf.windows(3).rposition(|w| w == b"\n0,").map(|i| i + 1)
+}
+
+/// Validate one window's bytes; the error line is window-relative (the
+/// caller rebases it with [`offset_lines`]).
+fn window_text(buf: &[u8]) -> Result<&str, ParseError> {
+    crate::reader::utf8_text(buf)
+}
+
+/// Rebase a window-relative parse error onto the whole stream.
+fn offset_lines(mut e: ParseError, lines_before: u64) -> TraceReadError {
+    e.line += lines_before;
+    TraceReadError::Parse(e)
+}
+
+/// The shared block-aligned parallel parse over in-memory text.
+fn parse_chunks(input: &str, threads: usize) -> Result<Vec<Record>, ParseError> {
+    let threads = threads.max(1);
     if threads == 1 {
         return parse_str(input);
     }
@@ -80,8 +189,21 @@ pub fn parse_parallel(input: &str, cfg: ParallelConfig) -> Result<Vec<Record>, P
     });
 
     let mut out = Vec::new();
-    for slot in slots {
-        out.extend(slot?);
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Ok(recs) => out.extend(recs),
+            Err(mut e) => {
+                // Workers parse their chunk with a fresh parser, so the
+                // error line is chunk-relative; rebase it onto the input
+                // (error path only — the scan is never paid on success).
+                let before = input.as_bytes()[..ranges[i].start]
+                    .iter()
+                    .filter(|&&b| b == b'\n')
+                    .count() as u64;
+                e.line += before;
+                return Err(e);
+            }
+        }
     }
     Ok(out)
 }
@@ -164,5 +286,79 @@ mod tests {
         for (i, r) in par.iter().enumerate() {
             assert_eq!(r.dyn_id, i as u64);
         }
+    }
+
+    #[test]
+    fn reader_entry_point_equals_serial_at_every_window() {
+        let text = synth_trace(400);
+        let serial = parse_str(&text).unwrap();
+        for window in [64, 100, 1000, 1 << 22] {
+            for threads in [1, 4] {
+                let par = parse_parallel_read_with_window(
+                    text.as_bytes(),
+                    ParallelConfig { threads },
+                    window,
+                )
+                .unwrap();
+                assert_eq!(serial, par, "window = {window}, threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn reader_entry_point_defaults_work() {
+        let text = synth_trace(50);
+        let par = parse_parallel_read(text.as_bytes(), ParallelConfig { threads: 3 }).unwrap();
+        assert_eq!(par, parse_str(&text).unwrap());
+    }
+
+    #[test]
+    fn reader_entry_point_propagates_parse_errors() {
+        let mut text = synth_trace(100);
+        text.push_str("0,zz,broken,1:1,0,27,9,\n");
+        let err =
+            parse_parallel_read_with_window(text.as_bytes(), ParallelConfig { threads: 4 }, 128)
+                .unwrap_err();
+        assert!(err.to_string().contains("src line"));
+    }
+
+    #[test]
+    fn parse_error_lines_are_absolute_in_every_entry_point() {
+        // The broken line lands well past the first window/chunk, so a
+        // window- or chunk-relative count would report a much smaller
+        // number than the serial parser does.
+        let mut text = synth_trace(100);
+        let bad_line = text.lines().count() as u64 + 1;
+        text.push_str("0,zz,broken,1:1,0,27,9,\n");
+
+        let serial = parse_str(&text).unwrap_err();
+        assert_eq!(serial.line, bad_line);
+
+        let parallel = parse_parallel(&text, ParallelConfig { threads: 4 }).unwrap_err();
+        assert_eq!(parallel.line, bad_line);
+
+        let windowed =
+            parse_parallel_read_with_window(text.as_bytes(), ParallelConfig { threads: 4 }, 256)
+                .unwrap_err();
+        let TraceReadError::Parse(windowed) = windowed else {
+            panic!("expected a parse error");
+        };
+        assert_eq!(windowed.line, bad_line);
+    }
+
+    #[test]
+    fn window_grows_when_one_block_exceeds_it() {
+        // A single block with many operand lines, far larger than the
+        // 64-byte minimum window: the reader must keep growing its
+        // lookahead instead of mis-splitting the block.
+        let mut text = String::from("0,3,foo,6:1,11,49,0,\n");
+        for i in 0..64 {
+            text.push_str(&format!("{},64,{},0,,\n", i + 1, i));
+        }
+        let recs =
+            parse_parallel_read_with_window(text.as_bytes(), ParallelConfig { threads: 2 }, 64)
+                .unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].positional().count(), 64);
     }
 }

@@ -7,8 +7,12 @@
 //! * [`ir`] — the IR itself plus CFG/dominator/loop analyses;
 //! * [`interp`] — execute modules, emit LLVM-Tracer-style dynamic traces,
 //!   hook iterations, inject failures;
-//! * [`trace`] — the trace format: writer, parser, parallel reader;
-//! * [`core`] — AutoCheck: identify the variables to checkpoint;
+//! * [`trace`] — the trace format: writer, parser, parallel reader,
+//!   bounded streaming reader;
+//! * [`stream`] — the online analysis engine: incremental state machines
+//!   with O(live window) memory;
+//! * [`core`] — AutoCheck: identify the variables to checkpoint, through
+//!   the batch `Analyzer` or the streaming `StreamAnalyzer`;
 //! * [`checkpoint`] — FTI-style C/R, BLCR-style images, restart validation;
 //! * [`apps`] — the paper's 14 evaluation benchmarks.
 //!
@@ -32,4 +36,5 @@ pub use autocheck_core as core;
 pub use autocheck_interp as interp;
 pub use autocheck_ir as ir;
 pub use autocheck_minilang as minilang;
+pub use autocheck_stream as stream;
 pub use autocheck_trace as trace;
