@@ -97,6 +97,6 @@ mod tests {
         // through the adi call chain; the Challenge-2 address matching must
         // still recognize it.
         let run = crate::analyze_app(&spec());
-        assert!(run.report.mli.iter().any(|m| &*m.name == "u"));
+        assert!(run.report.mli.iter().any(|m| m.name == "u"));
     }
 }

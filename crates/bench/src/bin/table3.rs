@@ -4,21 +4,38 @@
 //! so the analysis-time story covers all three modes (serial batch,
 //! parallel batch, online streaming).
 //!
-//! Run with: `cargo run --release -p autocheck-bench --bin table3 [scale] [threads]`
+//! Run with: `cargo run --release -p autocheck-bench --bin table3 [scale] [threads] [--json]`
+//!
+//! With `--json`, the same timings are also written to `BENCH_table3.json`
+//! as machine-readable records — the repo's perf trajectory file, so "did
+//! this PR make Table III faster?" is a diff, not archaeology.
 
 use autocheck_apps::{all_apps_scaled, Scale};
 use autocheck_bench::{secs, Table};
-use autocheck_core::{index_variables_of, Analyzer, PipelineConfig, StreamAnalyzer};
+use autocheck_core::{index_variables_of, Analyzer, PipelineConfig, Report, StreamAnalyzer};
 use autocheck_interp::{ExecOptions, Machine, NoHook, WriterSink};
+use std::fmt::Write as _;
+
+/// One benchmark's measurements, in seconds.
+struct AppRow {
+    name: String,
+    serial: Report,
+    parallel: Report,
+    streaming_total: std::time::Duration,
+    peak_live: usize,
+}
 
 fn main() {
-    let scale = match std::env::args().nth(1).as_deref() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let scale = match positional.first().map(|s| s.as_str()) {
         Some("small") => Scale::Small,
         Some("large") => Scale::Large,
         _ => Scale::Medium,
     };
-    let threads: usize = std::env::args()
-        .nth(2)
+    let threads: usize = positional
+        .get(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or_else(|| {
             // Over-subscribe relative to the core count: on throttled/shared
@@ -42,6 +59,7 @@ fn main() {
         "Streaming (s)",
         "Peak live",
     ]);
+    let mut rows: Vec<AppRow> = Vec::new();
     for spec in all_apps_scaled(scale) {
         let module = autocheck_minilang::compile(&spec.source).expect("compiles");
         let mut sink = WriterSink::new(Vec::new());
@@ -88,10 +106,62 @@ fn main() {
             secs(streaming.report.timings.total()),
             streaming.stats.peak_live_records.to_string(),
         ]);
+        rows.push(AppRow {
+            name: spec.name.to_string(),
+            serial,
+            parallel,
+            streaming_total: streaming.report.timings.total(),
+            peak_live: streaming.stats.peak_live_records,
+        });
     }
     println!("{}", table.render());
     println!("shape check vs the paper: pre-processing (trace reading) dominates; the");
     println!("parallel reader cuts it; identification is the cheapest stage. The");
     println!("streaming column is one fused online pass whose peak live-record window");
     println!("(rightmost column) stays orders of magnitude below the trace length.");
+
+    if json {
+        let path = "BENCH_table3.json";
+        std::fs::write(path, render_json(scale, threads, &rows)).expect("write BENCH_table3.json");
+        println!("\nwrote machine-readable timings to {path}");
+    }
+}
+
+/// Hand-rolled JSON (no serde in the offline vendor set). Field names are
+/// the contract consumed by trend tooling; keep them stable.
+fn render_json(scale: Scale, threads: usize, rows: &[AppRow]) -> String {
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"table3\",");
+    let _ = writeln!(out, "  \"scale\": \"{scale:?}\",");
+    let _ = writeln!(out, "  \"parse_threads\": {threads},");
+    let _ = writeln!(out, "  \"unix_time\": {unix_time},");
+    out.push_str("  \"apps\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let t = row.serial.timings;
+        let p = row.parallel.timings;
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"preprocess_s\": {:.6}, \"preprocess_parallel_s\": {:.6}, \
+             \"dependency_s\": {:.6}, \"identify_s\": {:.6}, \"total_s\": {:.6}, \
+             \"total_parallel_s\": {:.6}, \"streaming_total_s\": {:.6}, \
+             \"peak_live_records\": {}, \"records\": {}}}",
+            row.name,
+            t.preprocess.as_secs_f64(),
+            p.preprocess.as_secs_f64(),
+            t.dependency.as_secs_f64(),
+            t.identify.as_secs_f64(),
+            t.total().as_secs_f64(),
+            p.total().as_secs_f64(),
+            row.streaming_total.as_secs_f64(),
+            row.peak_live,
+            row.serial.records,
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
 }

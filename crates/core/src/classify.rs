@@ -26,7 +26,8 @@ use crate::preprocess::MliVar;
 use crate::region::Phase;
 use crate::report::{CriticalVariable, DepType, SkipReason};
 use autocheck_stream::{VarStats, VarStatsBuilder};
-use std::collections::{HashMap, HashSet};
+use autocheck_trace::SymId;
+use fxhash::{FxHashMap, FxHashSet};
 use std::sync::Arc;
 
 /// Classification inputs beyond the event stream.
@@ -44,7 +45,7 @@ pub fn classify(
     events: &[RwEvent],
     cfg: &ClassifyConfig,
 ) -> (Vec<CriticalVariable>, Vec<(Arc<str>, SkipReason)>) {
-    let mut by_base: HashMap<u64, Vec<&RwEvent>> = HashMap::new();
+    let mut by_base: FxHashMap<u64, Vec<&RwEvent>> = FxHashMap::default();
     for e in events {
         by_base.entry(e.base).or_default().push(e);
     }
@@ -69,33 +70,37 @@ pub(crate) fn select(
     region_start: u32,
     mut decide_var: impl FnMut(&MliVar) -> Result<DepType, SkipReason>,
 ) -> (Vec<CriticalVariable>, Vec<(Arc<str>, SkipReason)>) {
-    let index_set: HashSet<&str> = index_vars.iter().map(|s| s.as_str()).collect();
-    let mut critical = Vec::new();
-    let mut skipped = Vec::new();
+    // The comparison set is interned: per-variable membership is an
+    // integer probe, and names cross back to strings only at the report
+    // boundary below.
+    let index_set: FxHashSet<SymId> = index_vars.iter().map(|s| SymId::intern(s)).collect();
+    let mut critical: Vec<CriticalVariable> = Vec::new();
+    let mut skipped: Vec<(Arc<str>, SkipReason)> = Vec::new();
 
     for var in mli {
-        if index_set.contains(&*var.name) {
+        if index_set.contains(&var.name) {
             // Handled below: Index takes precedence.
             continue;
         }
         match decide_var(var) {
             Ok(dep) => critical.push(CriticalVariable {
-                name: var.name.clone(),
+                name: Arc::from(var.name.as_str()),
                 dep,
                 first_line: var.first_line,
                 base_addr: var.base_addr,
                 size: var.size,
             }),
-            Err(reason) => skipped.push((var.name.clone(), reason)),
+            Err(reason) => skipped.push((Arc::from(var.name.as_str()), reason)),
         }
     }
 
     // Index variables: always checkpointed (paper: "we also do checkpoint
     // to the induction variables of the main computation loop").
     for name in index_vars {
+        let id = SymId::intern(name);
         let (base, size, line) = mli
             .iter()
-            .find(|m| &*m.name == name)
+            .find(|m| m.name == id)
             .map(|m| (m.base_addr, m.size, m.first_line))
             .unwrap_or((0, 8, region_start));
         critical.push(CriticalVariable {
@@ -170,7 +175,7 @@ mod tests {
 
     fn var(name: &str, base: u64, size: u64) -> MliVar {
         MliVar {
-            name: Arc::from(name),
+            name: SymId::intern(name),
             base_addr: base,
             size,
             first_line: 2,

@@ -74,7 +74,7 @@ pub fn contract_ddg(graph: &DepGraph, is_mli: impl Fn(&NodeKind) -> bool) -> Con
             return i;
         }
         let i = out.nodes.len();
-        out.nodes.push(graph.nodes[n].clone());
+        out.nodes.push(graph.nodes[n]);
         out_index[n] = Some(i);
         i
     };
@@ -117,16 +117,16 @@ pub fn contract_ddg(graph: &DepGraph, is_mli: impl Fn(&NodeKind) -> bool) -> Con
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
+    use autocheck_trace::SymId;
 
     /// Build the paper's Fig. 5(c) complete DDG for `sum`:
     /// a → 10 → 12 → m → 13 → sum, b → 11 → 12.
     fn fig5c() -> DepGraph {
         let mut g = DepGraph::default();
-        let a = g.var_node(Arc::from("a"), 0x100);
-        let b = g.var_node(Arc::from("b"), 0x200);
-        let sum = g.var_node(Arc::from("sum"), 0x300);
-        let m = g.var_node(Arc::from("m"), 0x400); // local variable
+        let a = g.var_node(SymId::intern("a"), 0x100);
+        let b = g.var_node(SymId::intern("b"), 0x200);
+        let sum = g.var_node(SymId::intern("sum"), 0x300);
+        let m = g.var_node(SymId::intern("m"), 0x400); // local variable
         let t10 = g.reg_node(autocheck_trace::Name::Temp(10));
         let t11 = g.reg_node(autocheck_trace::Name::Temp(11));
         let t12 = g.reg_node(autocheck_trace::Name::Temp(12));
@@ -142,7 +142,7 @@ mod tests {
     }
 
     fn mli_names<'a>(names: &'a [&'a str]) -> impl Fn(&NodeKind) -> bool + 'a {
-        move |n| matches!(n, NodeKind::Var { name, .. } if names.contains(&&**name))
+        move |n| matches!(n, NodeKind::Var { name, .. } if names.contains(&name.as_str()))
     }
 
     #[test]
@@ -167,9 +167,9 @@ mod tests {
         // it → 1 → s  with s MLI: `it` has no parents, so it is kept —
         // matching Fig. 5(d), where `it` still points at `s`.
         let mut g = DepGraph::default();
-        let it = g.var_node(Arc::from("it"), 0x10);
+        let it = g.var_node(SymId::intern("it"), 0x10);
         let t1 = g.reg_node(autocheck_trace::Name::Temp(1));
-        let s = g.var_node(Arc::from("s"), 0x20);
+        let s = g.var_node(SymId::intern("s"), 0x20);
         g.add_edge(it, t1);
         g.add_edge(t1, s);
         let c = contract_ddg(&g, mli_names(&["s"]));
@@ -182,7 +182,7 @@ mod tests {
     fn cycles_terminate() {
         // r → 3 → 4 → r (self-feedback through temps, as in r = r + 1).
         let mut g = DepGraph::default();
-        let r = g.var_node(Arc::from("r"), 0x10);
+        let r = g.var_node(SymId::intern("r"), 0x10);
         let t3 = g.reg_node(autocheck_trace::Name::Temp(3));
         let t4 = g.reg_node(autocheck_trace::Name::Temp(4));
         g.add_edge(r, t3);
@@ -199,7 +199,7 @@ mod tests {
     #[test]
     fn isolated_mli_variables_survive() {
         let mut g = DepGraph::default();
-        g.var_node(Arc::from("x"), 0x10);
+        g.var_node(SymId::intern("x"), 0x10);
         let c = contract_ddg(&g, mli_names(&["x"]));
         assert_eq!(c.nodes.len(), 1);
         assert!(c.edges.is_empty());
@@ -217,9 +217,9 @@ mod tests {
     fn diamond_through_shared_register() {
         // x → t → y and x → t → z with y,z MLI: both get parent x.
         let mut g = DepGraph::default();
-        let x = g.var_node(Arc::from("x"), 0x1);
-        let y = g.var_node(Arc::from("y"), 0x2);
-        let z = g.var_node(Arc::from("z"), 0x3);
+        let x = g.var_node(SymId::intern("x"), 0x1);
+        let y = g.var_node(SymId::intern("y"), 0x2);
+        let z = g.var_node(SymId::intern("z"), 0x3);
         let t = g.reg_node(autocheck_trace::Name::Temp(7));
         g.add_edge(x, t);
         g.add_edge(t, y);

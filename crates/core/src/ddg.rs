@@ -25,19 +25,19 @@
 
 use crate::preprocess::MliVar;
 use crate::region::{Phase, Phases};
-use autocheck_stream::{relevant_opcode, resolve_alias as resolve};
-use autocheck_trace::{record::opcodes, Name, Record};
-use std::collections::{BTreeSet, HashMap};
+use autocheck_stream::{relevant_opcode, resolve_alias as resolve, NodeIndex};
+use autocheck_trace::{record::opcodes, Name, NameMap, Record, SymId};
+use fxhash::FxHashMap;
+use std::collections::BTreeSet;
 use std::fmt::Write as _;
-use std::sync::Arc;
 
-/// A node of the complete DDG.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+/// A node of the complete DDG. `Copy` — both kinds are interned integers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum NodeKind {
     /// A named memory location (identified by base address).
     Var {
-        /// Display name.
-        name: Arc<str>,
+        /// Display name (interned).
+        name: SymId,
         /// Base address (identity).
         base: u64,
     },
@@ -65,11 +65,16 @@ impl NodeKind {
 
 /// Dependency graph; edges run from *source* (parent) to *dependent*
 /// (child), matching the paper's parent terminology in Algorithm 1.
+///
+/// Node lookup goes through the dense per-kind [`NodeIndex`] (vectors
+/// indexed by interned ids) instead of a `HashMap<NodeKind, usize>`; node
+/// ids are still assigned in first-intern order, so DOT output and node
+/// numbering are unchanged.
 #[derive(Clone, Debug, Default)]
 pub struct DepGraph {
     /// Node payloads.
     pub nodes: Vec<NodeKind>,
-    index: HashMap<NodeKind, usize>,
+    index: NodeIndex,
     parents: Vec<BTreeSet<usize>>,
     children: Vec<BTreeSet<usize>>,
 }
@@ -77,19 +82,20 @@ pub struct DepGraph {
 impl DepGraph {
     /// Intern a node.
     pub fn node(&mut self, kind: NodeKind) -> usize {
-        if let Some(&i) = self.index.get(&kind) {
-            return i;
+        let (id, fresh) = match kind {
+            NodeKind::Var { name, base } => self.index.var_node(name, base),
+            NodeKind::Reg { name } => self.index.reg_node(name),
+        };
+        if fresh {
+            self.nodes.push(kind);
+            self.parents.push(BTreeSet::new());
+            self.children.push(BTreeSet::new());
         }
-        let i = self.nodes.len();
-        self.index.insert(kind.clone(), i);
-        self.nodes.push(kind);
-        self.parents.push(BTreeSet::new());
-        self.children.push(BTreeSet::new());
-        i
+        id as usize
     }
 
     /// Intern a variable node.
-    pub fn var_node(&mut self, name: Arc<str>, base: u64) -> usize {
+    pub fn var_node(&mut self, name: SymId, base: u64) -> usize {
         self.node(NodeKind::Var { name, base })
     }
 
@@ -134,7 +140,11 @@ impl DepGraph {
 
     /// Look a node up without interning.
     pub fn find(&self, kind: &NodeKind) -> Option<usize> {
-        self.index.get(kind).copied()
+        match *kind {
+            NodeKind::Var { name, base } => self.index.find_var(name, base),
+            NodeKind::Reg { name } => self.index.find_reg(name),
+        }
+        .map(|i| i as usize)
     }
 
     /// Render as Graphviz DOT; `is_mli` marks MLI variable nodes.
@@ -251,12 +261,14 @@ impl DdgAnalysis {
         mli: &[MliVar],
         opts: DdgOptions,
     ) -> DdgAnalysis {
-        let mli_bases: HashMap<u64, &MliVar> = mli.iter().map(|m| (m.base_addr, m)).collect();
+        let mli_bases: FxHashMap<u64, &MliVar> = mli.iter().map(|m| (m.base_addr, m)).collect();
         let mut graph = DepGraph::default();
         let mut events = Vec::new();
 
         // reg-var map: register name → (variable display name, base addr).
-        let mut reg_var: HashMap<Name, (Arc<str>, u64)> = HashMap::new();
+        // Dense, integer-keyed: the per-record updates of §IV-B are vector
+        // indexing, not string hashing.
+        let mut reg_var: NameMap<(SymId, u64)> = NameMap::new();
         // reg-reg map: register name → input register/var node ids.
         // (Realized directly as graph edges; kept implicit.)
         // Call stack for form-2 calls: pending result register of each call.
@@ -264,7 +276,7 @@ impl DdgAnalysis {
 
         // Pre-intern MLI variable nodes so the graph always shows them.
         for m in mli {
-            graph.var_node(m.name.clone(), m.base_addr);
+            graph.var_node(m.name, m.base_addr);
         }
 
         for (i, r) in records.iter().enumerate() {
@@ -277,8 +289,7 @@ impl DdgAnalysis {
                     let (Some(ptr), Some(res)) = (r.op1(), &r.result) else {
                         continue;
                     };
-                    let Some((name, base)) = resolve(&reg_var, &ptr.name, ptr.value.as_ptr())
-                    else {
+                    let Some((name, base)) = resolve(&reg_var, ptr.name, ptr.value.as_ptr()) else {
                         continue;
                     };
                     // reg-var map update (SSA reload keeps this fresh — the
@@ -286,14 +297,12 @@ impl DdgAnalysis {
                     // variant keeps the first binding, misattributing later
                     // uses of a reused register.
                     if opts.on_the_fly_reg_var {
-                        reg_var.insert(res.name.clone(), (name.clone(), base));
+                        reg_var.insert(res.name, (name, base));
                     } else {
-                        reg_var
-                            .entry(res.name.clone())
-                            .or_insert((name.clone(), base));
+                        reg_var.insert_if_absent(res.name, (name, base));
                     }
                     let vn = graph.var_node(name, base);
-                    let rn = graph.reg_node(res.name.clone());
+                    let rn = graph.reg_node(res.name);
                     graph.add_edge(vn, rn);
                     if mli_bases.contains_key(&base) {
                         record_event(&mut events, r, a, base, ptr.value.as_ptr(), RwKind::Read);
@@ -303,13 +312,12 @@ impl DdgAnalysis {
                     let (Some(val), Some(ptr)) = (r.op1(), r.op2()) else {
                         continue;
                     };
-                    let Some((name, base)) = resolve(&reg_var, &ptr.name, ptr.value.as_ptr())
-                    else {
+                    let Some((name, base)) = resolve(&reg_var, ptr.name, ptr.value.as_ptr()) else {
                         continue;
                     };
                     let dst = graph.var_node(name, base);
                     if val.is_reg && val.name != Name::None {
-                        let src = graph.reg_node(val.name.clone());
+                        let src = graph.reg_node(val.name);
                         graph.add_edge(src, dst);
                     }
                     if mli_bases.contains_key(&base) {
@@ -320,17 +328,15 @@ impl DdgAnalysis {
                     let (Some(basep), Some(res)) = (r.op1(), &r.result) else {
                         continue;
                     };
-                    if let Some((name, base)) = resolve(&reg_var, &basep.name, basep.value.as_ptr())
+                    if let Some((name, base)) = resolve(&reg_var, basep.name, basep.value.as_ptr())
                     {
                         if opts.on_the_fly_reg_var {
-                            reg_var.insert(res.name.clone(), (name.clone(), base));
+                            reg_var.insert(res.name, (name, base));
                         } else {
-                            reg_var
-                                .entry(res.name.clone())
-                                .or_insert((name.clone(), base));
+                            reg_var.insert_if_absent(res.name, (name, base));
                         }
                         let vn = graph.var_node(name, base);
-                        let rn = graph.reg_node(res.name.clone());
+                        let rn = graph.reg_node(res.name);
                         graph.add_edge(vn, rn);
                     }
                 }
@@ -340,8 +346,8 @@ impl DdgAnalysis {
                     // fresh address keeps the reg-var resolution exact when
                     // names collide across frames.
                     if let Some(res) = &r.result {
-                        if let (Name::Sym(s), Some(addr)) = (&res.name, res.value.as_ptr()) {
-                            reg_var.insert(res.name.clone(), (s.clone(), addr));
+                        if let (Name::Sym(s), Some(addr)) = (res.name, res.value.as_ptr()) {
+                            reg_var.insert(res.name, (s, addr));
                         }
                     }
                 }
@@ -354,10 +360,10 @@ impl DdgAnalysis {
                 {
                     // reg-reg map: link inputs to the result.
                     let Some(res) = &r.result else { continue };
-                    let rn = graph.reg_node(res.name.clone());
+                    let rn = graph.reg_node(res.name);
                     for operand in r.positional() {
                         if operand.is_reg && operand.name != Name::None {
-                            let on = graph.reg_node(operand.name.clone());
+                            let on = graph.reg_node(operand.name);
                             graph.add_edge(on, rn);
                         }
                     }
@@ -367,10 +373,10 @@ impl DdgAnalysis {
                     if params.is_empty() {
                         // Form 1 (builtin): treat as arithmetic.
                         if let Some(res) = &r.result {
-                            let rn = graph.reg_node(res.name.clone());
+                            let rn = graph.reg_node(res.name);
                             for operand in r.positional().skip(1) {
                                 if operand.is_reg && operand.name != Name::None {
-                                    let on = graph.reg_node(operand.name.clone());
+                                    let on = graph.reg_node(operand.name);
                                     graph.add_edge(on, rn);
                                 }
                             }
@@ -383,36 +389,36 @@ impl DdgAnalysis {
                             // The triplet: param name → whatever the
                             // argument register resolves to.
                             if let Some((name, base)) =
-                                resolve(&reg_var, &arg.name, arg.value.as_ptr())
+                                resolve(&reg_var, arg.name, arg.value.as_ptr())
                             {
-                                reg_var.insert(param.name.clone(), (name.clone(), base));
+                                reg_var.insert(param.name, (name, base));
                                 let vn = graph.var_node(name, base);
-                                let pn = graph.reg_node(param.name.clone());
+                                let pn = graph.reg_node(param.name);
                                 graph.add_edge(vn, pn);
                             } else if arg.is_reg && arg.name != Name::None {
                                 // Scalar argument from a register: alias the
                                 // parameter to the same register chain.
-                                let an = graph.reg_node(arg.name.clone());
-                                let pn = graph.reg_node(param.name.clone());
+                                let an = graph.reg_node(arg.name);
+                                let pn = graph.reg_node(param.name);
                                 graph.add_edge(an, pn);
                                 // Parameter reads resolve through reg-var if
                                 // the argument did.
                             }
                         }
-                        call_stack.push(r.result.as_ref().map(|res| res.name.clone()));
+                        call_stack.push(r.result.as_ref().map(|res| res.name));
                     }
                 }
                 opcodes::RET => {
                     if let Some(pending) = call_stack.pop().flatten() {
                         if let Some(op) = r.op1() {
                             if op.is_reg && op.name != Name::None {
-                                let from = graph.reg_node(op.name.clone());
-                                let to = graph.reg_node(pending.clone());
+                                let from = graph.reg_node(op.name);
+                                let to = graph.reg_node(pending);
                                 graph.add_edge(from, to);
                                 // Value flow: the caller's result register
                                 // now carries whatever the returned register
                                 // resolved to.
-                                if let Some(v) = reg_var.get(&op.name).cloned() {
+                                if let Some(&v) = reg_var.get(op.name) {
                                     reg_var.insert(pending, v);
                                 }
                             }
@@ -540,13 +546,13 @@ r,64,5,1,7,
         // a → (gep temp 2) → (load temp 3) → (add temp 5) → sum
         let a = g
             .find(&NodeKind::Var {
-                name: Arc::from("a"),
+                name: SymId::intern("a"),
                 base: 0x7f00_0000_0100,
             })
             .expect("node a");
         let sum = g
             .find(&NodeKind::Var {
-                name: Arc::from("sum"),
+                name: SymId::intern("sum"),
                 base: 0x7f00_0000_0000,
             })
             .expect("node sum");
@@ -611,7 +617,7 @@ r,64,1,1,9,
         let mli: Vec<MliVar> = [("x", 0x7f0000000000u64), ("z", 0x7f0000000100)]
             .iter()
             .map(|(n, b)| MliVar {
-                name: Arc::from(*n),
+                name: SymId::intern(n),
                 base_addr: *b,
                 size: 8,
                 first_line: 2,
@@ -672,7 +678,7 @@ r,64,1,1,9,
         let ana = DdgAnalysis::run(&recs, &phases, &mli, true);
         let dot = ana
             .graph
-            .to_dot(|n| matches!(n, NodeKind::Var { name, .. } if &**name == "sum"));
+            .to_dot(|n| matches!(n, NodeKind::Var { name, .. } if *name == "sum"));
         assert!(dot.starts_with("digraph"));
         assert!(dot.contains("doublecircle"));
         assert!(dot.contains("->"));
@@ -720,7 +726,7 @@ r,64,9,1,3,
         let region = Region::new("main", 5, 7);
         let phases = Phases::compute(&recs, &region);
         let mli = vec![MliVar {
-            name: Arc::from("a"),
+            name: SymId::intern("a"),
             base_addr: 0x7f00_0000_0100,
             size: 8,
             first_line: 2,

@@ -64,7 +64,7 @@ pub use classify::{classify, decide, ClassifyConfig};
 pub use contract::contract_ddg;
 pub use ddg::{DdgAnalysis, DdgOptions, DepGraph, NodeKind, RwEvent, RwKind};
 pub use pipeline::{index_variables_of, Analyzer, PipelineConfig};
-pub use preprocess::{CollectMode, MliVar};
+pub use preprocess::{find_mli_vars, CollectMode, MliVar};
 pub use region::{Phase, Phases, Region};
 pub use report::{CriticalVariable, DepType, Report, SkipReason, Timings};
 pub use stream::{

@@ -9,21 +9,19 @@
 //!
 //! Collection resolves every `Load`/`Store` to the *named base variable* it
 //! touches, chasing pointer provenance through `GetElementPtr`/`BitCast`
-//! temporaries (the paper's "POINTER ASSIGNMENT" rule: recursively search
-//! for the source variable and replace the assigned object).
+//! temporaries (the paper's "POINTER ASSIGNMENT" rule), bypasses
+//! function-call intervals (Challenge 1) except for address matches against
+//! part-A variables (Challenge 2), and supports two occurrence-strictness
+//! modes — see the shared [`MliCollector`] for the rule-by-rule
+//! documentation.
 //!
-//! Implementation notes that mirror the paper's §V-B:
-//!
-//! * **Challenge 1** (local variables of functions called both before and
-//!   inside the loop would match spuriously): collection *bypasses function
-//!   call intervals* — only records executing directly in the region
-//!   function are considered. Like the paper, this means globals touched
-//!   only inside callees are missed; the benchmarks touch their globals at
-//!   region level before the loop (the paper's FT workaround).
-//! * **Challenge 2** (callee locals sharing an MLI variable's name):
-//!   matching is by *(name, base address)*, with addresses taken from the
-//!   operands — the same information the paper extracts from `Alloca` /
-//!   `Load` / `Store` records.
+//! The collection state machine itself lives in `autocheck-stream`'s
+//! [`MliCollector`] — **one copy for both pipelines**. This module is the
+//! batch adapter: [`find_mli_vars`] folds the pre-annotated record slice
+//! through the collector, the same way [`mod@crate::classify`] folds events
+//! through the shared `VarStatsBuilder`. [`MliVar`] *is* the collector's
+//! entry type (an alias), so the batch and streaming MLI sets are the same
+//! values of the same type, not merely field-compatible copies.
 //!
 //! On what counts as a collected occurrence: the paper calls these
 //! "arithmetic variables", but its own worked example collects `a`, `b`,
@@ -33,217 +31,43 @@
 //! the stricter reading (loads must feed an arithmetic instruction, stores
 //! must store an arithmetic result) and exists for the ablation study.
 
-use crate::region::{Phase, Phases, Region};
-use autocheck_stream::Provenance;
-use autocheck_trace::{record::opcodes, Name, Record};
-use std::collections::{HashMap, HashSet};
-use std::sync::Arc;
+use crate::region::{Phases, Region};
+use autocheck_stream::MliCollector;
+use autocheck_trace::Record;
 
-/// Occurrence-counting strictness (see module docs).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
-pub enum CollectMode {
-    /// Count every resolved load/store (matches the paper's worked example).
-    #[default]
-    AnyAccess,
-    /// Count only arithmetic participation (the paper's literal wording);
-    /// kept for the ablation bench.
-    Arithmetic,
-}
+/// Occurrence-counting strictness (see module docs) — the shared
+/// collector's mode type.
+pub use autocheck_stream::Collect as CollectMode;
 
-/// One main-loop-input variable.
-#[derive(Clone, Debug, PartialEq)]
-pub struct MliVar {
-    /// Source-level name.
-    pub name: Arc<str>,
-    /// Base address of its storage.
-    pub base_addr: u64,
-    /// Observed storage footprint in bytes (exact for alloca'd variables,
-    /// max-extent for globals).
-    pub size: u64,
-    /// First source line where the variable was seen used.
-    pub first_line: u32,
-}
+/// One main-loop-input variable — the shared collector's entry type.
+/// Fields: interned `name`, `base_addr`, observed `size` in bytes,
+/// `first_line` of the pre-loop use.
+pub use autocheck_stream::MliEntry as MliVar;
 
-/// A variable occurrence found during collection.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
-struct VarKey {
-    name: Arc<str>,
-    base: u64,
-}
-
-/// Collect MLI variables.
+/// Collect MLI variables by folding the annotated trace through the shared
+/// streaming [`MliCollector`].
+///
+/// # Panics
+///
+/// Panics when `phases` was not computed over exactly `records` (annotation
+/// count mismatch) — the same contract the previous indexing implementation
+/// enforced, made explicit instead of silently truncating.
 pub fn find_mli_vars(
     records: &[Record],
     phases: &Phases,
     _region: &Region,
     mode: CollectMode,
 ) -> Vec<MliVar> {
-    let mut prov = Provenance::default();
-    // Registers holding results of arithmetic instructions (Arithmetic mode).
-    let mut arith_regs: HashSet<Name> = HashSet::new();
-    // Registers holding loaded values, mapped to the loaded variable.
-    let mut loaded_from: HashMap<Name, VarKey> = HashMap::new();
-
-    let mut before: HashMap<VarKey, u32> = HashMap::new();
-    let mut inside: HashMap<VarKey, u32> = HashMap::new();
-    // Footprints: maximum extent of element accesses per variable.
-    let mut extent: HashMap<VarKey, u64> = HashMap::new();
-    // Exact sizes learned from Alloca records.
-    let mut alloca_size: HashMap<VarKey, u64> = HashMap::new();
-
-    // Part-A variables indexed by base address, for recognizing them inside
-    // bypassed call intervals (the paper's Challenge-2 address matching: "if
-    // we can find a match between the variable's memory address and any MLI
-    // variable's memory address, the variable is a MLI variable").
-    let mut before_by_base: HashMap<u64, VarKey> = HashMap::new();
-
-    for (i, r) in records.iter().enumerate() {
-        let a = phases.annots[i];
-        prov.observe(r);
-        if !a.region_level {
-            // Challenge 1: bypass function-call intervals — no *new*
-            // candidates are collected here. But usage of an already
-            // A-collected variable (recognized by its address) still counts
-            // as an in-loop use; this is how globals and arrays touched only
-            // through callees (BT's `u` across its nested solvers) match.
-            if a.phase == Phase::Inside && matches!(r.opcode, opcodes::LOAD | opcodes::STORE) {
-                let ptr = if r.opcode == opcodes::LOAD {
-                    r.op1()
-                } else {
-                    r.op2()
-                };
-                if let Some(ptr) = ptr {
-                    if let Some((_, base)) = prov.resolve(&ptr.name, ptr.value.as_ptr()) {
-                        if let Some(key) = before_by_base.get(&base) {
-                            let line = if r.src_line > 0 { r.src_line as u32 } else { 0 };
-                            inside.entry(key.clone()).or_insert(line);
-                        }
-                    }
-                }
-            }
-            continue;
-        }
-        let is_before = match a.phase {
-            Phase::Before => true,
-            Phase::Inside => false,
-            Phase::After => continue,
-        };
-        let line = if r.src_line > 0 { r.src_line as u32 } else { 0 };
-        macro_rules! collect {
-            ($key:expr, $line:expr) => {{
-                let key: VarKey = $key;
-                if is_before {
-                    before_by_base
-                        .entry(key.base)
-                        .or_insert_with(|| key.clone());
-                    before.entry(key).or_insert($line);
-                } else {
-                    inside.entry(key).or_insert($line);
-                }
-            }};
-        }
-        match r.opcode {
-            opcodes::ALLOCA => {
-                if let (Some(size), Some(res)) =
-                    (r.op1().and_then(|o| o.value.as_int()), r.result.as_ref())
-                {
-                    if let (Name::Sym(name), Some(addr)) = (&res.name, res.value.as_ptr()) {
-                        alloca_size.insert(
-                            VarKey {
-                                name: name.clone(),
-                                base: addr,
-                            },
-                            size as u64,
-                        );
-                    }
-                }
-            }
-            opcodes::LOAD => {
-                let Some(ptr) = r.op1() else { continue };
-                let Some((name, base)) = prov.resolve(&ptr.name, ptr.value.as_ptr()) else {
-                    continue;
-                };
-                let key = VarKey { name, base };
-                if let Some(elem) = ptr.value.as_ptr() {
-                    let e = extent.entry(key.clone()).or_insert(8);
-                    *e = (*e).max(elem.saturating_sub(base) + 8);
-                }
-                match mode {
-                    CollectMode::AnyAccess => {
-                        collect!(key.clone(), line);
-                    }
-                    CollectMode::Arithmetic => {
-                        // Defer: only collected when the loaded temp feeds
-                        // an arithmetic instruction (tracked below).
-                        if let Some(res) = &r.result {
-                            loaded_from.insert(res.name.clone(), key.clone());
-                        }
-                        continue;
-                    }
-                }
-                if let Some(res) = &r.result {
-                    loaded_from.insert(res.name.clone(), key);
-                }
-            }
-            opcodes::STORE => {
-                let Some(ptr) = r.op2() else { continue };
-                let Some((name, base)) = prov.resolve(&ptr.name, ptr.value.as_ptr()) else {
-                    continue;
-                };
-                let key = VarKey { name, base };
-                if let Some(elem) = ptr.value.as_ptr() {
-                    let e = extent.entry(key.clone()).or_insert(8);
-                    *e = (*e).max(elem.saturating_sub(base) + 8);
-                }
-                let collect = match mode {
-                    CollectMode::AnyAccess => true,
-                    CollectMode::Arithmetic => r
-                        .op1()
-                        .map(|v| arith_regs.contains(&v.name))
-                        .unwrap_or(false),
-                };
-                if collect {
-                    collect!(key, line);
-                }
-            }
-            op if (8..=25).contains(&op) || op == opcodes::ICMP || op == opcodes::FCMP => {
-                if mode == CollectMode::Arithmetic {
-                    // Loads feeding arithmetic are collected now.
-                    let hits: Vec<VarKey> = r
-                        .positional()
-                        .filter_map(|operand| loaded_from.get(&operand.name).cloned())
-                        .collect();
-                    for key in hits {
-                        collect!(key, line);
-                    }
-                }
-                if let Some(res) = &r.result {
-                    arith_regs.insert(res.name.clone());
-                }
-            }
-            _ => {}
-        }
+    assert_eq!(
+        records.len(),
+        phases.annots.len(),
+        "phases must be computed over the same record slice"
+    );
+    let mut collector = MliCollector::new(mode);
+    for (r, &a) in records.iter().zip(&phases.annots) {
+        collector.observe(r, a);
     }
-
-    // Match A against B by (name, base address).
-    let mut out: Vec<MliVar> = Vec::new();
-    for (key, first_line_before) in &before {
-        if inside.contains_key(key) {
-            let size = alloca_size
-                .get(key)
-                .copied()
-                .or_else(|| extent.get(key).copied())
-                .unwrap_or(8);
-            out.push(MliVar {
-                name: key.name.clone(),
-                base_addr: key.base,
-                size,
-                first_line: *first_line_before,
-            });
-        }
-    }
-    out.sort_by(|a, b| a.name.cmp(&b.name).then(a.base_addr.cmp(&b.base_addr)));
-    out
+    collector.finish()
 }
 
 #[cfg(test)]
@@ -308,7 +132,7 @@ r,64,1,1,4,
     fn matches_variables_defined_before_and_used_inside() {
         let (recs, phases, region) = toy();
         let mli = find_mli_vars(&recs, &phases, &region, CollectMode::AnyAccess);
-        let names: Vec<&str> = mli.iter().map(|m| &*m.name).collect();
+        let names: Vec<&str> = mli.iter().map(|m| m.name.as_str()).collect();
         assert_eq!(names, vec!["sum"]);
         assert_eq!(mli[0].base_addr, 0x7f00_0000_0000);
         assert_eq!(mli[0].size, 8);
@@ -318,8 +142,8 @@ r,64,1,1,4,
     fn loop_local_is_not_mli() {
         let (recs, phases, region) = toy();
         let mli = find_mli_vars(&recs, &phases, &region, CollectMode::AnyAccess);
-        assert!(mli.iter().all(|m| &*m.name != "tmp"));
-        assert!(mli.iter().all(|m| &*m.name != "x"));
+        assert!(mli.iter().all(|m| m.name != "tmp"));
+        assert!(mli.iter().all(|m| m.name != "x"));
     }
 
     #[test]
@@ -371,7 +195,7 @@ r,64,0,1,3,
         let phases = Phases::compute(&recs, &region);
         let mli = find_mli_vars(&recs, &phases, &region, CollectMode::AnyAccess);
         assert_eq!(mli.len(), 1);
-        assert_eq!(&*mli[0].name, "a");
+        assert_eq!(mli[0].name, "a");
         assert_eq!(mli[0].size, 16, "alloca size wins over extent");
     }
 

@@ -2,7 +2,7 @@
 //!
 //! The user supplies the main computation loop's location — the paper's
 //! "MCLR" input: the function containing the loop plus its start/end source
-//! lines. This module walks the trace once and annotates every record with
+//! lines. [`Phases::compute`] annotates every record with
 //!
 //! * its **phase**: `Before` (paper's Part A / region (a)), `Inside`
 //!   (Part B / the main loop), or `After` (Part C);
@@ -11,13 +11,21 @@
 //!   function) or inside a nested call — the information Challenge 1's
 //!   "bypass function call intervals" needs.
 //!
-//! Iteration boundaries are detected from the loop header's conditional
-//! branch: the header block's `Br` record at the loop's start line fires
-//! exactly once per condition evaluation, so its occurrences delimit
-//! iterations.
+//! The partitioning logic itself lives in `autocheck-stream`'s
+//! [`RegionTracker`] — one incremental state machine shared by both
+//! pipelines — and this module is the batch adapter: it folds the whole
+//! record slice through the tracker and materializes the annotation vector
+//! the batch passes index into. [`Phase`] and [`Annot`] are the shared
+//! types re-exported, so batch and streaming annotations are not merely
+//! equal but identical by construction.
 
-use autocheck_trace::{record::opcodes, Name, Record};
-use std::sync::Arc;
+use autocheck_stream::RegionTracker;
+use autocheck_trace::{Record, SymId};
+
+pub use autocheck_stream::{Phase, StreamAnnot};
+
+/// Per-record annotation — the streaming tracker's output type, shared.
+pub type Annot = StreamAnnot;
 
 /// The main computation loop's location (the paper's MCLR).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -41,30 +49,6 @@ impl Region {
     }
 }
 
-/// Which part of the execution a record belongs to.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Phase {
-    /// Part A: before the main computation loop.
-    Before,
-    /// Part B: the main computation loop.
-    Inside,
-    /// Part C: after the main computation loop.
-    After,
-}
-
-/// Per-record annotation.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct Annot {
-    /// Phase of this record.
-    pub phase: Phase,
-    /// Iteration index (0-based) when `phase == Inside`. Records of the
-    /// loop preamble (`for`-init, first condition evaluation) carry 0.
-    pub iter: u32,
-    /// True when the record executes directly in the region function (not
-    /// inside a nested call).
-    pub region_level: bool,
-}
-
 /// The partitioned trace.
 #[derive(Clone, Debug)]
 pub struct Phases {
@@ -74,7 +58,7 @@ pub struct Phases {
     /// final failing one; 0 when the loop never ran).
     pub iterations: u32,
     /// Label of the loop header's basic block, if identified.
-    pub header_label: Option<Arc<str>>,
+    pub header_label: Option<SymId>,
 }
 
 impl Phases {
@@ -84,99 +68,12 @@ impl Phases {
     /// record whose next record enters the named function pushes a frame
     /// ("Call form 2" of the paper), and `Ret` records pop it.
     pub fn compute(records: &[Record], region: &Region) -> Phases {
-        let mut annots = Vec::with_capacity(records.len());
-        // Call stack of function names; the first record's function is the
-        // root frame (usually `main`).
-        let mut stack: Vec<Arc<str>> = Vec::new();
-        let mut phase = Phase::Before;
-        let mut iter: u32 = 0;
-        let mut started = false;
-        let mut header_label: Option<Arc<str>> = None;
-        let mut cond_evals: u32 = 0;
-
-        for (i, r) in records.iter().enumerate() {
-            if stack.is_empty() {
-                stack.push(r.func.clone());
-            }
-            let region_level =
-                stack.len() == region_frame_depth(&stack, region) && *r.func == region.function;
-
-            if region_level {
-                // Phase transitions are driven by region-function lines.
-                if r.src_line >= 0 {
-                    let line = r.src_line as u32;
-                    if line < region.start_line {
-                        // Lines before the loop. Only move backwards to
-                        // `Before` if the loop has not run yet (code before
-                        // the loop cannot execute again in a structured
-                        // program, but guard against line-number noise).
-                        if !started {
-                            phase = Phase::Before;
-                        }
-                    } else if line > region.end_line {
-                        if started {
-                            phase = Phase::After;
-                        }
-                    } else {
-                        if phase != Phase::After {
-                            phase = Phase::Inside;
-                            started = true;
-                        }
-                    }
-                }
-                // Header detection: the conditional branch at the start
-                // line. `Br` records of a conditional branch carry exactly
-                // one operand (the i1 condition).
-                if phase == Phase::Inside
-                    && r.opcode == opcodes::BR
-                    && r.src_line == region.start_line as i32
-                    && r.positional().count() == 1
-                {
-                    match &header_label {
-                        None => {
-                            header_label = Some(r.bb_label.clone());
-                            cond_evals = 1;
-                        }
-                        Some(l) if Arc::ptr_eq(l, &r.bb_label) || **l == *r.bb_label => {
-                            cond_evals += 1;
-                            iter = cond_evals - 1;
-                        }
-                        Some(_) => {}
-                    }
-                }
-            }
-
-            annots.push(Annot {
-                phase,
-                iter,
-                region_level,
-            });
-
-            // Maintain the call stack for the *next* record.
-            match r.opcode {
-                opcodes::CALL => {
-                    if let Some(Name::Sym(callee)) = r.op1().map(|o| &o.name) {
-                        if let Some(next) = records.get(i + 1) {
-                            if *next.func == **callee {
-                                stack.push(next.func.clone());
-                            }
-                        }
-                    }
-                }
-                opcodes::RET if stack.len() > 1 => {
-                    stack.pop();
-                }
-                _ => {}
-            }
-        }
-
-        // The final condition evaluation fails (loop exit): iterations =
-        // evaluations - 1.
-        let iterations = cond_evals.saturating_sub(1);
+        let mut tracker = RegionTracker::new(&region.function, region.start_line, region.end_line);
+        let annots = records.iter().map(|r| tracker.annotate(r)).collect();
         Phases {
             annots,
-            iterations,
-            header_label,
+            iterations: tracker.iterations(),
+            header_label: tracker.header_label(),
         }
     }
 
@@ -184,17 +81,6 @@ impl Phases {
     pub fn phase(&self, i: usize) -> Phase {
         self.annots[i].phase
     }
-}
-
-/// Depth at which the region function's frame sits. Our traces enter the
-/// region function exactly once (the paper analyzes a single main loop), so
-/// the depth is wherever the function first appears on the stack.
-fn region_frame_depth(stack: &[Arc<str>], region: &Region) -> usize {
-    stack
-        .iter()
-        .position(|f| **f == *region.function)
-        .map(|p| p + 1)
-        .unwrap_or(usize::MAX)
 }
 
 #[cfg(test)]
@@ -272,7 +158,7 @@ mod tests {
     fn header_label_is_identified() {
         let recs = mini_trace();
         let ph = Phases::compute(&recs, &Region::new("main", 5, 7));
-        assert_eq!(ph.header_label.as_deref(), Some("1"));
+        assert_eq!(ph.header_label.map(|l| l.as_str()), Some("1"));
     }
 
     #[test]

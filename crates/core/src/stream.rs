@@ -19,7 +19,7 @@
 use crate::preprocess::{CollectMode, MliVar};
 use crate::region::Region;
 use crate::report::{Report, Timings};
-use autocheck_stream::{Collect, Engine, EngineConfig, LiveBoundExceeded};
+use autocheck_stream::{Engine, EngineConfig, LiveBoundExceeded};
 use autocheck_trace::{Record, RecordReader, TraceReadError};
 use std::fmt;
 use std::io;
@@ -144,10 +144,8 @@ impl StreamAnalyzer {
             function: self.region.function.clone(),
             start_line: self.region.start_line,
             end_line: self.region.end_line,
-            collect: match self.config.collect {
-                CollectMode::AnyAccess => Collect::AnyAccess,
-                CollectMode::Arithmetic => Collect::Arithmetic,
-            },
+            // `CollectMode` *is* the engine's `Collect` (shared type).
+            collect: self.config.collect,
             selective: self.config.selective,
             max_live_records: self.config.max_live_records,
         };
@@ -245,16 +243,9 @@ impl StreamSession {
         let t1 = Instant::now();
         let outcome = self.engine.finish();
 
-        let mli: Vec<MliVar> = outcome
-            .mli
-            .iter()
-            .map(|m| MliVar {
-                name: m.name.clone(),
-                base_addr: m.base_addr,
-                size: m.size,
-                first_line: m.first_line,
-            })
-            .collect();
+        // `MliVar` *is* the engine's entry type — no conversion, the same
+        // values flow into the report that the batch pipeline would build.
+        let mli: Vec<MliVar> = outcome.mli;
 
         // The exact selection the batch `classify` performs — same shared
         // function, driven by the shared decision heuristics over the

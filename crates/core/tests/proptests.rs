@@ -3,8 +3,8 @@
 
 use autocheck_core::{classify, contract_ddg, ClassifyConfig, DepGraph, NodeKind};
 use autocheck_core::{DepType, MliVar, Phase, RwEvent, RwKind};
+use autocheck_trace::SymId;
 use proptest::prelude::*;
-use std::sync::Arc;
 
 /// Build a random graph: `n_vars` variable nodes (first `n_mli` are MLI)
 /// plus `n_regs` register nodes, with random edges.
@@ -13,7 +13,7 @@ fn arb_graph() -> impl Strategy<Value = (DepGraph, usize)> {
         let mut g = DepGraph::default();
         let mut nodes = Vec::new();
         for i in 0..n_vars {
-            nodes.push(g.var_node(Arc::from(format!("v{i}").as_str()), 0x100 + i as u64 * 8));
+            nodes.push(g.var_node(SymId::intern(&format!("v{i}")), 0x100 + i as u64 * 8));
         }
         for i in 0..n_regs {
             nodes.push(g.reg_node(autocheck_trace::Name::Temp(i as u32)));
@@ -113,7 +113,7 @@ proptest! {
             });
         }
         let mli = [MliVar {
-            name: Arc::from("v"),
+            name: SymId::intern("v"),
             base_addr: base,
             size: 24,
             first_line: 2,

@@ -7,53 +7,8 @@ use autocheck_core::{index_variables_of, Analyzer, Region, StreamAnalyzer};
 use proptest::collection::vec;
 use proptest::prelude::*;
 
-/// Statement palette for the main loop body. Every statement is valid for
-/// any loop bound `it < m` with `m <= 8` (the array has 8 elements), and
-/// the palette spans the access patterns the classifier distinguishes:
-/// accumulators (WAR), partial array overwrites with full-ish reads
-/// (RAPO-shaped), loop-local rewrites (skips), and outputs (Outcome).
-const STMTS: &[&str] = &[
-    "acc = acc + arr[it];",
-    "aux = it + 1;",
-    "arr[it] = acc + aux;",
-    "out = acc + 1;",
-    "acc = acc * 2;",
-    "arr[0] = arr[it] + 1;",
-    "aux = aux + arr[0];",
-    "out = out + arr[it];",
-    "tmp = acc + it;",
-    "acc = acc + tmp;",
-];
-
-/// Render a random program and return (source, loop start line, loop end
-/// line). The prologue initializes every variable before the loop so each
-/// is an MLI candidate; what the loop body does with them decides the
-/// classification.
-fn program(stmt_idx: &[usize], m: u32) -> (String, u32, u32) {
-    let mut lines: Vec<String> = vec![
-        "int main() {".into(),
-        "    int acc = 1;".into(),
-        "    int aux = 2;".into(),
-        "    int out = 0;".into(),
-        "    int tmp = 0;".into(),
-        "    int arr[8];".into(),
-        "    for (int i = 0; i < 8; i = i + 1) {".into(),
-        "        arr[i] = i;".into(),
-        "    }".into(),
-    ];
-    let start = lines.len() as u32 + 1;
-    lines.push(format!("    for (int it = 0; it < {m}; it = it + 1) {{"));
-    for &i in stmt_idx {
-        lines.push(format!("        {}", STMTS[i % STMTS.len()]));
-    }
-    lines.push("    }".into());
-    let end = lines.len() as u32;
-    lines.push("    print(out);".into());
-    lines.push("    print(acc);".into());
-    lines.push("    return 0;".into());
-    lines.push("}".into());
-    (lines.join("\n") + "\n", start, end)
-}
+mod gen;
+use gen::program;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]

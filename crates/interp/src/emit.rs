@@ -14,8 +14,7 @@
 
 use crate::rtvalue::RtValue;
 use autocheck_ir::SrcLoc;
-use autocheck_trace::{Name, OpTag, Operand, Record};
-use std::sync::Arc;
+use autocheck_trace::{Name, OpTag, Operand, Record, SymId};
 
 /// A fully-resolved dynamic operand, ready for serialization.
 #[derive(Clone, Debug)]
@@ -53,7 +52,7 @@ impl DynOperand {
             bits: self.value.bit_size(),
             value: self.value.to_trace(),
             is_reg: self.is_reg,
-            name: self.name.clone(),
+            name: self.name,
         }
     }
 }
@@ -65,27 +64,27 @@ impl DynOperand {
 /// the caller passes the variable name.
 #[allow(clippy::too_many_arguments)]
 pub fn build_record(
-    func: Arc<str>,
+    func: SymId,
     bb_loc: SrcLoc,
-    label: Arc<str>,
+    label: SymId,
     opcode: u16,
     loc: SrcLoc,
     dyn_id: u64,
     operands: &[DynOperand],
-    params: &[(Arc<str>, RtValue)],
+    params: &[(SymId, RtValue)],
     result: Option<DynOperand>,
 ) -> Record {
     let mut ops: Vec<Operand> = Vec::with_capacity(operands.len() + params.len());
     for (i, op) in operands.iter().enumerate() {
         ops.push(op.to_operand(OpTag::Pos((i + 1) as u8)));
     }
-    for (pname, pval) in params {
+    for &(pname, ref pval) in params {
         ops.push(Operand {
             tag: OpTag::Param,
             bits: pval.bit_size(),
             value: pval.to_trace(),
             is_reg: true,
-            name: Name::Sym(pname.clone()),
+            name: Name::Sym(pname),
         });
     }
     Record {
@@ -108,9 +107,9 @@ mod tests {
     #[test]
     fn load_record_matches_fig1_shape() {
         let r = build_record(
-            Arc::from("foo"),
+            SymId::intern("foo"),
             SrcLoc::new(6, 1),
-            Arc::from("11"),
+            SymId::intern("11"),
             27,
             SrcLoc::new(3, 1),
             215,
@@ -131,9 +130,9 @@ mod tests {
     #[test]
     fn call_form2_record_has_param_lines() {
         let r = build_record(
-            Arc::from("main"),
+            SymId::intern("main"),
             SrcLoc::new(21, 1),
-            Arc::from("49"),
+            SymId::intern("49"),
             49,
             SrcLoc::new(17, 1),
             199,
@@ -143,8 +142,8 @@ mod tests {
                 DynOperand::reg(Name::Temp(7), RtValue::P(0x7ffe_c14b_0d80)),
             ],
             &[
-                (Arc::from("p"), RtValue::P(0x7ffe_c14b_0db0)),
-                (Arc::from("q"), RtValue::P(0x7ffe_c14b_0d80)),
+                (SymId::intern("p"), RtValue::P(0x7ffe_c14b_0db0)),
+                (SymId::intern("q"), RtValue::P(0x7ffe_c14b_0d80)),
             ],
             None,
         );
@@ -159,9 +158,9 @@ mod tests {
     #[test]
     fn alloca_record_carries_var_name_in_label() {
         let r = build_record(
-            Arc::from("main"),
+            SymId::intern("main"),
             SrcLoc::new(0, 0),
-            Arc::from("sum"),
+            SymId::intern("sum"),
             26,
             SrcLoc::synthetic(),
             51,
@@ -173,7 +172,7 @@ mod tests {
             )),
         );
         assert_eq!(r.src_line, -1);
-        assert_eq!(&*r.bb_label, "sum");
+        assert_eq!(r.bb_label.as_str(), "sum");
         assert_eq!(
             r.result.as_ref().unwrap().value,
             TraceValue::Ptr(0x7ffe_11de_09bc)

@@ -10,8 +10,7 @@ use autocheck_ir::{
     BinOp, BlockId, Builtin, Callee, CastOp, CmpPred, FuncId, Function, GlobalInit, Inst, InstKind,
     Module, RegName, SrcLoc, Type, Value,
 };
-use autocheck_trace::Name;
-use std::sync::Arc;
+use autocheck_trace::{Name, SymId};
 
 /// Synthetic "code addresses" given to functions so Call records carry a
 /// pointer value like real traces do.
@@ -66,9 +65,9 @@ pub struct Machine<'m> {
     mem: Memory,
     global_scope: SymbolScope,
     global_addrs: Vec<u64>,
-    func_names: Vec<Arc<str>>,
-    block_labels: Vec<Vec<Arc<str>>>,
-    param_names: Vec<Vec<Arc<str>>>,
+    func_names: Vec<SymId>,
+    block_labels: Vec<Vec<SymId>>,
+    param_names: Vec<Vec<SymId>>,
     output: Vec<String>,
     dyn_id: u64,
     last_line: Option<(u32, u32)>,
@@ -106,7 +105,7 @@ impl<'m> Machine<'m> {
         let func_names = module
             .functions
             .iter()
-            .map(|f| Arc::from(f.name.as_str()))
+            .map(|f| SymId::intern(&f.name))
             .collect();
         let block_labels = module
             .functions
@@ -114,19 +113,14 @@ impl<'m> Machine<'m> {
             .map(|f| {
                 f.blocks
                     .iter()
-                    .map(|b| Arc::from(b.label.to_string().as_str()))
+                    .map(|b| SymId::intern(&b.label.to_string()))
                     .collect()
             })
             .collect();
         let param_names = module
             .functions
             .iter()
-            .map(|f| {
-                f.params
-                    .iter()
-                    .map(|p| Arc::from(p.name.as_str()))
-                    .collect()
-            })
+            .map(|f| f.params.iter().map(|p| SymId::intern(&p.name)).collect())
             .collect();
         Machine {
             module,
@@ -206,7 +200,7 @@ impl<'m> Machine<'m> {
                 }
             }
             Value::Param(i) => (
-                Name::Sym(self.param_names[frame.func.index()][i as usize].clone()),
+                Name::Sym(self.param_names[frame.func.index()][i as usize]),
                 true,
             ),
             Value::Global(g) => (Name::sym(&self.module.global(g).name), true),
@@ -240,15 +234,15 @@ impl<'m> Machine<'m> {
         block: BlockId,
         inst: &Inst,
         operands: &[DynOperand],
-        params: &[(Arc<str>, RtValue)],
+        params: &[(SymId, RtValue)],
         result: Option<DynOperand>,
-        label_override: Option<Arc<str>>,
+        label_override: Option<SymId>,
     ) -> Result<(), ExecError> {
         let f = self.module.function(frame.func);
-        let label = label_override
-            .unwrap_or_else(|| self.block_labels[frame.func.index()][block.index()].clone());
+        let label =
+            label_override.unwrap_or_else(|| self.block_labels[frame.func.index()][block.index()]);
         let rec = build_record(
-            self.func_names[frame.func.index()].clone(),
+            self.func_names[frame.func.index()],
             f.blocks[block.index()].loc,
             label,
             inst.opcode().0,
@@ -355,7 +349,7 @@ impl<'m> Machine<'m> {
                             &ops,
                             &[],
                             Some(res),
-                            Some(Arc::from(var.as_str())),
+                            Some(SymId::intern(var)),
                         )?;
                     }
                 }
@@ -519,10 +513,10 @@ impl<'m> Machine<'m> {
                                 arg_ops.push(op);
                             }
                             if trace_on {
-                                let params: Vec<(Arc<str>, RtValue)> = self.param_names
+                                let params: Vec<(SymId, RtValue)> = self.param_names
                                     [callee_id.index()]
                                 .iter()
-                                .cloned()
+                                .copied()
                                 .zip(vals.iter().copied())
                                 .collect();
                                 // Unlike paper Fig. 6(b) we add a result line
@@ -866,13 +860,11 @@ mod tests {
             .iter()
             .position(|r| r.dyn_id == call.dyn_id)
             .unwrap();
-        assert!(sink.records[call_pos + 1..]
-            .iter()
-            .any(|r| &*r.func == "foo"));
+        assert!(sink.records[call_pos + 1..].iter().any(|r| r.func == "foo"));
         // And the callee's Ret record closes the invocation.
         assert!(sink.records[call_pos + 1..]
             .iter()
-            .any(|r| r.opcode == 1 && &*r.func == "foo"));
+            .any(|r| r.opcode == 1 && r.func == "foo"));
     }
 
     #[test]

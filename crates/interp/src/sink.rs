@@ -132,14 +132,14 @@ impl<W: Write> TraceSink for WriterSink<W> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
+    use autocheck_trace::SymId;
 
     fn rec(id: u64) -> Record {
         Record {
             src_line: 1,
-            func: Arc::from("main"),
+            func: SymId::intern("main"),
             bb: (1, 1),
-            bb_label: Arc::from("0"),
+            bb_label: SymId::intern("0"),
             opcode: 2,
             dyn_id: id,
             operands: vec![],

@@ -162,7 +162,7 @@ fn trace_of_fig4_contains_paper_shapes() {
         .iter()
         .find(|r| r.opcode == 49 && r.params().count() == 2)
         .expect("form-2 call");
-    let pnames: Vec<_> = call.params().map(|p| p.name.clone()).collect();
+    let pnames: Vec<_> = call.params().map(|p| p.name).collect();
     assert_eq!(pnames, vec![Name::sym("p"), Name::sym("q")]);
     // Argument values (pointers to a and b) equal parameter values.
     let avals: Vec<_> = call.positional().skip(1).map(|o| o.value).collect();
@@ -172,7 +172,7 @@ fn trace_of_fig4_contains_paper_shapes() {
     // Loads inside foo dereference p with a GEP-produced temp register.
     let gep_in_foo = recs
         .iter()
-        .find(|r| &*r.func == "foo" && r.opcode == 29)
+        .find(|r| r.func == "foo" && r.opcode == 29)
         .expect("gep in foo");
     assert_eq!(gep_in_foo.op1().unwrap().name, Name::sym("p"));
 
@@ -181,12 +181,12 @@ fn trace_of_fig4_contains_paper_shapes() {
         .iter()
         .find(|r| r.opcode == 28 && r.op2().map(|o| o.name == Name::sym("sum")).unwrap_or(false))
         .expect("store to sum");
-    assert_eq!(&*sum_store.func, "main");
+    assert_eq!(sum_store.func.as_str(), "main");
 
     // Allocas report line -1 and the variable name as the label.
     let alloca = recs
         .iter()
-        .find(|r| r.opcode == 26 && &*r.bb_label == "sum")
+        .find(|r| r.opcode == 26 && r.bb_label == "sum")
         .expect("alloca of sum");
     assert_eq!(alloca.src_line, -1);
 

@@ -19,11 +19,11 @@
 //! arithmetic, argument/parameter triplets, return-value linking), and the
 //! Table-I selective opcode set are identical to the batch implementation.
 
+use crate::nodeindex::NodeIndex;
 use crate::prov::{relevant_opcode, resolve_alias as resolve};
 use crate::region::{Phase, StreamAnnot};
-use autocheck_trace::{record::opcodes, Name, Record};
-use std::collections::{HashMap, HashSet};
-use std::sync::Arc;
+use autocheck_trace::{record::opcodes, Name, NameMap, Record, SymId};
+use fxhash::FxHashSet;
 
 /// One read or write on a named memory location, as observed mid-stream.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -40,36 +40,26 @@ pub struct AccessEvent {
     pub phase: Phase,
 }
 
-/// A node of the streaming DDG.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
-enum GNode {
-    Var { name: Arc<str>, base: u64 },
-    Reg { name: Name },
-}
-
 /// The dependency graph grown online. Node and edge counts are bounded by
-/// the program's distinct names, not the trace length.
+/// the program's distinct names, not the trace length. Nodes are interned
+/// through the dense per-kind [`NodeIndex`]; edges live in an
+/// integer-keyed set.
 #[derive(Default)]
 pub struct StreamGraph {
-    index: HashMap<GNode, usize>,
-    edges: HashSet<(usize, usize)>,
+    index: NodeIndex,
+    edges: FxHashSet<(u32, u32)>,
 }
 
 impl StreamGraph {
-    fn node(&mut self, kind: GNode) -> usize {
-        let next = self.index.len();
-        *self.index.entry(kind).or_insert(next)
+    fn var_node(&mut self, name: SymId, base: u64) -> u32 {
+        self.index.var_node(name, base).0
     }
 
-    fn var_node(&mut self, name: Arc<str>, base: u64) -> usize {
-        self.node(GNode::Var { name, base })
+    fn reg_node(&mut self, name: Name) -> u32 {
+        self.index.reg_node(name).0
     }
 
-    fn reg_node(&mut self, name: Name) -> usize {
-        self.node(GNode::Reg { name })
-    }
-
-    fn add_edge(&mut self, parent: usize, child: usize) {
+    fn add_edge(&mut self, parent: u32, child: u32) {
         if parent != child {
             self.edges.insert((parent, child));
         }
@@ -91,7 +81,7 @@ impl StreamGraph {
 pub struct DdgBuilder {
     selective: bool,
     graph: StreamGraph,
-    reg_var: HashMap<Name, (Arc<str>, u64)>,
+    reg_var: NameMap<(SymId, u64)>,
     call_stack: Vec<Option<Name>>,
 }
 
@@ -103,7 +93,7 @@ impl DdgBuilder {
         DdgBuilder {
             selective,
             graph: StreamGraph::default(),
-            reg_var: HashMap::new(),
+            reg_var: NameMap::new(),
             call_stack: Vec::new(),
         }
     }
@@ -124,12 +114,12 @@ impl DdgBuilder {
                 let (Some(ptr), Some(res)) = (r.op1(), &r.result) else {
                     return None;
                 };
-                let (name, base) = resolve(&self.reg_var, &ptr.name, ptr.value.as_ptr())?;
+                let (name, base) = resolve(&self.reg_var, ptr.name, ptr.value.as_ptr())?;
                 // On-the-fly reg-var update: SSA reloads rebind a shared
                 // temporary to the right variable at each use.
-                self.reg_var.insert(res.name.clone(), (name.clone(), base));
+                self.reg_var.insert(res.name, (name, base));
                 let vn = self.graph.var_node(name, base);
-                let rn = self.graph.reg_node(res.name.clone());
+                let rn = self.graph.reg_node(res.name);
                 self.graph.add_edge(vn, rn);
                 event(a, base, ptr.value.as_ptr(), false)
             }
@@ -137,10 +127,10 @@ impl DdgBuilder {
                 let (Some(val), Some(ptr)) = (r.op1(), r.op2()) else {
                     return None;
                 };
-                let (name, base) = resolve(&self.reg_var, &ptr.name, ptr.value.as_ptr())?;
+                let (name, base) = resolve(&self.reg_var, ptr.name, ptr.value.as_ptr())?;
                 let dst = self.graph.var_node(name, base);
                 if val.is_reg && val.name != Name::None {
-                    let src = self.graph.reg_node(val.name.clone());
+                    let src = self.graph.reg_node(val.name);
                     self.graph.add_edge(src, dst);
                 }
                 event(a, base, ptr.value.as_ptr(), true)
@@ -149,12 +139,11 @@ impl DdgBuilder {
                 let (Some(basep), Some(res)) = (r.op1(), &r.result) else {
                     return None;
                 };
-                if let Some((name, base)) =
-                    resolve(&self.reg_var, &basep.name, basep.value.as_ptr())
+                if let Some((name, base)) = resolve(&self.reg_var, basep.name, basep.value.as_ptr())
                 {
-                    self.reg_var.insert(res.name.clone(), (name.clone(), base));
+                    self.reg_var.insert(res.name, (name, base));
                     let vn = self.graph.var_node(name, base);
-                    let rn = self.graph.reg_node(res.name.clone());
+                    let rn = self.graph.reg_node(res.name);
                     self.graph.add_edge(vn, rn);
                 }
                 None
@@ -162,8 +151,8 @@ impl DdgBuilder {
             opcodes::ALLOCA => {
                 // Locals are identified by their Alloca (Challenge 2).
                 if let Some(res) = &r.result {
-                    if let (Name::Sym(s), Some(addr)) = (&res.name, res.value.as_ptr()) {
-                        self.reg_var.insert(res.name.clone(), (s.clone(), addr));
+                    if let (Name::Sym(s), Some(addr)) = (res.name, res.value.as_ptr()) {
+                        self.reg_var.insert(res.name, (s, addr));
                     }
                 }
                 None
@@ -177,10 +166,10 @@ impl DdgBuilder {
             {
                 // reg-reg map: link inputs to the result.
                 let res = r.result.as_ref()?;
-                let rn = self.graph.reg_node(res.name.clone());
+                let rn = self.graph.reg_node(res.name);
                 for operand in r.positional() {
                     if operand.is_reg && operand.name != Name::None {
-                        let on = self.graph.reg_node(operand.name.clone());
+                        let on = self.graph.reg_node(operand.name);
                         self.graph.add_edge(on, rn);
                     }
                 }
@@ -191,10 +180,10 @@ impl DdgBuilder {
                 if params.is_empty() {
                     // Form 1 (builtin): treat as arithmetic.
                     if let Some(res) = &r.result {
-                        let rn = self.graph.reg_node(res.name.clone());
+                        let rn = self.graph.reg_node(res.name);
                         for operand in r.positional().skip(1) {
                             if operand.is_reg && operand.name != Name::None {
-                                let on = self.graph.reg_node(operand.name.clone());
+                                let on = self.graph.reg_node(operand.name);
                                 self.graph.add_edge(on, rn);
                             }
                         }
@@ -203,21 +192,19 @@ impl DdgBuilder {
                     // Form 2: argument/parameter triplets.
                     for (arg, param) in r.positional().skip(1).zip(params.iter()) {
                         if let Some((name, base)) =
-                            resolve(&self.reg_var, &arg.name, arg.value.as_ptr())
+                            resolve(&self.reg_var, arg.name, arg.value.as_ptr())
                         {
-                            self.reg_var
-                                .insert(param.name.clone(), (name.clone(), base));
+                            self.reg_var.insert(param.name, (name, base));
                             let vn = self.graph.var_node(name, base);
-                            let pn = self.graph.reg_node(param.name.clone());
+                            let pn = self.graph.reg_node(param.name);
                             self.graph.add_edge(vn, pn);
                         } else if arg.is_reg && arg.name != Name::None {
-                            let an = self.graph.reg_node(arg.name.clone());
-                            let pn = self.graph.reg_node(param.name.clone());
+                            let an = self.graph.reg_node(arg.name);
+                            let pn = self.graph.reg_node(param.name);
                             self.graph.add_edge(an, pn);
                         }
                     }
-                    self.call_stack
-                        .push(r.result.as_ref().map(|res| res.name.clone()));
+                    self.call_stack.push(r.result.as_ref().map(|res| res.name));
                 }
                 None
             }
@@ -225,10 +212,10 @@ impl DdgBuilder {
                 if let Some(pending) = self.call_stack.pop().flatten() {
                     if let Some(op) = r.op1() {
                         if op.is_reg && op.name != Name::None {
-                            let from = self.graph.reg_node(op.name.clone());
-                            let to = self.graph.reg_node(pending.clone());
+                            let from = self.graph.reg_node(op.name);
+                            let to = self.graph.reg_node(pending);
                             self.graph.add_edge(from, to);
-                            if let Some(v) = self.reg_var.get(&op.name).cloned() {
+                            if let Some(&v) = self.reg_var.get(op.name) {
                                 self.reg_var.insert(pending, v);
                             }
                         }

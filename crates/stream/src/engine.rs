@@ -18,10 +18,9 @@ use crate::ddg::DdgBuilder;
 use crate::mli::{Collect, MliCollector, MliEntry};
 use crate::region::RegionTracker;
 use crate::stats::{VarStats, VarStatsBuilder};
-use autocheck_trace::Record;
-use std::collections::HashMap;
+use autocheck_trace::{Record, SymId};
+use fxhash::FxHashMap;
 use std::fmt;
-use std::sync::Arc;
 
 /// Engine configuration.
 #[derive(Clone, Debug)]
@@ -85,7 +84,7 @@ pub struct EngineOutcome {
     pub mli: Vec<MliEntry>,
     /// Folded access statistics per variable base address (all observed
     /// bases, not just MLI — the consumer filters).
-    pub stats: HashMap<u64, VarStats>,
+    pub stats: FxHashMap<u64, VarStats>,
     /// Loop iterations observed.
     pub iterations: u32,
     /// Records consumed.
@@ -93,7 +92,7 @@ pub struct EngineOutcome {
     /// Peak live-record window across the run.
     pub peak_live_records: usize,
     /// Label of the loop header's basic block, if identified.
-    pub header_label: Option<Arc<str>>,
+    pub header_label: Option<SymId>,
     /// Streaming DDG size (bounded by the program, not the trace).
     pub ddg_nodes: usize,
     /// Streaming DDG edge count.
@@ -105,7 +104,7 @@ pub struct Engine {
     region: RegionTracker,
     mli: MliCollector,
     ddg: DdgBuilder,
-    stats: HashMap<u64, VarStatsBuilder>,
+    stats: FxHashMap<u64, VarStatsBuilder>,
     records: u64,
     live: usize,
     peak_live: usize,
@@ -119,7 +118,7 @@ impl Engine {
             region: RegionTracker::new(cfg.function, cfg.start_line, cfg.end_line),
             mli: MliCollector::new(cfg.collect),
             ddg: DdgBuilder::new(cfg.selective),
-            stats: HashMap::new(),
+            stats: FxHashMap::default(),
             records: 0,
             live: 0,
             peak_live: 0,
@@ -189,7 +188,7 @@ impl Engine {
             iterations: self.region.iterations(),
             records: self.records,
             peak_live_records: self.peak_live,
-            header_label: self.region.header_label().cloned(),
+            header_label: self.region.header_label(),
             ddg_nodes: self.ddg.graph().node_count(),
             ddg_edges: self.ddg.graph().edge_count(),
         }
@@ -265,7 +264,7 @@ r,64,2,1,10,
     fn mli_and_stats_come_out() {
         let out = run_engine(None).unwrap();
         assert_eq!(out.mli.len(), 1);
-        assert_eq!(&*out.mli[0].name, "sum");
+        assert_eq!(out.mli[0].name.as_str(), "sum");
         let s = out.stats[&0x7f00_0000_0000];
         assert!(s.carried, "sum is read before written each iteration");
         assert!(s.written_in_loop);
@@ -300,6 +299,6 @@ r,64,2,1,10,
         let out = run_engine(None).unwrap();
         assert!(out.ddg_nodes > 0);
         assert!(out.ddg_edges > 0);
-        assert_eq!(out.header_label.as_deref(), Some("1"));
+        assert_eq!(out.header_label.map(|l| l.as_str()), Some("1"));
     }
 }

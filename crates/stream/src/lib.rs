@@ -44,6 +44,7 @@
 pub mod ddg;
 pub mod engine;
 pub mod mli;
+pub mod nodeindex;
 pub mod prov;
 pub mod region;
 pub mod stats;
@@ -51,6 +52,7 @@ pub mod stats;
 pub use ddg::{AccessEvent, DdgBuilder, StreamGraph};
 pub use engine::{Engine, EngineConfig, EngineOutcome, LiveBoundExceeded};
 pub use mli::{Collect, MliCollector, MliEntry};
+pub use nodeindex::NodeIndex;
 pub use prov::{relevant_opcode, resolve_alias, Provenance};
 pub use region::{Phase, RegionTracker, StreamAnnot};
 pub use stats::{VarStats, VarStatsBuilder};

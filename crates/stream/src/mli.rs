@@ -14,9 +14,8 @@
 
 use crate::prov::Provenance;
 use crate::region::{Phase, StreamAnnot};
-use autocheck_trace::{record::opcodes, Name, Record};
-use std::collections::{HashMap, HashSet};
-use std::sync::Arc;
+use autocheck_trace::{record::opcodes, Name, NameMap, NameSet, Record, SymId};
+use fxhash::FxHashMap;
 
 /// Occurrence-counting strictness. Mirrors
 /// `autocheck_core::CollectMode`; redeclared here so this crate stays below
@@ -30,12 +29,12 @@ pub enum Collect {
     Arithmetic,
 }
 
-/// One identified main-loop-input variable, field-for-field compatible with
-/// `autocheck_core::MliVar`.
+/// One identified main-loop-input variable (`autocheck_core::MliVar` is an
+/// alias of this type, so the batch and streaming pipelines share it).
 #[derive(Clone, Debug, PartialEq)]
 pub struct MliEntry {
-    /// Source-level name.
-    pub name: Arc<str>,
+    /// Source-level name (interned).
+    pub name: SymId,
     /// Base address of its storage.
     pub base_addr: u64,
     /// Observed storage footprint in bytes.
@@ -44,9 +43,9 @@ pub struct MliEntry {
     pub first_line: u32,
 }
 
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 struct VarKey {
-    name: Arc<str>,
+    name: SymId,
     base: u64,
 }
 
@@ -55,13 +54,13 @@ struct VarKey {
 pub struct MliCollector {
     mode: Collect,
     prov: Provenance,
-    arith_regs: HashSet<Name>,
-    loaded_from: HashMap<Name, VarKey>,
-    before: HashMap<VarKey, u32>,
-    inside: HashMap<VarKey, u32>,
-    extent: HashMap<VarKey, u64>,
-    alloca_size: HashMap<VarKey, u64>,
-    before_by_base: HashMap<u64, VarKey>,
+    arith_regs: NameSet,
+    loaded_from: NameMap<VarKey>,
+    before: FxHashMap<VarKey, u32>,
+    inside: FxHashMap<VarKey, u32>,
+    extent: FxHashMap<VarKey, u64>,
+    alloca_size: FxHashMap<VarKey, u64>,
+    before_by_base: FxHashMap<u64, VarKey>,
 }
 
 impl MliCollector {
@@ -70,13 +69,13 @@ impl MliCollector {
         MliCollector {
             mode,
             prov: Provenance::default(),
-            arith_regs: HashSet::new(),
-            loaded_from: HashMap::new(),
-            before: HashMap::new(),
-            inside: HashMap::new(),
-            extent: HashMap::new(),
-            alloca_size: HashMap::new(),
-            before_by_base: HashMap::new(),
+            arith_regs: NameSet::new(),
+            loaded_from: NameMap::new(),
+            before: FxHashMap::default(),
+            inside: FxHashMap::default(),
+            extent: FxHashMap::default(),
+            alloca_size: FxHashMap::default(),
+            before_by_base: FxHashMap::default(),
         }
     }
 
@@ -88,9 +87,7 @@ impl MliCollector {
 
     fn collect(&mut self, key: VarKey, line: u32, is_before: bool) {
         if is_before {
-            self.before_by_base
-                .entry(key.base)
-                .or_insert_with(|| key.clone());
+            self.before_by_base.entry(key.base).or_insert(key);
             self.before.entry(key).or_insert(line);
         } else {
             self.inside.entry(key).or_insert(line);
@@ -111,10 +108,10 @@ impl MliCollector {
                     r.op2()
                 };
                 if let Some(ptr) = ptr {
-                    if let Some((_, base)) = self.prov.resolve(&ptr.name, ptr.value.as_ptr()) {
-                        if let Some(key) = self.before_by_base.get(&base) {
+                    if let Some((_, base)) = self.prov.resolve(ptr.name, ptr.value.as_ptr()) {
+                        if let Some(&key) = self.before_by_base.get(&base) {
                             let line = if r.src_line > 0 { r.src_line as u32 } else { 0 };
-                            self.inside.entry(key.clone()).or_insert(line);
+                            self.inside.entry(key).or_insert(line);
                         }
                     }
                 }
@@ -132,59 +129,54 @@ impl MliCollector {
                 if let (Some(size), Some(res)) =
                     (r.op1().and_then(|o| o.value.as_int()), r.result.as_ref())
                 {
-                    if let (Name::Sym(name), Some(addr)) = (&res.name, res.value.as_ptr()) {
-                        self.alloca_size.insert(
-                            VarKey {
-                                name: name.clone(),
-                                base: addr,
-                            },
-                            size as u64,
-                        );
+                    if let (Name::Sym(name), Some(addr)) = (res.name, res.value.as_ptr()) {
+                        self.alloca_size
+                            .insert(VarKey { name, base: addr }, size as u64);
                     }
                 }
             }
             opcodes::LOAD => {
                 let Some(ptr) = r.op1() else { return };
-                let Some((name, base)) = self.prov.resolve(&ptr.name, ptr.value.as_ptr()) else {
+                let Some((name, base)) = self.prov.resolve(ptr.name, ptr.value.as_ptr()) else {
                     return;
                 };
                 let key = VarKey { name, base };
                 if let Some(elem) = ptr.value.as_ptr() {
-                    let e = self.extent.entry(key.clone()).or_insert(8);
+                    let e = self.extent.entry(key).or_insert(8);
                     *e = (*e).max(elem.saturating_sub(base) + 8);
                 }
                 match self.mode {
                     Collect::AnyAccess => {
-                        self.collect(key.clone(), line, is_before);
+                        self.collect(key, line, is_before);
                     }
                     Collect::Arithmetic => {
                         // Defer: collected only when the loaded temp feeds
                         // an arithmetic instruction.
                         if let Some(res) = &r.result {
-                            self.loaded_from.insert(res.name.clone(), key.clone());
+                            self.loaded_from.insert(res.name, key);
                         }
                         return;
                     }
                 }
                 if let Some(res) = &r.result {
-                    self.loaded_from.insert(res.name.clone(), key);
+                    self.loaded_from.insert(res.name, key);
                 }
             }
             opcodes::STORE => {
                 let Some(ptr) = r.op2() else { return };
-                let Some((name, base)) = self.prov.resolve(&ptr.name, ptr.value.as_ptr()) else {
+                let Some((name, base)) = self.prov.resolve(ptr.name, ptr.value.as_ptr()) else {
                     return;
                 };
                 let key = VarKey { name, base };
                 if let Some(elem) = ptr.value.as_ptr() {
-                    let e = self.extent.entry(key.clone()).or_insert(8);
+                    let e = self.extent.entry(key).or_insert(8);
                     *e = (*e).max(elem.saturating_sub(base) + 8);
                 }
                 let collect = match self.mode {
                     Collect::AnyAccess => true,
                     Collect::Arithmetic => r
                         .op1()
-                        .map(|v| self.arith_regs.contains(&v.name))
+                        .map(|v| self.arith_regs.contains(v.name))
                         .unwrap_or(false),
                 };
                 if collect {
@@ -195,14 +187,14 @@ impl MliCollector {
                 if self.mode == Collect::Arithmetic {
                     let hits: Vec<VarKey> = r
                         .positional()
-                        .filter_map(|operand| self.loaded_from.get(&operand.name).cloned())
+                        .filter_map(|operand| self.loaded_from.get(operand.name).copied())
                         .collect();
                     for key in hits {
                         self.collect(key, line, is_before);
                     }
                 }
                 if let Some(res) = &r.result {
-                    self.arith_regs.insert(res.name.clone());
+                    self.arith_regs.insert(res.name);
                 }
             }
             _ => {}
@@ -222,7 +214,7 @@ impl MliCollector {
                     .or_else(|| self.extent.get(key).copied())
                     .unwrap_or(8);
                 out.push(MliEntry {
-                    name: key.name.clone(),
+                    name: key.name,
                     base_addr: key.base,
                     size,
                     first_line: *first_line_before,
@@ -300,7 +292,7 @@ r,64,1,1,4,
     #[test]
     fn matches_variables_defined_before_and_used_inside() {
         let mli = collect_over(TOY, Collect::AnyAccess);
-        let names: Vec<&str> = mli.iter().map(|m| &*m.name).collect();
+        let names: Vec<&str> = mli.iter().map(|m| m.name.as_str()).collect();
         assert_eq!(names, vec!["sum"]);
         assert_eq!(mli[0].base_addr, 0x7f00_0000_0000);
         assert_eq!(mli[0].size, 8);
@@ -359,7 +351,7 @@ r,64,0,1,3,
 ";
         let mli = collect_over(text, Collect::AnyAccess);
         assert_eq!(mli.len(), 1);
-        assert_eq!(&*mli[0].name, "a");
+        assert_eq!(mli[0].name.as_str(), "a");
         assert_eq!(mli[0].size, 16, "alloca size wins over extent");
     }
 }

@@ -1,0 +1,174 @@
+//! Dense per-kind node interning for dependency graphs.
+//!
+//! Both DDG implementations (the batch `DepGraph` in `autocheck-core` and
+//! the online [`crate::ddg::StreamGraph`]) intern two kinds of node:
+//! variables, identified by `(name, base address)`, and registers,
+//! identified by a [`Name`]. The old implementations keyed one
+//! `HashMap<NodeKind, usize>` on an enum holding `Arc<str>`s — every
+//! lookup re-hashed a string. This index replaces that with per-kind
+//! tables indexed by the interned integers themselves:
+//!
+//! * registers — a [`NameMap`] over the dense/overflow per-kind layout
+//!   (one copy of that machinery, shared with the reg-var maps);
+//! * variables — a per-symbol list of `(base, node)` pairs kept sorted by
+//!   base and binary-searched: a symbol usually has one base, recursion
+//!   gives it one per live frame, and ordered search keeps lookups
+//!   O(log bases) without hashing attacker-chosen addresses.
+//!
+//! Node ids are assigned in first-intern order, exactly like the map-based
+//! implementations, so graph serialization (DOT node numbering) is
+//! unchanged byte-for-byte.
+
+use autocheck_trace::{Name, NameMap, SymId};
+
+/// Dense node-id interner for variable and register nodes.
+#[derive(Clone, Debug, Default)]
+pub struct NodeIndex {
+    /// `(base, node)` pairs per variable symbol, sorted by base.
+    var: Vec<Vec<(u64, u32)>>,
+    /// Node per register name.
+    reg: NameMap<u32>,
+    count: u32,
+}
+
+impl NodeIndex {
+    /// A fresh index.
+    pub fn new() -> NodeIndex {
+        NodeIndex::default()
+    }
+
+    /// Number of nodes interned.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.count as usize
+    }
+
+    /// True when nothing has been interned.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Intern the variable node `(name, base)`; returns `(id, inserted)`.
+    #[inline]
+    pub fn var_node(&mut self, name: SymId, base: u64) -> (u32, bool) {
+        let i = name.index();
+        if self.var.len() <= i {
+            self.var.resize_with(i + 1, Vec::new);
+        }
+        let bases = &mut self.var[i];
+        match bases.binary_search_by_key(&base, |&(b, _)| b) {
+            Ok(pos) => (bases[pos].1, false),
+            Err(pos) => {
+                let id = self.count;
+                self.count += 1;
+                bases.insert(pos, (base, id));
+                (id, true)
+            }
+        }
+    }
+
+    /// Intern the register node `name`; returns `(id, inserted)`.
+    #[inline]
+    pub fn reg_node(&mut self, name: Name) -> (u32, bool) {
+        if let Some(&id) = self.reg.get(name) {
+            return (id, false);
+        }
+        let id = self.count;
+        self.count += 1;
+        self.reg.insert(name, id);
+        (id, true)
+    }
+
+    /// Look a variable node up without interning.
+    pub fn find_var(&self, name: SymId, base: u64) -> Option<u32> {
+        let bases = self.var.get(name.index())?;
+        bases
+            .binary_search_by_key(&base, |&(b, _)| b)
+            .ok()
+            .map(|pos| bases[pos].1)
+    }
+
+    /// Look a register node up without interning.
+    pub fn find_reg(&self, name: Name) -> Option<u32> {
+        self.reg.get(name).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_in_intern_order() {
+        let mut ix = NodeIndex::new();
+        let a = SymId::intern("nodeindex_a");
+        assert_eq!(ix.var_node(a, 0x100), (0, true));
+        assert_eq!(ix.reg_node(Name::Temp(8)), (1, true));
+        assert_eq!(ix.var_node(a, 0x200), (2, true), "same name, new base");
+        assert_eq!(ix.var_node(a, 0x100), (0, false));
+        assert_eq!(ix.reg_node(Name::Temp(8)), (1, false));
+        assert_eq!(ix.len(), 3);
+    }
+
+    #[test]
+    fn register_kinds_do_not_collide() {
+        let mut ix = NodeIndex::new();
+        let s = SymId::intern("nodeindex_p");
+        let (t, _) = ix.reg_node(Name::Temp(0));
+        let (r, _) = ix.reg_node(Name::Sym(s));
+        let (n, _) = ix.reg_node(Name::None);
+        let (v, _) = ix.var_node(s, 0x10);
+        assert_eq!(
+            std::collections::HashSet::from([t, r, n, v]).len(),
+            4,
+            "distinct node kinds must get distinct ids"
+        );
+        assert_eq!(ix.find_reg(Name::Sym(s)), Some(r));
+        assert_eq!(ix.find_reg(Name::None), Some(n));
+        assert_eq!(ix.find_var(s, 0x10), Some(v));
+        assert_eq!(ix.find_var(s, 0x11), None);
+    }
+
+    #[test]
+    fn overflow_temps_spill() {
+        let mut ix = NodeIndex::new();
+        let big = autocheck_trace::namemap::DENSE_TEMP_LIMIT + 7;
+        let (id, fresh) = ix.reg_node(Name::Temp(big));
+        assert!(fresh);
+        assert_eq!(ix.find_reg(Name::Temp(big)), Some(id));
+        assert_eq!(ix.reg_node(Name::Temp(big)), (id, false));
+    }
+
+    #[test]
+    fn many_bases_per_symbol_stay_searchable() {
+        // Recursion-style workload: one name, many frame addresses, in a
+        // shuffled insertion order. Lookups must stay exact (sorted +
+        // binary search), and ids keep first-intern order.
+        let mut ix = NodeIndex::new();
+        let s = SymId::intern("nodeindex_frame_local");
+        let bases: Vec<u64> = (0..200u64)
+            .map(|k| 0x7f00_0000_0000 + (k * 37) % 200 * 8)
+            .collect();
+        let mut ids = std::collections::HashMap::new();
+        for &b in &bases {
+            let (id, fresh) = ix.var_node(s, b);
+            assert!(fresh);
+            ids.insert(b, id);
+        }
+        for (&b, &id) in &ids {
+            assert_eq!(ix.find_var(s, b), Some(id));
+            assert_eq!(ix.var_node(s, b), (id, false));
+        }
+        assert_eq!(ix.len(), bases.len());
+    }
+
+    #[test]
+    fn find_on_empty_index_is_none() {
+        let ix = NodeIndex::new();
+        assert!(ix.is_empty());
+        assert_eq!(ix.find_reg(Name::Temp(0)), None);
+        assert_eq!(ix.find_reg(Name::None), None);
+        assert_eq!(ix.find_var(SymId::intern("nodeindex_missing"), 0), None);
+    }
+}

@@ -7,17 +7,19 @@
 //! by the same Table-I opcode set. Keeping the single copy here — the crate
 //! both pipelines depend on — means a future fix to either rule cannot
 //! desynchronize batch and streaming results.
+//!
+//! All maps key on interned names ([`NameMap`]): resolution is vector
+//! indexing on `Copy` ids, with no string hashing or refcount traffic in
+//! the per-record loop.
 
-use autocheck_trace::{record::opcodes, Name, Record};
-use std::collections::HashMap;
-use std::sync::Arc;
+use autocheck_trace::{record::opcodes, Name, NameMap, Record, SymId};
 
 /// Resolves pointer operands to `(variable, base address)` by tracking
 /// GEP/BitCast provenance on the fly (the paper's "POINTER ASSIGNMENT"
 /// rule).
 #[derive(Clone, Debug, Default)]
 pub struct Provenance {
-    map: HashMap<Name, (Arc<str>, u64)>,
+    map: NameMap<(SymId, u64)>,
 }
 
 impl Provenance {
@@ -28,9 +30,9 @@ impl Provenance {
                 let (Some(base), Some(res)) = (r.op1(), r.result.as_ref()) else {
                     return;
                 };
-                let resolved = self.resolve(&base.name, base.value.as_ptr());
-                if let Some((name, addr)) = resolved {
-                    self.map.insert(res.name.clone(), (name, addr));
+                let resolved = self.resolve(base.name, base.value.as_ptr());
+                if let Some(hit) = resolved {
+                    self.map.insert(res.name, hit);
                 }
             }
             _ => {}
@@ -38,18 +40,18 @@ impl Provenance {
     }
 
     /// Resolve a pointer-operand name to its base variable.
-    pub fn resolve(&self, name: &Name, value: Option<u64>) -> Option<(Arc<str>, u64)> {
+    pub fn resolve(&self, name: Name, value: Option<u64>) -> Option<(SymId, u64)> {
         match name {
             Name::Sym(s) => {
-                if let Some(hit) = self.map.get(name) {
+                if let Some(&hit) = self.map.get(name) {
                     // An alias registered by an earlier GEP/BitCast.
-                    Some(hit.clone())
+                    Some(hit)
                 } else {
                     // A named variable is its own base.
-                    value.map(|v| (s.clone(), v))
+                    value.map(|v| (s, v))
                 }
             }
-            Name::Temp(_) => self.map.get(name).cloned(),
+            Name::Temp(_) => self.map.get(name).copied(),
             Name::None => None,
         }
     }
@@ -61,20 +63,20 @@ impl Provenance {
 /// frames never misattribute (the paper's address-based Challenge-2
 /// discrimination).
 pub fn resolve_alias(
-    reg_var: &HashMap<Name, (Arc<str>, u64)>,
-    name: &Name,
+    reg_var: &NameMap<(SymId, u64)>,
+    name: Name,
     value: Option<u64>,
-) -> Option<(Arc<str>, u64)> {
+) -> Option<(SymId, u64)> {
     match name {
         Name::Sym(s) => {
-            if let Some((n, b)) = reg_var.get(name) {
-                if value.is_none() || value == Some(*b) {
-                    return Some((n.clone(), *b));
+            if let Some(&(n, b)) = reg_var.get(name) {
+                if value.is_none() || value == Some(b) {
+                    return Some((n, b));
                 }
             }
-            value.map(|v| (s.clone(), v))
+            value.map(|v| (s, v))
         }
-        Name::Temp(_) => reg_var.get(name).cloned(),
+        Name::Temp(_) => reg_var.get(name).copied(),
         Name::None => None,
     }
 }
@@ -106,30 +108,30 @@ mod tests {
     #[test]
     fn named_variable_is_its_own_base() {
         let p = Provenance::default();
-        let got = p.resolve(&Name::sym("a"), Some(0x1000));
-        assert_eq!(got, Some((Arc::from("a"), 0x1000)));
+        let got = p.resolve(Name::sym("a"), Some(0x1000));
+        assert_eq!(got, Some((SymId::intern("a"), 0x1000)));
     }
 
     #[test]
     fn unregistered_temp_does_not_resolve() {
         let p = Provenance::default();
-        assert_eq!(p.resolve(&Name::Temp(3), Some(0x1000)), None);
-        assert_eq!(p.resolve(&Name::None, Some(0x1000)), None);
+        assert_eq!(p.resolve(Name::Temp(3), Some(0x1000)), None);
+        assert_eq!(p.resolve(Name::None, Some(0x1000)), None);
     }
 
     #[test]
     fn alias_with_stale_address_falls_back_to_value() {
-        let mut reg_var = HashMap::new();
-        reg_var.insert(Name::sym("p"), (Arc::from("a"), 0x1000u64));
+        let mut reg_var = NameMap::new();
+        reg_var.insert(Name::sym("p"), (SymId::intern("a"), 0x1000u64));
         // Consistent address: trust the alias.
         assert_eq!(
-            resolve_alias(&reg_var, &Name::sym("p"), Some(0x1000)),
-            Some((Arc::from("a"), 0x1000))
+            resolve_alias(&reg_var, Name::sym("p"), Some(0x1000)),
+            Some((SymId::intern("a"), 0x1000))
         );
         // Inconsistent address (stale frame): fall back to the observation.
         assert_eq!(
-            resolve_alias(&reg_var, &Name::sym("p"), Some(0x2000)),
-            Some((Arc::from("p"), 0x2000))
+            resolve_alias(&reg_var, Name::sym("p"), Some(0x2000)),
+            Some((SymId::intern("p"), 0x2000))
         );
     }
 

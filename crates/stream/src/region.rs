@@ -8,8 +8,7 @@
 //! deferring the stack operation of each record until the next record shows
 //! up — no buffering, identical annotations.
 
-use autocheck_trace::{record::opcodes, Name, Record};
-use std::sync::Arc;
+use autocheck_trace::{record::opcodes, Name, Record, SymId};
 
 /// Which part of the execution a record belongs to (the paper's Part A /
 /// Part B / Part C). Mirrors `autocheck_core::Phase`; redeclared here so
@@ -41,21 +40,21 @@ enum Pending {
     None,
     /// The previous record was a form-2 `Call` of this callee: push a frame
     /// if the next record enters it.
-    Call(Arc<str>),
+    Call(SymId),
     /// The previous record was a `Ret`: pop (guarded against the root).
     Ret,
 }
 
 /// Incremental region partitioner.
 pub struct RegionTracker {
-    function: String,
+    function: SymId,
     start_line: u32,
     end_line: u32,
-    stack: Vec<Arc<str>>,
+    stack: Vec<SymId>,
     phase: Phase,
     iter: u32,
     started: bool,
-    header_label: Option<Arc<str>>,
+    header_label: Option<SymId>,
     cond_evals: u32,
     pending: Pending,
 }
@@ -63,9 +62,9 @@ pub struct RegionTracker {
 impl RegionTracker {
     /// Track the region `function`:`start_line`..=`end_line` (the paper's
     /// MCLR input).
-    pub fn new(function: impl Into<String>, start_line: u32, end_line: u32) -> RegionTracker {
+    pub fn new(function: impl AsRef<str>, start_line: u32, end_line: u32) -> RegionTracker {
         RegionTracker {
-            function: function.into(),
+            function: SymId::intern(function.as_ref()),
             start_line,
             end_line,
             stack: Vec::new(),
@@ -85,8 +84,8 @@ impl RegionTracker {
         // `records[i + 1]`.
         match std::mem::replace(&mut self.pending, Pending::None) {
             Pending::Call(callee) => {
-                if *r.func == *callee {
-                    self.stack.push(r.func.clone());
+                if r.func == callee {
+                    self.stack.push(r.func);
                 }
             }
             Pending::Ret => {
@@ -97,10 +96,9 @@ impl RegionTracker {
             Pending::None => {}
         }
         if self.stack.is_empty() {
-            self.stack.push(r.func.clone());
+            self.stack.push(r.func);
         }
-        let region_level =
-            self.stack.len() == self.region_frame_depth() && *r.func == self.function;
+        let region_level = self.stack.len() == self.region_frame_depth() && r.func == self.function;
 
         if region_level {
             // Phase transitions are driven by region-function lines.
@@ -126,12 +124,12 @@ impl RegionTracker {
                 && r.src_line == self.start_line as i32
                 && r.positional().count() == 1
             {
-                match &self.header_label {
+                match self.header_label {
                     None => {
-                        self.header_label = Some(r.bb_label.clone());
+                        self.header_label = Some(r.bb_label);
                         self.cond_evals = 1;
                     }
-                    Some(l) if Arc::ptr_eq(l, &r.bb_label) || **l == *r.bb_label => {
+                    Some(l) if l == r.bb_label => {
                         self.cond_evals += 1;
                         self.iter = self.cond_evals - 1;
                     }
@@ -143,8 +141,8 @@ impl RegionTracker {
         // Defer this record's own stack maintenance until the next record.
         match r.opcode {
             opcodes::CALL => {
-                if let Some(Name::Sym(callee)) = r.op1().map(|o| &o.name) {
-                    self.pending = Pending::Call(callee.clone());
+                if let Some(Name::Sym(callee)) = r.op1().map(|o| o.name) {
+                    self.pending = Pending::Call(callee);
                 }
             }
             opcodes::RET => self.pending = Pending::Ret,
@@ -166,14 +164,14 @@ impl RegionTracker {
     }
 
     /// Label of the loop header's basic block, if identified.
-    pub fn header_label(&self) -> Option<&Arc<str>> {
-        self.header_label.as_ref()
+    pub fn header_label(&self) -> Option<SymId> {
+        self.header_label
     }
 
     fn region_frame_depth(&self) -> usize {
         self.stack
             .iter()
-            .position(|f| **f == *self.function)
+            .position(|&f| f == self.function)
             .map(|p| p + 1)
             .unwrap_or(usize::MAX)
     }
@@ -255,7 +253,7 @@ mod tests {
     fn header_label_is_identified() {
         let recs = mini_trace();
         let (_, t) = annotate_all(&recs);
-        assert_eq!(t.header_label().map(|l| &**l), Some("1"));
+        assert_eq!(t.header_label().map(|l| l.as_str()), Some("1"));
     }
 
     #[test]

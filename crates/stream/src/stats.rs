@@ -12,7 +12,7 @@
 //! event-slice classification, so the two pipelines share one fold and one
 //! decision function and cannot drift apart.
 
-use std::collections::HashMap;
+use fxhash::FxHashMap;
 
 /// Everything the WAR/RAPO/Outcome heuristics need to know about one
 /// variable, in O(1) space.
@@ -54,7 +54,7 @@ struct ElemAccess {
 pub struct VarStatsBuilder {
     stats: VarStats,
     cur_iter: u32,
-    window: HashMap<u64, ElemAccess>,
+    window: FxHashMap<u64, ElemAccess>,
     first_elem: Option<u64>,
 }
 

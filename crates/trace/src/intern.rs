@@ -1,0 +1,209 @@
+//! Process-wide symbol interning: [`SymId`] is a dense `u32` handle to a
+//! shared string table.
+//!
+//! Real traces repeat the same handful of symbolic names (function names,
+//! block labels, variable names) millions of times. The analysis data plane
+//! keys every hot map on those names, so the representation of a name
+//! decides the cost of every reg-var/reg-reg map operation (paper §IV-B).
+//! Interning turns each name into a `Copy` 4-byte id:
+//!
+//! * equality and hashing are integer operations — no string re-hashing, no
+//!   `Arc` refcount traffic on the hot path;
+//! * ids are **dense** (0, 1, 2, …), so maps keyed by symbol can be plain
+//!   vectors ([`crate::namemap::NameMap`]);
+//! * the id → string direction ([`SymId::as_str`]) is only needed at the
+//!   edges (report rendering, DOT output, trace serialization), never
+//!   inside the per-record loops.
+//!
+//! The table is global and append-only: interned strings are leaked into
+//! `&'static str`s. The leak is bounded by the number of *distinct* symbols
+//! ever observed (program identifiers — not trace length), which is the
+//! same lifetime the previous per-parser `Arc<str>` interners effectively
+//! had over an analysis run, minus one allocation and one map per parser.
+//!
+//! Trade-off for long-running embedders: because the table is process-wide,
+//! memory grows monotonically with the union of all symbol sets ever
+//! analyzed, and the dense sym-indexed tables
+//! ([`crate::namemap::NameMap`], the DDG node index) size themselves to
+//! the highest id they touch. For the analysis CLI (one process per
+//! analysis — the paper's usage) this is strictly cheaper than the old
+//! per-parser interners; a service embedding thousands of unrelated
+//! analyses in one process would want an epoch/generation scheme (noted in
+//! ROADMAP.md).
+//!
+//! Determinism note: the numeric value of a [`SymId`] depends on first-come
+//! interning order, which differs between serial and parallel parses of the
+//! same trace. Ids therefore must never leak into output or into orderings
+//! that reach output — [`SymId`]'s `Ord` compares the *resolved strings* so
+//! that sorting by name stays byte-identical to the pre-interning code, and
+//! the property tests assert report/DOT byte-identity across parse modes.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{OnceLock, RwLock};
+
+/// A handle to an interned symbol string.
+///
+/// `Copy`, 4 bytes, integer equality/hash. Obtain via [`SymId::intern`],
+/// resolve via [`SymId::as_str`]. Two `SymId`s are equal iff their strings
+/// are equal (the table is a bijection).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SymId(u32);
+
+struct Interner {
+    // Deliberately SipHash (std's seeded default), NOT FxHash: this is the
+    // one map keyed by *untrusted strings* from the trace file, and FxHash
+    // is deterministic and collision-craftable. The integer-keyed hot maps
+    // downstream are where Fx pays; this table is hit once per symbol
+    // occurrence at most (and far less behind the per-parser memo).
+    map: HashMap<&'static str, u32>,
+    strs: Vec<&'static str>,
+}
+
+fn table() -> &'static RwLock<Interner> {
+    static TABLE: OnceLock<RwLock<Interner>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        RwLock::new(Interner {
+            map: HashMap::new(),
+            strs: Vec::new(),
+        })
+    })
+}
+
+impl SymId {
+    /// Intern `s`, returning its id. One hash lookup on the hit path (the
+    /// overwhelmingly common case in traces); one allocation — total, ever —
+    /// per distinct symbol on the miss path.
+    pub fn intern(s: &str) -> SymId {
+        let t = table();
+        if let Some(&id) = t.read().expect("interner poisoned").map.get(s) {
+            return SymId(id);
+        }
+        let mut w = t.write().expect("interner poisoned");
+        // Double-check: another thread may have interned between the locks.
+        if let Some(&id) = w.map.get(s) {
+            return SymId(id);
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = u32::try_from(w.strs.len()).expect("interner overflow: > 4G distinct symbols");
+        w.strs.push(leaked);
+        w.map.insert(leaked, id);
+        SymId(id)
+    }
+
+    /// The interned string. `&'static` because the table is append-only.
+    pub fn as_str(self) -> &'static str {
+        table().read().expect("interner poisoned").strs[self.0 as usize]
+    }
+
+    /// The raw dense index (0-based interning order). For building dense
+    /// tables; never meaningful across processes and never ordered —
+    /// interning order differs between serial and parallel parses.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SymId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for SymId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The id alone is meaningless in test output; show the string.
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+/// String order, **not** id order: sorting interned names must produce the
+/// same byte-identical reports the `Arc<str>` representation did, and id
+/// order varies with parse parallelism. Only used at the output edges.
+impl Ord for SymId {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.0 == other.0 {
+            return std::cmp::Ordering::Equal;
+        }
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+impl PartialOrd for SymId {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl From<&str> for SymId {
+    fn from(s: &str) -> SymId {
+        SymId::intern(s)
+    }
+}
+
+impl PartialEq<str> for SymId {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for SymId {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_bijective() {
+        let a = SymId::intern("intern_test_sum");
+        let b = SymId::intern("intern_test_sum");
+        let c = SymId::intern("intern_test_other");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.as_str(), "intern_test_sum");
+        assert_eq!(c.as_str(), "intern_test_other");
+    }
+
+    #[test]
+    fn round_trips_through_strings() {
+        for s in ["p", "key_array", "0", "main", "κλειδί", ""] {
+            assert_eq!(SymId::intern(s).as_str(), s);
+            assert_eq!(SymId::intern(SymId::intern(s).as_str()), SymId::intern(s));
+        }
+    }
+
+    #[test]
+    fn order_is_string_order_not_id_order() {
+        // Intern in reverse lexicographic order so id order and string
+        // order disagree.
+        let z = SymId::intern("intern_test_zzz");
+        let a = SymId::intern("intern_test_aaa");
+        assert!(a < z, "Ord must compare strings");
+        assert!(z > a);
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn display_and_str_equality() {
+        let s = SymId::intern("intern_test_disp");
+        assert_eq!(s.to_string(), "intern_test_disp");
+        assert!(s == "intern_test_disp");
+        assert!(s != "intern_test_di");
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let ids: Vec<SymId> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| scope.spawn(|| SymId::intern("intern_test_racy")))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+    }
+}

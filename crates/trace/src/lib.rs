@@ -34,7 +34,9 @@
 //!   the register/variable name) and `0` for immediates (empty name).
 
 pub mod chunk;
+pub mod intern;
 pub mod name;
+pub mod namemap;
 pub mod parallel;
 pub mod parser;
 pub mod reader;
@@ -43,7 +45,9 @@ pub mod stats;
 pub mod writer;
 
 pub use chunk::{chunk_boundaries, split_blocks};
+pub use intern::SymId;
 pub use name::Name;
+pub use namemap::{NameMap, NameSet};
 pub use parallel::{parse_parallel, parse_parallel_read, ParallelConfig};
 pub use parser::{parse_str, ParseError, TraceParser};
 pub use reader::{parse_read, RecordReader, TraceReadError};

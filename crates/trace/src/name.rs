@@ -1,7 +1,7 @@
 //! Register and variable names as they appear in trace operand records.
 
+use crate::intern::SymId;
 use std::fmt;
-use std::sync::Arc;
 
 /// A register name in the trace.
 ///
@@ -10,14 +10,18 @@ use std::sync::Arc;
 /// maps key on these, so the distinction is structural: `Temp` for numbered
 /// temporaries, `Sym` for symbolic names, `None` for immediates.
 ///
+/// Symbolic names are interned ([`SymId`]), making `Name` a `Copy` 8-byte
+/// value: the maps the analysis updates per record compare and hash plain
+/// integers instead of strings.
+///
 /// MiniLang identifiers cannot start with a digit, so the textual encoding
 /// is unambiguous: an all-digit name parses as `Temp`.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Name {
     /// Numbered temporary register.
     Temp(u32),
     /// Symbolic (variable, parameter, or function) name.
-    Sym(Arc<str>),
+    Sym(SymId),
     /// No name — the operand is an immediate constant.
     None,
 }
@@ -25,7 +29,7 @@ pub enum Name {
 impl Name {
     /// Symbolic name from a string slice.
     pub fn sym(s: &str) -> Name {
-        Name::Sym(Arc::from(s))
+        Name::Sym(SymId::intern(s))
     }
 
     /// Parse the textual form (empty → `None`, digits → `Temp`, else `Sym`).
@@ -35,10 +39,10 @@ impl Name {
         } else if s.bytes().all(|b| b.is_ascii_digit()) {
             match s.parse::<u32>() {
                 Ok(n) => Name::Temp(n),
-                Err(_) => Name::Sym(Arc::from(s)),
+                Err(_) => Name::sym(s),
             }
         } else {
-            Name::Sym(Arc::from(s))
+            Name::sym(s)
         }
     }
 
@@ -48,9 +52,9 @@ impl Name {
     }
 
     /// The symbolic name, if any.
-    pub fn as_sym(&self) -> Option<&str> {
+    pub fn as_sym(&self) -> Option<&'static str> {
         match self {
-            Name::Sym(s) => Some(s),
+            Name::Sym(s) => Some(s.as_str()),
             _ => None,
         }
     }
@@ -60,7 +64,7 @@ impl fmt::Display for Name {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Name::Temp(n) => write!(f, "{n}"),
-            Name::Sym(s) => write!(f, "{s}"),
+            Name::Sym(s) => f.write_str(s.as_str()),
             Name::None => Ok(()),
         }
     }
@@ -102,5 +106,23 @@ mod tests {
         // Longer than u32: falls back to Sym rather than panicking.
         let s = "99999999999999999999";
         assert!(matches!(Name::parse(s), Name::Sym(_)));
+    }
+
+    #[test]
+    fn name_is_copy_and_orders_syms_by_string() {
+        let a = Name::sym("name_test_aa");
+        let b = a; // Copy
+        assert_eq!(a, b);
+        // Derived variant order Temp < Sym < None, symbols by string.
+        assert!(Name::Temp(u32::MAX) < Name::sym("a"));
+        assert!(Name::sym("zz") < Name::None);
+        assert!(Name::sym("name_test_aa") < Name::sym("name_test_ab"));
+    }
+
+    #[test]
+    fn as_sym_resolves() {
+        assert_eq!(Name::sym("p").as_sym(), Some("p"));
+        assert_eq!(Name::Temp(3).as_sym(), None);
+        assert_eq!(Name::None.as_sym(), None);
     }
 }

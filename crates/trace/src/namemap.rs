@@ -1,0 +1,205 @@
+//! Dense maps keyed by register/variable [`Name`]s — the hot-path
+//! replacement for `HashMap<Name, V>` in the analysis data plane.
+//!
+//! Both kinds of name are integer-shaped after interning: temporaries are
+//! compiler-assigned sequential numbers and symbols are dense
+//! [`SymId`](crate::SymId)s, so the reg-var/reg-reg maps that the paper's
+//! §IV-B updates per record become two vectors indexed directly by those
+//! integers — a bounds check and a load instead of a hash, probe, and
+//! string compare.
+//!
+//! Temporary numbers come from the trace and are *not* guaranteed dense
+//! (a hand-written trace may name a register `4000000000`), so temps above
+//! [`DENSE_TEMP_LIMIT`] spill into an `FxHashMap` instead of growing the
+//! vector — the dense fast path stays allocation-bounded by the program,
+//! never by a hostile input.
+
+use crate::name::Name;
+use fxhash::FxHashMap;
+
+/// Temps with numbers below this index into the dense table; larger ones
+/// use the overflow map. The compiler numbers temporaries per function
+/// (sequential from 0), so real traces sit far below this; the limit only
+/// caps what a hand-written trace can make a dense table allocate
+/// (64Ki slots ≈ 1 MB per map at worst).
+pub const DENSE_TEMP_LIMIT: u32 = 1 << 16;
+
+/// A map from [`Name`] to `V` with O(1) vector-indexed access for the
+/// dense key shapes (interned symbols, sequentially-numbered temps).
+#[derive(Clone, Debug)]
+pub struct NameMap<V> {
+    temps: Vec<Option<V>>,
+    temp_overflow: FxHashMap<u32, V>,
+    syms: Vec<Option<V>>,
+    none: Option<V>,
+}
+
+impl<V> Default for NameMap<V> {
+    fn default() -> Self {
+        NameMap {
+            temps: Vec::new(),
+            temp_overflow: FxHashMap::default(),
+            syms: Vec::new(),
+            none: None,
+        }
+    }
+}
+
+impl<V> NameMap<V> {
+    /// An empty map.
+    pub fn new() -> NameMap<V> {
+        NameMap::default()
+    }
+
+    /// Look `name` up.
+    #[inline]
+    pub fn get(&self, name: Name) -> Option<&V> {
+        match name {
+            Name::Temp(n) if n < DENSE_TEMP_LIMIT => {
+                self.temps.get(n as usize).and_then(|s| s.as_ref())
+            }
+            Name::Temp(n) => self.temp_overflow.get(&n),
+            Name::Sym(s) => self.syms.get(s.index()).and_then(|s| s.as_ref()),
+            Name::None => self.none.as_ref(),
+        }
+    }
+
+    /// Insert, returning the previous value.
+    #[inline]
+    pub fn insert(&mut self, name: Name, value: V) -> Option<V> {
+        match name {
+            Name::Temp(n) if n >= DENSE_TEMP_LIMIT => self.temp_overflow.insert(n, value),
+            _ => self.dense_slot(name).replace(value),
+        }
+    }
+
+    /// Insert only if absent (the `entry(..).or_insert(..)` idiom).
+    #[inline]
+    pub fn insert_if_absent(&mut self, name: Name, value: V) {
+        match name {
+            Name::Temp(n) if n >= DENSE_TEMP_LIMIT => {
+                self.temp_overflow.entry(n).or_insert(value);
+            }
+            _ => {
+                let slot = self.dense_slot(name);
+                if slot.is_none() {
+                    *slot = Some(value);
+                }
+            }
+        }
+    }
+
+    /// True when `name` has a value.
+    #[inline]
+    pub fn contains(&self, name: Name) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Slot for the vector-backed key shapes; overflow temps are excluded
+    /// by the callers above.
+    #[inline]
+    fn dense_slot(&mut self, name: Name) -> &mut Option<V> {
+        match name {
+            Name::Temp(n) => {
+                debug_assert!(n < DENSE_TEMP_LIMIT);
+                let i = n as usize;
+                if self.temps.len() <= i {
+                    self.temps.resize_with(i + 1, || None);
+                }
+                &mut self.temps[i]
+            }
+            Name::Sym(s) => {
+                let i = s.index();
+                if self.syms.len() <= i {
+                    self.syms.resize_with(i + 1, || None);
+                }
+                &mut self.syms[i]
+            }
+            Name::None => &mut self.none,
+        }
+    }
+}
+
+/// A set of [`Name`]s with the same dense representation.
+#[derive(Clone, Debug, Default)]
+pub struct NameSet {
+    inner: NameMap<()>,
+}
+
+impl NameSet {
+    /// An empty set.
+    pub fn new() -> NameSet {
+        NameSet::default()
+    }
+
+    /// Insert `name`; returns true when it was not present.
+    #[inline]
+    pub fn insert(&mut self, name: Name) -> bool {
+        self.inner.insert(name, ()).is_none()
+    }
+
+    /// True when `name` is present.
+    #[inline]
+    pub fn contains(&self, name: Name) -> bool {
+        self.inner.contains(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SymId;
+
+    #[test]
+    fn all_key_shapes_round_trip() {
+        let mut m: NameMap<u64> = NameMap::new();
+        let keys = [
+            Name::Temp(0),
+            Name::Temp(8),
+            Name::Temp(DENSE_TEMP_LIMIT + 5),
+            Name::Sym(SymId::intern("namemap_test_p")),
+            Name::None,
+        ];
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(m.get(k), None);
+            assert_eq!(m.insert(k, i as u64), None);
+        }
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(m.get(k), Some(&(i as u64)));
+            assert!(m.contains(k));
+        }
+        assert_eq!(m.insert(keys[1], 99), Some(1), "replace returns previous");
+        assert_eq!(m.get(keys[1]), Some(&99));
+    }
+
+    #[test]
+    fn insert_if_absent_keeps_first_binding() {
+        let mut m: NameMap<&str> = NameMap::new();
+        let k = Name::Sym(SymId::intern("namemap_test_frozen"));
+        m.insert_if_absent(k, "first");
+        m.insert_if_absent(k, "second");
+        assert_eq!(m.get(k), Some(&"first"));
+        let hot = Name::Temp(DENSE_TEMP_LIMIT + 1);
+        m.insert_if_absent(hot, "of1");
+        m.insert_if_absent(hot, "of2");
+        assert_eq!(m.get(hot), Some(&"of1"));
+    }
+
+    #[test]
+    fn huge_temp_numbers_do_not_allocate_dense_tables() {
+        let mut m: NameMap<u8> = NameMap::new();
+        m.insert(Name::Temp(u32::MAX), 1);
+        assert!(m.temps.is_empty(), "hostile temp ids must spill to the map");
+        assert_eq!(m.get(Name::Temp(u32::MAX)), Some(&1));
+    }
+
+    #[test]
+    fn name_set_semantics() {
+        let mut s = NameSet::new();
+        let k = Name::Sym(SymId::intern("namemap_test_set"));
+        assert!(s.insert(k));
+        assert!(!s.insert(k));
+        assert!(s.contains(k));
+        assert!(!s.contains(Name::Temp(3)));
+    }
+}

@@ -216,19 +216,19 @@ unsafe impl Sync for SlotsPtr {}
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::intern::SymId;
     use crate::name::Name;
     use crate::record::{opcodes, OpTag, Operand, TraceValue};
     use crate::writer;
-    use std::sync::Arc;
 
     fn synth_trace(blocks: usize) -> String {
         let mut recs = Vec::with_capacity(blocks);
         for i in 0..blocks {
             recs.push(Record {
                 src_line: (i % 90 + 1) as i32,
-                func: Arc::from(if i % 3 == 0 { "main" } else { "foo" }),
+                func: SymId::intern(if i % 3 == 0 { "main" } else { "foo" }),
                 bb: (1, 1),
-                bb_label: Arc::from("0"),
+                bb_label: SymId::intern("0"),
                 opcode: if i % 2 == 0 {
                     opcodes::LOAD
                 } else {

@@ -1,14 +1,23 @@
 //! Streaming parser for the textual trace format.
 //!
 //! The parser is written for throughput: it works line-by-line over borrowed
-//! bytes, splits fields manually (no regex), and interns function names and
-//! block labels so the per-record allocation count stays O(operands).
+//! bytes, splits fields manually (no regex), and interns every symbol
+//! (function names, block labels, operand names) through the shared
+//! [`SymId`] table, so the canonical allocation per distinct symbol happens
+//! once per process — not (as the old per-parser interner did) twice per
+//! symbol for a separate `String` key and `Arc<str>` value.
+//!
+//! The global table sits behind a lock, so each parser keeps a thread-local
+//! *memo* (`str → SymId`): symbols repeat millions of times in real traces,
+//! and the memo turns all repeat lookups into a private hash probe —
+//! parallel-parse workers touch the shared table only on first sight of a
+//! symbol, which is what keeps parallel parsing off the global lock.
 
+use crate::intern::SymId;
 use crate::name::Name;
 use crate::record::{OpTag, Operand, Record, TraceValue};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
 
 /// A parse failure, with the 1-based line number where it occurred.
 #[derive(Clone, Debug, PartialEq)]
@@ -33,7 +42,12 @@ impl std::error::Error for ParseError {}
 
 /// Incremental trace parser. Feed it lines; finished records come out.
 pub struct TraceParser {
-    interner: HashMap<String, Arc<str>>,
+    /// Thread-private memo onto the shared interner (see module docs).
+    /// Keyed by the leaked `&'static str` the table hands back, so the
+    /// memo itself adds no allocation per symbol. SipHash (std default),
+    /// not FxHash: these are untrusted strings straight from the trace,
+    /// the same reason the shared table avoids Fx (see `intern.rs`).
+    memo: HashMap<&'static str, SymId>,
     current: Option<Record>,
     line_no: u64,
 }
@@ -48,19 +62,34 @@ impl TraceParser {
     /// A fresh parser.
     pub fn new() -> Self {
         TraceParser {
-            interner: HashMap::new(),
+            memo: HashMap::new(),
             current: None,
             line_no: 0,
         }
     }
 
-    fn intern(&mut self, s: &str) -> Arc<str> {
-        if let Some(a) = self.interner.get(s) {
-            return a.clone();
+    /// Intern through the memo: repeat symbols never touch the global lock.
+    fn intern(&mut self, s: &str) -> SymId {
+        if let Some(&id) = self.memo.get(s) {
+            return id;
         }
-        let a: Arc<str> = Arc::from(s);
-        self.interner.insert(s.to_string(), a.clone());
-        a
+        let id = SymId::intern(s);
+        self.memo.insert(id.as_str(), id);
+        id
+    }
+
+    /// Like [`Name::parse`], but interning through the parser's memo.
+    fn parse_name(&mut self, s: &str) -> Name {
+        if s.is_empty() || s == " " {
+            Name::None
+        } else if s.bytes().all(|b| b.is_ascii_digit()) {
+            match s.parse::<u32>() {
+                Ok(n) => Name::Temp(n),
+                Err(_) => Name::Sym(self.intern(s)),
+            }
+        } else {
+            Name::Sym(self.intern(s))
+        }
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
@@ -153,22 +182,6 @@ impl TraceParser {
             .ok_or_else(|| self.err(format!("missing {what}")))?;
         f.parse::<T>()
             .map_err(|_| self.err(format!("bad {what} `{f}`")))
-    }
-
-    /// Like [`Name::parse`], but interning symbolic names: operand names
-    /// repeat millions of times in real traces, and sharing their
-    /// allocations is what keeps parallel parsing off the allocator lock.
-    fn parse_name(&mut self, s: &str) -> Name {
-        if s.is_empty() || s == " " {
-            Name::None
-        } else if s.bytes().all(|b| b.is_ascii_digit()) {
-            match s.parse::<u32>() {
-                Ok(n) => Name::Temp(n),
-                Err(_) => Name::Sym(self.intern(s)),
-            }
-        } else {
-            Name::Sym(self.intern(s))
-        }
     }
 
     fn parse_operand(
@@ -293,7 +306,7 @@ mod tests {
         assert_eq!(recs.len(), 2);
         let load = &recs[0];
         assert_eq!(load.opcode, opcodes::LOAD);
-        assert_eq!(&*load.func, "foo");
+        assert_eq!(load.func.as_str(), "foo");
         assert_eq!(load.bb, (6, 1));
         assert_eq!(load.dyn_id, 215);
         assert_eq!(load.op1().unwrap().name, Name::sym("p"));
@@ -318,9 +331,10 @@ mod tests {
     #[test]
     fn interner_shares_function_names() {
         let recs = parse_str(FIG1).unwrap();
-        // The interner hands out literally the same allocation for repeated
-        // function names.
-        assert!(Arc::ptr_eq(&recs[0].func, &recs[1].func));
+        // Repeated function names intern to the same id — and to literally
+        // the same `&'static str` allocation.
+        assert_eq!(recs[0].func, recs[1].func);
+        assert!(std::ptr::eq(recs[0].func.as_str(), recs[1].func.as_str()));
     }
 
     #[test]

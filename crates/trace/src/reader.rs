@@ -192,17 +192,16 @@ mod tests {
     use super::*;
     use crate::parser::parse_str;
     use crate::record::{opcodes, OpTag, Operand, TraceValue};
-    use crate::{writer, Name};
-    use std::sync::Arc;
+    use crate::{writer, Name, SymId};
 
     fn synth_trace(blocks: usize) -> String {
         let mut recs = Vec::with_capacity(blocks);
         for i in 0..blocks {
             recs.push(Record {
                 src_line: (i % 90 + 1) as i32,
-                func: Arc::from(if i % 3 == 0 { "main" } else { "foo" }),
+                func: SymId::intern(if i % 3 == 0 { "main" } else { "foo" }),
                 bb: (1, 1),
-                bb_label: Arc::from("0"),
+                bb_label: SymId::intern("0"),
                 opcode: if i % 2 == 0 {
                     opcodes::LOAD
                 } else {
@@ -245,6 +244,28 @@ mod tests {
         let streamed = parse_read(text.as_bytes()).unwrap();
         assert_eq!(streamed, parse_str(&text).unwrap());
         assert_eq!(streamed.len(), 3);
+    }
+
+    #[test]
+    fn crlf_traces_match_the_batch_parser() {
+        // The reader splits on raw b'\n' and hands the parser lines with a
+        // trailing '\r'; feed_line trims both, so CRLF files must parse
+        // identically to LF files in every mode (batch uses str::lines,
+        // which strips the '\r' itself).
+        let lf = synth_trace(20);
+        let crlf = lf.replace('\n', "\r\n");
+        let want = parse_str(&lf).unwrap();
+        assert_eq!(parse_str(&crlf).unwrap(), want);
+        for chunk in [1, 7, 4096] {
+            let streamed: Vec<Record> = RecordReader::with_chunk_size(crlf.as_bytes(), chunk)
+                .collect::<Result<_, _>>()
+                .unwrap();
+            assert_eq!(streamed, want, "chunk = {chunk}");
+        }
+        // EOF-flush path: final CRLF line without its '\n'.
+        let mut cut = crlf.clone();
+        cut.pop();
+        assert_eq!(parse_read(cut.as_bytes()).unwrap(), want);
     }
 
     #[test]

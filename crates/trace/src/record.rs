@@ -1,8 +1,8 @@
 //! In-memory representation of trace records.
 
+use crate::intern::SymId;
 use crate::name::Name;
 use std::fmt;
-use std::sync::Arc;
 
 /// A dynamic operand value as traced.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -112,13 +112,13 @@ impl Operand {
 pub struct Record {
     /// Source line (−1 for synthetic instructions).
     pub src_line: i32,
-    /// Enclosing function name.
-    pub func: Arc<str>,
+    /// Enclosing function name (interned).
+    pub func: SymId,
     /// Basic block id (`line:col` of the block's first statement).
     pub bb: (u32, u32),
-    /// Basic block label. For `Alloca` records this carries the variable
-    /// name instead, as in paper Fig. 6(c).
-    pub bb_label: Arc<str>,
+    /// Basic block label (interned). For `Alloca` records this carries the
+    /// variable name instead, as in paper Fig. 6(c).
+    pub bb_label: SymId,
     /// Numeric LLVM 3.4 opcode.
     pub opcode: u16,
     /// Dynamic instruction id (execution order, 0-based).
@@ -216,9 +216,9 @@ mod tests {
     fn sample() -> Record {
         Record {
             src_line: 3,
-            func: Arc::from("foo"),
+            func: SymId::intern("foo"),
             bb: (6, 1),
-            bb_label: Arc::from("11"),
+            bb_label: SymId::intern("11"),
             opcode: opcodes::LOAD,
             dyn_id: 215,
             operands: vec![Operand::reg(

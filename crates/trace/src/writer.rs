@@ -99,9 +99,9 @@ pub fn to_string(records: &[Record]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::intern::SymId;
     use crate::name::Name;
     use crate::record::{opcodes, OpTag, TraceValue};
-    use std::sync::Arc;
 
     /// The `Load` block from paper Fig. 1, transliterated to our canonical
     /// field order.
@@ -109,9 +109,9 @@ mod tests {
     fn formats_load_block() {
         let r = Record {
             src_line: 3,
-            func: Arc::from("foo"),
+            func: SymId::intern("foo"),
             bb: (6, 1),
-            bb_label: Arc::from("11"),
+            bb_label: SymId::intern("11"),
             opcode: opcodes::LOAD,
             dyn_id: 215,
             operands: vec![Operand::reg(
@@ -139,9 +139,9 @@ mod tests {
     fn formats_immediate_operand_with_empty_name() {
         let r = Record {
             src_line: 12,
-            func: Arc::from("foo"),
+            func: SymId::intern("foo"),
             bb: (6, 1),
-            bb_label: Arc::from("12"),
+            bb_label: SymId::intern("12"),
             opcode: opcodes::MUL,
             dyn_id: 216,
             operands: vec![
@@ -164,9 +164,9 @@ mod tests {
     fn writer_counts_records_and_bytes() {
         let r = Record {
             src_line: 1,
-            func: Arc::from("main"),
+            func: SymId::intern("main"),
             bb: (1, 1),
-            bb_label: Arc::from("0"),
+            bb_label: SymId::intern("0"),
             opcode: opcodes::BR,
             dyn_id: 0,
             operands: vec![],

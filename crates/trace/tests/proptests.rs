@@ -4,10 +4,9 @@
 
 use autocheck_trace::{
     chunk_boundaries, parse_parallel, parse_str, split_blocks, writer, Name, OpTag, Operand,
-    ParallelConfig, Record, TraceValue,
+    ParallelConfig, Record, SymId, TraceValue,
 };
 use proptest::prelude::*;
-use std::sync::Arc;
 
 fn arb_name() -> impl Strategy<Value = Name> {
     prop_oneof![
@@ -58,9 +57,9 @@ prop_compose! {
         }
         Record {
             src_line,
-            func: Arc::from(func.as_str()),
+            func: SymId::intern(&func),
             bb,
-            bb_label: Arc::from(label.to_string().as_str()),
+            bb_label: SymId::intern(&label.to_string()),
             opcode,
             dyn_id,
             operands,

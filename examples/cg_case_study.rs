@@ -37,7 +37,7 @@ fn main() {
         .report
         .mli
         .iter()
-        .find(|m| &*m.name == "x")
+        .find(|m| m.name == "x")
         .expect("x is MLI");
     println!("--- R/W dependencies on `x` in the first iteration ---");
     let phases = autocheck_core::Phases::compute(&run.records, &spec.region);

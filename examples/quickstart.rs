@@ -67,7 +67,7 @@ fn main() {
     println!("--- trace excerpt (Fig. 1 format) ---");
     let mut shown = 0;
     for r in &sink.records {
-        if &*r.func == "foo" && (r.opcode == 27 || r.opcode == 12) {
+        if r.func == "foo" && (r.opcode == 27 || r.opcode == 12) {
             let mut s = String::new();
             writer::format_record(r, &mut s);
             print!("{s}");

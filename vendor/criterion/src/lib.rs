@@ -10,6 +10,12 @@
 //! No statistical analysis, HTML reports, or command-line filtering beyond
 //! ignoring the flags Cargo passes to `--bench` targets.
 //!
+//! **Smoke mode:** setting `AUTOCHECK_BENCH_SMOKE=1` clamps every benchmark
+//! to a single timed sample. The numbers are meaningless, but every bench
+//! body executes end to end — CI uses this to catch perf-harness rot
+//! (benches that compile but panic or hang) without spending minutes on
+//! real measurement runs.
+//!
 //! [criterion]: https://docs.rs/criterion
 
 use std::fmt;
@@ -20,6 +26,13 @@ use std::time::{Duration, Instant};
 pub use std::hint::black_box;
 
 const DEFAULT_SAMPLE_SIZE: usize = 10;
+
+/// True when `AUTOCHECK_BENCH_SMOKE=1`: run each bench body once, to verify
+/// the harness executes, not to measure.
+fn smoke_mode() -> bool {
+    static SMOKE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *SMOKE.get_or_init(|| std::env::var_os("AUTOCHECK_BENCH_SMOKE").is_some_and(|v| v == "1"))
+}
 
 /// Top-level benchmark driver.
 #[derive(Default)]
@@ -158,7 +171,9 @@ pub struct Bencher {
 
 impl Bencher {
     pub fn iter<O>(&mut self, mut body: impl FnMut() -> O) {
-        black_box(body()); // warm-up
+        if !smoke_mode() {
+            black_box(body()); // warm-up
+        }
         self.samples.clear();
         for _ in 0..self.sample_size {
             let start = Instant::now();
@@ -174,6 +189,7 @@ fn run_benchmark(
     throughput: Option<Throughput>,
     mut f: impl FnMut(&mut Bencher),
 ) {
+    let sample_size = if smoke_mode() { 1 } else { sample_size };
     let mut b = Bencher {
         samples: Vec::new(),
         sample_size,

@@ -1,0 +1,194 @@
+//! A vendored, dependency-free implementation of the FxHash algorithm.
+//!
+//! This workspace builds in environments with no crates.io access, so the
+//! real `fxhash`/`rustc-hash` crates cannot be fetched. This crate
+//! implements the same multiply-and-rotate word hasher rustc uses for its
+//! own interned-ID tables: every input word is folded into the state with
+//!
+//! ```text
+//! state = (state.rotate_left(5) ^ word) * 0x51_7c_c1_b7_27_22_0a_95
+//! ```
+//!
+//! FxHash is **not** collision-resistant against adversarial inputs; it is
+//! meant for trusted, integer-shaped keys (interned symbol ids, node ids,
+//! base addresses) where SipHash's per-lookup cost dominates the map
+//! operation itself — exactly the shape of the analysis data plane's hot
+//! maps.
+//!
+//! Threat-model note for this workspace: *string* keys from trace files
+//! stay on std's seeded SipHash (the interner table and parser memo —
+//! see `autocheck_trace::intern`), because crafting string collisions is
+//! trivial. The Fx maps key on interner-assigned dense ids and on
+//! *addresses/temp numbers* read from the trace; those are
+//! attacker-influencable only by hand-crafting a trace, in which case the
+//! attacker is degrading their own analysis run — the same self-inflicted
+//! class as feeding an enormous trace. A multi-tenant service ingesting
+//! third-party traces should revisit this (tracked in ROADMAP.md alongside
+//! the interner epoch scheme).
+//!
+//! Supported surface: [`FxHasher`], [`FxBuildHasher`], and the
+//! [`FxHashMap`]/[`FxHashSet`] aliases, drop-in for the upstream crates.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the Firefox/rustc implementation: a 64-bit constant with
+/// well-mixed bits (derived from pi) that spreads low-entropy integer keys
+/// across the hash space in a single multiply.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// A `HashMap` using FxHash. Drop-in for `std::collections::HashMap` where
+/// keys are trusted and integer-shaped.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using FxHash.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// `BuildHasher` producing [`FxHasher`]s; zero-sized and deterministic (no
+/// per-map random seed — FxHash trades DoS resistance for speed).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// The FxHash streaming hasher.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        // Fold 8 bytes at a time, then the sub-word tail.
+        while bytes.len() >= 8 {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(&bytes[..8]);
+            self.add_to_hash(u64::from_le_bytes(word));
+            bytes = &bytes[8..];
+        }
+        if bytes.len() >= 4 {
+            let mut word = [0u8; 4];
+            word.copy_from_slice(&bytes[..4]);
+            self.add_to_hash(u64::from(u32::from_le_bytes(word)));
+            bytes = &bytes[4..];
+        }
+        if bytes.len() >= 2 {
+            let mut word = [0u8; 2];
+            word.copy_from_slice(&bytes[..2]);
+            self.add_to_hash(u64::from(u16::from_le_bytes(word)));
+            bytes = &bytes[2..];
+        }
+        if let Some(&b) = bytes.first() {
+            self.add_to_hash(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_hashers() {
+        assert_eq!(hash_of(&42u32), hash_of(&42u32));
+        assert_eq!(hash_of(&(7u32, 0x1000u64)), hash_of(&(7u32, 0x1000u64)));
+        assert_eq!(hash_of(&"symbol"), hash_of(&"symbol"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_integers() {
+        // Sequential keys are the dense-ID workload: full hashes must be
+        // collision-free and the high bits (the ones hashbrown consumes)
+        // must keep a healthy spread even without a finalizer.
+        let full: std::collections::HashSet<u64> = (0u64..1000).map(|i| hash_of(&i)).collect();
+        assert_eq!(full.len(), 1000, "full-hash collision on sequential keys");
+        let high: std::collections::HashSet<u64> =
+            (0u64..1000).map(|i| hash_of(&i) >> 48).collect();
+        assert!(
+            high.len() > 600,
+            "high bits collapse: {} distinct of 1000",
+            high.len()
+        );
+    }
+
+    #[test]
+    fn byte_stream_tail_sizes_all_fold() {
+        // 1..16-byte strings must all hash (exercises every tail branch).
+        let mut seen = std::collections::HashSet::new();
+        for len in 1..=16 {
+            let s: String = "abcdefghijklmnop"[..len].to_string();
+            assert!(seen.insert(hash_of(&s.as_str())), "collision at len {len}");
+        }
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<(u32, u64), usize> = FxHashMap::default();
+        m.insert((1, 0x100), 7);
+        assert_eq!(m.get(&(1, 0x100)), Some(&7));
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+    }
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Reference values computed from the algorithm definition above;
+        // pinning them catches accidental constant/rotation changes.
+        let mut h = FxHasher::default();
+        h.write_u64(1);
+        assert_eq!(h.finish(), 1u64.wrapping_mul(super::SEED));
+        let mut h2 = FxHasher::default();
+        h2.write_u64(1);
+        h2.write_u64(2);
+        let expect = (1u64.wrapping_mul(super::SEED).rotate_left(5) ^ 2).wrapping_mul(super::SEED);
+        assert_eq!(h2.finish(), expect);
+    }
+}
