@@ -4,10 +4,12 @@
 //! ```text
 //! mlc run   <file.mc>                 # compile and execute, print output
 //! mlc trace <file.mc> -o trace.txt    # execute and write the dynamic trace
-//! mlc trace <file.mc> --stream --function f --start a --end b
+//! mlc trace <file.mc>... --stream --function f --start a --end b
 //!                                     # execute and analyze online: records
 //!                                     # flow interpreter -> analyzer with no
-//!                                     # trace file or record buffer at all
+//!                                     # trace file or record buffer at all.
+//!                                     # Several files = one session each,
+//!                                     # with per-session peak-live/timing
 //! mlc ir    <file.mc>                 # dump the textual IR
 //! mlc loops <file.mc> [--function f]  # list loops and their control vars
 //! mlc app   <name> [-o file.mc]       # emit a bundled benchmark's source
@@ -15,21 +17,31 @@
 //!
 //! In `--stream` mode the region defaults to `// @loop-start` /
 //! `// @loop-end` markers when `--start`/`--end` are not given, and the
-//! loop pass supplies the Index variables automatically.
+//! loop pass supplies the Index variables automatically. With more than
+//! one input file, every file is analyzed in its **own session** (its own
+//! symbol space, via `AnalysisCtx::session`), and the peak-live window and
+//! timings are reported per session — not just for the last analysis.
 
 use autocheck_core::{index_variables_of, Region, StreamAnalyzer, StreamConfig};
 use autocheck_interp::{ExecError, ExecOptions, FnSink, Machine, NoHook, NullSink, WriterSink};
 use autocheck_ir::{Cfg, DomTree, LoopForest};
+use autocheck_trace::AnalysisCtx;
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
         "usage: mlc <run|trace|ir|loops|app> <file.mc | app-name> [-o out] [--function f]\n\
-         \x20      mlc trace <file.mc> --stream [--function f] [--start n --end n]\n\
-         \x20                [--max-live-records N]"
+         \x20      mlc trace <file.mc>... --stream [--function f] [--start n --end n]\n\
+         \x20                [--max-live-records N]   (per-session stats per input file)"
     );
     std::process::exit(2)
 }
+
+/// Every flag that consumes the following argument as its value. The
+/// multi-file positional scan below and `opt()` both depend on this —
+/// add new value-taking flags HERE, not inline, or their values will be
+/// misread as input files.
+const VALUE_FLAGS: &[&str] = &["--function", "--start", "--end", "--max-live-records", "-o"];
 
 fn compile_file(path: &str) -> Result<autocheck_ir::Module, ExitCode> {
     let src = std::fs::read_to_string(path).map_err(|e| {
@@ -52,6 +64,10 @@ fn main() -> ExitCode {
     let cmd = argv[0].as_str();
     let target = argv[1].as_str();
     let opt = |flag: &str| {
+        debug_assert!(
+            VALUE_FLAGS.contains(&flag),
+            "{flag} must be listed in VALUE_FLAGS"
+        );
         argv.iter()
             .position(|a| a == flag)
             .and_then(|i| argv.get(i + 1))
@@ -80,52 +96,22 @@ fn main() -> ExitCode {
             }
         }
         "trace" if argv.iter().any(|a| a == "--stream") => {
-            let src = match std::fs::read_to_string(target) {
-                Ok(s) => s,
-                Err(e) => {
-                    eprintln!("error: cannot read `{target}`: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            // Compile from the bytes already read — re-reading the file
-            // here could race with an edit and analyze a region computed
-            // from different source than the module being executed.
-            let module = match autocheck_minilang::compile(&src) {
-                Ok(m) => m,
-                Err(errs) => {
-                    for e in errs {
-                        eprintln!("{e}");
-                    }
-                    return ExitCode::FAILURE;
-                }
-            };
-            let function = opt("--function").unwrap_or_else(|| "main".to_string());
-            let region = match (opt("--start"), opt("--end")) {
-                (Some(s), Some(e)) => {
-                    let (Ok(s), Ok(e)) = (s.parse::<u32>(), e.parse::<u32>()) else {
-                        usage()
-                    };
-                    if s == 0 || e < s {
-                        eprintln!("error: --start/--end must satisfy 1 <= start <= end");
-                        return ExitCode::FAILURE;
-                    }
-                    Region::new(function, s, e)
-                }
-                (None, None) => match autocheck_apps::try_region_from_markers(&src, &function) {
-                    Some(r) => r,
-                    None => {
-                        eprintln!(
-                            "error: --stream needs --start/--end (or a @loop-start \
-                                 marker followed by @loop-end in the source)"
-                        );
-                        return ExitCode::FAILURE;
-                    }
-                },
-                _ => {
-                    eprintln!("error: --start and --end must be given together");
-                    return ExitCode::FAILURE;
-                }
-            };
+            // Every positional argument is an input file; each gets its own
+            // analysis session with its own symbol space.
+            let targets: Vec<&String> = argv[1..]
+                .iter()
+                .enumerate()
+                .filter(|(i, a)| {
+                    !a.starts_with('-')
+                        && !argv[1..]
+                            .get(i.wrapping_sub(1))
+                            .is_some_and(|p| VALUE_FLAGS.contains(&p.as_str()))
+                })
+                .map(|(_, a)| a)
+                .collect();
+            if targets.is_empty() {
+                usage();
+            }
             if opt("-o").is_some() {
                 eprintln!("note: -o is ignored in --stream mode; no trace file is written");
             }
@@ -136,37 +122,117 @@ fn main() -> ExitCode {
                 },
                 None => None,
             };
-            let index = index_variables_of(&module, &region);
-            let analyzer = StreamAnalyzer::new(region)
-                .with_index_vars(index)
-                .with_config(StreamConfig {
-                    max_live_records: max_live,
-                    ..StreamConfig::default()
-                });
-            // Interpreter → analyzer directly: every emitted record is
-            // pushed into the session and dropped; nothing touches disk.
-            let mut session = analyzer.session();
-            let mut sink = FnSink::new(|rec| {
-                session.push(&rec).map_err(|e| ExecError::Sink {
-                    message: e.to_string(),
-                })
-            });
-            let mut machine = Machine::new(&module, ExecOptions::default());
-            if let Err(e) = machine.run(&mut sink, &mut NoHook) {
-                eprintln!("runtime error: {e}");
-                return ExitCode::FAILURE;
+            let batch = targets.len() > 1;
+            if batch && opt("--start").is_some() {
+                eprintln!(
+                    "note: --start/--end apply the same region to every input file; \
+                     omit them to use each file's @loop-start/@loop-end markers"
+                );
             }
-            let run = session.finish();
-            println!("{}", run.report);
-            let bound = match run.stats.live_bound {
-                Some(b) => format!("{b}"),
-                None => "unbounded".to_string(),
-            };
-            println!(
-                "streaming: peak {} live records of {} total (bound: {}); no trace file written",
-                run.stats.peak_live_records, run.report.records, bound
-            );
-            ExitCode::SUCCESS
+            let mut code = ExitCode::SUCCESS;
+            for target in targets {
+                if batch {
+                    println!("=== {target} ===");
+                }
+                let t0 = std::time::Instant::now();
+                let src = match std::fs::read_to_string(target) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("error: cannot read `{target}`: {e}");
+                        code = ExitCode::FAILURE;
+                        continue;
+                    }
+                };
+                // Compile from the bytes already read — re-reading the file
+                // here could race with an edit and analyze a region computed
+                // from different source than the module being executed.
+                let module = match autocheck_minilang::compile(&src) {
+                    Ok(m) => m,
+                    Err(errs) => {
+                        for e in errs {
+                            eprintln!("{e}");
+                        }
+                        code = ExitCode::FAILURE;
+                        continue;
+                    }
+                };
+                let function = opt("--function").unwrap_or_else(|| "main".to_string());
+                let region = match (opt("--start"), opt("--end")) {
+                    (Some(s), Some(e)) => {
+                        let (Ok(s), Ok(e)) = (s.parse::<u32>(), e.parse::<u32>()) else {
+                            usage()
+                        };
+                        if s == 0 || e < s {
+                            eprintln!("error: --start/--end must satisfy 1 <= start <= end");
+                            return ExitCode::FAILURE;
+                        }
+                        Region::new(function, s, e)
+                    }
+                    (None, None) => {
+                        match autocheck_apps::try_region_from_markers(&src, &function) {
+                            Some(r) => r,
+                            None => {
+                                eprintln!(
+                                    "error: `{target}` needs --start/--end (or a @loop-start \
+                                     marker followed by @loop-end in the source)"
+                                );
+                                code = ExitCode::FAILURE;
+                                continue;
+                            }
+                        }
+                    }
+                    _ => {
+                        eprintln!("error: --start and --end must be given together");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                // One session per input file: fresh symbol space, entered
+                // for the whole trace+analyze+render span.
+                let ctx = AnalysisCtx::session();
+                let _guard = ctx.enter();
+                let index = index_variables_of(&module, &region);
+                let analyzer = StreamAnalyzer::new(region)
+                    .with_index_vars(index)
+                    .with_config(StreamConfig {
+                        max_live_records: max_live,
+                        ..StreamConfig::default()
+                    })
+                    .with_ctx(ctx.clone());
+                // Interpreter → analyzer directly: every emitted record is
+                // pushed into the session and dropped; nothing touches disk.
+                let mut session = analyzer.session();
+                let mut sink = FnSink::new(|rec| {
+                    session.push(&rec).map_err(|e| ExecError::Sink {
+                        message: e.to_string(),
+                    })
+                });
+                let mut machine = Machine::with_ctx(&module, ExecOptions::default(), ctx.clone());
+                if let Err(e) = machine.run(&mut sink, &mut NoHook) {
+                    eprintln!("runtime error: {e}");
+                    code = ExitCode::FAILURE;
+                    continue;
+                }
+                let run = session.finish();
+                println!("{}", run.report);
+                let bound = match run.stats.live_bound {
+                    Some(b) => format!("{b}"),
+                    None => "unbounded".to_string(),
+                };
+                println!(
+                    "streaming: peak {} live records of {} total (bound: {}); no trace file written",
+                    run.stats.peak_live_records, run.report.records, bound
+                );
+                println!(
+                    "session: {} symbols; ingest+identify {:.3?}; wall {:.3?}",
+                    ctx.space().len(),
+                    run.report.timings.total(),
+                    t0.elapsed()
+                );
+                if batch {
+                    println!();
+                }
+            }
+            code
         }
         "trace" => {
             let module = match compile_file(target) {

@@ -1,0 +1,180 @@
+//! Concurrency stress test for session-scoped analysis: all 14 benchmark
+//! analyses run as parallel `MultiAnalyzer` sessions, and every rendered
+//! report and DOT graph must be **byte-identical** to the serial run.
+//!
+//! This is the acceptance property of the per-session symbol-space design:
+//! concurrent sessions intern symbols in interleaved, nondeterministic
+//! orders, each into its own space — if any symbol id (whose numeric value
+//! depends on that interleaving) leaked into output, or any session
+//! observed another session's ids, some byte of some report would differ
+//! between the serial and parallel runs.
+
+use autocheck_apps::all_apps;
+use autocheck_core::{AnalysisJob, BatchOutcome, JobInput, MultiAnalyzer};
+use autocheck_trace::{AnalysisCtx, SymbolSpace};
+
+fn suite_jobs(untrusted: bool) -> Vec<AnalysisJob> {
+    all_apps()
+        .into_iter()
+        .map(|spec| {
+            AnalysisJob::new(
+                spec.name,
+                JobInput::MiniLang(spec.source.clone()),
+                spec.region.clone(),
+            )
+            .with_dot(true)
+            .untrusted(untrusted)
+        })
+        .collect()
+}
+
+fn assert_byte_identical(serial: &BatchOutcome, parallel: &BatchOutcome) {
+    assert!(serial.failures.is_empty(), "{:?}", serial.failures);
+    assert!(parallel.failures.is_empty(), "{:?}", parallel.failures);
+    assert_eq!(serial.sessions.len(), 14);
+    assert_eq!(parallel.sessions.len(), 14);
+    for (s, p) in serial.sessions.iter().zip(&parallel.sessions) {
+        assert_eq!(s.name, p.name, "submission order preserved");
+        assert_eq!(
+            s.rendered, p.rendered,
+            "{}: report bytes differ between serial and parallel sessions",
+            s.name
+        );
+        assert_eq!(
+            s.dot, p.dot,
+            "{}: DOT bytes differ between serial and parallel sessions",
+            s.name
+        );
+        assert_eq!(s.summary, p.summary, "{}", s.name);
+        assert_eq!(
+            s.symbols, p.symbols,
+            "{}: per-session symbol count must not depend on concurrency",
+            s.name
+        );
+    }
+}
+
+/// All 14 apps, serial sessions vs 8-way concurrent sessions: reports and
+/// DOT byte-identical, and both match the paper's expected critical sets.
+#[test]
+fn parallel_sessions_render_byte_identical_reports_and_dot() {
+    let serial = MultiAnalyzer::new(1).run(suite_jobs(false));
+    let parallel = MultiAnalyzer::new(8).run(suite_jobs(false));
+    assert_byte_identical(&serial, &parallel);
+    for (spec, session) in all_apps().iter().zip(&parallel.sessions) {
+        assert_eq!(
+            session.summary,
+            spec.expected_summary(),
+            "{}: concurrent session must reproduce Table II",
+            spec.name
+        );
+        assert!(session.dot.as_deref().unwrap().starts_with("digraph"));
+        assert!(session.symbols > 0);
+    }
+}
+
+/// The same property with untrusted sessions: every session hashes its
+/// address-keyed maps with a different random seed, and output still does
+/// not move by a byte.
+#[test]
+fn untrusted_sessions_with_random_seeds_keep_output_stable() {
+    let serial = MultiAnalyzer::new(1).run(suite_jobs(false));
+    let untrusted = MultiAnalyzer::new(8).run(suite_jobs(true));
+    assert!(untrusted.failures.is_empty(), "{:?}", untrusted.failures);
+    for (s, u) in serial.sessions.iter().zip(&untrusted.sessions) {
+        assert_eq!(
+            s.rendered, u.rendered,
+            "{}: seeded hashing must not change any output byte",
+            s.name
+        );
+        assert_eq!(s.dot, u.dot, "{}", s.name);
+    }
+}
+
+/// Sessions match the classic single-analysis pipeline in the global
+/// space: the per-session refactor changed symbol *lifetimes*, not output.
+#[test]
+fn sessions_match_the_global_space_pipeline_byte_for_byte() {
+    let sessions = MultiAnalyzer::new(4).run(suite_jobs(false));
+    assert!(sessions.failures.is_empty(), "{:?}", sessions.failures);
+    for (spec, session) in all_apps().iter().zip(&sessions.sessions) {
+        let run = autocheck_apps::analyze_app(spec);
+        assert_eq!(
+            run.report.to_string(),
+            session.rendered,
+            "{}: session rendering must equal the global-space pipeline's",
+            spec.name
+        );
+    }
+}
+
+/// Two concurrent analyses of *different* programs never observe each
+/// other's symbol ids: each session's space stays dense over its own
+/// symbols only, no matter how the other session grows.
+#[test]
+fn concurrent_sessions_never_observe_each_others_ids() {
+    let apps = all_apps();
+    let small = &apps[6]; // ep: few symbols
+    let big = &apps[10]; // comd: many symbols
+    let out = MultiAnalyzer::new(2).run(vec![
+        AnalysisJob::new(
+            small.name,
+            JobInput::MiniLang(small.source.clone()),
+            small.region.clone(),
+        ),
+        AnalysisJob::new(
+            big.name,
+            JobInput::MiniLang(big.source.clone()),
+            big.region.clone(),
+        ),
+    ]);
+    assert!(out.failures.is_empty(), "{:?}", out.failures);
+    let alone: Vec<usize> = [small, big]
+        .iter()
+        .map(|spec| {
+            let solo = MultiAnalyzer::new(1).run(vec![AnalysisJob::new(
+                spec.name,
+                JobInput::MiniLang(spec.source.clone()),
+                spec.region.clone(),
+            )]);
+            solo.sessions[0].symbols
+        })
+        .collect();
+    assert_eq!(
+        out.sessions[0].symbols, alone[0],
+        "ep's space must be exactly as big alone as next to comd"
+    );
+    assert_eq!(out.sessions[1].symbols, alone[1]);
+    assert_ne!(
+        out.sessions[0].symbols, out.sessions[1].symbols,
+        "sanity: the two programs have different symbol counts"
+    );
+}
+
+/// The space primitive itself, under concurrency: ids interned in parallel
+/// sessions are dense per space and resolve only in their own space.
+#[test]
+fn symbol_spaces_stay_isolated_under_concurrent_interning() {
+    let spaces: Vec<SymbolSpace> = (0..4).map(|_| SymbolSpace::new()).collect();
+    std::thread::scope(|scope| {
+        for (t, space) in spaces.iter().enumerate() {
+            scope.spawn(move || {
+                let ctx = AnalysisCtx::with_space(space.clone());
+                for i in 0..200 {
+                    let id = ctx.intern(&format!("t{t}_sym{i}"));
+                    assert_eq!(id.index(), i, "ids are dense per space");
+                }
+            });
+        }
+    });
+    for (t, space) in spaces.iter().enumerate() {
+        assert_eq!(space.len(), 200);
+        let id = space.intern(&format!("t{t}_sym0"));
+        assert_eq!(id.index(), 0);
+        assert_eq!(space.resolve(id), format!("t{t}_sym0").as_str());
+    }
+    // An id minted past another space's range does not resolve there.
+    let big = spaces[0].intern("t0_extra");
+    let fresh = SymbolSpace::new();
+    assert_eq!(fresh.try_resolve(big), None);
+}

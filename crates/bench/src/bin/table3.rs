@@ -4,15 +4,25 @@
 //! so the analysis-time story covers all three modes (serial batch,
 //! parallel batch, online streaming).
 //!
-//! Run with: `cargo run --release -p autocheck-bench --bin table3 [scale] [threads] [--json]`
+//! Run with:
+//! `cargo run --release -p autocheck-bench --bin table3 [scale] [threads] [--jobs N] [--json]`
 //!
 //! With `--json`, the same timings are also written to `BENCH_table3.json`
 //! as machine-readable records — the repo's perf trajectory file, so "did
 //! this PR make Table III faster?" is a diff, not archaeology.
+//!
+//! `--jobs N` additionally runs the whole 14-app suite through the
+//! concurrent `MultiAnalyzer` front door — every app compiled, traced and
+//! analyzed in its **own session** (own symbol space) — once serially
+//! (`jobs = 1`) and once on `N` workers, and records both wall clocks in
+//! the JSON so the perf trajectory captures the parallel path.
 
 use autocheck_apps::{all_apps_scaled, Scale};
 use autocheck_bench::{secs, Table};
-use autocheck_core::{index_variables_of, Analyzer, PipelineConfig, Report, StreamAnalyzer};
+use autocheck_core::{
+    index_variables_of, AnalysisJob, Analyzer, JobInput, MultiAnalyzer, PipelineConfig, Report,
+    StreamAnalyzer,
+};
 use autocheck_interp::{ExecOptions, Machine, NoHook, WriterSink};
 use std::fmt::Write as _;
 
@@ -28,7 +38,26 @@ struct AppRow {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
-    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let jobs: usize = match args.iter().position(|a| a == "--jobs") {
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse().ok()) {
+            Some(n) if n >= 1 => n,
+            _ => {
+                eprintln!("error: --jobs needs a positive integer");
+                std::process::exit(2);
+            }
+        },
+        None => std::thread::available_parallelism()
+            .map(|n| n.get().min(4))
+            .unwrap_or(1),
+    };
+    let positional: Vec<&String> = {
+        let jobs_value = args.iter().position(|a| a == "--jobs").map(|i| i + 1);
+        args.iter()
+            .enumerate()
+            .filter(|(i, a)| !a.starts_with("--") && Some(*i) != jobs_value)
+            .map(|(_, a)| a)
+            .collect()
+    };
     let scale = match positional.first().map(|s| s.as_str()) {
         Some("small") => Scale::Small,
         Some("large") => Scale::Large,
@@ -120,16 +149,98 @@ fn main() {
     println!("streaming column is one fused online pass whose peak live-record window");
     println!("(rightmost column) stays orders of magnitude below the trace length.");
 
+    // Concurrent multi-session run: the whole suite through MultiAnalyzer,
+    // each app in its own symbol space — serially and on `jobs` workers.
+    let make_jobs = || -> Vec<AnalysisJob> {
+        all_apps_scaled(scale)
+            .into_iter()
+            .map(|spec| {
+                AnalysisJob::new(
+                    spec.name,
+                    JobInput::MiniLang(spec.source.clone()),
+                    spec.region.clone(),
+                )
+            })
+            .collect()
+    };
+    let serial_batch = MultiAnalyzer::new(1).run(make_jobs());
+    assert!(
+        serial_batch.failures.is_empty(),
+        "batch failures: {:?}",
+        serial_batch.failures
+    );
+    let parallel_batch = MultiAnalyzer::new(jobs).run(make_jobs());
+    assert!(
+        parallel_batch.failures.is_empty(),
+        "batch failures: {:?}",
+        parallel_batch.failures
+    );
+    for ((row, s), p) in rows
+        .iter()
+        .zip(&serial_batch.sessions)
+        .zip(&parallel_batch.sessions)
+    {
+        assert_eq!(
+            row.serial.summary(),
+            s.summary,
+            "{}: session summary must match the direct pipeline",
+            row.name
+        );
+        assert_eq!(
+            s.rendered, p.rendered,
+            "{}: concurrent sessions must render byte-identical reports",
+            row.name
+        );
+    }
+    let batch_wall_1 = serial_batch.wall;
+    let batch_wall_n = parallel_batch.wall;
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "\nmulti-session (compile+trace+analyze per app, own symbol space each):\n\
+         \x20 jobs=1: {:.3}s   jobs={}: {:.3}s   speedup {:.2}x ({} cpu(s) available)",
+        batch_wall_1.as_secs_f64(),
+        parallel_batch.jobs,
+        batch_wall_n.as_secs_f64(),
+        batch_wall_1.as_secs_f64() / batch_wall_n.as_secs_f64().max(1e-9),
+        cpus,
+    );
+    if cpus == 1 {
+        println!(
+            "  (single-CPU machine: workers only interleave; the parallel wall\n\
+             \x20  measures session-isolation overhead, not speedup)"
+        );
+    }
+
     if json {
         let path = "BENCH_table3.json";
-        std::fs::write(path, render_json(scale, threads, &rows)).expect("write BENCH_table3.json");
+        std::fs::write(
+            path,
+            render_json(
+                scale,
+                threads,
+                &rows,
+                parallel_batch.jobs,
+                batch_wall_1,
+                batch_wall_n,
+            ),
+        )
+        .expect("write BENCH_table3.json");
         println!("\nwrote machine-readable timings to {path}");
     }
 }
 
 /// Hand-rolled JSON (no serde in the offline vendor set). Field names are
 /// the contract consumed by trend tooling; keep them stable.
-fn render_json(scale: Scale, threads: usize, rows: &[AppRow]) -> String {
+fn render_json(
+    scale: Scale,
+    threads: usize,
+    rows: &[AppRow],
+    jobs: usize,
+    batch_wall_1: std::time::Duration,
+    batch_wall_n: std::time::Duration,
+) -> String {
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -139,6 +250,24 @@ fn render_json(scale: Scale, threads: usize, rows: &[AppRow]) -> String {
     let _ = writeln!(out, "  \"scale\": \"{scale:?}\",");
     let _ = writeln!(out, "  \"parse_threads\": {threads},");
     let _ = writeln!(out, "  \"unix_time\": {unix_time},");
+    let _ = writeln!(out, "  \"jobs\": {jobs},");
+    let _ = writeln!(
+        out,
+        "  \"cpus\": {},",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+    let _ = writeln!(
+        out,
+        "  \"batch_wall_serial_s\": {:.6},",
+        batch_wall_1.as_secs_f64()
+    );
+    let _ = writeln!(
+        out,
+        "  \"batch_wall_parallel_s\": {:.6},",
+        batch_wall_n.as_secs_f64()
+    );
     out.push_str("  \"apps\": [\n");
     for (i, row) in rows.iter().enumerate() {
         let t = row.serial.timings;

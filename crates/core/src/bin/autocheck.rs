@@ -10,7 +10,8 @@
 //! ```text
 //! autocheck <trace-file> --function main --start 13 --end 21 \
 //!     [--index it,step] [--threads N] [--dot out.dot] [--collect arithmetic] \
-//!     [--stream] [--max-live-records N]
+//!     [--stream] [--max-live-records N] [--untrusted-trace]
+//! autocheck --batch <manifest> [--jobs N] [--stream] [--untrusted-trace]
 //! ```
 //!
 //! `--stream` analyzes the trace online through the bounded-memory
@@ -19,11 +20,30 @@
 //! boundaries, and the report footer shows the peak live-record count so
 //! the memory bound is observable. `--max-live-records N` turns that bound
 //! into a hard limit (exceeding it is an error, not an OOM).
+//!
+//! `--batch <manifest>` runs many analyses concurrently, each in its own
+//! session (own symbol space, own seeded hashers when `--untrusted-trace`
+//! is set), on `--jobs N` worker threads. Each manifest line names one
+//! analysis:
+//!
+//! ```text
+//! # trace-file  function  start  end  [index,vars]
+//! traces/cg.trace   main  13  21  it
+//! traces/hpccg.trace main 9   17
+//! ```
+//!
+//! Per-session reports, timings and (with `--stream`) peak-live windows
+//! are printed for **every** session, followed by an aggregate summary.
+//!
+//! `--untrusted-trace` marks the trace source as third-party: every map
+//! keyed by trace-supplied addresses hashes with a per-session random
+//! seed, so a crafted trace cannot exploit deterministic FxHash.
 
 use autocheck_core::{
     contract_ddg, Analyzer, CollectMode, DdgAnalysis, NodeKind, Phases, PipelineConfig, Region,
     StreamAnalyzer, StreamConfig,
 };
+use autocheck_trace::AnalysisCtx;
 use std::process::ExitCode;
 
 struct Args {
@@ -37,13 +57,18 @@ struct Args {
     collect: CollectMode,
     stream: bool,
     max_live_records: Option<usize>,
+    untrusted: bool,
+    batch: Option<String>,
+    jobs: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: autocheck <trace-file> --function <name> --start <line> --end <line>\n\
          \x20                [--index v1,v2] [--threads N] [--dot <file>] [--collect any|arithmetic]\n\
-         \x20                [--stream] [--max-live-records N]"
+         \x20                [--stream] [--max-live-records N] [--untrusted-trace]\n\
+         \x20      autocheck --batch <manifest> [--jobs N] [--stream] [--untrusted-trace]\n\
+         \x20                (manifest lines: <trace-file> <function> <start> <end> [index,vars])"
     );
     std::process::exit(2)
 }
@@ -52,6 +77,7 @@ fn parse_args() -> Args {
     let mut args = std::env::args().skip(1);
     let mut trace = None;
     let mut function = "main".to_string();
+    let mut function_set = false;
     let (mut start, mut end) = (0u32, 0u32);
     let mut index = Vec::new();
     let mut threads = 1usize;
@@ -60,10 +86,16 @@ fn parse_args() -> Args {
     let mut collect = CollectMode::AnyAccess;
     let mut stream = false;
     let mut max_live_records = None;
+    let mut untrusted = false;
+    let mut batch = None;
+    let mut jobs = 1usize;
     while let Some(a) = args.next() {
         let mut take = || args.next().unwrap_or_else(|| usage());
         match a.as_str() {
-            "--function" | "-f" => function = take(),
+            "--function" | "-f" => {
+                function = take();
+                function_set = true;
+            }
             "--start" | "-s" => start = take().parse().unwrap_or_else(|_| usage()),
             "--end" | "-e" => end = take().parse().unwrap_or_else(|_| usage()),
             "--index" | "-i" => index = take().split(',').map(|s| s.trim().to_string()).collect(),
@@ -83,10 +115,45 @@ fn parse_args() -> Args {
             "--max-live-records" => {
                 max_live_records = Some(take().parse().unwrap_or_else(|_| usage()))
             }
+            "--untrusted-trace" => untrusted = true,
+            "--batch" => batch = Some(take()),
+            "--jobs" | "-j" => jobs = take().parse().unwrap_or_else(|_| usage()),
             "--help" | "-h" => usage(),
             other if trace.is_none() && !other.starts_with('-') => trace = Some(a),
             _ => usage(),
         }
+    }
+    if let Some(batch) = batch {
+        if trace.is_some()
+            || start != 0
+            || end != 0
+            || dot.is_some()
+            || function_set
+            || !index.is_empty()
+            || threads_set
+        {
+            eprintln!(
+                "error: --batch takes every per-analysis setting from the manifest; \
+                 positional trace, --function, --start/--end, --index, --threads and \
+                 --dot do not apply"
+            );
+            std::process::exit(2);
+        }
+        return Args {
+            trace: String::new(),
+            function,
+            start,
+            end,
+            index,
+            threads,
+            dot: None,
+            collect,
+            stream,
+            max_live_records,
+            untrusted,
+            batch: Some(batch),
+            jobs,
+        };
     }
     let Some(trace) = trace else { usage() };
     if start == 0 || end < start {
@@ -116,10 +183,117 @@ fn parse_args() -> Args {
         collect,
         stream,
         max_live_records,
+        untrusted,
+        batch: None,
+        jobs,
     }
 }
 
-fn run_streaming(args: &Args, region: &Region) -> ExitCode {
+/// Parse a batch manifest: one analysis per non-comment line, formatted as
+/// `<trace-file> <function> <start> <end> [index,vars]`.
+fn parse_manifest(path: &str, args: &Args) -> Result<Vec<autocheck_core::AnalysisJob>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let mut jobs = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() < 4 || fields.len() > 5 {
+            return Err(format!(
+                "{path}:{}: expected `<trace-file> <function> <start> <end> [index,vars]`",
+                lineno + 1
+            ));
+        }
+        let start: u32 = fields[2]
+            .parse()
+            .map_err(|_| format!("{path}:{}: bad start line `{}`", lineno + 1, fields[2]))?;
+        let end: u32 = fields[3]
+            .parse()
+            .map_err(|_| format!("{path}:{}: bad end line `{}`", lineno + 1, fields[3]))?;
+        if start == 0 || end < start {
+            return Err(format!(
+                "{path}:{}: start/end must satisfy 1 <= start <= end",
+                lineno + 1
+            ));
+        }
+        let name = std::path::Path::new(fields[0])
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or(fields[0])
+            .to_string();
+        let mut job = autocheck_core::AnalysisJob::new(
+            name,
+            autocheck_core::JobInput::TracePath(fields[0].to_string()),
+            Region::new(fields[1], start, end),
+        )
+        .untrusted(args.untrusted)
+        .streaming(args.stream);
+        job.collect = args.collect;
+        job.max_live_records = args.max_live_records;
+        if let Some(ix) = fields.get(4) {
+            job = job.with_index_vars(ix.split(',').map(|s| s.trim().to_string()).collect());
+        }
+        jobs.push(job);
+    }
+    if jobs.is_empty() {
+        return Err(format!("{path}: manifest names no analyses"));
+    }
+    Ok(jobs)
+}
+
+/// `--batch`: run every manifest analysis in its own session, concurrently
+/// on `--jobs` workers, reporting peak-live and timings per session.
+fn run_batch(args: &Args, manifest: &str) -> ExitCode {
+    let jobs = match parse_manifest(manifest, args) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let n = jobs.len();
+    let out = autocheck_core::MultiAnalyzer::new(args.jobs).run(jobs);
+    for s in &out.sessions {
+        println!("=== {} ===", s.name);
+        print!("{}", s.rendered);
+        println!(
+            "timings: preprocess {:.3?}, dependency {:.3?}, identify {:.3?} (total {:.3?}; wall {:.3?})",
+            s.timings.preprocess, s.timings.dependency, s.timings.identify,
+            s.timings.total(), s.wall
+        );
+        match s.peak_live_records {
+            Some(peak) => println!(
+                "session: {} symbols; streaming peak {} live records of {} total",
+                s.symbols, peak, s.records
+            ),
+            None => println!("session: {} symbols", s.symbols),
+        }
+        println!();
+    }
+    for f in &out.failures {
+        eprintln!("error: {}: {}", f.name, f.message);
+    }
+    println!(
+        "=== aggregate ({} analyses, {} workers{}) ===",
+        n,
+        out.jobs,
+        if args.untrusted {
+            ", untrusted: per-session seeded hashing"
+        } else {
+            ""
+        }
+    );
+    print!("{}", out.aggregate());
+    if out.failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn run_streaming(args: &Args, region: &Region, ctx: &AnalysisCtx) -> ExitCode {
     let file = match std::fs::File::open(&args.trace) {
         Ok(f) => std::io::BufReader::new(f),
         Err(e) => {
@@ -133,7 +307,8 @@ fn run_streaming(args: &Args, region: &Region) -> ExitCode {
             collect: args.collect,
             max_live_records: args.max_live_records,
             ..StreamConfig::default()
-        });
+        })
+        .with_ctx(ctx.clone());
     let run = match analyzer.run_read(file) {
         Ok(r) => r,
         Err(e) => {
@@ -165,9 +340,21 @@ fn run_streaming(args: &Args, region: &Region) -> ExitCode {
 
 fn main() -> ExitCode {
     let args = parse_args();
+    if let Some(manifest) = args.batch.clone() {
+        return run_batch(&args, &manifest);
+    }
+    // Single-analysis mode still gets a session scope when the trace is
+    // third-party: fresh symbol space + seeded address hashing.
+    let ctx = if args.untrusted {
+        AnalysisCtx::session().untrusted()
+    } else {
+        AnalysisCtx::default()
+    };
+    // Rendering below resolves symbols via the thread-current space.
+    let _guard = ctx.enter();
     let region = Region::new(args.function.clone(), args.start, args.end);
     if args.stream {
-        return run_streaming(&args, &region);
+        return run_streaming(&args, &region, &ctx);
     }
     let text = match std::fs::read_to_string(&args.trace) {
         Ok(t) => t,
@@ -182,7 +369,8 @@ fn main() -> ExitCode {
             parse_threads: args.threads,
             collect: args.collect,
             ..PipelineConfig::default()
-        });
+        })
+        .with_ctx(ctx.clone());
     let report = match analyzer.analyze_text(&text) {
         Ok(r) => r,
         Err(e) => {
@@ -201,15 +389,21 @@ fn main() -> ExitCode {
 
     if let Some(dot_path) = &args.dot {
         // Re-run the dependency stage to export the contracted DDG.
-        let records = match autocheck_trace::parse_str(&text) {
+        let records = match autocheck_trace::parse_str_in(&text, &ctx) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("error: {e}");
                 return ExitCode::FAILURE;
             }
         };
-        let phases = Phases::compute(&records, &region);
-        let analysis = DdgAnalysis::run(&records, &phases, &report.mli, true);
+        let phases = Phases::compute_in(&records, &region, &ctx);
+        let analysis = DdgAnalysis::run_in(
+            &records,
+            &phases,
+            &report.mli,
+            autocheck_core::DdgOptions::default(),
+            &ctx,
+        );
         let bases: std::collections::HashSet<u64> =
             report.mli.iter().map(|m| m.base_addr).collect();
         let contracted = contract_ddg(

@@ -26,17 +26,34 @@ use crate::preprocess::MliVar;
 use crate::region::Phase;
 use crate::report::{CriticalVariable, DepType, SkipReason};
 use autocheck_stream::{VarStats, VarStatsBuilder};
-use autocheck_trace::SymId;
-use fxhash::{FxHashMap, FxHashSet};
+use autocheck_trace::{AnalysisCtx, SymId};
+use fxhash::FxHashSet;
 use std::sync::Arc;
 
 /// Classification inputs beyond the event stream.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct ClassifyConfig {
     /// Names of the outermost loop's induction/control variables.
     pub index_vars: Vec<String>,
     /// The loop's start line (reported as the Index variables' location).
     pub region_start: u32,
+    /// The analysis session: index-variable names intern into its symbol
+    /// space (which must be the space the MLI entries came from), and the
+    /// per-base event index hashes with its address seed.
+    pub ctx: AnalysisCtx,
+}
+
+impl Default for ClassifyConfig {
+    /// Defaults scope to the thread's **current** space (like every other
+    /// ctx-less entry point), so `..Default::default()` inside an entered
+    /// session resolves the session's MLI names, not the global space's.
+    fn default() -> Self {
+        ClassifyConfig {
+            index_vars: Vec::new(),
+            region_start: 0,
+            ctx: AnalysisCtx::current(),
+        }
+    }
 }
 
 /// Classify MLI variables into critical/skipped sets.
@@ -45,17 +62,17 @@ pub fn classify(
     events: &[RwEvent],
     cfg: &ClassifyConfig,
 ) -> (Vec<CriticalVariable>, Vec<(Arc<str>, SkipReason)>) {
-    let mut by_base: FxHashMap<u64, Vec<&RwEvent>> = FxHashMap::default();
+    let mut by_base = cfg.ctx.addr_map::<u64, Vec<&RwEvent>>();
     for e in events {
         by_base.entry(e.base).or_default().push(e);
     }
 
-    select(mli, &cfg.index_vars, cfg.region_start, |var| {
+    select(mli, &cfg.index_vars, cfg.region_start, &cfg.ctx, |var| {
         let evs = by_base
             .get(&var.base_addr)
             .map(Vec::as_slice)
             .unwrap_or(&[]);
-        classify_one(var, evs)
+        classify_one(var, evs, cfg.ctx.addr_seed())
     })
 }
 
@@ -68,12 +85,14 @@ pub(crate) fn select(
     mli: &[MliVar],
     index_vars: &[String],
     region_start: u32,
+    ctx: &AnalysisCtx,
     mut decide_var: impl FnMut(&MliVar) -> Result<DepType, SkipReason>,
 ) -> (Vec<CriticalVariable>, Vec<(Arc<str>, SkipReason)>) {
-    // The comparison set is interned: per-variable membership is an
-    // integer probe, and names cross back to strings only at the report
-    // boundary below.
-    let index_set: FxHashSet<SymId> = index_vars.iter().map(|s| SymId::intern(s)).collect();
+    // The comparison set is interned in the session's space — the space
+    // the MLI names came from — so per-variable membership is an integer
+    // probe, and names cross back to strings only at the report boundary
+    // below.
+    let index_set: FxHashSet<SymId> = index_vars.iter().map(|s| ctx.intern(s)).collect();
     let mut critical: Vec<CriticalVariable> = Vec::new();
     let mut skipped: Vec<(Arc<str>, SkipReason)> = Vec::new();
 
@@ -84,20 +103,20 @@ pub(crate) fn select(
         }
         match decide_var(var) {
             Ok(dep) => critical.push(CriticalVariable {
-                name: Arc::from(var.name.as_str()),
+                name: Arc::from(ctx.resolve(var.name)),
                 dep,
                 first_line: var.first_line,
                 base_addr: var.base_addr,
                 size: var.size,
             }),
-            Err(reason) => skipped.push((Arc::from(var.name.as_str()), reason)),
+            Err(reason) => skipped.push((Arc::from(ctx.resolve(var.name)), reason)),
         }
     }
 
     // Index variables: always checkpointed (paper: "we also do checkpoint
     // to the induction variables of the main computation loop").
     for name in index_vars {
-        let id = SymId::intern(name);
+        let id = ctx.intern(name);
         let (base, size, line) = mli
             .iter()
             .find(|m| m.name == id)
@@ -119,9 +138,11 @@ pub(crate) fn select(
 
 /// Classify one variable from its time-ordered event slice: fold the
 /// events through the shared incremental [`VarStatsBuilder`] (the same
-/// fold the streaming engine runs online), then [`decide`].
-fn classify_one(var: &MliVar, evs: &[&RwEvent]) -> Result<DepType, SkipReason> {
-    let mut fold = VarStatsBuilder::new();
+/// fold the streaming engine runs online, seeded with the same session
+/// address seed — the fold's element-window keys are trace-supplied
+/// addresses), then [`decide`].
+fn classify_one(var: &MliVar, evs: &[&RwEvent], addr_seed: u64) -> Result<DepType, SkipReason> {
+    let mut fold = VarStatsBuilder::with_seed(addr_seed);
     for e in evs {
         match (e.phase, e.kind) {
             (Phase::Inside, kind) => {
@@ -205,6 +226,7 @@ mod tests {
             &ClassifyConfig {
                 index_vars: index.iter().map(|s| s.to_string()).collect(),
                 region_start: 13,
+                ctx: AnalysisCtx::default(),
             },
         )
     }

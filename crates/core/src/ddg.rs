@@ -26,8 +26,7 @@
 use crate::preprocess::MliVar;
 use crate::region::{Phase, Phases};
 use autocheck_stream::{relevant_opcode, resolve_alias as resolve, NodeIndex};
-use autocheck_trace::{record::opcodes, Name, NameMap, Record, SymId};
-use fxhash::FxHashMap;
+use autocheck_trace::{record::opcodes, AnalysisCtx, Name, NameMap, Record, SymId};
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
@@ -261,7 +260,20 @@ impl DdgAnalysis {
         mli: &[MliVar],
         opts: DdgOptions,
     ) -> DdgAnalysis {
-        let mli_bases: FxHashMap<u64, &MliVar> = mli.iter().map(|m| (m.base_addr, m)).collect();
+        Self::run_in(records, phases, mli, opts, &AnalysisCtx::current())
+    }
+
+    /// [`DdgAnalysis::run_with`] scoped to `ctx`'s session (the MLI
+    /// base-address index hashes with the session's seed).
+    pub fn run_in(
+        records: &[Record],
+        phases: &Phases,
+        mli: &[MliVar],
+        opts: DdgOptions,
+        ctx: &AnalysisCtx,
+    ) -> DdgAnalysis {
+        let mut mli_bases = ctx.addr_map::<u64, &MliVar>();
+        mli_bases.extend(mli.iter().map(|m| (m.base_addr, m)));
         let mut graph = DepGraph::default();
         let mut events = Vec::new();
 

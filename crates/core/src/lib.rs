@@ -58,6 +58,7 @@ pub mod pipeline;
 pub mod preprocess;
 pub mod region;
 pub mod report;
+pub mod service;
 pub mod stream;
 
 pub use classify::{classify, decide, ClassifyConfig};
@@ -67,6 +68,9 @@ pub use pipeline::{index_variables_of, Analyzer, PipelineConfig};
 pub use preprocess::{find_mli_vars, CollectMode, MliVar};
 pub use region::{Phase, Phases, Region};
 pub use report::{CriticalVariable, DepType, Report, SkipReason, Timings};
+pub use service::{
+    AnalysisJob, BatchOutcome, JobInput, MultiAnalyzer, SessionFailure, SessionReport,
+};
 pub use stream::{
     StreamAnalyzer, StreamConfig, StreamError, StreamRun, StreamSession, StreamStats,
 };

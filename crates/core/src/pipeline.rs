@@ -1,11 +1,11 @@
 //! The end-to-end AutoCheck pipeline with Table-III-style timing.
 
 use crate::classify::{classify, ClassifyConfig};
-use crate::ddg::DdgAnalysis;
-use crate::preprocess::{find_mli_vars, CollectMode};
+use crate::ddg::{DdgAnalysis, DdgOptions};
+use crate::preprocess::{find_mli_vars_in, CollectMode};
 use crate::region::{Phases, Region};
 use crate::report::{Report, Timings};
-use autocheck_trace::{parse_parallel, ParallelConfig, Record};
+use autocheck_trace::{parse_parallel_in, AnalysisCtx, ParallelConfig, Record};
 use std::time::Instant;
 
 /// Tunables for the pipeline (defaults reproduce the paper's tool).
@@ -43,15 +43,22 @@ pub struct Analyzer {
     pub index_vars: Vec<String>,
     /// Pipeline tunables.
     pub config: PipelineConfig,
+    /// The analysis session (symbol space + address-hash seed). Every
+    /// stage resolves symbols through this ctx, so records analyzed by
+    /// this analyzer must come from the same session (the same ctx handed
+    /// to the parser / interpreter).
+    pub ctx: AnalysisCtx,
 }
 
 impl Analyzer {
-    /// Analyzer with default configuration.
+    /// Analyzer with default configuration, scoped to the thread's current
+    /// symbol space.
     pub fn new(region: Region) -> Analyzer {
         Analyzer {
             region,
             index_vars: Vec::new(),
             config: PipelineConfig::default(),
+            ctx: AnalysisCtx::current(),
         }
     }
 
@@ -67,6 +74,14 @@ impl Analyzer {
         self
     }
 
+    /// Scope this analyzer to `ctx`'s session: symbols resolve through the
+    /// session's space, and address-keyed maps hash with the session's
+    /// seed.
+    pub fn with_ctx(mut self, ctx: AnalysisCtx) -> Analyzer {
+        self.ctx = ctx;
+        self
+    }
+
     /// Analyze already-parsed records.
     pub fn analyze(&self, records: &[Record]) -> Report {
         self.analyze_inner(records, std::time::Duration::ZERO)
@@ -77,11 +92,12 @@ impl Analyzer {
     /// time, exactly like the paper's Table III.
     pub fn analyze_text(&self, text: &str) -> Result<Report, autocheck_trace::ParseError> {
         let t0 = Instant::now();
-        let records = parse_parallel(
+        let records = parse_parallel_in(
             text,
             ParallelConfig {
                 threads: self.config.parse_threads,
             },
+            &self.ctx,
         )?;
         let parse_time = t0.elapsed();
         Ok(self.analyze_inner(&records, parse_time))
@@ -90,13 +106,28 @@ impl Analyzer {
     fn analyze_inner(&self, records: &[Record], parse_time: std::time::Duration) -> Report {
         // Pre-processing: region partitioning + MLI identification.
         let t0 = Instant::now();
-        let phases = Phases::compute(records, &self.region);
-        let mli = find_mli_vars(records, &phases, &self.region, self.config.collect);
+        let phases = Phases::compute_in(records, &self.region, &self.ctx);
+        let mli = find_mli_vars_in(
+            records,
+            &phases,
+            &self.region,
+            self.config.collect,
+            &self.ctx,
+        );
         let preprocess = parse_time + t0.elapsed();
 
         // Dependency analysis: reg maps, DDG, events, contraction.
         let t1 = Instant::now();
-        let analysis = DdgAnalysis::run(records, &phases, &mli, self.config.selective);
+        let analysis = DdgAnalysis::run_in(
+            records,
+            &phases,
+            &mli,
+            DdgOptions {
+                selective: self.config.selective,
+                ..DdgOptions::default()
+            },
+            &self.ctx,
+        );
         let mli_bases: std::collections::HashSet<u64> = mli.iter().map(|m| m.base_addr).collect();
         let _contracted = crate::contract::contract_ddg(
             &analysis.graph,
@@ -112,6 +143,7 @@ impl Analyzer {
             &ClassifyConfig {
                 index_vars: self.index_vars.clone(),
                 region_start: self.region.start_line,
+                ctx: self.ctx.clone(),
             },
         );
         let identify = t2.elapsed();

@@ -33,7 +33,7 @@
 
 use crate::region::{Phases, Region};
 use autocheck_stream::MliCollector;
-use autocheck_trace::Record;
+use autocheck_trace::{AnalysisCtx, Record};
 
 /// Occurrence-counting strictness (see module docs) — the shared
 /// collector's mode type.
@@ -55,15 +55,27 @@ pub use autocheck_stream::MliEntry as MliVar;
 pub fn find_mli_vars(
     records: &[Record],
     phases: &Phases,
+    region: &Region,
+    mode: CollectMode,
+) -> Vec<MliVar> {
+    find_mli_vars_in(records, phases, region, mode, &AnalysisCtx::current())
+}
+
+/// [`find_mli_vars`] scoped to `ctx`'s session (address-keyed collection
+/// maps hash with the session's seed).
+pub fn find_mli_vars_in(
+    records: &[Record],
+    phases: &Phases,
     _region: &Region,
     mode: CollectMode,
+    ctx: &AnalysisCtx,
 ) -> Vec<MliVar> {
     assert_eq!(
         records.len(),
         phases.annots.len(),
         "phases must be computed over the same record slice"
     );
-    let mut collector = MliCollector::new(mode);
+    let mut collector = MliCollector::with_ctx(mode, ctx);
     for (r, &a) in records.iter().zip(&phases.annots) {
         collector.observe(r, a);
     }

@@ -20,7 +20,7 @@
 //! equal but identical by construction.
 
 use autocheck_stream::RegionTracker;
-use autocheck_trace::{Record, SymId};
+use autocheck_trace::{AnalysisCtx, Record, SymId};
 
 pub use autocheck_stream::{Phase, StreamAnnot};
 
@@ -68,7 +68,15 @@ impl Phases {
     /// record whose next record enters the named function pushes a frame
     /// ("Call form 2" of the paper), and `Ret` records pop it.
     pub fn compute(records: &[Record], region: &Region) -> Phases {
-        let mut tracker = RegionTracker::new(&region.function, region.start_line, region.end_line);
+        Self::compute_in(records, region, &AnalysisCtx::current())
+    }
+
+    /// [`Phases::compute`] scoped to `ctx`'s session: the region function
+    /// name interns into the session's symbol space so it compares against
+    /// record symbols from the same session.
+    pub fn compute_in(records: &[Record], region: &Region, ctx: &AnalysisCtx) -> Phases {
+        let mut tracker =
+            RegionTracker::with_ctx(ctx, &region.function, region.start_line, region.end_line);
         let annots = records.iter().map(|r| tracker.annotate(r)).collect();
         Phases {
             annots,

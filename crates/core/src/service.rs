@@ -1,0 +1,585 @@
+//! [`MultiAnalyzer`]: the concurrent multi-analysis front door.
+//!
+//! One process, N independent analyses: every job runs in its **own
+//! analysis session** — a fresh [`AnalysisCtx`] with its own
+//! [`SymbolSpace`](autocheck_trace::SymbolSpace) (so symbol ids, and the
+//! dense tables they index, are sized per-session and never shared between
+//! tenants) and, for jobs marked untrusted, its own address-hash seed (so
+//! a crafted trace cannot aim precomputed hash-collision chains at the
+//! process). Jobs are pulled from a shared queue by a small thread pool;
+//! each worker installs its session's space for the duration of the job,
+//! runs the batch or streaming pipeline, and **renders all output inside
+//! the session** — the returned [`SessionReport`] carries plain strings,
+//! so callers never hold cross-session symbol ids.
+//!
+//! The multi-session stress tests assert the property this module exists
+//! for: running all 14 benchmark analyses concurrently in interleaved
+//! sessions produces reports and DOT output byte-identical to running them
+//! one at a time.
+
+use crate::pipeline::{index_variables_of, Analyzer, PipelineConfig};
+use crate::preprocess::CollectMode;
+use crate::region::{Phases, Region};
+use crate::report::{DepType, Report, Timings};
+use crate::stream::{StreamAnalyzer, StreamConfig};
+use autocheck_trace::{parse_parallel_in, AnalysisCtx, ParallelConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Where one job's trace comes from.
+#[derive(Clone, Debug)]
+pub enum JobInput {
+    /// An in-memory textual trace.
+    TraceText(String),
+    /// A trace file, read inside the session (so batch memory is paid
+    /// per-worker, not upfront for the whole manifest).
+    TracePath(String),
+    /// MiniLang source: the session compiles it, executes it under the
+    /// tracer (interning into the session's space), and analyzes the
+    /// resulting records — the full substrate chain with no trace file.
+    MiniLang(String),
+}
+
+/// One analysis request.
+#[derive(Clone, Debug)]
+pub struct AnalysisJob {
+    /// Display name (manifest entry, benchmark name, tenant id…).
+    pub name: String,
+    /// The trace source.
+    pub input: JobInput,
+    /// The main computation loop's location.
+    pub region: Region,
+    /// Index variables; `None` derives them from the IR loop pass for
+    /// MiniLang inputs (and means "none" for trace inputs).
+    pub index_vars: Option<Vec<String>>,
+    /// Occurrence-collection strictness.
+    pub collect: CollectMode,
+    /// Treat the trace as untrusted: the session gets a random
+    /// address-hash seed (the `--untrusted-trace` flag).
+    pub untrusted: bool,
+    /// Analyze through the bounded-memory streaming engine (reports the
+    /// session's peak live-record window).
+    pub stream: bool,
+    /// Hard live-record bound for streaming jobs.
+    pub max_live_records: Option<usize>,
+    /// Also render the contracted DDG as DOT (batch jobs only).
+    pub dot: bool,
+}
+
+impl AnalysisJob {
+    /// A job with default settings (batch pipeline, trusted, any-access
+    /// collection) over the given input.
+    pub fn new(name: impl Into<String>, input: JobInput, region: Region) -> AnalysisJob {
+        AnalysisJob {
+            name: name.into(),
+            input,
+            region,
+            index_vars: None,
+            collect: CollectMode::AnyAccess,
+            untrusted: false,
+            stream: false,
+            max_live_records: None,
+            dot: false,
+        }
+    }
+
+    /// Provide explicit index variables.
+    pub fn with_index_vars(mut self, vars: Vec<String>) -> AnalysisJob {
+        self.index_vars = Some(vars);
+        self
+    }
+
+    /// Mark the trace source untrusted (per-session seeded address maps).
+    pub fn untrusted(mut self, yes: bool) -> AnalysisJob {
+        self.untrusted = yes;
+        self
+    }
+
+    /// Analyze through the streaming engine.
+    pub fn streaming(mut self, yes: bool) -> AnalysisJob {
+        self.stream = yes;
+        self
+    }
+
+    /// Render the contracted DDG as DOT (batch jobs only).
+    pub fn with_dot(mut self, yes: bool) -> AnalysisJob {
+        self.dot = yes;
+        self
+    }
+}
+
+/// One finished session, rendered entirely inside its own symbol space —
+/// every field is session-independent plain data.
+#[derive(Clone, Debug)]
+pub struct SessionReport {
+    /// The job's name.
+    pub name: String,
+    /// `(variable, dependency class)` pairs, sorted by name.
+    pub summary: Vec<(String, DepType)>,
+    /// The full report, rendered exactly as `autocheck` prints it.
+    pub rendered: String,
+    /// The contracted DDG in DOT form, when the job asked for it.
+    pub dot: Option<String>,
+    /// Records analyzed.
+    pub records: u64,
+    /// Loop iterations observed.
+    pub iterations: u32,
+    /// Peak live-record window (streaming jobs only).
+    pub peak_live_records: Option<usize>,
+    /// Distinct symbols interned by this session — the size its dense
+    /// sym-indexed tables were bounded by.
+    pub symbols: usize,
+    /// Per-stage analysis timings.
+    pub timings: Timings,
+    /// Wall clock for the whole session (input acquisition + analysis +
+    /// rendering).
+    pub wall: Duration,
+}
+
+/// A job that did not produce a report.
+#[derive(Clone, Debug)]
+pub struct SessionFailure {
+    /// The job's name.
+    pub name: String,
+    /// What went wrong.
+    pub message: String,
+}
+
+/// Everything a batch run produced.
+#[derive(Clone, Debug)]
+pub struct BatchOutcome {
+    /// Finished sessions, in job-submission order.
+    pub sessions: Vec<SessionReport>,
+    /// Failed jobs, in job-submission order.
+    pub failures: Vec<SessionFailure>,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Wall clock for the whole batch.
+    pub wall: Duration,
+}
+
+impl BatchOutcome {
+    /// A rendered aggregate summary: one line per session plus totals.
+    pub fn aggregate(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut records: u64 = 0;
+        let mut critical: usize = 0;
+        for s in &self.sessions {
+            records += s.records;
+            critical += s.summary.len();
+            let peak = match s.peak_live_records {
+                Some(p) => format!("{p}"),
+                None => "-".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "  {:<10} {:>9} records  {:>4} iters  {:>2} critical  {:>8} symbols  \
+                 peak-live {:>6}  total {:>9.3?}  wall {:>9.3?}",
+                s.name,
+                s.records,
+                s.iterations,
+                s.summary.len(),
+                s.symbols,
+                peak,
+                s.timings.total(),
+                s.wall,
+            );
+        }
+        for f in &self.failures {
+            let _ = writeln!(out, "  {:<10} FAILED: {}", f.name, f.message);
+        }
+        let _ = writeln!(
+            out,
+            "  {} session(s), {} failure(s), {} records, {} critical variables; \
+             {} worker(s), batch wall {:.3?}",
+            self.sessions.len(),
+            self.failures.len(),
+            records,
+            critical,
+            self.jobs,
+            self.wall,
+        );
+        out
+    }
+}
+
+/// The concurrent multi-analysis service: N workers, one fresh
+/// [`AnalysisCtx`] per job.
+#[derive(Clone, Debug)]
+pub struct MultiAnalyzer {
+    jobs: usize,
+}
+
+impl MultiAnalyzer {
+    /// A service front door running up to `jobs` analyses concurrently
+    /// (`0` is clamped to 1).
+    pub fn new(jobs: usize) -> MultiAnalyzer {
+        MultiAnalyzer { jobs: jobs.max(1) }
+    }
+
+    /// Run every job, each in its own session, on up to
+    /// `self.jobs` workers. Results come back in submission order
+    /// regardless of completion order.
+    pub fn run(&self, jobs: Vec<AnalysisJob>) -> BatchOutcome {
+        let t0 = Instant::now();
+        let workers = self.jobs.min(jobs.len()).max(1);
+        let mut slots: Vec<Option<Result<SessionReport, SessionFailure>>> = Vec::new();
+        slots.resize_with(jobs.len(), || None);
+        if workers == 1 {
+            for (slot, job) in slots.iter_mut().zip(&jobs) {
+                *slot = Some(run_session(job));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let slots_mut = std::sync::Mutex::new(&mut slots);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    let jobs = &jobs;
+                    let next = &next;
+                    let slots_mut = &slots_mut;
+                    scope.spawn(move || loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs.len() {
+                            break;
+                        }
+                        let result = run_session(&jobs[i]);
+                        slots_mut.lock().expect("slots poisoned")[i] = Some(result);
+                    });
+                }
+            });
+        }
+        let mut sessions = Vec::new();
+        let mut failures = Vec::new();
+        for slot in slots {
+            match slot.expect("every job slot is filled") {
+                Ok(s) => sessions.push(s),
+                Err(f) => failures.push(f),
+            }
+        }
+        BatchOutcome {
+            sessions,
+            failures,
+            jobs: workers,
+            wall: t0.elapsed(),
+        }
+    }
+}
+
+/// Run one job in a fresh session. Panics inside the pipeline are caught
+/// and reported as failures so one bad job cannot take down the batch.
+fn run_session(job: &AnalysisJob) -> Result<SessionReport, SessionFailure> {
+    let fail = |message: String| SessionFailure {
+        name: job.name.clone(),
+        message,
+    };
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_session_inner(job)))
+        .unwrap_or_else(|p| {
+            let msg = p
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| p.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "analysis panicked".to_string());
+            Err(format!("panic: {msg}"))
+        })
+        .map_err(fail)
+}
+
+fn run_session_inner(job: &AnalysisJob) -> Result<SessionReport, String> {
+    let t0 = Instant::now();
+    let ctx = if job.untrusted {
+        AnalysisCtx::session().untrusted()
+    } else {
+        AnalysisCtx::session()
+    };
+    // Output edges (report rendering, DOT) resolve via the thread-current
+    // space; hold the guard for the whole session.
+    let _guard = ctx.enter();
+
+    let stream_analyzer = || {
+        StreamAnalyzer::new(job.region.clone())
+            .with_index_vars(job.index_vars.clone().unwrap_or_default())
+            .with_config(StreamConfig {
+                collect: job.collect,
+                max_live_records: job.max_live_records,
+                ..StreamConfig::default()
+            })
+            .with_ctx(ctx.clone())
+    };
+
+    // Streaming trace jobs never materialize the trace: records flow from
+    // the bounded reader straight into the engine, so a worker's peak
+    // memory really is the live window the report advertises.
+    if job.stream {
+        if let JobInput::TraceText(text) = &job.input {
+            let run = stream_analyzer()
+                .run_read(text.as_bytes())
+                .map_err(|e| e.to_string())?;
+            return Ok(session_report(
+                job,
+                &ctx,
+                run.report,
+                Some(run.stats),
+                None,
+                t0,
+            ));
+        }
+        if let JobInput::TracePath(path) = &job.input {
+            let file =
+                std::fs::File::open(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            let run = stream_analyzer()
+                .run_read(std::io::BufReader::new(file))
+                .map_err(|e| e.to_string())?;
+            return Ok(session_report(
+                job,
+                &ctx,
+                run.report,
+                Some(run.stats),
+                None,
+                t0,
+            ));
+        }
+    }
+
+    // Acquire records in-session: every symbol the trace mentions interns
+    // into this session's space.
+    let (records, index_vars) = match &job.input {
+        JobInput::MiniLang(source) => {
+            let module =
+                autocheck_minilang::compile(source).map_err(|e| format!("compile error: {e:?}"))?;
+            let mut machine = autocheck_interp::Machine::with_ctx(
+                &module,
+                autocheck_interp::ExecOptions::default(),
+                ctx.clone(),
+            );
+            let mut sink = autocheck_interp::VecSink::default();
+            machine
+                .run(&mut sink, &mut autocheck_interp::NoHook)
+                .map_err(|e| format!("execution error: {e}"))?;
+            let index = match &job.index_vars {
+                Some(v) => v.clone(),
+                None => index_variables_of(&module, &job.region),
+            };
+            (sink.records, index)
+        }
+        JobInput::TraceText(text) => (
+            parse_parallel_in(text, ParallelConfig { threads: 1 }, &ctx)
+                .map_err(|e| e.to_string())?,
+            job.index_vars.clone().unwrap_or_default(),
+        ),
+        JobInput::TracePath(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            (
+                parse_parallel_in(&text, ParallelConfig { threads: 1 }, &ctx)
+                    .map_err(|e| e.to_string())?,
+                job.index_vars.clone().unwrap_or_default(),
+            )
+        }
+    };
+
+    let (report, stream_stats) = if job.stream {
+        // MiniLang streaming: the records exist in memory anyway (the
+        // interpreter just produced them); push them through the engine.
+        let mut session = stream_analyzer().with_index_vars(index_vars).session();
+        for r in &records {
+            session.push(r).map_err(|e| e.to_string())?;
+        }
+        let run = session.finish();
+        (run.report, Some(run.stats))
+    } else {
+        let analyzer = Analyzer::new(job.region.clone())
+            .with_index_vars(index_vars)
+            .with_config(PipelineConfig {
+                collect: job.collect,
+                ..PipelineConfig::default()
+            })
+            .with_ctx(ctx.clone());
+        (analyzer.analyze(&records), None)
+    };
+
+    let dot = if job.dot && !job.stream {
+        Some(render_dot(&records, &job.region, &report, &ctx))
+    } else {
+        None
+    };
+
+    Ok(session_report(job, &ctx, report, stream_stats, dot, t0))
+}
+
+/// Assemble the rendered, session-independent report (called inside the
+/// session's guard so `Display` resolves in the right space).
+fn session_report(
+    job: &AnalysisJob,
+    ctx: &AnalysisCtx,
+    report: Report,
+    stream_stats: Option<crate::stream::StreamStats>,
+    dot: Option<String>,
+    t0: Instant,
+) -> SessionReport {
+    SessionReport {
+        name: job.name.clone(),
+        summary: report.summary(),
+        rendered: report.to_string(),
+        dot,
+        records: report.records,
+        iterations: report.iterations,
+        peak_live_records: stream_stats.map(|s| s.peak_live_records),
+        symbols: ctx.space().len(),
+        timings: report.timings,
+        wall: t0.elapsed(),
+    }
+}
+
+/// The contracted-DDG DOT rendering the `autocheck --dot` path produces,
+/// computed inside the session.
+fn render_dot(
+    records: &[autocheck_trace::Record],
+    region: &Region,
+    report: &Report,
+    ctx: &AnalysisCtx,
+) -> String {
+    let phases = Phases::compute_in(records, region, ctx);
+    let analysis = crate::ddg::DdgAnalysis::run_in(
+        records,
+        &phases,
+        &report.mli,
+        crate::ddg::DdgOptions::default(),
+        ctx,
+    );
+    let bases: std::collections::HashSet<u64> = report.mli.iter().map(|m| m.base_addr).collect();
+    let contracted = crate::contract::contract_ddg(
+        &analysis.graph,
+        |n| matches!(n, crate::ddg::NodeKind::Var { base, .. } if bases.contains(base)),
+    );
+    contracted.to_dot()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LOOP_MC: &str = "\
+int main() {
+    int sum = 0; int r = 1;
+    for (int it = 0; it < 4; it = it + 1) { // @loop-start
+        sum = sum + r;
+        r = r + 1;
+    } // @loop-end
+    print(sum);
+    return 0;
+}
+";
+
+    fn mini_job(name: &str) -> AnalysisJob {
+        AnalysisJob::new(
+            name,
+            JobInput::MiniLang(LOOP_MC.to_string()),
+            Region::new("main", 3, 6),
+        )
+    }
+
+    #[test]
+    fn single_minilang_job_round_trips() {
+        let out = MultiAnalyzer::new(1).run(vec![mini_job("toy")]);
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+        let s = &out.sessions[0];
+        assert_eq!(s.name, "toy");
+        assert!(s.records > 0);
+        assert_eq!(s.iterations, 4);
+        assert!(s.symbols > 0);
+        let names: Vec<&str> = s.summary.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"sum"), "summary: {:?}", s.summary);
+        assert!(s.rendered.contains("checkpoint"));
+    }
+
+    #[test]
+    fn concurrent_equals_serial_and_keeps_submission_order() {
+        let jobs: Vec<AnalysisJob> = (0..6).map(|i| mini_job(&format!("job{i}"))).collect();
+        let serial = MultiAnalyzer::new(1).run(jobs.clone());
+        let parallel = MultiAnalyzer::new(4).run(jobs);
+        assert_eq!(serial.sessions.len(), 6);
+        assert_eq!(parallel.sessions.len(), 6);
+        for (a, b) in serial.sessions.iter().zip(&parallel.sessions) {
+            assert_eq!(a.name, b.name, "submission order preserved");
+            assert_eq!(a.rendered, b.rendered, "byte-identical rendering");
+            assert_eq!(a.summary, b.summary);
+            assert_eq!(a.symbols, b.symbols, "per-session symbol counts");
+        }
+    }
+
+    #[test]
+    fn trace_text_job_with_streaming_and_untrusted_seed() {
+        // Build a trace in a scratch session, render it to text, and feed
+        // the text as an untrusted streaming job.
+        let scratch = MultiAnalyzer::new(1).run(vec![mini_job("gen")]);
+        assert!(scratch.failures.is_empty());
+        // Regenerate the trace text through the interpreter directly.
+        let module = autocheck_minilang::compile(LOOP_MC).unwrap();
+        let ctx = AnalysisCtx::session();
+        let mut machine = autocheck_interp::Machine::with_ctx(
+            &module,
+            autocheck_interp::ExecOptions::default(),
+            ctx.clone(),
+        );
+        let mut sink = autocheck_interp::WriterSink::new(Vec::new());
+        let _g = ctx.enter();
+        machine
+            .run(&mut sink, &mut autocheck_interp::NoHook)
+            .unwrap();
+        let text = String::from_utf8(sink.finish().unwrap()).unwrap();
+        drop(_g);
+
+        let job = AnalysisJob::new(
+            "tenant",
+            JobInput::TraceText(text),
+            Region::new("main", 3, 6),
+        )
+        .with_index_vars(vec!["it".to_string()])
+        .streaming(true)
+        .untrusted(true);
+        let out = MultiAnalyzer::new(2).run(vec![job.clone(), job]);
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+        for s in &out.sessions {
+            assert!(s.peak_live_records.unwrap() > 0);
+            assert!((s.peak_live_records.unwrap() as u64) < s.records);
+        }
+        // Untrusted sessions hash with different seeds yet report
+        // identically.
+        assert_eq!(out.sessions[0].rendered, out.sessions[1].rendered);
+    }
+
+    #[test]
+    fn failures_are_isolated_per_session() {
+        let good = mini_job("good");
+        let bad = AnalysisJob::new(
+            "bad",
+            JobInput::TraceText("0,zz,broken,1:1,0,27,9,\n".to_string()),
+            Region::new("main", 1, 2),
+        );
+        let missing = AnalysisJob::new(
+            "missing",
+            JobInput::TracePath("/nonexistent/trace.txt".to_string()),
+            Region::new("main", 1, 2),
+        );
+        let out = MultiAnalyzer::new(3).run(vec![good, bad, missing]);
+        assert_eq!(out.sessions.len(), 1);
+        assert_eq!(out.failures.len(), 2);
+        assert_eq!(out.failures[0].name, "bad");
+        assert!(out.failures[0].message.contains("src line"));
+        assert_eq!(out.failures[1].name, "missing");
+        let agg = out.aggregate();
+        assert!(agg.contains("good"));
+        assert!(agg.contains("FAILED"));
+        assert!(agg.contains("2 failure(s)"));
+    }
+
+    #[test]
+    fn dot_jobs_render_the_contracted_ddg() {
+        let out = MultiAnalyzer::new(1).run(vec![mini_job("dotted").with_dot(true)]);
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+        let dot = out.sessions[0].dot.as_ref().expect("dot rendered");
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("sum"));
+    }
+}

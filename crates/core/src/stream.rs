@@ -20,7 +20,7 @@ use crate::preprocess::{CollectMode, MliVar};
 use crate::region::Region;
 use crate::report::{Report, Timings};
 use autocheck_stream::{Engine, EngineConfig, LiveBoundExceeded};
-use autocheck_trace::{Record, RecordReader, TraceReadError};
+use autocheck_trace::{AnalysisCtx, Record, RecordReader, TraceReadError};
 use std::fmt;
 use std::io;
 use std::time::Instant;
@@ -113,15 +113,19 @@ pub struct StreamAnalyzer {
     pub index_vars: Vec<String>,
     /// Pipeline tunables.
     pub config: StreamConfig,
+    /// The analysis session (symbol space + address-hash seed).
+    pub ctx: AnalysisCtx,
 }
 
 impl StreamAnalyzer {
-    /// Analyzer with default configuration.
+    /// Analyzer with default configuration, scoped to the thread's current
+    /// symbol space.
     pub fn new(region: Region) -> StreamAnalyzer {
         StreamAnalyzer {
             region,
             index_vars: Vec::new(),
             config: StreamConfig::default(),
+            ctx: AnalysisCtx::current(),
         }
     }
 
@@ -134,6 +138,12 @@ impl StreamAnalyzer {
     /// Override the configuration.
     pub fn with_config(mut self, config: StreamConfig) -> StreamAnalyzer {
         self.config = config;
+        self
+    }
+
+    /// Scope this analyzer to `ctx`'s session.
+    pub fn with_ctx(mut self, ctx: AnalysisCtx) -> StreamAnalyzer {
+        self.ctx = ctx;
         self
     }
 
@@ -150,7 +160,8 @@ impl StreamAnalyzer {
             max_live_records: self.config.max_live_records,
         };
         StreamSession {
-            engine: Engine::new(cfg),
+            engine: Engine::with_ctx(cfg, &self.ctx),
+            ctx: self.ctx.clone(),
             index_vars: self.index_vars.clone(),
             region_start: self.region.start_line,
             live_bound: self.config.max_live_records,
@@ -180,7 +191,7 @@ impl StreamAnalyzer {
     /// live-window statistics.
     pub fn run_read<R: io::Read>(&self, reader: R) -> Result<StreamRun, StreamError> {
         let mut session = self.session();
-        for item in RecordReader::new(reader) {
+        for item in RecordReader::with_ctx(reader, &self.ctx) {
             session.push(&item?)?;
         }
         Ok(session.finish())
@@ -199,6 +210,7 @@ impl StreamAnalyzer {
 /// report, and the figure must not be compared against batch pre-processing.
 pub struct StreamSession {
     engine: Engine,
+    ctx: AnalysisCtx,
     index_vars: Vec<String>,
     region_start: u32,
     live_bound: Option<usize>,
@@ -250,15 +262,20 @@ impl StreamSession {
         // The exact selection the batch `classify` performs — same shared
         // function, driven by the shared decision heuristics over the
         // engine's folded statistics.
-        let (critical, skipped) =
-            crate::classify::select(&mli, &self.index_vars, self.region_start, |var| {
+        let (critical, skipped) = crate::classify::select(
+            &mli,
+            &self.index_vars,
+            self.region_start,
+            &self.ctx,
+            |var| {
                 let stats = outcome
                     .stats
                     .get(&var.base_addr)
                     .copied()
                     .unwrap_or_default();
                 crate::classify::decide(&stats, var.size)
-            });
+            },
+        );
 
         let identify = t1.elapsed();
         StreamRun {

@@ -10,7 +10,7 @@ use autocheck_ir::{
     BinOp, BlockId, Builtin, Callee, CastOp, CmpPred, FuncId, Function, GlobalInit, Inst, InstKind,
     Module, RegName, SrcLoc, Type, Value,
 };
-use autocheck_trace::{Name, SymId};
+use autocheck_trace::{AnalysisCtx, Name, SymId};
 
 /// Synthetic "code addresses" given to functions so Call records carry a
 /// pointer value like real traces do.
@@ -72,11 +72,21 @@ pub struct Machine<'m> {
     dyn_id: u64,
     last_line: Option<(u32, u32)>,
     opts: ExecOptions,
+    /// The analysis session this machine emits symbols into.
+    ctx: AnalysisCtx,
 }
 
 impl<'m> Machine<'m> {
-    /// Create a machine: lays out and initializes globals.
+    /// Create a machine in the thread's current symbol space (the global
+    /// one unless a session guard is live): lays out and initializes
+    /// globals.
     pub fn new(module: &'m Module, opts: ExecOptions) -> Machine<'m> {
+        Self::with_ctx(module, opts, AnalysisCtx::current())
+    }
+
+    /// Create a machine whose emitted trace records intern their symbols
+    /// (function names, labels, variable names) into `ctx`'s space.
+    pub fn with_ctx(module: &'m Module, opts: ExecOptions, ctx: AnalysisCtx) -> Machine<'m> {
         // Global layout: sequential, 8-byte aligned.
         let mut offset: u64 = 0;
         let mut global_addrs = Vec::with_capacity(module.globals.len());
@@ -105,7 +115,7 @@ impl<'m> Machine<'m> {
         let func_names = module
             .functions
             .iter()
-            .map(|f| SymId::intern(&f.name))
+            .map(|f| ctx.intern(&f.name))
             .collect();
         let block_labels = module
             .functions
@@ -113,14 +123,14 @@ impl<'m> Machine<'m> {
             .map(|f| {
                 f.blocks
                     .iter()
-                    .map(|b| SymId::intern(&b.label.to_string()))
+                    .map(|b| ctx.intern(&b.label.to_string()))
                     .collect()
             })
             .collect();
         let param_names = module
             .functions
             .iter()
-            .map(|f| f.params.iter().map(|p| SymId::intern(&p.name)).collect())
+            .map(|f| f.params.iter().map(|p| ctx.intern(&p.name)).collect())
             .collect();
         Machine {
             module,
@@ -134,7 +144,13 @@ impl<'m> Machine<'m> {
             dyn_id: 0,
             last_line: None,
             opts,
+            ctx,
         }
+    }
+
+    /// A symbolic [`Name`] interned in this machine's session space.
+    fn sym(&self, s: &str) -> Name {
+        Name::Sym(self.ctx.intern(s))
     }
 
     /// The memory (for whole-image checkpoint tooling).
@@ -195,7 +211,7 @@ impl<'m> Machine<'m> {
                 let f = self.module.function(frame.func);
                 match &f.inst(id).name {
                     RegName::Temp(n) => (Name::Temp(*n), true),
-                    RegName::Var(s) => (Name::sym(s), true),
+                    RegName::Var(s) => (self.sym(s), true),
                     RegName::None => (Name::None, true),
                 }
             }
@@ -203,7 +219,7 @@ impl<'m> Machine<'m> {
                 Name::Sym(self.param_names[frame.func.index()][i as usize]),
                 true,
             ),
-            Value::Global(g) => (Name::sym(&self.module.global(g).name), true),
+            Value::Global(g) => (self.sym(&self.module.global(g).name), true),
             _ => (Name::None, false),
         }
     }
@@ -218,10 +234,10 @@ impl<'m> Machine<'m> {
         })
     }
 
-    fn result_name(inst: &Inst) -> Name {
+    fn result_name(&self, inst: &Inst) -> Name {
         match &inst.name {
             RegName::Temp(n) => Name::Temp(*n),
-            RegName::Var(s) => Name::sym(s),
+            RegName::Var(s) => self.sym(s),
             RegName::None => Name::None,
         }
     }
@@ -340,7 +356,7 @@ impl<'m> Machine<'m> {
                     frame.regs[inst_id.index()] = Some(RtValue::P(addr));
                     if trace_on {
                         let ops = [DynOperand::imm(RtValue::I(ty.byte_size() as i64))];
-                        let res = DynOperand::reg(Name::sym(var), RtValue::P(addr));
+                        let res = DynOperand::reg(self.sym(var), RtValue::P(addr));
                         self.emit(
                             sink,
                             &frame,
@@ -349,7 +365,7 @@ impl<'m> Machine<'m> {
                             &ops,
                             &[],
                             Some(res),
-                            Some(SymId::intern(var)),
+                            Some(self.ctx.intern(var)),
                         )?;
                     }
                 }
@@ -363,7 +379,7 @@ impl<'m> Machine<'m> {
                     frame.regs[inst_id.index()] = Some(loaded);
                     if trace_on {
                         let res = DynOperand {
-                            name: Self::result_name(&inst),
+                            name: self.result_name(&inst),
                             value: loaded,
                             is_reg: true,
                         };
@@ -399,7 +415,7 @@ impl<'m> Machine<'m> {
                     frame.regs[inst_id.index()] = Some(res_v);
                     if trace_on {
                         let res = DynOperand {
-                            name: Self::result_name(&inst),
+                            name: self.result_name(&inst),
                             value: res_v,
                             is_reg: true,
                         };
@@ -411,7 +427,7 @@ impl<'m> Machine<'m> {
                     frame.regs[inst_id.index()] = Some(vv.value);
                     if trace_on {
                         let res = DynOperand {
-                            name: Self::result_name(&inst),
+                            name: self.result_name(&inst),
                             value: vv.value,
                             is_reg: true,
                         };
@@ -425,7 +441,7 @@ impl<'m> Machine<'m> {
                     frame.regs[inst_id.index()] = Some(out);
                     if trace_on {
                         let res = DynOperand {
-                            name: Self::result_name(&inst),
+                            name: self.result_name(&inst),
                             value: out,
                             is_reg: true,
                         };
@@ -444,7 +460,7 @@ impl<'m> Machine<'m> {
                     frame.regs[inst_id.index()] = Some(out);
                     if trace_on {
                         let res = DynOperand {
-                            name: Self::result_name(&inst),
+                            name: self.result_name(&inst),
                             value: out,
                             is_reg: true,
                         };
@@ -461,7 +477,7 @@ impl<'m> Machine<'m> {
                     frame.regs[inst_id.index()] = Some(out);
                     if trace_on {
                         let res = DynOperand {
-                            name: Self::result_name(&inst),
+                            name: self.result_name(&inst),
                             value: out,
                             is_reg: true,
                         };
@@ -474,7 +490,7 @@ impl<'m> Machine<'m> {
                         Callee::Builtin(b) => {
                             // Call form 1: one record including the result.
                             arg_ops.push(DynOperand::reg(
-                                Name::sym(b.name()),
+                                self.sym(b.name()),
                                 RtValue::P(CODE_BASE - 0x1000 + *b as u64 * 0x10),
                             ));
                             let mut vals = Vec::with_capacity(args.len());
@@ -489,7 +505,7 @@ impl<'m> Machine<'m> {
                             }
                             if trace_on {
                                 let res = out.map(|v| DynOperand {
-                                    name: Self::result_name(&inst),
+                                    name: self.result_name(&inst),
                                     value: v,
                                     is_reg: true,
                                 });
@@ -503,7 +519,7 @@ impl<'m> Machine<'m> {
                             // Call form 2: record with args + `f` param
                             // lines, then the callee body.
                             arg_ops.push(DynOperand::reg(
-                                Name::sym(&self.module.function(*callee_id).name),
+                                self.sym(&self.module.function(*callee_id).name),
                                 RtValue::P(Self::code_addr(*callee_id)),
                             ));
                             let mut vals = Vec::with_capacity(args.len());
@@ -526,7 +542,7 @@ impl<'m> Machine<'m> {
                                 // caller's uses of the returned value.
                                 let res = if self.module.function(*callee_id).ret != Type::Void {
                                     Some(DynOperand {
-                                        name: Self::result_name(&inst),
+                                        name: self.result_name(&inst),
                                         value: RtValue::I(0),
                                         is_reg: true,
                                     })

@@ -18,8 +18,8 @@ use crate::ddg::DdgBuilder;
 use crate::mli::{Collect, MliCollector, MliEntry};
 use crate::region::RegionTracker;
 use crate::stats::{VarStats, VarStatsBuilder};
-use autocheck_trace::{Record, SymId};
-use fxhash::FxHashMap;
+use autocheck_trace::{AnalysisCtx, Record, SymId};
+use fxhash::FxSeededHashMap;
 use std::fmt;
 
 /// Engine configuration.
@@ -83,8 +83,9 @@ pub struct EngineOutcome {
     /// The MLI set, sorted like the batch `find_mli_vars`.
     pub mli: Vec<MliEntry>,
     /// Folded access statistics per variable base address (all observed
-    /// bases, not just MLI — the consumer filters).
-    pub stats: FxHashMap<u64, VarStats>,
+    /// bases, not just MLI — the consumer filters). Hashed with the
+    /// session's address seed.
+    pub stats: FxSeededHashMap<u64, VarStats>,
     /// Loop iterations observed.
     pub iterations: u32,
     /// Records consumed.
@@ -104,7 +105,8 @@ pub struct Engine {
     region: RegionTracker,
     mli: MliCollector,
     ddg: DdgBuilder,
-    stats: FxHashMap<u64, VarStatsBuilder>,
+    stats: FxSeededHashMap<u64, VarStatsBuilder>,
+    addr_seed: u64,
     records: u64,
     live: usize,
     peak_live: usize,
@@ -112,13 +114,22 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Build an engine for one analysis run.
+    /// Build an engine for one analysis run in the thread's current symbol
+    /// space with deterministic address hashing.
     pub fn new(cfg: EngineConfig) -> Engine {
+        Self::with_ctx(cfg, &AnalysisCtx::current())
+    }
+
+    /// Build an engine scoped to `ctx`: region/MLI symbols intern into the
+    /// session's space, and every map keyed by trace-supplied addresses
+    /// hashes with the session's seed.
+    pub fn with_ctx(cfg: EngineConfig, ctx: &AnalysisCtx) -> Engine {
         Engine {
-            region: RegionTracker::new(cfg.function, cfg.start_line, cfg.end_line),
-            mli: MliCollector::new(cfg.collect),
+            region: RegionTracker::with_ctx(ctx, cfg.function, cfg.start_line, cfg.end_line),
+            mli: MliCollector::with_ctx(cfg.collect, ctx),
             ddg: DdgBuilder::new(cfg.selective),
-            stats: FxHashMap::default(),
+            stats: ctx.addr_map(),
+            addr_seed: ctx.addr_seed(),
             records: 0,
             live: 0,
             peak_live: 0,
@@ -132,7 +143,10 @@ impl Engine {
         let a = self.region.annotate(r);
         self.mli.observe(r, a);
         if let Some(e) = self.ddg.observe(r, a) {
-            let builder = self.stats.entry(e.base).or_default();
+            let builder = self
+                .stats
+                .entry(e.base)
+                .or_insert_with(|| VarStatsBuilder::with_seed(self.addr_seed));
             if e.phase == crate::region::Phase::After {
                 // After-loop events are reads by construction.
                 builder.feed_after_read();

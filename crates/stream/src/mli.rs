@@ -14,8 +14,8 @@
 
 use crate::prov::Provenance;
 use crate::region::{Phase, StreamAnnot};
-use autocheck_trace::{record::opcodes, Name, NameMap, NameSet, Record, SymId};
-use fxhash::FxHashMap;
+use autocheck_trace::{record::opcodes, AnalysisCtx, Name, NameMap, NameSet, Record, SymId};
+use fxhash::FxSeededHashMap;
 
 /// Occurrence-counting strictness. Mirrors
 /// `autocheck_core::CollectMode`; redeclared here so this crate stays below
@@ -56,26 +56,35 @@ pub struct MliCollector {
     prov: Provenance,
     arith_regs: NameSet,
     loaded_from: NameMap<VarKey>,
-    before: FxHashMap<VarKey, u32>,
-    inside: FxHashMap<VarKey, u32>,
-    extent: FxHashMap<VarKey, u64>,
-    alloca_size: FxHashMap<VarKey, u64>,
-    before_by_base: FxHashMap<u64, VarKey>,
+    // Keys carry trace-supplied *base addresses* ([`VarKey`] / `u64`), so
+    // these maps hash with the session's address seed — deterministic Fx
+    // for trusted sources, per-session seeding for `--untrusted-trace`.
+    before: FxSeededHashMap<VarKey, u32>,
+    inside: FxSeededHashMap<VarKey, u32>,
+    extent: FxSeededHashMap<VarKey, u64>,
+    alloca_size: FxSeededHashMap<VarKey, u64>,
+    before_by_base: FxSeededHashMap<u64, VarKey>,
 }
 
 impl MliCollector {
-    /// A fresh collector.
+    /// A fresh collector scoped to the thread's current session (address
+    /// maps deterministic unless that session is untrusted).
     pub fn new(mode: Collect) -> MliCollector {
+        Self::with_ctx(mode, &AnalysisCtx::current())
+    }
+
+    /// A collector whose address-keyed maps hash with `ctx`'s session seed.
+    pub fn with_ctx(mode: Collect, ctx: &AnalysisCtx) -> MliCollector {
         MliCollector {
             mode,
             prov: Provenance::default(),
             arith_regs: NameSet::new(),
             loaded_from: NameMap::new(),
-            before: FxHashMap::default(),
-            inside: FxHashMap::default(),
-            extent: FxHashMap::default(),
-            alloca_size: FxHashMap::default(),
-            before_by_base: FxHashMap::default(),
+            before: ctx.addr_map(),
+            inside: ctx.addr_map(),
+            extent: ctx.addr_map(),
+            alloca_size: ctx.addr_map(),
+            before_by_base: ctx.addr_map(),
         }
     }
 

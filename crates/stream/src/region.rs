@@ -8,7 +8,7 @@
 //! deferring the stack operation of each record until the next record shows
 //! up — no buffering, identical annotations.
 
-use autocheck_trace::{record::opcodes, Name, Record, SymId};
+use autocheck_trace::{record::opcodes, AnalysisCtx, Name, Record, SymId};
 
 /// Which part of the execution a record belongs to (the paper's Part A /
 /// Part B / Part C). Mirrors `autocheck_core::Phase`; redeclared here so
@@ -61,10 +61,22 @@ pub struct RegionTracker {
 
 impl RegionTracker {
     /// Track the region `function`:`start_line`..=`end_line` (the paper's
-    /// MCLR input).
+    /// MCLR input), interning in the thread's current space.
     pub fn new(function: impl AsRef<str>, start_line: u32, end_line: u32) -> RegionTracker {
+        Self::with_ctx(&AnalysisCtx::current(), function, start_line, end_line)
+    }
+
+    /// [`RegionTracker::new`], interning the function name in `ctx`'s space
+    /// so comparisons against record symbols from the same session are id
+    /// comparisons.
+    pub fn with_ctx(
+        ctx: &AnalysisCtx,
+        function: impl AsRef<str>,
+        start_line: u32,
+        end_line: u32,
+    ) -> RegionTracker {
         RegionTracker {
-            function: SymId::intern(function.as_ref()),
+            function: ctx.intern(function.as_ref()),
             start_line,
             end_line,
             stack: Vec::new(),

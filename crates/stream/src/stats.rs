@@ -12,7 +12,7 @@
 //! event-slice classification, so the two pipelines share one fold and one
 //! decision function and cannot drift apart.
 
-use fxhash::FxHashMap;
+use fxhash::{FxSeededHashMap, FxSeededState};
 
 /// Everything the WAR/RAPO/Outcome heuristics need to know about one
 /// variable, in O(1) space.
@@ -54,14 +54,25 @@ struct ElemAccess {
 pub struct VarStatsBuilder {
     stats: VarStats,
     cur_iter: u32,
-    window: FxHashMap<u64, ElemAccess>,
+    /// Keyed by element *addresses* from the trace — seeded per session
+    /// when the source is untrusted (seed 0 = deterministic Fx).
+    window: FxSeededHashMap<u64, ElemAccess>,
     first_elem: Option<u64>,
 }
 
 impl VarStatsBuilder {
-    /// A fresh builder.
+    /// A fresh builder with deterministic element-address hashing.
     pub fn new() -> VarStatsBuilder {
         VarStatsBuilder::default()
+    }
+
+    /// A builder whose element-address window hashes with `seed` (the
+    /// session's address seed for untrusted traces; 0 = deterministic).
+    pub fn with_seed(seed: u64) -> VarStatsBuilder {
+        VarStatsBuilder {
+            window: FxSeededHashMap::with_hasher(FxSeededState::with_seed(seed)),
+            ..VarStatsBuilder::default()
+        }
     }
 
     /// Entries currently held in the per-iteration window — the variable's

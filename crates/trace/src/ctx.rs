@@ -1,0 +1,241 @@
+//! [`AnalysisCtx`]: everything that scopes one analysis session.
+//!
+//! The data plane used to lean on two process-wide facts: the global symbol
+//! interner and deterministic FxHash on address-keyed maps. Both are wrong
+//! for a process hosting many unrelated analyses — symbol ids would
+//! accumulate across tenants (growing every dense sym-indexed table to the
+//! process high-water mark), and a deterministic hash lets one tenant's
+//! crafted trace degrade another's run. `AnalysisCtx` packages the
+//! session-scoped replacements:
+//!
+//! * a [`SymbolSpace`] — the session's own dense symbol ids (see
+//!   [`crate::intern`] for the space model);
+//! * an **address-hash seed** — per-session seeding for maps keyed by
+//!   trace-supplied addresses, non-zero only when the trace source is
+//!   marked untrusted (seed 0 is bit-identical to plain FxHash, so trusted
+//!   runs pay nothing);
+//! * a **trust flag** recording that choice.
+//!
+//! Every component of the data plane (`TraceParser`, the parallel readers,
+//! the interpreter's `Machine`, the streaming `Engine`, the batch and
+//! streaming analyzers) accepts a ctx at construction and resolves symbols
+//! through it from then on. [`AnalysisCtx::default`] addresses the global
+//! space with deterministic hashing — the exact pre-session behavior — so
+//! single-analysis embedders never have to name a ctx at all.
+
+use crate::intern::{SpaceGuard, SymId, SymbolSpace};
+use fxhash::{FxSeededHashMap, FxSeededState};
+use std::collections::hash_map::RandomState;
+use std::hash::BuildHasher;
+
+/// The scope of one analysis: symbol space, address-hash seed, trust.
+///
+/// Cheap to clone; clones share the same symbol space.
+#[derive(Clone, Debug)]
+pub struct AnalysisCtx {
+    space: SymbolSpace,
+    addr_seed: u64,
+    trusted: bool,
+}
+
+impl Default for AnalysisCtx {
+    /// The process-default scope: global symbol space, deterministic
+    /// hashing, trusted input. Behaviorally identical to the pre-session
+    /// code path.
+    fn default() -> Self {
+        AnalysisCtx {
+            space: SymbolSpace::global(),
+            addr_seed: 0,
+            trusted: true,
+        }
+    }
+}
+
+impl AnalysisCtx {
+    /// A fresh session: its own empty [`SymbolSpace`], deterministic
+    /// hashing, trusted input. The starting point for every
+    /// `MultiAnalyzer` session.
+    pub fn session() -> AnalysisCtx {
+        AnalysisCtx {
+            space: SymbolSpace::new(),
+            addr_seed: 0,
+            trusted: true,
+        }
+    }
+
+    /// A ctx over an explicit space (shared with every clone).
+    pub fn with_space(space: SymbolSpace) -> AnalysisCtx {
+        AnalysisCtx {
+            space,
+            addr_seed: 0,
+            trusted: true,
+        }
+    }
+
+    /// A ctx over the thread's **current** space ([`SymbolSpace::current`]):
+    /// the global space normally, or the session space while a
+    /// [`SymbolSpace::enter`] guard is live. Default constructors across
+    /// the data plane (`TraceParser::new`, `Machine::new`, `Engine::new`,
+    /// the analyzers) snapshot this, so legacy ctx-less call sites follow
+    /// an entered session instead of silently escaping to the global
+    /// space. The snapshot is taken once — handing the ctx to worker
+    /// threads keeps them in the same space.
+    pub fn current() -> AnalysisCtx {
+        AnalysisCtx {
+            space: SymbolSpace::current(),
+            addr_seed: 0,
+            trusted: true,
+        }
+    }
+
+    /// Mark the trace source untrusted: address-keyed maps switch to
+    /// per-session seeded hashing so a crafted trace cannot aim
+    /// precomputed hash-collision chains at this process (the
+    /// `--untrusted-trace` flag).
+    pub fn untrusted(mut self) -> AnalysisCtx {
+        self.trusted = false;
+        if self.addr_seed == 0 {
+            self.addr_seed = random_seed();
+        }
+        self
+    }
+
+    /// Pin the address-hash seed (tests; 0 restores determinism).
+    pub fn with_addr_seed(mut self, seed: u64) -> AnalysisCtx {
+        self.addr_seed = seed;
+        self
+    }
+
+    /// The session's symbol space.
+    pub fn space(&self) -> &SymbolSpace {
+        &self.space
+    }
+
+    /// Intern `s` in the session's space.
+    #[inline]
+    pub fn intern(&self, s: &str) -> SymId {
+        self.space.intern(s)
+    }
+
+    /// Resolve `id` in the session's space.
+    #[inline]
+    pub fn resolve(&self, id: SymId) -> &'static str {
+        self.space.resolve(id)
+    }
+
+    /// Install the session's space as the thread-current space (for the
+    /// output edges — report rendering, DOT, trace serialization — which
+    /// resolve via [`SymId::as_str`]).
+    #[must_use = "the space is only current while the guard is alive"]
+    pub fn enter(&self) -> SpaceGuard {
+        self.space.enter()
+    }
+
+    /// The seed for address-keyed maps (0 = deterministic).
+    pub fn addr_seed(&self) -> u64 {
+        self.addr_seed
+    }
+
+    /// False when the trace source was marked untrusted.
+    pub fn is_trusted(&self) -> bool {
+        self.trusted
+    }
+
+    /// The build-hasher for maps keyed by trace-supplied addresses.
+    #[inline]
+    pub fn addr_state(&self) -> FxSeededState {
+        FxSeededState::with_seed(self.addr_seed)
+    }
+
+    /// An empty map for trace-supplied address keys, hashed with the
+    /// session's seed.
+    #[inline]
+    pub fn addr_map<K, V>(&self) -> FxSeededHashMap<K, V> {
+        FxSeededHashMap::with_hasher(self.addr_state())
+    }
+}
+
+/// A per-call random 64-bit seed. Derived from std's `RandomState` (the
+/// only entropy source available without extra dependencies): each
+/// `RandomState::new()` draws fresh per-instance keys from the thread's
+/// OS-seeded generator, so distinct sessions get distinct seeds.
+fn random_seed() -> u64 {
+    let s = RandomState::new().hash_one(0xa1a1_5151_u64);
+    // Seed 0 means "deterministic"; dodge it.
+    if s == 0 {
+        1
+    } else {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_ctx_is_global_space_deterministic_trusted() {
+        let ctx = AnalysisCtx::default();
+        assert!(ctx.space().same_space(&SymbolSpace::global()));
+        assert_eq!(ctx.addr_seed(), 0);
+        assert!(ctx.is_trusted());
+        assert_eq!(ctx.addr_state(), FxSeededState::with_seed(0));
+    }
+
+    #[test]
+    fn session_ctx_is_a_fresh_space() {
+        let a = AnalysisCtx::session();
+        let b = AnalysisCtx::session();
+        assert!(!a.space().same_space(b.space()));
+        assert!(!a.space().same_space(&SymbolSpace::global()));
+        assert_eq!(a.intern("ctx_test_v").index(), 0);
+        assert_eq!(b.intern("ctx_test_other").index(), 0);
+        assert_eq!(a.resolve(a.intern("ctx_test_v")), "ctx_test_v");
+    }
+
+    #[test]
+    fn clones_share_the_space() {
+        let a = AnalysisCtx::session();
+        let b = a.clone();
+        let id = a.intern("ctx_test_shared");
+        assert_eq!(b.resolve(id), "ctx_test_shared");
+    }
+
+    #[test]
+    fn untrusted_sessions_get_distinct_nonzero_seeds() {
+        let a = AnalysisCtx::session().untrusted();
+        let b = AnalysisCtx::session().untrusted();
+        assert!(!a.is_trusted());
+        assert_ne!(a.addr_seed(), 0);
+        assert_ne!(b.addr_seed(), 0);
+        // Distinct with overwhelming probability; equality would mean the
+        // entropy source is broken.
+        assert_ne!(a.addr_seed(), b.addr_seed());
+        // An explicitly pinned seed survives `untrusted()`.
+        let pinned = AnalysisCtx::session().with_addr_seed(42).untrusted();
+        assert_eq!(pinned.addr_seed(), 42);
+    }
+
+    #[test]
+    fn addr_maps_work_at_any_seed() {
+        for seed in [0u64, 7, u64::MAX] {
+            let ctx = AnalysisCtx::session().with_addr_seed(seed);
+            let mut m = ctx.addr_map::<u64, u32>();
+            m.insert(0x7f00_0000_0000, 9);
+            m.insert(0, 1);
+            assert_eq!(m.get(&0x7f00_0000_0000), Some(&9));
+            assert_eq!(m.get(&0), Some(&1));
+        }
+    }
+
+    #[test]
+    fn enter_scopes_the_thread_current_space() {
+        let ctx = AnalysisCtx::session();
+        let id = {
+            let _g = ctx.enter();
+            SymId::intern("ctx_test_scoped")
+        };
+        assert_eq!(ctx.resolve(id), "ctx_test_scoped");
+        assert!(SymbolSpace::current().same_space(&SymbolSpace::global()));
+    }
+}

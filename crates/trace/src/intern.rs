@@ -1,5 +1,5 @@
-//! Process-wide symbol interning: [`SymId`] is a dense `u32` handle to a
-//! shared string table.
+//! Symbol interning: [`SymId`] is a dense `u32` handle into a
+//! [`SymbolSpace`] — a per-analysis string table.
 //!
 //! Real traces repeat the same handful of symbolic names (function names,
 //! block labels, variable names) millions of times. The analysis data plane
@@ -9,44 +9,80 @@
 //!
 //! * equality and hashing are integer operations — no string re-hashing, no
 //!   `Arc` refcount traffic on the hot path;
-//! * ids are **dense** (0, 1, 2, …), so maps keyed by symbol can be plain
-//!   vectors ([`crate::namemap::NameMap`]);
+//! * ids are **dense** (0, 1, 2, …) *within their space*, so maps keyed by
+//!   symbol can be plain vectors ([`crate::namemap::NameMap`]);
 //! * the id → string direction ([`SymId::as_str`]) is only needed at the
 //!   edges (report rendering, DOT output, trace serialization), never
 //!   inside the per-record loops.
 //!
-//! The table is global and append-only: interned strings are leaked into
-//! `&'static str`s. The leak is bounded by the number of *distinct* symbols
-//! ever observed (program identifiers — not trace length), which is the
-//! same lifetime the previous per-parser `Arc<str>` interners effectively
-//! had over an analysis run, minus one allocation and one map per parser.
+//! # Spaces: session-scoped symbol lifetimes
 //!
-//! Trade-off for long-running embedders: because the table is process-wide,
-//! memory grows monotonically with the union of all symbol sets ever
-//! analyzed, and the dense sym-indexed tables
-//! ([`crate::namemap::NameMap`], the DDG node index) size themselves to
-//! the highest id they touch. For the analysis CLI (one process per
-//! analysis — the paper's usage) this is strictly cheaper than the old
-//! per-parser interners; a service embedding thousands of unrelated
-//! analyses in one process would want an epoch/generation scheme (noted in
-//! ROADMAP.md).
+//! The table used to be process-global and append-only — right for the
+//! one-process-per-analysis CLI (the paper's usage), but a long-running
+//! multi-tenant service would accumulate the union of all tenants' symbol
+//! sets and grow every dense sym-indexed table to the global id high-water
+//! mark. A [`SymbolSpace`] scopes that lifetime to one analysis session:
 //!
-//! Determinism note: the numeric value of a [`SymId`] depends on first-come
-//! interning order, which differs between serial and parallel parses of the
-//! same trace. Ids therefore must never leak into output or into orderings
-//! that reach output — [`SymId`]'s `Ord` compares the *resolved strings* so
-//! that sorting by name stays byte-identical to the pre-interning code, and
-//! the property tests assert report/DOT byte-identity across parse modes.
+//! * every space assigns its own dense ids starting at 0, so per-session
+//!   tables ([`crate::namemap::NameMap`], the DDG node indexes) are sized
+//!   by the *session's* symbol count, not the process's;
+//! * two analyses in different spaces never observe each other's ids — a
+//!   burst of interning in one session cannot inflate another session's
+//!   dense tables;
+//! * dropping a space frees its lookup map and id vector. The string
+//!   *bytes* themselves live in a process-wide deduplicating arena
+//!   (`&'static str`), bounded by the number of distinct symbols ever seen
+//!   — program identifiers, not trace length — so repeated sessions over
+//!   similar programs re-use allocations instead of re-leaking them.
+//!
+//! **When is the default global space still appropriate?** Whenever one
+//! process runs one analysis: the CLI tools, tests, benches, and any
+//! embedder that doesn't multiplex tenants. `SymId::intern`/`as_str` keep
+//! working unchanged against the default space, and the global table is
+//! exactly as cheap as before. Reach for per-session spaces
+//! (`AnalysisCtx::session()`, the `MultiAnalyzer` service layer) when one
+//! process hosts many unrelated analyses.
+//!
+//! # Resolution and the current space
+//!
+//! A `SymId` is 4 bytes and does not carry its space, so the space-less
+//! conveniences — [`SymId::intern`], [`SymId::as_str`], `Display`, `Ord` —
+//! resolve through a **thread-local current space** (the same pattern
+//! rustc uses for its session-scoped `Symbol`s). The current space
+//! defaults to the global one; [`SymbolSpace::enter`] installs another for
+//! a lexical scope via an RAII guard. Components that belong to one
+//! analysis (parser, interpreter, engines) do not rely on the thread-local
+//! at all: they hold an [`crate::ctx::AnalysisCtx`] and intern/resolve
+//! through it explicitly. The guard exists for the *output edges* (report
+//! `Display`, DOT, trace serialization), which render via `as_str`.
+//!
+//! Mixing ids across spaces is a logic error: resolving a `SymId` under a
+//! space that never produced it panics when the id is out of range and
+//! otherwise names the wrong string. The multi-session tests assert that
+//! rendered output is byte-identical across interleavings precisely
+//! because no id ever crosses a space boundary.
+//!
+//! Determinism note: the numeric value of a [`SymId`] depends on
+//! first-come interning order, which differs between serial and parallel
+//! parses of the same trace. Ids therefore must never leak into output or
+//! into orderings that reach output — [`SymId`]'s `Ord` compares the
+//! *resolved strings* so that sorting by name stays byte-identical to the
+//! pre-interning code, and the property tests assert report/DOT
+//! byte-identity across parse modes.
 
-use std::collections::HashMap;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::sync::{OnceLock, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 /// A handle to an interned symbol string.
 ///
-/// `Copy`, 4 bytes, integer equality/hash. Obtain via [`SymId::intern`],
-/// resolve via [`SymId::as_str`]. Two `SymId`s are equal iff their strings
-/// are equal (the table is a bijection).
+/// `Copy`, 4 bytes, integer equality/hash. Obtain via [`SymId::intern`] (or
+/// [`SymbolSpace::intern`]), resolve via [`SymId::as_str`] (or
+/// [`SymbolSpace::resolve`]). Within one space, two `SymId`s are equal iff
+/// their strings are equal (each space's table is a bijection); ids from
+/// different spaces are unrelated and must not be mixed.
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SymId(u32);
 
@@ -60,45 +96,214 @@ struct Interner {
     strs: Vec<&'static str>,
 }
 
-fn table() -> &'static RwLock<Interner> {
-    static TABLE: OnceLock<RwLock<Interner>> = OnceLock::new();
-    TABLE.get_or_init(|| {
-        RwLock::new(Interner {
-            map: HashMap::new(),
-            strs: Vec::new(),
-        })
-    })
+/// The process-wide deduplicating string arena backing every space.
+///
+/// Strings are leaked to `&'static str` exactly once per distinct string
+/// across *all* spaces: a service analyzing the same program repeatedly in
+/// fresh sessions re-uses the allocation instead of leaking per session.
+/// The leak is bounded by the number of distinct symbols ever observed
+/// (program identifiers — not trace length).
+fn arena_leak(s: &str) -> &'static str {
+    static ARENA: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let arena = ARENA.get_or_init(|| Mutex::new(HashSet::new()));
+    let mut set = arena.lock().expect("string arena poisoned");
+    if let Some(&leaked) = set.get(s) {
+        return leaked;
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    set.insert(leaked);
+    leaked
 }
 
-impl SymId {
-    /// Intern `s`, returning its id. One hash lookup on the hit path (the
-    /// overwhelmingly common case in traces); one allocation — total, ever —
-    /// per distinct symbol on the miss path.
-    pub fn intern(s: &str) -> SymId {
-        let t = table();
-        if let Some(&id) = t.read().expect("interner poisoned").map.get(s) {
+struct SpaceInner {
+    /// Process-unique tag, for diagnostics (`{:?}` of a space names it).
+    tag: u64,
+    table: RwLock<Interner>,
+}
+
+/// A session-scoped symbol table. Cheap to clone (an `Arc` handle); all
+/// clones address the same table.
+#[derive(Clone)]
+pub struct SymbolSpace {
+    inner: Arc<SpaceInner>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<SymbolSpace> = RefCell::new(SymbolSpace::global());
+}
+
+impl SymbolSpace {
+    /// A fresh, empty space with its own dense id sequence.
+    pub fn new() -> SymbolSpace {
+        static NEXT_TAG: AtomicU64 = AtomicU64::new(1);
+        SymbolSpace {
+            inner: Arc::new(SpaceInner {
+                tag: NEXT_TAG.fetch_add(1, Ordering::Relaxed),
+                table: RwLock::new(Interner {
+                    map: HashMap::new(),
+                    strs: Vec::new(),
+                }),
+            }),
+        }
+    }
+
+    /// The default process-wide space — what [`SymId::intern`] uses when no
+    /// other space has been [`enter`](SymbolSpace::enter)ed. Tag 0.
+    pub fn global() -> SymbolSpace {
+        static GLOBAL: OnceLock<SymbolSpace> = OnceLock::new();
+        GLOBAL
+            .get_or_init(|| SymbolSpace {
+                inner: Arc::new(SpaceInner {
+                    tag: 0,
+                    table: RwLock::new(Interner {
+                        map: HashMap::new(),
+                        strs: Vec::new(),
+                    }),
+                }),
+            })
+            .clone()
+    }
+
+    /// The thread's current space (the global one unless a guard is live).
+    pub fn current() -> SymbolSpace {
+        CURRENT.with(|c| c.borrow().clone())
+    }
+
+    /// Install this space as the thread's current space until the returned
+    /// guard drops (restoring the previous one — guards nest).
+    ///
+    /// Resolution-only conveniences ([`SymId::as_str`], `Display`, `Ord`)
+    /// go through the current space; a session must hold its guard across
+    /// every output edge that renders its ids.
+    #[must_use = "the space is only current while the guard is alive"]
+    pub fn enter(&self) -> SpaceGuard {
+        let prev = CURRENT.with(|c| c.replace(self.clone()));
+        SpaceGuard { prev }
+    }
+
+    /// Intern `s` in this space, returning its dense id. One hash lookup on
+    /// the hit path; on the miss path, one arena lookup (allocation only if
+    /// the string was never seen by *any* space).
+    pub fn intern(&self, s: &str) -> SymId {
+        if let Some(&id) = self
+            .inner
+            .table
+            .read()
+            .expect("interner poisoned")
+            .map
+            .get(s)
+        {
             return SymId(id);
         }
-        let mut w = t.write().expect("interner poisoned");
+        let leaked = arena_leak(s);
+        let mut w = self.inner.table.write().expect("interner poisoned");
         // Double-check: another thread may have interned between the locks.
-        if let Some(&id) = w.map.get(s) {
+        if let Some(&id) = w.map.get(leaked) {
             return SymId(id);
         }
-        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
         let id = u32::try_from(w.strs.len()).expect("interner overflow: > 4G distinct symbols");
         w.strs.push(leaked);
         w.map.insert(leaked, id);
         SymId(id)
     }
 
-    /// The interned string. `&'static` because the table is append-only.
-    pub fn as_str(self) -> &'static str {
-        table().read().expect("interner poisoned").strs[self.0 as usize]
+    /// The string for `id`, which must have been interned in this space.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` was interned in a space with more symbols than this
+    /// one — the detectable half of cross-space id mixing.
+    pub fn resolve(&self, id: SymId) -> &'static str {
+        self.try_resolve(id).unwrap_or_else(|| {
+            panic!(
+                "SymId({}) is not from {:?} ({} symbols): symbol ids must be \
+                 resolved in the space that interned them",
+                id.0,
+                self,
+                self.len()
+            )
+        })
     }
 
-    /// The raw dense index (0-based interning order). For building dense
-    /// tables; never meaningful across processes and never ordered —
-    /// interning order differs between serial and parallel parses.
+    /// The string for `id`, or `None` when the id is out of this space's
+    /// range.
+    pub fn try_resolve(&self, id: SymId) -> Option<&'static str> {
+        self.inner
+            .table
+            .read()
+            .expect("interner poisoned")
+            .strs
+            .get(id.0 as usize)
+            .copied()
+    }
+
+    /// Number of distinct symbols interned in this space.
+    pub fn len(&self) -> usize {
+        self.inner
+            .table
+            .read()
+            .expect("interner poisoned")
+            .strs
+            .len()
+    }
+
+    /// True when nothing has been interned in this space.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when `self` and `other` are handles to the same table.
+    pub fn same_space(&self, other: &SymbolSpace) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl Default for SymbolSpace {
+    fn default() -> Self {
+        SymbolSpace::new()
+    }
+}
+
+impl fmt::Debug for SymbolSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.inner.tag == 0 {
+            write!(f, "SymbolSpace(global)")
+        } else {
+            write!(f, "SymbolSpace(#{})", self.inner.tag)
+        }
+    }
+}
+
+/// RAII guard from [`SymbolSpace::enter`]; restores the previous current
+/// space on drop.
+pub struct SpaceGuard {
+    prev: SymbolSpace,
+}
+
+impl Drop for SpaceGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| *c.borrow_mut() = self.prev.clone());
+    }
+}
+
+impl SymId {
+    /// Intern `s` in the thread's current space (the global one unless a
+    /// session guard is live). Components owned by one analysis should
+    /// prefer `ctx.intern(..)` / [`SymbolSpace::intern`].
+    pub fn intern(s: &str) -> SymId {
+        CURRENT.with(|c| c.borrow().intern(s))
+    }
+
+    /// The interned string, resolved in the thread's current space.
+    /// `&'static` because string bytes live in the process-wide arena.
+    pub fn as_str(self) -> &'static str {
+        CURRENT.with(|c| c.borrow().resolve(self))
+    }
+
+    /// The raw dense index (0-based interning order within the id's space).
+    /// For building dense tables; never meaningful across processes or
+    /// spaces, and never ordered — interning order differs between serial
+    /// and parallel parses.
     #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
@@ -205,5 +410,93 @@ mod tests {
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
         assert!(ids.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn spaces_assign_independent_dense_ids() {
+        let a = SymbolSpace::new();
+        let b = SymbolSpace::new();
+        // Interleave interning across the spaces: each space's ids must be
+        // dense from 0, entirely unaffected by the other's activity.
+        let a_x = a.intern("space_test_x");
+        let b_y = b.intern("space_test_y");
+        let b_z = b.intern("space_test_z");
+        let a_w = a.intern("space_test_w");
+        assert_eq!(a_x.index(), 0);
+        assert_eq!(a_w.index(), 1);
+        assert_eq!(b_y.index(), 0);
+        assert_eq!(b_z.index(), 1);
+        // Same string, different spaces: ids are per-space.
+        let a_y = a.intern("space_test_y");
+        assert_eq!(a_y.index(), 2);
+        assert_eq!(a.resolve(a_y), b.resolve(b_y));
+        // The arena deduplicates the bytes across spaces.
+        assert!(std::ptr::eq(a.resolve(a_y), b.resolve(b_y)));
+    }
+
+    #[test]
+    fn spaces_never_observe_each_others_ids() {
+        let a = SymbolSpace::new();
+        let b = SymbolSpace::new();
+        // Grow b far past a.
+        for i in 0..100 {
+            b.intern(&format!("space_iso_{i}"));
+        }
+        let only_a = a.intern("space_iso_lone");
+        assert_eq!(only_a.index(), 0, "b's interning must not shift a's ids");
+        assert_eq!(a.len(), 1);
+        // An id b produced beyond a's range cannot resolve in a.
+        let big_b = b.intern("space_iso_99_again");
+        assert_eq!(a.try_resolve(big_b), None);
+        let panicked = std::panic::catch_unwind(|| a.resolve(big_b));
+        assert!(panicked.is_err(), "cross-space resolve must panic");
+    }
+
+    #[test]
+    fn enter_guard_redirects_and_restores() {
+        let session = SymbolSpace::new();
+        let before = SymId::intern("guard_test_global");
+        {
+            let _g = session.enter();
+            assert!(SymbolSpace::current().same_space(&session));
+            let inside = SymId::intern("guard_test_session");
+            assert_eq!(inside.index(), 0, "fresh space starts at id 0");
+            assert_eq!(inside.as_str(), "guard_test_session");
+        }
+        assert!(SymbolSpace::current().same_space(&SymbolSpace::global()));
+        assert_eq!(before.as_str(), "guard_test_global");
+        assert_eq!(session.len(), 1);
+    }
+
+    #[test]
+    fn guards_nest() {
+        let outer = SymbolSpace::new();
+        let inner = SymbolSpace::new();
+        let _go = outer.enter();
+        {
+            let _gi = inner.enter();
+            assert!(SymbolSpace::current().same_space(&inner));
+        }
+        assert!(SymbolSpace::current().same_space(&outer));
+    }
+
+    #[test]
+    fn dropping_a_space_keeps_other_spaces_intact() {
+        let keep = SymbolSpace::new();
+        let kept = keep.intern("space_drop_kept");
+        {
+            let gone = SymbolSpace::new();
+            gone.intern("space_drop_gone");
+        }
+        assert_eq!(keep.resolve(kept), "space_drop_kept");
+    }
+
+    #[test]
+    fn global_space_is_one_table() {
+        let a = SymbolSpace::global();
+        let b = SymbolSpace::global();
+        assert!(a.same_space(&b));
+        let id = a.intern("global_test_shared");
+        assert_eq!(b.resolve(id), "global_test_shared");
     }
 }

@@ -34,6 +34,7 @@
 //!   the register/variable name) and `0` for immediates (empty name).
 
 pub mod chunk;
+pub mod ctx;
 pub mod intern;
 pub mod name;
 pub mod namemap;
@@ -45,11 +46,14 @@ pub mod stats;
 pub mod writer;
 
 pub use chunk::{chunk_boundaries, split_blocks};
-pub use intern::SymId;
+pub use ctx::AnalysisCtx;
+pub use intern::{SpaceGuard, SymId, SymbolSpace};
 pub use name::Name;
 pub use namemap::{NameMap, NameSet};
-pub use parallel::{parse_parallel, parse_parallel_read, ParallelConfig};
-pub use parser::{parse_str, ParseError, TraceParser};
+pub use parallel::{
+    parse_parallel, parse_parallel_in, parse_parallel_read, parse_parallel_read_in, ParallelConfig,
+};
+pub use parser::{parse_str, parse_str_in, ParseError, TraceParser};
 pub use reader::{parse_read, RecordReader, TraceReadError};
 pub use record::{OpTag, Operand, Record, TraceValue};
 pub use stats::TraceStats;

@@ -12,7 +12,8 @@
 //! chunks are contiguous and non-overlapping.
 
 use crate::chunk::chunk_boundaries;
-use crate::parser::{parse_str, ParseError};
+use crate::ctx::AnalysisCtx;
+use crate::parser::{parse_str_in, ParseError};
 use crate::reader::TraceReadError;
 use crate::record::Record;
 use std::io::Read;
@@ -44,7 +45,18 @@ impl Default for ParallelConfig {
 ///
 /// Record order in the result equals serial parse order.
 pub fn parse_parallel(input: &str, cfg: ParallelConfig) -> Result<Vec<Record>, ParseError> {
-    parse_chunks(input, cfg.threads)
+    parse_parallel_in(input, cfg, &AnalysisCtx::current())
+}
+
+/// [`parse_parallel`], interning symbols into `ctx`'s space. Workers build
+/// their parsers from clones of `ctx`, so a session's parallel parse never
+/// touches any other session's symbol table.
+pub fn parse_parallel_in(
+    input: &str,
+    cfg: ParallelConfig,
+    ctx: &AnalysisCtx,
+) -> Result<Vec<Record>, ParseError> {
+    parse_chunks(input, cfg.threads, ctx)
 }
 
 /// Parse a trace from any [`Read`] with `cfg.threads` workers and the
@@ -61,14 +73,34 @@ pub fn parse_parallel_read<R: Read>(
     parse_parallel_read_with_window(reader, cfg, DEFAULT_WINDOW_BYTES)
 }
 
+/// [`parse_parallel_read`], interning symbols into `ctx`'s space.
+pub fn parse_parallel_read_in<R: Read>(
+    reader: R,
+    cfg: ParallelConfig,
+    ctx: &AnalysisCtx,
+) -> Result<Vec<Record>, TraceReadError> {
+    parse_parallel_read_with_window_in(reader, cfg, DEFAULT_WINDOW_BYTES, ctx)
+}
+
 /// [`parse_parallel_read`] with an explicit lookahead window size. The
 /// window grows past `window_bytes` only when a single trace block is
 /// larger than the window (blocks are a handful of lines, so in practice
 /// the bound holds).
 pub fn parse_parallel_read_with_window<R: Read>(
+    reader: R,
+    cfg: ParallelConfig,
+    window_bytes: usize,
+) -> Result<Vec<Record>, TraceReadError> {
+    parse_parallel_read_with_window_in(reader, cfg, window_bytes, &AnalysisCtx::current())
+}
+
+/// [`parse_parallel_read_with_window`], interning symbols into `ctx`'s
+/// space.
+pub fn parse_parallel_read_with_window_in<R: Read>(
     mut reader: R,
     cfg: ParallelConfig,
     window_bytes: usize,
+    ctx: &AnalysisCtx,
 ) -> Result<Vec<Record>, TraceReadError> {
     let window_bytes = window_bytes.max(64);
     let mut out = Vec::new();
@@ -97,8 +129,8 @@ pub fn parse_parallel_read_with_window<R: Read>(
         if eof {
             if !buf.is_empty() {
                 let text = window_text(&buf).map_err(|e| offset_lines(e, lines_done))?;
-                let recs =
-                    parse_chunks(text, cfg.threads).map_err(|e| offset_lines(e, lines_done))?;
+                let recs = parse_chunks(text, cfg.threads, ctx)
+                    .map_err(|e| offset_lines(e, lines_done))?;
                 out.extend(recs);
             }
             return Ok(out);
@@ -109,8 +141,8 @@ pub fn parse_parallel_read_with_window<R: Read>(
         match last_block_header(&buf[from..]).map(|cut| cut + from) {
             Some(cut) if cut > 0 => {
                 let text = window_text(&buf[..cut]).map_err(|e| offset_lines(e, lines_done))?;
-                let recs =
-                    parse_chunks(text, cfg.threads).map_err(|e| offset_lines(e, lines_done))?;
+                let recs = parse_chunks(text, cfg.threads, ctx)
+                    .map_err(|e| offset_lines(e, lines_done))?;
                 out.extend(recs);
                 lines_done += buf[..cut].iter().filter(|&&b| b == b'\n').count() as u64;
                 buf.drain(..cut);
@@ -145,10 +177,10 @@ fn offset_lines(mut e: ParseError, lines_before: u64) -> TraceReadError {
 }
 
 /// The shared block-aligned parallel parse over in-memory text.
-fn parse_chunks(input: &str, threads: usize) -> Result<Vec<Record>, ParseError> {
+fn parse_chunks(input: &str, threads: usize, ctx: &AnalysisCtx) -> Result<Vec<Record>, ParseError> {
     let threads = threads.max(1);
     if threads == 1 {
-        return parse_str(input);
+        return parse_str_in(input, ctx);
     }
     // Over-decompose: many more chunks than workers, pulled from a shared
     // queue. A static one-chunk-per-thread split would let one slow or
@@ -157,7 +189,7 @@ fn parse_chunks(input: &str, threads: usize) -> Result<Vec<Record>, ParseError> 
     // reader uses many sub-file-streams).
     let ranges = chunk_boundaries(input.as_bytes(), threads * 8);
     if ranges.len() == 1 {
-        return parse_str(input);
+        return parse_str_in(input, ctx);
     }
     let mut slots: Vec<Result<Vec<Record>, ParseError>> = Vec::with_capacity(ranges.len());
     for _ in 0..ranges.len() {
@@ -182,7 +214,7 @@ fn parse_chunks(input: &str, threads: usize) -> Result<Vec<Record>, ParseError> 
                 // SAFETY: `i` is unique to this worker (claimed from the
                 // atomic counter) and in-bounds; slots outlives the scope.
                 unsafe {
-                    *slot_ptr.0.add(i) = parse_str(part);
+                    *slot_ptr.0.add(i) = parse_str_in(part, ctx);
                 }
             });
         }
@@ -218,6 +250,7 @@ mod tests {
     use super::*;
     use crate::intern::SymId;
     use crate::name::Name;
+    use crate::parser::parse_str;
     use crate::record::{opcodes, OpTag, Operand, TraceValue};
     use crate::writer;
 

@@ -2,17 +2,20 @@
 //!
 //! The parser is written for throughput: it works line-by-line over borrowed
 //! bytes, splits fields manually (no regex), and interns every symbol
-//! (function names, block labels, operand names) through the shared
-//! [`SymId`] table, so the canonical allocation per distinct symbol happens
-//! once per process — not (as the old per-parser interner did) twice per
-//! symbol for a separate `String` key and `Arc<str>` value.
+//! (function names, block labels, operand names) through its
+//! [`AnalysisCtx`]'s [`SymbolSpace`](crate::SymbolSpace) — the default
+//! ctx's global space unless the parser was built for a session — so the
+//! canonical allocation per distinct symbol happens once per space, not
+//! (as the old per-parser interner did) twice per symbol for a separate
+//! `String` key and `Arc<str>` value.
 //!
-//! The global table sits behind a lock, so each parser keeps a thread-local
+//! The space's table sits behind a lock, so each parser keeps a private
 //! *memo* (`str → SymId`): symbols repeat millions of times in real traces,
 //! and the memo turns all repeat lookups into a private hash probe —
 //! parallel-parse workers touch the shared table only on first sight of a
-//! symbol, which is what keeps parallel parsing off the global lock.
+//! symbol, which is what keeps parallel parsing off the space's lock.
 
+use crate::ctx::AnalysisCtx;
 use crate::intern::SymId;
 use crate::name::Name;
 use crate::record::{OpTag, Operand, Record, TraceValue};
@@ -42,11 +45,14 @@ impl std::error::Error for ParseError {}
 
 /// Incremental trace parser. Feed it lines; finished records come out.
 pub struct TraceParser {
-    /// Thread-private memo onto the shared interner (see module docs).
-    /// Keyed by the leaked `&'static str` the table hands back, so the
-    /// memo itself adds no allocation per symbol. SipHash (std default),
-    /// not FxHash: these are untrusted strings straight from the trace,
-    /// the same reason the shared table avoids Fx (see `intern.rs`).
+    /// The session this parser interns into (default: the thread's
+    /// current space — the global one unless a session guard is live).
+    ctx: AnalysisCtx,
+    /// Parser-private memo onto the ctx's space (see module docs). Keyed by
+    /// the arena-leaked `&'static str` the space hands back, so the memo
+    /// itself adds no allocation per symbol. SipHash (std default), not
+    /// FxHash: these are untrusted strings straight from the trace, the
+    /// same reason the space's table avoids Fx (see `intern.rs`).
     memo: HashMap<&'static str, SymId>,
     current: Option<Record>,
     line_no: u64,
@@ -59,22 +65,28 @@ impl Default for TraceParser {
 }
 
 impl TraceParser {
-    /// A fresh parser.
+    /// A fresh parser interning into the thread's current space.
     pub fn new() -> Self {
+        Self::with_ctx(AnalysisCtx::current())
+    }
+
+    /// A parser interning into `ctx`'s symbol space.
+    pub fn with_ctx(ctx: AnalysisCtx) -> Self {
         TraceParser {
+            ctx,
             memo: HashMap::new(),
             current: None,
             line_no: 0,
         }
     }
 
-    /// Intern through the memo: repeat symbols never touch the global lock.
+    /// Intern through the memo: repeat symbols never touch the space lock.
     fn intern(&mut self, s: &str) -> SymId {
         if let Some(&id) = self.memo.get(s) {
             return id;
         }
-        let id = SymId::intern(s);
-        self.memo.insert(id.as_str(), id);
+        let id = self.ctx.intern(s);
+        self.memo.insert(self.ctx.resolve(id), id);
         id
     }
 
@@ -277,9 +289,15 @@ impl<'a> Iterator for FieldIter<'a> {
     }
 }
 
-/// Parse a complete trace held in a string.
+/// Parse a complete trace held in a string (default/global symbol space).
 pub fn parse_str(input: &str) -> Result<Vec<Record>, ParseError> {
-    let mut p = TraceParser::new();
+    parse_str_in(input, &AnalysisCtx::current())
+}
+
+/// Parse a complete trace held in a string, interning symbols into `ctx`'s
+/// space.
+pub fn parse_str_in(input: &str, ctx: &AnalysisCtx) -> Result<Vec<Record>, ParseError> {
+    let mut p = TraceParser::with_ctx(ctx.clone());
     let mut out = Vec::new();
     for line in input.lines() {
         if let Some(r) = p.feed_line(line)? {

@@ -8,6 +8,7 @@
 //! chunk size plus one partial line plus the records completed by the
 //! current chunk, regardless of trace length.
 
+use crate::ctx::AnalysisCtx;
 use crate::parser::{ParseError, TraceParser};
 use crate::record::Record;
 use std::collections::VecDeque;
@@ -77,6 +78,13 @@ impl<R: Read> RecordReader<R> {
     /// Stream records from `inner` with the default chunk size.
     pub fn new(inner: R) -> RecordReader<R> {
         RecordReader::with_chunk_size(inner, DEFAULT_CHUNK_BYTES)
+    }
+
+    /// Stream records from `inner`, interning symbols into `ctx`'s space.
+    pub fn with_ctx(inner: R, ctx: &AnalysisCtx) -> RecordReader<R> {
+        let mut r = RecordReader::with_chunk_size(inner, DEFAULT_CHUNK_BYTES);
+        r.parser = TraceParser::with_ctx(ctx.clone());
+        r
     }
 
     /// Stream records from `inner`, reading `chunk` bytes at a time.

@@ -45,6 +45,44 @@ pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
 /// A `HashSet` using FxHash.
 pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
 
+/// A `HashMap` using seeded FxHash ([`FxSeededState`]) — for maps whose
+/// keys come from an untrusted trace (addresses, hand-written temp
+/// numbers), where deterministic FxHash would let an adversary craft
+/// collision chains. Seed 0 hashes identically to [`FxHashMap`].
+pub type FxSeededHashMap<K, V> = HashMap<K, V, FxSeededState>;
+
+/// `BuildHasher` producing [`FxHasher`]s whose initial state is a caller
+/// chosen seed, so the key → bucket mapping differs per seed. With seed 0
+/// the produced hashers are bit-identical to [`FxBuildHasher`]'s — the
+/// trusted/deterministic configuration costs nothing.
+///
+/// This is *mitigation*, not cryptographic protection: FxHash's mixing is
+/// invertible, so a seed only stops precomputed collision sets, which is
+/// the realistic threat for trace ingestion (the seed never leaves the
+/// analysis session). Keys that an attacker can both choose *and observe
+/// hashes of* need SipHash instead (see the interner).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FxSeededState {
+    /// The initial hasher state. 0 = deterministic (same as unseeded Fx).
+    pub seed: u64,
+}
+
+impl FxSeededState {
+    /// A build-hasher with the given seed.
+    pub fn with_seed(seed: u64) -> FxSeededState {
+        FxSeededState { seed }
+    }
+}
+
+impl std::hash::BuildHasher for FxSeededState {
+    type Hasher = FxHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher { hash: self.seed }
+    }
+}
+
 /// `BuildHasher` producing [`FxHasher`]s; zero-sized and deterministic (no
 /// per-map random seed — FxHash trades DoS resistance for speed).
 pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
@@ -176,6 +214,29 @@ mod tests {
         let mut s: FxHashSet<u32> = FxHashSet::default();
         assert!(s.insert(3));
         assert!(!s.insert(3));
+    }
+
+    #[test]
+    fn seed_zero_matches_default_and_seeds_differ() {
+        for key in [0u64, 1, 0x7f00_0000_0000, u64::MAX] {
+            assert_eq!(
+                FxSeededState::with_seed(0).hash_one(key),
+                FxBuildHasher::default().hash_one(key),
+                "seed 0 must be bit-identical to the unseeded hasher"
+            );
+        }
+        // Different seeds scramble the bucket mapping.
+        let a: Vec<u64> = (0u64..64)
+            .map(|k| FxSeededState::with_seed(0xdead_beef).hash_one(k))
+            .collect();
+        let b: Vec<u64> = (0u64..64)
+            .map(|k| FxSeededState::with_seed(0xfeed_face).hash_one(k))
+            .collect();
+        assert_ne!(a, b);
+        let mut m: FxSeededHashMap<u64, u32> =
+            FxSeededHashMap::with_hasher(FxSeededState::with_seed(7));
+        m.insert(0x1000, 1);
+        assert_eq!(m.get(&0x1000), Some(&1));
     }
 
     #[test]
