@@ -9,7 +9,9 @@
 //!
 //! With `--json`, the same timings are also written to `BENCH_table3.json`
 //! as machine-readable records — the repo's perf trajectory file, so "did
-//! this PR make Table III faster?" is a diff, not archaeology.
+//! this PR make Table III faster?" is a diff, not archaeology. Schema 2
+//! adds per-app DDG sizes (nodes/edges, contracted nodes/edges) and the
+//! Algorithm 1 contraction wall clock.
 //!
 //! `--jobs N` additionally runs the whole 14-app suite through the
 //! concurrent `MultiAnalyzer` front door — every app compiled, traced and
@@ -87,6 +89,7 @@ fn main() {
         "(with opt)",
         "Streaming (s)",
         "Peak live",
+        "DDG n/e→c",
     ]);
     let mut rows: Vec<AppRow> = Vec::new();
     for spec in all_apps_scaled(scale) {
@@ -134,6 +137,10 @@ fn main() {
             secs(parallel.timings.total()),
             secs(streaming.report.timings.total()),
             streaming.stats.peak_live_records.to_string(),
+            format!(
+                "{}/{}→{}",
+                serial.ddg.nodes, serial.ddg.edges, serial.ddg.contracted_nodes
+            ),
         ]);
         rows.push(AppRow {
             name: spec.name.to_string(),
@@ -247,6 +254,7 @@ fn render_json(
         .unwrap_or(0);
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"bench\": \"table3\",");
+    let _ = writeln!(out, "  \"schema\": 2,");
     let _ = writeln!(out, "  \"scale\": \"{scale:?}\",");
     let _ = writeln!(out, "  \"parse_threads\": {threads},");
     let _ = writeln!(out, "  \"unix_time\": {unix_time},");
@@ -272,12 +280,15 @@ fn render_json(
     for (i, row) in rows.iter().enumerate() {
         let t = row.serial.timings;
         let p = row.parallel.timings;
+        let d = row.serial.ddg;
         let _ = write!(
             out,
             "    {{\"name\": \"{}\", \"preprocess_s\": {:.6}, \"preprocess_parallel_s\": {:.6}, \
              \"dependency_s\": {:.6}, \"identify_s\": {:.6}, \"total_s\": {:.6}, \
              \"total_parallel_s\": {:.6}, \"streaming_total_s\": {:.6}, \
-             \"peak_live_records\": {}, \"records\": {}}}",
+             \"peak_live_records\": {}, \"records\": {}, \
+             \"ddg_nodes\": {}, \"ddg_edges\": {}, \"contracted_nodes\": {}, \
+             \"contracted_edges\": {}, \"contract_wall_s\": {:.6}}}",
             row.name,
             t.preprocess.as_secs_f64(),
             p.preprocess.as_secs_f64(),
@@ -288,6 +299,11 @@ fn render_json(
             row.streaming_total.as_secs_f64(),
             row.peak_live,
             row.serial.records,
+            d.nodes,
+            d.edges,
+            d.contracted_nodes,
+            d.contracted_edges,
+            d.contract_wall.as_secs_f64(),
         );
         out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }

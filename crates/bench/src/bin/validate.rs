@@ -3,14 +3,86 @@
 //! dependency-type census.
 //!
 //! Run with: `cargo run --release -p autocheck-bench --bin validate`
+//!
+//! Single-file mode (what CI runs on the Fig. 4 example so the
+//! analyze → protect → kill → restart chain is exercised per-PR):
+//!
+//! ```text
+//! validate --file examples/fig4.mc --function main --start 16 --end 24
+//! ```
 
 use autocheck_apps::{all_apps, analyze_app};
 use autocheck_bench::Table;
 use autocheck_checkpoint::validate::validate_restart;
 use autocheck_checkpoint::CrSpec;
-use autocheck_core::DepType;
+use autocheck_core::{index_variables_of, Analyzer, DepType, Region};
+
+/// Analyze one MiniLang file, protect its critical set, kill at 60%, and
+/// restart. Exits nonzero if the restarted output diverges.
+fn validate_single_file(path: &str, function: &str, start: u32, end: u32) {
+    println!(
+        "=== §VI-B single-file validation: {path} ({function} {start}..{end}, kill at 60%) ===\n"
+    );
+    let source =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read `{path}`: {e}"));
+    let module = autocheck_minilang::compile(&source).expect("compiles");
+    let mut sink = autocheck_interp::VecSink::default();
+    autocheck_interp::Machine::new(&module, autocheck_interp::ExecOptions::default())
+        .run(&mut sink, &mut autocheck_interp::NoHook)
+        .expect("runs");
+    let region = Region::new(function, start, end);
+    let report = Analyzer::new(region.clone())
+        .with_index_vars(index_variables_of(&module, &region))
+        .analyze(&sink.records);
+    let protected: Vec<String> = report.critical.iter().map(|c| c.name.to_string()).collect();
+    println!(
+        "protected set: {protected:?} ({} bytes)",
+        report.checkpoint_bytes()
+    );
+    let cr = CrSpec {
+        region_fn: region.function.clone(),
+        start_line: region.start_line,
+        end_line: region.end_line,
+        protected,
+    };
+    let dir = std::env::temp_dir().join(format!("autocheck-validate-file-{}", std::process::id()));
+    let out = validate_restart(&module, &cr, &dir, 0.6).expect("validation runs");
+    println!(
+        "failure at dyn {}, recovered step {:?}, checkpoint {} bytes: {}",
+        out.failure_dyn_id,
+        out.recovered_step,
+        out.checkpoint_bytes,
+        if out.matches { "OK" } else { "DIVERGED" }
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    if !out.matches {
+        std::process::exit(1);
+    }
+}
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--file") {
+        let get = |flag: &str| {
+            args.iter()
+                .position(|a| a == flag)
+                .and_then(|j| args.get(j + 1))
+                .cloned()
+        };
+        let path = args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("error: --file needs a path");
+            std::process::exit(2);
+        });
+        let function = get("--function").unwrap_or_else(|| "main".to_string());
+        let parse_u32 = |flag: &str| -> u32 {
+            get(flag).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("error: {flag} needs a line number");
+                std::process::exit(2);
+            })
+        };
+        validate_single_file(&path, &function, parse_u32("--start"), parse_u32("--end"));
+        return;
+    }
     println!("=== §VI-B: validation of detected variables (kill at 60%, restart, compare) ===\n");
     let base = std::env::temp_dir().join(format!("autocheck-validate-{}", std::process::id()));
     let mut table = Table::new(&[

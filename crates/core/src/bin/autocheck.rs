@@ -19,7 +19,9 @@
 //! chunk-by-chunk, per-iteration analysis state is retired at iteration
 //! boundaries, and the report footer shows the peak live-record count so
 //! the memory bound is observable. `--max-live-records N` turns that bound
-//! into a hard limit (exceeding it is an error, not an OOM).
+//! into a hard limit (exceeding it is an error, not an OOM). `--dot` works
+//! here too: the engine contracts its own frozen DDG at finish (the graph
+//! is program-bounded, so the memory story is unchanged).
 //!
 //! `--batch <manifest>` runs many analyses concurrently, each in its own
 //! session (own symbol space, own seeded hashers when `--untrusted-trace`
@@ -40,7 +42,7 @@
 //! seed, so a crafted trace cannot exploit deterministic FxHash.
 
 use autocheck_core::{
-    contract_ddg, Analyzer, CollectMode, DdgAnalysis, NodeKind, Phases, PipelineConfig, Region,
+    contract_for_mli, Analyzer, CollectMode, DdgAnalysis, Phases, PipelineConfig, Region,
     StreamAnalyzer, StreamConfig,
 };
 use autocheck_trace::AnalysisCtx;
@@ -166,10 +168,6 @@ fn parse_args() -> Args {
     }
     if threads_set && stream {
         eprintln!("error: --threads does not apply to --stream mode (single online pass)");
-        std::process::exit(2);
-    }
-    if dot.is_some() && stream {
-        eprintln!("error: --dot requires the batch pipeline; rerun without --stream");
         std::process::exit(2);
     }
     Args {
@@ -306,6 +304,7 @@ fn run_streaming(args: &Args, region: &Region, ctx: &AnalysisCtx) -> ExitCode {
         .with_config(StreamConfig {
             collect: args.collect,
             max_live_records: args.max_live_records,
+            contracted_dot: args.dot.is_some(),
             ..StreamConfig::default()
         })
         .with_ctx(ctx.clone());
@@ -317,6 +316,13 @@ fn run_streaming(args: &Args, region: &Region, ctx: &AnalysisCtx) -> ExitCode {
         }
     };
     println!("{}", run.report);
+    if let (Some(dot_path), Some(dot)) = (&args.dot, &run.contracted_dot) {
+        if let Err(e) = std::fs::write(dot_path, dot) {
+            eprintln!("error: cannot write `{dot_path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("contracted DDG (streaming) written to {dot_path}");
+    }
     println!(
         "timings: ingest {:.3?}, identify {:.3?} (total {:.3?}; single online pass)",
         run.report.timings.preprocess,
@@ -388,7 +394,8 @@ fn main() -> ExitCode {
     );
 
     if let Some(dot_path) = &args.dot {
-        // Re-run the dependency stage to export the contracted DDG.
+        // Re-run the dependency fold (no event retention) to export the
+        // contracted DDG from the frozen graph.
         let records = match autocheck_trace::parse_str_in(&text, &ctx) {
             Ok(r) => r,
             Err(e) => {
@@ -397,19 +404,18 @@ fn main() -> ExitCode {
             }
         };
         let phases = Phases::compute_in(&records, &region, &ctx);
-        let analysis = DdgAnalysis::run_in(
+        let graph = DdgAnalysis::fold_in(
             &records,
             &phases,
             &report.mli,
-            autocheck_core::DdgOptions::default(),
+            autocheck_core::DdgOptions {
+                retain_events: false,
+                ..autocheck_core::DdgOptions::default()
+            },
             &ctx,
+            |_| {},
         );
-        let bases: std::collections::HashSet<u64> =
-            report.mli.iter().map(|m| m.base_addr).collect();
-        let contracted = contract_ddg(
-            &analysis.graph,
-            |n| matches!(n, NodeKind::Var { base, .. } if bases.contains(base)),
-        );
+        let contracted = contract_for_mli(&graph, &report.mli);
         if let Err(e) = std::fs::write(dot_path, contracted.to_dot()) {
             eprintln!("error: cannot write `{dot_path}`: {e}");
             return ExitCode::FAILURE;

@@ -1,4 +1,4 @@
-//! DDG contraction — the paper's Algorithm 1.
+//! DDG contraction — the paper's Algorithm 1, over the frozen CSR graph.
 //!
 //! The complete DDG contains MLI variables, local variables, and temporary
 //! registers. Contraction replaces every non-MLI parent of an MLI variable
@@ -7,9 +7,16 @@
 //! parents are retained with their dependency (the paper keeps `it` in
 //! Fig. 5(d)). The result is a graph whose edges connect MLI variables
 //! (almost) directly — e.g. `a → sum`, `b → sum` for the worked example.
+//!
+//! The hot path is pure integer work on the [`CsrGraph`]: per MLI vertex a
+//! worklist expands parent **slices** (contiguous, pre-sorted CSR rows —
+//! no hashing, no per-node ordered containers), and the visited set is a
+//! dense epoch-stamped array reused across all MLI vertices, so one
+//! allocation serves the whole contraction.
 
-use crate::ddg::{DepGraph, NodeKind};
-use std::collections::{BTreeSet, HashSet};
+use crate::preprocess::MliVar;
+use autocheck_stream::{CsrGraph, DotWriter, NodeKind};
+use std::collections::BTreeSet;
 
 /// A contracted dependency graph over MLI variables (plus retained terminal
 /// vertices).
@@ -19,15 +26,16 @@ pub struct ContractedDdg {
     pub nodes: Vec<NodeKind>,
     /// Edges `parent → child`.
     pub edges: BTreeSet<(usize, usize)>,
+    /// Per-node parent lists (ascending), indexed alongside `nodes` — the
+    /// indexed lookup behind [`ContractedDdg::parents_of`], replacing the
+    /// old full-edge-set scan per query.
+    parents: Vec<Vec<u32>>,
 }
 
 impl ContractedDdg {
-    /// Parents of node `n`.
+    /// Parents of node `n` (ascending), via the per-node index.
     pub fn parents_of(&self, n: usize) -> impl Iterator<Item = usize> + '_ {
-        self.edges
-            .iter()
-            .filter(move |(_, c)| *c == n)
-            .map(|(p, _)| *p)
+        self.parents[n].iter().map(|&p| p as usize)
     }
 
     /// Find a node by label.
@@ -35,81 +43,106 @@ impl ContractedDdg {
         self.nodes.iter().position(|n| n.label() == label)
     }
 
-    /// Render as Graphviz DOT.
+    /// Render as Graphviz DOT (the shared [`DotWriter`]).
     pub fn to_dot(&self) -> String {
-        use std::fmt::Write as _;
-        let mut s = String::from("digraph contracted {\n");
+        let mut w = DotWriter::new("contracted", None);
         for (i, n) in self.nodes.iter().enumerate() {
-            let _ = writeln!(s, "  n{i} [label=\"{}\"];", n.label());
+            w.node(i, n, None);
         }
-        for (p, c) in &self.edges {
-            let _ = writeln!(s, "  n{p} -> n{c};");
+        for &(p, c) in &self.edges {
+            w.edge(p, c);
         }
-        s.push_str("}\n");
-        s
+        w.finish()
     }
+}
+
+/// Contract `graph` onto the given MLI set — the one definition of "which
+/// graph nodes are MLI" (variable nodes whose base address is an MLI base)
+/// shared by the batch pipeline, the streaming finish step, and every DOT
+/// export path.
+pub fn contract_for_mli(graph: &CsrGraph, mli: &[MliVar]) -> ContractedDdg {
+    let bases: std::collections::HashSet<u64> = mli.iter().map(|m| m.base_addr).collect();
+    contract_ddg(
+        graph,
+        |n| matches!(n, NodeKind::Var { base, .. } if bases.contains(base)),
+    )
 }
 
 /// Contract `graph` onto the MLI variables selected by `is_mli`.
 ///
 /// Implements Algorithm 1: for every MLI vertex, walk its parent set,
 /// expanding non-MLI parents into *their* parents transitively (cycle-safe
-/// via a visited set); non-MLI parents that turn out parentless are
-/// retained as terminal vertices ("contract np while retaining its
-/// dependency with n").
-pub fn contract_ddg(graph: &DepGraph, is_mli: impl Fn(&NodeKind) -> bool) -> ContractedDdg {
-    let mli_ids: Vec<usize> = (0..graph.len())
-        .filter(|&i| is_mli(&graph.nodes[i]))
-        .collect();
-    let mli_set: HashSet<usize> = mli_ids.iter().copied().collect();
-
-    let mut out = ContractedDdg::default();
-    // Intern MLI nodes first so they are present even if isolated.
-    let mut out_index: Vec<Option<usize>> = vec![None; graph.len()];
-    let intern = |out: &mut ContractedDdg,
-                  out_index: &mut Vec<Option<usize>>,
-                  n: usize,
-                  graph: &DepGraph| {
-        if let Some(i) = out_index[n] {
-            return i;
+/// via the epoch-stamped visited array); non-MLI parents that turn out
+/// parentless are retained as terminal vertices ("contract np while
+/// retaining its dependency with n").
+pub fn contract_ddg(graph: &CsrGraph, is_mli: impl Fn(&NodeKind) -> bool) -> ContractedDdg {
+    let n = graph.len();
+    let mut mli_flag = vec![false; n];
+    let mut mli_ids: Vec<usize> = Vec::new();
+    for (i, node) in graph.nodes.iter().enumerate() {
+        if is_mli(node) {
+            mli_flag[i] = true;
+            mli_ids.push(i);
         }
-        let i = out.nodes.len();
-        out.nodes.push(graph.nodes[n]);
-        out_index[n] = Some(i);
-        i
-    };
-    for &n in &mli_ids {
-        intern(&mut out, &mut out_index, n, graph);
     }
 
-    for &n in &mli_ids {
-        // Expand the parent closure of `n` up to MLI/terminal vertices.
-        let mut visited: HashSet<usize> = HashSet::new();
-        let mut stack: Vec<usize> = graph.parents_of(n).collect();
+    let mut out = ContractedDdg::default();
+    const UNMAPPED: u32 = u32::MAX;
+    let mut out_index: Vec<u32> = vec![UNMAPPED; n];
+    let mut intern = |out: &mut ContractedDdg, node: usize| -> usize {
+        if out_index[node] != UNMAPPED {
+            return out_index[node] as usize;
+        }
+        let i = out.nodes.len();
+        out.nodes.push(graph.nodes[node]);
+        out.parents.push(Vec::new());
+        out_index[node] = i as u32;
+        i
+    };
+    // Intern MLI nodes first so they are present even if isolated.
+    for &m in &mli_ids {
+        intern(&mut out, m);
+    }
+
+    // One dense visited array for the whole contraction: a slot is visited
+    // in the current MLI vertex's expansion iff it holds that vertex's
+    // epoch stamp.
+    let mut visited: Vec<u32> = vec![UNMAPPED; n];
+    let mut stack: Vec<u32> = Vec::new();
+    for (epoch, &child) in mli_ids.iter().enumerate() {
+        let epoch = epoch as u32;
+        // Expand the parent closure of `child` up to MLI/terminal vertices.
+        stack.extend_from_slice(graph.parent_slice(child));
         let mut final_parents: BTreeSet<usize> = BTreeSet::new();
         while let Some(p) = stack.pop() {
-            if p == n || !visited.insert(p) {
+            let p = p as usize;
+            if p == child || visited[p] == epoch {
                 continue;
             }
-            if mli_set.contains(&p) {
+            visited[p] = epoch;
+            if mli_flag[p] {
                 final_parents.insert(p);
                 continue;
             }
-            let mut had_parent = false;
-            for gp in graph.parents_of(p) {
-                had_parent = true;
-                stack.push(gp);
-            }
-            if !had_parent {
+            let grandparents = graph.parent_slice(p);
+            if grandparents.is_empty() {
                 // Terminal non-MLI vertex: retained (Algorithm 1 line 10).
                 final_parents.insert(p);
+            } else {
+                stack.extend_from_slice(grandparents);
             }
         }
-        let child = intern(&mut out, &mut out_index, n, graph);
+        let c = intern(&mut out, child);
         for p in final_parents {
-            let parent = intern(&mut out, &mut out_index, p, graph);
-            out.edges.insert((parent, child));
+            let parent = intern(&mut out, p);
+            out.edges.insert((parent, c));
+            out.parents[c].push(parent as u32);
         }
+    }
+    // Parent lists were filled in original-graph-id order; expose them in
+    // contracted-id order like the edge set.
+    for list in &mut out.parents {
+        list.sort_unstable();
     }
     out
 }
@@ -117,12 +150,13 @@ pub fn contract_ddg(graph: &DepGraph, is_mli: impl Fn(&NodeKind) -> bool) -> Con
 #[cfg(test)]
 mod tests {
     use super::*;
+    use autocheck_stream::Graph;
     use autocheck_trace::SymId;
 
     /// Build the paper's Fig. 5(c) complete DDG for `sum`:
     /// a → 10 → 12 → m → 13 → sum, b → 11 → 12.
-    fn fig5c() -> DepGraph {
-        let mut g = DepGraph::default();
+    fn fig5c() -> CsrGraph {
+        let mut g = Graph::new();
         let a = g.var_node(SymId::intern("a"), 0x100);
         let b = g.var_node(SymId::intern("b"), 0x200);
         let sum = g.var_node(SymId::intern("sum"), 0x300);
@@ -138,7 +172,7 @@ mod tests {
         g.add_edge(t12, m);
         g.add_edge(m, t13);
         g.add_edge(t13, sum);
-        g
+        g.freeze()
     }
 
     fn mli_names<'a>(names: &'a [&'a str]) -> impl Fn(&NodeKind) -> bool + 'a {
@@ -166,29 +200,30 @@ mod tests {
     fn terminal_non_mli_parents_are_retained() {
         // it → 1 → s  with s MLI: `it` has no parents, so it is kept —
         // matching Fig. 5(d), where `it` still points at `s`.
-        let mut g = DepGraph::default();
+        let mut g = Graph::new();
         let it = g.var_node(SymId::intern("it"), 0x10);
         let t1 = g.reg_node(autocheck_trace::Name::Temp(1));
         let s = g.var_node(SymId::intern("s"), 0x20);
         g.add_edge(it, t1);
         g.add_edge(t1, s);
-        let c = contract_ddg(&g, mli_names(&["s"]));
+        let c = contract_ddg(&g.freeze(), mli_names(&["s"]));
         let it_c = c.find_label("it").expect("terminal `it` retained");
         let s_c = c.find_label("s").unwrap();
         assert!(c.edges.contains(&(it_c, s_c)));
+        assert_eq!(c.parents_of(s_c).collect::<Vec<_>>(), vec![it_c]);
     }
 
     #[test]
     fn cycles_terminate() {
         // r → 3 → 4 → r (self-feedback through temps, as in r = r + 1).
-        let mut g = DepGraph::default();
+        let mut g = Graph::new();
         let r = g.var_node(SymId::intern("r"), 0x10);
         let t3 = g.reg_node(autocheck_trace::Name::Temp(3));
         let t4 = g.reg_node(autocheck_trace::Name::Temp(4));
         g.add_edge(r, t3);
         g.add_edge(t3, t4);
         g.add_edge(t4, r);
-        let c = contract_ddg(&g, mli_names(&["r"]));
+        let c = contract_ddg(&g.freeze(), mli_names(&["r"]));
         let r_c = c.find_label("r").unwrap();
         // Self-dependency r → r collapses away (p == n is skipped), leaving
         // r isolated but present.
@@ -198,9 +233,9 @@ mod tests {
 
     #[test]
     fn isolated_mli_variables_survive() {
-        let mut g = DepGraph::default();
+        let mut g = Graph::new();
         g.var_node(SymId::intern("x"), 0x10);
-        let c = contract_ddg(&g, mli_names(&["x"]));
+        let c = contract_ddg(&g.freeze(), mli_names(&["x"]));
         assert_eq!(c.nodes.len(), 1);
         assert!(c.edges.is_empty());
     }
@@ -216,7 +251,7 @@ mod tests {
     #[test]
     fn diamond_through_shared_register() {
         // x → t → y and x → t → z with y,z MLI: both get parent x.
-        let mut g = DepGraph::default();
+        let mut g = Graph::new();
         let x = g.var_node(SymId::intern("x"), 0x1);
         let y = g.var_node(SymId::intern("y"), 0x2);
         let z = g.var_node(SymId::intern("z"), 0x3);
@@ -224,7 +259,7 @@ mod tests {
         g.add_edge(x, t);
         g.add_edge(t, y);
         g.add_edge(t, z);
-        let c = contract_ddg(&g, mli_names(&["x", "y", "z"]));
+        let c = contract_ddg(&g.freeze(), mli_names(&["x", "y", "z"]));
         let (x, y, z) = (
             c.find_label("x").unwrap(),
             c.find_label("y").unwrap(),
@@ -232,5 +267,20 @@ mod tests {
         );
         assert!(c.edges.contains(&(x, y)));
         assert!(c.edges.contains(&(x, z)));
+    }
+
+    #[test]
+    fn parents_index_agrees_with_edge_set() {
+        let c = contract_ddg(&fig5c(), mli_names(&["a", "b", "sum"]));
+        for n in 0..c.nodes.len() {
+            let from_index: Vec<usize> = c.parents_of(n).collect();
+            let from_edges: Vec<usize> = c
+                .edges
+                .iter()
+                .filter(|&&(_, ch)| ch == n)
+                .map(|&(p, _)| p)
+                .collect();
+            assert_eq!(from_index, from_edges, "node {n}");
+        }
     }
 }

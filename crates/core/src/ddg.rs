@@ -1,20 +1,27 @@
-//! Data-dependency analysis: reg-var map, reg-reg map, the complete DDG,
-//! and the time-ordered read/write event sequence.
+//! Data-dependency analysis: the batch adapter over the shared streaming
+//! [`DdgBuilder`].
 //!
 //! The analysis *selectively iterates* the trace (paper §IV-B / Table I):
 //! only `Load`/`Store`/`GetElementPtr`/`BitCast` (reg-var map), the
 //! arithmetic family plus compares/casts (reg-reg map), `Alloca` (local
 //! discrimination), and `Call`/`Ret` (cross-function bridging) are
-//! examined; everything else is skipped.
+//! examined; everything else is skipped. All of that logic lives in
+//! **one place** — `autocheck_stream::ddg::DdgBuilder` — and this module
+//! folds the materialized record slice through it, the same way
+//! `classify`/`find_mli_vars`/`Phases::compute` fold through their shared
+//! stream stages.
 //!
 //! Two artifacts come out:
 //!
-//! * the **complete DDG** ([`DepGraph`]) over variables *and* temporary
-//!   registers — Fig. 5(c) of the paper — which [`crate::contract`] then
-//!   reduces to MLI variables only (Fig. 5(d));
+//! * the **complete DDG** (a frozen [`CsrGraph`]) over variables *and*
+//!   temporary registers — Fig. 5(c) of the paper — which
+//!   [`crate::contract`] then reduces to MLI variables only (Fig. 5(d));
 //! * the **R/W event sequence** ([`RwEvent`]) — Fig. 5(e) — each event
 //!   carrying the element address and the loop iteration it occurred in,
-//!   which is what the classification heuristics consume.
+//!   which is what the classification heuristics consume. Retention is
+//!   opt-out ([`DdgOptions::retain_events`]): the pipeline folds events
+//!   into per-variable statistics on the fly instead of holding the
+//!   O(trace) vector.
 //!
 //! Cross-function dependencies follow the paper's two call forms: lone
 //! `Call` records (builtins) are treated as arithmetic (inputs → result in
@@ -25,151 +32,10 @@
 
 use crate::preprocess::MliVar;
 use crate::region::{Phase, Phases};
-use autocheck_stream::{relevant_opcode, resolve_alias as resolve, NodeIndex};
-use autocheck_trace::{record::opcodes, AnalysisCtx, Name, NameMap, Record, SymId};
-use std::collections::BTreeSet;
-use std::fmt::Write as _;
+use autocheck_stream::{AccessEvent, CsrGraph, DdgBuilder};
+use autocheck_trace::{AnalysisCtx, Record};
 
-/// A node of the complete DDG. `Copy` — both kinds are interned integers.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum NodeKind {
-    /// A named memory location (identified by base address).
-    Var {
-        /// Display name (interned).
-        name: SymId,
-        /// Base address (identity).
-        base: u64,
-    },
-    /// A register (temporary or callee parameter alias).
-    Reg {
-        /// Register name.
-        name: Name,
-    },
-}
-
-impl NodeKind {
-    /// Human-readable label.
-    pub fn label(&self) -> String {
-        match self {
-            NodeKind::Var { name, .. } => name.to_string(),
-            NodeKind::Reg { name } => name.to_string(),
-        }
-    }
-
-    /// True for variable nodes.
-    pub fn is_var(&self) -> bool {
-        matches!(self, NodeKind::Var { .. })
-    }
-}
-
-/// Dependency graph; edges run from *source* (parent) to *dependent*
-/// (child), matching the paper's parent terminology in Algorithm 1.
-///
-/// Node lookup goes through the dense per-kind [`NodeIndex`] (vectors
-/// indexed by interned ids) instead of a `HashMap<NodeKind, usize>`; node
-/// ids are still assigned in first-intern order, so DOT output and node
-/// numbering are unchanged.
-#[derive(Clone, Debug, Default)]
-pub struct DepGraph {
-    /// Node payloads.
-    pub nodes: Vec<NodeKind>,
-    index: NodeIndex,
-    parents: Vec<BTreeSet<usize>>,
-    children: Vec<BTreeSet<usize>>,
-}
-
-impl DepGraph {
-    /// Intern a node.
-    pub fn node(&mut self, kind: NodeKind) -> usize {
-        let (id, fresh) = match kind {
-            NodeKind::Var { name, base } => self.index.var_node(name, base),
-            NodeKind::Reg { name } => self.index.reg_node(name),
-        };
-        if fresh {
-            self.nodes.push(kind);
-            self.parents.push(BTreeSet::new());
-            self.children.push(BTreeSet::new());
-        }
-        id as usize
-    }
-
-    /// Intern a variable node.
-    pub fn var_node(&mut self, name: SymId, base: u64) -> usize {
-        self.node(NodeKind::Var { name, base })
-    }
-
-    /// Intern a register node.
-    pub fn reg_node(&mut self, name: Name) -> usize {
-        self.node(NodeKind::Reg { name })
-    }
-
-    /// Add a dependency edge `parent → child`.
-    pub fn add_edge(&mut self, parent: usize, child: usize) {
-        if parent == child {
-            return;
-        }
-        self.parents[child].insert(parent);
-        self.children[parent].insert(child);
-    }
-
-    /// Parents (sources) of `n`.
-    pub fn parents_of(&self, n: usize) -> impl Iterator<Item = usize> + '_ {
-        self.parents[n].iter().copied()
-    }
-
-    /// Children (dependents) of `n`.
-    pub fn children_of(&self, n: usize) -> impl Iterator<Item = usize> + '_ {
-        self.children[n].iter().copied()
-    }
-
-    /// Number of nodes.
-    pub fn len(&self) -> usize {
-        self.nodes.len()
-    }
-
-    /// True when the graph has no nodes.
-    pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
-    }
-
-    /// Number of edges.
-    pub fn edge_count(&self) -> usize {
-        self.children.iter().map(|c| c.len()).sum()
-    }
-
-    /// Look a node up without interning.
-    pub fn find(&self, kind: &NodeKind) -> Option<usize> {
-        match *kind {
-            NodeKind::Var { name, base } => self.index.find_var(name, base),
-            NodeKind::Reg { name } => self.index.find_reg(name),
-        }
-        .map(|i| i as usize)
-    }
-
-    /// Render as Graphviz DOT; `is_mli` marks MLI variable nodes.
-    pub fn to_dot(&self, is_mli: impl Fn(&NodeKind) -> bool) -> String {
-        let mut s = String::from("digraph ddg {\n  rankdir=TB;\n");
-        for (i, n) in self.nodes.iter().enumerate() {
-            let shape = if n.is_var() {
-                if is_mli(n) {
-                    "doublecircle"
-                } else {
-                    "ellipse"
-                }
-            } else {
-                "box"
-            };
-            let _ = writeln!(s, "  n{i} [label=\"{}\", shape={shape}];", n.label());
-        }
-        for (p, kids) in self.children.iter().enumerate() {
-            for k in kids {
-                let _ = writeln!(s, "  n{p} -> n{k};");
-            }
-        }
-        s.push_str("}\n");
-        s
-    }
-}
+pub use autocheck_stream::NodeKind;
 
 /// Read or write.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -201,12 +67,31 @@ pub struct RwEvent {
     pub line: u32,
 }
 
+impl RwEvent {
+    fn from_access(e: &AccessEvent) -> RwEvent {
+        RwEvent {
+            base: e.base,
+            elem: e.elem,
+            kind: if e.is_write {
+                RwKind::Write
+            } else {
+                RwKind::Read
+            },
+            dyn_id: e.dyn_id,
+            iter: e.iter,
+            phase: e.phase,
+            line: e.line,
+        }
+    }
+}
+
 /// Output of the dependency-analysis stage.
 #[derive(Clone, Debug, Default)]
 pub struct DdgAnalysis {
-    /// The complete DDG (variables + registers).
-    pub graph: DepGraph,
-    /// Time-ordered R/W events on MLI variables.
+    /// The complete DDG (variables + registers), frozen into CSR form.
+    pub graph: CsrGraph,
+    /// Time-ordered R/W events on MLI variables. Empty when
+    /// [`DdgOptions::retain_events`] is off.
     pub events: Vec<RwEvent>,
 }
 
@@ -222,6 +107,11 @@ pub struct DdgOptions {
     /// freezes the first binding of each register — demonstrably wrong on
     /// traces where a register is reused for different variables.
     pub on_the_fly_reg_var: bool,
+    /// Keep the O(trace) [`RwEvent`] vector on [`DdgAnalysis`]. Defaults
+    /// on for API continuity (tests and examples inspect events); the
+    /// pipeline, `autocheck`, and `MultiAnalyzer` run with it **off** and
+    /// fold events into per-variable statistics as they are emitted.
+    pub retain_events: bool,
 }
 
 impl Default for DdgOptions {
@@ -229,6 +119,7 @@ impl Default for DdgOptions {
         DdgOptions {
             selective: true,
             on_the_fly_reg_var: true,
+            retain_events: true,
         }
     }
 }
@@ -272,200 +163,55 @@ impl DdgAnalysis {
         opts: DdgOptions,
         ctx: &AnalysisCtx,
     ) -> DdgAnalysis {
-        let mut mli_bases = ctx.addr_map::<u64, &MliVar>();
-        mli_bases.extend(mli.iter().map(|m| (m.base_addr, m)));
-        let mut graph = DepGraph::default();
         let mut events = Vec::new();
-
-        // reg-var map: register name → (variable display name, base addr).
-        // Dense, integer-keyed: the per-record updates of §IV-B are vector
-        // indexing, not string hashing.
-        let mut reg_var: NameMap<(SymId, u64)> = NameMap::new();
-        // reg-reg map: register name → input register/var node ids.
-        // (Realized directly as graph edges; kept implicit.)
-        // Call stack for form-2 calls: pending result register of each call.
-        let mut call_stack: Vec<Option<Name>> = Vec::new();
-
-        // Pre-intern MLI variable nodes so the graph always shows them.
-        for m in mli {
-            graph.var_node(m.name, m.base_addr);
-        }
-
-        for (i, r) in records.iter().enumerate() {
-            let a = phases.annots[i];
-            if opts.selective && !relevant_opcode(r.opcode) {
-                continue;
+        let graph = Self::fold_in(records, phases, mli, opts, ctx, |e| {
+            if opts.retain_events {
+                events.push(*e);
             }
-            match r.opcode {
-                opcodes::LOAD => {
-                    let (Some(ptr), Some(res)) = (r.op1(), &r.result) else {
-                        continue;
-                    };
-                    let Some((name, base)) = resolve(&reg_var, ptr.name, ptr.value.as_ptr()) else {
-                        continue;
-                    };
-                    // reg-var map update (SSA reload keeps this fresh — the
-                    // paper's "Mutable-register" resolution). The frozen
-                    // variant keeps the first binding, misattributing later
-                    // uses of a reused register.
-                    if opts.on_the_fly_reg_var {
-                        reg_var.insert(res.name, (name, base));
-                    } else {
-                        reg_var.insert_if_absent(res.name, (name, base));
-                    }
-                    let vn = graph.var_node(name, base);
-                    let rn = graph.reg_node(res.name);
-                    graph.add_edge(vn, rn);
-                    if mli_bases.contains_key(&base) {
-                        record_event(&mut events, r, a, base, ptr.value.as_ptr(), RwKind::Read);
-                    }
-                }
-                opcodes::STORE => {
-                    let (Some(val), Some(ptr)) = (r.op1(), r.op2()) else {
-                        continue;
-                    };
-                    let Some((name, base)) = resolve(&reg_var, ptr.name, ptr.value.as_ptr()) else {
-                        continue;
-                    };
-                    let dst = graph.var_node(name, base);
-                    if val.is_reg && val.name != Name::None {
-                        let src = graph.reg_node(val.name);
-                        graph.add_edge(src, dst);
-                    }
-                    if mli_bases.contains_key(&base) {
-                        record_event(&mut events, r, a, base, ptr.value.as_ptr(), RwKind::Write);
-                    }
-                }
-                opcodes::GETELEMENTPTR | opcodes::BITCAST => {
-                    let (Some(basep), Some(res)) = (r.op1(), &r.result) else {
-                        continue;
-                    };
-                    if let Some((name, base)) = resolve(&reg_var, basep.name, basep.value.as_ptr())
-                    {
-                        if opts.on_the_fly_reg_var {
-                            reg_var.insert(res.name, (name, base));
-                        } else {
-                            reg_var.insert_if_absent(res.name, (name, base));
-                        }
-                        let vn = graph.var_node(name, base);
-                        let rn = graph.reg_node(res.name);
-                        graph.add_edge(vn, rn);
-                    }
-                }
-                opcodes::ALLOCA => {
-                    // Locals are identified by their Alloca (paper
-                    // Challenge 2); registering the variable name at its
-                    // fresh address keeps the reg-var resolution exact when
-                    // names collide across frames.
-                    if let Some(res) = &r.result {
-                        if let (Name::Sym(s), Some(addr)) = (res.name, res.value.as_ptr()) {
-                            reg_var.insert(res.name, (s, addr));
-                        }
-                    }
-                }
-                op if (8..=25).contains(&op)
-                    || op == opcodes::ICMP
-                    || op == opcodes::FCMP
-                    || op == opcodes::ZEXT
-                    || op == opcodes::SITOFP
-                    || op == opcodes::FPTOSI =>
-                {
-                    // reg-reg map: link inputs to the result.
-                    let Some(res) = &r.result else { continue };
-                    let rn = graph.reg_node(res.name);
-                    for operand in r.positional() {
-                        if operand.is_reg && operand.name != Name::None {
-                            let on = graph.reg_node(operand.name);
-                            graph.add_edge(on, rn);
-                        }
-                    }
-                }
-                opcodes::CALL => {
-                    let params: Vec<_> = r.params().collect();
-                    if params.is_empty() {
-                        // Form 1 (builtin): treat as arithmetic.
-                        if let Some(res) = &r.result {
-                            let rn = graph.reg_node(res.name);
-                            for operand in r.positional().skip(1) {
-                                if operand.is_reg && operand.name != Name::None {
-                                    let on = graph.reg_node(operand.name);
-                                    graph.add_edge(on, rn);
-                                }
-                            }
-                        }
-                    } else {
-                        // Form 2: argument/parameter triplets. Positional
-                        // operand 1 is the callee; arguments follow, pairing
-                        // with the `f` lines in order.
-                        for (arg, param) in r.positional().skip(1).zip(params.iter()) {
-                            // The triplet: param name → whatever the
-                            // argument register resolves to.
-                            if let Some((name, base)) =
-                                resolve(&reg_var, arg.name, arg.value.as_ptr())
-                            {
-                                reg_var.insert(param.name, (name, base));
-                                let vn = graph.var_node(name, base);
-                                let pn = graph.reg_node(param.name);
-                                graph.add_edge(vn, pn);
-                            } else if arg.is_reg && arg.name != Name::None {
-                                // Scalar argument from a register: alias the
-                                // parameter to the same register chain.
-                                let an = graph.reg_node(arg.name);
-                                let pn = graph.reg_node(param.name);
-                                graph.add_edge(an, pn);
-                                // Parameter reads resolve through reg-var if
-                                // the argument did.
-                            }
-                        }
-                        call_stack.push(r.result.as_ref().map(|res| res.name));
-                    }
-                }
-                opcodes::RET => {
-                    if let Some(pending) = call_stack.pop().flatten() {
-                        if let Some(op) = r.op1() {
-                            if op.is_reg && op.name != Name::None {
-                                let from = graph.reg_node(op.name);
-                                let to = graph.reg_node(pending);
-                                graph.add_edge(from, to);
-                                // Value flow: the caller's result register
-                                // now carries whatever the returned register
-                                // resolved to.
-                                if let Some(&v) = reg_var.get(op.name) {
-                                    reg_var.insert(pending, v);
-                                }
-                            }
-                        }
-                    }
-                }
-                _ => {}
-            }
-        }
+        });
         DdgAnalysis { graph, events }
     }
-}
 
-fn record_event(
-    events: &mut Vec<RwEvent>,
-    r: &Record,
-    a: crate::region::Annot,
-    base: u64,
-    elem: Option<u64>,
-    kind: RwKind,
-) {
-    // Only loop-phase events and after-loop reads matter to the heuristics.
-    match (a.phase, kind) {
-        (Phase::Inside, _) | (Phase::After, RwKind::Read) => {}
-        _ => return,
+    /// The batch dependency fold: drive the shared streaming
+    /// [`DdgBuilder`] over the record slice, invoking `on_event` for every
+    /// MLI-variable access event in time order, and return the frozen
+    /// graph. This is the only record walk the batch pipeline has — the
+    /// same per-record transition the online engine runs.
+    pub fn fold_in(
+        records: &[Record],
+        phases: &Phases,
+        mli: &[MliVar],
+        opts: DdgOptions,
+        ctx: &AnalysisCtx,
+        mut on_event: impl FnMut(&RwEvent),
+    ) -> CsrGraph {
+        assert_eq!(
+            records.len(),
+            phases.annots.len(),
+            "records and annotations must be parallel"
+        );
+        let mut mli_bases = ctx.addr_map::<u64, ()>();
+        mli_bases.extend(mli.iter().map(|m| (m.base_addr, ())));
+
+        let mut builder =
+            DdgBuilder::new(opts.selective).with_reg_var_on_the_fly(opts.on_the_fly_reg_var);
+        // Pre-intern MLI variable nodes so the graph always shows them
+        // (and numbers them first — stable DOT output).
+        for m in mli {
+            builder.preload_var(m.name, m.base_addr);
+        }
+        for (r, &a) in records.iter().zip(&phases.annots) {
+            if let Some(e) = builder.observe(r, a) {
+                // The batch event sequence is filtered to MLI bases; the
+                // streaming engine instead keeps per-base state for every
+                // variable and filters at finish.
+                if mli_bases.contains_key(&e.base) {
+                    on_event(&RwEvent::from_access(&e));
+                }
+            }
+        }
+        builder.finish()
     }
-    events.push(RwEvent {
-        base,
-        elem: elem.unwrap_or(base),
-        kind,
-        dyn_id: r.dyn_id,
-        iter: a.iter,
-        phase: a.phase,
-        line: if r.src_line > 0 { r.src_line as u32 } else { 0 },
-    });
 }
 
 #[cfg(test)]
@@ -473,7 +219,7 @@ mod tests {
     use super::*;
     use crate::preprocess::{find_mli_vars, CollectMode};
     use crate::region::Region;
-    use autocheck_trace::parse_str;
+    use autocheck_trace::{parse_str, SymId};
 
     /// sum += a[i] inside the loop; sum and a are MLI (stored before loop).
     fn trace_with_array() -> (Vec<Record>, Phases, Region, Vec<MliVar>) {
@@ -533,10 +279,6 @@ r,64,5,1,7,
         let ana = DdgAnalysis::run(&recs, &phases, &mli, true);
         let sum_base = 0x7f00_0000_0000u64;
         let sum_events: Vec<_> = ana.events.iter().filter(|e| e.base == sum_base).collect();
-        // Loop phase: header read (dyn 3) happens at line 5 — wait, that is
-        // the condition load of `sum`? No: dyn 3 loads sum at line 5 (our
-        // synthetic condition uses sum). Then read at dyn 7, write at dyn 9,
-        // read at dyn 10 (header), and the after-loop read at dyn 12.
         assert!(sum_events.iter().any(|e| e.kind == RwKind::Write));
         assert!(
             sum_events.windows(2).all(|w| w[0].dyn_id <= w[1].dyn_id),
@@ -568,7 +310,7 @@ r,64,5,1,7,
                 base: 0x7f00_0000_0000,
             })
             .expect("node sum");
-        // Reachability a ⇒ sum.
+        // Reachability a ⇒ sum, over the frozen CSR child slices.
         let mut seen = std::collections::HashSet::new();
         let mut stack = vec![a];
         while let Some(n) = stack.pop() {
@@ -694,6 +436,35 @@ r,64,1,1,9,
         assert!(dot.starts_with("digraph"));
         assert!(dot.contains("doublecircle"));
         assert!(dot.contains("->"));
+    }
+
+    #[test]
+    fn event_retention_is_opt_out_with_identical_graphs() {
+        let (recs, phases, _region, mli) = trace_with_array();
+        let kept = DdgAnalysis::run_with(&recs, &phases, &mli, DdgOptions::default());
+        let dropped = DdgAnalysis::run_with(
+            &recs,
+            &phases,
+            &mli,
+            DdgOptions {
+                retain_events: false,
+                ..DdgOptions::default()
+            },
+        );
+        assert!(!kept.events.is_empty());
+        assert!(dropped.events.is_empty(), "no O(trace) event vector");
+        // The graph — and the DOT bytes — do not depend on retention.
+        assert_eq!(
+            kept.graph.to_dot(|_| false),
+            dropped.graph.to_dot(|_| false)
+        );
+        // The fold still delivers every event to the callback.
+        let mut streamed = Vec::new();
+        let ctx = AnalysisCtx::current();
+        DdgAnalysis::fold_in(&recs, &phases, &mli, DdgOptions::default(), &ctx, |e| {
+            streamed.push(*e)
+        });
+        assert_eq!(streamed, kept.events);
     }
 
     /// Fig. 6(b)-style triplet: foo(p) writes through p which aliases a.

@@ -25,12 +25,14 @@
 //!
 //! [`region`] splits the trace into *before/inside/after* the main loop and
 //! numbers iterations; [`preprocess`] collects and matches variables into
-//! the MLI (main-loop-input) set; [`ddg`] drives the reg-var/reg-reg maps
-//! and builds the complete dependency graph plus the time-ordered R/W event
-//! sequence; [`contract`] reduces the complete DDG to MLI variables
-//! (Algorithm 1); [`mod@classify`] applies the four heuristics; [`pipeline`]
-//! glues everything together with the per-stage timing breakdown reported
-//! in the paper's Table III.
+//! the MLI (main-loop-input) set; [`ddg`] folds the records through the
+//! shared streaming `DdgBuilder` — the single DDG construction in the
+//! workspace — yielding the frozen CSR dependency graph plus the
+//! time-ordered R/W event sequence; [`contract`] reduces the complete DDG
+//! to MLI variables (Algorithm 1, over the CSR parent slices);
+//! [`mod@classify`] applies the four heuristics; [`pipeline`] glues
+//! everything together with the per-stage timing breakdown reported in the
+//! paper's Table III.
 //!
 //! For traces too big (or too ephemeral) to materialize, [`stream`] offers
 //! the same analysis as a single online pass with O(live window) memory:
@@ -62,12 +64,12 @@ pub mod service;
 pub mod stream;
 
 pub use classify::{classify, decide, ClassifyConfig};
-pub use contract::contract_ddg;
-pub use ddg::{DdgAnalysis, DdgOptions, DepGraph, NodeKind, RwEvent, RwKind};
+pub use contract::{contract_ddg, contract_for_mli, ContractedDdg};
+pub use ddg::{DdgAnalysis, DdgOptions, NodeKind, RwEvent, RwKind};
 pub use pipeline::{index_variables_of, Analyzer, PipelineConfig};
 pub use preprocess::{find_mli_vars, CollectMode, MliVar};
 pub use region::{Phase, Phases, Region};
-pub use report::{CriticalVariable, DepType, Report, SkipReason, Timings};
+pub use report::{CriticalVariable, DdgSummary, DepType, Report, SkipReason, Timings};
 pub use service::{
     AnalysisJob, BatchOutcome, JobInput, MultiAnalyzer, SessionFailure, SessionReport,
 };
@@ -75,5 +77,7 @@ pub use stream::{
     StreamAnalyzer, StreamConfig, StreamError, StreamRun, StreamSession, StreamStats,
 };
 // Re-exported so `decide`'s parameter type is nameable from this crate
-// alone, without a direct autocheck-stream dependency.
-pub use autocheck_stream::{VarStats, VarStatsBuilder};
+// alone, without a direct autocheck-stream dependency. The shared graph
+// core (one growable graph, one frozen CSR form, one DOT writer) likewise
+// surfaces here: `DdgAnalysis.graph` *is* a `CsrGraph`.
+pub use autocheck_stream::{CsrGraph, DotWriter, Graph, VarStats, VarStatsBuilder};

@@ -1,10 +1,10 @@
 //! The end-to-end AutoCheck pipeline with Table-III-style timing.
 
-use crate::classify::{classify, ClassifyConfig};
-use crate::ddg::{DdgAnalysis, DdgOptions};
+use crate::ddg::{DdgAnalysis, DdgOptions, RwKind};
 use crate::preprocess::{find_mli_vars_in, CollectMode};
-use crate::region::{Phases, Region};
-use crate::report::{Report, Timings};
+use crate::region::{Phase, Phases, Region};
+use crate::report::{DdgSummary, Report, Timings};
+use autocheck_stream::VarStatsBuilder;
 use autocheck_trace::{parse_parallel_in, AnalysisCtx, ParallelConfig, Record};
 use std::time::Instant;
 
@@ -116,34 +116,66 @@ impl Analyzer {
         );
         let preprocess = parse_time + t0.elapsed();
 
-        // Dependency analysis: reg maps, DDG, events, contraction.
+        // Dependency analysis: one fold of the record slice through the
+        // shared streaming DdgBuilder. Events are not retained — each one
+        // feeds its variable's statistics builder as it is emitted (the
+        // same fold the online engine runs), so peak memory for this stage
+        // is O(variables), not O(trace). Contraction (Algorithm 1) runs on
+        // the frozen CSR graph.
         let t1 = Instant::now();
-        let analysis = DdgAnalysis::run_in(
+        let addr_seed = self.ctx.addr_seed();
+        let mut stats = self.ctx.addr_map::<u64, VarStatsBuilder>();
+        let graph = DdgAnalysis::fold_in(
             records,
             &phases,
             &mli,
             DdgOptions {
                 selective: self.config.selective,
+                retain_events: false,
                 ..DdgOptions::default()
             },
             &self.ctx,
+            |e| {
+                let builder = stats
+                    .entry(e.base)
+                    .or_insert_with(|| VarStatsBuilder::with_seed(addr_seed));
+                match (e.phase, e.kind) {
+                    (Phase::Inside, kind) => {
+                        builder.feed_inside(e.iter, e.elem, kind == RwKind::Write)
+                    }
+                    (Phase::After, RwKind::Read) => builder.feed_after_read(),
+                    _ => {}
+                }
+            },
         );
-        let mli_bases: std::collections::HashSet<u64> = mli.iter().map(|m| m.base_addr).collect();
-        let _contracted = crate::contract::contract_ddg(
-            &analysis.graph,
-            |n| matches!(n, crate::ddg::NodeKind::Var { base, .. } if mli_bases.contains(base)),
-        );
+        let t_contract = Instant::now();
+        let contracted = crate::contract::contract_for_mli(&graph, &mli);
+        let contract_wall = t_contract.elapsed();
+        let ddg = DdgSummary {
+            nodes: graph.len(),
+            edges: graph.edge_count(),
+            contracted_nodes: contracted.nodes.len(),
+            contracted_edges: contracted.edges.len(),
+            contract_wall,
+        };
         let dependency = t1.elapsed();
 
-        // Identification.
+        // Identification: the shared selection over the folded statistics
+        // (the exact fold + decision the streaming finish step performs).
+        // Each MLI base is decided once, so its builder is taken out of the
+        // seeded map and finished in place — no second map.
         let t2 = Instant::now();
-        let (critical, skipped) = classify(
+        let (critical, skipped) = crate::classify::select(
             &mli,
-            &analysis.events,
-            &ClassifyConfig {
-                index_vars: self.index_vars.clone(),
-                region_start: self.region.start_line,
-                ctx: self.ctx.clone(),
+            &self.index_vars,
+            self.region.start_line,
+            &self.ctx,
+            |var| {
+                let st = stats
+                    .remove(&var.base_addr)
+                    .map(|b| b.finish())
+                    .unwrap_or_default();
+                crate::classify::decide(&st, var.size)
             },
         );
         let identify = t2.elapsed();
@@ -159,6 +191,7 @@ impl Analyzer {
                 dependency,
                 identify,
             },
+            ddg,
         }
     }
 }

@@ -90,6 +90,24 @@ impl Timings {
     }
 }
 
+/// Sizes and cost of the dependency-graph stage — filled by both pipelines,
+/// surfaced by `table3 --json` (not printed in the human-readable report).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DdgSummary {
+    /// Nodes of the complete DDG (variables + registers).
+    pub nodes: usize,
+    /// Edges of the complete DDG.
+    pub edges: usize,
+    /// Nodes surviving Algorithm 1 contraction (0 when contraction was not
+    /// run, e.g. streaming without `contracted_dot`).
+    pub contracted_nodes: usize,
+    /// Edges of the contracted DDG.
+    pub contracted_edges: usize,
+    /// Wall clock of the contraction alone (subset of
+    /// [`Timings::dependency`] in the batch pipeline).
+    pub contract_wall: Duration,
+}
+
 /// The full analysis report.
 #[derive(Clone, Debug, Default)]
 pub struct Report {
@@ -105,6 +123,8 @@ pub struct Report {
     pub records: u64,
     /// Stage timings.
     pub timings: Timings,
+    /// Dependency-graph sizes and contraction cost.
+    pub ddg: DdgSummary,
 }
 
 impl Report {

@@ -62,7 +62,8 @@ pub struct AnalysisJob {
     pub stream: bool,
     /// Hard live-record bound for streaming jobs.
     pub max_live_records: Option<usize>,
-    /// Also render the contracted DDG as DOT (batch jobs only).
+    /// Also render the contracted DDG as DOT (batch *and* streaming jobs —
+    /// the streaming engine contracts its own frozen graph at finish).
     pub dot: bool,
 }
 
@@ -101,7 +102,7 @@ impl AnalysisJob {
         self
     }
 
-    /// Render the contracted DDG as DOT (batch jobs only).
+    /// Render the contracted DDG as DOT.
     pub fn with_dot(mut self, yes: bool) -> AnalysisJob {
         self.dot = yes;
         self
@@ -302,6 +303,7 @@ fn run_session_inner(job: &AnalysisJob) -> Result<SessionReport, String> {
             .with_config(StreamConfig {
                 collect: job.collect,
                 max_live_records: job.max_live_records,
+                contracted_dot: job.dot,
                 ..StreamConfig::default()
             })
             .with_ctx(ctx.clone())
@@ -320,7 +322,7 @@ fn run_session_inner(job: &AnalysisJob) -> Result<SessionReport, String> {
                 &ctx,
                 run.report,
                 Some(run.stats),
-                None,
+                run.contracted_dot,
                 t0,
             ));
         }
@@ -335,7 +337,7 @@ fn run_session_inner(job: &AnalysisJob) -> Result<SessionReport, String> {
                 &ctx,
                 run.report,
                 Some(run.stats),
-                None,
+                run.contracted_dot,
                 t0,
             ));
         }
@@ -378,7 +380,7 @@ fn run_session_inner(job: &AnalysisJob) -> Result<SessionReport, String> {
         }
     };
 
-    let (report, stream_stats) = if job.stream {
+    let (report, stream_stats, stream_dot) = if job.stream {
         // MiniLang streaming: the records exist in memory anyway (the
         // interpreter just produced them); push them through the engine.
         let mut session = stream_analyzer().with_index_vars(index_vars).session();
@@ -386,7 +388,7 @@ fn run_session_inner(job: &AnalysisJob) -> Result<SessionReport, String> {
             session.push(r).map_err(|e| e.to_string())?;
         }
         let run = session.finish();
-        (run.report, Some(run.stats))
+        (run.report, Some(run.stats), run.contracted_dot)
     } else {
         let analyzer = Analyzer::new(job.region.clone())
             .with_index_vars(index_vars)
@@ -395,13 +397,13 @@ fn run_session_inner(job: &AnalysisJob) -> Result<SessionReport, String> {
                 ..PipelineConfig::default()
             })
             .with_ctx(ctx.clone());
-        (analyzer.analyze(&records), None)
+        (analyzer.analyze(&records), None, None)
     };
 
     let dot = if job.dot && !job.stream {
         Some(render_dot(&records, &job.region, &report, &ctx))
     } else {
-        None
+        stream_dot
     };
 
     Ok(session_report(job, &ctx, report, stream_stats, dot, t0))
@@ -432,7 +434,9 @@ fn session_report(
 }
 
 /// The contracted-DDG DOT rendering the `autocheck --dot` path produces,
-/// computed inside the session.
+/// computed inside the session. Re-runs only the dependency fold — with
+/// event retention off, so no O(trace) vector is held — and contracts the
+/// frozen graph.
 fn render_dot(
     records: &[autocheck_trace::Record],
     region: &Region,
@@ -440,19 +444,18 @@ fn render_dot(
     ctx: &AnalysisCtx,
 ) -> String {
     let phases = Phases::compute_in(records, region, ctx);
-    let analysis = crate::ddg::DdgAnalysis::run_in(
+    let graph = crate::ddg::DdgAnalysis::fold_in(
         records,
         &phases,
         &report.mli,
-        crate::ddg::DdgOptions::default(),
+        crate::ddg::DdgOptions {
+            retain_events: false,
+            ..crate::ddg::DdgOptions::default()
+        },
         ctx,
+        |_| {},
     );
-    let bases: std::collections::HashSet<u64> = report.mli.iter().map(|m| m.base_addr).collect();
-    let contracted = crate::contract::contract_ddg(
-        &analysis.graph,
-        |n| matches!(n, crate::ddg::NodeKind::Var { base, .. } if bases.contains(base)),
-    );
-    contracted.to_dot()
+    crate::contract::contract_for_mli(&graph, &report.mli).to_dot()
 }
 
 #[cfg(test)]
@@ -581,5 +584,30 @@ int main() {
         let dot = out.sessions[0].dot.as_ref().expect("dot rendered");
         assert!(dot.starts_with("digraph"));
         assert!(dot.contains("sum"));
+    }
+
+    #[test]
+    fn streaming_jobs_render_the_contracted_ddg_too() {
+        // Contraction used to be batch-only; the unified graph exposes it
+        // online: the engine contracts its own frozen CSR graph at finish.
+        let out =
+            MultiAnalyzer::new(1).run(vec![mini_job("stream-dot").streaming(true).with_dot(true)]);
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+        let s = &out.sessions[0];
+        assert!(s.peak_live_records.is_some(), "really streamed");
+        let dot = s.dot.as_ref().expect("streaming dot rendered");
+        assert!(dot.starts_with("digraph contracted"));
+        assert!(dot.contains("sum"));
+        // Same dependency skeleton as the batch rendering: every batch
+        // edge label pair appears (numbering may differ, labels must not).
+        let batch = MultiAnalyzer::new(1).run(vec![mini_job("batch-dot").with_dot(true)]);
+        let batch_dot = batch.sessions[0].dot.as_ref().unwrap();
+        for name in ["sum", "r"] {
+            assert_eq!(
+                dot.matches(&format!("label=\"{name}\"")).count(),
+                batch_dot.matches(&format!("label=\"{name}\"")).count(),
+                "{name}: node presence must agree between pipelines"
+            );
+        }
     }
 }

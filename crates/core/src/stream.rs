@@ -35,6 +35,10 @@ pub struct StreamConfig {
     pub selective: bool,
     /// Hard bound on the live-record window; `None` = observe only.
     pub max_live_records: Option<usize>,
+    /// Contract the streaming DDG (Algorithm 1) at finish and render it as
+    /// DOT ([`StreamRun::contracted_dot`]). The graph is bounded by the
+    /// program, so this keeps the O(live window) memory story intact.
+    pub contracted_dot: bool,
 }
 
 impl Default for StreamConfig {
@@ -43,6 +47,7 @@ impl Default for StreamConfig {
             collect: CollectMode::AnyAccess,
             selective: true,
             max_live_records: None,
+            contracted_dot: false,
         }
     }
 }
@@ -101,6 +106,10 @@ pub struct StreamRun {
     pub report: Report,
     /// Live-window statistics.
     pub stats: StreamStats,
+    /// The contracted DDG rendered as DOT, when
+    /// [`StreamConfig::contracted_dot`] asked for it — Algorithm 1 over the
+    /// streaming graph, previously a batch-only capability.
+    pub contracted_dot: Option<String>,
 }
 
 /// The streaming AutoCheck analyzer. Construction mirrors
@@ -165,6 +174,7 @@ impl StreamAnalyzer {
             index_vars: self.index_vars.clone(),
             region_start: self.region.start_line,
             live_bound: self.config.max_live_records,
+            contracted_dot: self.config.contracted_dot,
             started: None,
         }
     }
@@ -214,6 +224,7 @@ pub struct StreamSession {
     index_vars: Vec<String>,
     region_start: u32,
     live_bound: Option<usize>,
+    contracted_dot: bool,
     started: Option<Instant>,
 }
 
@@ -278,6 +289,29 @@ impl StreamSession {
         );
 
         let identify = t1.elapsed();
+
+        // Streaming contraction (Algorithm 1 on the frozen CSR graph):
+        // available online for the first time because the engine's graph
+        // *is* the shared graph the batch pipeline contracts. Runs outside
+        // the identify window — its cost is reported as
+        // `DdgSummary::contract_wall`, keeping per-stage timings comparable
+        // with the batch pipeline (which books contraction under
+        // `dependency`).
+        let mut ddg = crate::report::DdgSummary {
+            nodes: outcome.ddg.len(),
+            edges: outcome.ddg.edge_count(),
+            ..Default::default()
+        };
+        let contracted_dot = if self.contracted_dot {
+            let t_contract = Instant::now();
+            let contracted = crate::contract::contract_for_mli(&outcome.ddg, &mli);
+            ddg.contract_wall = t_contract.elapsed();
+            ddg.contracted_nodes = contracted.nodes.len();
+            ddg.contracted_edges = contracted.edges.len();
+            Some(contracted.to_dot())
+        } else {
+            None
+        };
         StreamRun {
             report: Report {
                 mli,
@@ -290,13 +324,17 @@ impl StreamSession {
                     dependency: std::time::Duration::ZERO,
                     identify,
                 },
+                ddg,
             },
             stats: StreamStats {
                 peak_live_records: outcome.peak_live_records,
                 live_bound: self.live_bound,
-                ddg_nodes: outcome.ddg_nodes,
-                ddg_edges: outcome.ddg_edges,
+                // Derived from the one DdgSummary source so the stats can
+                // never desynchronize from the report.
+                ddg_nodes: ddg.nodes,
+                ddg_edges: ddg.edges,
             },
+            contracted_dot,
         }
     }
 }

@@ -1,16 +1,16 @@
 //! Property tests for the analysis core: contraction invariants on random
 //! DAG-ish graphs and classification sanity on random event streams.
 
-use autocheck_core::{classify, contract_ddg, ClassifyConfig, DepGraph, NodeKind};
+use autocheck_core::{classify, contract_ddg, ClassifyConfig, CsrGraph, Graph, NodeKind};
 use autocheck_core::{DepType, MliVar, Phase, RwEvent, RwKind};
 use autocheck_trace::SymId;
 use proptest::prelude::*;
 
-/// Build a random graph: `n_vars` variable nodes (first `n_mli` are MLI)
-/// plus `n_regs` register nodes, with random edges.
-fn arb_graph() -> impl Strategy<Value = (DepGraph, usize)> {
+/// Build a random frozen graph: `n_vars` variable nodes (first `n_mli` are
+/// MLI) plus `n_regs` register nodes, with random edges.
+fn arb_graph() -> impl Strategy<Value = (CsrGraph, usize)> {
     (2usize..8, 0usize..6, 0usize..40, any::<u64>()).prop_map(|(n_vars, n_regs, n_edges, seed)| {
-        let mut g = DepGraph::default();
+        let mut g = Graph::new();
         let mut nodes = Vec::new();
         for i in 0..n_vars {
             nodes.push(g.var_node(SymId::intern(&format!("v{i}")), 0x100 + i as u64 * 8));
@@ -32,7 +32,7 @@ fn arb_graph() -> impl Strategy<Value = (DepGraph, usize)> {
             g.add_edge(a, b);
         }
         let n_mli = 1 + next() % n_vars;
-        (g, n_mli)
+        (g.freeze(), n_mli)
     })
 }
 

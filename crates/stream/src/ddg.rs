@@ -1,29 +1,34 @@
-//! Incremental dependency analysis: reg-var/reg-reg maps, a streaming DDG,
-//! and per-access event emission.
+//! Incremental dependency analysis: reg-var/reg-reg maps, the shared
+//! dependency graph, and per-access event emission.
 //!
-//! The streaming port of `autocheck_core::ddg::DdgAnalysis::run_with`. Two
-//! differences, both required by the online setting:
+//! [`DdgBuilder`] is the **only** DDG construction in the workspace: the
+//! batch pipeline (`autocheck_core::ddg::DdgAnalysis`) folds its record
+//! slice through this builder exactly the way the streaming engine feeds it
+//! record-by-record, so the two pipelines cannot drift. Two batch-only
+//! affordances exist for that fold:
 //!
-//! * the batch analysis receives the final MLI set up front and filters the
-//!   event sequence to MLI bases; online, MLI membership is only known at
-//!   end-of-trace, so the builder emits an [`AccessEvent`] for **every**
-//!   resolved memory access and leaves the filtering to the engine's
-//!   finish step (per-base state is bounded by the program's variable
-//!   count, so this costs O(variables), not O(trace));
-//! * instead of accumulating an O(trace) `Vec<RwEvent>`, each record yields
-//!   at most one event which the caller folds immediately into
-//!   [`crate::stats::VarStatsBuilder`] — nothing is retained.
+//! * [`DdgBuilder::preload_var`] pre-interns the MLI variable nodes so the
+//!   batch graph always shows them first (stable DOT node numbering);
+//! * [`DdgBuilder::with_reg_var_on_the_fly`] exposes the paper's
+//!   "Mutable-register" ablation: `false` freezes the first binding of each
+//!   register — demonstrably wrong on traces where a register is reused for
+//!   different variables.
+//!
+//! Each record yields at most one [`AccessEvent`] carrying everything both
+//! consumers need (the streaming engine folds it into
+//! [`crate::stats::VarStatsBuilder`] immediately; the batch fold filters it
+//! to MLI bases and optionally retains it as an `RwEvent`) — nothing is
+//! accumulated here, so memory is bounded by the program's name count.
 //!
 //! The reg-var map semantics (on-the-fly SSA reload rebinding, the paper's
 //! "Mutable-register" resolution), the call-form handling (builtin calls as
 //! arithmetic, argument/parameter triplets, return-value linking), and the
-//! Table-I selective opcode set are identical to the batch implementation.
+//! Table-I selective opcode set are the paper's §IV-B design.
 
-use crate::nodeindex::NodeIndex;
+use crate::graph::{CsrGraph, Graph};
 use crate::prov::{relevant_opcode, resolve_alias as resolve};
 use crate::region::{Phase, StreamAnnot};
 use autocheck_trace::{record::opcodes, Name, NameMap, Record, SymId};
-use fxhash::FxHashSet;
 
 /// One read or write on a named memory location, as observed mid-stream.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -34,53 +39,22 @@ pub struct AccessEvent {
     pub elem: u64,
     /// True for a write (store), false for a read (load).
     pub is_write: bool,
+    /// Dynamic instruction id of the access (time order).
+    pub dyn_id: u64,
     /// Loop iteration (0-based) the access occurred in.
     pub iter: u32,
     /// Phase the access occurred in.
     pub phase: Phase,
-}
-
-/// The dependency graph grown online. Node and edge counts are bounded by
-/// the program's distinct names, not the trace length. Nodes are interned
-/// through the dense per-kind [`NodeIndex`]; edges live in an
-/// integer-keyed set.
-#[derive(Default)]
-pub struct StreamGraph {
-    index: NodeIndex,
-    edges: FxHashSet<(u32, u32)>,
-}
-
-impl StreamGraph {
-    fn var_node(&mut self, name: SymId, base: u64) -> u32 {
-        self.index.var_node(name, base).0
-    }
-
-    fn reg_node(&mut self, name: Name) -> u32 {
-        self.index.reg_node(name).0
-    }
-
-    fn add_edge(&mut self, parent: u32, child: u32) {
-        if parent != child {
-            self.edges.insert((parent, child));
-        }
-    }
-
-    /// Number of nodes interned so far.
-    pub fn node_count(&self) -> usize {
-        self.index.len()
-    }
-
-    /// Number of distinct dependency edges.
-    pub fn edge_count(&self) -> usize {
-        self.edges.len()
-    }
+    /// Source line of the access (0 for compiler-generated records).
+    pub line: u32,
 }
 
 /// Incremental dependency analyzer. Feed records (with annotations) in
 /// execution order; each call may emit one [`AccessEvent`].
 pub struct DdgBuilder {
     selective: bool,
-    graph: StreamGraph,
+    on_the_fly_reg_var: bool,
+    graph: Graph,
     reg_var: NameMap<(SymId, u64)>,
     call_stack: Vec<Option<Name>>,
 }
@@ -92,15 +66,45 @@ impl DdgBuilder {
     pub fn new(selective: bool) -> DdgBuilder {
         DdgBuilder {
             selective,
-            graph: StreamGraph::default(),
+            on_the_fly_reg_var: true,
+            graph: Graph::new(),
             reg_var: NameMap::new(),
             call_stack: Vec::new(),
         }
     }
 
+    /// Toggle on-the-fly reg-var rebinding (the paper's "Mutable-register"
+    /// resolution; default `true`). `false` is the ablation that freezes
+    /// each register's first binding.
+    pub fn with_reg_var_on_the_fly(mut self, yes: bool) -> DdgBuilder {
+        self.on_the_fly_reg_var = yes;
+        self
+    }
+
+    /// Pre-intern a variable node so it is present (and numbered first)
+    /// even if no record touches it — the batch pipeline preloads the MLI
+    /// set this way.
+    pub fn preload_var(&mut self, name: SymId, base: u64) {
+        self.graph.var_node(name, base);
+    }
+
     /// The graph grown so far.
-    pub fn graph(&self) -> &StreamGraph {
+    pub fn graph(&self) -> &Graph {
         &self.graph
+    }
+
+    /// Freeze the grown graph into its CSR form.
+    pub fn finish(self) -> CsrGraph {
+        self.graph.freeze()
+    }
+
+    /// Bind a register, honoring the rebinding mode.
+    fn bind(&mut self, reg: Name, value: (SymId, u64)) {
+        if self.on_the_fly_reg_var {
+            self.reg_var.insert(reg, value);
+        } else {
+            self.reg_var.insert_if_absent(reg, value);
+        }
     }
 
     /// Advance over one record, emitting the access event (if any) for the
@@ -115,13 +119,14 @@ impl DdgBuilder {
                     return None;
                 };
                 let (name, base) = resolve(&self.reg_var, ptr.name, ptr.value.as_ptr())?;
-                // On-the-fly reg-var update: SSA reloads rebind a shared
-                // temporary to the right variable at each use.
-                self.reg_var.insert(res.name, (name, base));
+                // reg-var map update (SSA reload keeps this fresh — the
+                // paper's "Mutable-register" resolution).
+                let res_name = res.name;
+                self.bind(res_name, (name, base));
                 let vn = self.graph.var_node(name, base);
-                let rn = self.graph.reg_node(res.name);
+                let rn = self.graph.reg_node(res_name);
                 self.graph.add_edge(vn, rn);
-                event(a, base, ptr.value.as_ptr(), false)
+                event(r, a, base, ptr.value.as_ptr(), false)
             }
             opcodes::STORE => {
                 let (Some(val), Some(ptr)) = (r.op1(), r.op2()) else {
@@ -133,7 +138,7 @@ impl DdgBuilder {
                     let src = self.graph.reg_node(val.name);
                     self.graph.add_edge(src, dst);
                 }
-                event(a, base, ptr.value.as_ptr(), true)
+                event(r, a, base, ptr.value.as_ptr(), true)
             }
             opcodes::GETELEMENTPTR | opcodes::BITCAST => {
                 let (Some(basep), Some(res)) = (r.op1(), &r.result) else {
@@ -141,15 +146,19 @@ impl DdgBuilder {
                 };
                 if let Some((name, base)) = resolve(&self.reg_var, basep.name, basep.value.as_ptr())
                 {
-                    self.reg_var.insert(res.name, (name, base));
+                    let res_name = res.name;
+                    self.bind(res_name, (name, base));
                     let vn = self.graph.var_node(name, base);
-                    let rn = self.graph.reg_node(res.name);
+                    let rn = self.graph.reg_node(res_name);
                     self.graph.add_edge(vn, rn);
                 }
                 None
             }
             opcodes::ALLOCA => {
-                // Locals are identified by their Alloca (Challenge 2).
+                // Locals are identified by their Alloca (paper Challenge 2);
+                // registering the variable name at its fresh address keeps
+                // the reg-var resolution exact when names collide across
+                // frames.
                 if let Some(res) = &r.result {
                     if let (Name::Sym(s), Some(addr)) = (res.name, res.value.as_ptr()) {
                         self.reg_var.insert(res.name, (s, addr));
@@ -189,7 +198,9 @@ impl DdgBuilder {
                         }
                     }
                 } else {
-                    // Form 2: argument/parameter triplets.
+                    // Form 2: argument/parameter triplets. Positional
+                    // operand 1 is the callee; arguments follow, pairing
+                    // with the `f` lines in order.
                     for (arg, param) in r.positional().skip(1).zip(params.iter()) {
                         if let Some((name, base)) =
                             resolve(&self.reg_var, arg.name, arg.value.as_ptr())
@@ -199,6 +210,8 @@ impl DdgBuilder {
                             let pn = self.graph.reg_node(param.name);
                             self.graph.add_edge(vn, pn);
                         } else if arg.is_reg && arg.name != Name::None {
+                            // Scalar argument from a register: alias the
+                            // parameter to the same register chain.
                             let an = self.graph.reg_node(arg.name);
                             let pn = self.graph.reg_node(param.name);
                             self.graph.add_edge(an, pn);
@@ -215,6 +228,9 @@ impl DdgBuilder {
                             let from = self.graph.reg_node(op.name);
                             let to = self.graph.reg_node(pending);
                             self.graph.add_edge(from, to);
+                            // Value flow: the caller's result register now
+                            // carries whatever the returned register
+                            // resolved to.
                             if let Some(&v) = self.reg_var.get(op.name) {
                                 self.reg_var.insert(pending, v);
                             }
@@ -228,9 +244,15 @@ impl DdgBuilder {
     }
 }
 
-/// The batch `record_event` filter: only loop-phase accesses and after-loop
-/// reads matter to the heuristics.
-fn event(a: StreamAnnot, base: u64, elem: Option<u64>, is_write: bool) -> Option<AccessEvent> {
+/// The event filter: only loop-phase accesses and after-loop reads matter
+/// to the heuristics.
+fn event(
+    r: &Record,
+    a: StreamAnnot,
+    base: u64,
+    elem: Option<u64>,
+    is_write: bool,
+) -> Option<AccessEvent> {
     match (a.phase, is_write) {
         (Phase::Inside, _) | (Phase::After, false) => {}
         _ => return None,
@@ -239,8 +261,10 @@ fn event(a: StreamAnnot, base: u64, elem: Option<u64>, is_write: bool) -> Option
         base,
         elem: elem.unwrap_or(base),
         is_write,
+        dyn_id: r.dyn_id,
         iter: a.iter,
         phase: a.phase,
+        line: if r.src_line > 0 { r.src_line as u32 } else { 0 },
     })
 }
 
@@ -261,7 +285,7 @@ mod tests {
                 events.push(e);
             }
         }
-        (events, ddg.graph().node_count(), ddg.graph().edge_count())
+        (events, ddg.graph().len(), ddg.graph().edge_count())
     }
 
     /// sum += a[i] in the loop (the batch ddg test trace).
@@ -318,8 +342,14 @@ r,64,5,1,7,
         assert!(events
             .iter()
             .any(|e| e.base == sum && !e.is_write && e.phase == Phase::After));
-        // Pre-loop stores must NOT surface (the batch record_event filter).
+        // Pre-loop stores must NOT surface (the event filter).
         assert!(events.iter().all(|e| e.phase != Phase::Before));
+        // Events carry their record's identity for the batch RwEvent form.
+        assert!(
+            events.windows(2).all(|w| w[0].dyn_id < w[1].dyn_id),
+            "dyn ids are time-ordered"
+        );
+        assert!(events.iter().all(|e| e.line > 0));
     }
 
     #[test]
@@ -332,9 +362,10 @@ r,64,5,1,7,
     }
 
     /// The paper's Mutable-register challenge: a temp reused as a pointer
-    /// for two different arrays must be rebound on the fly.
+    /// for two different arrays must be rebound on the fly; the frozen
+    /// ablation misattributes the second store.
     #[test]
-    fn mutable_register_rebinds_on_the_fly() {
+    fn mutable_register_rebinds_on_the_fly_and_freezes_in_ablation() {
         let text = "\
 0,2,main,2:1,0,28,0,
 1,64,1,0,,
@@ -367,15 +398,33 @@ r,64,1,1,9,
 0,5,main,5:1,1,2,9,
 1,1,0,1,9,
 ";
-        let (events, _, _) = events_of(text, true);
-        let writes = |base: u64| {
+        let run = |on_the_fly: bool| {
+            let recs = parse_str(text).unwrap();
+            let mut tracker = RegionTracker::new("main", 5, 7);
+            let mut ddg = DdgBuilder::new(true).with_reg_var_on_the_fly(on_the_fly);
+            let mut events = Vec::new();
+            for r in &recs {
+                let a = tracker.annotate(r);
+                if let Some(e) = ddg.observe(r, a) {
+                    events.push(e);
+                }
+            }
+            events
+        };
+        let writes = |events: &[AccessEvent], base: u64| {
             events
                 .iter()
                 .filter(|e| e.base == base && e.is_write)
                 .count()
         };
-        assert_eq!(writes(0x7f00_0000_0000), 1, "one write on x");
-        assert_eq!(writes(0x7f00_0000_0100), 1, "one write on z");
+        let fly = run(true);
+        assert_eq!(writes(&fly, 0x7f00_0000_0000), 1, "one write on x");
+        assert_eq!(writes(&fly, 0x7f00_0000_0100), 1, "one write on z");
+        // The frozen map leaves temp 8 bound to x: the second store is
+        // misattributed — x gets two writes, z gets none.
+        let frozen = run(false);
+        assert_eq!(writes(&frozen, 0x7f00_0000_0000), 2, "x stole z's write");
+        assert_eq!(writes(&frozen, 0x7f00_0000_0100), 0, "z's write was lost");
     }
 
     /// Fig. 6(b)-style triplet: foo(p) writes through p which aliases a.
@@ -423,5 +472,23 @@ r,64,9,1,3,
             .collect();
         assert_eq!(writes.len(), 1);
         assert_eq!(writes[0].phase, Phase::Inside);
+    }
+
+    #[test]
+    fn preloaded_vars_take_the_first_node_ids() {
+        let mut ddg = DdgBuilder::new(true);
+        ddg.preload_var(SymId::intern("ddg_preload_mli"), 0x42);
+        let recs = parse_str(SUM_ARRAY).unwrap();
+        let mut tracker = RegionTracker::new("main", 5, 7);
+        for r in &recs {
+            let a = tracker.annotate(r);
+            ddg.observe(r, a);
+        }
+        let frozen = ddg.finish();
+        assert!(matches!(
+            frozen.nodes[0],
+            crate::graph::NodeKind::Var { base: 0x42, .. }
+        ));
+        assert!(frozen.len() > 1);
     }
 }

@@ -15,6 +15,7 @@
 //! instead of growing past the bound.
 
 use crate::ddg::DdgBuilder;
+use crate::graph::CsrGraph;
 use crate::mli::{Collect, MliCollector, MliEntry};
 use crate::region::RegionTracker;
 use crate::stats::{VarStats, VarStatsBuilder};
@@ -94,10 +95,9 @@ pub struct EngineOutcome {
     pub peak_live_records: usize,
     /// Label of the loop header's basic block, if identified.
     pub header_label: Option<SymId>,
-    /// Streaming DDG size (bounded by the program, not the trace).
-    pub ddg_nodes: usize,
-    /// Streaming DDG edge count.
-    pub ddg_edges: usize,
+    /// The dependency graph, frozen into its CSR form (bounded by the
+    /// program, not the trace) — ready for contraction and DOT rendering.
+    pub ddg: CsrGraph,
 }
 
 /// The online analysis engine.
@@ -203,8 +203,7 @@ impl Engine {
             records: self.records,
             peak_live_records: self.peak_live,
             header_label: self.region.header_label(),
-            ddg_nodes: self.ddg.graph().node_count(),
-            ddg_edges: self.ddg.graph().edge_count(),
+            ddg: self.ddg.finish(),
         }
     }
 }
@@ -309,10 +308,12 @@ r,64,2,1,10,
     }
 
     #[test]
-    fn ddg_counts_are_bounded_and_present() {
+    fn ddg_comes_out_frozen_and_bounded() {
         let out = run_engine(None).unwrap();
-        assert!(out.ddg_nodes > 0);
-        assert!(out.ddg_edges > 0);
+        assert!(!out.ddg.is_empty());
+        assert!(out.ddg.edge_count() > 0);
+        // The frozen graph is traversable: some node has a parent.
+        assert!((0..out.ddg.len()).any(|n| !out.ddg.parent_slice(n).is_empty()));
         assert_eq!(out.header_label.map(|l| l.as_str()), Some("1"));
     }
 }

@@ -25,9 +25,15 @@
 //! * [`mli::MliCollector`] — incremental Main-Loop-Input identification
 //!   (collect part-A and part-B occurrences as they fly past, match at
 //!   finish);
-//! * [`ddg::DdgBuilder`] — incremental reg-var/reg-reg maps and dependency
-//!   graph, emitting one read/write [`ddg::AccessEvent`] per memory access
-//!   instead of accumulating an O(trace) event vector;
+//! * [`graph`] — the shared dependency-graph core: the growable
+//!   [`graph::Graph`], its frozen CSR form [`graph::CsrGraph`]
+//!   (sorted parent/child slices, the substrate for Algorithm 1
+//!   contraction), and the one DOT writer;
+//! * [`ddg::DdgBuilder`] — the **single** DDG construction: incremental
+//!   reg-var/reg-reg maps over [`graph::Graph`], emitting one read/write
+//!   [`ddg::AccessEvent`] per memory access instead of accumulating an
+//!   O(trace) event vector; the batch pipeline folds its record slice
+//!   through this same builder;
 //! * [`stats::VarStatsBuilder`] — folds a variable's access events into the
 //!   bounded [`stats::VarStats`] summary the classification heuristics
 //!   need, retiring the per-iteration element window at each iteration
@@ -43,16 +49,19 @@
 
 pub mod ddg;
 pub mod engine;
+pub mod graph;
 pub mod mli;
-pub mod nodeindex;
 pub mod prov;
 pub mod region;
 pub mod stats;
 
-pub use ddg::{AccessEvent, DdgBuilder, StreamGraph};
+pub use ddg::{AccessEvent, DdgBuilder};
 pub use engine::{Engine, EngineConfig, EngineOutcome, LiveBoundExceeded};
+pub use graph::{CsrGraph, DotWriter, Graph, NodeKind};
 pub use mli::{Collect, MliCollector, MliEntry};
-pub use nodeindex::NodeIndex;
 pub use prov::{relevant_opcode, resolve_alias, Provenance};
 pub use region::{Phase, RegionTracker, StreamAnnot};
 pub use stats::{VarStats, VarStatsBuilder};
+// The dense node-id interner moved next to `NameMap` in `autocheck-trace`;
+// re-exported here for continuity.
+pub use autocheck_trace::NodeIndex;

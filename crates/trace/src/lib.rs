@@ -38,6 +38,7 @@ pub mod ctx;
 pub mod intern;
 pub mod name;
 pub mod namemap;
+pub mod nodeindex;
 pub mod parallel;
 pub mod parser;
 pub mod reader;
@@ -50,6 +51,7 @@ pub use ctx::AnalysisCtx;
 pub use intern::{SpaceGuard, SymId, SymbolSpace};
 pub use name::Name;
 pub use namemap::{NameMap, NameSet};
+pub use nodeindex::NodeIndex;
 pub use parallel::{
     parse_parallel, parse_parallel_in, parse_parallel_read, parse_parallel_read_in, ParallelConfig,
 };

@@ -1,9 +1,8 @@
 //! Dense per-kind node interning for dependency graphs.
 //!
-//! Both DDG implementations (the batch `DepGraph` in `autocheck-core` and
-//! the online [`crate::ddg::StreamGraph`]) intern two kinds of node:
+//! The shared DDG (`autocheck_stream::graph`) interns two kinds of node:
 //! variables, identified by `(name, base address)`, and registers,
-//! identified by a [`Name`]. The old implementations keyed one
+//! identified by a [`Name`]. The pre-unification implementations keyed one
 //! `HashMap<NodeKind, usize>` on an enum holding `Arc<str>`s — every
 //! lookup re-hashed a string. This index replaces that with per-kind
 //! tables indexed by the interned integers themselves:
@@ -19,7 +18,7 @@
 //! implementations, so graph serialization (DOT node numbering) is
 //! unchanged byte-for-byte.
 
-use autocheck_trace::{Name, NameMap, SymId};
+use crate::{Name, NameMap, SymId};
 
 /// Dense node-id interner for variable and register nodes.
 #[derive(Clone, Debug, Default)]
@@ -133,7 +132,7 @@ mod tests {
     #[test]
     fn overflow_temps_spill() {
         let mut ix = NodeIndex::new();
-        let big = autocheck_trace::namemap::DENSE_TEMP_LIMIT + 7;
+        let big = crate::namemap::DENSE_TEMP_LIMIT + 7;
         let (id, fresh) = ix.reg_node(Name::Temp(big));
         assert!(fresh);
         assert_eq!(ix.find_reg(Name::Temp(big)), Some(id));
