@@ -4,12 +4,17 @@
 //! ```text
 //! mlc run   <file.mc>                 # compile and execute, print output
 //! mlc trace <file.mc> -o trace.txt    # execute and write the dynamic trace
+//! mlc trace <file.mc> -o t --format binary   # ... in the binary format
 //! mlc trace <file.mc>... --stream --function f --start a --end b
 //!                                     # execute and analyze online: records
 //!                                     # flow interpreter -> analyzer with no
 //!                                     # trace file or record buffer at all.
 //!                                     # Several files = one session each,
 //!                                     # with per-session peak-live/timing
+//! mlc convert <in> <out> [--to text|binary]
+//!                                     # lossless trace conversion; the input
+//!                                     # format auto-detects, --to defaults
+//!                                     # to the opposite format
 //! mlc ir    <file.mc>                 # dump the textual IR
 //! mlc loops <file.mc> [--function f]  # list loops and their control vars
 //! mlc app   <name> [-o file.mc]       # emit a bundled benchmark's source
@@ -23,16 +28,21 @@
 //! timings are reported per session — not just for the last analysis.
 
 use autocheck_core::{index_variables_of, Region, StreamAnalyzer, StreamConfig};
-use autocheck_interp::{ExecError, ExecOptions, FnSink, Machine, NoHook, NullSink, WriterSink};
+use autocheck_interp::{
+    BinarySink, ExecError, ExecOptions, FnSink, Machine, NoHook, NullSink, TraceSink, WriterSink,
+};
 use autocheck_ir::{Cfg, DomTree, LoopForest};
-use autocheck_trace::AnalysisCtx;
+use autocheck_trace::{AnalysisCtx, Record, TraceSource};
+use std::io::Write;
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mlc <run|trace|ir|loops|app> <file.mc | app-name> [-o out] [--function f]\n\
+        "usage: mlc <run|trace|convert|ir|loops|app> <file.mc | app-name> [-o out] [--function f]\n\
+         \x20      mlc trace <file.mc> [-o out] [--format text|binary]\n\
          \x20      mlc trace <file.mc>... --stream [--function f] [--start n --end n]\n\
-         \x20                [--max-live-records N]   (per-session stats per input file)"
+         \x20                [--max-live-records N]   (per-session stats per input file)\n\
+         \x20      mlc convert <in> <out> [--to text|binary]   (trace format conversion)"
     );
     std::process::exit(2)
 }
@@ -41,7 +51,56 @@ fn usage() -> ! {
 /// multi-file positional scan below and `opt()` both depend on this —
 /// add new value-taking flags HERE, not inline, or their values will be
 /// misread as input files.
-const VALUE_FLAGS: &[&str] = &["--function", "--start", "--end", "--max-live-records", "-o"];
+const VALUE_FLAGS: &[&str] = &[
+    "--function",
+    "--start",
+    "--end",
+    "--max-live-records",
+    "--format",
+    "--to",
+    "-o",
+];
+
+/// Text-or-binary trace sink for `mlc trace --format`, forwarding to the
+/// matching interpreter sink.
+enum FileSink<W: Write> {
+    Text(WriterSink<W>),
+    Binary(BinarySink<W>),
+}
+
+impl<W: Write> FileSink<W> {
+    fn records_written(&self) -> u64 {
+        match self {
+            FileSink::Text(s) => s.records_written(),
+            FileSink::Binary(s) => s.records_written(),
+        }
+    }
+
+    /// Bytes on the wire (text) or the projected file size (binary, which
+    /// buffers until finish).
+    fn bytes_written(&self) -> u64 {
+        match self {
+            FileSink::Text(s) => s.bytes_written(),
+            FileSink::Binary(s) => s.bytes_written(),
+        }
+    }
+
+    fn finish(self) -> Result<W, ExecError> {
+        match self {
+            FileSink::Text(s) => s.finish(),
+            FileSink::Binary(s) => s.finish(),
+        }
+    }
+}
+
+impl<W: Write> TraceSink for FileSink<W> {
+    fn record(&mut self, rec: Record) -> Result<(), ExecError> {
+        match self {
+            FileSink::Text(s) => s.record(rec),
+            FileSink::Binary(s) => s.record(rec),
+        }
+    }
+}
 
 fn compile_file(path: &str) -> Result<autocheck_ir::Module, ExitCode> {
     let src = std::fs::read_to_string(path).map_err(|e| {
@@ -239,6 +298,7 @@ fn main() -> ExitCode {
                 Ok(m) => m,
                 Err(c) => return c,
             };
+            let format = opt("--format").unwrap_or_else(|| "text".to_string());
             let out_path = opt("-o").unwrap_or_else(|| format!("{target}.trace"));
             let file = match std::fs::File::create(&out_path) {
                 Ok(f) => std::io::BufWriter::new(f),
@@ -247,7 +307,14 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let mut sink = WriterSink::new(file);
+            let mut sink = match format.as_str() {
+                "text" => FileSink::Text(WriterSink::new(file)),
+                "binary" => FileSink::Binary(BinarySink::new(file)),
+                other => {
+                    eprintln!("error: --format must be `text` or `binary`, not `{other}`");
+                    return ExitCode::FAILURE;
+                }
+            };
             let mut machine = Machine::new(&module, ExecOptions::default());
             match machine.run(&mut sink, &mut NoHook) {
                 Ok(_) => {
@@ -257,7 +324,7 @@ fn main() -> ExitCode {
                         eprintln!("error: flush failed");
                         return ExitCode::FAILURE;
                     }
-                    eprintln!("wrote {records} records ({bytes} bytes) to {out_path}");
+                    eprintln!("wrote {records} records ({bytes} bytes, {format}) to {out_path}");
                     ExitCode::SUCCESS
                 }
                 Err(e) => {
@@ -265,6 +332,60 @@ fn main() -> ExitCode {
                     ExitCode::FAILURE
                 }
             }
+        }
+        "convert" => {
+            let out_path = match argv.get(2).filter(|a| !a.starts_with('-')) {
+                Some(p) => p.clone(),
+                None => usage(),
+            };
+            let bytes = match std::fs::read(target) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("error: cannot read `{target}`: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let src_binary = autocheck_trace::binary::is_binary(&bytes);
+            let to_binary = match opt("--to").as_deref() {
+                Some("binary") => true,
+                Some("text") => false,
+                // Default: flip to the other format.
+                None => !src_binary,
+                Some(other) => {
+                    eprintln!("error: --to must be `text` or `binary`, not `{other}`");
+                    return ExitCode::FAILURE;
+                }
+            };
+            // A fresh session per conversion: the trace is third-party input.
+            let ctx = AnalysisCtx::session();
+            let _guard = ctx.enter();
+            let records = match TraceSource::from_bytes(&bytes).ctx(&ctx).records() {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let out_bytes = if to_binary {
+                autocheck_trace::binary::to_bytes(&records, &ctx)
+            } else {
+                autocheck_trace::writer::to_string(&records).into_bytes()
+            };
+            if let Err(e) = std::fs::write(&out_path, &out_bytes) {
+                eprintln!("error: cannot write `{out_path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "converted {} -> {} ({} records, {} -> {}, {} -> {} bytes)",
+                target,
+                out_path,
+                records.len(),
+                if src_binary { "binary" } else { "text" },
+                if to_binary { "binary" } else { "text" },
+                bytes.len(),
+                out_bytes.len()
+            );
+            ExitCode::SUCCESS
         }
         "ir" => {
             let module = match compile_file(target) {

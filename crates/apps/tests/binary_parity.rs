@@ -1,0 +1,226 @@
+//! Acceptance tests for the binary trace format: ingesting a trace in
+//! binary form must be **observably indistinguishable** from ingesting the
+//! same trace as text — byte-identical rendered reports and DOT graphs —
+//! across all three front doors (batch [`Analyzer`], [`StreamAnalyzer`],
+//! and `MultiAnalyzer` jobs), on the Fig. 4 example and all 14 benchmarks.
+//! Plus the `mlc convert` CLI round trip: text → binary → text reproduces
+//! the original trace byte for byte.
+
+use autocheck_core::{
+    contract_for_mli, index_variables_of, AnalysisJob, Analyzer, DdgAnalysis, DdgOptions, JobInput,
+    MultiAnalyzer, Phases, Region, StreamAnalyzer,
+};
+use autocheck_interp::{BinarySink, ExecOptions, Machine, NoHook, WriterSink};
+use autocheck_trace::{binary, AnalysisCtx};
+
+/// Name, MiniLang source, region and index variables for every program the
+/// parity tests cover: the Fig. 4 worked example plus the 14 benchmarks.
+fn suite() -> Vec<(String, String, Region, Vec<String>)> {
+    let fig4_src = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/fig4.mc"
+    ))
+    .expect("examples/fig4.mc exists");
+    let mut progs = vec![("fig4".to_string(), fig4_src, Region::new("main", 16, 24))];
+    for spec in autocheck_apps::all_apps() {
+        progs.push((
+            spec.name.to_string(),
+            spec.source.clone(),
+            spec.region.clone(),
+        ));
+    }
+    progs
+        .into_iter()
+        .map(|(name, src, region)| {
+            let module = autocheck_minilang::compile(&src).expect("compiles");
+            let index = index_variables_of(&module, &region);
+            (name, src, region, index)
+        })
+        .collect()
+}
+
+/// Execute `src` twice in fresh sessions, once into the text sink and once
+/// into the binary sink, returning both serialized traces.
+fn traces_of(src: &str) -> (Vec<u8>, Vec<u8>) {
+    let module = autocheck_minilang::compile(src).expect("compiles");
+    let text = {
+        let ctx = AnalysisCtx::session();
+        let _guard = ctx.enter();
+        let mut sink = WriterSink::new(Vec::new());
+        Machine::with_ctx(&module, ExecOptions::default(), ctx.clone())
+            .run(&mut sink, &mut NoHook)
+            .expect("runs");
+        sink.finish().expect("text trace")
+    };
+    let bin = {
+        let ctx = AnalysisCtx::session();
+        let _guard = ctx.enter();
+        let mut sink = BinarySink::with_ctx(Vec::new(), &ctx);
+        Machine::with_ctx(&module, ExecOptions::default(), ctx.clone())
+            .run(&mut sink, &mut NoHook)
+            .expect("runs");
+        sink.finish().expect("binary trace")
+    };
+    assert!(!binary::is_binary(&text));
+    assert!(binary::is_binary(&bin));
+    (text, bin)
+}
+
+/// Batch-analyze `bytes` in a fresh session; return the rendered report and
+/// the contracted DOT — everything user-visible.
+fn batch_output(bytes: &[u8], region: &Region, index: &[String]) -> (String, String) {
+    let ctx = AnalysisCtx::session();
+    let _guard = ctx.enter();
+    let analyzer = Analyzer::new(region.clone())
+        .with_index_vars(index.to_vec())
+        .with_ctx(ctx.clone());
+    let report = analyzer.analyze_bytes(bytes).expect("ingests");
+    let records = autocheck_trace::TraceSource::from_bytes(bytes)
+        .ctx(&ctx)
+        .records()
+        .expect("parses");
+    let phases = Phases::compute_in(&records, region, &ctx);
+    let graph = DdgAnalysis::fold_in(
+        &records,
+        &phases,
+        &report.mli,
+        DdgOptions {
+            retain_events: false,
+            ..DdgOptions::default()
+        },
+        &ctx,
+        |_| {},
+    );
+    let dot = contract_for_mli(&graph, &report.mli).to_dot();
+    (report.to_string(), dot)
+}
+
+/// Binary and text ingest must render byte-identical reports and DOT
+/// through the batch pipeline, for every program in the suite.
+#[test]
+fn batch_reports_and_dot_are_byte_identical_across_formats() {
+    for (name, src, region, index) in suite() {
+        let (text, bin) = traces_of(&src);
+        let (report_t, dot_t) = batch_output(&text, &region, &index);
+        let (report_b, dot_b) = batch_output(&bin, &region, &index);
+        assert_eq!(report_t, report_b, "{name}: batch report bytes differ");
+        assert_eq!(dot_t, dot_b, "{name}: batch DOT bytes differ");
+        assert!(
+            !report_t.is_empty() && dot_t.starts_with("digraph"),
+            "{name}"
+        );
+    }
+}
+
+/// The streaming pipeline reads both formats from a plain reader
+/// (auto-detected) and renders the identical report either way.
+#[test]
+fn stream_reports_are_byte_identical_across_formats() {
+    for (name, src, region, index) in suite() {
+        let (text, bin) = traces_of(&src);
+        let run = |bytes: &[u8]| {
+            let ctx = AnalysisCtx::session();
+            let _guard = ctx.enter();
+            StreamAnalyzer::new(region.clone())
+                .with_index_vars(index.clone())
+                .with_ctx(ctx.clone())
+                .analyze_read(bytes)
+                .expect("streams")
+                .to_string()
+        };
+        let from_text = run(&text);
+        let from_bin = run(&bin);
+        assert_eq!(from_text, from_bin, "{name}: stream report bytes differ");
+        // And streaming agrees with batch on the same bytes.
+        let (batch, _) = batch_output(&bin, &region, &index);
+        assert_eq!(batch, from_bin, "{name}: stream diverges from batch");
+    }
+}
+
+/// `MultiAnalyzer` jobs pointed at a binary trace file produce the same
+/// rendered sessions as jobs pointed at the text version (auto-detect via
+/// `JobInput::TracePath`).
+#[test]
+fn multianalyzer_jobs_are_byte_identical_across_formats() {
+    let dir = std::env::temp_dir().join(format!("autocheck-binary-parity-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let suite = suite();
+    let jobs_for = |ext: &str| -> Vec<AnalysisJob> {
+        suite
+            .iter()
+            .map(|(name, _, region, index)| {
+                let path = dir.join(format!("{name}.{ext}"));
+                AnalysisJob::new(
+                    name.clone(),
+                    JobInput::TracePath(path.to_string_lossy().into_owned()),
+                    region.clone(),
+                )
+                .with_index_vars(index.clone())
+                .with_dot(true)
+            })
+            .collect()
+    };
+    for (name, src, _, _) in &suite {
+        let (text, bin) = traces_of(src);
+        std::fs::write(dir.join(format!("{name}.txt")), &text).expect("write text");
+        std::fs::write(dir.join(format!("{name}.bin")), &bin).expect("write binary");
+    }
+    let from_text = MultiAnalyzer::new(4).run(jobs_for("txt"));
+    let from_bin = MultiAnalyzer::new(4).run(jobs_for("bin"));
+    assert!(from_text.failures.is_empty(), "{:?}", from_text.failures);
+    assert!(from_bin.failures.is_empty(), "{:?}", from_bin.failures);
+    assert_eq!(from_text.sessions.len(), suite.len());
+    for (t, b) in from_text.sessions.iter().zip(&from_bin.sessions) {
+        assert_eq!(t.name, b.name);
+        assert_eq!(t.rendered, b.rendered, "{}: session report differs", t.name);
+        assert_eq!(t.dot, b.dot, "{}: session DOT differs", t.name);
+        assert_eq!(t.summary, b.summary, "{}", t.name);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `mlc convert` round trip against the real binary: trace Fig. 4 as text,
+/// convert text → binary → text, and the final text must equal the original
+/// byte for byte. The directly-emitted binary trace (`--format binary`)
+/// must equal the converted one too.
+#[test]
+fn mlc_convert_round_trips_fig4_byte_identically() {
+    let fig4 = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/fig4.mc");
+    let dir = std::env::temp_dir().join(format!("autocheck-mlc-convert-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let p = |n: &str| dir.join(n).to_string_lossy().into_owned();
+    let mlc = |args: &[&str]| {
+        let out = std::process::Command::new(env!("CARGO_BIN_EXE_mlc"))
+            .args(args)
+            .output()
+            .expect("mlc runs");
+        assert!(
+            out.status.success(),
+            "mlc {args:?} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    };
+    mlc(&["trace", fig4, "-o", &p("t.txt"), "--format", "text"]);
+    mlc(&["trace", fig4, "-o", &p("t.bin"), "--format", "binary"]);
+    mlc(&["convert", &p("t.txt"), &p("conv.bin")]);
+    mlc(&["convert", &p("conv.bin"), &p("conv.txt")]);
+    // Explicit --to overrides the flip-by-default direction.
+    mlc(&["convert", &p("t.txt"), &p("same.txt"), "--to", "text"]);
+
+    let orig_text = std::fs::read(p("t.txt")).unwrap();
+    let orig_bin = std::fs::read(p("t.bin")).unwrap();
+    let conv_bin = std::fs::read(p("conv.bin")).unwrap();
+    let conv_text = std::fs::read(p("conv.txt")).unwrap();
+    let same_text = std::fs::read(p("same.txt")).unwrap();
+    assert!(binary::is_binary(&conv_bin));
+    assert_eq!(
+        orig_text, conv_text,
+        "text -> binary -> text must round-trip byte-identically"
+    );
+    assert_eq!(
+        orig_bin, conv_bin,
+        "converted binary must equal the directly-emitted binary trace"
+    );
+    assert_eq!(orig_text, same_text, "--to text is the identity on text");
+    let _ = std::fs::remove_dir_all(&dir);
+}

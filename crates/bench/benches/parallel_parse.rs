@@ -7,7 +7,7 @@
 
 use autocheck_apps::hpccg;
 use autocheck_interp::{ExecOptions, Machine, NoHook, WriterSink};
-use autocheck_trace::{parse_parallel, ParallelConfig};
+use autocheck_trace::{ParallelConfig, TraceSource};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
@@ -36,7 +36,9 @@ fn bench_parallel_parse(c: &mut Criterion) {
     for t in threads {
         group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
             b.iter(|| {
-                let recs = parse_parallel(black_box(&text), ParallelConfig { threads: t })
+                let recs = TraceSource::from_str(black_box(&text))
+                    .parallel(ParallelConfig { threads: t })
+                    .records()
                     .expect("parses");
                 black_box(recs.len())
             })

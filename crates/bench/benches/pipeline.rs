@@ -3,7 +3,7 @@
 
 use autocheck_apps::{analyze_app, app_by_name};
 use autocheck_core::{index_variables_of, Analyzer};
-use autocheck_interp::{ExecOptions, Machine, NoHook, VecSink};
+use autocheck_interp::{BinarySink, ExecOptions, Machine, NoHook, VecSink, WriterSink};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -37,6 +37,8 @@ fn bench_trace_generation(c: &mut Criterion) {
     for name in ["cg", "sp"] {
         let spec = app_by_name(name).expect("known app");
         let module = autocheck_minilang::compile(&spec.source).expect("compiles");
+        // In-memory records (no serialization), then each on-disk format:
+        // execute + serialize the full trace into a buffer.
         group.bench_function(name, |b| {
             b.iter(|| {
                 let mut sink = VecSink::default();
@@ -44,6 +46,24 @@ fn bench_trace_generation(c: &mut Criterion) {
                     .run(&mut sink, &mut NoHook)
                     .expect("runs");
                 black_box(sink.records.len())
+            })
+        });
+        group.bench_function(format!("{name}/text"), |b| {
+            b.iter(|| {
+                let mut sink = WriterSink::new(Vec::new());
+                Machine::new(&module, ExecOptions::default())
+                    .run(&mut sink, &mut NoHook)
+                    .expect("runs");
+                black_box(sink.finish().expect("trace").len())
+            })
+        });
+        group.bench_function(format!("{name}/binary"), |b| {
+            b.iter(|| {
+                let mut sink = BinarySink::new(Vec::new());
+                Machine::new(&module, ExecOptions::default())
+                    .run(&mut sink, &mut NoHook)
+                    .expect("runs");
+                black_box(sink.finish().expect("trace").len())
             })
         });
     }

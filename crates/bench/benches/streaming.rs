@@ -53,6 +53,17 @@ fn bench_streaming(c: &mut Criterion) {
                 black_box(report.critical.len())
             })
         });
+        // Same fused parse+analyze pull, but over the binary trace (format
+        // auto-detected from the leading magic).
+        let bin =
+            autocheck_trace::binary::to_bytes(&records, &autocheck_trace::AnalysisCtx::current());
+        group.bench_function(format!("{name}/stream-read-binary"), |b| {
+            let analyzer = StreamAnalyzer::new(spec.region.clone()).with_index_vars(index.clone());
+            b.iter(|| {
+                let report = analyzer.analyze_read(black_box(&bin[..])).expect("streams");
+                black_box(report.critical.len())
+            })
+        });
     }
     group.finish();
 }

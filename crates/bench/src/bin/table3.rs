@@ -10,8 +10,11 @@
 //! With `--json`, the same timings are also written to `BENCH_table3.json`
 //! as machine-readable records — the repo's perf trajectory file, so "did
 //! this PR make Table III faster?" is a diff, not archaeology. Schema 2
-//! adds per-app DDG sizes (nodes/edges, contracted nodes/edges) and the
-//! Algorithm 1 contraction wall clock.
+//! added per-app DDG sizes (nodes/edges, contracted nodes/edges) and the
+//! Algorithm 1 contraction wall clock; schema 3 adds per-app ingest
+//! throughput (records/s and bytes/s) for both trace formats, keyed by
+//! `ingest_format`, so the text-vs-binary ingest gap is part of the
+//! trajectory.
 //!
 //! `--jobs N` additionally runs the whole 14-app suite through the
 //! concurrent `MultiAnalyzer` front door — every app compiled, traced and
@@ -26,7 +29,17 @@ use autocheck_core::{
     StreamAnalyzer,
 };
 use autocheck_interp::{ExecOptions, Machine, NoHook, WriterSink};
+use autocheck_trace::{binary, AnalysisCtx, TraceSource};
 use std::fmt::Write as _;
+
+/// Ingest throughput for one trace format (serial parse of the whole
+/// trace, best of three).
+struct IngestRate {
+    format: &'static str,
+    bytes: u64,
+    records_per_s: f64,
+    bytes_per_s: f64,
+}
 
 /// One benchmark's measurements, in seconds.
 struct AppRow {
@@ -35,6 +48,31 @@ struct AppRow {
     parallel: Report,
     streaming_total: std::time::Duration,
     peak_live: usize,
+    ingest: Vec<IngestRate>,
+}
+
+/// Serial-ingest throughput of `bytes` (either format), best of three runs.
+fn measure_ingest(bytes: &[u8], format: &'static str) -> IngestRate {
+    let mut best = f64::INFINITY;
+    let mut records = 0usize;
+    for _ in 0..3 {
+        let t = std::time::Instant::now();
+        let parsed = TraceSource::from_bytes(bytes)
+            .records()
+            .expect("trace ingests");
+        let dt = t.elapsed().as_secs_f64();
+        records = parsed.len();
+        if dt < best {
+            best = dt;
+        }
+    }
+    let best = best.max(1e-9);
+    IngestRate {
+        format,
+        bytes: bytes.len() as u64,
+        records_per_s: records as f64 / best,
+        bytes_per_s: bytes.len() as f64 / best,
+    }
 }
 
 fn main() {
@@ -90,6 +128,7 @@ fn main() {
         "Streaming (s)",
         "Peak live",
         "DDG n/e→c",
+        "Bin ingest ×",
     ]);
     let mut rows: Vec<AppRow> = Vec::new();
     for spec in all_apps_scaled(scale) {
@@ -127,6 +166,14 @@ fn main() {
             streaming.report.summary(),
             "streaming must not change results"
         );
+        // Text-vs-binary ingest throughput on the identical record stream.
+        let records = TraceSource::from_str(&text).records().expect("parses");
+        let bin = binary::to_bytes(&records, &AnalysisCtx::current());
+        let ingest = vec![
+            measure_ingest(text.as_bytes(), "text"),
+            measure_ingest(&bin, "binary"),
+        ];
+        let ingest_ratio = ingest[1].records_per_s / ingest[0].records_per_s.max(1e-9);
         table.row(vec![
             spec.name.to_string(),
             secs(serial.timings.preprocess),
@@ -141,6 +188,7 @@ fn main() {
                 "{}/{}→{}",
                 serial.ddg.nodes, serial.ddg.edges, serial.ddg.contracted_nodes
             ),
+            format!("{ingest_ratio:.1}"),
         ]);
         rows.push(AppRow {
             name: spec.name.to_string(),
@@ -148,6 +196,7 @@ fn main() {
             parallel,
             streaming_total: streaming.report.timings.total(),
             peak_live: streaming.stats.peak_live_records,
+            ingest,
         });
     }
     println!("{}", table.render());
@@ -254,7 +303,7 @@ fn render_json(
         .unwrap_or(0);
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"bench\": \"table3\",");
-    let _ = writeln!(out, "  \"schema\": 2,");
+    let _ = writeln!(out, "  \"schema\": 3,");
     let _ = writeln!(out, "  \"scale\": \"{scale:?}\",");
     let _ = writeln!(out, "  \"parse_threads\": {threads},");
     let _ = writeln!(out, "  \"unix_time\": {unix_time},");
@@ -288,7 +337,7 @@ fn render_json(
              \"total_parallel_s\": {:.6}, \"streaming_total_s\": {:.6}, \
              \"peak_live_records\": {}, \"records\": {}, \
              \"ddg_nodes\": {}, \"ddg_edges\": {}, \"contracted_nodes\": {}, \
-             \"contracted_edges\": {}, \"contract_wall_s\": {:.6}}}",
+             \"contracted_edges\": {}, \"contract_wall_s\": {:.6}, \"ingest\": [{}]}}",
             row.name,
             t.preprocess.as_secs_f64(),
             p.preprocess.as_secs_f64(),
@@ -304,6 +353,17 @@ fn render_json(
             d.contracted_nodes,
             d.contracted_edges,
             d.contract_wall.as_secs_f64(),
+            row.ingest
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{{\"ingest_format\": \"{}\", \"bytes\": {}, \
+                         \"records_per_s\": {:.1}, \"bytes_per_s\": {:.1}}}",
+                        r.format, r.bytes, r.records_per_s, r.bytes_per_s
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", "),
         );
         out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }

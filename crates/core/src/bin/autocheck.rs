@@ -362,7 +362,9 @@ fn main() -> ExitCode {
     if args.stream {
         return run_streaming(&args, &region, &ctx);
     }
-    let text = match std::fs::read_to_string(&args.trace) {
+    // Raw bytes, not text: the trace format (text or binary) auto-detects
+    // from the leading magic inside `TraceSource`.
+    let bytes = match std::fs::read(&args.trace) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("error: cannot read `{}`: {e}", args.trace);
@@ -377,7 +379,7 @@ fn main() -> ExitCode {
             ..PipelineConfig::default()
         })
         .with_ctx(ctx.clone());
-    let report = match analyzer.analyze_text(&text) {
+    let report = match analyzer.analyze_bytes(&bytes) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
@@ -396,7 +398,10 @@ fn main() -> ExitCode {
     if let Some(dot_path) = &args.dot {
         // Re-run the dependency fold (no event retention) to export the
         // contracted DDG from the frozen graph.
-        let records = match autocheck_trace::parse_str_in(&text, &ctx) {
+        let records = match autocheck_trace::TraceSource::from_bytes(&bytes)
+            .ctx(&ctx)
+            .records()
+        {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("error: {e}");

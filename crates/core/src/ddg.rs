@@ -219,7 +219,13 @@ mod tests {
     use super::*;
     use crate::preprocess::{find_mli_vars, CollectMode};
     use crate::region::Region;
-    use autocheck_trace::{parse_str, SymId};
+    use autocheck_trace::SymId;
+
+    fn parse_str(
+        text: &str,
+    ) -> Result<Vec<autocheck_trace::Record>, autocheck_trace::reader::TraceReadError> {
+        autocheck_trace::TraceSource::from_str(text).records()
+    }
 
     /// sum += a[i] inside the loop; sum and a are MLI (stored before loop).
     fn trace_with_array() -> (Vec<Record>, Phases, Region, Vec<MliVar>) {

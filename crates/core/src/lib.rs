@@ -43,7 +43,7 @@
 //! ```no_run
 //! use autocheck_core::{Analyzer, Region};
 //!
-//! let records = autocheck_trace::parse_str("...").unwrap();
+//! let records = autocheck_trace::TraceSource::from_str("...").records().unwrap();
 //! let region = Region::new("main", 13, 21);
 //! let report = Analyzer::new(region)
 //!     .with_index_vars(vec!["it".into()])

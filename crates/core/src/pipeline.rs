@@ -5,7 +5,9 @@ use crate::preprocess::{find_mli_vars_in, CollectMode};
 use crate::region::{Phase, Phases, Region};
 use crate::report::{DdgSummary, Report, Timings};
 use autocheck_stream::VarStatsBuilder;
-use autocheck_trace::{parse_parallel_in, AnalysisCtx, ParallelConfig, Record};
+use autocheck_trace::reader::TraceReadError;
+use autocheck_trace::{AnalysisCtx, ParallelConfig, Record, TraceSource};
+use std::path::Path;
 use std::time::Instant;
 
 /// Tunables for the pipeline (defaults reproduce the paper's tool).
@@ -92,15 +94,45 @@ impl Analyzer {
     /// time, exactly like the paper's Table III.
     pub fn analyze_text(&self, text: &str) -> Result<Report, autocheck_trace::ParseError> {
         let t0 = Instant::now();
-        let records = parse_parallel_in(
-            text,
-            ParallelConfig {
-                threads: self.config.parse_threads,
-            },
-            &self.ctx,
-        )?;
+        let records = self
+            .source(TraceSource::from_str(text))
+            .records()
+            .map_err(|e| match e {
+                TraceReadError::Parse(p) => p,
+                other => autocheck_trace::ParseError {
+                    line: 0,
+                    message: other.to_string(),
+                },
+            })?;
         let parse_time = t0.elapsed();
         Ok(self.analyze_inner(&records, parse_time))
+    }
+
+    /// Analyze a trace file in either format (text or binary, auto-detected
+    /// by magic bytes). Ingest time is included in the pre-processing time
+    /// like [`analyze_text`](Self::analyze_text).
+    pub fn analyze_path(&self, path: impl AsRef<Path>) -> Result<Report, TraceReadError> {
+        let t0 = Instant::now();
+        let records = self
+            .source(TraceSource::from_path(path.as_ref()))
+            .records()?;
+        let parse_time = t0.elapsed();
+        Ok(self.analyze_inner(&records, parse_time))
+    }
+
+    /// Analyze an in-memory trace in either format.
+    pub fn analyze_bytes(&self, bytes: &[u8]) -> Result<Report, TraceReadError> {
+        let t0 = Instant::now();
+        let records = self.source(TraceSource::from_bytes(bytes)).records()?;
+        let parse_time = t0.elapsed();
+        Ok(self.analyze_inner(&records, parse_time))
+    }
+
+    /// Scope a [`TraceSource`] to this analyzer's session and parallelism.
+    fn source<'a>(&self, source: TraceSource<'a>) -> TraceSource<'a> {
+        source.ctx(&self.ctx).parallel(ParallelConfig {
+            threads: self.config.parse_threads,
+        })
     }
 
     fn analyze_inner(&self, records: &[Record], parse_time: std::time::Duration) -> Report {
@@ -334,7 +366,7 @@ int main() {
         let region = Region::new("main", 13, 21);
         let analyzer = Analyzer::new(region).with_index_vars(vec!["it".into()]);
         let from_text = analyzer.analyze_text(&text).unwrap();
-        let records = autocheck_trace::parse_str(&text).unwrap();
+        let records = TraceSource::from_str(&text).records().unwrap();
         let from_records = analyzer.analyze(&records);
         assert_eq!(from_text.summary(), from_records.summary());
 

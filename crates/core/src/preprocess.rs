@@ -85,7 +85,12 @@ pub fn find_mli_vars_in(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use autocheck_trace::parse_str;
+
+    fn parse_str(
+        text: &str,
+    ) -> Result<Vec<autocheck_trace::Record>, autocheck_trace::reader::TraceReadError> {
+        autocheck_trace::TraceSource::from_str(text).records()
+    }
 
     /// main: line 2 stores to sum and x; loop lines 5..=7 loads sum, adds,
     /// stores sum; after the loop prints. `x` is only used before the loop.

@@ -94,7 +94,12 @@ impl Phases {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use autocheck_trace::parse_str;
+
+    fn parse_str(
+        text: &str,
+    ) -> Result<Vec<autocheck_trace::Record>, autocheck_trace::reader::TraceReadError> {
+        autocheck_trace::TraceSource::from_str(text).records()
+    }
 
     /// A miniature trace: main does a 2-iteration loop at lines 5..=7
     /// calling foo inside, then prints at line 9.

@@ -22,7 +22,7 @@ use crate::preprocess::CollectMode;
 use crate::region::{Phases, Region};
 use crate::report::{DepType, Report, Timings};
 use crate::stream::{StreamAnalyzer, StreamConfig};
-use autocheck_trace::{parse_parallel_in, AnalysisCtx, ParallelConfig};
+use autocheck_trace::{AnalysisCtx, TraceSource};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -365,19 +365,21 @@ fn run_session_inner(job: &AnalysisJob) -> Result<SessionReport, String> {
             (sink.records, index)
         }
         JobInput::TraceText(text) => (
-            parse_parallel_in(text, ParallelConfig { threads: 1 }, &ctx)
+            TraceSource::from_str(text)
+                .ctx(&ctx)
+                .records()
                 .map_err(|e| e.to_string())?,
             job.index_vars.clone().unwrap_or_default(),
         ),
-        JobInput::TracePath(path) => {
-            let text =
-                std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-            (
-                parse_parallel_in(&text, ParallelConfig { threads: 1 }, &ctx)
-                    .map_err(|e| e.to_string())?,
-                job.index_vars.clone().unwrap_or_default(),
-            )
-        }
+        JobInput::TracePath(path) => (
+            // Format (text or binary) auto-detects from the file's leading
+            // bytes, so jobs can point at either kind of trace.
+            TraceSource::from_path(path)
+                .ctx(&ctx)
+                .records()
+                .map_err(|e| format!("cannot read `{path}`: {e}"))?,
+            job.index_vars.clone().unwrap_or_default(),
+        ),
     };
 
     let (report, stream_stats, stream_dot) = if job.stream {

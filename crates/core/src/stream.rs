@@ -5,7 +5,7 @@
 //! instead of requiring the whole trace in memory: push records into a
 //! [`StreamSession`] (e.g. straight from the interpreter's sink — no trace
 //! file at all), or pull them from any [`io::Read`] through the trace
-//! crate's bounded [`autocheck_trace::RecordReader`].
+//! crate's [`autocheck_trace::TraceSource`] (text or binary, auto-detected).
 //!
 //! The analysis itself runs in `autocheck-stream`'s [`Engine`]: one pass,
 //! per-iteration state retired at iteration boundaries, peak memory
@@ -20,7 +20,7 @@ use crate::preprocess::{CollectMode, MliVar};
 use crate::region::Region;
 use crate::report::{Report, Timings};
 use autocheck_stream::{Engine, EngineConfig, LiveBoundExceeded};
-use autocheck_trace::{AnalysisCtx, Record, RecordReader, TraceReadError};
+use autocheck_trace::{AnalysisCtx, Record, TraceReadError, TraceSource};
 use std::fmt;
 use std::io;
 use std::time::Instant;
@@ -201,7 +201,8 @@ impl StreamAnalyzer {
     /// live-window statistics.
     pub fn run_read<R: io::Read>(&self, reader: R) -> Result<StreamRun, StreamError> {
         let mut session = self.session();
-        for item in RecordReader::with_ctx(reader, &self.ctx) {
+        let stream = TraceSource::from_reader(reader).ctx(&self.ctx).stream()?;
+        for item in stream {
             session.push(&item?)?;
         }
         Ok(session.finish())

@@ -16,12 +16,16 @@ use autocheck_core::{
     contract_ddg, find_mli_vars, index_variables_of, Analyzer, CollectMode, DdgAnalysis, NodeKind,
     Phases, Region, StreamAnalyzer,
 };
-use autocheck_trace::{parse_parallel, parse_str, writer, ParallelConfig, Record};
+use autocheck_trace::{writer, ParallelConfig, Record, TraceSource};
 use proptest::collection::vec;
 use proptest::prelude::*;
 
 mod gen;
 use gen::program;
+
+fn parse_str(text: &str) -> Result<Vec<Record>, autocheck_trace::reader::TraceReadError> {
+    TraceSource::from_str(text).records()
+}
 
 /// Trace text + region + index variables for a generated program.
 fn traced(stmt_idx: &[usize], m: u32) -> (String, Region, Vec<String>) {
@@ -70,7 +74,10 @@ proptest! {
     ) {
         let (text, region, index) = traced(&stmt_idx, m);
         let serial = parse_str(&text).unwrap();
-        let parallel = parse_parallel(&text, ParallelConfig { threads }).unwrap();
+        let parallel = TraceSource::from_str(&text)
+            .parallel(ParallelConfig { threads })
+            .records()
+            .unwrap();
         prop_assert_eq!(&serial, &parallel, "records must be equal");
         let a = visible_output(&serial, &region, &index);
         let b = visible_output(&parallel, &region, &index);

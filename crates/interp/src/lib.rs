@@ -33,4 +33,4 @@ pub use hooks::{ExecHook, HookAction, HookCtx, NoHook};
 pub use machine::{ExecOptions, ExecOutcome, Machine};
 pub use memory::{Memory, MemoryImage, SymbolInfo, SymbolScope};
 pub use rtvalue::RtValue;
-pub use sink::{CountSink, FnSink, NullSink, TraceSink, VecSink, WriterSink};
+pub use sink::{BinarySink, CountSink, FnSink, NullSink, TraceSink, VecSink, WriterSink};

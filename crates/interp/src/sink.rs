@@ -1,7 +1,7 @@
 //! Trace sinks: where emitted records go.
 
 use crate::error::ExecError;
-use autocheck_trace::{Record, TraceWriter};
+use autocheck_trace::{AnalysisCtx, BinaryWriter, Record, TraceWriter};
 use std::io::Write;
 
 /// Consumer of emitted trace records.
@@ -129,6 +129,57 @@ impl<W: Write> TraceSink for WriterSink<W> {
     }
 }
 
+/// Streams the **binary** trace format into any [`Write`] — the compact
+/// counterpart of [`WriterSink`]. Records and the symbol string table are
+/// buffered and emitted on [`finish`](Self::finish) (the header carries the
+/// record count and string table, so the format cannot be written
+/// incrementally).
+pub struct BinarySink<W: Write> {
+    writer: BinaryWriter<W>,
+}
+
+impl<W: Write> BinarySink<W> {
+    /// Wrap `out`, resolving symbols via the thread-current session.
+    pub fn new(out: W) -> Self {
+        BinarySink {
+            writer: BinaryWriter::new(out),
+        }
+    }
+
+    /// Wrap `out`, resolving symbols via `ctx`'s session.
+    pub fn with_ctx(out: W, ctx: &AnalysisCtx) -> Self {
+        BinarySink {
+            writer: BinaryWriter::with_ctx(out, ctx),
+        }
+    }
+
+    /// Records accepted so far (buffered; nothing is on the wire yet).
+    pub fn records_written(&self) -> u64 {
+        self.writer.records_written()
+    }
+
+    /// Bytes the finished trace will occupy (header + string table so far +
+    /// records).
+    pub fn bytes_written(&self) -> u64 {
+        self.writer.bytes_written()
+    }
+
+    /// Emit header, string table and records, then recover the inner writer.
+    pub fn finish(self) -> Result<W, ExecError> {
+        self.writer.finish().map_err(|e| ExecError::Sink {
+            message: e.to_string(),
+        })
+    }
+}
+
+impl<W: Write> TraceSink for BinarySink<W> {
+    fn record(&mut self, rec: Record) -> Result<(), ExecError> {
+        self.writer.write_record(&rec).map_err(|e| ExecError::Sink {
+            message: e.to_string(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,6 +242,38 @@ mod tests {
     }
 
     #[test]
+    fn binary_sink_produces_parsable_binary() {
+        let mut s = BinarySink::new(Vec::new());
+        s.record(rec(0)).unwrap();
+        s.record(rec(1)).unwrap();
+        assert_eq!(s.records_written(), 2);
+        let bytes = s.finish().unwrap();
+        assert!(autocheck_trace::binary::is_binary(&bytes));
+        let parsed = autocheck_trace::TraceSource::from_bytes(&bytes)
+            .records()
+            .unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[1].dyn_id, 1);
+    }
+
+    #[test]
+    fn binary_and_writer_sinks_agree_on_records() {
+        let mut text = WriterSink::new(Vec::new());
+        let mut bin = BinarySink::new(Vec::new());
+        for i in 0..4 {
+            text.record(rec(i)).unwrap();
+            bin.record(rec(i)).unwrap();
+        }
+        let from_text = autocheck_trace::TraceSource::from_bytes(&text.finish().unwrap())
+            .records()
+            .unwrap();
+        let from_bin = autocheck_trace::TraceSource::from_bytes(&bin.finish().unwrap())
+            .records()
+            .unwrap();
+        assert_eq!(from_text, from_bin);
+    }
+
+    #[test]
     fn writer_sink_produces_parsable_text() {
         let mut s = WriterSink::new(Vec::new());
         s.record(rec(0)).unwrap();
@@ -198,7 +281,9 @@ mod tests {
         assert_eq!(s.records_written(), 2);
         let bytes = s.finish().unwrap();
         let text = String::from_utf8(bytes).unwrap();
-        let parsed = autocheck_trace::parse_str(&text).unwrap();
+        let parsed = autocheck_trace::TraceSource::from_str(&text)
+            .records()
+            .unwrap();
         assert_eq!(parsed.len(), 2);
         assert_eq!(parsed[1].dyn_id, 1);
     }

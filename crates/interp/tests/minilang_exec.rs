@@ -192,7 +192,9 @@ fn trace_of_fig4_contains_paper_shapes() {
 
     // Trace round-trips through the textual format.
     let text = autocheck_trace::writer::to_string(recs);
-    let parsed = autocheck_trace::parse_str(&text).unwrap();
+    let parsed = autocheck_trace::TraceSource::from_str(&text)
+        .records()
+        .unwrap();
     assert_eq!(parsed.len(), recs.len());
 }
 

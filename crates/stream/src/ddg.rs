@@ -272,7 +272,11 @@ fn event(
 mod tests {
     use super::*;
     use crate::region::RegionTracker;
-    use autocheck_trace::parse_str;
+    fn parse_str(
+        text: &str,
+    ) -> Result<Vec<autocheck_trace::Record>, autocheck_trace::reader::TraceReadError> {
+        autocheck_trace::TraceSource::from_str(text).records()
+    }
 
     fn events_of(text: &str, selective: bool) -> (Vec<AccessEvent>, usize, usize) {
         let recs = parse_str(text).unwrap();

@@ -211,7 +211,11 @@ impl Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use autocheck_trace::parse_str;
+    fn parse_str(
+        text: &str,
+    ) -> Result<Vec<autocheck_trace::Record>, autocheck_trace::reader::TraceReadError> {
+        autocheck_trace::TraceSource::from_str(text).records()
+    }
 
     /// Two-iteration accumulator loop (sum read+written per iteration).
     const TWO_ITER: &str = "\

@@ -239,7 +239,11 @@ impl MliCollector {
 mod tests {
     use super::*;
     use crate::region::RegionTracker;
-    use autocheck_trace::parse_str;
+    fn parse_str(
+        text: &str,
+    ) -> Result<Vec<autocheck_trace::Record>, autocheck_trace::reader::TraceReadError> {
+        autocheck_trace::TraceSource::from_str(text).records()
+    }
 
     fn collect_over(text: &str, mode: Collect) -> Vec<MliEntry> {
         let recs = parse_str(text).unwrap();

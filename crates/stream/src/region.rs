@@ -192,7 +192,11 @@ impl RegionTracker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use autocheck_trace::parse_str;
+    fn parse_str(
+        text: &str,
+    ) -> Result<Vec<autocheck_trace::Record>, autocheck_trace::reader::TraceReadError> {
+        autocheck_trace::TraceSource::from_str(text).records()
+    }
 
     /// The same miniature trace the batch region tests use: main runs a
     /// 2-iteration loop at lines 5..=7 calling foo inside, then prints.

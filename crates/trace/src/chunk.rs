@@ -119,11 +119,13 @@ mod tests {
 
     #[test]
     fn chunked_parse_equals_whole_parse() {
-        let whole = crate::parser::parse_str(TRACE).unwrap();
+        let whole = crate::parser::parse_str_core(TRACE, &crate::AnalysisCtx::current()).unwrap();
         for n in 1..=6 {
             let mut merged = Vec::new();
             for part in split_blocks(TRACE, n) {
-                merged.extend(crate::parser::parse_str(part).unwrap());
+                merged.extend(
+                    crate::parser::parse_str_core(part, &crate::AnalysisCtx::current()).unwrap(),
+                );
             }
             assert_eq!(whole, merged, "n = {n}");
         }

@@ -33,6 +33,7 @@
 //!   `<is_reg>` is `1` when the operand names a register (then `<name>` is
 //!   the register/variable name) and `0` for immediates (empty name).
 
+pub mod binary;
 pub mod chunk;
 pub mod ctx;
 pub mod intern;
@@ -43,20 +44,26 @@ pub mod parallel;
 pub mod parser;
 pub mod reader;
 pub mod record;
+pub mod source;
 pub mod stats;
 pub mod writer;
 
+pub use binary::{BinaryError, BinaryReader, BinaryStreamReader, BinaryWriter};
 pub use chunk::{chunk_boundaries, split_blocks};
 pub use ctx::AnalysisCtx;
 pub use intern::{SpaceGuard, SymId, SymbolSpace};
 pub use name::Name;
 pub use namemap::{NameMap, NameSet};
 pub use nodeindex::NodeIndex;
+#[allow(deprecated)]
 pub use parallel::{
     parse_parallel, parse_parallel_in, parse_parallel_read, parse_parallel_read_in, ParallelConfig,
 };
+#[allow(deprecated)]
 pub use parser::{parse_str, parse_str_in, ParseError, TraceParser};
+#[allow(deprecated)]
 pub use reader::{parse_read, RecordReader, TraceReadError};
 pub use record::{OpTag, Operand, Record, TraceValue};
+pub use source::{TraceFormat, TraceSource, TraceStream};
 pub use stats::TraceStats;
 pub use writer::TraceWriter;

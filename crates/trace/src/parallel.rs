@@ -13,7 +13,7 @@
 
 use crate::chunk::chunk_boundaries;
 use crate::ctx::AnalysisCtx;
-use crate::parser::{parse_str_in, ParseError};
+use crate::parser::{parse_str_core, ParseError};
 use crate::reader::TraceReadError;
 use crate::record::Record;
 use std::io::Read;
@@ -44,13 +44,21 @@ impl Default for ParallelConfig {
 /// [`parse_parallel_read`] applies to each lookahead window.
 ///
 /// Record order in the result equals serial parse order.
+#[deprecated(
+    since = "0.6.0",
+    note = "use TraceSource::from_str(input).parallel(cfg).records()"
+)]
 pub fn parse_parallel(input: &str, cfg: ParallelConfig) -> Result<Vec<Record>, ParseError> {
-    parse_parallel_in(input, cfg, &AnalysisCtx::current())
+    parse_chunks(input, cfg.threads, &AnalysisCtx::current())
 }
 
 /// [`parse_parallel`], interning symbols into `ctx`'s space. Workers build
 /// their parsers from clones of `ctx`, so a session's parallel parse never
 /// touches any other session's symbol table.
+#[deprecated(
+    since = "0.6.0",
+    note = "use TraceSource::from_str(input).ctx(ctx).parallel(cfg).records()"
+)]
 pub fn parse_parallel_in(
     input: &str,
     cfg: ParallelConfig,
@@ -66,39 +74,74 @@ pub fn parse_parallel_in(
 /// text: bytes are pulled into a window, the window is cut at the last
 /// block-header boundary, and the complete-block prefix is parsed in
 /// parallel while the partial tail carries into the next window.
+#[deprecated(
+    since = "0.6.0",
+    note = "use TraceSource::from_reader(reader).parallel(cfg).records()"
+)]
 pub fn parse_parallel_read<R: Read>(
     reader: R,
     cfg: ParallelConfig,
 ) -> Result<Vec<Record>, TraceReadError> {
-    parse_parallel_read_with_window(reader, cfg, DEFAULT_WINDOW_BYTES)
+    parse_windowed_core(
+        reader,
+        cfg.threads,
+        DEFAULT_WINDOW_BYTES,
+        &AnalysisCtx::current(),
+    )
 }
 
 /// [`parse_parallel_read`], interning symbols into `ctx`'s space.
+#[deprecated(
+    since = "0.6.0",
+    note = "use TraceSource::from_reader(reader).ctx(ctx).parallel(cfg).records()"
+)]
 pub fn parse_parallel_read_in<R: Read>(
     reader: R,
     cfg: ParallelConfig,
     ctx: &AnalysisCtx,
 ) -> Result<Vec<Record>, TraceReadError> {
-    parse_parallel_read_with_window_in(reader, cfg, DEFAULT_WINDOW_BYTES, ctx)
+    parse_windowed_core(reader, cfg.threads, DEFAULT_WINDOW_BYTES, ctx)
 }
 
 /// [`parse_parallel_read`] with an explicit lookahead window size. The
 /// window grows past `window_bytes` only when a single trace block is
 /// larger than the window (blocks are a handful of lines, so in practice
 /// the bound holds).
+#[deprecated(
+    since = "0.6.0",
+    note = "use TraceSource::from_reader(reader).parallel(cfg).window(n).records()"
+)]
 pub fn parse_parallel_read_with_window<R: Read>(
     reader: R,
     cfg: ParallelConfig,
     window_bytes: usize,
 ) -> Result<Vec<Record>, TraceReadError> {
-    parse_parallel_read_with_window_in(reader, cfg, window_bytes, &AnalysisCtx::current())
+    parse_windowed_core(reader, cfg.threads, window_bytes, &AnalysisCtx::current())
 }
 
 /// [`parse_parallel_read_with_window`], interning symbols into `ctx`'s
 /// space.
+#[deprecated(
+    since = "0.6.0",
+    note = "use TraceSource::from_reader(reader).ctx(ctx).parallel(cfg).window(n).records()"
+)]
 pub fn parse_parallel_read_with_window_in<R: Read>(
-    mut reader: R,
+    reader: R,
     cfg: ParallelConfig,
+    window_bytes: usize,
+    ctx: &AnalysisCtx,
+) -> Result<Vec<Record>, TraceReadError> {
+    parse_windowed_core(reader, cfg.threads, window_bytes, ctx)
+}
+
+/// The bounded-lookahead windowed parallel text parse behind
+/// [`crate::TraceSource::records`] for reader inputs: bytes are pulled into
+/// a window, the window is cut at the last block-header boundary, and the
+/// complete-block prefix is parsed in parallel while the partial tail
+/// carries into the next window.
+pub(crate) fn parse_windowed_core<R: Read>(
+    mut reader: R,
+    threads: usize,
     window_bytes: usize,
     ctx: &AnalysisCtx,
 ) -> Result<Vec<Record>, TraceReadError> {
@@ -129,8 +172,8 @@ pub fn parse_parallel_read_with_window_in<R: Read>(
         if eof {
             if !buf.is_empty() {
                 let text = window_text(&buf).map_err(|e| offset_lines(e, lines_done))?;
-                let recs = parse_chunks(text, cfg.threads, ctx)
-                    .map_err(|e| offset_lines(e, lines_done))?;
+                let recs =
+                    parse_chunks(text, threads, ctx).map_err(|e| offset_lines(e, lines_done))?;
                 out.extend(recs);
             }
             return Ok(out);
@@ -141,8 +184,8 @@ pub fn parse_parallel_read_with_window_in<R: Read>(
         match last_block_header(&buf[from..]).map(|cut| cut + from) {
             Some(cut) if cut > 0 => {
                 let text = window_text(&buf[..cut]).map_err(|e| offset_lines(e, lines_done))?;
-                let recs = parse_chunks(text, cfg.threads, ctx)
-                    .map_err(|e| offset_lines(e, lines_done))?;
+                let recs =
+                    parse_chunks(text, threads, ctx).map_err(|e| offset_lines(e, lines_done))?;
                 out.extend(recs);
                 lines_done += buf[..cut].iter().filter(|&&b| b == b'\n').count() as u64;
                 buf.drain(..cut);
@@ -176,11 +219,16 @@ fn offset_lines(mut e: ParseError, lines_before: u64) -> TraceReadError {
     TraceReadError::Parse(e)
 }
 
-/// The shared block-aligned parallel parse over in-memory text.
-fn parse_chunks(input: &str, threads: usize, ctx: &AnalysisCtx) -> Result<Vec<Record>, ParseError> {
+/// The shared block-aligned parallel parse over in-memory text (the engine
+/// behind [`crate::TraceSource::records`] for textual inputs).
+pub(crate) fn parse_chunks(
+    input: &str,
+    threads: usize,
+    ctx: &AnalysisCtx,
+) -> Result<Vec<Record>, ParseError> {
     let threads = threads.max(1);
     if threads == 1 {
-        return parse_str_in(input, ctx);
+        return parse_str_core(input, ctx);
     }
     // Over-decompose: many more chunks than workers, pulled from a shared
     // queue. A static one-chunk-per-thread split would let one slow or
@@ -189,7 +237,7 @@ fn parse_chunks(input: &str, threads: usize, ctx: &AnalysisCtx) -> Result<Vec<Re
     // reader uses many sub-file-streams).
     let ranges = chunk_boundaries(input.as_bytes(), threads * 8);
     if ranges.len() == 1 {
-        return parse_str_in(input, ctx);
+        return parse_str_core(input, ctx);
     }
     let mut slots: Vec<Result<Vec<Record>, ParseError>> = Vec::with_capacity(ranges.len());
     for _ in 0..ranges.len() {
@@ -214,7 +262,7 @@ fn parse_chunks(input: &str, threads: usize, ctx: &AnalysisCtx) -> Result<Vec<Re
                 // SAFETY: `i` is unique to this worker (claimed from the
                 // atomic counter) and in-bounds; slots outlives the scope.
                 unsafe {
-                    *slot_ptr.0.add(i) = parse_str_in(part, ctx);
+                    *slot_ptr.0.add(i) = parse_str_core(part, ctx);
                 }
             });
         }
@@ -250,9 +298,39 @@ mod tests {
     use super::*;
     use crate::intern::SymId;
     use crate::name::Name;
-    use crate::parser::parse_str;
+    use crate::parser::parse_str_core;
     use crate::record::{opcodes, OpTag, Operand, TraceValue};
     use crate::writer;
+
+    // Test shorthands for the current-space entry points (shadowing the
+    // deprecated free functions of the same names).
+    fn parse_str(input: &str) -> Result<Vec<Record>, ParseError> {
+        parse_str_core(input, &AnalysisCtx::current())
+    }
+
+    fn parse_parallel(input: &str, cfg: ParallelConfig) -> Result<Vec<Record>, ParseError> {
+        parse_chunks(input, cfg.threads, &AnalysisCtx::current())
+    }
+
+    fn parse_parallel_read<R: Read>(
+        reader: R,
+        cfg: ParallelConfig,
+    ) -> Result<Vec<Record>, TraceReadError> {
+        parse_windowed_core(
+            reader,
+            cfg.threads,
+            DEFAULT_WINDOW_BYTES,
+            &AnalysisCtx::current(),
+        )
+    }
+
+    fn parse_parallel_read_with_window<R: Read>(
+        reader: R,
+        cfg: ParallelConfig,
+        window_bytes: usize,
+    ) -> Result<Vec<Record>, TraceReadError> {
+        parse_windowed_core(reader, cfg.threads, window_bytes, &AnalysisCtx::current())
+    }
 
     fn synth_trace(blocks: usize) -> String {
         let mut recs = Vec::with_capacity(blocks);

@@ -290,13 +290,24 @@ impl<'a> Iterator for FieldIter<'a> {
 }
 
 /// Parse a complete trace held in a string (default/global symbol space).
+#[deprecated(since = "0.6.0", note = "use TraceSource::from_str(input).records()")]
 pub fn parse_str(input: &str) -> Result<Vec<Record>, ParseError> {
-    parse_str_in(input, &AnalysisCtx::current())
+    parse_str_core(input, &AnalysisCtx::current())
 }
 
 /// Parse a complete trace held in a string, interning symbols into `ctx`'s
 /// space.
+#[deprecated(
+    since = "0.6.0",
+    note = "use TraceSource::from_str(input).ctx(ctx).records()"
+)]
 pub fn parse_str_in(input: &str, ctx: &AnalysisCtx) -> Result<Vec<Record>, ParseError> {
+    parse_str_core(input, ctx)
+}
+
+/// The serial in-memory text parse behind [`crate::TraceSource`] and the
+/// parallel chunk workers.
+pub(crate) fn parse_str_core(input: &str, ctx: &AnalysisCtx) -> Result<Vec<Record>, ParseError> {
     let mut p = TraceParser::with_ctx(ctx.clone());
     let mut out = Vec::new();
     for line in input.lines() {
@@ -315,6 +326,12 @@ mod tests {
     use super::*;
     use crate::record::opcodes;
     use crate::writer;
+
+    /// Test shorthand for the current-space serial parse (shadows the
+    /// deprecated free function of the same name).
+    fn parse_str(input: &str) -> Result<Vec<Record>, ParseError> {
+        parse_str_core(input, &AnalysisCtx::current())
+    }
 
     const FIG1: &str = "0,3,foo,6:1,11,27,215,\n1,64,0x7ffcf3f25a70,1,p,\nr,32,1,1,8,\n0,3,foo,6:1,12,12,216,\n1,32,2,1,8,\n2,32,2,0,,\nr,32,4,1,9,\n";
 

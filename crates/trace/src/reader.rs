@@ -18,14 +18,16 @@ use std::io::{self, Read};
 /// Default read-chunk size (bytes).
 pub const DEFAULT_CHUNK_BYTES: usize = 64 * 1024;
 
-/// A failure while streaming records from a reader: either the underlying
-/// I/O failed or the trace text did not parse.
+/// A failure while streaming records from a reader: the underlying I/O
+/// failed, the trace text did not parse, or a binary trace was malformed.
 #[derive(Debug)]
 pub enum TraceReadError {
     /// The underlying reader failed.
     Io(io::Error),
     /// The trace text is malformed.
     Parse(ParseError),
+    /// The binary trace is malformed.
+    Binary(crate::binary::BinaryError),
 }
 
 impl fmt::Display for TraceReadError {
@@ -33,6 +35,7 @@ impl fmt::Display for TraceReadError {
         match self {
             TraceReadError::Io(e) => write!(f, "trace read error: {e}"),
             TraceReadError::Parse(e) => write!(f, "{e}"),
+            TraceReadError::Binary(e) => write!(f, "{e}"),
         }
     }
 }
@@ -42,6 +45,7 @@ impl std::error::Error for TraceReadError {
         match self {
             TraceReadError::Io(e) => Some(e),
             TraceReadError::Parse(e) => Some(e),
+            TraceReadError::Binary(e) => Some(e),
         }
     }
 }
@@ -55,6 +59,12 @@ impl From<io::Error> for TraceReadError {
 impl From<ParseError> for TraceReadError {
     fn from(e: ParseError) -> Self {
         TraceReadError::Parse(e)
+    }
+}
+
+impl From<crate::binary::BinaryError> for TraceReadError {
+    fn from(e: crate::binary::BinaryError) -> Self {
+        TraceReadError::Binary(e)
     }
 }
 
@@ -189,8 +199,11 @@ impl<R: Read> Iterator for RecordReader<R> {
     }
 }
 
-/// Read and parse a complete trace from `reader` (serial; for the parallel
-/// variant see [`crate::parallel::parse_parallel_read`]).
+/// Read and parse a complete trace from `reader` (serial).
+#[deprecated(
+    since = "0.6.0",
+    note = "use TraceSource::from_reader(reader).records()"
+)]
 pub fn parse_read<R: Read>(reader: R) -> Result<Vec<Record>, TraceReadError> {
     RecordReader::new(reader).collect()
 }
@@ -198,9 +211,19 @@ pub fn parse_read<R: Read>(reader: R) -> Result<Vec<Record>, TraceReadError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::parser::parse_str;
+    use crate::parser::parse_str_core;
     use crate::record::{opcodes, OpTag, Operand, TraceValue};
-    use crate::{writer, Name, SymId};
+    use crate::{writer, AnalysisCtx, Name, SymId};
+
+    // Test shorthands for the current-space entry points (shadowing the
+    // deprecated free functions of the same names).
+    fn parse_str(input: &str) -> Result<Vec<Record>, ParseError> {
+        parse_str_core(input, &AnalysisCtx::current())
+    }
+
+    fn parse_read<R: Read>(reader: R) -> Result<Vec<Record>, TraceReadError> {
+        RecordReader::new(reader).collect()
+    }
 
     fn synth_trace(blocks: usize) -> String {
         let mut recs = Vec::with_capacity(blocks);

@@ -1,0 +1,549 @@
+//! [`TraceSource`]: the one front door for trace ingest.
+//!
+//! Ingest used to be an eight-function zoo (`parse_str[_in]`,
+//! `parse_parallel[_in]`, `parse_parallel_read[_with_window][_in]`, plus
+//! `parse_read`) — one function per (input kind × parallelism × ctx)
+//! combination, and the binary format would have doubled it again. The
+//! builder collapses every combination into one entry point:
+//!
+//! ```
+//! use autocheck_trace::{AnalysisCtx, ParallelConfig, TraceSource};
+//!
+//! let ctx = AnalysisCtx::session();
+//! let records = TraceSource::from_str("0,3,foo,6:1,11,27,215,\n")
+//!     .ctx(&ctx)
+//!     .parallel(ParallelConfig { threads: 4 })
+//!     .records()
+//!     .unwrap();
+//! assert_eq!(records.len(), 1);
+//! ```
+//!
+//! * **Input**: [`from_str`](TraceSource::from_str) /
+//!   [`from_bytes`](TraceSource::from_bytes) /
+//!   [`from_path`](TraceSource::from_path) /
+//!   [`from_reader`](TraceSource::from_reader).
+//! * **Format**: text and binary traces both enter here.
+//!   [`TraceFormat::Auto`] (the default) detects binary by its magic bytes —
+//!   the magic's first byte is never valid UTF-8, so no text trace can
+//!   shadow it (and a `&str` source is provably text).
+//! * **Output**: [`records`](TraceSource::records) materializes the whole
+//!   trace (optionally in parallel), [`stream`](TraceSource::stream) pulls
+//!   records one at a time with bounded memory.
+//!
+//! Symbols intern into the ctx given via [`ctx`](TraceSource::ctx), or the
+//! thread's current space when none is given — the same contract every
+//! replaced function had.
+
+use crate::binary::{self, BinaryReader, BinaryStreamReader};
+use crate::ctx::AnalysisCtx;
+use crate::parallel::{parse_chunks, parse_windowed_core, ParallelConfig, DEFAULT_WINDOW_BYTES};
+use crate::reader::{utf8_text, RecordReader, TraceReadError};
+use crate::record::Record;
+use std::io::Read;
+use std::path::PathBuf;
+
+/// Which on-disk trace format to expect.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// Detect by magic bytes (the default): a trace starting with the
+    /// binary magic is binary, anything else is text.
+    #[default]
+    Auto,
+    /// Force the textual format.
+    Text,
+    /// Force the binary format.
+    Binary,
+}
+
+enum Input<'a> {
+    Str(&'a str),
+    Bytes(&'a [u8]),
+    Path(PathBuf),
+    Reader(Box<dyn Read + 'a>),
+}
+
+/// Builder-style trace ingest over any input, either format, serial or
+/// parallel. See the [module docs](self).
+pub struct TraceSource<'a> {
+    input: Input<'a>,
+    ctx: AnalysisCtx,
+    parallel: Option<ParallelConfig>,
+    window: usize,
+    format: TraceFormat,
+}
+
+impl<'a> TraceSource<'a> {
+    fn new(input: Input<'a>) -> TraceSource<'a> {
+        TraceSource {
+            input,
+            ctx: AnalysisCtx::current(),
+            parallel: None,
+            window: DEFAULT_WINDOW_BYTES,
+            format: TraceFormat::Auto,
+        }
+    }
+
+    /// Ingest from in-memory text. (A `&str` can never be a binary trace —
+    /// the magic is invalid UTF-8 — so this is always the textual format.)
+    // The inherent name mirrors `from_bytes`/`from_path`/`from_reader`; a
+    // `FromStr` impl could not carry the input's lifetime.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_str(s: &'a str) -> TraceSource<'a> {
+        TraceSource::new(Input::Str(s))
+    }
+
+    /// Ingest from in-memory bytes (either format; binary decodes
+    /// zero-copy straight out of the buffer).
+    pub fn from_bytes(bytes: &'a [u8]) -> TraceSource<'a> {
+        TraceSource::new(Input::Bytes(bytes))
+    }
+
+    /// Ingest from a file (either format, detected from the first bytes).
+    pub fn from_path(path: impl Into<PathBuf>) -> TraceSource<'a> {
+        TraceSource::new(Input::Path(path.into()))
+    }
+
+    /// Ingest from any [`Read`] (either format, detected by peeking the
+    /// first bytes).
+    pub fn from_reader(reader: impl Read + 'a) -> TraceSource<'a> {
+        TraceSource::new(Input::Reader(Box::new(reader)))
+    }
+
+    /// Intern symbols into `ctx`'s space (default: the thread's current
+    /// space, snapshotted when the source was constructed).
+    pub fn ctx(mut self, ctx: &AnalysisCtx) -> TraceSource<'a> {
+        self.ctx = ctx.clone();
+        self
+    }
+
+    /// Parse with `cfg.threads` workers in [`records`](Self::records)
+    /// (default: serial). Streaming is unaffected.
+    pub fn parallel(mut self, cfg: ParallelConfig) -> TraceSource<'a> {
+        self.parallel = Some(cfg);
+        self
+    }
+
+    /// Bounded-lookahead window in bytes for parallel text parsing from a
+    /// reader (default: [`DEFAULT_WINDOW_BYTES`]).
+    pub fn window(mut self, bytes: usize) -> TraceSource<'a> {
+        self.window = bytes;
+        self
+    }
+
+    /// Expect a specific format instead of auto-detecting (default:
+    /// [`TraceFormat::Auto`]).
+    pub fn format(mut self, format: TraceFormat) -> TraceSource<'a> {
+        self.format = format;
+        self
+    }
+
+    /// Parse the whole trace into a `Vec<Record>`.
+    ///
+    /// In-memory and file inputs parse with the configured parallelism in
+    /// both formats (block-aligned chunks for text, record-aligned chunks
+    /// for binary). Reader inputs parse text through the bounded-lookahead
+    /// windowed parser and binary through the streaming decoder.
+    pub fn records(self) -> Result<Vec<Record>, TraceReadError> {
+        let threads = self.parallel.map(|c| c.threads.max(1)).unwrap_or(1);
+        match self.input {
+            Input::Str(s) => records_from_bytes(s.as_bytes(), self.format, threads, &self.ctx),
+            Input::Bytes(b) => records_from_bytes(b, self.format, threads, &self.ctx),
+            Input::Path(p) => {
+                let bytes = std::fs::read(&p)?;
+                records_from_bytes(&bytes, self.format, threads, &self.ctx)
+            }
+            Input::Reader(r) => {
+                let (format, reader) = peek_format(r, self.format)?;
+                match format {
+                    TraceFormat::Binary => BinaryStreamReader::open(reader, &self.ctx)?.collect(),
+                    _ => parse_windowed_core(reader, threads, self.window, &self.ctx),
+                }
+            }
+        }
+    }
+
+    /// Pull records one at a time with bounded memory (text: chunked line
+    /// reader; binary: string table plus one record).
+    pub fn stream(self) -> Result<TraceStream<'a>, TraceReadError> {
+        let ctx = self.ctx;
+        let (format, reader): (TraceFormat, Box<dyn Read + 'a>) = match self.input {
+            Input::Str(s) => (
+                resolve_format(s.as_bytes(), self.format),
+                Box::new(s.as_bytes()),
+            ),
+            Input::Bytes(b) => (resolve_format(b, self.format), Box::new(b)),
+            Input::Path(p) => {
+                let file = std::io::BufReader::new(std::fs::File::open(&p)?);
+                peek_format(Box::new(file), self.format)?
+            }
+            Input::Reader(r) => peek_format(r, self.format)?,
+        };
+        let inner = match format {
+            TraceFormat::Binary => StreamInner::Binary(BinaryStreamReader::open(reader, &ctx)?),
+            _ => StreamInner::Text(RecordReader::with_ctx(reader, &ctx)),
+        };
+        Ok(TraceStream { inner })
+    }
+}
+
+/// The pull iterator behind [`TraceSource::stream`]. Yields records until
+/// the first error, then fuses.
+pub struct TraceStream<'a> {
+    inner: StreamInner<'a>,
+}
+
+enum StreamInner<'a> {
+    Text(RecordReader<Box<dyn Read + 'a>>),
+    Binary(BinaryStreamReader<Box<dyn Read + 'a>>),
+}
+
+impl TraceStream<'_> {
+    /// True when the underlying trace is binary.
+    pub fn is_binary(&self) -> bool {
+        matches!(self.inner, StreamInner::Binary(_))
+    }
+}
+
+impl Iterator for TraceStream<'_> {
+    type Item = Result<Record, TraceReadError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match &mut self.inner {
+            StreamInner::Text(r) => r.next(),
+            StreamInner::Binary(r) => r.next(),
+        }
+    }
+}
+
+/// Resolve [`TraceFormat::Auto`] against the input's first bytes.
+fn resolve_format(head: &[u8], format: TraceFormat) -> TraceFormat {
+    match format {
+        TraceFormat::Auto => {
+            if binary::is_binary(head) {
+                TraceFormat::Binary
+            } else {
+                TraceFormat::Text
+            }
+        }
+        other => other,
+    }
+}
+
+/// Peek up to four bytes off `r` to resolve the format, returning a reader
+/// that replays the peeked bytes first.
+fn peek_format<'a>(
+    mut r: Box<dyn Read + 'a>,
+    format: TraceFormat,
+) -> Result<(TraceFormat, Box<dyn Read + 'a>), TraceReadError> {
+    let mut head = [0u8; 4];
+    let mut got = 0;
+    while got < head.len() {
+        match r.read(&mut head[got..]) {
+            Ok(0) => break,
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(TraceReadError::Io(e)),
+        }
+    }
+    let format = resolve_format(&head[..got], format);
+    let replay = std::io::Cursor::new(head).take(got as u64);
+    Ok((format, Box::new(replay.chain(r))))
+}
+
+fn records_from_bytes(
+    bytes: &[u8],
+    format: TraceFormat,
+    threads: usize,
+    ctx: &AnalysisCtx,
+) -> Result<Vec<Record>, TraceReadError> {
+    match resolve_format(bytes, format) {
+        TraceFormat::Binary => BinaryReader::open(bytes, ctx)?.read_all_parallel(threads),
+        _ => {
+            let text = utf8_text(bytes)?;
+            parse_chunks(text, threads, ctx).map_err(TraceReadError::Parse)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binary::to_bytes;
+    use crate::name::Name;
+    use crate::record::{opcodes, OpTag, Operand, TraceValue};
+    use crate::writer;
+
+    fn synth(ctx: &AnalysisCtx, blocks: usize) -> Vec<Record> {
+        (0..blocks)
+            .map(|i| Record {
+                src_line: (i % 90 + 1) as i32,
+                func: ctx.intern(if i % 3 == 0 { "main" } else { "foo" }),
+                bb: (1, 1),
+                bb_label: ctx.intern("0"),
+                opcode: if i % 2 == 0 {
+                    opcodes::LOAD
+                } else {
+                    opcodes::MUL
+                },
+                dyn_id: i as u64,
+                operands: vec![Operand::reg(
+                    OpTag::Pos(1),
+                    64,
+                    TraceValue::Ptr(0x1000 + i as u64 * 8),
+                    Name::Sym(ctx.intern("p")),
+                )],
+                result: Some(Operand::reg(
+                    OpTag::Result,
+                    64,
+                    TraceValue::I(i as i64),
+                    Name::Temp(i as u32),
+                )),
+            })
+            .collect()
+    }
+
+    fn text_of(ctx: &AnalysisCtx, recs: &[Record]) -> String {
+        let _g = ctx.enter();
+        writer::to_string(recs)
+    }
+
+    #[test]
+    fn every_input_kind_parses_text() {
+        let ctx = AnalysisCtx::session();
+        let recs = synth(&ctx, 100);
+        let text = text_of(&ctx, &recs);
+
+        let from_str = TraceSource::from_str(&text).ctx(&ctx).records().unwrap();
+        let from_bytes = TraceSource::from_bytes(text.as_bytes())
+            .ctx(&ctx)
+            .records()
+            .unwrap();
+        let from_reader = TraceSource::from_reader(text.as_bytes())
+            .ctx(&ctx)
+            .records()
+            .unwrap();
+        assert_eq!(recs, from_str);
+        assert_eq!(recs, from_bytes);
+        assert_eq!(recs, from_reader);
+    }
+
+    #[test]
+    fn every_input_kind_parses_binary() {
+        let ctx = AnalysisCtx::session();
+        let recs = synth(&ctx, 100);
+        let bytes = to_bytes(&recs, &ctx);
+
+        let from_bytes = TraceSource::from_bytes(&bytes).ctx(&ctx).records().unwrap();
+        let from_reader = TraceSource::from_reader(&bytes[..])
+            .ctx(&ctx)
+            .records()
+            .unwrap();
+        assert_eq!(recs, from_bytes);
+        assert_eq!(recs, from_reader);
+    }
+
+    #[test]
+    fn paths_parse_both_formats() {
+        let ctx = AnalysisCtx::session();
+        let recs = synth(&ctx, 50);
+        let dir = std::env::temp_dir().join(format!("autocheck-source-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let text_path = dir.join("t.txt");
+        let bin_path = dir.join("t.bin");
+        std::fs::write(&text_path, text_of(&ctx, &recs)).unwrap();
+        std::fs::write(&bin_path, to_bytes(&recs, &ctx)).unwrap();
+
+        for p in [&text_path, &bin_path] {
+            let batch = TraceSource::from_path(p).ctx(&ctx).records().unwrap();
+            assert_eq!(recs, batch, "batch {}", p.display());
+            let streamed: Vec<Record> = TraceSource::from_path(p)
+                .ctx(&ctx)
+                .stream()
+                .unwrap()
+                .collect::<Result<_, _>>()
+                .unwrap();
+            assert_eq!(recs, streamed, "stream {}", p.display());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parallel_matches_serial_in_both_formats() {
+        let ctx = AnalysisCtx::session();
+        let recs = synth(&ctx, 400);
+        let text = text_of(&ctx, &recs);
+        let bytes = to_bytes(&recs, &ctx);
+        for threads in [2, 4, 7] {
+            let cfg = ParallelConfig { threads };
+            let t = TraceSource::from_str(&text)
+                .ctx(&ctx)
+                .parallel(cfg)
+                .records()
+                .unwrap();
+            let b = TraceSource::from_bytes(&bytes)
+                .ctx(&ctx)
+                .parallel(cfg)
+                .records()
+                .unwrap();
+            assert_eq!(recs, t, "text, threads = {threads}");
+            assert_eq!(recs, b, "binary, threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn streams_detect_format_and_match_batch() {
+        let ctx = AnalysisCtx::session();
+        let recs = synth(&ctx, 120);
+        let text = text_of(&ctx, &recs);
+        let bytes = to_bytes(&recs, &ctx);
+
+        let ts = TraceSource::from_reader(text.as_bytes())
+            .ctx(&ctx)
+            .stream()
+            .unwrap();
+        assert!(!ts.is_binary());
+        let streamed: Vec<Record> = ts.collect::<Result<_, _>>().unwrap();
+        assert_eq!(recs, streamed);
+
+        let bs = TraceSource::from_reader(&bytes[..])
+            .ctx(&ctx)
+            .stream()
+            .unwrap();
+        assert!(bs.is_binary());
+        let streamed: Vec<Record> = bs.collect::<Result<_, _>>().unwrap();
+        assert_eq!(recs, streamed);
+    }
+
+    #[test]
+    fn forced_format_overrides_detection() {
+        let ctx = AnalysisCtx::session();
+        let recs = synth(&ctx, 5);
+        let bytes = to_bytes(&recs, &ctx);
+        // Forcing text on a binary trace fails the UTF-8 gate (the magic is
+        // deliberately invalid UTF-8).
+        let err = TraceSource::from_bytes(&bytes)
+            .ctx(&ctx)
+            .format(TraceFormat::Text)
+            .records()
+            .unwrap_err();
+        assert!(err.to_string().contains("UTF-8"));
+        // Forcing binary on a text trace fails the magic check.
+        let text = text_of(&ctx, &recs);
+        let err = TraceSource::from_str(&text)
+            .ctx(&ctx)
+            .format(TraceFormat::Binary)
+            .records()
+            .unwrap_err();
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn empty_inputs_are_empty_traces() {
+        let ctx = AnalysisCtx::session();
+        assert!(TraceSource::from_str("")
+            .ctx(&ctx)
+            .records()
+            .unwrap()
+            .is_empty());
+        let streamed: Vec<Record> = TraceSource::from_reader(&b""[..])
+            .ctx(&ctx)
+            .stream()
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert!(streamed.is_empty());
+    }
+
+    #[test]
+    fn tiny_reader_inputs_survive_the_format_peek() {
+        // Shorter than the 4-byte magic: must still parse as text.
+        let ctx = AnalysisCtx::session();
+        let streamed: Vec<Record> = TraceSource::from_reader(&b"\n"[..])
+            .ctx(&ctx)
+            .stream()
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert!(streamed.is_empty());
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = TraceSource::from_path("/nonexistent/trace.bin")
+            .records()
+            .unwrap_err();
+        assert!(matches!(err, TraceReadError::Io(_)));
+    }
+
+    #[test]
+    fn window_and_threads_compose_on_readers() {
+        let ctx = AnalysisCtx::session();
+        let recs = synth(&ctx, 300);
+        let text = text_of(&ctx, &recs);
+        let parsed = TraceSource::from_reader(text.as_bytes())
+            .ctx(&ctx)
+            .parallel(ParallelConfig { threads: 4 })
+            .window(256)
+            .records()
+            .unwrap();
+        assert_eq!(recs, parsed);
+    }
+
+    /// The deprecated free functions must keep working verbatim until
+    /// removal — they are thin wrappers over the same cores.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_delegate_to_the_same_cores() {
+        let ctx = AnalysisCtx::session();
+        let recs = synth(&ctx, 30);
+        let text = text_of(&ctx, &recs);
+        let cfg = ParallelConfig { threads: 2 };
+        assert_eq!(crate::parser::parse_str_in(&text, &ctx).unwrap(), recs);
+        assert_eq!(
+            crate::parallel::parse_parallel_in(&text, cfg, &ctx).unwrap(),
+            recs
+        );
+        assert_eq!(
+            crate::parallel::parse_parallel_read_in(text.as_bytes(), cfg, &ctx).unwrap(),
+            recs
+        );
+        assert_eq!(
+            crate::parallel::parse_parallel_read_with_window_in(text.as_bytes(), cfg, 128, &ctx)
+                .unwrap(),
+            recs
+        );
+        let _g = ctx.enter();
+        assert_eq!(crate::parser::parse_str(&text).unwrap(), recs);
+        assert_eq!(crate::parallel::parse_parallel(&text, cfg).unwrap(), recs);
+        assert_eq!(
+            crate::parallel::parse_parallel_read(text.as_bytes(), cfg).unwrap(),
+            recs
+        );
+        assert_eq!(
+            crate::parallel::parse_parallel_read_with_window(text.as_bytes(), cfg, 128).unwrap(),
+            recs
+        );
+        assert_eq!(crate::reader::parse_read(text.as_bytes()).unwrap(), recs);
+    }
+
+    #[test]
+    fn parse_error_lines_stay_absolute() {
+        let ctx = AnalysisCtx::session();
+        let recs = synth(&ctx, 50);
+        let mut text = text_of(&ctx, &recs);
+        let bad_line = text.lines().count() as u64 + 1;
+        text.push_str("0,zz,broken,1:1,0,27,9,\n");
+        for source in [
+            TraceSource::from_str(&text).ctx(&ctx),
+            TraceSource::from_reader(text.as_bytes())
+                .ctx(&ctx)
+                .window(128),
+        ] {
+            let err = source.records().unwrap_err();
+            let TraceReadError::Parse(e) = err else {
+                panic!("expected a parse error");
+            };
+            assert_eq!(e.line, bad_line);
+        }
+    }
+}

@@ -57,7 +57,11 @@ pub fn human_bytes(bytes: u64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::parser::parse_str;
+    use crate::parser::parse_str_core;
+
+    fn parse_str(input: &str) -> Result<Vec<crate::Record>, crate::ParseError> {
+        parse_str_core(input, &crate::AnalysisCtx::current())
+    }
 
     #[test]
     fn counts_opcodes_and_functions() {

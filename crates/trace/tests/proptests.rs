@@ -1,12 +1,25 @@
-//! Property tests for the trace format: serialization round-trips, chunking
-//! never splits blocks, and parallel parsing equals serial parsing for
-//! arbitrary traces.
+//! Property tests for the trace format: serialization round-trips (text and
+//! binary), chunking never splits blocks, and parallel parsing equals serial
+//! parsing for arbitrary traces.
 
 use autocheck_trace::{
-    chunk_boundaries, parse_parallel, parse_str, split_blocks, writer, Name, OpTag, Operand,
+    binary, chunk_boundaries, split_blocks, writer, AnalysisCtx, Name, OpTag, Operand,
     ParallelConfig, Record, SymId, TraceValue,
 };
+use autocheck_trace::{ParseError, TraceSource};
 use proptest::prelude::*;
+
+/// Serial parse through the front door (current/global space, like the
+/// `SymId::intern` calls in the generators).
+fn parse_str(text: &str) -> Result<Vec<Record>, ParseError> {
+    TraceSource::from_str(text).records().map_err(|e| match e {
+        autocheck_trace::reader::TraceReadError::Parse(p) => p,
+        other => ParseError {
+            line: 0,
+            message: other.to_string(),
+        },
+    })
+}
 
 fn arb_name() -> impl Strategy<Value = Name> {
     prop_oneof![
@@ -119,7 +132,10 @@ proptest! {
     ) {
         let text = writer::to_string(&records);
         let serial = parse_str(&text).unwrap();
-        let parallel = parse_parallel(&text, ParallelConfig { threads }).unwrap();
+        let parallel = TraceSource::from_str(&text)
+            .parallel(ParallelConfig { threads })
+            .records()
+            .unwrap();
         prop_assert_eq!(serial, parallel);
     }
 
@@ -128,5 +144,71 @@ proptest! {
         let once = writer::to_string(&records);
         let twice = writer::to_string(&parse_str(&once).unwrap());
         prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn binary_round_trips_records(records in proptest::collection::vec(arb_record(), 0..40)) {
+        let ctx = AnalysisCtx::current();
+        let bytes = binary::to_bytes(&records, &ctx);
+        let decoded = TraceSource::from_bytes(&bytes).ctx(&ctx).records().unwrap();
+        prop_assert_eq!(&decoded, &records);
+        let streamed: Vec<Record> = TraceSource::from_reader(&bytes[..])
+            .ctx(&ctx)
+            .stream()
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        prop_assert_eq!(streamed, records);
+    }
+
+    #[test]
+    fn text_to_binary_to_text_is_byte_identical(
+        records in proptest::collection::vec(arb_record(), 0..40),
+        threads in 1usize..5,
+    ) {
+        // The conversion contract behind `mlc convert`: render to canonical
+        // text, convert to binary, decode, render again — byte-identical.
+        let ctx = AnalysisCtx::current();
+        let text = writer::to_string(&records);
+        let parsed = parse_str(&text).unwrap();
+        let bytes = binary::to_bytes(&parsed, &ctx);
+        let back = TraceSource::from_bytes(&bytes)
+            .ctx(&ctx)
+            .parallel(ParallelConfig { threads })
+            .records()
+            .unwrap();
+        prop_assert_eq!(writer::to_string(&back), text);
+    }
+
+    #[test]
+    fn truncated_binary_always_errors_never_panics(
+        records in proptest::collection::vec(arb_record(), 1..20),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let ctx = AnalysisCtx::current();
+        let bytes = binary::to_bytes(&records, &ctx);
+        let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+        let r = TraceSource::from_bytes(&bytes[..cut]).ctx(&ctx).records();
+        prop_assert!(r.is_err(), "cut at {} of {} must error", cut, bytes.len());
+    }
+
+    #[test]
+    fn corrupted_binary_never_panics(
+        records in proptest::collection::vec(arb_record(), 1..10),
+        flip_at_frac in 0.0f64..1.0,
+        flip_bits in 1u8..=255,
+    ) {
+        // Flip a byte anywhere (header, string table, records): ingest must
+        // either error or produce records — never panic, in either reader.
+        let ctx = AnalysisCtx::session().untrusted();
+        let base = AnalysisCtx::current();
+        let mut bytes = binary::to_bytes(&records, &base);
+        let at = ((bytes.len() - 1) as f64 * flip_at_frac) as usize;
+        bytes[at] ^= flip_bits;
+        let _ = TraceSource::from_bytes(&bytes).ctx(&ctx).records();
+        let _ = TraceSource::from_reader(&bytes[..])
+            .ctx(&ctx)
+            .stream()
+            .map(|s| s.collect::<Result<Vec<_>, _>>());
     }
 }

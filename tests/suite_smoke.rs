@@ -31,7 +31,12 @@ fn doc_quickstart_runs_through_reexports() {
 fn all_seven_layers_are_reexported() {
     assert!(autocheck_suite::apps::all_apps().len() >= 14);
     assert_eq!(autocheck_suite::checkpoint::crc::crc64(b""), 0);
-    assert_eq!(autocheck_suite::trace::parse_str("").unwrap(), vec![]);
+    assert_eq!(
+        autocheck_suite::trace::TraceSource::from_str("")
+            .records()
+            .unwrap(),
+        vec![]
+    );
     assert!(autocheck_suite::ir::verify_module(
         &minilang::compile("int main() { return 0; }").unwrap()
     )
