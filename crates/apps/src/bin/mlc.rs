@@ -27,11 +27,13 @@
 //! symbol space, via `AnalysisCtx::session`), and the peak-live window and
 //! timings are reported per session — not just for the last analysis.
 
-use autocheck_core::{index_variables_of, Region, StreamAnalyzer, StreamConfig};
+use autocheck_core::{capture_ledger, index_variables_of, Region, StreamAnalyzer, StreamConfig};
 use autocheck_interp::{
     BinarySink, ExecError, ExecOptions, FnSink, Machine, NoHook, NullSink, TraceSink, WriterSink,
 };
 use autocheck_ir::{Cfg, DomTree, LoopForest};
+use autocheck_obs::ledger::{BatchLedger, Ledger};
+use autocheck_obs::{Metrics, TimerId};
 use autocheck_trace::{AnalysisCtx, Record, TraceSource};
 use std::io::Write;
 use std::process::ExitCode;
@@ -41,7 +43,8 @@ fn usage() -> ! {
         "usage: mlc <run|trace|convert|ir|loops|app> <file.mc | app-name> [-o out] [--function f]\n\
          \x20      mlc trace <file.mc> [-o out] [--format text|binary]\n\
          \x20      mlc trace <file.mc>... --stream [--function f] [--start n --end n]\n\
-         \x20                [--max-live-records N]   (per-session stats per input file)\n\
+         \x20                [--max-live-records N] [--metrics <file|->]\n\
+         \x20                (per-session stats per input file)\n\
          \x20      mlc convert <in> <out> [--to text|binary]   (trace format conversion)"
     );
     std::process::exit(2)
@@ -56,6 +59,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--start",
     "--end",
     "--max-live-records",
+    "--metrics",
     "--format",
     "--to",
     "-o",
@@ -181,6 +185,9 @@ fn main() -> ExitCode {
                 },
                 None => None,
             };
+            let metrics_path = opt("--metrics");
+            let mut ledgers: Vec<Ledger> = Vec::new();
+            let t_all = std::time::Instant::now();
             let batch = targets.len() > 1;
             if batch && opt("--start").is_some() {
                 eprintln!(
@@ -247,7 +254,10 @@ fn main() -> ExitCode {
                 };
                 // One session per input file: fresh symbol space, entered
                 // for the whole trace+analyze+render span.
-                let ctx = AnalysisCtx::session();
+                let mut ctx = AnalysisCtx::session();
+                if metrics_path.is_some() {
+                    ctx = ctx.with_metrics(Metrics::enabled());
+                }
                 let _guard = ctx.enter();
                 let index = index_variables_of(&module, &region);
                 let analyzer = StreamAnalyzer::new(region)
@@ -287,8 +297,40 @@ fn main() -> ExitCode {
                     run.report.timings.total(),
                     t0.elapsed()
                 );
+                if metrics_path.is_some() {
+                    ctx.metrics()
+                        .record_duration(TimerId::SessionWall, t0.elapsed());
+                    let name = std::path::Path::new(target.as_str())
+                        .file_stem()
+                        .and_then(|s| s.to_str())
+                        .unwrap_or(target);
+                    ledgers.push(capture_ledger(name, &ctx));
+                }
                 if batch {
                     println!();
+                }
+            }
+            // One input file → its session ledger; several → the aggregated
+            // batch form (one session ledger per file).
+            if let Some(path) = metrics_path {
+                let (table, json) = if ledgers.len() == 1 {
+                    (ledgers[0].render_table(), ledgers[0].to_json())
+                } else {
+                    let b = BatchLedger {
+                        jobs: ledgers.len() as u64,
+                        wall_ns: t_all.elapsed().as_nanos() as u64,
+                        batch: Ledger::empty("mlc.stream"),
+                        sessions: ledgers,
+                    };
+                    (b.render_table(), b.to_json())
+                };
+                if path == "-" {
+                    println!("{table}");
+                } else if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("error: cannot write `{path}`: {e}");
+                    code = ExitCode::FAILURE;
+                } else {
+                    println!("run ledger written to {path}");
                 }
             }
             code

@@ -4,6 +4,8 @@
 use autocheck_apps::{analyze_app, app_by_name};
 use autocheck_core::{index_variables_of, Analyzer};
 use autocheck_interp::{BinarySink, ExecOptions, Machine, NoHook, VecSink, WriterSink};
+use autocheck_obs::Metrics;
+use autocheck_trace::AnalysisCtx;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -27,6 +29,20 @@ fn bench_pipeline(c: &mut Criterion) {
                 black_box(report.critical.len())
             })
         });
+        // The observability overhead budget (README: <2%): the identical
+        // analysis with a live metrics registry riding the ctx.
+        if matches!(name, "cg" | "is") {
+            let ctx = AnalysisCtx::current().with_metrics(Metrics::enabled());
+            group.bench_function(format!("{name}/metrics"), |b| {
+                b.iter(|| {
+                    let report = Analyzer::new(spec.region.clone())
+                        .with_index_vars(index.clone())
+                        .with_ctx(ctx.clone())
+                        .analyze(black_box(&records));
+                    black_box(report.critical.len())
+                })
+            });
+        }
     }
     group.finish();
 }

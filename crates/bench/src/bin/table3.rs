@@ -5,7 +5,7 @@
 //! parallel batch, online streaming).
 //!
 //! Run with:
-//! `cargo run --release -p autocheck-bench --bin table3 [scale] [threads] [--jobs N] [--json]`
+//! `cargo run --release -p autocheck-bench --bin table3 [scale] [threads] [--jobs N] [--json] [--metrics PATH]`
 //!
 //! With `--json`, the same timings are also written to `BENCH_table3.json`
 //! as machine-readable records — the repo's perf trajectory file, so "did
@@ -14,7 +14,14 @@
 //! Algorithm 1 contraction wall clock; schema 3 adds per-app ingest
 //! throughput (records/s and bytes/s) for both trace formats, keyed by
 //! `ingest_format`, so the text-vs-binary ingest gap is part of the
-//! trajectory.
+//! trajectory; schema 4 sources `peak_live_records` from the session
+//! ledger's live-record gauge and adds the interner arena footprint
+//! (`arena_bytes`) observed at each app's capture.
+//!
+//! With `--metrics PATH`, the parallel multi-session run goes through
+//! `MultiAnalyzer::with_metrics` and its aggregated batch ledger (one
+//! session ledger per app plus batch-level queue/flight stats) is written
+//! to PATH as versioned JSON (`-` prints the human-readable table).
 //!
 //! `--jobs N` additionally runs the whole 14-app suite through the
 //! concurrent `MultiAnalyzer` front door — every app compiled, traced and
@@ -25,10 +32,11 @@
 use autocheck_apps::{all_apps_scaled, Scale};
 use autocheck_bench::{secs, Table};
 use autocheck_core::{
-    index_variables_of, AnalysisJob, Analyzer, JobInput, MultiAnalyzer, PipelineConfig, Report,
-    StreamAnalyzer,
+    capture_ledger, index_variables_of, AnalysisJob, Analyzer, JobInput, MultiAnalyzer,
+    PipelineConfig, Report, StreamAnalyzer,
 };
 use autocheck_interp::{ExecOptions, Machine, NoHook, WriterSink};
+use autocheck_obs::{GaugeId, Metrics};
 use autocheck_trace::{binary, AnalysisCtx, TraceSource};
 use std::fmt::Write as _;
 
@@ -48,6 +56,7 @@ struct AppRow {
     parallel: Report,
     streaming_total: std::time::Duration,
     peak_live: usize,
+    arena_bytes: u64,
     ingest: Vec<IngestRate>,
 }
 
@@ -90,11 +99,20 @@ fn main() {
             .map(|n| n.get().min(4))
             .unwrap_or(1),
     };
+    let metrics_path: Option<String> = args.iter().position(|a| a == "--metrics").map(|i| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("error: --metrics needs a path (or `-` for stdout)");
+            std::process::exit(2);
+        })
+    });
     let positional: Vec<&String> = {
         let jobs_value = args.iter().position(|a| a == "--jobs").map(|i| i + 1);
+        let metrics_value = args.iter().position(|a| a == "--metrics").map(|i| i + 1);
         args.iter()
             .enumerate()
-            .filter(|(i, a)| !a.starts_with("--") && Some(*i) != jobs_value)
+            .filter(|(i, a)| {
+                !a.starts_with("--") && Some(*i) != jobs_value && Some(*i) != metrics_value
+            })
             .map(|(_, a)| a)
             .collect()
     };
@@ -157,8 +175,13 @@ fn main() {
             parallel.summary(),
             "parallelism must not change results"
         );
+        // The streaming run carries a metrics registry: schema-4 JSON
+        // sources peak-live and the interner arena footprint from its
+        // captured ledger, not from hand-maintained counters.
+        let sctx = AnalysisCtx::current().with_metrics(Metrics::enabled());
         let streaming = StreamAnalyzer::new(spec.region.clone())
             .with_index_vars(index.clone())
+            .with_ctx(sctx.clone())
             .run_read(text.as_bytes())
             .expect("streams");
         assert_eq!(
@@ -166,6 +189,13 @@ fn main() {
             streaming.report.summary(),
             "streaming must not change results"
         );
+        let ledger = capture_ledger(spec.name, &sctx);
+        let peak_live = ledger.gauge(GaugeId::LiveRecords).1 as usize;
+        assert_eq!(
+            peak_live, streaming.stats.peak_live_records,
+            "the ledger gauge and StreamStats report the same peak"
+        );
+        let arena_bytes = ledger.gauge(GaugeId::ArenaBytes).0;
         // Text-vs-binary ingest throughput on the identical record stream.
         let records = TraceSource::from_str(&text).records().expect("parses");
         let bin = binary::to_bytes(&records, &AnalysisCtx::current());
@@ -183,7 +213,7 @@ fn main() {
             secs(serial.timings.total()),
             secs(parallel.timings.total()),
             secs(streaming.report.timings.total()),
-            streaming.stats.peak_live_records.to_string(),
+            peak_live.to_string(),
             format!(
                 "{}/{}→{}",
                 serial.ddg.nodes, serial.ddg.edges, serial.ddg.contracted_nodes
@@ -195,7 +225,8 @@ fn main() {
             serial,
             parallel,
             streaming_total: streaming.report.timings.total(),
-            peak_live: streaming.stats.peak_live_records,
+            peak_live,
+            arena_bytes,
             ingest,
         });
     }
@@ -225,7 +256,9 @@ fn main() {
         "batch failures: {:?}",
         serial_batch.failures
     );
-    let parallel_batch = MultiAnalyzer::new(jobs).run(make_jobs());
+    let parallel_batch = MultiAnalyzer::new(jobs)
+        .with_metrics(metrics_path.is_some())
+        .run(make_jobs());
     assert!(
         parallel_batch.failures.is_empty(),
         "batch failures: {:?}",
@@ -269,6 +302,19 @@ fn main() {
         );
     }
 
+    if let Some(path) = &metrics_path {
+        let ledger = parallel_batch
+            .ledger
+            .as_ref()
+            .expect("metrics batch produced a ledger");
+        if path == "-" {
+            println!("\n{}", ledger.render_table());
+        } else {
+            std::fs::write(path, ledger.to_json()).expect("write metrics ledger");
+            println!("\nwrote batch run ledger to {path}");
+        }
+    }
+
     if json {
         let path = "BENCH_table3.json";
         std::fs::write(
@@ -303,7 +349,7 @@ fn render_json(
         .unwrap_or(0);
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"bench\": \"table3\",");
-    let _ = writeln!(out, "  \"schema\": 3,");
+    let _ = writeln!(out, "  \"schema\": 4,");
     let _ = writeln!(out, "  \"scale\": \"{scale:?}\",");
     let _ = writeln!(out, "  \"parse_threads\": {threads},");
     let _ = writeln!(out, "  \"unix_time\": {unix_time},");
@@ -335,7 +381,7 @@ fn render_json(
             "    {{\"name\": \"{}\", \"preprocess_s\": {:.6}, \"preprocess_parallel_s\": {:.6}, \
              \"dependency_s\": {:.6}, \"identify_s\": {:.6}, \"total_s\": {:.6}, \
              \"total_parallel_s\": {:.6}, \"streaming_total_s\": {:.6}, \
-             \"peak_live_records\": {}, \"records\": {}, \
+             \"peak_live_records\": {}, \"records\": {}, \"arena_bytes\": {}, \
              \"ddg_nodes\": {}, \"ddg_edges\": {}, \"contracted_nodes\": {}, \
              \"contracted_edges\": {}, \"contract_wall_s\": {:.6}, \"ingest\": [{}]}}",
             row.name,
@@ -348,11 +394,12 @@ fn render_json(
             row.streaming_total.as_secs_f64(),
             row.peak_live,
             row.serial.records,
+            row.arena_bytes,
             d.nodes,
             d.edges,
             d.contracted_nodes,
             d.contracted_edges,
-            d.contract_wall.as_secs_f64(),
+            t.contract.as_secs_f64(),
             row.ingest
                 .iter()
                 .map(|r| {

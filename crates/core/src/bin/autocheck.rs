@@ -10,8 +10,8 @@
 //! ```text
 //! autocheck <trace-file> --function main --start 13 --end 21 \
 //!     [--index it,step] [--threads N] [--dot out.dot] [--collect arithmetic] \
-//!     [--stream] [--max-live-records N] [--untrusted-trace]
-//! autocheck --batch <manifest> [--jobs N] [--stream] [--untrusted-trace]
+//!     [--stream] [--max-live-records N] [--untrusted-trace] [--metrics out.json]
+//! autocheck --batch <manifest> [--jobs N] [--stream] [--untrusted-trace] [--metrics out.json]
 //! ```
 //!
 //! `--stream` analyzes the trace online through the bounded-memory
@@ -40,11 +40,20 @@
 //! `--untrusted-trace` marks the trace source as third-party: every map
 //! keyed by trace-supplied addresses hashes with a per-session random
 //! seed, so a crafted trace cannot exploit deterministic FxHash.
+//!
+//! `--metrics <file|->` turns on the observability layer: the session runs
+//! with a metrics registry (counters, gauges, stage timers, histograms)
+//! and its versioned JSON run ledger is written to the file (`-` prints a
+//! human-readable table instead). In `--batch` mode every session gets its
+//! own registry and the output is the aggregated batch ledger: batch-level
+//! queue/flight stats plus one ledger per session. Metrics never change
+//! analysis output — reports and DOT are byte-identical either way.
 
 use autocheck_core::{
-    contract_for_mli, Analyzer, CollectMode, DdgAnalysis, Phases, PipelineConfig, Region,
-    StreamAnalyzer, StreamConfig,
+    capture_ledger, contract_for_mli, Analyzer, CollectMode, DdgAnalysis, Phases, PipelineConfig,
+    Region, StreamAnalyzer, StreamConfig,
 };
+use autocheck_obs::Metrics;
 use autocheck_trace::AnalysisCtx;
 use std::process::ExitCode;
 
@@ -62,14 +71,15 @@ struct Args {
     untrusted: bool,
     batch: Option<String>,
     jobs: usize,
+    metrics: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: autocheck <trace-file> --function <name> --start <line> --end <line>\n\
          \x20                [--index v1,v2] [--threads N] [--dot <file>] [--collect any|arithmetic]\n\
-         \x20                [--stream] [--max-live-records N] [--untrusted-trace]\n\
-         \x20      autocheck --batch <manifest> [--jobs N] [--stream] [--untrusted-trace]\n\
+         \x20                [--stream] [--max-live-records N] [--untrusted-trace] [--metrics <file|->]\n\
+         \x20      autocheck --batch <manifest> [--jobs N] [--stream] [--untrusted-trace] [--metrics <file|->]\n\
          \x20                (manifest lines: <trace-file> <function> <start> <end> [index,vars])"
     );
     std::process::exit(2)
@@ -91,6 +101,7 @@ fn parse_args() -> Args {
     let mut untrusted = false;
     let mut batch = None;
     let mut jobs = 1usize;
+    let mut metrics = None;
     while let Some(a) = args.next() {
         let mut take = || args.next().unwrap_or_else(|| usage());
         match a.as_str() {
@@ -118,6 +129,7 @@ fn parse_args() -> Args {
                 max_live_records = Some(take().parse().unwrap_or_else(|_| usage()))
             }
             "--untrusted-trace" => untrusted = true,
+            "--metrics" => metrics = Some(take()),
             "--batch" => batch = Some(take()),
             "--jobs" | "-j" => jobs = take().parse().unwrap_or_else(|_| usage()),
             "--help" | "-h" => usage(),
@@ -155,6 +167,7 @@ fn parse_args() -> Args {
             untrusted,
             batch: Some(batch),
             jobs,
+            metrics,
         };
     }
     let Some(trace) = trace else { usage() };
@@ -184,6 +197,7 @@ fn parse_args() -> Args {
         untrusted,
         batch: None,
         jobs,
+        metrics,
     }
 }
 
@@ -241,6 +255,20 @@ fn parse_manifest(path: &str, args: &Args) -> Result<Vec<autocheck_core::Analysi
     Ok(jobs)
 }
 
+/// Emit a rendered metrics artifact: `-` prints the human-readable table,
+/// anything else gets the versioned JSON.
+fn emit_metrics(path: &str, table: String, json: String) -> bool {
+    if path == "-" {
+        println!("{table}");
+    } else if let Err(e) = std::fs::write(path, json) {
+        eprintln!("error: cannot write `{path}`: {e}");
+        return false;
+    } else {
+        println!("run ledger written to {path}");
+    }
+    true
+}
+
 /// `--batch`: run every manifest analysis in its own session, concurrently
 /// on `--jobs` workers, reporting peak-live and timings per session.
 fn run_batch(args: &Args, manifest: &str) -> ExitCode {
@@ -252,14 +280,21 @@ fn run_batch(args: &Args, manifest: &str) -> ExitCode {
         }
     };
     let n = jobs.len();
-    let out = autocheck_core::MultiAnalyzer::new(args.jobs).run(jobs);
+    let out = autocheck_core::MultiAnalyzer::new(args.jobs)
+        .with_metrics(args.metrics.is_some())
+        .run(jobs);
     for s in &out.sessions {
         println!("=== {} ===", s.name);
         print!("{}", s.rendered);
         println!(
-            "timings: preprocess {:.3?}, dependency {:.3?}, identify {:.3?} (total {:.3?}; wall {:.3?})",
-            s.timings.preprocess, s.timings.dependency, s.timings.identify,
-            s.timings.total(), s.wall
+            "timings: preprocess {:.3?}, dependency {:.3?}, identify {:.3?}, contract {:.3?} \
+             (total {:.3?}; wall {:.3?})",
+            s.timings.preprocess,
+            s.timings.dependency,
+            s.timings.identify,
+            s.timings.contract,
+            s.timings.total(),
+            s.wall
         );
         match s.peak_live_records {
             Some(peak) => println!(
@@ -284,6 +319,11 @@ fn run_batch(args: &Args, manifest: &str) -> ExitCode {
         }
     );
     print!("{}", out.aggregate());
+    if let (Some(path), Some(ledger)) = (&args.metrics, &out.ledger) {
+        if !emit_metrics(path, ledger.render_table(), ledger.to_json()) {
+            return ExitCode::FAILURE;
+        }
+    }
     if out.failures.is_empty() {
         ExitCode::SUCCESS
     } else {
@@ -324,9 +364,10 @@ fn run_streaming(args: &Args, region: &Region, ctx: &AnalysisCtx) -> ExitCode {
         println!("contracted DDG (streaming) written to {dot_path}");
     }
     println!(
-        "timings: ingest {:.3?}, identify {:.3?} (total {:.3?}; single online pass)",
+        "timings: ingest {:.3?}, identify {:.3?}, contract {:.3?} (total {:.3?}; single online pass)",
         run.report.timings.preprocess,
         run.report.timings.identify,
+        run.report.timings.contract,
         run.report.timings.total()
     );
     let bound = match run.stats.live_bound {
@@ -341,7 +382,21 @@ fn run_streaming(args: &Args, region: &Region, ctx: &AnalysisCtx) -> ExitCode {
         run.stats.ddg_nodes,
         run.stats.ddg_edges
     );
+    if let Some(path) = &args.metrics {
+        let ledger = capture_ledger(session_name(&args.trace), ctx);
+        if !emit_metrics(path, ledger.render_table(), ledger.to_json()) {
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
+}
+
+/// The ledger's session name: the trace file's stem, like batch manifests.
+fn session_name(trace: &str) -> &str {
+    std::path::Path::new(trace)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or(trace)
 }
 
 fn main() -> ExitCode {
@@ -351,11 +406,14 @@ fn main() -> ExitCode {
     }
     // Single-analysis mode still gets a session scope when the trace is
     // third-party: fresh symbol space + seeded address hashing.
-    let ctx = if args.untrusted {
+    let mut ctx = if args.untrusted {
         AnalysisCtx::session().untrusted()
     } else {
         AnalysisCtx::default()
     };
+    if args.metrics.is_some() {
+        ctx = ctx.with_metrics(Metrics::enabled());
+    }
     // Rendering below resolves symbols via the thread-current space.
     let _guard = ctx.enter();
     let region = Region::new(args.function.clone(), args.start, args.end);
@@ -388,10 +446,11 @@ fn main() -> ExitCode {
     };
     println!("{report}");
     println!(
-        "timings: preprocess {:.3?}, dependency {:.3?}, identify {:.3?} (total {:.3?})",
+        "timings: preprocess {:.3?}, dependency {:.3?}, identify {:.3?}, contract {:.3?} (total {:.3?})",
         report.timings.preprocess,
         report.timings.dependency,
         report.timings.identify,
+        report.timings.contract,
         report.timings.total()
     );
 
@@ -426,6 +485,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("contracted DDG written to {dot_path}");
+    }
+    if let Some(path) = &args.metrics {
+        let ledger = capture_ledger(session_name(&args.trace), &ctx);
+        if !emit_metrics(path, ledger.render_table(), ledger.to_json()) {
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

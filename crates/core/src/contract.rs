@@ -15,6 +15,7 @@
 //! allocation serves the whole contraction.
 
 use crate::preprocess::MliVar;
+use autocheck_obs::{CounterId, GaugeId, Metrics};
 use autocheck_stream::{CsrGraph, DotWriter, NodeKind};
 use std::collections::BTreeSet;
 
@@ -61,11 +62,24 @@ impl ContractedDdg {
 /// shared by the batch pipeline, the streaming finish step, and every DOT
 /// export path.
 pub fn contract_for_mli(graph: &CsrGraph, mli: &[MliVar]) -> ContractedDdg {
+    contract_for_mli_in(graph, mli, &Metrics::disabled())
+}
+
+/// [`contract_for_mli`] with session metrics: books the worklist step count
+/// (`contract.worklist_steps` — the algorithmic cost of Algorithm 1, wall
+/// clock aside) and the contracted graph's size gauges.
+pub fn contract_for_mli_in(graph: &CsrGraph, mli: &[MliVar], metrics: &Metrics) -> ContractedDdg {
     let bases: std::collections::HashSet<u64> = mli.iter().map(|m| m.base_addr).collect();
-    contract_ddg(
+    let (out, steps) = contract_ddg_counted(
         graph,
         |n| matches!(n, NodeKind::Var { base, .. } if bases.contains(base)),
-    )
+    );
+    if metrics.is_enabled() {
+        metrics.count(CounterId::ContractWorklistSteps, steps);
+        metrics.gauge_set(GaugeId::ContractedNodes, out.nodes.len() as u64);
+        metrics.gauge_set(GaugeId::ContractedEdges, out.edges.len() as u64);
+    }
+    out
 }
 
 /// Contract `graph` onto the MLI variables selected by `is_mli`.
@@ -76,6 +90,15 @@ pub fn contract_for_mli(graph: &CsrGraph, mli: &[MliVar]) -> ContractedDdg {
 /// parentless are retained as terminal vertices ("contract np while
 /// retaining its dependency with n").
 pub fn contract_ddg(graph: &CsrGraph, is_mli: impl Fn(&NodeKind) -> bool) -> ContractedDdg {
+    contract_ddg_counted(graph, is_mli).0
+}
+
+/// [`contract_ddg`] plus the number of worklist pops performed — the
+/// metric behind `contract.worklist_steps`.
+fn contract_ddg_counted(
+    graph: &CsrGraph,
+    is_mli: impl Fn(&NodeKind) -> bool,
+) -> (ContractedDdg, u64) {
     let n = graph.len();
     let mut mli_flag = vec![false; n];
     let mut mli_ids: Vec<usize> = Vec::new();
@@ -109,12 +132,14 @@ pub fn contract_ddg(graph: &CsrGraph, is_mli: impl Fn(&NodeKind) -> bool) -> Con
     // epoch stamp.
     let mut visited: Vec<u32> = vec![UNMAPPED; n];
     let mut stack: Vec<u32> = Vec::new();
+    let mut steps: u64 = 0;
     for (epoch, &child) in mli_ids.iter().enumerate() {
         let epoch = epoch as u32;
         // Expand the parent closure of `child` up to MLI/terminal vertices.
         stack.extend_from_slice(graph.parent_slice(child));
         let mut final_parents: BTreeSet<usize> = BTreeSet::new();
         while let Some(p) = stack.pop() {
+            steps += 1;
             let p = p as usize;
             if p == child || visited[p] == epoch {
                 continue;
@@ -144,7 +169,7 @@ pub fn contract_ddg(graph: &CsrGraph, is_mli: impl Fn(&NodeKind) -> bool) -> Con
     for list in &mut out.parents {
         list.sort_unstable();
     }
-    out
+    (out, steps)
 }
 
 #[cfg(test)]

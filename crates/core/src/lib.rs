@@ -56,6 +56,7 @@
 pub mod classify;
 pub mod contract;
 pub mod ddg;
+pub mod observe;
 pub mod pipeline;
 pub mod preprocess;
 pub mod region;
@@ -64,8 +65,9 @@ pub mod service;
 pub mod stream;
 
 pub use classify::{classify, decide, ClassifyConfig};
-pub use contract::{contract_ddg, contract_for_mli, ContractedDdg};
+pub use contract::{contract_ddg, contract_for_mli, contract_for_mli_in, ContractedDdg};
 pub use ddg::{DdgAnalysis, DdgOptions, NodeKind, RwEvent, RwKind};
+pub use observe::capture_ledger;
 pub use pipeline::{index_variables_of, Analyzer, PipelineConfig};
 pub use preprocess::{find_mli_vars, CollectMode, MliVar};
 pub use region::{Phase, Phases, Region};

@@ -1,0 +1,59 @@
+//! Session-level metrics publication and ledger capture — the glue between
+//! the per-session [`Metrics`](autocheck_obs::Metrics) registry that rides
+//! the [`AnalysisCtx`] and the machine-readable run ledger the CLI edges
+//! emit (`--metrics <path>`).
+
+use autocheck_obs::ledger::Ledger;
+use autocheck_obs::GaugeId;
+use autocheck_trace::AnalysisCtx;
+
+/// Publish the session's interner gauges: distinct symbols in this
+/// session's space, and the process-wide arena footprint in bytes (the
+/// deliberate dedup leak, measured at last). Called by both pipelines as a
+/// session finishes; idempotent.
+pub fn note_session_symbols(ctx: &AnalysisCtx) {
+    let m = ctx.metrics();
+    m.gauge_set(GaugeId::Symbols, ctx.space().len() as u64);
+    m.gauge_set(
+        GaugeId::ArenaBytes,
+        autocheck_trace::intern::arena_bytes() as u64,
+    );
+}
+
+/// Snapshot the session's registry into a named [`Ledger`] (all-zero when
+/// the ctx has metrics disabled). Refreshes the interner gauges first so a
+/// capture taken any time after analysis reflects the final symbol counts.
+pub fn capture_ledger(name: &str, ctx: &AnalysisCtx) -> Ledger {
+    if ctx.metrics().is_enabled() {
+        note_session_symbols(ctx);
+    }
+    Ledger::capture(name, ctx.metrics())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autocheck_obs::Metrics;
+
+    #[test]
+    fn capture_reflects_session_symbols_and_arena() {
+        let ctx = AnalysisCtx::session().with_metrics(Metrics::enabled());
+        ctx.intern("observe_test_sym_a");
+        ctx.intern("observe_test_sym_b");
+        let ledger = capture_ledger("t", &ctx);
+        assert_eq!(ledger.gauge(GaugeId::Symbols).0, 2);
+        assert!(
+            ledger.gauge(GaugeId::ArenaBytes).0 > 0,
+            "arena holds at least the strings just interned"
+        );
+        assert_eq!(ledger.name, "t");
+    }
+
+    #[test]
+    fn disabled_ctx_captures_an_all_zero_ledger() {
+        let ctx = AnalysisCtx::session();
+        ctx.intern("observe_test_disabled");
+        let ledger = capture_ledger("quiet", &ctx);
+        assert_eq!(ledger, Ledger::empty("quiet"));
+    }
+}

@@ -4,6 +4,7 @@ use crate::ddg::{DdgAnalysis, DdgOptions, RwKind};
 use crate::preprocess::{find_mli_vars_in, CollectMode};
 use crate::region::{Phase, Phases, Region};
 use crate::report::{DdgSummary, Report, Timings};
+use autocheck_obs::{GaugeId, TimerId};
 use autocheck_stream::VarStatsBuilder;
 use autocheck_trace::reader::TraceReadError;
 use autocheck_trace::{AnalysisCtx, ParallelConfig, Record, TraceSource};
@@ -136,8 +137,12 @@ impl Analyzer {
     }
 
     fn analyze_inner(&self, records: &[Record], parse_time: std::time::Duration) -> Report {
-        // Pre-processing: region partitioning + MLI identification.
-        let t0 = Instant::now();
+        let m = self.ctx.metrics().clone();
+
+        // Pre-processing: region partitioning + MLI identification. The
+        // report's Table-III figure includes ingest (`parse_time`); the
+        // ledger books ingest under its own `stage.ingest` timer.
+        let t = m.timed(TimerId::Preprocess);
         let phases = Phases::compute_in(records, &self.region, &self.ctx);
         let mli = find_mli_vars_in(
             records,
@@ -146,15 +151,14 @@ impl Analyzer {
             self.config.collect,
             &self.ctx,
         );
-        let preprocess = parse_time + t0.elapsed();
+        let preprocess = parse_time + t.finish();
 
         // Dependency analysis: one fold of the record slice through the
         // shared streaming DdgBuilder. Events are not retained — each one
         // feeds its variable's statistics builder as it is emitted (the
         // same fold the online engine runs), so peak memory for this stage
-        // is O(variables), not O(trace). Contraction (Algorithm 1) runs on
-        // the frozen CSR graph.
-        let t1 = Instant::now();
+        // is O(variables), not O(trace).
+        let t = m.timed(TimerId::Dependency);
         let addr_seed = self.ctx.addr_seed();
         let mut stats = self.ctx.addr_map::<u64, VarStatsBuilder>();
         let graph = DdgAnalysis::fold_in(
@@ -180,23 +184,26 @@ impl Analyzer {
                 }
             },
         );
-        let t_contract = Instant::now();
-        let contracted = crate::contract::contract_for_mli(&graph, &mli);
-        let contract_wall = t_contract.elapsed();
+        let dependency = t.finish();
+
+        // Contraction (Algorithm 1), on the frozen CSR graph — its own
+        // stage in the timing breakdown, so batch and streaming book it
+        // the same way.
+        let t = m.timed(TimerId::Contract);
+        let contracted = crate::contract::contract_for_mli_in(&graph, &mli, &m);
+        let contract = t.finish();
         let ddg = DdgSummary {
             nodes: graph.len(),
             edges: graph.edge_count(),
             contracted_nodes: contracted.nodes.len(),
             contracted_edges: contracted.edges.len(),
-            contract_wall,
         };
-        let dependency = t1.elapsed();
 
         // Identification: the shared selection over the folded statistics
         // (the exact fold + decision the streaming finish step performs).
         // Each MLI base is decided once, so its builder is taken out of the
         // seeded map and finished in place — no second map.
-        let t2 = Instant::now();
+        let t = m.timed(TimerId::Identify);
         let (critical, skipped) = crate::classify::select(
             &mli,
             &self.index_vars,
@@ -210,7 +217,13 @@ impl Analyzer {
                 crate::classify::decide(&st, var.size)
             },
         );
-        let identify = t2.elapsed();
+        let identify = t.finish();
+
+        if m.is_enabled() {
+            m.gauge_set(GaugeId::DdgNodes, ddg.nodes as u64);
+            m.gauge_set(GaugeId::DdgEdges, ddg.edges as u64);
+            crate::observe::note_session_symbols(&self.ctx);
+        }
 
         Report {
             mli,
@@ -222,6 +235,7 @@ impl Analyzer {
                 preprocess,
                 dependency,
                 identify,
+                contract,
             },
             ddg,
         }
@@ -415,6 +429,9 @@ int main() {
         // Durations are non-negative by construction; just ensure the
         // breakdown exists and total() is the sum.
         let t = report.timings;
-        assert_eq!(t.total(), t.preprocess + t.dependency + t.identify);
+        assert_eq!(
+            t.total(),
+            t.preprocess + t.dependency + t.identify + t.contract
+        );
     }
 }

@@ -17,11 +17,14 @@
 //! sessions produces reports and DOT output byte-identical to running them
 //! one at a time.
 
+use crate::observe::capture_ledger;
 use crate::pipeline::{index_variables_of, Analyzer, PipelineConfig};
 use crate::preprocess::CollectMode;
 use crate::region::{Phases, Region};
 use crate::report::{DepType, Report, Timings};
 use crate::stream::{StreamAnalyzer, StreamConfig};
+use autocheck_obs::ledger::{BatchLedger, Ledger};
+use autocheck_obs::{CounterId, GaugeId, Metrics, TimerId};
 use autocheck_trace::{AnalysisCtx, TraceSource};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -135,6 +138,9 @@ pub struct SessionReport {
     /// Wall clock for the whole session (input acquisition + analysis +
     /// rendering).
     pub wall: Duration,
+    /// The session's metrics snapshot, when the batch ran with metrics on
+    /// ([`MultiAnalyzer::with_metrics`]).
+    pub ledger: Option<Ledger>,
 }
 
 /// A job that did not produce a report.
@@ -157,6 +163,10 @@ pub struct BatchOutcome {
     pub jobs: usize,
     /// Wall clock for the whole batch.
     pub wall: Duration,
+    /// The aggregated run ledger — the batch-level registry (queue waits,
+    /// jobs in flight, ok/failed counts) plus every session's own ledger —
+    /// when the batch ran with metrics on.
+    pub ledger: Option<BatchLedger>,
 }
 
 impl BatchOutcome {
@@ -210,13 +220,26 @@ impl BatchOutcome {
 #[derive(Clone, Debug)]
 pub struct MultiAnalyzer {
     jobs: usize,
+    metrics: bool,
 }
 
 impl MultiAnalyzer {
     /// A service front door running up to `jobs` analyses concurrently
     /// (`0` is clamped to 1).
     pub fn new(jobs: usize) -> MultiAnalyzer {
-        MultiAnalyzer { jobs: jobs.max(1) }
+        MultiAnalyzer {
+            jobs: jobs.max(1),
+            metrics: false,
+        }
+    }
+
+    /// Run with observability on: every session gets its own metrics
+    /// registry (snapshotted into [`SessionReport::ledger`]) and the batch
+    /// keeps a registry of its own — queue waits, jobs in flight, ok/failed
+    /// counts — aggregated into [`BatchOutcome::ledger`].
+    pub fn with_metrics(mut self, yes: bool) -> MultiAnalyzer {
+        self.metrics = yes;
+        self
     }
 
     /// Run every job, each in its own session, on up to
@@ -225,11 +248,31 @@ impl MultiAnalyzer {
     pub fn run(&self, jobs: Vec<AnalysisJob>) -> BatchOutcome {
         let t0 = Instant::now();
         let workers = self.jobs.min(jobs.len()).max(1);
+        let batch = if self.metrics {
+            Metrics::enabled()
+        } else {
+            Metrics::disabled()
+        };
+        // One job, start to finish, with the batch-level registry booked:
+        // how long the job sat queued, how many jobs were in flight while
+        // it ran (the gauge's peak is the achieved concurrency), and
+        // whether it succeeded.
+        let run_one = |job: &AnalysisJob| -> Result<SessionReport, SessionFailure> {
+            batch.record_duration(TimerId::QueueWait, t0.elapsed());
+            batch.gauge_add(GaugeId::JobsInFlight, 1);
+            let result = run_session(job, self.metrics);
+            batch.gauge_sub(GaugeId::JobsInFlight, 1);
+            match &result {
+                Ok(_) => batch.count(CounterId::SessionsOk, 1),
+                Err(_) => batch.count(CounterId::SessionsFailed, 1),
+            }
+            result
+        };
         let mut slots: Vec<Option<Result<SessionReport, SessionFailure>>> = Vec::new();
         slots.resize_with(jobs.len(), || None);
         if workers == 1 {
             for (slot, job) in slots.iter_mut().zip(&jobs) {
-                *slot = Some(run_session(job));
+                *slot = Some(run_one(job));
             }
         } else {
             let next = AtomicUsize::new(0);
@@ -239,12 +282,13 @@ impl MultiAnalyzer {
                     let jobs = &jobs;
                     let next = &next;
                     let slots_mut = &slots_mut;
+                    let run_one = &run_one;
                     scope.spawn(move || loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= jobs.len() {
                             break;
                         }
-                        let result = run_session(&jobs[i]);
+                        let result = run_one(&jobs[i]);
                         slots_mut.lock().expect("slots poisoned")[i] = Some(result);
                     });
                 }
@@ -258,41 +302,54 @@ impl MultiAnalyzer {
                 Err(f) => failures.push(f),
             }
         }
+        let wall = t0.elapsed();
+        let ledger = self.metrics.then(|| BatchLedger {
+            jobs: (sessions.len() + failures.len()) as u64,
+            wall_ns: wall.as_nanos() as u64,
+            batch: Ledger::capture("batch", &batch),
+            sessions: sessions.iter().filter_map(|s| s.ledger.clone()).collect(),
+        });
         BatchOutcome {
             sessions,
             failures,
             jobs: workers,
-            wall: t0.elapsed(),
+            wall,
+            ledger,
         }
     }
 }
 
 /// Run one job in a fresh session. Panics inside the pipeline are caught
 /// and reported as failures so one bad job cannot take down the batch.
-fn run_session(job: &AnalysisJob) -> Result<SessionReport, SessionFailure> {
+fn run_session(job: &AnalysisJob, metrics: bool) -> Result<SessionReport, SessionFailure> {
     let fail = |message: String| SessionFailure {
         name: job.name.clone(),
         message,
     };
-    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_session_inner(job)))
-        .unwrap_or_else(|p| {
-            let msg = p
-                .downcast_ref::<&str>()
-                .map(|s| s.to_string())
-                .or_else(|| p.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "analysis panicked".to_string());
-            Err(format!("panic: {msg}"))
-        })
-        .map_err(fail)
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_session_inner(job, metrics)
+    }))
+    .unwrap_or_else(|p| {
+        let msg = p
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| p.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "analysis panicked".to_string());
+        Err(format!("panic: {msg}"))
+    })
+    .map_err(fail)
 }
 
-fn run_session_inner(job: &AnalysisJob) -> Result<SessionReport, String> {
+fn run_session_inner(job: &AnalysisJob, metrics: bool) -> Result<SessionReport, String> {
     let t0 = Instant::now();
-    let ctx = if job.untrusted {
+    let mut ctx = if job.untrusted {
         AnalysisCtx::session().untrusted()
     } else {
         AnalysisCtx::session()
     };
+    if metrics {
+        ctx = ctx.with_metrics(Metrics::enabled());
+    }
     // Output edges (report rendering, DOT) resolve via the thread-current
     // space; hold the guard for the whole session.
     let _guard = ctx.enter();
@@ -421,6 +478,13 @@ fn session_report(
     dot: Option<String>,
     t0: Instant,
 ) -> SessionReport {
+    let wall = t0.elapsed();
+    let ledger = if ctx.metrics().is_enabled() {
+        ctx.metrics().record_duration(TimerId::SessionWall, wall);
+        Some(capture_ledger(&job.name, ctx))
+    } else {
+        None
+    };
     SessionReport {
         name: job.name.clone(),
         summary: report.summary(),
@@ -431,7 +495,8 @@ fn session_report(
         peak_live_records: stream_stats.map(|s| s.peak_live_records),
         symbols: ctx.space().len(),
         timings: report.timings,
-        wall: t0.elapsed(),
+        wall,
+        ledger,
     }
 }
 
@@ -577,6 +642,37 @@ int main() {
         assert!(agg.contains("good"));
         assert!(agg.contains("FAILED"));
         assert!(agg.contains("2 failure(s)"));
+    }
+
+    #[test]
+    fn metrics_batches_carry_session_and_batch_ledgers() {
+        let jobs: Vec<AnalysisJob> = (0..4).map(|i| mini_job(&format!("m{i}"))).collect();
+        let out = MultiAnalyzer::new(2).with_metrics(true).run(jobs.clone());
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+        let batch = out.ledger.as_ref().expect("batch ledger present");
+        assert_eq!(batch.sessions.len(), 4);
+        assert_eq!(batch.batch.counter(CounterId::SessionsOk), 4);
+        assert_eq!(batch.batch.counter(CounterId::SessionsFailed), 0);
+        assert_eq!(batch.batch.timer(TimerId::QueueWait).1, 4);
+        assert!(batch.batch.gauge(GaugeId::JobsInFlight).1 >= 1);
+        for (s, l) in out.sessions.iter().zip(&batch.sessions) {
+            assert_eq!(s.ledger.as_ref(), Some(l), "outcome and aggregate agree");
+            assert_eq!(l.name, s.name);
+            assert!(l.gauge(GaugeId::Symbols).0 > 0, "session symbols gauged");
+            assert!(l.gauge(GaugeId::ArenaBytes).0 > 0, "arena footprint gauged");
+            assert!(l.timer(TimerId::SessionWall).0 > 0, "session wall recorded");
+            assert!(l.gauge(GaugeId::DdgNodes).0 > 0, "ddg size gauged");
+        }
+        // The batch ledger round-trips through its JSON form.
+        let parsed = BatchLedger::from_json(&batch.to_json()).expect("parses");
+        assert_eq!(&parsed, batch);
+        // Metrics must not perturb output: same jobs, metrics off,
+        // byte-identical renderings.
+        let quiet = MultiAnalyzer::new(2).run(jobs);
+        for (a, b) in out.sessions.iter().zip(&quiet.sessions) {
+            assert_eq!(a.rendered, b.rendered);
+            assert!(b.ledger.is_none());
+        }
     }
 
     #[test]

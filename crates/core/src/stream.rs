@@ -19,6 +19,7 @@
 use crate::preprocess::{CollectMode, MliVar};
 use crate::region::Region;
 use crate::report::{Report, Timings};
+use autocheck_obs::TimerId;
 use autocheck_stream::{Engine, EngineConfig, LiveBoundExceeded};
 use autocheck_trace::{AnalysisCtx, Record, TraceReadError, TraceSource};
 use std::fmt;
@@ -260,10 +261,14 @@ impl StreamSession {
         // collection, dependency analysis — ran fused in the single online
         // pass; report it as the pre-processing + dependency stages'
         // combined time, with the finish step as identification.
+        let metrics = self.ctx.metrics().clone();
         let ingest = self
             .started
             .map(|t| t.elapsed())
             .unwrap_or(std::time::Duration::ZERO);
+        // The fused online pass is the streaming counterpart of
+        // pre-processing; the ledger books it there.
+        metrics.record_duration(TimerId::Preprocess, ingest);
         let t1 = Instant::now();
         let outcome = self.engine.finish();
 
@@ -290,29 +295,31 @@ impl StreamSession {
         );
 
         let identify = t1.elapsed();
+        metrics.record_duration(TimerId::Identify, identify);
 
         // Streaming contraction (Algorithm 1 on the frozen CSR graph):
         // available online for the first time because the engine's graph
-        // *is* the shared graph the batch pipeline contracts. Runs outside
-        // the identify window — its cost is reported as
-        // `DdgSummary::contract_wall`, keeping per-stage timings comparable
-        // with the batch pipeline (which books contraction under
-        // `dependency`).
+        // *is* the shared graph the batch pipeline contracts. Booked as the
+        // `contract` timing stage, exactly like the batch pipeline.
         let mut ddg = crate::report::DdgSummary {
             nodes: outcome.ddg.len(),
             edges: outcome.ddg.edge_count(),
             ..Default::default()
         };
+        let mut contract = std::time::Duration::ZERO;
         let contracted_dot = if self.contracted_dot {
-            let t_contract = Instant::now();
-            let contracted = crate::contract::contract_for_mli(&outcome.ddg, &mli);
-            ddg.contract_wall = t_contract.elapsed();
+            let t = metrics.timed(TimerId::Contract);
+            let contracted = crate::contract::contract_for_mli_in(&outcome.ddg, &mli, &metrics);
+            contract = t.finish();
             ddg.contracted_nodes = contracted.nodes.len();
             ddg.contracted_edges = contracted.edges.len();
             Some(contracted.to_dot())
         } else {
             None
         };
+        if metrics.is_enabled() {
+            crate::observe::note_session_symbols(&self.ctx);
+        }
         StreamRun {
             report: Report {
                 mli,
@@ -324,6 +331,7 @@ impl StreamSession {
                     preprocess: ingest,
                     dependency: std::time::Duration::ZERO,
                     identify,
+                    contract,
                 },
                 ddg,
             },

@@ -1,0 +1,55 @@
+//! Property tests for the run ledger: arbitrary ledgers serialize to JSON
+//! and parse back field-for-field equal (satellite 3 of the observability
+//! PR).
+
+use autocheck_obs::ledger::{BatchLedger, HistSnapshot, Ledger};
+use autocheck_obs::{CounterId, GaugeId, HistId, TimerId, HIST_BUCKETS};
+use proptest::prelude::*;
+
+prop_compose! {
+    fn arb_hist()(sum in any::<u64>(), buckets in proptest::collection::vec(any::<u64>(), HIST_BUCKETS)) -> HistSnapshot {
+        HistSnapshot { sum, buckets }
+    }
+}
+
+prop_compose! {
+    fn arb_ledger()(
+        name in "[ -~]{0,40}",
+        counters in proptest::collection::vec(any::<u64>(), CounterId::COUNT),
+        gauges in proptest::collection::vec((any::<u64>(), any::<u64>()), GaugeId::COUNT),
+        timers in proptest::collection::vec((any::<u64>(), any::<u64>()), TimerId::COUNT),
+        hists in proptest::collection::vec(arb_hist(), HistId::COUNT),
+    ) -> Ledger {
+        Ledger { name, counters, gauges, timers, hists }
+    }
+}
+
+proptest! {
+    #[test]
+    fn session_ledger_round_trips(ledger in arb_ledger()) {
+        let json = ledger.to_json();
+        let back = Ledger::from_json(&json).expect("serializer output must parse");
+        prop_assert_eq!(ledger, back);
+    }
+
+    #[test]
+    fn session_names_with_escapes_round_trip(name in "\\PC{0,24}") {
+        let mut ledger = Ledger::empty("x");
+        ledger.name = name;
+        let back = Ledger::from_json(&ledger.to_json()).expect("parses");
+        prop_assert_eq!(ledger, back);
+    }
+
+    #[test]
+    fn batch_ledger_round_trips(
+        jobs in any::<u64>(),
+        wall_ns in any::<u64>(),
+        batch in arb_ledger(),
+        sessions in proptest::collection::vec(arb_ledger(), 0..4),
+    ) {
+        let b = BatchLedger { jobs, wall_ns, batch, sessions };
+        let json = b.to_json();
+        let back = BatchLedger::from_json(&json).expect("serializer output must parse");
+        prop_assert_eq!(b, back);
+    }
+}

@@ -19,9 +19,15 @@ use crate::graph::CsrGraph;
 use crate::mli::{Collect, MliCollector, MliEntry};
 use crate::region::RegionTracker;
 use crate::stats::{VarStats, VarStatsBuilder};
+use autocheck_obs::{CounterId, Gauge, GaugeId, HistId, Metrics, TimerId};
 use autocheck_trace::{AnalysisCtx, Record, SymId};
 use fxhash::FxSeededHashMap;
 use std::fmt;
+
+/// Per-stage fold timing samples 1 record in 64: cheap enough to leave on
+/// for week-long streams, dense enough to apportion fold time between the
+/// region/MLI/DDG stages. `engine.fold_samples` counts the sampled records.
+const FOLD_SAMPLE_MASK: u64 = 63;
 
 /// Engine configuration.
 #[derive(Clone, Debug)]
@@ -108,9 +114,18 @@ pub struct Engine {
     stats: FxSeededHashMap<u64, VarStatsBuilder>,
     addr_seed: u64,
     records: u64,
-    live: usize,
-    peak_live: usize,
+    /// The live-record window level and its true peak, tracked in exactly
+    /// one place (satellite of the observability PR): breach reporting,
+    /// [`Engine::peak_live_records`], and the `engine.live_records` ledger
+    /// gauge all read this.
+    live: Gauge,
     max_live: Option<usize>,
+    metrics: Metrics,
+    access_events: u64,
+    /// Iteration tracked at the last histogram flush (metrics only).
+    hist_iter: u32,
+    /// `records` at the last iteration boundary (metrics only).
+    hist_iter_start: u64,
 }
 
 impl Engine {
@@ -131,18 +146,43 @@ impl Engine {
             stats: ctx.addr_map(),
             addr_seed: ctx.addr_seed(),
             records: 0,
-            live: 0,
-            peak_live: 0,
+            live: Gauge::new(),
             max_live: cfg.max_live_records,
+            metrics: ctx.metrics().clone(),
+            access_events: 0,
+            hist_iter: 0,
+            hist_iter_start: 0,
         }
     }
 
     /// Consume one trace record. Call in execution order.
     pub fn push(&mut self, r: &Record) -> Result<(), LiveBoundExceeded> {
         self.records += 1;
-        let a = self.region.annotate(r);
-        self.mli.observe(r, a);
+        // 1-in-64 per-stage fold timing; everything else on the metrics
+        // path is counter arithmetic flushed at finish().
+        let sample = self.metrics.is_enabled() && self.records & FOLD_SAMPLE_MASK == 0;
+        if sample {
+            self.metrics.count(CounterId::FoldSamples, 1);
+        }
+        let a = if sample {
+            let _s = self.metrics.span(TimerId::FoldRegion);
+            self.region.annotate(r)
+        } else {
+            self.region.annotate(r)
+        };
+        if sample {
+            let _s = self.metrics.span(TimerId::FoldMli);
+            self.mli.observe(r, a);
+        } else {
+            self.mli.observe(r, a);
+        }
+        let _ddg_span = if sample {
+            Some(self.metrics.span(TimerId::FoldDdg))
+        } else {
+            None
+        };
         if let Some(e) = self.ddg.observe(r, a) {
+            self.access_events += 1;
             let builder = self
                 .stats
                 .entry(e.base)
@@ -157,16 +197,30 @@ impl Engine {
                 // entry; apply the net change (live always includes this
                 // builder's `before` entries, so the subtraction is safe).
                 let after = builder.live();
-                self.live = self.live + after - before;
-            }
-            self.peak_live = self.peak_live.max(self.live);
-            if let Some(bound) = self.max_live {
-                if self.live > bound {
-                    return Err(LiveBoundExceeded {
-                        live: self.live,
-                        bound,
-                    });
+                if after >= before {
+                    self.live.add((after - before) as u64);
+                } else {
+                    self.live.sub((before - after) as u64);
                 }
+            }
+            if let Some(bound) = self.max_live {
+                let live = self.live.value() as usize;
+                if live > bound {
+                    return Err(LiveBoundExceeded { live, bound });
+                }
+            }
+        }
+        if self.metrics.is_enabled() {
+            let iter = self.region.iterations();
+            if iter != self.hist_iter {
+                // One completed iteration (or a jump over empty ones):
+                // record how many records it spanned.
+                self.metrics.observe(
+                    HistId::IterationRecords,
+                    self.records - 1 - self.hist_iter_start,
+                );
+                self.hist_iter = iter;
+                self.hist_iter_start = self.records - 1;
             }
         }
         Ok(())
@@ -174,12 +228,12 @@ impl Engine {
 
     /// Live window entries currently held across all variables.
     pub fn live_records(&self) -> usize {
-        self.live
+        self.live.value() as usize
     }
 
     /// Maximum of [`live_records`](Engine::live_records) over the run.
     pub fn peak_live_records(&self) -> usize {
-        self.peak_live
+        self.live.peak() as usize
     }
 
     /// Records consumed so far.
@@ -188,22 +242,35 @@ impl Engine {
     }
 
     /// Finalize: match the MLI set, retire all windows, and hand back the
-    /// folded statistics.
+    /// folded statistics. Flushes the engine's totals (records, access
+    /// events, iterations, live-window gauge, DDG size) into the session's
+    /// metrics registry.
     pub fn finish(self) -> EngineOutcome {
         let mli = self.mli.finish();
-        let stats = self
+        let stats: FxSeededHashMap<u64, VarStats> = self
             .stats
             .into_iter()
             .map(|(base, b)| (base, b.finish()))
             .collect();
+        let iterations = self.region.iterations();
+        let ddg = self.ddg.finish();
+        let m = &self.metrics;
+        if m.is_enabled() {
+            m.count(CounterId::EngineRecords, self.records);
+            m.count(CounterId::AccessEvents, self.access_events);
+            m.gauge_set(GaugeId::Iterations, iterations as u64);
+            m.gauge_merge(GaugeId::LiveRecords, &self.live);
+            m.gauge_set(GaugeId::DdgNodes, ddg.len() as u64);
+            m.gauge_set(GaugeId::DdgEdges, ddg.edge_count() as u64);
+        }
         EngineOutcome {
             mli,
             stats,
-            iterations: self.region.iterations(),
+            iterations,
             records: self.records,
-            peak_live_records: self.peak_live,
+            peak_live_records: self.live.peak() as usize,
             header_label: self.region.header_label(),
-            ddg: self.ddg.finish(),
+            ddg,
         }
     }
 }
@@ -309,6 +376,53 @@ r,64,2,1,10,
         assert_eq!(err.bound, 0);
         assert!(err.live > 0);
         assert!(err.to_string().contains("bound 0"));
+    }
+
+    #[test]
+    fn metrics_capture_engine_totals_and_live_peak() {
+        use autocheck_obs::{CounterId, GaugeId, Metrics};
+        let ctx = AnalysisCtx::session().with_metrics(Metrics::enabled());
+        let recs = {
+            let _g = ctx.enter();
+            parse_str(TWO_ITER).unwrap()
+        };
+        let mut engine = Engine::with_ctx(EngineConfig::for_region("main", 5, 7), &ctx);
+        for r in &recs {
+            engine.push(r).unwrap();
+        }
+        let peak = engine.peak_live_records();
+        let out = engine.finish();
+        let m = ctx.metrics();
+        assert_eq!(m.counter(CounterId::EngineRecords), out.records);
+        assert!(m.counter(CounterId::AccessEvents) > 0);
+        assert_eq!(m.gauge(GaugeId::Iterations), (2, 2));
+        // The registry gauge is the same number the engine reported —
+        // peak tracked in exactly one place.
+        assert_eq!(m.gauge(GaugeId::LiveRecords).1, peak as u64);
+        assert_eq!(out.peak_live_records, peak);
+        assert_eq!(m.gauge(GaugeId::DdgNodes).0, out.ddg.len() as u64);
+        assert_eq!(m.gauge(GaugeId::DdgEdges).0, out.ddg.edge_count() as u64);
+    }
+
+    #[test]
+    fn metrics_do_not_change_engine_results() {
+        let plain = run_engine(None).unwrap();
+        let ctx = AnalysisCtx::session().with_metrics(autocheck_obs::Metrics::enabled());
+        let recs = {
+            let _g = ctx.enter();
+            parse_str(TWO_ITER).unwrap()
+        };
+        let mut engine = Engine::with_ctx(EngineConfig::for_region("main", 5, 7), &ctx);
+        for r in &recs {
+            engine.push(r).unwrap();
+        }
+        let metered = engine.finish();
+        assert_eq!(plain.iterations, metered.iterations);
+        assert_eq!(plain.records, metered.records);
+        assert_eq!(plain.peak_live_records, metered.peak_live_records);
+        assert_eq!(plain.mli.len(), metered.mli.len());
+        assert_eq!(plain.ddg.len(), metered.ddg.len());
+        assert_eq!(plain.ddg.edge_count(), metered.ddg.edge_count());
     }
 
     #[test]

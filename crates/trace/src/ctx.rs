@@ -24,42 +24,47 @@
 //! single-analysis embedders never have to name a ctx at all.
 
 use crate::intern::{SpaceGuard, SymId, SymbolSpace};
+use autocheck_obs::Metrics;
 use fxhash::{FxSeededHashMap, FxSeededState};
 use std::collections::hash_map::RandomState;
 use std::hash::BuildHasher;
 
-/// The scope of one analysis: symbol space, address-hash seed, trust.
+/// The scope of one analysis: symbol space, address-hash seed, trust, and
+/// the session's [`Metrics`] registry.
 ///
-/// Cheap to clone; clones share the same symbol space.
+/// Cheap to clone; clones share the same symbol space and registry.
 #[derive(Clone, Debug)]
 pub struct AnalysisCtx {
     space: SymbolSpace,
     addr_seed: u64,
     trusted: bool,
+    metrics: Metrics,
 }
 
 impl Default for AnalysisCtx {
     /// The process-default scope: global symbol space, deterministic
-    /// hashing, trusted input. Behaviorally identical to the pre-session
-    /// code path.
+    /// hashing, trusted input, metrics off. Behaviorally identical to the
+    /// pre-session code path.
     fn default() -> Self {
         AnalysisCtx {
             space: SymbolSpace::global(),
             addr_seed: 0,
             trusted: true,
+            metrics: Metrics::disabled(),
         }
     }
 }
 
 impl AnalysisCtx {
     /// A fresh session: its own empty [`SymbolSpace`], deterministic
-    /// hashing, trusted input. The starting point for every
+    /// hashing, trusted input, metrics off. The starting point for every
     /// `MultiAnalyzer` session.
     pub fn session() -> AnalysisCtx {
         AnalysisCtx {
             space: SymbolSpace::new(),
             addr_seed: 0,
             trusted: true,
+            metrics: Metrics::disabled(),
         }
     }
 
@@ -69,6 +74,7 @@ impl AnalysisCtx {
             space,
             addr_seed: 0,
             trusted: true,
+            metrics: Metrics::disabled(),
         }
     }
 
@@ -85,6 +91,7 @@ impl AnalysisCtx {
             space: SymbolSpace::current(),
             addr_seed: 0,
             trusted: true,
+            metrics: Metrics::disabled(),
         }
     }
 
@@ -104,6 +111,24 @@ impl AnalysisCtx {
     pub fn with_addr_seed(mut self, seed: u64) -> AnalysisCtx {
         self.addr_seed = seed;
         self
+    }
+
+    /// Attach a metrics registry: every component constructed over this ctx
+    /// (parser, engines, analyzers) records into it. The registry rides the
+    /// ctx the same way the symbol space does — session-scoped, shared by
+    /// clones. Pass [`Metrics::enabled()`] to start collecting; the default
+    /// everywhere is [`Metrics::disabled()`], which records nothing and
+    /// costs one predicted branch per would-be sample.
+    pub fn with_metrics(mut self, metrics: Metrics) -> AnalysisCtx {
+        self.metrics = metrics;
+        self
+    }
+
+    /// The session's metrics handle (disabled unless
+    /// [`with_metrics`](Self::with_metrics) installed a registry).
+    #[inline]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     /// The session's symbol space.
@@ -226,6 +251,18 @@ mod tests {
             assert_eq!(m.get(&0x7f00_0000_0000), Some(&9));
             assert_eq!(m.get(&0), Some(&1));
         }
+    }
+
+    #[test]
+    fn metrics_ride_the_ctx_and_are_shared_by_clones() {
+        use autocheck_obs::{CounterId, Metrics};
+        let off = AnalysisCtx::session();
+        assert!(!off.metrics().is_enabled(), "metrics default to disabled");
+        let on = AnalysisCtx::session().with_metrics(Metrics::enabled());
+        let clone = on.clone();
+        on.metrics().count(CounterId::ParseErrors, 1);
+        clone.metrics().count(CounterId::ParseErrors, 2);
+        assert_eq!(on.metrics().counter(CounterId::ParseErrors), 3);
     }
 
     #[test]

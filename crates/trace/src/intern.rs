@@ -73,7 +73,7 @@
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 /// A handle to an interned symbol string.
@@ -112,7 +112,20 @@ fn arena_leak(s: &str) -> &'static str {
     }
     let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
     set.insert(leaked);
+    ARENA_BYTES.fetch_add(s.len(), Ordering::Relaxed);
     leaked
+}
+
+/// String bytes leaked into the process-wide arena so far. This is the
+/// footprint of the deliberate dedup leak (bounded by distinct symbols ever
+/// seen): the growth figure every multi-session deployment wants on a dial.
+/// Published per session as the `intern.arena_bytes` ledger gauge.
+static ARENA_BYTES: AtomicUsize = AtomicUsize::new(0);
+
+/// Current process-wide interner arena footprint in bytes (string payload
+/// only; the dedup set's own overhead is excluded). Monotonic.
+pub fn arena_bytes() -> usize {
+    ARENA_BYTES.load(Ordering::Relaxed)
 }
 
 struct SpaceInner {
@@ -489,6 +502,26 @@ mod tests {
             gone.intern("space_drop_gone");
         }
         assert_eq!(keep.resolve(kept), "space_drop_kept");
+    }
+
+    #[test]
+    fn arena_bytes_grows_only_on_distinct_strings() {
+        let before = arena_bytes();
+        let space = SymbolSpace::new();
+        space.intern("arena_bytes_test_distinct_string");
+        let after_first = arena_bytes();
+        assert!(
+            after_first >= before + "arena_bytes_test_distinct_string".len(),
+            "a never-seen string must grow the arena"
+        );
+        // Re-interning the same string (even from another space) shares the
+        // leaked bytes — pointer-equal, so no second leak is possible.
+        let other = SymbolSpace::new();
+        let re = other.intern("arena_bytes_test_distinct_string");
+        assert!(std::ptr::eq(
+            other.resolve(re),
+            space.resolve(space.intern("arena_bytes_test_distinct_string"))
+        ));
     }
 
     #[test]

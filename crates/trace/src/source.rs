@@ -39,8 +39,11 @@ use crate::ctx::AnalysisCtx;
 use crate::parallel::{parse_chunks, parse_windowed_core, ParallelConfig, DEFAULT_WINDOW_BYTES};
 use crate::reader::{utf8_text, RecordReader, TraceReadError};
 use crate::record::Record;
+use autocheck_obs::{CounterId, Metrics, TimerId};
 use std::io::Read;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Which on-disk trace format to expect.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -145,7 +148,9 @@ impl<'a> TraceSource<'a> {
     /// windowed parser and binary through the streaming decoder.
     pub fn records(self) -> Result<Vec<Record>, TraceReadError> {
         let threads = self.parallel.map(|c| c.threads.max(1)).unwrap_or(1);
-        match self.input {
+        let metrics = self.ctx.metrics().clone();
+        let span = metrics.span(TimerId::Ingest);
+        let result = match self.input {
             Input::Str(s) => records_from_bytes(s.as_bytes(), self.format, threads, &self.ctx),
             Input::Bytes(b) => records_from_bytes(b, self.format, threads, &self.ctx),
             Input::Path(p) => {
@@ -154,12 +159,32 @@ impl<'a> TraceSource<'a> {
             }
             Input::Reader(r) => {
                 let (format, reader) = peek_format(r, self.format)?;
-                match format {
-                    TraceFormat::Binary => BinaryStreamReader::open(reader, &self.ctx)?.collect(),
+                let (reader, read_bytes) = MeteredReader::wrap(reader);
+                let result = match format {
+                    TraceFormat::Binary => {
+                        BinaryStreamReader::open(reader, &self.ctx).and_then(|r| r.collect())
+                    }
                     _ => parse_windowed_core(reader, threads, self.window, &self.ctx),
+                };
+                if let Ok(recs) = &result {
+                    note_ingest(
+                        &metrics,
+                        format,
+                        read_bytes.load(Ordering::Relaxed),
+                        recs.len() as u64,
+                    );
                 }
+                result
             }
+        };
+        drop(span);
+        if matches!(
+            result,
+            Err(TraceReadError::Parse(_)) | Err(TraceReadError::Binary(_))
+        ) {
+            metrics.count(CounterId::ParseErrors, 1);
         }
+        result
     }
 
     /// Pull records one at a time with bounded memory (text: chunked line
@@ -178,11 +203,58 @@ impl<'a> TraceSource<'a> {
             }
             Input::Reader(r) => peek_format(r, self.format)?,
         };
+        let metrics = ctx.metrics().clone();
+        let (reader, read_bytes) = MeteredReader::wrap(reader);
         let inner = match format {
             TraceFormat::Binary => StreamInner::Binary(BinaryStreamReader::open(reader, &ctx)?),
             _ => StreamInner::Text(RecordReader::with_ctx(reader, &ctx)),
         };
-        Ok(TraceStream { inner })
+        Ok(TraceStream {
+            inner,
+            metrics,
+            format,
+            read_bytes,
+            reported_bytes: 0,
+        })
+    }
+}
+
+/// Book ingested volume under the resolved format's counters.
+fn note_ingest(metrics: &Metrics, format: TraceFormat, bytes: u64, records: u64) {
+    let (rec_id, byte_id) = match format {
+        TraceFormat::Binary => (CounterId::IngestRecordsBinary, CounterId::IngestBytesBinary),
+        _ => (CounterId::IngestRecordsText, CounterId::IngestBytesText),
+    };
+    metrics.count(rec_id, records);
+    metrics.count(byte_id, bytes);
+}
+
+/// A [`Read`] adapter that tallies consumed bytes into a shared counter —
+/// how reader inputs (where no one knows the length up front) feed the
+/// ingest byte counters.
+struct MeteredReader<'a> {
+    inner: Box<dyn Read + 'a>,
+    bytes: Arc<AtomicU64>,
+}
+
+impl<'a> MeteredReader<'a> {
+    fn wrap(inner: Box<dyn Read + 'a>) -> (Box<dyn Read + 'a>, Arc<AtomicU64>) {
+        let bytes = Arc::new(AtomicU64::new(0));
+        (
+            Box::new(MeteredReader {
+                inner,
+                bytes: Arc::clone(&bytes),
+            }),
+            bytes,
+        )
+    }
+}
+
+impl Read for MeteredReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.bytes.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
     }
 }
 
@@ -190,6 +262,10 @@ impl<'a> TraceSource<'a> {
 /// the first error, then fuses.
 pub struct TraceStream<'a> {
     inner: StreamInner<'a>,
+    metrics: Metrics,
+    format: TraceFormat,
+    read_bytes: Arc<AtomicU64>,
+    reported_bytes: u64,
 }
 
 enum StreamInner<'a> {
@@ -208,10 +284,24 @@ impl Iterator for TraceStream<'_> {
     type Item = Result<Record, TraceReadError>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        match &mut self.inner {
+        let item = match &mut self.inner {
             StreamInner::Text(r) => r.next(),
             StreamInner::Binary(r) => r.next(),
+        };
+        if self.metrics.is_enabled() {
+            match &item {
+                Some(Ok(_)) => {
+                    let seen = self.read_bytes.load(Ordering::Relaxed);
+                    note_ingest(&self.metrics, self.format, seen - self.reported_bytes, 1);
+                    self.reported_bytes = seen;
+                }
+                Some(Err(TraceReadError::Parse(_))) | Some(Err(TraceReadError::Binary(_))) => {
+                    self.metrics.count(CounterId::ParseErrors, 1);
+                }
+                _ => {}
+            }
         }
+        item
     }
 }
 
@@ -256,13 +346,18 @@ fn records_from_bytes(
     threads: usize,
     ctx: &AnalysisCtx,
 ) -> Result<Vec<Record>, TraceReadError> {
-    match resolve_format(bytes, format) {
+    let format = resolve_format(bytes, format);
+    let result = match format {
         TraceFormat::Binary => BinaryReader::open(bytes, ctx)?.read_all_parallel(threads),
         _ => {
             let text = utf8_text(bytes)?;
             parse_chunks(text, threads, ctx).map_err(TraceReadError::Parse)
         }
+    };
+    if let Ok(recs) = &result {
+        note_ingest(ctx.metrics(), format, bytes.len() as u64, recs.len() as u64);
     }
+    result
 }
 
 #[cfg(test)]
@@ -524,6 +619,70 @@ mod tests {
             recs
         );
         assert_eq!(crate::reader::parse_read(text.as_bytes()).unwrap(), recs);
+    }
+
+    #[test]
+    fn ingest_counters_track_records_bytes_and_errors() {
+        use autocheck_obs::{CounterId, Metrics};
+        let base = AnalysisCtx::session();
+        let recs = synth(&base, 40);
+        let text = text_of(&base, &recs);
+        let bin = to_bytes(&recs, &base);
+
+        // Batch text: record + byte counters under the text ids.
+        let ctx = AnalysisCtx::session().with_metrics(Metrics::enabled());
+        TraceSource::from_str(&text).ctx(&ctx).records().unwrap();
+        let m = ctx.metrics();
+        assert_eq!(m.counter(CounterId::IngestRecordsText), 40);
+        assert_eq!(m.counter(CounterId::IngestBytesText), text.len() as u64);
+        assert_eq!(m.counter(CounterId::IngestRecordsBinary), 0);
+        assert_eq!(m.counter(CounterId::ParseErrors), 0);
+        let (ns, spans) = m.timer(autocheck_obs::TimerId::Ingest);
+        assert_eq!(spans, 1);
+        assert!(ns > 0);
+
+        // Batch binary from a reader: bytes metered through the adapter.
+        let ctx = AnalysisCtx::session().with_metrics(Metrics::enabled());
+        TraceSource::from_reader(&bin[..])
+            .ctx(&ctx)
+            .records()
+            .unwrap();
+        assert_eq!(ctx.metrics().counter(CounterId::IngestRecordsBinary), 40);
+        assert_eq!(
+            ctx.metrics().counter(CounterId::IngestBytesBinary),
+            bin.len() as u64
+        );
+
+        // Streaming text: per-record counting adds up to the same totals.
+        let ctx = AnalysisCtx::session().with_metrics(Metrics::enabled());
+        let n = TraceSource::from_reader(text.as_bytes())
+            .ctx(&ctx)
+            .stream()
+            .unwrap()
+            .filter(|r| r.is_ok())
+            .count();
+        assert_eq!(n, 40);
+        assert_eq!(ctx.metrics().counter(CounterId::IngestRecordsText), 40);
+        assert_eq!(
+            ctx.metrics().counter(CounterId::IngestBytesText),
+            text.len() as u64
+        );
+
+        // A malformed trace books one parse error, batch and stream alike.
+        let ctx = AnalysisCtx::session().with_metrics(Metrics::enabled());
+        TraceSource::from_str("0,zz,broken,1:1,0,27,9,\n")
+            .ctx(&ctx)
+            .records()
+            .unwrap_err();
+        assert_eq!(ctx.metrics().counter(CounterId::ParseErrors), 1);
+        let errs = TraceSource::from_str("0,zz,broken,1:1,0,27,9,\n")
+            .ctx(&ctx)
+            .stream()
+            .unwrap()
+            .filter(|r| r.is_err())
+            .count();
+        assert_eq!(errs, 1);
+        assert_eq!(ctx.metrics().counter(CounterId::ParseErrors), 2);
     }
 
     #[test]
