@@ -43,7 +43,7 @@ fn usage() -> ! {
         "usage: mlc <run|trace|convert|ir|loops|app> <file.mc | app-name> [-o out] [--function f]\n\
          \x20      mlc trace <file.mc> [-o out] [--format text|binary]\n\
          \x20      mlc trace <file.mc>... --stream [--function f] [--start n --end n]\n\
-         \x20                [--max-live-records N] [--metrics <file|->]\n\
+         \x20                [--max-live-records N] [--limit <kind>=<N>]... [--metrics <file|->]\n\
          \x20                (per-session stats per input file)\n\
          \x20      mlc convert <in> <out> [--to text|binary]   (trace format conversion)"
     );
@@ -59,6 +59,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--start",
     "--end",
     "--max-live-records",
+    "--limit",
     "--metrics",
     "--format",
     "--to",
@@ -185,6 +186,21 @@ fn main() -> ExitCode {
                 },
                 None => None,
             };
+            // `--limit` is repeatable, so it is collected directly rather
+            // than through `opt` (which only sees the first occurrence).
+            let mut limits = autocheck_trace::ResourceLimits::default();
+            for (i, a) in argv.iter().enumerate() {
+                if a == "--limit" {
+                    let Some(v) = argv.get(i + 1) else { usage() };
+                    match autocheck_trace::parse_limit_arg(v) {
+                        Ok((kind, n)) => limits = limits.set(kind, n),
+                        Err(e) => {
+                            eprintln!("error: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+            }
             let metrics_path = opt("--metrics");
             let mut ledgers: Vec<Ledger> = Vec::new();
             let t_all = std::time::Instant::now();
@@ -255,6 +271,9 @@ fn main() -> ExitCode {
                 // One session per input file: fresh symbol space, entered
                 // for the whole trace+analyze+render span.
                 let mut ctx = AnalysisCtx::session();
+                if !limits.is_unlimited() {
+                    ctx = ctx.with_limits(limits);
+                }
                 if metrics_path.is_some() {
                     ctx = ctx.with_metrics(Metrics::enabled());
                 }

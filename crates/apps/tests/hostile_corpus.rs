@@ -1,0 +1,217 @@
+//! Hostile-trace corpus sweep: the fail-safe acceptance bar.
+//!
+//! Every file in `tests/hostile/` (repo root) goes through all three front
+//! doors — the batch ingest (`TraceSource::records`), the streaming engine
+//! (`StreamAnalyzer::run_read`), and `MultiAnalyzer` jobs — in untrusted
+//! sessions with resource ceilings set. The bar: **no panic, typed errors
+//! only, no allocation driven by lying headers**, and a failing job never
+//! disturbs its neighbours. The corpus files are documented in
+//! `tests/hostile/README.md`; the seeded fault sweep additionally perturbs
+//! well-formed traces with `FaultReader` so short reads, injected I/O
+//! errors, truncation, and bit flips all land on the same bar.
+
+use autocheck_core::{
+    AnalysisJob, JobInput, MultiAnalyzer, Region, StreamAnalyzer, StreamConfig, StreamError,
+};
+use autocheck_trace::{AnalysisCtx, FaultPlan, ResourceKind, ResourceLimits, TraceSource};
+use std::path::{Path, PathBuf};
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/hostile")
+}
+
+/// Every corpus input (both formats), sorted for deterministic ordering.
+fn corpus_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("corpus directory exists")
+        .filter_map(|e| Some(e.ok()?.path()))
+        .filter(|p| {
+            matches!(
+                p.extension().and_then(|e| e.to_str()),
+                Some("txt") | Some("bin")
+            )
+        })
+        .collect();
+    files.sort();
+    assert!(files.len() >= 9, "corpus went missing: {files:?}");
+    files
+}
+
+/// Ceilings generous enough for the one well-formed corpus file
+/// (`adversarial_symbols.txt`: 400 records, ~50 KiB of symbol bytes) while
+/// still bounding what any lying header can make us do.
+fn corpus_limits() -> ResourceLimits {
+    ResourceLimits::new()
+        .max_trace_records(10_000)
+        .max_trace_bytes(1 << 20)
+        .max_symbols(4_096)
+        .max_arena_bytes(1 << 20)
+}
+
+fn untrusted_ctx() -> AnalysisCtx {
+    AnalysisCtx::session()
+        .untrusted()
+        .with_limits(corpus_limits())
+}
+
+#[test]
+fn batch_ingest_survives_every_corpus_file() {
+    for path in corpus_files() {
+        let ctx = untrusted_ctx();
+        let result = TraceSource::from_path(&path).ctx(&ctx).records();
+        match result {
+            // The resource-shaped files parse clean under these ceilings;
+            // anything syntactically hostile must fail typed.
+            Ok(recs) => assert!(
+                recs.len() <= 10_000,
+                "{}: parsed past the record ceiling",
+                path.display()
+            ),
+            Err(e) => {
+                let msg = e.to_string();
+                assert!(!msg.is_empty(), "{}: empty diagnostic", path.display());
+            }
+        }
+    }
+}
+
+#[test]
+fn streaming_ingest_survives_every_corpus_file() {
+    for path in corpus_files() {
+        let ctx = untrusted_ctx();
+        // Rendering/sorting resolves symbols via the thread-current space.
+        let _guard = ctx.enter();
+        let bytes = std::fs::read(&path).expect("corpus file readable");
+        let analyzer = StreamAnalyzer::new(Region::new("main", 3, 6))
+            .with_config(StreamConfig::default())
+            .with_ctx(ctx.clone());
+        match analyzer.run_read(&bytes[..]) {
+            Ok(run) => assert!(run.report.records <= 10_000, "{}", path.display()),
+            Err(e) => match e {
+                StreamError::Source(_) | StreamError::Resource(_) | StreamError::LiveBound(_) => {
+                    assert!(!e.to_string().is_empty());
+                }
+            },
+        }
+    }
+}
+
+#[test]
+fn multi_analyzer_degrades_gracefully_over_the_corpus() {
+    // All corpus files as one batch: hostile jobs fail typed and isolated,
+    // and the one well-formed file still analyzes.
+    let jobs: Vec<AnalysisJob> = corpus_files()
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            AnalysisJob::new(
+                p.file_name().unwrap().to_string_lossy().to_string(),
+                JobInput::TracePath(p.display().to_string()),
+                Region::new("main", 3, 6),
+            )
+            .untrusted(true)
+            .streaming(i % 2 == 0)
+            .with_limits(corpus_limits())
+        })
+        .collect();
+    let n = jobs.len();
+    let out = MultiAnalyzer::new(4).run(jobs);
+    assert_eq!(out.sessions.len() + out.failures.len(), n, "no job lost");
+    for f in &out.failures {
+        assert!(!f.message.is_empty(), "{}: empty failure message", f.name);
+        assert!(
+            !f.message.starts_with("panic:"),
+            "{}: panicked instead of failing typed: {}",
+            f.name,
+            f.message
+        );
+    }
+    let ok_names: Vec<&str> = out.sessions.iter().map(|s| s.name.as_str()).collect();
+    assert!(
+        ok_names.contains(&"adversarial_symbols.txt"),
+        "the well-formed file must analyze; got {ok_names:?} / {:?}",
+        out.failures
+    );
+}
+
+#[test]
+fn tight_ceilings_trip_typed_on_the_resource_hostile_file() {
+    let path = corpus_dir().join("adversarial_symbols.txt");
+    for (limits, kind) in [
+        (ResourceLimits::new().max_symbols(16), ResourceKind::Symbols),
+        (
+            ResourceLimits::new().max_trace_records(100),
+            ResourceKind::TraceRecords,
+        ),
+        (
+            ResourceLimits::new().max_trace_bytes(4_096),
+            ResourceKind::TraceBytes,
+        ),
+        (
+            ResourceLimits::new().max_arena_bytes(1_024),
+            ResourceKind::ArenaBytes,
+        ),
+    ] {
+        let ctx = AnalysisCtx::session().untrusted().with_limits(limits);
+        let err = TraceSource::from_path(&path)
+            .ctx(&ctx)
+            .records()
+            .expect_err("ceiling must trip");
+        match err {
+            autocheck_trace::reader::TraceReadError::Resource(e) => {
+                assert_eq!(e.kind, kind, "wrong axis tripped");
+                assert!(e.used > e.limit);
+            }
+            other => panic!("{kind}: expected Resource, got {other}"),
+        }
+    }
+}
+
+#[test]
+fn lying_binary_headers_do_not_drive_allocation() {
+    // The header claims u64::MAX records over ~5 KiB of body. A byte
+    // ceiling far below any such allocation must be enough: the read is
+    // bounded by real input size, and the failure is typed.
+    let path = corpus_dir().join("lying_header.bin");
+    let ctx = AnalysisCtx::session()
+        .untrusted()
+        .with_limits(ResourceLimits::new().max_trace_bytes(1 << 20));
+    let err = TraceSource::from_path(&path)
+        .ctx(&ctx)
+        .records()
+        .expect_err("the record shortfall is an error");
+    assert!(!err.to_string().is_empty());
+}
+
+#[test]
+fn seeded_faults_over_well_formed_traces_stay_typed() {
+    // Perturb the well-formed corpus file under 64 deterministic fault
+    // plans, through both front doors. Whatever the fault, the outcome is
+    // Ok or a typed error — and the same seed gives the same outcome.
+    let bytes = std::fs::read(corpus_dir().join("adversarial_symbols.txt")).unwrap();
+    for seed in 0..64u64 {
+        let outcome = |()| -> String {
+            let ctx = untrusted_ctx();
+            let plan = FaultPlan::from_seed(seed, bytes.len() as u64);
+            let result = TraceSource::from_reader(plan.reader(&bytes[..]))
+                .ctx(&ctx)
+                .records();
+            match result {
+                Ok(recs) => format!("ok:{}", recs.len()),
+                Err(e) => format!("err:{e}"),
+            }
+        };
+        let first = outcome(());
+        let second = outcome(());
+        // Injected-error text embeds only seed/offset, so equality here
+        // means the whole pipeline is deterministic under a given plan.
+        assert_eq!(first, second, "seed {seed} diverged");
+
+        // Stream front door under the same plan.
+        let ctx = untrusted_ctx();
+        let _guard = ctx.enter();
+        let plan = FaultPlan::from_seed(seed, bytes.len() as u64);
+        let analyzer = StreamAnalyzer::new(Region::new("main", 3, 6)).with_ctx(ctx.clone());
+        let _ = analyzer.run_read(plan.reader(&bytes[..]));
+    }
+}

@@ -41,6 +41,13 @@
 //! keyed by trace-supplied addresses hashes with a per-session random
 //! seed, so a crafted trace cannot exploit deterministic FxHash.
 //!
+//! `--limit <kind>=<N>` (repeatable) puts hard ceilings on session
+//! resources — `trace-records`, `trace-bytes`, `symbols`, `arena-bytes`,
+//! `ddg-nodes`, `ddg-edges`, `live-records`. A crossed ceiling is a clean
+//! one-line `error:` diagnostic and a nonzero exit, never an OOM; in
+//! `--batch` mode the limits apply per session, so one tenant tripping its
+//! quota cannot disturb the other sessions' reports.
+//!
 //! `--metrics <file|->` turns on the observability layer: the session runs
 //! with a metrics registry (counters, gauges, stage timers, histograms)
 //! and its versioned JSON run ledger is written to the file (`-` prints a
@@ -53,8 +60,8 @@ use autocheck_core::{
     capture_ledger, contract_for_mli, Analyzer, CollectMode, DdgAnalysis, Phases, PipelineConfig,
     Region, StreamAnalyzer, StreamConfig,
 };
-use autocheck_obs::Metrics;
-use autocheck_trace::AnalysisCtx;
+use autocheck_obs::{CounterId, Metrics};
+use autocheck_trace::{parse_limit_arg, AnalysisCtx, ResourceKind, ResourceLimits};
 use std::process::ExitCode;
 
 struct Args {
@@ -69,6 +76,7 @@ struct Args {
     stream: bool,
     max_live_records: Option<usize>,
     untrusted: bool,
+    limits: ResourceLimits,
     batch: Option<String>,
     jobs: usize,
     metrics: Option<String>,
@@ -79,8 +87,12 @@ fn usage() -> ! {
         "usage: autocheck <trace-file> --function <name> --start <line> --end <line>\n\
          \x20                [--index v1,v2] [--threads N] [--dot <file>] [--collect any|arithmetic]\n\
          \x20                [--stream] [--max-live-records N] [--untrusted-trace] [--metrics <file|->]\n\
+         \x20                [--limit <kind>=<N>]...\n\
          \x20      autocheck --batch <manifest> [--jobs N] [--stream] [--untrusted-trace] [--metrics <file|->]\n\
-         \x20                (manifest lines: <trace-file> <function> <start> <end> [index,vars])"
+         \x20                [--limit <kind>=<N>]...\n\
+         \x20                (manifest lines: <trace-file> <function> <start> <end> [index,vars])\n\
+         \x20                (--limit kinds: trace-records, trace-bytes, symbols, arena-bytes,\n\
+         \x20                 ddg-nodes, ddg-edges, live-records; repeatable, applies per session)"
     );
     std::process::exit(2)
 }
@@ -99,6 +111,7 @@ fn parse_args() -> Args {
     let mut stream = false;
     let mut max_live_records = None;
     let mut untrusted = false;
+    let mut limits = ResourceLimits::default();
     let mut batch = None;
     let mut jobs = 1usize;
     let mut metrics = None;
@@ -129,6 +142,13 @@ fn parse_args() -> Args {
                 max_live_records = Some(take().parse().unwrap_or_else(|_| usage()))
             }
             "--untrusted-trace" => untrusted = true,
+            "--limit" => match parse_limit_arg(&take()) {
+                Ok((kind, n)) => limits = limits.set(kind, n),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
+            },
             "--metrics" => metrics = Some(take()),
             "--batch" => batch = Some(take()),
             "--jobs" | "-j" => jobs = take().parse().unwrap_or_else(|_| usage()),
@@ -165,6 +185,7 @@ fn parse_args() -> Args {
             stream,
             max_live_records,
             untrusted,
+            limits,
             batch: Some(batch),
             jobs,
             metrics,
@@ -195,6 +216,7 @@ fn parse_args() -> Args {
         stream,
         max_live_records,
         untrusted,
+        limits,
         batch: None,
         jobs,
         metrics,
@@ -241,7 +263,8 @@ fn parse_manifest(path: &str, args: &Args) -> Result<Vec<autocheck_core::Analysi
             Region::new(fields[1], start, end),
         )
         .untrusted(args.untrusted)
-        .streaming(args.stream);
+        .streaming(args.stream)
+        .with_limits(args.limits);
         job.collect = args.collect;
         job.max_live_records = args.max_live_records;
         if let Some(ix) = fields.get(4) {
@@ -350,10 +373,7 @@ fn run_streaming(args: &Args, region: &Region, ctx: &AnalysisCtx) -> ExitCode {
         .with_ctx(ctx.clone());
     let run = match analyzer.run_read(file) {
         Ok(r) => r,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return fail(args, ctx, e),
     };
     println!("{}", run.report);
     if let (Some(dot_path), Some(dot)) = (&args.dot, &run.contracted_dot) {
@@ -391,6 +411,18 @@ fn run_streaming(args: &Args, region: &Region, ctx: &AnalysisCtx) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// One-line diagnostic + nonzero exit for a failed single analysis. The
+/// metrics artifact is still emitted so a tripped ceiling shows up in the
+/// ledger (`session.limit_exceeded`), not just on stderr.
+fn fail(args: &Args, ctx: &AnalysisCtx, e: impl std::fmt::Display) -> ExitCode {
+    eprintln!("error: {e}");
+    if let Some(path) = &args.metrics {
+        let ledger = capture_ledger(session_name(&args.trace), ctx);
+        emit_metrics(path, ledger.render_table(), ledger.to_json());
+    }
+    ExitCode::FAILURE
+}
+
 /// The ledger's session name: the trace file's stem, like batch manifests.
 fn session_name(trace: &str) -> &str {
     std::path::Path::new(trace)
@@ -411,6 +443,9 @@ fn main() -> ExitCode {
     } else {
         AnalysisCtx::default()
     };
+    if !args.limits.is_unlimited() {
+        ctx = ctx.with_limits(args.limits);
+    }
     if args.metrics.is_some() {
         ctx = ctx.with_metrics(Metrics::enabled());
     }
@@ -439,11 +474,19 @@ fn main() -> ExitCode {
         .with_ctx(ctx.clone());
     let report = match analyzer.analyze_bytes(&bytes) {
         Ok(r) => r,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return fail(&args, &ctx, e),
     };
+    // Batch ingest enforced the trace-side ceilings; the finished graph is
+    // where the DDG ceilings become checkable.
+    for (kind, used) in [
+        (ResourceKind::DdgNodes, report.ddg.nodes as u64),
+        (ResourceKind::DdgEdges, report.ddg.edges as u64),
+    ] {
+        if let Err(e) = ctx.limits().check(kind, used) {
+            ctx.metrics().count(CounterId::LimitExceeded, 1);
+            return fail(&args, &ctx, e);
+        }
+    }
     println!("{report}");
     println!(
         "timings: preprocess {:.3?}, dependency {:.3?}, identify {:.3?}, contract {:.3?} (total {:.3?})",

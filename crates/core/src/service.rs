@@ -25,7 +25,7 @@ use crate::report::{DepType, Report, Timings};
 use crate::stream::{StreamAnalyzer, StreamConfig};
 use autocheck_obs::ledger::{BatchLedger, Ledger};
 use autocheck_obs::{CounterId, GaugeId, Metrics, TimerId};
-use autocheck_trace::{AnalysisCtx, TraceSource};
+use autocheck_trace::{AnalysisCtx, ResourceKind, ResourceLimits, TraceSource};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -65,6 +65,10 @@ pub struct AnalysisJob {
     pub stream: bool,
     /// Hard live-record bound for streaming jobs.
     pub max_live_records: Option<usize>,
+    /// Session resource ceilings (trace records/bytes, symbols, arena
+    /// bytes, DDG size, live window). A tripped ceiling fails *this* job
+    /// with a typed message; the rest of the batch is untouched.
+    pub limits: ResourceLimits,
     /// Also render the contracted DDG as DOT (batch *and* streaming jobs —
     /// the streaming engine contracts its own frozen graph at finish).
     pub dot: bool,
@@ -83,6 +87,7 @@ impl AnalysisJob {
             untrusted: false,
             stream: false,
             max_live_records: None,
+            limits: ResourceLimits::default(),
             dot: false,
         }
     }
@@ -102,6 +107,12 @@ impl AnalysisJob {
     /// Analyze through the streaming engine.
     pub fn streaming(mut self, yes: bool) -> AnalysisJob {
         self.stream = yes;
+        self
+    }
+
+    /// Apply session resource ceilings to this job.
+    pub fn with_limits(mut self, limits: ResourceLimits) -> AnalysisJob {
+        self.limits = limits;
         self
     }
 
@@ -150,6 +161,11 @@ pub struct SessionFailure {
     pub name: String,
     /// What went wrong.
     pub message: String,
+    /// The session's metrics snapshot at the point of failure, when the
+    /// batch ran with metrics on — a tripped quota still shows up as
+    /// `session.limit_exceeded` in the aggregated ledger. Boxed: failures
+    /// travel through `Result::Err` and should stay small.
+    pub ledger: Option<Box<Ledger>>,
 }
 
 /// Everything a batch run produced.
@@ -307,7 +323,11 @@ impl MultiAnalyzer {
             jobs: (sessions.len() + failures.len()) as u64,
             wall_ns: wall.as_nanos() as u64,
             batch: Ledger::capture("batch", &batch),
-            sessions: sessions.iter().filter_map(|s| s.ledger.clone()).collect(),
+            sessions: sessions
+                .iter()
+                .filter_map(|s| s.ledger.clone())
+                .chain(failures.iter().filter_map(|f| f.ledger.as_deref().cloned()))
+                .collect(),
         });
         BatchOutcome {
             sessions,
@@ -322,12 +342,22 @@ impl MultiAnalyzer {
 /// Run one job in a fresh session. Panics inside the pipeline are caught
 /// and reported as failures so one bad job cannot take down the batch.
 fn run_session(job: &AnalysisJob, metrics: bool) -> Result<SessionReport, SessionFailure> {
-    let fail = |message: String| SessionFailure {
-        name: job.name.clone(),
-        message,
+    // The ctx lives out here so a failing job's registry survives the
+    // error path — its counters (notably `session.limit_exceeded`) are
+    // snapshotted into the failure record.
+    let mut ctx = if job.untrusted {
+        AnalysisCtx::session().untrusted()
+    } else {
+        AnalysisCtx::session()
     };
+    if !job.limits.is_unlimited() {
+        ctx = ctx.with_limits(job.limits);
+    }
+    if metrics {
+        ctx = ctx.with_metrics(Metrics::enabled());
+    }
     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        run_session_inner(job, metrics)
+        run_session_inner(job, &ctx)
     }))
     .unwrap_or_else(|p| {
         let msg = p
@@ -337,19 +367,18 @@ fn run_session(job: &AnalysisJob, metrics: bool) -> Result<SessionReport, Sessio
             .unwrap_or_else(|| "analysis panicked".to_string());
         Err(format!("panic: {msg}"))
     })
-    .map_err(fail)
+    .map_err(|message| SessionFailure {
+        name: job.name.clone(),
+        message,
+        ledger: ctx
+            .metrics()
+            .is_enabled()
+            .then(|| Box::new(capture_ledger(&job.name, &ctx))),
+    })
 }
 
-fn run_session_inner(job: &AnalysisJob, metrics: bool) -> Result<SessionReport, String> {
+fn run_session_inner(job: &AnalysisJob, ctx: &AnalysisCtx) -> Result<SessionReport, String> {
     let t0 = Instant::now();
-    let mut ctx = if job.untrusted {
-        AnalysisCtx::session().untrusted()
-    } else {
-        AnalysisCtx::session()
-    };
-    if metrics {
-        ctx = ctx.with_metrics(Metrics::enabled());
-    }
     // Output edges (report rendering, DOT) resolve via the thread-current
     // space; hold the guard for the whole session.
     let _guard = ctx.enter();
@@ -376,7 +405,7 @@ fn run_session_inner(job: &AnalysisJob, metrics: bool) -> Result<SessionReport, 
                 .map_err(|e| e.to_string())?;
             return Ok(session_report(
                 job,
-                &ctx,
+                ctx,
                 run.report,
                 Some(run.stats),
                 run.contracted_dot,
@@ -391,7 +420,7 @@ fn run_session_inner(job: &AnalysisJob, metrics: bool) -> Result<SessionReport, 
                 .map_err(|e| e.to_string())?;
             return Ok(session_report(
                 job,
-                &ctx,
+                ctx,
                 run.report,
                 Some(run.stats),
                 run.contracted_dot,
@@ -423,7 +452,7 @@ fn run_session_inner(job: &AnalysisJob, metrics: bool) -> Result<SessionReport, 
         }
         JobInput::TraceText(text) => (
             TraceSource::from_str(text)
-                .ctx(&ctx)
+                .ctx(ctx)
                 .records()
                 .map_err(|e| e.to_string())?,
             job.index_vars.clone().unwrap_or_default(),
@@ -432,7 +461,7 @@ fn run_session_inner(job: &AnalysisJob, metrics: bool) -> Result<SessionReport, 
             // Format (text or binary) auto-detects from the file's leading
             // bytes, so jobs can point at either kind of trace.
             TraceSource::from_path(path)
-                .ctx(&ctx)
+                .ctx(ctx)
                 .records()
                 .map_err(|e| format!("cannot read `{path}`: {e}"))?,
             job.index_vars.clone().unwrap_or_default(),
@@ -456,16 +485,28 @@ fn run_session_inner(job: &AnalysisJob, metrics: bool) -> Result<SessionReport, 
                 ..PipelineConfig::default()
             })
             .with_ctx(ctx.clone());
-        (analyzer.analyze(&records), None, None)
+        let report = analyzer.analyze(&records);
+        // The batch fold is infallible (ingest already enforced the
+        // trace-side ceilings); DDG size is checked on the finished graph.
+        for (kind, used) in [
+            (ResourceKind::DdgNodes, report.ddg.nodes as u64),
+            (ResourceKind::DdgEdges, report.ddg.edges as u64),
+        ] {
+            if let Err(e) = ctx.limits().check(kind, used) {
+                ctx.metrics().count(CounterId::LimitExceeded, 1);
+                return Err(e.to_string());
+            }
+        }
+        (report, None, None)
     };
 
     let dot = if job.dot && !job.stream {
-        Some(render_dot(&records, &job.region, &report, &ctx))
+        Some(render_dot(&records, &job.region, &report, ctx))
     } else {
         stream_dot
     };
 
-    Ok(session_report(job, &ctx, report, stream_stats, dot, t0))
+    Ok(session_report(job, ctx, report, stream_stats, dot, t0))
 }
 
 /// Assemble the rendered, session-independent report (called inside the
@@ -642,6 +683,75 @@ int main() {
         assert!(agg.contains("good"));
         assert!(agg.contains("FAILED"));
         assert!(agg.contains("2 failure(s)"));
+    }
+
+    #[test]
+    fn quota_tripped_job_leaves_the_rest_byte_identical() {
+        // Acceptance bar: in an 8-job batch, one job tripping its quota
+        // fails alone with a typed message; the other 7 reports are
+        // byte-identical to a run with no quotas anywhere.
+        let baseline_jobs: Vec<AnalysisJob> = (0..8).map(|i| mini_job(&format!("q{i}"))).collect();
+        let baseline = MultiAnalyzer::new(4).run(baseline_jobs);
+        assert!(baseline.failures.is_empty(), "{:?}", baseline.failures);
+
+        let jobs: Vec<AnalysisJob> = (0..8)
+            .map(|i| {
+                let job = mini_job(&format!("q{i}"));
+                if i == 3 {
+                    job.with_limits(ResourceLimits::new().max_ddg_nodes(0))
+                } else {
+                    job
+                }
+            })
+            .collect();
+        let out = MultiAnalyzer::new(4).run(jobs);
+        assert_eq!(out.failures.len(), 1);
+        assert_eq!(out.failures[0].name, "q3");
+        assert!(
+            out.failures[0].message.contains("resource limit exceeded"),
+            "typed message, got: {}",
+            out.failures[0].message
+        );
+        assert_eq!(out.sessions.len(), 7);
+        let surviving: Vec<&SessionReport> = baseline
+            .sessions
+            .iter()
+            .filter(|s| s.name != "q3")
+            .collect();
+        for (a, b) in surviving.iter().zip(&out.sessions) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(
+                a.rendered, b.rendered,
+                "{}: report must be untouched",
+                a.name
+            );
+            assert_eq!(a.summary, b.summary);
+        }
+    }
+
+    #[test]
+    fn tripped_quota_is_counted_in_the_batch_ledger() {
+        // A failed job's registry survives into the aggregated ledger: the
+        // failure record carries its session ledger, the batch ledger
+        // includes it, and `session.limit_exceeded` is booked.
+        let jobs = vec![
+            mini_job("ok"),
+            mini_job("capped").with_limits(ResourceLimits::new().max_ddg_nodes(0)),
+        ];
+        let out = MultiAnalyzer::new(2).with_metrics(true).run(jobs);
+        assert_eq!(out.sessions.len(), 1);
+        assert_eq!(out.failures.len(), 1);
+        let failed = out.failures[0].ledger.as_ref().expect("failure ledger");
+        assert_eq!(
+            failed.counter(CounterId::LimitExceeded),
+            1,
+            "{:?}",
+            failed.counters
+        );
+        let batch = out.ledger.as_ref().expect("batch ledger");
+        assert_eq!(batch.jobs, 2);
+        assert_eq!(batch.sessions.len(), 2, "failed session ledger included");
+        assert!(batch.sessions.iter().any(|l| l.name == "capped"));
     }
 
     #[test]

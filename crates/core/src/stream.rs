@@ -20,8 +20,8 @@ use crate::preprocess::{CollectMode, MliVar};
 use crate::region::Region;
 use crate::report::{Report, Timings};
 use autocheck_obs::TimerId;
-use autocheck_stream::{Engine, EngineConfig, LiveBoundExceeded};
-use autocheck_trace::{AnalysisCtx, Record, TraceReadError, TraceSource};
+use autocheck_stream::{Engine, EngineConfig, EngineError, LiveBoundExceeded};
+use autocheck_trace::{AnalysisCtx, Record, ResourceExceeded, TraceReadError, TraceSource};
 use std::fmt;
 use std::io;
 use std::time::Instant;
@@ -60,6 +60,9 @@ pub enum StreamError {
     Source(TraceReadError),
     /// The configured live-record bound was exceeded.
     LiveBound(LiveBoundExceeded),
+    /// A session resource ceiling (DDG nodes/edges, or a trace-side limit
+    /// smuggled through the source) was crossed.
+    Resource(ResourceExceeded),
 }
 
 impl fmt::Display for StreamError {
@@ -67,6 +70,7 @@ impl fmt::Display for StreamError {
         match self {
             StreamError::Source(e) => write!(f, "{e}"),
             StreamError::LiveBound(e) => write!(f, "{e}"),
+            StreamError::Resource(e) => write!(f, "{e}"),
         }
     }
 }
@@ -75,13 +79,33 @@ impl std::error::Error for StreamError {}
 
 impl From<TraceReadError> for StreamError {
     fn from(e: TraceReadError) -> Self {
-        StreamError::Source(e)
+        // Surface a limit trip from the trace layer under the same variant
+        // the engine uses, so callers match one shape.
+        match e {
+            TraceReadError::Resource(r) => StreamError::Resource(r),
+            other => StreamError::Source(other),
+        }
     }
 }
 
 impl From<LiveBoundExceeded> for StreamError {
     fn from(e: LiveBoundExceeded) -> Self {
         StreamError::LiveBound(e)
+    }
+}
+
+impl From<EngineError> for StreamError {
+    fn from(e: EngineError) -> Self {
+        match e {
+            EngineError::LiveBound(e) => StreamError::LiveBound(e),
+            EngineError::Resource(e) => StreamError::Resource(e),
+        }
+    }
+}
+
+impl From<ResourceExceeded> for StreamError {
+    fn from(e: ResourceExceeded) -> Self {
+        StreamError::Resource(e)
     }
 }
 
@@ -232,8 +256,8 @@ pub struct StreamSession {
 
 impl StreamSession {
     /// Consume one record. Fails fast if the configured live-record bound
-    /// is exceeded.
-    pub fn push(&mut self, record: &Record) -> Result<(), LiveBoundExceeded> {
+    /// or a session resource ceiling is exceeded.
+    pub fn push(&mut self, record: &Record) -> Result<(), EngineError> {
         if self.started.is_none() {
             self.started = Some(Instant::now());
         }

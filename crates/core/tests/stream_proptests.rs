@@ -74,4 +74,45 @@ proptest! {
         prop_assert_eq!(&batch.skipped, &stream.skipped);
         prop_assert_eq!(batch.records, stream.records);
     }
+
+    #[test]
+    fn faulted_streams_never_panic_the_analyzer(
+        stmt_idx in vec(0usize..10, 1..5),
+        m in 2u32..6,
+        seed in any::<u64>(),
+    ) {
+        // Fault injection below the full streaming pipeline: a seeded plan
+        // (short reads, truncation, injected io::Error, bit flips) over a
+        // real trace must come out of StreamAnalyzer::run_read as Ok or a
+        // typed StreamError — never a panic, never growth past the
+        // session's ceilings.
+        use autocheck_trace::{AnalysisCtx, FaultPlan, ResourceLimits};
+        let (src, start, end) = program(&stmt_idx, m);
+        let module = autocheck_minilang::compile(&src).unwrap();
+        let mut sink = autocheck_interp::WriterSink::new(Vec::new());
+        autocheck_interp::Machine::new(&module, autocheck_interp::ExecOptions::default())
+            .run(&mut sink, &mut autocheck_interp::NoHook)
+            .expect("runs");
+        let text = sink.finish().expect("trace bytes");
+
+        let ctx = AnalysisCtx::session().untrusted().with_limits(
+            ResourceLimits::new()
+                .max_trace_bytes(text.len() as u64)
+                .max_symbols(4_096),
+        );
+        let _guard = ctx.enter();
+        let region = Region::new("main", start, end);
+        let index = index_variables_of(&module, &region);
+        let plan = FaultPlan::from_seed(seed, text.len() as u64);
+        // Reaching the end without unwinding IS the property; the match
+        // additionally pins every failure to the typed error enum.
+        match StreamAnalyzer::new(region)
+            .with_index_vars(index)
+            .with_ctx(ctx.clone())
+            .run_read(plan.reader(&text[..]))
+        {
+            Ok(run) => prop_assert!(run.stats.ddg_nodes < 100_000),
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+    }
 }

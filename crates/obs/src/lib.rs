@@ -97,6 +97,10 @@ metric_ids! {
         SessionsOk => "batch.sessions_ok",
         /// Sessions that failed (service layer).
         SessionsFailed => "batch.sessions_failed",
+        /// Resource-limit violations (any axis): a session crossed one of
+        /// its configured `ResourceLimits` ceilings and was stopped with a
+        /// typed error. The tripped axis is named in the error/diagnostic.
+        LimitExceeded => "session.limit_exceeded",
     }
 }
 

@@ -20,7 +20,7 @@ use crate::mli::{Collect, MliCollector, MliEntry};
 use crate::region::RegionTracker;
 use crate::stats::{VarStats, VarStatsBuilder};
 use autocheck_obs::{CounterId, Gauge, GaugeId, HistId, Metrics, TimerId};
-use autocheck_trace::{AnalysisCtx, Record, SymId};
+use autocheck_trace::{AnalysisCtx, Record, ResourceExceeded, ResourceKind, SymId};
 use fxhash::FxSeededHashMap;
 use std::fmt;
 
@@ -83,6 +83,50 @@ impl fmt::Display for LiveBoundExceeded {
 
 impl std::error::Error for LiveBoundExceeded {}
 
+/// A [`push`](Engine::push) failure: the engine refused to grow further.
+///
+/// Both variants are recoverable, typed errors — the engine never panics on
+/// a hostile trace; it stops at the first crossed ceiling.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// The live-record window crossed its bound
+    /// ([`EngineConfig::max_live_records`] or the session's
+    /// `ResourceLimits::max_live_records`).
+    LiveBound(LiveBoundExceeded),
+    /// A session resource ceiling (DDG nodes or edges) was crossed.
+    Resource(ResourceExceeded),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::LiveBound(e) => write!(f, "{e}"),
+            EngineError::Resource(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::LiveBound(e) => Some(e),
+            EngineError::Resource(e) => Some(e),
+        }
+    }
+}
+
+impl From<LiveBoundExceeded> for EngineError {
+    fn from(e: LiveBoundExceeded) -> Self {
+        EngineError::LiveBound(e)
+    }
+}
+
+impl From<ResourceExceeded> for EngineError {
+    fn from(e: ResourceExceeded) -> Self {
+        EngineError::Resource(e)
+    }
+}
+
 /// Everything the engine knows at end-of-trace. `autocheck-core` turns
 /// this into a `Report` byte-identical to the batch pipeline's.
 #[derive(Clone, Debug)]
@@ -120,6 +164,11 @@ pub struct Engine {
     /// gauge all read this.
     live: Gauge,
     max_live: Option<usize>,
+    /// DDG size ceilings from the session's `ResourceLimits` (checked
+    /// against the builder's incremental node/edge counters on each push
+    /// that grew the graph).
+    max_ddg_nodes: Option<u64>,
+    max_ddg_edges: Option<u64>,
     metrics: Metrics,
     access_events: u64,
     /// Iteration tracked at the last histogram flush (metrics only).
@@ -147,7 +196,14 @@ impl Engine {
             addr_seed: ctx.addr_seed(),
             records: 0,
             live: Gauge::new(),
-            max_live: cfg.max_live_records,
+            // An explicit engine-config bound wins; otherwise the session's
+            // `ResourceLimits` live-record ceiling applies.
+            max_live: cfg.max_live_records.or(ctx
+                .limits()
+                .get(ResourceKind::LiveRecords)
+                .map(|n| n as usize)),
+            max_ddg_nodes: ctx.limits().get(ResourceKind::DdgNodes),
+            max_ddg_edges: ctx.limits().get(ResourceKind::DdgEdges),
             metrics: ctx.metrics().clone(),
             access_events: 0,
             hist_iter: 0,
@@ -156,7 +212,7 @@ impl Engine {
     }
 
     /// Consume one trace record. Call in execution order.
-    pub fn push(&mut self, r: &Record) -> Result<(), LiveBoundExceeded> {
+    pub fn push(&mut self, r: &Record) -> Result<(), EngineError> {
         self.records += 1;
         // 1-in-64 per-stage fold timing; everything else on the metrics
         // path is counter arithmetic flushed at finish().
@@ -206,8 +262,35 @@ impl Engine {
             if let Some(bound) = self.max_live {
                 let live = self.live.value() as usize;
                 if live > bound {
-                    return Err(LiveBoundExceeded { live, bound });
+                    self.metrics.count(CounterId::LimitExceeded, 1);
+                    return Err(LiveBoundExceeded { live, bound }.into());
                 }
+            }
+        }
+        // DDG ceilings: checked after every observe — the graph can grow
+        // on dependence bookkeeping even when no access event comes out.
+        if let Some(limit) = self.max_ddg_nodes {
+            let used = self.ddg.graph().len() as u64;
+            if used > limit {
+                self.metrics.count(CounterId::LimitExceeded, 1);
+                return Err(ResourceExceeded {
+                    kind: ResourceKind::DdgNodes,
+                    used,
+                    limit,
+                }
+                .into());
+            }
+        }
+        if let Some(limit) = self.max_ddg_edges {
+            let used = self.ddg.graph().edge_count() as u64;
+            if used > limit {
+                self.metrics.count(CounterId::LimitExceeded, 1);
+                return Err(ResourceExceeded {
+                    kind: ResourceKind::DdgEdges,
+                    used,
+                    limit,
+                }
+                .into());
             }
         }
         if self.metrics.is_enabled() {
@@ -333,7 +416,7 @@ r,64,2,1,9,
 r,64,2,1,10,
 ";
 
-    fn run_engine(max_live: Option<usize>) -> Result<EngineOutcome, LiveBoundExceeded> {
+    fn run_engine(max_live: Option<usize>) -> Result<EngineOutcome, EngineError> {
         let recs = parse_str(TWO_ITER).unwrap();
         let mut cfg = EngineConfig::for_region("main", 5, 7);
         cfg.max_live_records = max_live;
@@ -373,9 +456,50 @@ r,64,2,1,10,
     fn generous_bound_passes_tight_bound_fails() {
         assert!(run_engine(Some(64)).is_ok());
         let err = run_engine(Some(0)).unwrap_err();
-        assert_eq!(err.bound, 0);
-        assert!(err.live > 0);
+        let EngineError::LiveBound(ref e) = err else {
+            panic!("expected LiveBound, got {err:?}");
+        };
+        assert_eq!(e.bound, 0);
+        assert!(e.live > 0);
         assert!(err.to_string().contains("bound 0"));
+    }
+
+    #[test]
+    fn ctx_limits_bound_live_window_and_ddg_size() {
+        use autocheck_trace::ResourceLimits;
+        // Live-record ceiling via ctx limits surfaces as LiveBound, the
+        // same typed error as an explicit EngineConfig bound.
+        let ctx = AnalysisCtx::session().with_limits(ResourceLimits::new().max_live_records(0));
+        let recs = {
+            let _g = ctx.enter();
+            parse_str(TWO_ITER).unwrap()
+        };
+        let mut engine = Engine::with_ctx(EngineConfig::for_region("main", 5, 7), &ctx);
+        let err = recs
+            .iter()
+            .try_for_each(|r| engine.push(r))
+            .expect_err("live bound 0 must trip");
+        assert!(matches!(err, EngineError::LiveBound(_)), "got {err:?}");
+
+        // DDG node ceiling surfaces as a typed ResourceExceeded.
+        let ctx = AnalysisCtx::session().with_limits(ResourceLimits::new().max_ddg_nodes(1));
+        let recs = {
+            let _g = ctx.enter();
+            parse_str(TWO_ITER).unwrap()
+        };
+        let mut engine = Engine::with_ctx(EngineConfig::for_region("main", 5, 7), &ctx);
+        let err = recs
+            .iter()
+            .try_for_each(|r| engine.push(r))
+            .expect_err("ddg node bound 1 must trip");
+        match err {
+            EngineError::Resource(e) => {
+                assert_eq!(e.kind, ResourceKind::DdgNodes);
+                assert_eq!(e.limit, 1);
+                assert!(e.used > 1);
+            }
+            other => panic!("expected Resource(DdgNodes), got {other:?}"),
+        }
     }
 
     #[test]

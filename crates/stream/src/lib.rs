@@ -56,7 +56,7 @@ pub mod region;
 pub mod stats;
 
 pub use ddg::{AccessEvent, DdgBuilder};
-pub use engine::{Engine, EngineConfig, EngineOutcome, LiveBoundExceeded};
+pub use engine::{Engine, EngineConfig, EngineError, EngineOutcome, LiveBoundExceeded};
 pub use graph::{CsrGraph, DotWriter, Graph, NodeKind};
 pub use mli::{Collect, MliCollector, MliEntry};
 pub use prov::{relevant_opcode, resolve_alias, Provenance};

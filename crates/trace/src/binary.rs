@@ -293,6 +293,8 @@ impl<W: Write> BinaryWriter<W> {
 /// Serialize a slice of records to a complete binary trace (convenience
 /// mirror of [`crate::writer::to_string`]).
 pub fn to_bytes(records: &[Record], ctx: &AnalysisCtx) -> Vec<u8> {
+    // SAFETY of the expects: the sink is a `Vec<u8>`, whose `Write` impl is
+    // infallible — no untrusted input is involved on the encode path.
     let mut w = BinaryWriter::with_ctx(Vec::new(), ctx);
     for r in records {
         w.write_record(r).expect("in-memory binary encode");
@@ -312,6 +314,9 @@ fn parse_header_fields(h: &[u8; HEADER_BYTES]) -> Result<(u64, u32, u32), TraceR
     if version != VERSION {
         return Err(berr(4, format!("unsupported format version {version}")));
     }
+    // SAFETY of unwraps: `h` is a fixed `[u8; HEADER_BYTES]` array, so these
+    // constant subranges always have exactly the width the conversion needs —
+    // no hostile input reaches them with a different length.
     let record_count = u64::from_le_bytes(h[8..16].try_into().unwrap());
     let string_count = u32::from_le_bytes(h[16..20].try_into().unwrap());
     let strtab_len = u32::from_le_bytes(h[20..24].try_into().unwrap());
@@ -367,6 +372,10 @@ fn decode_record(
     syms: &[SymId],
 ) -> Result<(Record, usize), TraceReadError> {
     let off = |rel: usize| base + (at + rel) as u64;
+    // SAFETY of the `try_into().unwrap()`s below: the length-checked `get`
+    // calls guarantee `h` spans RECORD_BYTES and `o` spans OPERAND_BYTES, so
+    // every constant subrange is in bounds with exactly the converted width.
+    // Truncated input fails the `get`, never the conversion.
     let h = bytes
         .get(at..at + RECORD_BYTES)
         .ok_or_else(|| berr(off(0), "truncated record header"))?;
@@ -596,6 +605,10 @@ impl<'a> BinaryReader<'a> {
                 });
             }
         });
+        // SAFETY of the expects: the mutex is only poisoned if a worker
+        // panicked (decode_record returns typed errors, it does not panic
+        // on hostile bytes), and the claim loop above visits every index in
+        // `0..ranges.len()`, so each slot was filled exactly once.
         let mut out = Vec::with_capacity(self.record_count as usize);
         for slot in slots.into_inner().expect("slots poisoned") {
             out.extend(slot.expect("every chunk decoded")?);

@@ -22,6 +22,8 @@ pub fn chunk_boundaries(data: &[u8], n: usize) -> Vec<std::ops::Range<usize>> {
     for i in 1..n {
         let tentative = i * approx;
         if let Some(next) = next_block_start(data, tentative) {
+            // SAFETY of unwrap: `starts` is seeded with 0 above and only
+            // ever pushed to, so it is never empty.
             if *starts.last().unwrap() < next && next < len {
                 starts.push(next);
             }

@@ -24,6 +24,7 @@
 //! single-analysis embedders never have to name a ctx at all.
 
 use crate::intern::{SpaceGuard, SymId, SymbolSpace};
+use crate::limits::ResourceLimits;
 use autocheck_obs::Metrics;
 use fxhash::{FxSeededHashMap, FxSeededState};
 use std::collections::hash_map::RandomState;
@@ -39,6 +40,7 @@ pub struct AnalysisCtx {
     addr_seed: u64,
     trusted: bool,
     metrics: Metrics,
+    limits: ResourceLimits,
 }
 
 impl Default for AnalysisCtx {
@@ -51,6 +53,7 @@ impl Default for AnalysisCtx {
             addr_seed: 0,
             trusted: true,
             metrics: Metrics::disabled(),
+            limits: ResourceLimits::default(),
         }
     }
 }
@@ -65,6 +68,7 @@ impl AnalysisCtx {
             addr_seed: 0,
             trusted: true,
             metrics: Metrics::disabled(),
+            limits: ResourceLimits::default(),
         }
     }
 
@@ -75,6 +79,7 @@ impl AnalysisCtx {
             addr_seed: 0,
             trusted: true,
             metrics: Metrics::disabled(),
+            limits: ResourceLimits::default(),
         }
     }
 
@@ -92,6 +97,7 @@ impl AnalysisCtx {
             addr_seed: 0,
             trusted: true,
             metrics: Metrics::disabled(),
+            limits: ResourceLimits::default(),
         }
     }
 
@@ -129,6 +135,23 @@ impl AnalysisCtx {
     #[inline]
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// Attach per-session resource ceilings. Enforced by every layer that
+    /// ingests or accumulates for this session — `TraceSource` (records,
+    /// bytes, symbols, arena bytes), the streaming `Engine` (DDG size,
+    /// live window), and `MultiAnalyzer` (which threads a job's limits
+    /// here). Default is unlimited on every axis.
+    pub fn with_limits(mut self, limits: ResourceLimits) -> AnalysisCtx {
+        self.limits = limits;
+        self
+    }
+
+    /// The session's resource ceilings (unlimited unless
+    /// [`with_limits`](Self::with_limits) set some).
+    #[inline]
+    pub fn limits(&self) -> &ResourceLimits {
+        &self.limits
     }
 
     /// The session's symbol space.
@@ -263,6 +286,19 @@ mod tests {
         on.metrics().count(CounterId::ParseErrors, 1);
         clone.metrics().count(CounterId::ParseErrors, 2);
         assert_eq!(on.metrics().counter(CounterId::ParseErrors), 3);
+    }
+
+    #[test]
+    fn limits_ride_the_ctx_and_default_unlimited() {
+        use crate::limits::{ResourceKind, ResourceLimits};
+        let ctx = AnalysisCtx::session();
+        assert!(ctx.limits().is_unlimited());
+        let bounded = AnalysisCtx::session()
+            .with_limits(ResourceLimits::new().max_symbols(3).max_trace_bytes(100));
+        assert_eq!(bounded.limits().get(ResourceKind::Symbols), Some(3));
+        assert_eq!(bounded.limits().get(ResourceKind::TraceBytes), Some(100));
+        // Clones share the same (Copy) limits.
+        assert_eq!(bounded.clone().limits(), bounded.limits());
     }
 
     #[test]

@@ -29,11 +29,15 @@
 //! * two analyses in different spaces never observe each other's ids — a
 //!   burst of interning in one session cannot inflate another session's
 //!   dense tables;
-//! * dropping a space frees its lookup map and id vector. The string
-//!   *bytes* themselves live in a process-wide deduplicating arena
-//!   (`&'static str`), bounded by the number of distinct symbols ever seen
-//!   — program identifiers, not trace length — so repeated sessions over
-//!   similar programs re-use allocations instead of re-leaking them.
+//! * dropping a session space frees **everything** it interned: the lookup
+//!   map, the id vector, *and the string bytes*, which session spaces own
+//!   directly (`Box<str>` storage pinned for the life of the space). Only
+//!   the **global default space** still deduplicates through the
+//!   process-wide leak arena — right for the one-process-per-analysis CLI
+//!   shape, where symbols live as long as the process anyway. A service
+//!   hosting unbounded tenant streams therefore has bounded string memory:
+//!   each tenant's bytes die with its session, observable live via
+//!   [`arena_bytes`] (which now counts session bytes up *and down*).
 //!
 //! **When is the default global space still appropriate?** Whenever one
 //! process runs one analysis: the CLI tools, tests, benches, and any
@@ -94,15 +98,37 @@ struct Interner {
     // occurrence at most (and far less behind the per-parser memo).
     map: HashMap<&'static str, u32>,
     strs: Vec<&'static str>,
+    /// Owned backing storage — session spaces only. Each `Box<str>` pins a
+    /// heap allocation whose address never moves (pushing into the `Vec`
+    /// moves the *box*, not the string bytes), which is what makes the
+    /// `&'static str` views in `map`/`strs` stable for the space's
+    /// lifetime. The global space leaves this empty and leans on
+    /// [`arena_leak`] instead.
+    owned: Vec<Box<str>>,
+    /// Total bytes in `owned`; mirrored into [`SESSION_BYTES`] and given
+    /// back on drop.
+    owned_bytes: usize,
 }
 
-/// The process-wide deduplicating string arena backing every space.
+impl Interner {
+    fn empty() -> Interner {
+        Interner {
+            map: HashMap::new(),
+            strs: Vec::new(),
+            owned: Vec::new(),
+            owned_bytes: 0,
+        }
+    }
+}
+
+/// The process-wide deduplicating string arena — **global space only**.
 ///
-/// Strings are leaked to `&'static str` exactly once per distinct string
-/// across *all* spaces: a service analyzing the same program repeatedly in
-/// fresh sessions re-uses the allocation instead of leaking per session.
-/// The leak is bounded by the number of distinct symbols ever observed
-/// (program identifiers — not trace length).
+/// Strings interned in the default global space are leaked to
+/// `&'static str` exactly once per distinct string: in the
+/// one-process-per-analysis CLI shape these live as long as the process
+/// regardless, and the leak is bounded by the number of distinct symbols
+/// ever observed (program identifiers — not trace length). Session spaces
+/// do **not** touch this arena; they own their bytes and free them on drop.
 fn arena_leak(s: &str) -> &'static str {
     static ARENA: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
     let arena = ARENA.get_or_init(|| Mutex::new(HashSet::new()));
@@ -116,22 +142,42 @@ fn arena_leak(s: &str) -> &'static str {
     leaked
 }
 
-/// String bytes leaked into the process-wide arena so far. This is the
-/// footprint of the deliberate dedup leak (bounded by distinct symbols ever
-/// seen): the growth figure every multi-session deployment wants on a dial.
-/// Published per session as the `intern.arena_bytes` ledger gauge.
+/// String bytes leaked into the process-wide arena so far (global space
+/// only). This is the footprint of the deliberate dedup leak (bounded by
+/// distinct symbols ever seen): monotonic by design.
 static ARENA_BYTES: AtomicUsize = AtomicUsize::new(0);
 
-/// Current process-wide interner arena footprint in bytes (string payload
-/// only; the dedup set's own overhead is excluded). Monotonic.
+/// String bytes currently owned by live session spaces. Goes up on session
+/// interning and back down when a space drops — the reclamation the soak
+/// test pins.
+static SESSION_BYTES: AtomicUsize = AtomicUsize::new(0);
+
+/// Current process-wide interned-string footprint in bytes (string payload
+/// only; map/set overhead is excluded): the monotonic global-space leak
+/// arena plus the bytes owned by live session spaces. No longer monotonic —
+/// dropping a session space reclaims its contribution. Published per
+/// session as the `intern.arena_bytes` ledger gauge.
 pub fn arena_bytes() -> usize {
-    ARENA_BYTES.load(Ordering::Relaxed)
+    ARENA_BYTES.load(Ordering::Relaxed) + SESSION_BYTES.load(Ordering::Relaxed)
 }
 
 struct SpaceInner {
     /// Process-unique tag, for diagnostics (`{:?}` of a space names it).
+    /// Tag 0 is the global space — the only one backed by the leak arena.
     tag: u64,
     table: RwLock<Interner>,
+}
+
+impl Drop for SpaceInner {
+    fn drop(&mut self) {
+        // Give the session's bytes back to the process-wide gauge. The
+        // `Box<str>` storage itself frees with the `Interner`. (The global
+        // space lives in a `OnceLock` and never drops; its `owned_bytes`
+        // is 0 regardless.)
+        if let Ok(t) = self.table.get_mut() {
+            SESSION_BYTES.fetch_sub(t.owned_bytes, Ordering::Relaxed);
+        }
+    }
 }
 
 /// A session-scoped symbol table. Cheap to clone (an `Arc` handle); all
@@ -152,10 +198,7 @@ impl SymbolSpace {
         SymbolSpace {
             inner: Arc::new(SpaceInner {
                 tag: NEXT_TAG.fetch_add(1, Ordering::Relaxed),
-                table: RwLock::new(Interner {
-                    map: HashMap::new(),
-                    strs: Vec::new(),
-                }),
+                table: RwLock::new(Interner::empty()),
             }),
         }
     }
@@ -168,10 +211,7 @@ impl SymbolSpace {
             .get_or_init(|| SymbolSpace {
                 inner: Arc::new(SpaceInner {
                     tag: 0,
-                    table: RwLock::new(Interner {
-                        map: HashMap::new(),
-                        strs: Vec::new(),
-                    }),
+                    table: RwLock::new(Interner::empty()),
                 }),
             })
             .clone()
@@ -195,8 +235,9 @@ impl SymbolSpace {
     }
 
     /// Intern `s` in this space, returning its dense id. One hash lookup on
-    /// the hit path; on the miss path, one arena lookup (allocation only if
-    /// the string was never seen by *any* space).
+    /// the hit path. On the miss path the global space deduplicates through
+    /// the process-wide leak arena; a session space copies the bytes into
+    /// its own storage (freed when the space drops).
     pub fn intern(&self, s: &str) -> SymId {
         if let Some(&id) = self
             .inner
@@ -208,15 +249,49 @@ impl SymbolSpace {
         {
             return SymId(id);
         }
-        let leaked = arena_leak(s);
-        let mut w = self.inner.table.write().expect("interner poisoned");
-        // Double-check: another thread may have interned between the locks.
-        if let Some(&id) = w.map.get(leaked) {
-            return SymId(id);
+        if self.inner.tag == 0 {
+            let leaked = arena_leak(s);
+            let mut w = self.inner.table.write().expect("interner poisoned");
+            // Double-check: another thread may have interned between the locks.
+            if let Some(&id) = w.map.get(leaked) {
+                return SymId(id);
+            }
+            Self::push_entry(&mut w, leaked)
+        } else {
+            let mut w = self.inner.table.write().expect("interner poisoned");
+            if let Some(&id) = w.map.get(s) {
+                return SymId(id);
+            }
+            let boxed: Box<str> = s.into();
+            // SAFETY: the `'static` here is a private fiction scoped to this
+            // space. The view points into a `Box<str>` heap allocation whose
+            // address never changes (moving the box moves a pointer, not the
+            // bytes), and the box lives in `owned` until the `Interner` —
+            // and with it `map`/`strs`, the only holders of the view —
+            // drops. Resolution conveniences (`SymId::as_str`) can only
+            // reach this space through a live handle, so no view outlives
+            // the storage it borrows from. See the module docs: a resolved
+            // `&'static str` from a session space must not be stashed past
+            // the session, which is the same contract `SymId`s themselves
+            // already carry.
+            let stored: &'static str = unsafe { &*(boxed.as_ref() as *const str) };
+            w.owned.push(boxed);
+            w.owned_bytes += s.len();
+            SESSION_BYTES.fetch_add(s.len(), Ordering::Relaxed);
+            Self::push_entry(&mut w, stored)
         }
+    }
+
+    /// Append `stored` to the table, assigning the next dense id.
+    fn push_entry(w: &mut Interner, stored: &'static str) -> SymId {
+        // `expect` is unreachable from hostile input in practice: 4G
+        // distinct symbols would require ≥4 GiB of distinct trace bytes,
+        // and bounded deployments trip `ResourceLimits::max_symbols` long
+        // before. Kept as an expect because a wrapped id would silently
+        // alias two symbols — corruption, not an error state.
         let id = u32::try_from(w.strs.len()).expect("interner overflow: > 4G distinct symbols");
-        w.strs.push(leaked);
-        w.map.insert(leaked, id);
+        w.strs.push(stored);
+        w.map.insert(stored, id);
         SymId(id)
     }
 
@@ -265,6 +340,18 @@ impl SymbolSpace {
         self.len() == 0
     }
 
+    /// String bytes owned by this space — the memory reclaimed when the
+    /// space drops. Always 0 for the global space (its strings live in the
+    /// process-wide leak arena). This is the figure per-session
+    /// `max_arena_bytes` limits are checked against.
+    pub fn owned_bytes(&self) -> usize {
+        self.inner
+            .table
+            .read()
+            .expect("interner poisoned")
+            .owned_bytes
+    }
+
     /// True when `self` and `other` are handles to the same table.
     pub fn same_space(&self, other: &SymbolSpace) -> bool {
         Arc::ptr_eq(&self.inner, &other.inner)
@@ -308,7 +395,12 @@ impl SymId {
     }
 
     /// The interned string, resolved in the thread's current space.
-    /// `&'static` because string bytes live in the process-wide arena.
+    ///
+    /// The `&'static` lifetime is literal for global-space symbols (leak
+    /// arena) and a session-scoped fiction for session spaces: the bytes
+    /// are owned by the space and freed when it drops, so a resolved string
+    /// must not be stashed beyond the session — the same non-mixing
+    /// contract `SymId`s themselves carry.
     pub fn as_str(self) -> &'static str {
         CURRENT.with(|c| c.borrow().resolve(self))
     }
@@ -439,12 +531,13 @@ mod tests {
         assert_eq!(a_w.index(), 1);
         assert_eq!(b_y.index(), 0);
         assert_eq!(b_z.index(), 1);
-        // Same string, different spaces: ids are per-space.
+        // Same string, different spaces: ids are per-space, and each
+        // session space owns its *own* copy of the bytes (no cross-session
+        // sharing — that's what makes drop reclaim them).
         let a_y = a.intern("space_test_y");
         assert_eq!(a_y.index(), 2);
         assert_eq!(a.resolve(a_y), b.resolve(b_y));
-        // The arena deduplicates the bytes across spaces.
-        assert!(std::ptr::eq(a.resolve(a_y), b.resolve(b_y)));
+        assert!(!std::ptr::eq(a.resolve(a_y), b.resolve(b_y)));
     }
 
     #[test]
@@ -505,23 +598,48 @@ mod tests {
     }
 
     #[test]
-    fn arena_bytes_grows_only_on_distinct_strings() {
+    fn arena_bytes_counts_global_growth_and_session_bytes() {
+        let s = "arena_bytes_test_distinct_string";
         let before = arena_bytes();
         let space = SymbolSpace::new();
-        space.intern("arena_bytes_test_distinct_string");
-        let after_first = arena_bytes();
+        space.intern(s);
         assert!(
-            after_first >= before + "arena_bytes_test_distinct_string".len(),
-            "a never-seen string must grow the arena"
+            arena_bytes() >= before + s.len(),
+            "a live session's bytes must show in the gauge"
         );
-        // Re-interning the same string (even from another space) shares the
-        // leaked bytes — pointer-equal, so no second leak is possible.
-        let other = SymbolSpace::new();
-        let re = other.intern("arena_bytes_test_distinct_string");
-        assert!(std::ptr::eq(
-            other.resolve(re),
-            space.resolve(space.intern("arena_bytes_test_distinct_string"))
-        ));
+        // Re-interning in the same space is free.
+        let owned = space.owned_bytes();
+        space.intern(s);
+        assert_eq!(space.owned_bytes(), owned);
+        // Global-space interning grows the (monotonic) leak arena.
+        let g_before = arena_bytes();
+        SymbolSpace::global().intern("arena_bytes_test_global_only_sym");
+        assert!(arena_bytes() >= g_before + "arena_bytes_test_global_only_sym".len());
+    }
+
+    #[test]
+    fn dropping_a_session_space_reclaims_its_bytes() {
+        let syms: Vec<String> = (0..64).map(|i| format!("arena_reclaim_test_{i}")).collect();
+        let total: usize = syms.iter().map(|s| s.len()).sum();
+        let space = SymbolSpace::new();
+        for s in &syms {
+            space.intern(s);
+        }
+        assert_eq!(space.owned_bytes(), total);
+        let while_live = arena_bytes();
+        drop(space);
+        // Other tests intern concurrently, so compare against the lower
+        // bound: the gauge must have given this space's bytes back.
+        assert!(
+            arena_bytes() <= while_live - total + 4096,
+            "dropping the space must reclaim its {total} owned bytes"
+        );
+    }
+
+    #[test]
+    fn global_space_owns_no_bytes() {
+        SymbolSpace::global().intern("global_owned_bytes_probe");
+        assert_eq!(SymbolSpace::global().owned_bytes(), 0);
     }
 
     #[test]

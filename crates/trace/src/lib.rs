@@ -36,7 +36,9 @@
 pub mod binary;
 pub mod chunk;
 pub mod ctx;
+pub mod fault;
 pub mod intern;
+pub mod limits;
 pub mod name;
 pub mod namemap;
 pub mod nodeindex;
@@ -51,7 +53,9 @@ pub mod writer;
 pub use binary::{BinaryError, BinaryReader, BinaryStreamReader, BinaryWriter};
 pub use chunk::{chunk_boundaries, split_blocks};
 pub use ctx::AnalysisCtx;
+pub use fault::{FaultPlan, FaultReader};
 pub use intern::{SpaceGuard, SymId, SymbolSpace};
+pub use limits::{parse_limit_arg, ResourceExceeded, ResourceKind, ResourceLimits};
 pub use name::Name;
 pub use namemap::{NameMap, NameSet};
 pub use nodeindex::NodeIndex;

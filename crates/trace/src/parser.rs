@@ -131,13 +131,18 @@ impl TraceParser {
             if self.current.is_none() {
                 return Err(self.err("operand line before any header"));
             }
-            if op.tag == OpTag::Result {
-                if self.current.as_ref().is_some_and(|c| c.result.is_some()) {
-                    return Err(self.err("duplicate result line"));
+            if op.tag == OpTag::Result && self.current.as_ref().is_some_and(|c| c.result.is_some())
+            {
+                return Err(self.err("duplicate result line"));
+            }
+            // The is_none check above returned already, so a record is in
+            // flight — no unwrap on the hostile-input path.
+            if let Some(current) = self.current.as_mut() {
+                if op.tag == OpTag::Result {
+                    current.result = Some(op);
+                } else {
+                    current.operands.push(op);
                 }
-                self.current.as_mut().unwrap().result = Some(op);
-            } else {
-                self.current.as_mut().unwrap().operands.push(op);
             }
             Ok(None)
         }

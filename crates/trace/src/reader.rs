@@ -19,7 +19,8 @@ use std::io::{self, Read};
 pub const DEFAULT_CHUNK_BYTES: usize = 64 * 1024;
 
 /// A failure while streaming records from a reader: the underlying I/O
-/// failed, the trace text did not parse, or a binary trace was malformed.
+/// failed, the trace text did not parse, a binary trace was malformed, or
+/// the session crossed one of its [`ResourceLimits`](crate::ResourceLimits).
 #[derive(Debug)]
 pub enum TraceReadError {
     /// The underlying reader failed.
@@ -28,6 +29,8 @@ pub enum TraceReadError {
     Parse(ParseError),
     /// The binary trace is malformed.
     Binary(crate::binary::BinaryError),
+    /// The session crossed a configured resource ceiling.
+    Resource(crate::limits::ResourceExceeded),
 }
 
 impl fmt::Display for TraceReadError {
@@ -36,6 +39,7 @@ impl fmt::Display for TraceReadError {
             TraceReadError::Io(e) => write!(f, "trace read error: {e}"),
             TraceReadError::Parse(e) => write!(f, "{e}"),
             TraceReadError::Binary(e) => write!(f, "{e}"),
+            TraceReadError::Resource(e) => write!(f, "{e}"),
         }
     }
 }
@@ -46,6 +50,7 @@ impl std::error::Error for TraceReadError {
             TraceReadError::Io(e) => Some(e),
             TraceReadError::Parse(e) => Some(e),
             TraceReadError::Binary(e) => Some(e),
+            TraceReadError::Resource(e) => Some(e),
         }
     }
 }
@@ -65,6 +70,12 @@ impl From<ParseError> for TraceReadError {
 impl From<crate::binary::BinaryError> for TraceReadError {
     fn from(e: crate::binary::BinaryError) -> Self {
         TraceReadError::Binary(e)
+    }
+}
+
+impl From<crate::limits::ResourceExceeded> for TraceReadError {
+    fn from(e: crate::limits::ResourceExceeded) -> Self {
+        TraceReadError::Resource(e)
     }
 }
 

@@ -36,6 +36,7 @@
 
 use crate::binary::{self, BinaryReader, BinaryStreamReader};
 use crate::ctx::AnalysisCtx;
+use crate::limits::{ResourceExceeded, ResourceKind};
 use crate::parallel::{parse_chunks, parse_windowed_core, ParallelConfig, DEFAULT_WINDOW_BYTES};
 use crate::reader::{utf8_text, RecordReader, TraceReadError};
 use crate::record::Record;
@@ -153,19 +154,36 @@ impl<'a> TraceSource<'a> {
         let result = match self.input {
             Input::Str(s) => records_from_bytes(s.as_bytes(), self.format, threads, &self.ctx),
             Input::Bytes(b) => records_from_bytes(b, self.format, threads, &self.ctx),
-            Input::Path(p) => {
+            Input::Path(p) => (|| {
+                // Check the byte ceiling against the file's length *before*
+                // materializing it: an oversized file must not be read into
+                // memory just to be rejected.
+                if self.ctx.limits().get(ResourceKind::TraceBytes).is_some() {
+                    let len = std::fs::metadata(&p)?.len();
+                    self.ctx.limits().check(ResourceKind::TraceBytes, len)?;
+                }
                 let bytes = std::fs::read(&p)?;
                 records_from_bytes(&bytes, self.format, threads, &self.ctx)
-            }
+            })(),
             Input::Reader(r) => {
                 let (format, reader) = peek_format(r, self.format)?;
                 let (reader, read_bytes) = MeteredReader::wrap(reader);
+                let reader = ByteLimitReader::wrap(reader, &self.ctx);
                 let result = match format {
                     TraceFormat::Binary => {
                         BinaryStreamReader::open(reader, &self.ctx).and_then(|r| r.collect())
                     }
                     _ => parse_windowed_core(reader, threads, self.window, &self.ctx),
-                };
+                }
+                .map_err(unsmuggle_limit)
+                .and_then(|recs| {
+                    check_ingest_limits(
+                        &self.ctx,
+                        recs.len() as u64,
+                        read_bytes.load(Ordering::Relaxed),
+                    )?;
+                    Ok(recs)
+                });
                 if let Ok(recs) = &result {
                     note_ingest(
                         &metrics,
@@ -178,11 +196,14 @@ impl<'a> TraceSource<'a> {
             }
         };
         drop(span);
-        if matches!(
-            result,
-            Err(TraceReadError::Parse(_)) | Err(TraceReadError::Binary(_))
-        ) {
-            metrics.count(CounterId::ParseErrors, 1);
+        match &result {
+            Err(TraceReadError::Parse(_)) | Err(TraceReadError::Binary(_)) => {
+                metrics.count(CounterId::ParseErrors, 1);
+            }
+            Err(TraceReadError::Resource(_)) => {
+                metrics.count(CounterId::LimitExceeded, 1);
+            }
+            _ => {}
         }
         result
     }
@@ -205,9 +226,21 @@ impl<'a> TraceSource<'a> {
         };
         let metrics = ctx.metrics().clone();
         let (reader, read_bytes) = MeteredReader::wrap(reader);
+        let reader = ByteLimitReader::wrap(reader, &ctx);
         let inner = match format {
-            TraceFormat::Binary => StreamInner::Binary(BinaryStreamReader::open(reader, &ctx)?),
-            _ => StreamInner::Text(RecordReader::with_ctx(reader, &ctx)),
+            TraceFormat::Binary => match BinaryStreamReader::open(reader, &ctx) {
+                Ok(r) => StreamInner::Binary(r),
+                Err(e) => {
+                    // The open path reads the string table, so a byte
+                    // ceiling can trip before the stream even exists.
+                    let e = unsmuggle_limit(e);
+                    if matches!(e, TraceReadError::Resource(_)) {
+                        metrics.count(CounterId::LimitExceeded, 1);
+                    }
+                    return Err(e);
+                }
+            },
+            _ => StreamInner::Text(Box::new(RecordReader::with_ctx(reader, &ctx))),
         };
         Ok(TraceStream {
             inner,
@@ -215,7 +248,86 @@ impl<'a> TraceSource<'a> {
             format,
             read_bytes,
             reported_bytes: 0,
+            ctx,
+            records_seen: 0,
+            limit_tripped: false,
         })
+    }
+}
+
+/// Check the ingest-side resource ceilings for one source: records and raw
+/// bytes for this trace, plus the session-wide symbol count and owned
+/// string bytes (which grow only through interning — i.e. through ingest).
+fn check_ingest_limits(
+    ctx: &AnalysisCtx,
+    records: u64,
+    bytes: u64,
+) -> Result<(), ResourceExceeded> {
+    let limits = ctx.limits();
+    limits.check(ResourceKind::TraceRecords, records)?;
+    limits.check(ResourceKind::TraceBytes, bytes)?;
+    limits.check(ResourceKind::Symbols, ctx.space().len() as u64)?;
+    limits.check(ResourceKind::ArenaBytes, ctx.space().owned_bytes() as u64)?;
+    Ok(())
+}
+
+/// Recover a [`ResourceExceeded`] that [`ByteLimitReader`] smuggled through
+/// the `io::Error` channel (the only error type a [`Read`] can raise).
+fn unsmuggle_limit(e: TraceReadError) -> TraceReadError {
+    let TraceReadError::Io(io_err) = &e else {
+        return e;
+    };
+    match io_err
+        .get_ref()
+        .and_then(|inner| inner.downcast_ref::<ResourceExceeded>())
+    {
+        Some(r) => TraceReadError::Resource(*r),
+        None => e,
+    }
+}
+
+/// A [`Read`] adapter enforcing `max_trace_bytes` *during* the read — the
+/// guard that stops an unbounded (or lying-header) stream before downstream
+/// buffers can over-allocate. The violation travels as an `io::Error`
+/// wrapping the typed [`ResourceExceeded`]; [`unsmuggle_limit`] restores it
+/// at the `TraceSource` boundary.
+struct ByteLimitReader<'a> {
+    inner: Box<dyn Read + 'a>,
+    served: u64,
+    limit: u64,
+}
+
+impl<'a> ByteLimitReader<'a> {
+    fn wrap(inner: Box<dyn Read + 'a>, ctx: &AnalysisCtx) -> Box<dyn Read + 'a> {
+        match ctx.limits().get(ResourceKind::TraceBytes) {
+            Some(limit) => Box::new(ByteLimitReader {
+                inner,
+                served: 0,
+                limit,
+            }),
+            None => inner,
+        }
+    }
+}
+
+impl Read for ByteLimitReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        // Serve at most one byte past the ceiling: crossing it (rather than
+        // reaching it exactly) is what constitutes the violation.
+        let want = (buf.len() as u64).min(self.limit - self.served.min(self.limit) + 1) as usize;
+        let n = self.inner.read(&mut buf[..want])?;
+        self.served += n as u64;
+        if self.served > self.limit {
+            return Err(std::io::Error::other(ResourceExceeded {
+                kind: ResourceKind::TraceBytes,
+                used: self.served,
+                limit: self.limit,
+            }));
+        }
+        Ok(n)
     }
 }
 
@@ -266,10 +378,18 @@ pub struct TraceStream<'a> {
     format: TraceFormat,
     read_bytes: Arc<AtomicU64>,
     reported_bytes: u64,
+    /// The session whose limits this stream enforces per record.
+    ctx: AnalysisCtx,
+    records_seen: u64,
+    /// Set when a resource ceiling tripped: the stream fuses (the inner
+    /// readers fuse themselves after their own errors, but a limit
+    /// violation replaces an otherwise-good record).
+    limit_tripped: bool,
 }
 
 enum StreamInner<'a> {
-    Text(RecordReader<Box<dyn Read + 'a>>),
+    // Boxed: the text reader's line-carry buffers dwarf the binary variant.
+    Text(Box<RecordReader<Box<dyn Read + 'a>>>),
     Binary(BinaryStreamReader<Box<dyn Read + 'a>>),
 }
 
@@ -284,22 +404,44 @@ impl Iterator for TraceStream<'_> {
     type Item = Result<Record, TraceReadError>;
 
     fn next(&mut self) -> Option<Self::Item> {
+        if self.limit_tripped {
+            return None;
+        }
         let item = match &mut self.inner {
             StreamInner::Text(r) => r.next(),
             StreamInner::Binary(r) => r.next(),
         };
-        if self.metrics.is_enabled() {
-            match &item {
-                Some(Ok(_)) => {
-                    let seen = self.read_bytes.load(Ordering::Relaxed);
-                    note_ingest(&self.metrics, self.format, seen - self.reported_bytes, 1);
-                    self.reported_bytes = seen;
+        // Per-record limit enforcement: each delivered record re-checks the
+        // session's ingest ceilings, so a violation surfaces within one
+        // record of crossing the line — bounded growth by construction.
+        let item = match item {
+            Some(Ok(rec)) => {
+                self.records_seen += 1;
+                let bytes = self.read_bytes.load(Ordering::Relaxed);
+                match check_ingest_limits(&self.ctx, self.records_seen, bytes) {
+                    Ok(()) => Some(Ok(rec)),
+                    Err(limit) => {
+                        self.limit_tripped = true;
+                        Some(Err(TraceReadError::Resource(limit)))
+                    }
                 }
-                Some(Err(TraceReadError::Parse(_))) | Some(Err(TraceReadError::Binary(_))) => {
-                    self.metrics.count(CounterId::ParseErrors, 1);
-                }
-                _ => {}
             }
+            Some(Err(e)) => Some(Err(unsmuggle_limit(e))),
+            None => None,
+        };
+        match &item {
+            Some(Ok(_)) if self.metrics.is_enabled() => {
+                let seen = self.read_bytes.load(Ordering::Relaxed);
+                note_ingest(&self.metrics, self.format, seen - self.reported_bytes, 1);
+                self.reported_bytes = seen;
+            }
+            Some(Err(TraceReadError::Parse(_))) | Some(Err(TraceReadError::Binary(_))) => {
+                self.metrics.count(CounterId::ParseErrors, 1);
+            }
+            Some(Err(TraceReadError::Resource(_))) => {
+                self.metrics.count(CounterId::LimitExceeded, 1);
+            }
+            _ => {}
         }
         item
     }
@@ -346,6 +488,12 @@ fn records_from_bytes(
     threads: usize,
     ctx: &AnalysisCtx,
 ) -> Result<Vec<Record>, TraceReadError> {
+    // The byte ceiling gates the parse up front: everything downstream
+    // (record count, interned symbols, owned arena bytes) is bounded by the
+    // input's byte length, so the post-parse checks below can never observe
+    // more than one bounded input's worth of growth.
+    ctx.limits()
+        .check(ResourceKind::TraceBytes, bytes.len() as u64)?;
     let format = resolve_format(bytes, format);
     let result = match format {
         TraceFormat::Binary => BinaryReader::open(bytes, ctx)?.read_all_parallel(threads),
@@ -353,7 +501,11 @@ fn records_from_bytes(
             let text = utf8_text(bytes)?;
             parse_chunks(text, threads, ctx).map_err(TraceReadError::Parse)
         }
-    };
+    }
+    .and_then(|recs| {
+        check_ingest_limits(ctx, recs.len() as u64, bytes.len() as u64)?;
+        Ok(recs)
+    });
     if let Ok(recs) = &result {
         note_ingest(ctx.metrics(), format, bytes.len() as u64, recs.len() as u64);
     }
@@ -683,6 +835,128 @@ mod tests {
             .count();
         assert_eq!(errs, 1);
         assert_eq!(ctx.metrics().counter(CounterId::ParseErrors), 2);
+    }
+
+    #[test]
+    fn limits_trip_typed_errors_on_every_input_kind() {
+        use crate::limits::{ResourceKind, ResourceLimits};
+        let base = AnalysisCtx::session();
+        let recs = synth(&base, 50);
+        let text = text_of(&base, &recs);
+        let bin = to_bytes(&recs, &base);
+
+        // Record ceiling, in-memory text.
+        let ctx = AnalysisCtx::session().with_limits(ResourceLimits::new().max_trace_records(10));
+        let err = TraceSource::from_str(&text)
+            .ctx(&ctx)
+            .records()
+            .unwrap_err();
+        let TraceReadError::Resource(r) = err else {
+            panic!("expected a resource error");
+        };
+        assert_eq!(r.kind, ResourceKind::TraceRecords);
+        assert_eq!(r.limit, 10);
+
+        // Byte ceiling, binary from a reader: trips mid-read.
+        let ctx = AnalysisCtx::session().with_limits(ResourceLimits::new().max_trace_bytes(64));
+        let err = TraceSource::from_reader(&bin[..])
+            .ctx(&ctx)
+            .records()
+            .unwrap_err();
+        let TraceReadError::Resource(r) = err else {
+            panic!("expected a resource error, not {err}");
+        };
+        assert_eq!(r.kind, ResourceKind::TraceBytes);
+
+        // Symbol ceiling, in-memory binary.
+        let ctx = AnalysisCtx::session().with_limits(ResourceLimits::new().max_symbols(2));
+        let err = TraceSource::from_bytes(&bin)
+            .ctx(&ctx)
+            .records()
+            .unwrap_err();
+        let TraceReadError::Resource(r) = err else {
+            panic!("expected a resource error, not {err}");
+        };
+        assert_eq!(r.kind, ResourceKind::Symbols);
+
+        // Arena-byte ceiling.
+        let ctx = AnalysisCtx::session().with_limits(ResourceLimits::new().max_arena_bytes(3));
+        let err = TraceSource::from_str(&text)
+            .ctx(&ctx)
+            .records()
+            .unwrap_err();
+        let TraceReadError::Resource(r) = err else {
+            panic!("expected a resource error, not {err}");
+        };
+        assert_eq!(r.kind, ResourceKind::ArenaBytes);
+
+        // Path input: an oversized file is rejected before being read.
+        let dir = std::env::temp_dir().join(format!("autocheck-limits-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("big.txt");
+        std::fs::write(&p, &text).unwrap();
+        let ctx = AnalysisCtx::session().with_limits(ResourceLimits::new().max_trace_bytes(10));
+        let err = TraceSource::from_path(&p).ctx(&ctx).records().unwrap_err();
+        assert!(matches!(err, TraceReadError::Resource(_)));
+        std::fs::remove_dir_all(&dir).ok();
+
+        // Unlimited ctx still parses everything (no behavior change).
+        let ctx = AnalysisCtx::session();
+        assert_eq!(
+            TraceSource::from_str(&text)
+                .ctx(&ctx)
+                .records()
+                .unwrap()
+                .len(),
+            50
+        );
+    }
+
+    #[test]
+    fn streams_enforce_limits_per_record_and_fuse() {
+        use crate::limits::{ResourceKind, ResourceLimits};
+        use autocheck_obs::Metrics;
+        let base = AnalysisCtx::session();
+        let recs = synth(&base, 30);
+        let text = text_of(&base, &recs);
+        let bin = to_bytes(&recs, &base);
+
+        for (name, input) in [("text", text.as_bytes()), ("binary", &bin[..])] {
+            let ctx = AnalysisCtx::session()
+                .with_metrics(Metrics::enabled())
+                .with_limits(ResourceLimits::new().max_trace_records(5));
+            let items: Vec<_> = TraceSource::from_reader(input)
+                .ctx(&ctx)
+                .stream()
+                .unwrap()
+                .collect();
+            assert_eq!(items.len(), 6, "{name}: 5 records then the violation");
+            assert!(items[..5].iter().all(|r| r.is_ok()), "{name}");
+            let Err(TraceReadError::Resource(r)) = &items[5] else {
+                panic!("{name}: expected a resource error, got {:?}", items[5]);
+            };
+            assert_eq!(r.kind, ResourceKind::TraceRecords);
+            assert_eq!(
+                ctx.metrics()
+                    .counter(autocheck_obs::CounterId::LimitExceeded),
+                1,
+                "{name}: the violation books the limit counter"
+            );
+        }
+
+        // Byte ceiling through the streaming path trips as a typed error
+        // too (smuggled through the reader stack, restored at the stream).
+        let ctx = AnalysisCtx::session().with_limits(ResourceLimits::new().max_trace_bytes(40));
+        let items: Vec<_> = TraceSource::from_reader(text.as_bytes())
+            .ctx(&ctx)
+            .stream()
+            .unwrap()
+            .collect();
+        let last = items.last().unwrap();
+        assert!(
+            matches!(last, Err(TraceReadError::Resource(r)) if r.kind == ResourceKind::TraceBytes),
+            "expected a trace-bytes violation, got {last:?}"
+        );
     }
 
     #[test]

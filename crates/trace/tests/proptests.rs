@@ -3,8 +3,8 @@
 //! parsing for arbitrary traces.
 
 use autocheck_trace::{
-    binary, chunk_boundaries, split_blocks, writer, AnalysisCtx, Name, OpTag, Operand,
-    ParallelConfig, Record, SymId, TraceValue,
+    binary, chunk_boundaries, split_blocks, writer, AnalysisCtx, FaultPlan, Name, OpTag, Operand,
+    ParallelConfig, Record, ResourceLimits, SymId, TraceValue,
 };
 use autocheck_trace::{ParseError, TraceSource};
 use proptest::prelude::*;
@@ -210,5 +210,79 @@ proptest! {
             .ctx(&ctx)
             .stream()
             .map(|s| s.collect::<Result<Vec<_>, _>>());
+    }
+
+    #[test]
+    fn faulted_text_ingest_never_panics_and_respects_limits(
+        records in proptest::collection::vec(arb_record(), 1..30),
+        seed in any::<u64>(),
+    ) {
+        // A seeded fault plan (short reads, truncation, injected io::Error,
+        // bit flips) over a well-formed text trace: ingest yields Ok or a
+        // typed error, never a panic — and an Ok result never crosses the
+        // session's record ceiling.
+        let text = writer::to_string(&records);
+        let limit = records.len() as u64;
+        let ctx = AnalysisCtx::session().untrusted().with_limits(
+            ResourceLimits::new()
+                .max_trace_records(limit)
+                .max_trace_bytes(text.len() as u64),
+        );
+        let plan = FaultPlan::from_seed(seed, text.len() as u64);
+        let result = TraceSource::from_reader(plan.reader(text.as_bytes()))
+            .ctx(&ctx)
+            .records();
+        if let Ok(recs) = result {
+            prop_assert!(recs.len() as u64 <= limit);
+        }
+    }
+
+    #[test]
+    fn faulted_binary_ingest_never_panics_in_either_reader(
+        records in proptest::collection::vec(arb_record(), 1..20),
+        seed in any::<u64>(),
+    ) {
+        let base = AnalysisCtx::current();
+        let bytes = binary::to_bytes(&records, &base);
+        let limits = ResourceLimits::new()
+            .max_trace_bytes(bytes.len() as u64)
+            .max_symbols(4_096);
+        let ctx = AnalysisCtx::session().untrusted().with_limits(limits);
+        let plan = FaultPlan::from_seed(seed, bytes.len() as u64);
+        let batch = TraceSource::from_reader(plan.clone().reader(&bytes[..]))
+            .ctx(&ctx)
+            .records();
+        if let Ok(recs) = &batch {
+            prop_assert!(recs.len() <= records.len());
+        }
+        // Same plan through the pull-based stream: the two front doors may
+        // fail at different offsets (chunked vs record-at-a-time reads) but
+        // both must stay typed and bounded.
+        let ctx = AnalysisCtx::session().untrusted().with_limits(limits);
+        let plan = FaultPlan::from_seed(seed, bytes.len() as u64);
+        let _ = TraceSource::from_reader(plan.reader(&bytes[..]))
+            .ctx(&ctx)
+            .stream()
+            .map(|s| s.collect::<Result<Vec<_>, _>>());
+    }
+
+    #[test]
+    fn faulted_ingest_is_deterministic_per_seed(
+        records in proptest::collection::vec(arb_record(), 1..15),
+        seed in any::<u64>(),
+    ) {
+        // The replayability contract: the same seed over the same bytes
+        // produces the same outcome (same records or same error text).
+        let text = writer::to_string(&records);
+        let outcome = || {
+            let ctx = AnalysisCtx::session().untrusted();
+            let plan = FaultPlan::from_seed(seed, text.len() as u64);
+            TraceSource::from_reader(plan.reader(text.as_bytes()))
+                .ctx(&ctx)
+                .records()
+                .map_err(|e| e.to_string())
+                .map(|r| r.len())
+        };
+        prop_assert_eq!(outcome(), outcome());
     }
 }
