@@ -437,12 +437,22 @@ fn main() -> ExitCode {
         return run_batch(&args, &manifest);
     }
     // Single-analysis mode still gets a session scope when the trace is
-    // third-party: fresh symbol space + seeded address hashing.
-    let mut ctx = if args.untrusted {
-        AnalysisCtx::session().untrusted()
+    // third-party (fresh symbol space + seeded address hashing) — and also
+    // whenever a symbol/arena ceiling is set: those are measured against
+    // the session's own space, and the global space counts the whole
+    // process (its `owned_bytes` never reclaims), which would make the
+    // ceilings meaningless.
+    let needs_session = args.untrusted
+        || args.limits.max_symbols.is_some()
+        || args.limits.max_arena_bytes.is_some();
+    let mut ctx = if needs_session {
+        AnalysisCtx::session()
     } else {
         AnalysisCtx::default()
     };
+    if args.untrusted {
+        ctx = ctx.untrusted();
+    }
     if !args.limits.is_unlimited() {
         ctx = ctx.with_limits(args.limits);
     }

@@ -201,7 +201,7 @@ mod tests {
     }
 
     fn mli_names<'a>(names: &'a [&'a str]) -> impl Fn(&NodeKind) -> bool + 'a {
-        move |n| matches!(n, NodeKind::Var { name, .. } if names.contains(&name.as_str()))
+        move |n| matches!(n, NodeKind::Var { name, .. } if names.iter().any(|m| name.as_str() == *m))
     }
 
     #[test]

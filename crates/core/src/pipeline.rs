@@ -320,7 +320,7 @@ int main() {
     #[test]
     fn fig4_mli_variables_match_paper() {
         let report = fig4_report();
-        let mut names: Vec<&str> = report.mli.iter().map(|m| m.name.as_str()).collect();
+        let mut names: Vec<_> = report.mli.iter().map(|m| m.name.as_str()).collect();
         names.sort();
         // Paper §IV-A: "'a', 'b', 'sum', 's', 'r' are the MLI variables".
         assert_eq!(names, vec!["a", "b", "r", "s", "sum"]);

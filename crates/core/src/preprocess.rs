@@ -149,7 +149,7 @@ r,64,1,1,4,
     fn matches_variables_defined_before_and_used_inside() {
         let (recs, phases, region) = toy();
         let mli = find_mli_vars(&recs, &phases, &region, CollectMode::AnyAccess);
-        let names: Vec<&str> = mli.iter().map(|m| m.name.as_str()).collect();
+        let names: Vec<_> = mli.iter().map(|m| m.name.as_str()).collect();
         assert_eq!(names, vec!["sum"]);
         assert_eq!(mli[0].base_addr, 0x7f00_0000_0000);
         assert_eq!(mli[0].size, 8);

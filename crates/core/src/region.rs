@@ -171,7 +171,7 @@ mod tests {
     fn header_label_is_identified() {
         let recs = mini_trace();
         let ph = Phases::compute(&recs, &Region::new("main", 5, 7));
-        assert_eq!(ph.header_label.map(|l| l.as_str()), Some("1"));
+        assert_eq!(ph.header_label.map(|l| l.as_str()).as_deref(), Some("1"));
     }
 
     #[test]

@@ -164,6 +164,12 @@ pub struct Engine {
     /// gauge all read this.
     live: Gauge,
     max_live: Option<usize>,
+    /// True when `max_live` came from the session's `ResourceLimits`
+    /// rather than an explicit `EngineConfig::max_live_records`: only
+    /// quota-sourced breaches book the `session.limit_exceeded` counter
+    /// (its contract — ledgers read it as tenant quota pressure, not as an
+    /// intentional engine-config window bound).
+    live_bound_is_quota: bool,
     /// DDG size ceilings from the session's `ResourceLimits` (checked
     /// against the builder's incremental node/edge counters on each push
     /// that grew the graph).
@@ -202,6 +208,8 @@ impl Engine {
                 .limits()
                 .get(ResourceKind::LiveRecords)
                 .map(|n| n as usize)),
+            live_bound_is_quota: cfg.max_live_records.is_none()
+                && ctx.limits().get(ResourceKind::LiveRecords).is_some(),
             max_ddg_nodes: ctx.limits().get(ResourceKind::DdgNodes),
             max_ddg_edges: ctx.limits().get(ResourceKind::DdgEdges),
             metrics: ctx.metrics().clone(),
@@ -262,7 +270,9 @@ impl Engine {
             if let Some(bound) = self.max_live {
                 let live = self.live.value() as usize;
                 if live > bound {
-                    self.metrics.count(CounterId::LimitExceeded, 1);
+                    if self.live_bound_is_quota {
+                        self.metrics.count(CounterId::LimitExceeded, 1);
+                    }
                     return Err(LiveBoundExceeded { live, bound }.into());
                 }
             }
@@ -503,6 +513,48 @@ r,64,2,1,10,
     }
 
     #[test]
+    fn limit_counter_books_only_quota_sourced_live_bounds() {
+        use autocheck_obs::{CounterId, Metrics};
+        use autocheck_trace::ResourceLimits;
+        // A live bound from the session's ResourceLimits is tenant quota
+        // pressure: breaching it books `session.limit_exceeded`.
+        let ctx = AnalysisCtx::session()
+            .with_metrics(Metrics::enabled())
+            .with_limits(ResourceLimits::new().max_live_records(0));
+        let recs = {
+            let _g = ctx.enter();
+            parse_str(TWO_ITER).unwrap()
+        };
+        let mut engine = Engine::with_ctx(EngineConfig::for_region("main", 5, 7), &ctx);
+        recs.iter()
+            .try_for_each(|r| engine.push(r))
+            .expect_err("quota live bound 0 must trip");
+        assert_eq!(ctx.metrics().counter(CounterId::LimitExceeded), 1);
+
+        // The same breach from an explicit EngineConfig window bound is an
+        // intentional configuration choice, not quota pressure: same typed
+        // error, but the quota counter stays untouched.
+        let ctx = AnalysisCtx::session().with_metrics(Metrics::enabled());
+        let recs = {
+            let _g = ctx.enter();
+            parse_str(TWO_ITER).unwrap()
+        };
+        let mut engine = Engine::with_ctx(
+            EngineConfig {
+                max_live_records: Some(0),
+                ..EngineConfig::for_region("main", 5, 7)
+            },
+            &ctx,
+        );
+        let err = recs
+            .iter()
+            .try_for_each(|r| engine.push(r))
+            .expect_err("config live bound 0 must trip");
+        assert!(matches!(err, EngineError::LiveBound(_)), "got {err:?}");
+        assert_eq!(ctx.metrics().counter(CounterId::LimitExceeded), 0);
+    }
+
+    #[test]
     fn metrics_capture_engine_totals_and_live_peak() {
         use autocheck_obs::{CounterId, GaugeId, Metrics};
         let ctx = AnalysisCtx::session().with_metrics(Metrics::enabled());
@@ -556,6 +608,6 @@ r,64,2,1,10,
         assert!(out.ddg.edge_count() > 0);
         // The frozen graph is traversable: some node has a parent.
         assert!((0..out.ddg.len()).any(|n| !out.ddg.parent_slice(n).is_empty()));
-        assert_eq!(out.header_label.map(|l| l.as_str()), Some("1"));
+        assert_eq!(out.header_label.map(|l| l.as_str()).as_deref(), Some("1"));
     }
 }

@@ -305,7 +305,7 @@ r,64,1,1,4,
     #[test]
     fn matches_variables_defined_before_and_used_inside() {
         let mli = collect_over(TOY, Collect::AnyAccess);
-        let names: Vec<&str> = mli.iter().map(|m| m.name.as_str()).collect();
+        let names: Vec<_> = mli.iter().map(|m| m.name.as_str()).collect();
         assert_eq!(names, vec!["sum"]);
         assert_eq!(mli[0].base_addr, 0x7f00_0000_0000);
         assert_eq!(mli[0].size, 8);

@@ -269,7 +269,7 @@ mod tests {
     fn header_label_is_identified() {
         let recs = mini_trace();
         let (_, t) = annotate_all(&recs);
-        assert_eq!(t.header_label().map(|l| l.as_str()), Some("1"));
+        assert_eq!(t.header_label().map(|l| l.as_str()).as_deref(), Some("1"));
     }
 
     #[test]

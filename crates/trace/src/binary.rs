@@ -66,7 +66,7 @@
 //! `--untrusted-trace` hardening contract; see the fuzz tests).
 
 use crate::ctx::AnalysisCtx;
-use crate::intern::SymId;
+use crate::intern::{SymId, SymStr};
 use crate::name::Name;
 use crate::reader::TraceReadError;
 use crate::record::{OpTag, Operand, Record, TraceValue};
@@ -139,7 +139,9 @@ pub struct BinaryWriter<W: Write> {
     out: W,
     ctx: AnalysisCtx,
     /// String-table entries in first-use order (= file-local index order).
-    strings: Vec<&'static str>,
+    /// Owned handles — the writer stays valid even if the session space
+    /// that interned them drops first.
+    strings: Vec<SymStr>,
     /// Session `SymId` index → file-local string-table index.
     sym_index: FxHashMap<usize, u32>,
     /// Accumulated record-section bytes.

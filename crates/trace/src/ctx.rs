@@ -23,7 +23,7 @@
 //! space with deterministic hashing — the exact pre-session behavior — so
 //! single-analysis embedders never have to name a ctx at all.
 
-use crate::intern::{SpaceGuard, SymId, SymbolSpace};
+use crate::intern::{SpaceGuard, SymId, SymStr, SymbolSpace};
 use crate::limits::ResourceLimits;
 use autocheck_obs::Metrics;
 use fxhash::{FxSeededHashMap, FxSeededState};
@@ -165,9 +165,10 @@ impl AnalysisCtx {
         self.space.intern(s)
     }
 
-    /// Resolve `id` in the session's space.
+    /// Resolve `id` in the session's space. The returned [`SymStr`] owns
+    /// the bytes, so it stays valid even after the session drops.
     #[inline]
-    pub fn resolve(&self, id: SymId) -> &'static str {
+    pub fn resolve(&self, id: SymId) -> SymStr {
         self.space.resolve(id)
     }
 

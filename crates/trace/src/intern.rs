@@ -30,14 +30,17 @@
 //!   burst of interning in one session cannot inflate another session's
 //!   dense tables;
 //! * dropping a session space frees **everything** it interned: the lookup
-//!   map, the id vector, *and the string bytes*, which session spaces own
-//!   directly (`Box<str>` storage pinned for the life of the space). Only
-//!   the **global default space** still deduplicates through the
-//!   process-wide leak arena — right for the one-process-per-analysis CLI
-//!   shape, where symbols live as long as the process anyway. A service
-//!   hosting unbounded tenant streams therefore has bounded string memory:
-//!   each tenant's bytes die with its session, observable live via
-//!   [`arena_bytes`] (which now counts session bytes up *and down*).
+//!   map, the id vector, and — once every outstanding [`SymStr`] resolved
+//!   from it is gone — the string bytes. Storage is refcounted
+//!   (`Arc<str>`): the space holds one reference per string, resolution
+//!   hands out clones, and the bytes free when the last holder drops. A
+//!   service hosting unbounded tenant streams therefore has bounded string
+//!   memory: each tenant's bytes die with its session, observable live via
+//!   [`arena_bytes`] (which counts session bytes up *and down*). Only the
+//!   **global default space** is permanent — it lives in a `OnceLock` and
+//!   never drops, so its bytes are monotonic for the life of the process:
+//!   the right shape for the one-process-per-analysis CLI, where symbols
+//!   live as long as the process anyway.
 //!
 //! **When is the default global space still appropriate?** Whenever one
 //! process runs one analysis: the CLI tools, tests, benches, and any
@@ -48,6 +51,15 @@
 //! process hosts many unrelated analyses.
 //!
 //! # Resolution and the current space
+//!
+//! Resolution returns a [`SymStr`] — an owned, refcounted handle that
+//! derefs to `str`. The handle keeps the bytes alive by itself, so there is
+//! no lifetime tie between a resolved string and the space it came from:
+//! stashing a `SymStr` past its session is safe (it just pins those bytes
+//! until it drops). This is what makes the API sound — session spaces free
+//! their storage on drop, so resolution can never hand out a borrow that
+//! outlives the table. The refcount traffic is confined to the output
+//! edges; the per-record loops only ever touch `SymId`s.
 //!
 //! A `SymId` is 4 bytes and does not carry its space, so the space-less
 //! conveniences — [`SymId::intern`], [`SymId::as_str`], `Display`, `Ord` —
@@ -74,11 +86,14 @@
 //! pre-interning code, and the property tests assert report/DOT
 //! byte-identity across parse modes.
 
+use std::borrow::Borrow;
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// A handle to an interned symbol string.
 ///
@@ -90,24 +105,135 @@ use std::sync::{Arc, Mutex, OnceLock, RwLock};
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SymId(u32);
 
+/// An owned, refcounted handle to a resolved symbol string.
+///
+/// What [`SymbolSpace::resolve`] and [`SymId::as_str`] return. Derefs to
+/// `str` (and implements `Display`, `AsRef<str>`, `Borrow<str>`, string
+/// comparisons), so it drops into most `&str` positions with at most a `&`.
+/// The handle owns a reference to the bytes: holding it keeps the string
+/// alive even after the [`SymbolSpace`] that interned it drops, which is
+/// what lets session spaces reclaim storage without any dangling-borrow
+/// hazard. Cloning is a refcount bump.
+#[derive(Clone)]
+pub struct SymStr(Arc<str>);
+
+impl SymStr {
+    /// View as a plain string slice (borrowing from this handle).
+    #[inline]
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Unwrap into the shared `Arc<str>` (no copy — the same allocation the
+    /// space holds).
+    #[inline]
+    pub fn into_arc(self) -> Arc<str> {
+        self.0
+    }
+}
+
+impl Deref for SymStr {
+    type Target = str;
+    #[inline]
+    fn deref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for SymStr {
+    #[inline]
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Borrow<str> for SymStr {
+    #[inline]
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<SymStr> for Arc<str> {
+    fn from(s: SymStr) -> Arc<str> {
+        s.0
+    }
+}
+
+impl fmt::Display for SymStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for SymStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&*self.0, f)
+    }
+}
+
+impl PartialEq for SymStr {
+    fn eq(&self, other: &Self) -> bool {
+        // Arc pointer equality short-circuits the common same-space case.
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+
+impl Eq for SymStr {}
+
+/// Hashes as the underlying `str` (required to agree with `Borrow<str>` so
+/// maps keyed by `SymStr` can be probed with `&str`).
+impl Hash for SymStr {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.0.hash(state)
+    }
+}
+
+impl PartialOrd for SymStr {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SymStr {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+impl PartialEq<str> for SymStr {
+    fn eq(&self, other: &str) -> bool {
+        &*self.0 == other
+    }
+}
+
+impl PartialEq<&str> for SymStr {
+    fn eq(&self, other: &&str) -> bool {
+        &*self.0 == *other
+    }
+}
+
+impl PartialEq<String> for SymStr {
+    fn eq(&self, other: &String) -> bool {
+        &*self.0 == other.as_str()
+    }
+}
+
+impl PartialEq<SymStr> for &str {
+    fn eq(&self, other: &SymStr) -> bool {
+        *self == &*other.0
+    }
+}
+
 struct Interner {
     // Deliberately SipHash (std's seeded default), NOT FxHash: this is the
     // one map keyed by *untrusted strings* from the trace file, and FxHash
     // is deterministic and collision-craftable. The integer-keyed hot maps
     // downstream are where Fx pays; this table is hit once per symbol
     // occurrence at most (and far less behind the per-parser memo).
-    map: HashMap<&'static str, u32>,
-    strs: Vec<&'static str>,
-    /// Owned backing storage — session spaces only. Each `Box<str>` pins a
-    /// heap allocation whose address never moves (pushing into the `Vec`
-    /// moves the *box*, not the string bytes), which is what makes the
-    /// `&'static str` views in `map`/`strs` stable for the space's
-    /// lifetime. The global space leaves this empty and leans on
-    /// [`arena_leak`] instead.
-    owned: Vec<Box<str>>,
-    /// Total bytes in `owned`; mirrored into [`SESSION_BYTES`] and given
-    /// back on drop.
-    owned_bytes: usize,
+    // `Arc<str>: Borrow<str>` lets the hit path probe with a plain `&str`.
+    map: HashMap<Arc<str>, u32>,
+    strs: Vec<Arc<str>>,
 }
 
 impl Interner {
@@ -115,67 +241,51 @@ impl Interner {
         Interner {
             map: HashMap::new(),
             strs: Vec::new(),
-            owned: Vec::new(),
-            owned_bytes: 0,
         }
     }
 }
 
-/// The process-wide deduplicating string arena — **global space only**.
-///
-/// Strings interned in the default global space are leaked to
-/// `&'static str` exactly once per distinct string: in the
-/// one-process-per-analysis CLI shape these live as long as the process
-/// regardless, and the leak is bounded by the number of distinct symbols
-/// ever observed (program identifiers — not trace length). Session spaces
-/// do **not** touch this arena; they own their bytes and free them on drop.
-fn arena_leak(s: &str) -> &'static str {
-    static ARENA: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
-    let arena = ARENA.get_or_init(|| Mutex::new(HashSet::new()));
-    let mut set = arena.lock().expect("string arena poisoned");
-    if let Some(&leaked) = set.get(s) {
-        return leaked;
-    }
-    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
-    set.insert(leaked);
-    ARENA_BYTES.fetch_add(s.len(), Ordering::Relaxed);
-    leaked
-}
-
-/// String bytes leaked into the process-wide arena so far (global space
-/// only). This is the footprint of the deliberate dedup leak (bounded by
-/// distinct symbols ever seen): monotonic by design.
+/// String bytes owned by the never-dropped global space. Monotonic by
+/// construction: the global space lives in a `OnceLock` for the life of the
+/// process and only ever appends.
 static ARENA_BYTES: AtomicUsize = AtomicUsize::new(0);
 
 /// String bytes currently owned by live session spaces. Goes up on session
 /// interning and back down when a space drops — the reclamation the soak
-/// test pins.
+/// test pins. (Outstanding [`SymStr`] handles can keep individual strings
+/// alive past their space, but the gauge tracks *space* ownership: what a
+/// tenant's table pins.)
 static SESSION_BYTES: AtomicUsize = AtomicUsize::new(0);
 
 /// Current process-wide interned-string footprint in bytes (string payload
-/// only; map/set overhead is excluded): the monotonic global-space leak
-/// arena plus the bytes owned by live session spaces. No longer monotonic —
-/// dropping a session space reclaims its contribution. Published per
-/// session as the `intern.arena_bytes` ledger gauge.
+/// only; map/set overhead is excluded): the monotonic global-space table
+/// plus the bytes owned by live session spaces. Not monotonic — dropping a
+/// session space reclaims its contribution. Published per session as the
+/// `intern.arena_bytes` ledger gauge.
 pub fn arena_bytes() -> usize {
     ARENA_BYTES.load(Ordering::Relaxed) + SESSION_BYTES.load(Ordering::Relaxed)
 }
 
 struct SpaceInner {
     /// Process-unique tag, for diagnostics (`{:?}` of a space names it).
-    /// Tag 0 is the global space — the only one backed by the leak arena.
+    /// Tag 0 is the global space — the only one that never drops.
     tag: u64,
     table: RwLock<Interner>,
+    /// String bytes this space's table holds (what dropping the space gives
+    /// back). Atomic so [`SymbolSpace::owned_bytes`] and the drop
+    /// accounting never touch the table lock — a panic mid-intern (poisoned
+    /// lock) cannot drift the process-wide gauges.
+    owned_bytes: AtomicUsize,
 }
 
 impl Drop for SpaceInner {
     fn drop(&mut self) {
         // Give the session's bytes back to the process-wide gauge. The
-        // `Box<str>` storage itself frees with the `Interner`. (The global
-        // space lives in a `OnceLock` and never drops; its `owned_bytes`
-        // is 0 regardless.)
-        if let Ok(t) = self.table.get_mut() {
-            SESSION_BYTES.fetch_sub(t.owned_bytes, Ordering::Relaxed);
+        // `Arc<str>` storage itself frees with the `Interner` (modulo
+        // strings still pinned by outstanding `SymStr` handles). The global
+        // space lives in a `OnceLock` and never drops.
+        if self.tag != 0 {
+            SESSION_BYTES.fetch_sub(self.owned_bytes.load(Ordering::Relaxed), Ordering::Relaxed);
         }
     }
 }
@@ -199,6 +309,7 @@ impl SymbolSpace {
             inner: Arc::new(SpaceInner {
                 tag: NEXT_TAG.fetch_add(1, Ordering::Relaxed),
                 table: RwLock::new(Interner::empty()),
+                owned_bytes: AtomicUsize::new(0),
             }),
         }
     }
@@ -212,6 +323,7 @@ impl SymbolSpace {
                 inner: Arc::new(SpaceInner {
                     tag: 0,
                     table: RwLock::new(Interner::empty()),
+                    owned_bytes: AtomicUsize::new(0),
                 }),
             })
             .clone()
@@ -235,9 +347,9 @@ impl SymbolSpace {
     }
 
     /// Intern `s` in this space, returning its dense id. One hash lookup on
-    /// the hit path. On the miss path the global space deduplicates through
-    /// the process-wide leak arena; a session space copies the bytes into
-    /// its own storage (freed when the space drops).
+    /// the hit path. On the miss path the bytes are copied once into the
+    /// space's refcounted storage — freed when the space drops (session
+    /// spaces) or never (the global space, which lives for the process).
     pub fn intern(&self, s: &str) -> SymId {
         if let Some(&id) = self
             .inner
@@ -249,59 +361,37 @@ impl SymbolSpace {
         {
             return SymId(id);
         }
-        if self.inner.tag == 0 {
-            let leaked = arena_leak(s);
-            let mut w = self.inner.table.write().expect("interner poisoned");
-            // Double-check: another thread may have interned between the locks.
-            if let Some(&id) = w.map.get(leaked) {
-                return SymId(id);
-            }
-            Self::push_entry(&mut w, leaked)
-        } else {
-            let mut w = self.inner.table.write().expect("interner poisoned");
-            if let Some(&id) = w.map.get(s) {
-                return SymId(id);
-            }
-            let boxed: Box<str> = s.into();
-            // SAFETY: the `'static` here is a private fiction scoped to this
-            // space. The view points into a `Box<str>` heap allocation whose
-            // address never changes (moving the box moves a pointer, not the
-            // bytes), and the box lives in `owned` until the `Interner` —
-            // and with it `map`/`strs`, the only holders of the view —
-            // drops. Resolution conveniences (`SymId::as_str`) can only
-            // reach this space through a live handle, so no view outlives
-            // the storage it borrows from. See the module docs: a resolved
-            // `&'static str` from a session space must not be stashed past
-            // the session, which is the same contract `SymId`s themselves
-            // already carry.
-            let stored: &'static str = unsafe { &*(boxed.as_ref() as *const str) };
-            w.owned.push(boxed);
-            w.owned_bytes += s.len();
-            SESSION_BYTES.fetch_add(s.len(), Ordering::Relaxed);
-            Self::push_entry(&mut w, stored)
+        let mut w = self.inner.table.write().expect("interner poisoned");
+        // Double-check: another thread may have interned between the locks.
+        if let Some(&id) = w.map.get(s) {
+            return SymId(id);
         }
-    }
-
-    /// Append `stored` to the table, assigning the next dense id.
-    fn push_entry(w: &mut Interner, stored: &'static str) -> SymId {
+        let stored: Arc<str> = Arc::from(s);
+        self.inner.owned_bytes.fetch_add(s.len(), Ordering::Relaxed);
+        if self.inner.tag == 0 {
+            ARENA_BYTES.fetch_add(s.len(), Ordering::Relaxed);
+        } else {
+            SESSION_BYTES.fetch_add(s.len(), Ordering::Relaxed);
+        }
         // `expect` is unreachable from hostile input in practice: 4G
         // distinct symbols would require ≥4 GiB of distinct trace bytes,
         // and bounded deployments trip `ResourceLimits::max_symbols` long
         // before. Kept as an expect because a wrapped id would silently
         // alias two symbols — corruption, not an error state.
         let id = u32::try_from(w.strs.len()).expect("interner overflow: > 4G distinct symbols");
-        w.strs.push(stored);
+        w.strs.push(stored.clone());
         w.map.insert(stored, id);
         SymId(id)
     }
 
     /// The string for `id`, which must have been interned in this space.
+    /// The returned handle owns the bytes — see [`SymStr`].
     ///
     /// # Panics
     ///
     /// Panics when `id` was interned in a space with more symbols than this
     /// one — the detectable half of cross-space id mixing.
-    pub fn resolve(&self, id: SymId) -> &'static str {
+    pub fn resolve(&self, id: SymId) -> SymStr {
         self.try_resolve(id).unwrap_or_else(|| {
             panic!(
                 "SymId({}) is not from {:?} ({} symbols): symbol ids must be \
@@ -315,14 +405,15 @@ impl SymbolSpace {
 
     /// The string for `id`, or `None` when the id is out of this space's
     /// range.
-    pub fn try_resolve(&self, id: SymId) -> Option<&'static str> {
+    pub fn try_resolve(&self, id: SymId) -> Option<SymStr> {
         self.inner
             .table
             .read()
             .expect("interner poisoned")
             .strs
             .get(id.0 as usize)
-            .copied()
+            .cloned()
+            .map(SymStr)
     }
 
     /// Number of distinct symbols interned in this space.
@@ -340,16 +431,14 @@ impl SymbolSpace {
         self.len() == 0
     }
 
-    /// String bytes owned by this space — the memory reclaimed when the
-    /// space drops. Always 0 for the global space (its strings live in the
-    /// process-wide leak arena). This is the figure per-session
-    /// `max_arena_bytes` limits are checked against.
+    /// String bytes owned by this space — the memory a session gives back
+    /// when it drops. For the global space this is the process-lifetime
+    /// footprint (never reclaimed — the space never drops), which is why
+    /// per-session `max_arena_bytes`/`max_symbols` ceilings should be
+    /// checked against a *session* space (`AnalysisCtx::session()`), not
+    /// the global one.
     pub fn owned_bytes(&self) -> usize {
-        self.inner
-            .table
-            .read()
-            .expect("interner poisoned")
-            .owned_bytes
+        self.inner.owned_bytes.load(Ordering::Relaxed)
     }
 
     /// True when `self` and `other` are handles to the same table.
@@ -394,14 +483,10 @@ impl SymId {
         CURRENT.with(|c| c.borrow().intern(s))
     }
 
-    /// The interned string, resolved in the thread's current space.
-    ///
-    /// The `&'static` lifetime is literal for global-space symbols (leak
-    /// arena) and a session-scoped fiction for session spaces: the bytes
-    /// are owned by the space and freed when it drops, so a resolved string
-    /// must not be stashed beyond the session — the same non-mixing
-    /// contract `SymId`s themselves carry.
-    pub fn as_str(self) -> &'static str {
+    /// The interned string, resolved in the thread's current space. The
+    /// returned [`SymStr`] owns the bytes: it stays valid even if the
+    /// session space that interned it drops first.
+    pub fn as_str(self) -> SymStr {
         CURRENT.with(|c| c.borrow().resolve(self))
     }
 
@@ -417,7 +502,7 @@ impl SymId {
 
 impl fmt::Display for SymId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.as_str())
+        f.write_str(&self.as_str())
     }
 }
 
@@ -436,7 +521,7 @@ impl Ord for SymId {
         if self.0 == other.0 {
             return std::cmp::Ordering::Equal;
         }
-        self.as_str().cmp(other.as_str())
+        self.as_str().cmp(&other.as_str())
     }
 }
 
@@ -483,7 +568,7 @@ mod tests {
     fn round_trips_through_strings() {
         for s in ["p", "key_array", "0", "main", "κλειδί", ""] {
             assert_eq!(SymId::intern(s).as_str(), s);
-            assert_eq!(SymId::intern(SymId::intern(s).as_str()), SymId::intern(s));
+            assert_eq!(SymId::intern(&SymId::intern(s).as_str()), SymId::intern(s));
         }
     }
 
@@ -537,7 +622,10 @@ mod tests {
         let a_y = a.intern("space_test_y");
         assert_eq!(a_y.index(), 2);
         assert_eq!(a.resolve(a_y), b.resolve(b_y));
-        assert!(!std::ptr::eq(a.resolve(a_y), b.resolve(b_y)));
+        assert!(!Arc::ptr_eq(
+            &a.resolve(a_y).into_arc(),
+            &b.resolve(b_y).into_arc()
+        ));
     }
 
     #[test]
@@ -598,6 +686,19 @@ mod tests {
     }
 
     #[test]
+    fn resolved_strings_outlive_their_space() {
+        // The soundness contract SymStr exists for: a resolved string is
+        // owned, so safe code stashing it past the session reads valid
+        // bytes (it pins them), never freed memory.
+        let space = SymbolSpace::new();
+        let id = space.intern("space_outlive_probe");
+        let resolved = space.resolve(id);
+        drop(space);
+        assert_eq!(resolved, "space_outlive_probe");
+        assert_eq!(resolved.as_str().len(), "space_outlive_probe".len());
+    }
+
+    #[test]
     fn arena_bytes_counts_global_growth_and_session_bytes() {
         let s = "arena_bytes_test_distinct_string";
         let before = arena_bytes();
@@ -611,7 +712,7 @@ mod tests {
         let owned = space.owned_bytes();
         space.intern(s);
         assert_eq!(space.owned_bytes(), owned);
-        // Global-space interning grows the (monotonic) leak arena.
+        // Global-space interning grows the (monotonic) global table.
         let g_before = arena_bytes();
         SymbolSpace::global().intern("arena_bytes_test_global_only_sym");
         assert!(arena_bytes() >= g_before + "arena_bytes_test_global_only_sym".len());
@@ -637,9 +738,32 @@ mod tests {
     }
 
     #[test]
-    fn global_space_owns_no_bytes() {
-        SymbolSpace::global().intern("global_owned_bytes_probe");
-        assert_eq!(SymbolSpace::global().owned_bytes(), 0);
+    fn global_space_bytes_are_monotonic_process_footprint() {
+        let before = SymbolSpace::global().owned_bytes();
+        let probe = "global_owned_bytes_probe";
+        SymbolSpace::global().intern(probe);
+        let after = SymbolSpace::global().owned_bytes();
+        assert!(
+            after >= before && after >= probe.len(),
+            "the global space reports its own (never-reclaimed) footprint"
+        );
+    }
+
+    #[test]
+    fn symstr_works_as_a_string_in_maps_and_comparisons() {
+        let space = SymbolSpace::new();
+        let s = space.resolve(space.intern("symstr_test_key"));
+        // Borrow<str> + Hash agreement: probe a SymStr-keyed map with &str.
+        let mut m: HashMap<SymStr, u32> = HashMap::new();
+        m.insert(s.clone(), 7);
+        assert_eq!(m.get("symstr_test_key"), Some(&7));
+        // Deref / AsRef / Display / ordering.
+        assert_eq!(&s[0..6], "symstr");
+        assert_eq!(s.as_ref(), "symstr_test_key");
+        assert_eq!(s.to_string(), "symstr_test_key");
+        assert_eq!(s, "symstr_test_key".to_string());
+        let t = space.resolve(space.intern("symstr_test_zzz"));
+        assert!(s < t);
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub use binary::{BinaryError, BinaryReader, BinaryStreamReader, BinaryWriter};
 pub use chunk::{chunk_boundaries, split_blocks};
 pub use ctx::AnalysisCtx;
 pub use fault::{FaultPlan, FaultReader};
-pub use intern::{SpaceGuard, SymId, SymbolSpace};
+pub use intern::{SpaceGuard, SymId, SymStr, SymbolSpace};
 pub use limits::{parse_limit_arg, ResourceExceeded, ResourceKind, ResourceLimits};
 pub use name::Name;
 pub use namemap::{NameMap, NameSet};

@@ -1,6 +1,6 @@
 //! Register and variable names as they appear in trace operand records.
 
-use crate::intern::SymId;
+use crate::intern::{SymId, SymStr};
 use std::fmt;
 
 /// A register name in the trace.
@@ -51,8 +51,8 @@ impl Name {
         matches!(self, Name::Sym(_))
     }
 
-    /// The symbolic name, if any.
-    pub fn as_sym(&self) -> Option<&'static str> {
+    /// The symbolic name, if any (owned — see [`SymStr`]).
+    pub fn as_sym(&self) -> Option<SymStr> {
         match self {
             Name::Sym(s) => Some(s.as_str()),
             _ => None,
@@ -64,7 +64,7 @@ impl fmt::Display for Name {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Name::Temp(n) => write!(f, "{n}"),
-            Name::Sym(s) => f.write_str(s.as_str()),
+            Name::Sym(s) => fmt::Display::fmt(s, f),
             Name::None => Ok(()),
         }
     }
@@ -121,8 +121,8 @@ mod tests {
 
     #[test]
     fn as_sym_resolves() {
-        assert_eq!(Name::sym("p").as_sym(), Some("p"));
-        assert_eq!(Name::Temp(3).as_sym(), None);
-        assert_eq!(Name::None.as_sym(), None);
+        assert_eq!(Name::sym("p").as_sym().as_deref(), Some("p"));
+        assert_eq!(Name::Temp(3).as_sym().as_deref(), None);
+        assert_eq!(Name::None.as_sym().as_deref(), None);
     }
 }

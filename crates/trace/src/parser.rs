@@ -16,7 +16,7 @@
 //! symbol, which is what keeps parallel parsing off the space's lock.
 
 use crate::ctx::AnalysisCtx;
-use crate::intern::SymId;
+use crate::intern::{SymId, SymStr};
 use crate::name::Name;
 use crate::record::{OpTag, Operand, Record, TraceValue};
 use std::collections::HashMap;
@@ -49,11 +49,11 @@ pub struct TraceParser {
     /// current space — the global one unless a session guard is live).
     ctx: AnalysisCtx,
     /// Parser-private memo onto the ctx's space (see module docs). Keyed by
-    /// the arena-leaked `&'static str` the space hands back, so the memo
-    /// itself adds no allocation per symbol. SipHash (std default), not
-    /// FxHash: these are untrusted strings straight from the trace, the
-    /// same reason the space's table avoids Fx (see `intern.rs`).
-    memo: HashMap<&'static str, SymId>,
+    /// the refcounted [`SymStr`] the space hands back, so the memo shares
+    /// the space's allocation per symbol instead of copying. SipHash (std
+    /// default), not FxHash: these are untrusted strings straight from the
+    /// trace, the same reason the space's table avoids Fx (see `intern.rs`).
+    memo: HashMap<SymStr, SymId>,
     current: Option<Record>,
     line_no: u64,
 }
@@ -371,10 +371,13 @@ mod tests {
     #[test]
     fn interner_shares_function_names() {
         let recs = parse_str(FIG1).unwrap();
-        // Repeated function names intern to the same id — and to literally
-        // the same `&'static str` allocation.
+        // Repeated function names intern to the same id — and resolve to
+        // literally the same shared allocation.
         assert_eq!(recs[0].func, recs[1].func);
-        assert!(std::ptr::eq(recs[0].func.as_str(), recs[1].func.as_str()));
+        assert!(std::sync::Arc::ptr_eq(
+            &recs[0].func.as_str().into_arc(),
+            &recs[1].func.as_str().into_arc()
+        ));
     }
 
     #[test]

@@ -316,8 +316,11 @@ impl Read for ByteLimitReader<'_> {
             return Ok(0);
         }
         // Serve at most one byte past the ceiling: crossing it (rather than
-        // reaching it exactly) is what constitutes the violation.
-        let want = (buf.len() as u64).min(self.limit - self.served.min(self.limit) + 1) as usize;
+        // reaching it exactly) is what constitutes the violation. Saturate:
+        // at limit == u64::MAX the `+ 1` would otherwise wrap to a
+        // zero-length read, silently treating the trace as empty.
+        let remaining = (self.limit - self.served.min(self.limit)).saturating_add(1);
+        let want = (buf.len() as u64).min(remaining) as usize;
         let n = self.inner.read(&mut buf[..want])?;
         self.served += n as u64;
         if self.served > self.limit {
@@ -909,6 +912,28 @@ mod tests {
                 .unwrap()
                 .len(),
             50
+        );
+    }
+
+    #[test]
+    fn byte_limit_of_u64_max_reads_everything() {
+        use crate::limits::ResourceLimits;
+        // `--limit trace-bytes=18446744073709551615` parses as a valid u64;
+        // the one-past-the-ceiling arithmetic must saturate instead of
+        // wrapping to a zero-length read (which would silently treat every
+        // trace as empty).
+        let ctx =
+            AnalysisCtx::session().with_limits(ResourceLimits::new().max_trace_bytes(u64::MAX));
+        let base = AnalysisCtx::session();
+        let recs = synth(&base, 10);
+        let text = text_of(&base, &recs);
+        assert_eq!(
+            TraceSource::from_reader(text.as_bytes())
+                .ctx(&ctx)
+                .records()
+                .unwrap()
+                .len(),
+            10
         );
     }
 

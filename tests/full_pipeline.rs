@@ -64,7 +64,7 @@ fn mli_set_matches_paper() {
     let report = Analyzer::new(region())
         .with_index_vars(index_variables_of(&module, &region()))
         .analyze(&records);
-    let mut names: Vec<&str> = report.mli.iter().map(|m| m.name.as_str()).collect();
+    let mut names: Vec<_> = report.mli.iter().map(|m| m.name.as_str()).collect();
     names.sort();
     assert_eq!(names, vec!["a", "b", "r", "s", "sum"]);
 }
