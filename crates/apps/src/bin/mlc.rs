@@ -14,7 +14,12 @@
 //! mlc convert <in> <out> [--to text|binary]
 //!                                     # lossless trace conversion; the input
 //!                                     # format auto-detects, --to defaults
-//!                                     # to the opposite format
+//!                                     # to the opposite format. With
+//!                                     # --function/--start/--end the binary
+//!                                     # output carries the v2 iteration-
+//!                                     # index footer (shard planning with
+//!                                     # no pre-scan); an input footer is
+//!                                     # otherwise carried over
 //! mlc ir    <file.mc>                 # dump the textual IR
 //! mlc loops <file.mc> [--function f]  # list loops and their control vars
 //! mlc app   <name> [-o file.mc]       # emit a bundled benchmark's source
@@ -45,7 +50,9 @@ fn usage() -> ! {
          \x20      mlc trace <file.mc>... --stream [--function f] [--start n --end n]\n\
          \x20                [--max-live-records N] [--limit <kind>=<N>]... [--metrics <file|->]\n\
          \x20                (per-session stats per input file)\n\
-         \x20      mlc convert <in> <out> [--to text|binary]   (trace format conversion)"
+         \x20      mlc convert <in> <out> [--to text|binary]   (trace format conversion)\n\
+         \x20      mlc convert <in> <out> --to binary --function f --start n --end n\n\
+         \x20                (also emit the v2 iteration-index footer for sharded analysis)"
     );
     std::process::exit(2)
 }
@@ -70,7 +77,7 @@ const VALUE_FLAGS: &[&str] = &[
 /// matching interpreter sink.
 enum FileSink<W: Write> {
     Text(WriterSink<W>),
-    Binary(BinarySink<W>),
+    Binary(Box<BinarySink<W>>),
 }
 
 impl<W: Write> FileSink<W> {
@@ -370,7 +377,7 @@ fn main() -> ExitCode {
             };
             let mut sink = match format.as_str() {
                 "text" => FileSink::Text(WriterSink::new(file)),
-                "binary" => FileSink::Binary(BinarySink::new(file)),
+                "binary" => FileSink::Binary(Box::new(BinarySink::new(file))),
                 other => {
                     eprintln!("error: --format must be `text` or `binary`, not `{other}`");
                     return ExitCode::FAILURE;
@@ -427,9 +434,45 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
+            // Optional v2 iteration-index footer: `--function/--start/--end`
+            // name the main loop, the region tracker computes the
+            // iteration-aligned boundaries, and the binary writer appends
+            // them so sharded readers plan without a pre-scan. Without a
+            // region, an existing footer on a binary input is carried over.
+            let index_region = match (opt("--function"), opt("--start"), opt("--end")) {
+                (Some(f), Some(s), Some(e)) => match (s.parse::<u32>(), e.parse::<u32>()) {
+                    (Ok(s), Ok(e)) => Some(Region::new(f, s, e)),
+                    _ => usage(),
+                },
+                (None, None, None) => None,
+                _ => {
+                    eprintln!("error: --function/--start/--end must be given together");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut indexed = false;
             let out_bytes = if to_binary {
-                autocheck_trace::binary::to_bytes(&records, &ctx)
+                let bounds = match &index_region {
+                    Some(region) => {
+                        let phases = autocheck_core::Phases::compute_in(&records, region, &ctx);
+                        Some(autocheck_core::boundaries_from_annots(&phases.annots))
+                    }
+                    None => autocheck_trace::binary::iteration_index(&bytes)
+                        .ok()
+                        .flatten(),
+                };
+                match bounds {
+                    Some(b) => {
+                        indexed = true;
+                        autocheck_trace::binary::to_bytes_with_index(&records, b, &ctx)
+                    }
+                    None => autocheck_trace::binary::to_bytes(&records, &ctx),
+                }
             } else {
+                if index_region.is_some() {
+                    eprintln!("error: the iteration-index footer requires `--to binary`");
+                    return ExitCode::FAILURE;
+                }
                 autocheck_trace::writer::to_string(&records).into_bytes()
             };
             if let Err(e) = std::fs::write(&out_path, &out_bytes) {
@@ -437,12 +480,13 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
             eprintln!(
-                "converted {} -> {} ({} records, {} -> {}, {} -> {} bytes)",
+                "converted {} -> {} ({} records, {} -> {}{}, {} -> {} bytes)",
                 target,
                 out_path,
                 records.len(),
                 if src_binary { "binary" } else { "text" },
                 if to_binary { "binary" } else { "text" },
+                if indexed { " + iteration index" } else { "" },
                 bytes.len(),
                 out_bytes.len()
             );

@@ -1,0 +1,66 @@
+//! Criterion bench: serial vs sharded single-trace analysis on the two
+//! golden-pinned apps (`cg`, the largest, and `is`, a small one).
+//!
+//! Pins three points per app:
+//! * `serial` — the plain batch fold (`shards = 1`);
+//! * `sharded-auto` — `shards = 0`: one iteration-aligned shard per
+//!   available core; on a single-CPU host this resolves to the serial
+//!   path, so the pair also measures the dispatch overhead of the sharded
+//!   entry point (expected: none);
+//! * `sharded-4` — a fixed shard count, so multi-core hosts record the
+//!   actual fan-out + merge cost independent of their core count.
+//!
+//! Sharded output is byte-identical to serial by construction (see
+//! `tests/shard_parity.rs`); this bench tracks only the wall clock.
+
+use autocheck_apps::app_by_name;
+use autocheck_core::{index_variables_of, Analyzer, PipelineConfig};
+use autocheck_interp::{ExecOptions, Machine, NoHook, VecSink};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn traced(
+    name: &str,
+) -> (
+    autocheck_apps::AppSpec,
+    Vec<autocheck_trace::Record>,
+    Vec<String>,
+) {
+    let spec = app_by_name(name).expect("known app");
+    let module = autocheck_minilang::compile(&spec.source).expect("compiles");
+    let mut sink = VecSink::default();
+    Machine::new(&module, ExecOptions::default())
+        .run(&mut sink, &mut NoHook)
+        .expect("runs");
+    let index = index_variables_of(&module, &spec.region);
+    (spec, sink.records, index)
+}
+
+fn bench_app(c: &mut Criterion, name: &str) {
+    let (spec, records, index) = traced(name);
+    let mut group = c.benchmark_group(format!("sharded-ingest-{name}"));
+    group.sample_size(10);
+    for (label, shards) in [("serial", 1usize), ("sharded-auto", 0), ("sharded-4", 4)] {
+        let analyzer = Analyzer::new(spec.region.clone())
+            .with_index_vars(index.clone())
+            .with_config(PipelineConfig {
+                shards,
+                ..PipelineConfig::default()
+            });
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(analyzer.analyze(black_box(&records)).critical.len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cg(c: &mut Criterion) {
+    bench_app(c, "cg");
+}
+
+fn bench_is(c: &mut Criterion) {
+    bench_app(c, "is");
+}
+
+criterion_group!(benches, bench_cg, bench_is);
+criterion_main!(benches);

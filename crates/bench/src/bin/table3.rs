@@ -16,7 +16,14 @@
 //! `ingest_format`, so the text-vs-binary ingest gap is part of the
 //! trajectory; schema 4 sources `peak_live_records` from the session
 //! ledger's live-record gauge and adds the interner arena footprint
-//! (`arena_bytes`) observed at each app's capture.
+//! (`arena_bytes`) observed at each app's capture; schema 5 runs every app
+//! once more through the sharded fold (`shards = 0` = auto: one
+//! iteration-aligned shard per core, serial on single-CPU hosts), asserts
+//! the result identical, and records the resolved `shards` count plus
+//! per-app and total `shard_wall_s`. On a single-CPU host the auto path
+//! degrades to serial, and the run asserts its overhead stays within 15%
+//! of the serial wall; speedup claims are only meaningful when `cpus > 1`
+//! (CI gates its parallel-wall validation on that).
 //!
 //! With `--metrics PATH`, the parallel multi-session run goes through
 //! `MultiAnalyzer::with_metrics` and its aggregated batch ledger (one
@@ -54,6 +61,7 @@ struct AppRow {
     name: String,
     serial: Report,
     parallel: Report,
+    sharded_total: std::time::Duration,
     streaming_total: std::time::Duration,
     peak_live: usize,
     arena_bytes: u64,
@@ -175,6 +183,21 @@ fn main() {
             parallel.summary(),
             "parallelism must not change results"
         );
+        // Sharded single-trace fold: auto shard count (one iteration-aligned
+        // shard per core; single-CPU hosts degrade to the serial path).
+        let sharded = Analyzer::new(spec.region.clone())
+            .with_index_vars(index.clone())
+            .with_config(PipelineConfig {
+                shards: 0,
+                ..PipelineConfig::default()
+            })
+            .analyze_text(&text)
+            .expect("parses");
+        assert_eq!(
+            serial.summary(),
+            sharded.summary(),
+            "sharding must not change results"
+        );
         // The streaming run carries a metrics registry: schema-4 JSON
         // sources peak-live and the interner arena footprint from its
         // captured ledger, not from hand-maintained counters.
@@ -224,6 +247,7 @@ fn main() {
             name: spec.name.to_string(),
             serial,
             parallel,
+            sharded_total: sharded.timings.total(),
             streaming_total: streaming.report.timings.total(),
             peak_live,
             arena_bytes,
@@ -302,6 +326,32 @@ fn main() {
         );
     }
 
+    // Sharded-fold wall across the suite. On a single-CPU host the auto
+    // shard count resolves to 1 (serial path), so the sharded wall must
+    // track the serial wall — enforce the ≤15% overhead bound here; on
+    // multi-core hosts the ratio is a speedup signal instead.
+    let shards = autocheck_trace::resolve_shard_count(0);
+    let serial_wall_s: f64 = rows
+        .iter()
+        .map(|r| r.serial.timings.total().as_secs_f64())
+        .sum();
+    let shard_wall_s: f64 = rows.iter().map(|r| r.sharded_total.as_secs_f64()).sum();
+    println!(
+        "\nsharded fold (shards={}, auto): {:.3}s vs serial {:.3}s ({:.2}x)",
+        shards,
+        shard_wall_s,
+        serial_wall_s,
+        serial_wall_s / shard_wall_s.max(1e-9),
+    );
+    if cpus == 1 {
+        assert!(
+            shard_wall_s <= serial_wall_s * 1.15,
+            "single-CPU sharded fold must stay within 15% of serial \
+             (sharded {shard_wall_s:.3}s vs serial {serial_wall_s:.3}s)"
+        );
+        println!("  (single-CPU machine: auto degrades to serial; overhead within 15%)");
+    }
+
     if let Some(path) = &metrics_path {
         let ledger = parallel_batch
             .ledger
@@ -326,6 +376,8 @@ fn main() {
                 parallel_batch.jobs,
                 batch_wall_1,
                 batch_wall_n,
+                shards,
+                shard_wall_s,
             ),
         )
         .expect("write BENCH_table3.json");
@@ -335,6 +387,7 @@ fn main() {
 
 /// Hand-rolled JSON (no serde in the offline vendor set). Field names are
 /// the contract consumed by trend tooling; keep them stable.
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     scale: Scale,
     threads: usize,
@@ -342,6 +395,8 @@ fn render_json(
     jobs: usize,
     batch_wall_1: std::time::Duration,
     batch_wall_n: std::time::Duration,
+    shards: usize,
+    shard_wall_s: f64,
 ) -> String {
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -349,7 +404,7 @@ fn render_json(
         .unwrap_or(0);
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"bench\": \"table3\",");
-    let _ = writeln!(out, "  \"schema\": 4,");
+    let _ = writeln!(out, "  \"schema\": 5,");
     let _ = writeln!(out, "  \"scale\": \"{scale:?}\",");
     let _ = writeln!(out, "  \"parse_threads\": {threads},");
     let _ = writeln!(out, "  \"unix_time\": {unix_time},");
@@ -371,6 +426,11 @@ fn render_json(
         "  \"batch_wall_parallel_s\": {:.6},",
         batch_wall_n.as_secs_f64()
     );
+    // Only meaningful as a speedup when `cpus > 1`; on a single-CPU host
+    // the auto shard count degrades to serial and this tracks the serial
+    // wall (CI validates accordingly).
+    let _ = writeln!(out, "  \"shards\": {shards},");
+    let _ = writeln!(out, "  \"shard_wall_s\": {shard_wall_s:.6},");
     out.push_str("  \"apps\": [\n");
     for (i, row) in rows.iter().enumerate() {
         let t = row.serial.timings;
@@ -380,7 +440,8 @@ fn render_json(
             out,
             "    {{\"name\": \"{}\", \"preprocess_s\": {:.6}, \"preprocess_parallel_s\": {:.6}, \
              \"dependency_s\": {:.6}, \"identify_s\": {:.6}, \"total_s\": {:.6}, \
-             \"total_parallel_s\": {:.6}, \"streaming_total_s\": {:.6}, \
+             \"total_parallel_s\": {:.6}, \"sharded_total_s\": {:.6}, \
+             \"streaming_total_s\": {:.6}, \
              \"peak_live_records\": {}, \"records\": {}, \"arena_bytes\": {}, \
              \"ddg_nodes\": {}, \"ddg_edges\": {}, \"contracted_nodes\": {}, \
              \"contracted_edges\": {}, \"contract_wall_s\": {:.6}, \"ingest\": [{}]}}",
@@ -391,6 +452,7 @@ fn render_json(
             t.identify.as_secs_f64(),
             t.total().as_secs_f64(),
             p.total().as_secs_f64(),
+            row.sharded_total.as_secs_f64(),
             row.streaming_total.as_secs_f64(),
             row.peak_live,
             row.serial.records,

@@ -9,9 +9,9 @@
 //!
 //! ```text
 //! autocheck <trace-file> --function main --start 13 --end 21 \
-//!     [--index it,step] [--threads N] [--dot out.dot] [--collect arithmetic] \
+//!     [--index it,step] [--threads N] [--shards N] [--dot out.dot] [--collect arithmetic] \
 //!     [--stream] [--max-live-records N] [--untrusted-trace] [--metrics out.json]
-//! autocheck --batch <manifest> [--jobs N] [--stream] [--untrusted-trace] [--metrics out.json]
+//! autocheck --batch <manifest> [--jobs N] [--shards N] [--stream] [--untrusted-trace] [--metrics out.json]
 //! ```
 //!
 //! `--stream` analyzes the trace online through the bounded-memory
@@ -48,6 +48,14 @@
 //! `--batch` mode the limits apply per session, so one tenant tripping its
 //! quota cannot disturb the other sessions' reports.
 //!
+//! `--shards N` splits the trace into at most `N` iteration-aligned shards
+//! analyzed on worker threads and deterministically merged — the report and
+//! DOT output are byte-identical to a serial run. The default (`0` = auto)
+//! uses one shard per available core; `--shards 1` forces the serial path.
+//! Works in batch, `--stream`, and `--batch` manifest modes; binary traces
+//! carrying the v2 iteration-index footer shard without a planning
+//! pre-scan. Resource ceilings still apply to the merged session state.
+//!
 //! `--metrics <file|->` turns on the observability layer: the session runs
 //! with a metrics registry (counters, gauges, stage timers, histograms)
 //! and its versioned JSON run ledger is written to the file (`-` prints a
@@ -80,16 +88,18 @@ struct Args {
     batch: Option<String>,
     jobs: usize,
     metrics: Option<String>,
+    shards: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: autocheck <trace-file> --function <name> --start <line> --end <line>\n\
-         \x20                [--index v1,v2] [--threads N] [--dot <file>] [--collect any|arithmetic]\n\
-         \x20                [--stream] [--max-live-records N] [--untrusted-trace] [--metrics <file|->]\n\
-         \x20                [--limit <kind>=<N>]...\n\
-         \x20      autocheck --batch <manifest> [--jobs N] [--stream] [--untrusted-trace] [--metrics <file|->]\n\
-         \x20                [--limit <kind>=<N>]...\n\
+         \x20                [--index v1,v2] [--threads N] [--shards N] [--dot <file>]\n\
+         \x20                [--collect any|arithmetic] [--stream] [--max-live-records N]\n\
+         \x20                [--untrusted-trace] [--metrics <file|->] [--limit <kind>=<N>]...\n\
+         \x20      autocheck --batch <manifest> [--jobs N] [--shards N] [--stream] [--untrusted-trace]\n\
+         \x20                [--metrics <file|->] [--limit <kind>=<N>]...\n\
+         \x20                (--shards: iteration-aligned trace shards; 0 = auto, 1 = serial)\n\
          \x20                (manifest lines: <trace-file> <function> <start> <end> [index,vars])\n\
          \x20                (--limit kinds: trace-records, trace-bytes, symbols, arena-bytes,\n\
          \x20                 ddg-nodes, ddg-edges, live-records; repeatable, applies per session)"
@@ -115,6 +125,8 @@ fn parse_args() -> Args {
     let mut batch = None;
     let mut jobs = 1usize;
     let mut metrics = None;
+    // 0 = auto: one shard per available core (1-core hosts stay serial).
+    let mut shards = 0usize;
     while let Some(a) = args.next() {
         let mut take = || args.next().unwrap_or_else(|| usage());
         match a.as_str() {
@@ -150,6 +162,7 @@ fn parse_args() -> Args {
                 }
             },
             "--metrics" => metrics = Some(take()),
+            "--shards" => shards = take().parse().unwrap_or_else(|_| usage()),
             "--batch" => batch = Some(take()),
             "--jobs" | "-j" => jobs = take().parse().unwrap_or_else(|_| usage()),
             "--help" | "-h" => usage(),
@@ -189,6 +202,7 @@ fn parse_args() -> Args {
             batch: Some(batch),
             jobs,
             metrics,
+            shards,
         };
     }
     let Some(trace) = trace else { usage() };
@@ -220,6 +234,7 @@ fn parse_args() -> Args {
         batch: None,
         jobs,
         metrics,
+        shards,
     }
 }
 
@@ -264,7 +279,8 @@ fn parse_manifest(path: &str, args: &Args) -> Result<Vec<autocheck_core::Analysi
         )
         .untrusted(args.untrusted)
         .streaming(args.stream)
-        .with_limits(args.limits);
+        .with_limits(args.limits)
+        .with_shards(args.shards);
         job.collect = args.collect;
         job.max_live_records = args.max_live_records;
         if let Some(ix) = fields.get(4) {
@@ -355,23 +371,37 @@ fn run_batch(args: &Args, manifest: &str) -> ExitCode {
 }
 
 fn run_streaming(args: &Args, region: &Region, ctx: &AnalysisCtx) -> ExitCode {
-    let file = match std::fs::File::open(&args.trace) {
-        Ok(f) => std::io::BufReader::new(f),
-        Err(e) => {
-            eprintln!("error: cannot read `{}`: {e}", args.trace);
-            return ExitCode::FAILURE;
-        }
-    };
     let analyzer = StreamAnalyzer::new(region.clone())
         .with_index_vars(args.index.clone())
         .with_config(StreamConfig {
             collect: args.collect,
             max_live_records: args.max_live_records,
             contracted_dot: args.dot.is_some(),
+            shards: args.shards,
             ..StreamConfig::default()
         })
         .with_ctx(ctx.clone());
-    let run = match analyzer.run_read(file) {
+    // Sharded runs slurp the file so a binary trace's iteration-index
+    // footer can plan the shards without a pre-scan; serial runs keep the
+    // bounded single-pass reader (peak memory = live window).
+    let run = if autocheck_trace::resolve_shard_count(args.shards) > 1 {
+        match std::fs::read(&args.trace) {
+            Ok(bytes) => analyzer.run_bytes(&bytes),
+            Err(e) => {
+                eprintln!("error: cannot read `{}`: {e}", args.trace);
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match std::fs::File::open(&args.trace) {
+            Ok(f) => analyzer.run_read(std::io::BufReader::new(f)),
+            Err(e) => {
+                eprintln!("error: cannot read `{}`: {e}", args.trace);
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let run = match run {
         Ok(r) => r,
         Err(e) => return fail(args, ctx, e),
     };
@@ -479,6 +509,7 @@ fn main() -> ExitCode {
         .with_config(PipelineConfig {
             parse_threads: args.threads,
             collect: args.collect,
+            shards: args.shards,
             ..PipelineConfig::default()
         })
         .with_ctx(ctx.clone());

@@ -72,6 +72,11 @@ pub struct AnalysisJob {
     /// Also render the contracted DDG as DOT (batch *and* streaming jobs —
     /// the streaming engine contracts its own frozen graph at finish).
     pub dot: bool,
+    /// Iteration-aligned shards for the analysis fold: `1` = serial, `0` =
+    /// one per available core, `N` = at most `N` workers. Output is
+    /// byte-identical to the serial fold; session resource ceilings still
+    /// apply to the merged state.
+    pub shards: usize,
 }
 
 impl AnalysisJob {
@@ -89,6 +94,7 @@ impl AnalysisJob {
             max_live_records: None,
             limits: ResourceLimits::default(),
             dot: false,
+            shards: 1,
         }
     }
 
@@ -119,6 +125,12 @@ impl AnalysisJob {
     /// Render the contracted DDG as DOT.
     pub fn with_dot(mut self, yes: bool) -> AnalysisJob {
         self.dot = yes;
+        self
+    }
+
+    /// Shard this job's trace fold across cores (`0` = auto, `1` = serial).
+    pub fn with_shards(mut self, shards: usize) -> AnalysisJob {
+        self.shards = shards;
         self
     }
 }
@@ -390,6 +402,7 @@ fn run_session_inner(job: &AnalysisJob, ctx: &AnalysisCtx) -> Result<SessionRepo
                 collect: job.collect,
                 max_live_records: job.max_live_records,
                 contracted_dot: job.dot,
+                shards: job.shards,
                 ..StreamConfig::default()
             })
             .with_ctx(ctx.clone())
@@ -413,11 +426,19 @@ fn run_session_inner(job: &AnalysisJob, ctx: &AnalysisCtx) -> Result<SessionRepo
             ));
         }
         if let JobInput::TracePath(path) = &job.input {
-            let file =
-                std::fs::File::open(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-            let run = stream_analyzer()
-                .run_read(std::io::BufReader::new(file))
-                .map_err(|e| e.to_string())?;
+            // Sharded file jobs slurp the bytes so a binary trace's
+            // iteration-index footer (when present) plans the shards
+            // without a pre-scan; serial jobs keep the bounded reader.
+            let run = if autocheck_trace::resolve_shard_count(job.shards) > 1 {
+                let bytes =
+                    std::fs::read(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+                stream_analyzer().run_bytes(&bytes)
+            } else {
+                let file =
+                    std::fs::File::open(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+                stream_analyzer().run_read(std::io::BufReader::new(file))
+            }
+            .map_err(|e| e.to_string())?;
             return Ok(session_report(
                 job,
                 ctx,
@@ -470,18 +491,19 @@ fn run_session_inner(job: &AnalysisJob, ctx: &AnalysisCtx) -> Result<SessionRepo
 
     let (report, stream_stats, stream_dot) = if job.stream {
         // MiniLang streaming: the records exist in memory anyway (the
-        // interpreter just produced them); push them through the engine.
-        let mut session = stream_analyzer().with_index_vars(index_vars).session();
-        for r in &records {
-            session.push(r).map_err(|e| e.to_string())?;
-        }
-        let run = session.finish();
+        // interpreter just produced them); push them through the engine
+        // (`run_records` shards the fold when the job asks for it).
+        let run = stream_analyzer()
+            .with_index_vars(index_vars)
+            .run_records(&records, None)
+            .map_err(|e| e.to_string())?;
         (run.report, Some(run.stats), run.contracted_dot)
     } else {
         let analyzer = Analyzer::new(job.region.clone())
             .with_index_vars(index_vars)
             .with_config(PipelineConfig {
                 collect: job.collect,
+                shards: job.shards,
                 ..PipelineConfig::default()
             })
             .with_ctx(ctx.clone());

@@ -20,8 +20,12 @@ use crate::preprocess::{CollectMode, MliVar};
 use crate::region::Region;
 use crate::report::{Report, Timings};
 use autocheck_obs::TimerId;
-use autocheck_stream::{Engine, EngineConfig, EngineError, LiveBoundExceeded};
-use autocheck_trace::{AnalysisCtx, Record, ResourceExceeded, TraceReadError, TraceSource};
+use autocheck_stream::{
+    run_sharded, Engine, EngineConfig, EngineError, EngineOutcome, LiveBoundExceeded,
+};
+use autocheck_trace::{
+    resolve_shard_count, AnalysisCtx, Record, ResourceExceeded, TraceReadError, TraceSource,
+};
 use std::fmt;
 use std::io;
 use std::time::Instant;
@@ -40,6 +44,13 @@ pub struct StreamConfig {
     /// DOT ([`StreamRun::contracted_dot`]). The graph is bounded by the
     /// program, so this keeps the O(live window) memory story intact.
     pub contracted_dot: bool,
+    /// Iteration-aligned shards for the engine fold: `1` = serial, `0` =
+    /// one per available core, `N` = at most `N` workers. Sharded runs
+    /// produce byte-identical reports and DOT output, but materialize the
+    /// records (sharding is a wall-clock optimization for traces that fit
+    /// in memory; the O(live window) story belongs to the serial stream)
+    /// and enforce the live-record bound per shard rather than globally.
+    pub shards: usize,
 }
 
 impl Default for StreamConfig {
@@ -49,6 +60,7 @@ impl Default for StreamConfig {
             selective: true,
             max_live_records: None,
             contracted_dot: false,
+            shards: 1,
         }
     }
 }
@@ -181,10 +193,8 @@ impl StreamAnalyzer {
         self
     }
 
-    /// Open a push-based session: feed records in execution order, then
-    /// [`StreamSession::finish`].
-    pub fn session(&self) -> StreamSession {
-        let cfg = EngineConfig {
+    fn engine_config(&self) -> EngineConfig {
+        EngineConfig {
             function: self.region.function.clone(),
             start_line: self.region.start_line,
             end_line: self.region.end_line,
@@ -192,9 +202,14 @@ impl StreamAnalyzer {
             collect: self.config.collect,
             selective: self.config.selective,
             max_live_records: self.config.max_live_records,
-        };
+        }
+    }
+
+    /// Open a push-based session: feed records in execution order, then
+    /// [`StreamSession::finish`].
+    pub fn session(&self) -> StreamSession {
         StreamSession {
-            engine: Engine::with_ctx(cfg, &self.ctx),
+            engine: Engine::with_ctx(self.engine_config(), &self.ctx),
             ctx: self.ctx.clone(),
             index_vars: self.index_vars.clone(),
             region_start: self.region.start_line,
@@ -206,13 +221,48 @@ impl StreamAnalyzer {
 
     /// Analyze already-materialized records through the streaming engine —
     /// the drop-in equivalent of [`crate::Analyzer::analyze`], used by the
-    /// equivalence tests.
+    /// equivalence tests. Honors [`StreamConfig::shards`].
     pub fn analyze(&self, records: &[Record]) -> Result<Report, StreamError> {
-        let mut session = self.session();
-        for r in records {
-            session.push(r)?;
+        self.run_records(records, None).map(|run| run.report)
+    }
+
+    /// Analyze materialized records, serial or sharded per
+    /// [`StreamConfig::shards`], returning the full [`StreamRun`].
+    ///
+    /// `boundaries` are iteration-start record indices when already known
+    /// (e.g. from the binary format's iteration-index footer); `None` lets
+    /// the sharded path run one region-tracker scan.
+    pub fn run_records(
+        &self,
+        records: &[Record],
+        boundaries: Option<&[u64]>,
+    ) -> Result<StreamRun, StreamError> {
+        let shards = resolve_shard_count(self.config.shards);
+        if shards <= 1 {
+            let mut session = self.session();
+            for r in records {
+                session.push(r)?;
+            }
+            return Ok(session.finish());
         }
-        Ok(session.finish().report)
+        let t0 = Instant::now();
+        let outcome = run_sharded(
+            &self.engine_config(),
+            &self.ctx,
+            records,
+            boundaries,
+            shards,
+        )?;
+        let ingest = t0.elapsed();
+        Ok(finish_outcome(
+            move || outcome,
+            &self.ctx,
+            &self.index_vars,
+            self.region.start_line,
+            self.config.max_live_records,
+            self.config.contracted_dot,
+            ingest,
+        ))
     }
 
     /// Analyze a trace pulled from any reader (file, pipe, socket, …) with
@@ -223,14 +273,34 @@ impl StreamAnalyzer {
     }
 
     /// Like [`analyze_read`](Self::analyze_read), also returning the
-    /// live-window statistics.
+    /// live-window statistics. With [`StreamConfig::shards`] above 1 the
+    /// records are materialized first (see [`StreamConfig::shards`] for
+    /// the trade).
     pub fn run_read<R: io::Read>(&self, reader: R) -> Result<StreamRun, StreamError> {
+        if resolve_shard_count(self.config.shards) > 1 {
+            let records = TraceSource::from_reader(reader).ctx(&self.ctx).records()?;
+            return self.run_records(&records, None);
+        }
         let mut session = self.session();
         let stream = TraceSource::from_reader(reader).ctx(&self.ctx).stream()?;
         for item in stream {
             session.push(&item?)?;
         }
         Ok(session.finish())
+    }
+
+    /// Analyze an in-memory trace in either format. Binary traces carrying
+    /// an iteration-index footer hand the shard planner its boundaries in
+    /// O(index) — no extra scan.
+    pub fn run_bytes(&self, bytes: &[u8]) -> Result<StreamRun, StreamError> {
+        if resolve_shard_count(self.config.shards) <= 1 {
+            return self.run_read(bytes);
+        }
+        let boundaries = autocheck_trace::binary::iteration_index(bytes)
+            .ok()
+            .flatten();
+        let records = TraceSource::from_bytes(bytes).ctx(&self.ctx).records()?;
+        self.run_records(&records, boundaries.as_deref())
     }
 }
 
@@ -285,90 +355,110 @@ impl StreamSession {
         // collection, dependency analysis — ran fused in the single online
         // pass; report it as the pre-processing + dependency stages'
         // combined time, with the finish step as identification.
-        let metrics = self.ctx.metrics().clone();
         let ingest = self
             .started
             .map(|t| t.elapsed())
             .unwrap_or(std::time::Duration::ZERO);
-        // The fused online pass is the streaming counterpart of
-        // pre-processing; the ledger books it there.
-        metrics.record_duration(TimerId::Preprocess, ingest);
-        let t1 = Instant::now();
-        let outcome = self.engine.finish();
-
-        // `MliVar` *is* the engine's entry type — no conversion, the same
-        // values flow into the report that the batch pipeline would build.
-        let mli: Vec<MliVar> = outcome.mli;
-
-        // The exact selection the batch `classify` performs — same shared
-        // function, driven by the shared decision heuristics over the
-        // engine's folded statistics.
-        let (critical, skipped) = crate::classify::select(
-            &mli,
+        finish_outcome(
+            || self.engine.finish(),
+            &self.ctx,
             &self.index_vars,
             self.region_start,
-            &self.ctx,
-            |var| {
-                let stats = outcome
-                    .stats
-                    .get(&var.base_addr)
-                    .copied()
-                    .unwrap_or_default();
-                crate::classify::decide(&stats, var.size)
-            },
-        );
+            self.live_bound,
+            self.contracted_dot,
+            ingest,
+        )
+    }
+}
 
-        let identify = t1.elapsed();
-        metrics.record_duration(TimerId::Identify, identify);
+/// The shared finish step: classification, optional contraction, and report
+/// assembly over an [`EngineOutcome`] — one implementation whether the
+/// outcome came from a serial [`StreamSession`] or a sharded merge.
+/// `outcome` is a closure so serial finalization (retiring windows,
+/// freezing the graph) is booked inside the identify stage, exactly as
+/// before.
+fn finish_outcome(
+    outcome: impl FnOnce() -> EngineOutcome,
+    ctx: &AnalysisCtx,
+    index_vars: &[String],
+    region_start: u32,
+    live_bound: Option<usize>,
+    render_contracted_dot: bool,
+    ingest: std::time::Duration,
+) -> StreamRun {
+    let metrics = ctx.metrics().clone();
+    // The fused online pass is the streaming counterpart of
+    // pre-processing; the ledger books it there.
+    metrics.record_duration(TimerId::Preprocess, ingest);
+    let t1 = Instant::now();
+    let outcome = outcome();
 
-        // Streaming contraction (Algorithm 1 on the frozen CSR graph):
-        // available online for the first time because the engine's graph
-        // *is* the shared graph the batch pipeline contracts. Booked as the
-        // `contract` timing stage, exactly like the batch pipeline.
-        let mut ddg = crate::report::DdgSummary {
-            nodes: outcome.ddg.len(),
-            edges: outcome.ddg.edge_count(),
-            ..Default::default()
-        };
-        let mut contract = std::time::Duration::ZERO;
-        let contracted_dot = if self.contracted_dot {
-            let t = metrics.timed(TimerId::Contract);
-            let contracted = crate::contract::contract_for_mli_in(&outcome.ddg, &mli, &metrics);
-            contract = t.finish();
-            ddg.contracted_nodes = contracted.nodes.len();
-            ddg.contracted_edges = contracted.edges.len();
-            Some(contracted.to_dot())
-        } else {
-            None
-        };
-        if metrics.is_enabled() {
-            crate::observe::note_session_symbols(&self.ctx);
-        }
-        StreamRun {
-            report: Report {
-                mli,
-                critical,
-                skipped,
-                iterations: outcome.iterations,
-                records: outcome.records,
-                timings: Timings {
-                    preprocess: ingest,
-                    dependency: std::time::Duration::ZERO,
-                    identify,
-                    contract,
-                },
-                ddg,
+    // `MliVar` *is* the engine's entry type — no conversion, the same
+    // values flow into the report that the batch pipeline would build.
+    let mli: Vec<MliVar> = outcome.mli;
+
+    // The exact selection the batch `classify` performs — same shared
+    // function, driven by the shared decision heuristics over the
+    // engine's folded statistics.
+    let (critical, skipped) = crate::classify::select(&mli, index_vars, region_start, ctx, |var| {
+        let stats = outcome
+            .stats
+            .get(&var.base_addr)
+            .copied()
+            .unwrap_or_default();
+        crate::classify::decide(&stats, var.size)
+    });
+
+    let identify = t1.elapsed();
+    metrics.record_duration(TimerId::Identify, identify);
+
+    // Streaming contraction (Algorithm 1 on the frozen CSR graph):
+    // available online for the first time because the engine's graph
+    // *is* the shared graph the batch pipeline contracts. Booked as the
+    // `contract` timing stage, exactly like the batch pipeline.
+    let mut ddg = crate::report::DdgSummary {
+        nodes: outcome.ddg.len(),
+        edges: outcome.ddg.edge_count(),
+        ..Default::default()
+    };
+    let mut contract = std::time::Duration::ZERO;
+    let contracted_dot = if render_contracted_dot {
+        let t = metrics.timed(TimerId::Contract);
+        let contracted = crate::contract::contract_for_mli_in(&outcome.ddg, &mli, &metrics);
+        contract = t.finish();
+        ddg.contracted_nodes = contracted.nodes.len();
+        ddg.contracted_edges = contracted.edges.len();
+        Some(contracted.to_dot())
+    } else {
+        None
+    };
+    if metrics.is_enabled() {
+        crate::observe::note_session_symbols(ctx);
+    }
+    StreamRun {
+        report: Report {
+            mli,
+            critical,
+            skipped,
+            iterations: outcome.iterations,
+            records: outcome.records,
+            timings: Timings {
+                preprocess: ingest,
+                dependency: std::time::Duration::ZERO,
+                identify,
+                contract,
             },
-            stats: StreamStats {
-                peak_live_records: outcome.peak_live_records,
-                live_bound: self.live_bound,
-                // Derived from the one DdgSummary source so the stats can
-                // never desynchronize from the report.
-                ddg_nodes: ddg.nodes,
-                ddg_edges: ddg.edges,
-            },
-            contracted_dot,
-        }
+            ddg,
+        },
+        stats: StreamStats {
+            peak_live_records: outcome.peak_live_records,
+            live_bound,
+            // Derived from the one DdgSummary source so the stats can
+            // never desynchronize from the report.
+            ddg_nodes: ddg.nodes,
+            ddg_edges: ddg.edges,
+        },
+        contracted_dot,
     }
 }
 
@@ -521,6 +611,76 @@ int main() {
             .with_index_vars(index)
             .analyze(&records);
         assert_reports_match(&batch, &stream);
+    }
+
+    #[test]
+    fn sharded_streaming_matches_serial() {
+        let (module, records) = fig4_records();
+        let region = Region::new("main", 13, 21);
+        let index = index_variables_of(&module, &region);
+        let serial = StreamAnalyzer::new(region.clone())
+            .with_index_vars(index.clone())
+            .with_config(StreamConfig {
+                contracted_dot: true,
+                ..StreamConfig::default()
+            })
+            .run_records(&records, None)
+            .expect("serial");
+        // 0 = auto, 64 exceeds the iteration count → graceful degradation.
+        for shards in [0usize, 2, 3, 4, 8, 64] {
+            let sharded = StreamAnalyzer::new(region.clone())
+                .with_index_vars(index.clone())
+                .with_config(StreamConfig {
+                    contracted_dot: true,
+                    shards,
+                    ..StreamConfig::default()
+                })
+                .run_records(&records, None)
+                .unwrap_or_else(|e| panic!("shards={shards}: {e}"));
+            assert_reports_match(&serial.report, &sharded.report);
+            assert_eq!(serial.report.ddg.nodes, sharded.report.ddg.nodes);
+            assert_eq!(serial.report.ddg.edges, sharded.report.ddg.edges);
+            assert_eq!(
+                serial.contracted_dot, sharded.contracted_dot,
+                "contracted DOT must be byte-identical at shards={shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_run_bytes_reads_the_iteration_index_footer() {
+        let (module, records) = fig4_records();
+        let region = Region::new("main", 13, 21);
+        let index = index_variables_of(&module, &region);
+        let serial = StreamAnalyzer::new(region.clone())
+            .with_index_vars(index.clone())
+            .analyze(&records)
+            .expect("serial");
+
+        let analyzer = StreamAnalyzer::new(region)
+            .with_index_vars(index)
+            .with_config(StreamConfig {
+                shards: 4,
+                ..StreamConfig::default()
+            });
+        // Binary trace with the v2 iteration-index footer: the sharded
+        // reader plans directly from the footer, no pre-scan.
+        let bounds = {
+            use autocheck_stream::region::RegionTracker;
+            let mut tracker = RegionTracker::with_ctx(&analyzer.ctx, "main", 13, 21);
+            let annots: Vec<_> = records.iter().map(|r| tracker.annotate(r)).collect();
+            autocheck_stream::boundaries_from_annots(&annots)
+        };
+        assert!(!bounds.is_empty(), "fig4 must expose iteration boundaries");
+        let bytes = autocheck_trace::binary::to_bytes_with_index(&records, bounds, &analyzer.ctx);
+        let sharded = analyzer.run_bytes(&bytes).expect("sharded from footer");
+        assert_reports_match(&serial, &sharded.report);
+
+        // A plain v1 binary (no footer) still works: the planner falls back
+        // to an annotation pre-scan of the materialized records.
+        let plain = autocheck_trace::binary::to_bytes(&records, &analyzer.ctx);
+        let fallback = analyzer.run_bytes(&plain).expect("sharded without footer");
+        assert_reports_match(&serial, &fallback.report);
     }
 
     #[test]

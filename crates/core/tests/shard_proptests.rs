@@ -1,0 +1,94 @@
+//! Property test: for random MiniLang programs, the sharded analysis —
+//! iteration-aligned trace partitioning plus deterministic state merge —
+//! produces a report identical to the serial fold at ANY shard count,
+//! through both the batch pipeline and the streaming analyzer. Shard
+//! counts beyond the program's iteration count must degrade gracefully
+//! (fewer shards, same bytes), never error.
+
+use autocheck_core::{
+    index_variables_of, Analyzer, PipelineConfig, Region, StreamAnalyzer, StreamConfig,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+mod gen;
+use gen::program;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn sharded_batch_report_equals_serial(
+        stmt_idx in vec(0usize..10, 1..7),
+        m in 2u32..8,
+        shards in 1usize..=9,
+    ) {
+        let (src, start, end) = program(&stmt_idx, m);
+        let module = autocheck_minilang::compile(&src)
+            .unwrap_or_else(|e| panic!("generated program failed to compile: {e:?}\n{src}"));
+        let mut sink = autocheck_interp::VecSink::default();
+        autocheck_interp::Machine::new(&module, autocheck_interp::ExecOptions::default())
+            .run(&mut sink, &mut autocheck_interp::NoHook)
+            .expect("generated program runs");
+
+        let region = Region::new("main", start, end);
+        let index = index_variables_of(&module, &region);
+        let run = |shards: usize| {
+            Analyzer::new(region.clone())
+                .with_index_vars(index.clone())
+                .with_config(PipelineConfig { shards, ..PipelineConfig::default() })
+                .analyze(&sink.records)
+        };
+        let serial = run(1);
+        let sharded = run(shards);
+        prop_assert_eq!(
+            serial.to_string(), sharded.to_string(),
+            "batch report differs at shards={}\n{}", shards, src
+        );
+        // A shard count beyond the iteration count (m < 8 <= 10_000) must
+        // fall back to however many iteration-aligned cuts exist.
+        let degenerate = run(10_000);
+        prop_assert_eq!(
+            serial.to_string(), degenerate.to_string(),
+            "degenerate shard count changed the report\n{}", src
+        );
+    }
+
+    #[test]
+    fn sharded_streaming_run_equals_serial(
+        stmt_idx in vec(0usize..10, 1..5),
+        m in 2u32..6,
+        shards in 2usize..=9,
+    ) {
+        let (src, start, end) = program(&stmt_idx, m);
+        let module = autocheck_minilang::compile(&src).unwrap();
+        let mut sink = autocheck_interp::VecSink::default();
+        autocheck_interp::Machine::new(&module, autocheck_interp::ExecOptions::default())
+            .run(&mut sink, &mut autocheck_interp::NoHook)
+            .expect("runs");
+
+        let region = Region::new("main", start, end);
+        let index = index_variables_of(&module, &region);
+        let run = |shards: usize| {
+            StreamAnalyzer::new(region.clone())
+                .with_index_vars(index.clone())
+                .with_config(StreamConfig {
+                    contracted_dot: true,
+                    shards,
+                    ..StreamConfig::default()
+                })
+                .run_records(&sink.records, None)
+                .expect("no live bound configured")
+        };
+        let serial = run(1);
+        let sharded = run(shards);
+        prop_assert_eq!(
+            serial.report.to_string(), sharded.report.to_string(),
+            "streaming report differs at shards={}\n{}", shards, src
+        );
+        prop_assert_eq!(
+            serial.contracted_dot, sharded.contracted_dot,
+            "contracted DOT differs at shards={}\n{}", shards, src
+        );
+    }
+}

@@ -16,7 +16,7 @@ use crate::{CounterId, GaugeId, HistId, Metrics, TimerId, HIST_BUCKETS};
 use std::fmt::Write as _;
 
 /// Schema version stamped into every ledger object.
-pub const LEDGER_VERSION: u64 = 1;
+pub const LEDGER_VERSION: u64 = 2;
 
 /// `"ledger"` tag of a per-session object.
 pub const SESSION_TAG: &str = "autocheck.session";

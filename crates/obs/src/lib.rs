@@ -101,6 +101,9 @@ metric_ids! {
         /// its configured `ResourceLimits` ceilings and was stopped with a
         /// typed error. The tripped axis is named in the error/diagnostic.
         LimitExceeded => "session.limit_exceeded",
+        /// Records analyzed (full mode, replay excluded) across the shards
+        /// of a sharded single-trace run; sums to `engine.records`.
+        ShardRecords => "shard.records",
     }
 }
 
@@ -160,6 +163,12 @@ metric_ids! {
         /// Whole-session wall clock (input acquisition + analysis +
         /// rendering).
         SessionWall => "batch.session_wall",
+        /// Per-worker wall clock of a sharded single-trace run (one span
+        /// per shard: replay fast-forward + full analysis of its range).
+        ShardWall => "shard.wall",
+        /// Deterministic state merge after a sharded run (fold of the
+        /// partial MLI/DDG/statistics state, in shard order).
+        ShardMerge => "shard.merge",
     }
 }
 

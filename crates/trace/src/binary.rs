@@ -49,7 +49,20 @@
 //!   6   4  name payload    temp number or string-table index, else 0
 //!   10  1  value kind      0 = none, 1 = int, 2 = float, 3 = pointer
 //!   11  8  value payload   i64 / f64 bit pattern / u64, else 0
+//! iteration-index footer (version 2 only, after the last record)
+//!   0   4  index magic     41 49 58 31 ("AIX1")
+//!   4   4  boundary count  u32
+//!   8   8n boundaries      record indices where a new region iteration
+//!                          starts, u64 each, strictly increasing,
+//!                          each in (0, record count)
+//!   ..  4  boundary count  repeated (backward parse)
+//!   ..  4  index magic     repeated (backward parse)
 //! ```
+//!
+//! The footer makes shard planning ([`crate::shard`]) O(index): a seekable
+//! reader parses it straight off the end of the file, and the streaming
+//! reader consumes it after the declared records. Version-1 files carry no
+//! footer and remain byte-identical to what earlier writers emitted.
 //!
 //! The writer is **buffered**: record bytes and the growing string table
 //! accumulate in memory and the complete file — header, then string table,
@@ -78,6 +91,20 @@ pub const MAGIC: [u8; 4] = [0xB7, b'A', b'C', b'T'];
 
 /// The current format version.
 pub const VERSION: u16 = 1;
+
+/// Format version for files carrying the optional iteration-index footer
+/// (see the module docs). Files without a footer keep [`VERSION`] and stay
+/// byte-identical to what older writers produced; version-1 readers reject
+/// version-2 files rather than misread the footer as trailing garbage.
+pub const VERSION_INDEXED: u16 = 2;
+
+/// Magic bytes framing the iteration-index footer at **both** ends, so it
+/// parses forward (streaming readers, after the declared records) and
+/// backward (seekable readers, from end of file) without a scan.
+pub const INDEX_MAGIC: [u8; 4] = *b"AIX1";
+
+/// Fixed footer overhead: leading magic + count, trailing count + magic.
+const INDEX_FRAME_BYTES: usize = 16;
 
 /// Header size in bytes.
 pub const HEADER_BYTES: usize = 24;
@@ -147,6 +174,8 @@ pub struct BinaryWriter<W: Write> {
     /// Accumulated record-section bytes.
     records: Vec<u8>,
     record_count: u64,
+    /// Iteration boundaries to emit as a version-2 footer, when set.
+    index: Option<Vec<u64>>,
 }
 
 impl<W: Write> BinaryWriter<W> {
@@ -164,7 +193,17 @@ impl<W: Write> BinaryWriter<W> {
             sym_index: FxHashMap::default(),
             records: Vec::new(),
             record_count: 0,
+            index: None,
         }
+    }
+
+    /// Emit an iteration-index footer at [`finish`](Self::finish) and stamp
+    /// the file [`VERSION_INDEXED`]. `bounds` are the record indices where
+    /// a new region iteration starts — strictly increasing, each within
+    /// the records actually written (checked at `finish`, where the final
+    /// record count is known).
+    pub fn set_iteration_index(&mut self, bounds: Vec<u64>) {
+        self.index = Some(bounds);
     }
 
     fn file_sym(&mut self, id: SymId) -> io::Result<u32> {
@@ -256,22 +295,37 @@ impl<W: Write> BinaryWriter<W> {
     }
 
     /// Size of the complete file as buffered so far (header + string table
-    /// + records), in bytes.
+    /// + records + any pending iteration-index footer), in bytes.
     pub fn bytes_written(&self) -> u64 {
         let strtab: usize = self.strings.iter().map(|s| 2 + s.len()).sum();
-        (HEADER_BYTES + strtab + self.records.len()) as u64
+        let footer = self
+            .index
+            .as_ref()
+            .map(|b| INDEX_FRAME_BYTES + b.len() * 8)
+            .unwrap_or(0);
+        (HEADER_BYTES + strtab + self.records.len() + footer) as u64
     }
 
-    /// Emit header, string table and records; flush; return the inner
-    /// writer.
+    /// Emit header, string table, records and (when set) the
+    /// iteration-index footer; flush; return the inner writer.
     pub fn finish(mut self) -> io::Result<W> {
+        if let Some(bounds) = &self.index {
+            check_boundaries(bounds, self.record_count, 0).map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidInput, format!("iteration index: {e}"))
+            })?;
+        }
         let strtab_len: usize = self.strings.iter().map(|s| 2 + s.len()).sum();
         let strtab_len = u32::try_from(strtab_len).map_err(|_| {
             io::Error::new(io::ErrorKind::InvalidInput, "string table exceeds 4 GiB")
         })?;
+        let version = if self.index.is_some() {
+            VERSION_INDEXED
+        } else {
+            VERSION
+        };
         let mut head = Vec::with_capacity(HEADER_BYTES + strtab_len as usize);
         head.extend_from_slice(&MAGIC);
-        head.extend_from_slice(&VERSION.to_le_bytes());
+        head.extend_from_slice(&version.to_le_bytes());
         head.extend_from_slice(&0u16.to_le_bytes());
         head.extend_from_slice(&self.record_count.to_le_bytes());
         head.extend_from_slice(&(self.strings.len() as u32).to_le_bytes());
@@ -282,6 +336,9 @@ impl<W: Write> BinaryWriter<W> {
         }
         self.out.write_all(&head)?;
         self.out.write_all(&self.records)?;
+        if let Some(bounds) = &self.index {
+            self.out.write_all(&encode_footer(bounds))?;
+        }
         self.out.flush()?;
         Ok(self.out)
     }
@@ -304,16 +361,28 @@ pub fn to_bytes(records: &[Record], ctx: &AnalysisCtx) -> Vec<u8> {
     w.finish().expect("in-memory binary encode")
 }
 
+/// Like [`to_bytes`], with an iteration-index footer (version-2 file).
+/// Panics on an invalid index — callers computing boundaries from a real
+/// record scan cannot produce one.
+pub fn to_bytes_with_index(records: &[Record], bounds: Vec<u64>, ctx: &AnalysisCtx) -> Vec<u8> {
+    let mut w = BinaryWriter::with_ctx(Vec::new(), ctx);
+    for r in records {
+        w.write_record(r).expect("in-memory binary encode");
+    }
+    w.set_iteration_index(bounds);
+    w.finish().expect("in-memory binary encode")
+}
+
 // ---------------------------------------------------------------------------
 // Shared decode helpers
 // ---------------------------------------------------------------------------
 
-fn parse_header_fields(h: &[u8; HEADER_BYTES]) -> Result<(u64, u32, u32), TraceReadError> {
+fn parse_header_fields(h: &[u8; HEADER_BYTES]) -> Result<(u16, u64, u32, u32), TraceReadError> {
     if h[..4] != MAGIC {
         return Err(berr(0, "not a binary trace (bad magic bytes)"));
     }
     let version = u16::from_le_bytes([h[4], h[5]]);
-    if version != VERSION {
+    if version != VERSION && version != VERSION_INDEXED {
         return Err(berr(4, format!("unsupported format version {version}")));
     }
     // SAFETY of unwraps: `h` is a fixed `[u8; HEADER_BYTES]` array, so these
@@ -328,7 +397,107 @@ fn parse_header_fields(h: &[u8; HEADER_BYTES]) -> Result<(u64, u32, u32), TraceR
     if (string_count as u64) * 2 > strtab_len as u64 {
         return Err(berr(16, "string count does not fit the string table"));
     }
-    Ok((record_count, string_count, strtab_len))
+    Ok((version, record_count, string_count, strtab_len))
+}
+
+/// Validate one decoded boundary sequence (shared by both parse
+/// directions): strictly increasing record indices in `(0, record_count)`.
+fn check_boundaries(bounds: &[u64], record_count: u64, offset: u64) -> Result<(), TraceReadError> {
+    let mut prev = 0u64;
+    for &b in bounds {
+        if b <= prev {
+            return Err(berr(offset, "iteration index is not strictly increasing"));
+        }
+        if b >= record_count {
+            return Err(berr(
+                offset,
+                format!("iteration boundary {b} outside (0, {record_count})"),
+            ));
+        }
+        prev = b;
+    }
+    Ok(())
+}
+
+/// Parse the iteration-index footer **backward** from the end of `bytes`.
+/// `floor` is the first byte offset the footer may occupy (just past the
+/// string table — a hostile footer may not swallow header bytes). Returns
+/// the boundaries and the footer's total length.
+fn parse_footer_tail(
+    bytes: &[u8],
+    floor: usize,
+    record_count: u64,
+) -> Result<(Vec<u64>, usize), TraceReadError> {
+    let len = bytes.len();
+    if len < floor + INDEX_FRAME_BYTES {
+        return Err(berr(len as u64, "file too short for the iteration index"));
+    }
+    if bytes[len - 4..] != INDEX_MAGIC {
+        return Err(berr(
+            (len - 4) as u64,
+            "missing iteration-index trailer magic",
+        ));
+    }
+    // SAFETY of the unwraps: constant-width subranges of a slice whose
+    // length was checked above.
+    let count = u32::from_le_bytes(bytes[len - 8..len - 4].try_into().unwrap()) as usize;
+    let footer_len = INDEX_FRAME_BYTES + count * 8;
+    if len < floor + footer_len {
+        return Err(berr(
+            (len - 8) as u64,
+            "iteration-index count overruns the file",
+        ));
+    }
+    let start = len - footer_len;
+    if bytes[start..start + 4] != INDEX_MAGIC {
+        return Err(berr(start as u64, "missing iteration-index header magic"));
+    }
+    let lead = u32::from_le_bytes(bytes[start + 4..start + 8].try_into().unwrap()) as usize;
+    if lead != count {
+        return Err(berr(
+            (start + 4) as u64,
+            "iteration-index counts disagree front to back",
+        ));
+    }
+    let mut bounds = Vec::with_capacity(count);
+    let mut at = start + 8;
+    for _ in 0..count {
+        bounds.push(u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap()));
+        at += 8;
+    }
+    check_boundaries(&bounds, record_count, (start + 8) as u64)?;
+    Ok((bounds, footer_len))
+}
+
+/// Encode the iteration-index footer.
+fn encode_footer(bounds: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(INDEX_FRAME_BYTES + bounds.len() * 8);
+    out.extend_from_slice(&INDEX_MAGIC);
+    out.extend_from_slice(&(bounds.len() as u32).to_le_bytes());
+    for &b in bounds {
+        out.extend_from_slice(&b.to_le_bytes());
+    }
+    out.extend_from_slice(&(bounds.len() as u32).to_le_bytes());
+    out.extend_from_slice(&INDEX_MAGIC);
+    out
+}
+
+/// Read the iteration-index footer off a complete in-memory binary trace
+/// without decoding any record: `Ok(Some(...))` for version-2 files,
+/// `Ok(None)` for version-1 files (no footer). O(footer), no symbol
+/// interning — this is what shard planning calls first.
+pub fn iteration_index(bytes: &[u8]) -> Result<Option<Vec<u64>>, TraceReadError> {
+    let head: &[u8; HEADER_BYTES] = bytes
+        .get(..HEADER_BYTES)
+        .and_then(|b| b.try_into().ok())
+        .ok_or_else(|| berr(bytes.len() as u64, "truncated header"))?;
+    let (version, record_count, _, strtab_len) = parse_header_fields(head)?;
+    if version != VERSION_INDEXED {
+        return Ok(None);
+    }
+    let floor = HEADER_BYTES + strtab_len as usize;
+    let (bounds, _) = parse_footer_tail(bytes, floor, record_count)?;
+    Ok(Some(bounds))
 }
 
 /// Decode + intern one string-table section. `base` is the section's byte
@@ -487,28 +656,42 @@ pub struct BinaryReader<'a> {
     record_count: u64,
     /// Next record's byte offset.
     at: usize,
+    /// End of the record section (`bytes.len()` minus any footer).
+    body_end: usize,
+    /// Iteration boundaries from the version-2 footer, when present.
+    index: Option<Vec<u64>>,
     yielded: u64,
     failed: bool,
 }
 
 impl<'a> BinaryReader<'a> {
-    /// Parse the header and intern the string table.
+    /// Parse the header, intern the string table, and (for version-2
+    /// files) validate the iteration-index footer.
     pub fn open(bytes: &'a [u8], ctx: &AnalysisCtx) -> Result<BinaryReader<'a>, TraceReadError> {
         let head: &[u8; HEADER_BYTES] =
             bytes
                 .get(..HEADER_BYTES)
                 .and_then(|b| b.try_into().ok())
                 .ok_or_else(|| berr(bytes.len() as u64, "truncated header"))?;
-        let (record_count, string_count, strtab_len) = parse_header_fields(head)?;
+        let (version, record_count, string_count, strtab_len) = parse_header_fields(head)?;
         let strtab = bytes
             .get(HEADER_BYTES..HEADER_BYTES + strtab_len as usize)
             .ok_or_else(|| berr(HEADER_BYTES as u64, "string table overruns the file"))?;
         let syms = intern_strtab(strtab, string_count, HEADER_BYTES as u64, ctx)?;
+        let at = HEADER_BYTES + strtab_len as usize;
+        let (index, body_end) = if version == VERSION_INDEXED {
+            let (bounds, footer_len) = parse_footer_tail(bytes, at, record_count)?;
+            (Some(bounds), bytes.len() - footer_len)
+        } else {
+            (None, bytes.len())
+        };
         Ok(BinaryReader {
             bytes,
             syms,
             record_count,
-            at: HEADER_BYTES + strtab_len as usize,
+            at,
+            body_end,
+            index,
             yielded: 0,
             failed: false,
         })
@@ -524,11 +707,16 @@ impl<'a> BinaryReader<'a> {
         &self.syms
     }
 
+    /// The iteration-index footer's boundaries, when the file carries one.
+    pub fn iteration_index(&self) -> Option<&[u64]> {
+        self.index.as_deref()
+    }
+
     /// Decode every record serially.
     pub fn read_all(mut self) -> Result<Vec<Record>, TraceReadError> {
         // Bound the pre-allocation by what the buffer could possibly hold,
         // not by the header's claim.
-        let cap = (self.record_count as usize).min((self.bytes.len() - self.at) / RECORD_BYTES);
+        let cap = (self.record_count as usize).min((self.body_end - self.at) / RECORD_BYTES);
         let mut out = Vec::with_capacity(cap);
         for item in &mut self {
             out.push(item?);
@@ -548,7 +736,7 @@ impl<'a> BinaryReader<'a> {
         // contiguous record-aligned ranges (over-decomposed, like the text
         // chunker, so no worker holds the join hostage).
         let target_chunks = threads * 8;
-        let body = &self.bytes[self.at..];
+        let body = &self.bytes[self.at..self.body_end];
         let base = self.at as u64;
         let mut bounds = vec![0usize];
         let mut at = 0usize;
@@ -627,7 +815,7 @@ impl Iterator for BinaryReader<'_> {
             return None;
         }
         if self.yielded == self.record_count {
-            if self.at != self.bytes.len() {
+            if self.at != self.body_end {
                 self.failed = true;
                 return Some(Err(berr(
                     self.at as u64,
@@ -636,7 +824,7 @@ impl Iterator for BinaryReader<'_> {
             }
             return None;
         }
-        match decode_record(self.bytes, self.at, 0, &self.syms) {
+        match decode_record(&self.bytes[..self.body_end], self.at, 0, &self.syms) {
             Ok((rec, at)) => {
                 self.at = at;
                 self.yielded += 1;
@@ -663,6 +851,10 @@ pub struct BinaryStreamReader<R: Read> {
     inner: R,
     syms: Vec<SymId>,
     record_count: u64,
+    /// Format version (2 = an iteration-index footer follows the records).
+    version: u16,
+    /// Footer already consumed and validated.
+    footer_done: bool,
     yielded: u64,
     /// Absolute byte offset of the next unread byte (error reporting).
     offset: u64,
@@ -676,7 +868,7 @@ impl<R: Read> BinaryStreamReader<R> {
     pub fn open(mut inner: R, ctx: &AnalysisCtx) -> Result<BinaryStreamReader<R>, TraceReadError> {
         let mut head = [0u8; HEADER_BYTES];
         read_exact_at(&mut inner, &mut head, 0, "header")?;
-        let (record_count, string_count, strtab_len) = parse_header_fields(&head)?;
+        let (version, record_count, string_count, strtab_len) = parse_header_fields(&head)?;
         // Pull the string table incrementally: allocation tracks bytes the
         // stream actually delivers, so a hostile length cannot force an
         // up-front over-allocation.
@@ -704,11 +896,57 @@ impl<R: Read> BinaryStreamReader<R> {
             inner,
             syms,
             record_count,
+            version,
+            footer_done: false,
             yielded: 0,
             offset: HEADER_BYTES as u64 + strtab_len as u64,
             scratch: Vec::new(),
             failed: false,
         })
+    }
+
+    /// Consume and validate the version-2 iteration-index footer after the
+    /// last declared record. Allocation is capped by the record count (a
+    /// valid index can never hold more boundaries than records), so a
+    /// hostile count cannot force an over-allocation.
+    fn read_footer(&mut self) -> Result<(), TraceReadError> {
+        let mut frame = [0u8; 8];
+        read_exact_at(&mut self.inner, &mut frame, self.offset, "index header")?;
+        if frame[..4] != INDEX_MAGIC {
+            return Err(berr(self.offset, "missing iteration-index header magic"));
+        }
+        let count = u32::from_le_bytes(frame[4..8].try_into().unwrap()) as u64;
+        if count > self.record_count {
+            return Err(berr(
+                self.offset + 4,
+                "iteration-index count exceeds the record count",
+            ));
+        }
+        self.offset += 8;
+        let mut bounds = Vec::with_capacity(count as usize);
+        let mut entry = [0u8; 8];
+        for _ in 0..count {
+            read_exact_at(&mut self.inner, &mut entry, self.offset, "index entry")?;
+            bounds.push(u64::from_le_bytes(entry));
+            self.offset += 8;
+        }
+        check_boundaries(&bounds, self.record_count, self.offset)?;
+        read_exact_at(&mut self.inner, &mut frame, self.offset, "index trailer")?;
+        let tail_count = u32::from_le_bytes(frame[..4].try_into().unwrap()) as u64;
+        if tail_count != count {
+            return Err(berr(
+                self.offset,
+                "iteration-index counts disagree front to back",
+            ));
+        }
+        if frame[4..] != INDEX_MAGIC {
+            return Err(berr(
+                self.offset + 4,
+                "missing iteration-index trailer magic",
+            ));
+        }
+        self.offset += 8;
+        Ok(())
     }
 
     /// Records the header declares.
@@ -754,7 +992,14 @@ impl<R: Read> Iterator for BinaryStreamReader<R> {
             return None;
         }
         if self.yielded == self.record_count {
-            // Exactly the declared records, then end of stream.
+            if self.version == VERSION_INDEXED && !self.footer_done {
+                if let Err(e) = self.read_footer() {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+                self.footer_done = true;
+            }
+            // Exactly the declared records (and footer), then end of stream.
             let mut probe = [0u8; 1];
             return match read_some(&mut self.inner, &mut probe, self.offset) {
                 Ok(0) => None,
@@ -1059,6 +1304,128 @@ mod tests {
         let predicted = w.bytes_written();
         let bytes = w.finish().unwrap();
         assert_eq!(bytes.len() as u64, predicted);
+    }
+
+    #[test]
+    fn iteration_index_round_trips_on_every_reader() {
+        let ctx = AnalysisCtx::session();
+        let recs = sample_records(&ctx);
+        let bounds = vec![7u64, 19, 23, 41];
+        let bytes = to_bytes_with_index(&recs, bounds.clone(), &ctx);
+        // O(footer) standalone probe.
+        assert_eq!(iteration_index(&bytes).unwrap(), Some(bounds.clone()));
+        // Zero-copy reader: exposes the index and still decodes all records.
+        let reader = BinaryReader::open(&bytes, &ctx).unwrap();
+        assert_eq!(reader.iteration_index(), Some(&bounds[..]));
+        assert_eq!(reader.read_all().unwrap(), recs);
+        // Parallel decode ends at the footer, not the file end.
+        let par = BinaryReader::open(&bytes, &ctx)
+            .unwrap()
+            .read_all_parallel(3)
+            .unwrap();
+        assert_eq!(par, recs);
+        // Streaming reader consumes and validates the footer, then EOF.
+        let streamed: Vec<Record> = BinaryStreamReader::open(&bytes[..], &ctx)
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(streamed, recs);
+    }
+
+    #[test]
+    fn version1_files_carry_no_index_and_stay_byte_identical() {
+        let ctx = AnalysisCtx::session();
+        let recs = sample_records(&ctx);
+        let bytes = to_bytes(&recs, &ctx);
+        assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), VERSION);
+        assert_eq!(iteration_index(&bytes).unwrap(), None);
+        assert_eq!(
+            BinaryReader::open(&bytes, &ctx).unwrap().iteration_index(),
+            None
+        );
+    }
+
+    #[test]
+    fn empty_iteration_index_is_valid() {
+        let ctx = AnalysisCtx::session();
+        let recs = sample_records(&ctx);
+        let bytes = to_bytes_with_index(&recs, Vec::new(), &ctx);
+        assert_eq!(iteration_index(&bytes).unwrap(), Some(Vec::new()));
+        assert_eq!(
+            BinaryReader::open(&bytes, &ctx)
+                .unwrap()
+                .read_all()
+                .unwrap(),
+            recs
+        );
+        let streamed: Vec<Record> = BinaryStreamReader::open(&bytes[..], &ctx)
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(streamed, recs);
+    }
+
+    #[test]
+    fn writer_rejects_invalid_iteration_index() {
+        let ctx = AnalysisCtx::session();
+        let recs = sample_records(&ctx);
+        for bad in [vec![5u64, 5], vec![9, 3], vec![0], vec![recs.len() as u64]] {
+            let mut w = BinaryWriter::with_ctx(Vec::new(), &ctx);
+            for r in &recs {
+                w.write_record(r).unwrap();
+            }
+            w.set_iteration_index(bad.clone());
+            assert!(w.finish().is_err(), "index {bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn hostile_footers_are_rejected_by_both_readers() {
+        let ctx = AnalysisCtx::session();
+        let recs = sample_records(&ctx);
+        let good = to_bytes_with_index(&recs, vec![7, 19], &ctx);
+        let footer_start = good.len() - (INDEX_FRAME_BYTES + 2 * 8);
+
+        let mut bad_magic = good.clone();
+        bad_magic[footer_start] ^= 0xFF;
+        let mut bad_tail_magic = good.clone();
+        let n = bad_tail_magic.len();
+        bad_tail_magic[n - 1] ^= 0xFF;
+        let mut count_mismatch = good.clone();
+        count_mismatch[footer_start + 4] = 1;
+        let mut not_increasing = good.clone();
+        // Overwrite the second boundary with the first.
+        not_increasing[footer_start + 16..footer_start + 24].copy_from_slice(&7u64.to_le_bytes());
+        let mut out_of_range = good.clone();
+        out_of_range[footer_start + 16..footer_start + 24]
+            .copy_from_slice(&(recs.len() as u64).to_le_bytes());
+        // A count claiming more entries than the file holds.
+        let mut count_overrun = good.clone();
+        let n = count_overrun.len();
+        count_overrun[n - 8..n - 4].copy_from_slice(&u32::MAX.to_le_bytes());
+
+        for (what, bytes) in [
+            ("bad header magic", &bad_magic),
+            ("bad trailer magic", &bad_tail_magic),
+            ("count mismatch", &count_mismatch),
+            ("not increasing", &not_increasing),
+            ("out of range", &out_of_range),
+            ("count overrun", &count_overrun),
+        ] {
+            let ctx = AnalysisCtx::session().untrusted();
+            assert!(
+                BinaryReader::open(bytes, &ctx)
+                    .and_then(|r| r.read_all())
+                    .is_err(),
+                "zero-copy reader must reject: {what}"
+            );
+            assert!(
+                BinaryStreamReader::open(&bytes[..], &ctx)
+                    .and_then(|r| r.collect::<Result<Vec<_>, _>>())
+                    .is_err(),
+                "streaming reader must reject: {what}"
+            );
+        }
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod parallel;
 pub mod parser;
 pub mod reader;
 pub mod record;
+pub mod shard;
 pub mod source;
 pub mod stats;
 pub mod writer;
@@ -68,6 +69,7 @@ pub use parser::{parse_str, parse_str_in, ParseError, TraceParser};
 #[allow(deprecated)]
 pub use reader::{parse_read, RecordReader, TraceReadError};
 pub use record::{OpTag, Operand, Record, TraceValue};
+pub use shard::{plan_shards, resolve_shard_count};
 pub use source::{TraceFormat, TraceSource, TraceStream};
 pub use stats::TraceStats;
 pub use writer::TraceWriter;

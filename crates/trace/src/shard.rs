@@ -1,0 +1,166 @@
+//! Iteration-aligned shard planning for single-trace parallel analysis.
+//!
+//! A trace can be analyzed by several workers at once **only** if no loop
+//! iteration straddles two workers: the per-variable statistics fold
+//! retires its element window exactly at iteration boundaries, so a split
+//! mid-iteration would retire a half-window and change the result. The
+//! planner therefore cuts only at *iteration boundaries* — record indices
+//! where the region tracker's iteration counter advances (the paper's
+//! region function makes these explicit).
+//!
+//! Boundaries come from one of two places:
+//!
+//! * the binary format's optional iteration-index footer
+//!   ([`crate::binary::iteration_index`]) — O(index) with no record scan;
+//! * a replayed `RegionTracker` pass over the records (text traces, or
+//!   binary files written without the footer) — one cheap annotation scan.
+//!
+//! [`plan_shards`] then picks, for each ideal cut point `k·n/N`, the
+//! nearest available boundary. When boundaries are scarcer than requested
+//! shards (more workers than iterations), duplicate picks collapse and the
+//! plan gracefully degrades to fewer shards — callers never need to guard
+//! the shard count against the iteration count.
+
+use std::ops::Range;
+
+/// Partition `record_count` records into at most `target` contiguous,
+/// iteration-aligned ranges.
+///
+/// `boundaries` must be sorted ascending record indices at which a new
+/// iteration starts (exclusive of 0 and `record_count`; out-of-range
+/// entries are ignored). The returned ranges are non-empty, contiguous,
+/// and cover `0..record_count` exactly; their concatenation order is trace
+/// order, which is the order a deterministic merge must fold them in.
+pub fn plan_shards(record_count: usize, boundaries: &[u64], target: usize) -> Vec<Range<usize>> {
+    let target = target.max(1);
+    if target == 1 || record_count == 0 {
+        // A one-element plan covering the whole trace is the intent here,
+        // not a mistyped `(0..n).collect()`.
+        #[allow(clippy::single_range_in_vec_init)]
+        return vec![0..record_count];
+    }
+    let mut cuts: Vec<usize> = Vec::with_capacity(target - 1);
+    for k in 1..target {
+        // Ideal cut for an even split, snapped to the nearest boundary.
+        let ideal = (record_count as u64).saturating_mul(k as u64) / target as u64;
+        let i = boundaries.partition_point(|&b| b < ideal);
+        let below = i.checked_sub(1).map(|j| boundaries[j]);
+        let above = boundaries.get(i).copied();
+        let pick = match (below, above) {
+            (Some(lo), Some(hi)) => {
+                if ideal - lo <= hi - ideal {
+                    lo
+                } else {
+                    hi
+                }
+            }
+            (Some(lo), None) => lo,
+            (None, Some(hi)) => hi,
+            (None, None) => continue,
+        };
+        let pick = pick as usize;
+        // Ideals are non-decreasing, so picks are non-decreasing: a repeat
+        // of the previous cut (boundaries scarcer than shards) collapses.
+        if pick > 0 && pick < record_count && cuts.last() != Some(&pick) {
+            cuts.push(pick);
+        }
+    }
+    let mut ranges = Vec::with_capacity(cuts.len() + 1);
+    let mut start = 0usize;
+    for cut in cuts {
+        if cut > start {
+            ranges.push(start..cut);
+            start = cut;
+        }
+    }
+    ranges.push(start..record_count);
+    ranges
+}
+
+/// Resolve a shard-count request: `0` means "auto" (the machine's
+/// available parallelism), anything else passes through.
+pub fn resolve_shard_count(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn covers(ranges: &[Range<usize>], n: usize) {
+        assert_eq!(ranges[0].start, 0);
+        assert_eq!(ranges.last().unwrap().end, n);
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "contiguous");
+        }
+        assert!(ranges.iter().all(|r| !r.is_empty() || n == 0));
+    }
+
+    #[test]
+    fn single_shard_is_the_whole_trace() {
+        assert_eq!(plan_shards(100, &[10, 20], 1), vec![0..100]);
+        assert_eq!(plan_shards(0, &[], 4), vec![0..0]);
+    }
+
+    #[test]
+    fn cuts_land_on_boundaries() {
+        let bounds = [10u64, 20, 30, 40, 50, 60, 70, 80, 90];
+        let ranges = plan_shards(100, &bounds, 4);
+        covers(&ranges, 100);
+        assert_eq!(ranges.len(), 4);
+        for r in &ranges[1..] {
+            assert!(bounds.contains(&(r.start as u64)), "cut at {}", r.start);
+        }
+    }
+
+    #[test]
+    fn picks_nearest_boundary() {
+        // One boundary at 42; ideal cut for 2 shards of 100 is 50 → snap
+        // down to 42.
+        assert_eq!(plan_shards(100, &[42], 2), vec![0..42, 42..100]);
+        // Boundary only above the ideal.
+        assert_eq!(plan_shards(100, &[77], 2), vec![0..77, 77..100]);
+    }
+
+    #[test]
+    fn more_shards_than_boundaries_degrades_gracefully() {
+        let ranges = plan_shards(100, &[50], 8);
+        covers(&ranges, 100);
+        assert_eq!(ranges, vec![0..50, 50..100]);
+        let ranges = plan_shards(100, &[], 8);
+        assert_eq!(ranges, vec![0..100]);
+    }
+
+    #[test]
+    fn out_of_range_boundaries_are_ignored() {
+        let ranges = plan_shards(10, &[0, 5, 10, 99], 2);
+        covers(&ranges, 10);
+        assert_eq!(ranges, vec![0..5, 5..10]);
+    }
+
+    #[test]
+    fn many_boundaries_split_evenly() {
+        let bounds: Vec<u64> = (1..1000).collect();
+        for target in [2usize, 3, 4, 8, 16] {
+            let ranges = plan_shards(1000, &bounds, target);
+            covers(&ranges, 1000);
+            assert_eq!(ranges.len(), target);
+            let max = ranges.iter().map(|r| r.len()).max().unwrap();
+            let min = ranges.iter().map(|r| r.len()).min().unwrap();
+            assert!(max - min <= 1, "even split at target {target}");
+        }
+    }
+
+    #[test]
+    fn resolve_shard_count_auto_and_passthrough() {
+        assert!(resolve_shard_count(0) >= 1);
+        assert_eq!(resolve_shard_count(1), 1);
+        assert_eq!(resolve_shard_count(7), 7);
+    }
+}

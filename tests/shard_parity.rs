@@ -1,0 +1,176 @@
+//! Sharded-analysis parity: splitting one trace into iteration-aligned
+//! shards and deterministically merging the per-shard state must be
+//! invisible in the output. On the Fig. 4 worked example and all 14
+//! benchmark apps, at shard counts {1, 2, 4, 8}:
+//!
+//! * the batch pipeline's rendered report is byte-identical to serial;
+//! * the streaming analyzer's rendered report AND contracted-DDG DOT are
+//!   byte-identical to serial;
+//! * the engine-level full-DDG DOT is byte-identical to serial (shard
+//!   merging preserves first-intern node numbering);
+//! * shard counts exceeding the iteration count degrade gracefully to
+//!   fewer (or one) shards with identical output.
+
+use autocheck_core::{
+    index_variables_of, Analyzer, PipelineConfig, Region, StreamAnalyzer, StreamConfig,
+};
+use autocheck_interp::{ExecOptions, Machine, NoHook, VecSink};
+use autocheck_stream::{run_sharded, EngineConfig, NodeKind};
+use autocheck_trace::{AnalysisCtx, Record};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn trace_of(source: &str) -> (autocheck_ir::Module, Vec<Record>) {
+    let module = autocheck_minilang::compile(source).expect("compiles");
+    let mut sink = VecSink::default();
+    Machine::new(&module, ExecOptions::default())
+        .run(&mut sink, &mut NoHook)
+        .expect("runs");
+    (module, sink.records)
+}
+
+/// Batch pipeline at each shard count: rendered reports must match the
+/// serial bytes exactly.
+fn check_batch(name: &str, records: &[Record], region: &Region, index: &[String]) {
+    let run = |shards: usize| {
+        Analyzer::new(region.clone())
+            .with_index_vars(index.to_vec())
+            .with_config(PipelineConfig {
+                shards,
+                ..PipelineConfig::default()
+            })
+            .analyze(records)
+            .to_string()
+    };
+    let serial = run(1);
+    for shards in SHARD_COUNTS {
+        assert_eq!(
+            serial,
+            run(shards),
+            "{name}: batch report differs at shards={shards}"
+        );
+    }
+}
+
+/// Streaming analyzer at each shard count: rendered report and contracted
+/// DOT must match the serial bytes exactly.
+fn check_stream(name: &str, records: &[Record], region: &Region, index: &[String]) {
+    let run = |shards: usize| {
+        let r = StreamAnalyzer::new(region.clone())
+            .with_index_vars(index.to_vec())
+            .with_config(StreamConfig {
+                contracted_dot: true,
+                shards,
+                ..StreamConfig::default()
+            })
+            .run_records(records, None)
+            .unwrap_or_else(|e| panic!("{name}: shards={shards}: {e}"));
+        (
+            r.report.to_string(),
+            r.contracted_dot.expect("dot rendered"),
+        )
+    };
+    let (serial_report, serial_dot) = run(1);
+    for shards in SHARD_COUNTS {
+        let (report, dot) = run(shards);
+        assert_eq!(
+            serial_report, report,
+            "{name}: streaming report differs at shards={shards}"
+        );
+        assert_eq!(
+            serial_dot, dot,
+            "{name}: contracted DOT differs at shards={shards}"
+        );
+    }
+}
+
+/// Engine-level full-DDG DOT at each shard count: shard merging re-interns
+/// each shard's nodes in shard order, so node numbering — and therefore
+/// the DOT bytes — must match the serial fold exactly.
+fn check_full_dot(name: &str, records: &[Record], region: &Region) {
+    let cfg = EngineConfig::for_region(region.function.clone(), region.start_line, region.end_line);
+    let dot_at = |shards: usize| {
+        let ctx = AnalysisCtx::current();
+        let outcome = run_sharded(&cfg, &ctx, records, None, shards)
+            .unwrap_or_else(|e| panic!("{name}: shards={shards}: {e}"));
+        let bases: std::collections::HashSet<u64> =
+            outcome.mli.iter().map(|m| m.base_addr).collect();
+        outcome
+            .ddg
+            .to_dot(|n: &NodeKind| matches!(n, NodeKind::Var { base, .. } if bases.contains(base)))
+    };
+    let serial = dot_at(1);
+    for shards in SHARD_COUNTS {
+        assert_eq!(
+            serial,
+            dot_at(shards),
+            "{name}: full-DDG DOT differs at shards={shards}"
+        );
+    }
+}
+
+#[test]
+fn fig4_sharded_is_byte_identical() {
+    let src = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/examples/fig4.mc"))
+        .expect("examples/fig4.mc exists");
+    let (module, records) = trace_of(&src);
+    let region = Region::new("main", 16, 24);
+    let index = index_variables_of(&module, &region);
+    check_batch("fig4", &records, &region, &index);
+    check_stream("fig4", &records, &region, &index);
+    check_full_dot("fig4", &records, &region);
+}
+
+#[test]
+fn all_fourteen_apps_sharded_batch_is_byte_identical() {
+    let apps = autocheck_apps::all_apps();
+    assert_eq!(apps.len(), 14, "the suite has 14 apps");
+    for spec in apps {
+        let (module, records) = trace_of(&spec.source);
+        let index = index_variables_of(&module, &spec.region);
+        check_batch(spec.name, &records, &spec.region, &index);
+    }
+}
+
+#[test]
+fn all_fourteen_apps_sharded_streaming_is_byte_identical() {
+    for spec in autocheck_apps::all_apps() {
+        let (module, records) = trace_of(&spec.source);
+        let index = index_variables_of(&module, &spec.region);
+        check_stream(spec.name, &records, &spec.region, &index);
+    }
+}
+
+#[test]
+fn all_fourteen_apps_sharded_full_dot_is_byte_identical() {
+    for spec in autocheck_apps::all_apps() {
+        let (_module, records) = trace_of(&spec.source);
+        check_full_dot(spec.name, &records, &spec.region);
+    }
+}
+
+#[test]
+fn shard_count_beyond_iterations_degrades_gracefully() {
+    // Far more shards than the trace has iteration boundaries: the planner
+    // merges down to however many iteration-aligned cuts exist and the
+    // output is still byte-identical — never an error, never a bad split.
+    let src = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/examples/fig4.mc"))
+        .expect("examples/fig4.mc exists");
+    let (module, records) = trace_of(&src);
+    let region = Region::new("main", 16, 24);
+    let index = index_variables_of(&module, &region);
+    let run = |shards: usize| {
+        Analyzer::new(region.clone())
+            .with_index_vars(index.clone())
+            .with_config(PipelineConfig {
+                shards,
+                ..PipelineConfig::default()
+            })
+            .analyze(&records)
+            .to_string()
+    };
+    let serial = run(1);
+    for shards in [records.len(), records.len() * 2, 10_000] {
+        assert_eq!(serial, run(shards), "degenerate shard count {shards}");
+    }
+}
