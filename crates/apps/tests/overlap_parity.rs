@@ -1,0 +1,194 @@
+//! Acceptance tests for the decode-ahead ingest pipeline: overlapped
+//! ingest must be **observably indistinguishable** from serial ingest —
+//! byte-identical rendered reports, full DOT, and contracted DOT — on the
+//! Fig. 4 worked example and all 14 benchmarks, in both trace formats, at
+//! every overlap depth, and composed with sharded folding. The pipeline
+//! may only change *when* bytes are decoded, never *what* comes out.
+
+use autocheck_core::{
+    contract_ddg, contract_for_mli, index_variables_of, Analyzer, DdgAnalysis, DdgOptions,
+    PipelineConfig, Region, StreamAnalyzer, StreamConfig,
+};
+use autocheck_interp::{BinarySink, ExecOptions, Machine, NoHook, WriterSink};
+use autocheck_trace::{binary, AnalysisCtx, TraceSource};
+
+/// Name, MiniLang source, region and index variables for every program the
+/// parity tests cover: the Fig. 4 worked example plus the 14 benchmarks.
+fn suite() -> Vec<(String, String, Region, Vec<String>)> {
+    let fig4_src = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/fig4.mc"
+    ))
+    .expect("examples/fig4.mc exists");
+    let mut progs = vec![("fig4".to_string(), fig4_src, Region::new("main", 16, 24))];
+    for spec in autocheck_apps::all_apps() {
+        progs.push((
+            spec.name.to_string(),
+            spec.source.clone(),
+            spec.region.clone(),
+        ));
+    }
+    progs
+        .into_iter()
+        .map(|(name, src, region)| {
+            let module = autocheck_minilang::compile(&src).expect("compiles");
+            let index = index_variables_of(&module, &region);
+            (name, src, region, index)
+        })
+        .collect()
+}
+
+/// Execute `src` twice in fresh sessions, once into the text sink and once
+/// into the binary sink, returning both serialized traces.
+fn traces_of(src: &str) -> (Vec<u8>, Vec<u8>) {
+    let module = autocheck_minilang::compile(src).expect("compiles");
+    let text = {
+        let ctx = AnalysisCtx::session();
+        let _guard = ctx.enter();
+        let mut sink = WriterSink::new(Vec::new());
+        Machine::with_ctx(&module, ExecOptions::default(), ctx.clone())
+            .run(&mut sink, &mut NoHook)
+            .expect("runs");
+        sink.finish().expect("text trace")
+    };
+    let bin = {
+        let ctx = AnalysisCtx::session();
+        let _guard = ctx.enter();
+        let mut sink = BinarySink::with_ctx(Vec::new(), &ctx);
+        Machine::with_ctx(&module, ExecOptions::default(), ctx.clone())
+            .run(&mut sink, &mut NoHook)
+            .expect("runs");
+        sink.finish().expect("binary trace")
+    };
+    assert!(!binary::is_binary(&text));
+    assert!(binary::is_binary(&bin));
+    (text, bin)
+}
+
+/// Everything user-visible from one batch analysis at the given overlap
+/// depth and shard count: rendered report, full DDG DOT, contracted DOT.
+/// Ingest goes through a file path — the input kind the decode-ahead
+/// pipeline actually serves (in-memory inputs are documented as unaffected
+/// by the overlap knob).
+fn batch_artifacts(
+    path: &std::path::Path,
+    region: &Region,
+    index: &[String],
+    overlap: usize,
+    shards: usize,
+) -> (String, String, String) {
+    let ctx = AnalysisCtx::session();
+    let _guard = ctx.enter();
+    let analyzer = Analyzer::new(region.clone())
+        .with_index_vars(index.to_vec())
+        .with_config(PipelineConfig {
+            overlap,
+            shards,
+            ..PipelineConfig::default()
+        })
+        .with_ctx(ctx.clone());
+    let report = analyzer.analyze_path(path).expect("ingests");
+    // The DOT renderings fold the same records the report was built from,
+    // re-ingested through the same overlap depth.
+    let records = TraceSource::from_path(path)
+        .ctx(&ctx)
+        .overlap(overlap)
+        .records()
+        .expect("parses");
+    let phases = autocheck_core::Phases::compute_in(&records, region, &ctx);
+    let graph = DdgAnalysis::fold_in(
+        &records,
+        &phases,
+        &report.mli,
+        DdgOptions {
+            retain_events: false,
+            ..DdgOptions::default()
+        },
+        &ctx,
+        |_| {},
+    );
+    let full_dot = contract_ddg(&graph, |_| true).to_dot();
+    let contracted_dot = contract_for_mli(&graph, &report.mli).to_dot();
+    (report.to_string(), full_dot, contracted_dot)
+}
+
+/// Batch pipeline: reports, full DOT, and contracted DOT are byte-identical
+/// to the serial baseline at overlap {2, 4} × shards {1, 4}, for every
+/// program in the suite and both trace formats.
+#[test]
+fn batch_artifacts_are_byte_identical_at_every_overlap_and_shard_combo() {
+    let dir = std::env::temp_dir().join(format!("autocheck-overlap-parity-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    for (name, src, region, index) in suite() {
+        let (text, bin) = traces_of(&src);
+        for (fmt, bytes) in [("txt", &text), ("bin", &bin)] {
+            let path = dir.join(format!("{name}.{fmt}"));
+            std::fs::write(&path, bytes).expect("write trace");
+            let (report_1, full_1, contracted_1) = batch_artifacts(&path, &region, &index, 1, 1);
+            assert!(
+                !report_1.is_empty() && contracted_1.starts_with("digraph"),
+                "{name}/{fmt}: degenerate baseline"
+            );
+            for overlap in [2, 4] {
+                for shards in [1, 4] {
+                    let (report, full, contracted) =
+                        batch_artifacts(&path, &region, &index, overlap, shards);
+                    assert_eq!(
+                        report_1, report,
+                        "{name}/{fmt}: report differs at overlap={overlap} shards={shards}"
+                    );
+                    assert_eq!(
+                        full_1, full,
+                        "{name}/{fmt}: full DOT differs at overlap={overlap} shards={shards}"
+                    );
+                    assert_eq!(
+                        contracted_1, contracted,
+                        "{name}/{fmt}: contracted DOT differs at overlap={overlap} shards={shards}"
+                    );
+                }
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Streaming pipeline: the report and contracted DOT rendered through
+/// `run_read` are byte-identical to serial at every overlap × shard combo,
+/// for both formats, on every program in the suite.
+#[test]
+fn stream_artifacts_are_byte_identical_at_every_overlap_and_shard_combo() {
+    for (name, src, region, index) in suite() {
+        let (text, bin) = traces_of(&src);
+        for (fmt, bytes) in [("text", &text), ("binary", &bin)] {
+            let run = |overlap: usize, shards: usize| {
+                let ctx = AnalysisCtx::session();
+                let _guard = ctx.enter();
+                let run = StreamAnalyzer::new(region.clone())
+                    .with_index_vars(index.clone())
+                    .with_config(StreamConfig {
+                        overlap,
+                        shards,
+                        contracted_dot: true,
+                        ..StreamConfig::default()
+                    })
+                    .with_ctx(ctx.clone())
+                    .run_read(&bytes[..])
+                    .expect("streams");
+                (
+                    run.report.to_string(),
+                    run.contracted_dot.expect("dot requested"),
+                )
+            };
+            let serial = run(1, 1);
+            for overlap in [2, 4] {
+                for shards in [1, 4] {
+                    let overlapped = run(overlap, shards);
+                    assert_eq!(
+                        serial, overlapped,
+                        "{name}/{fmt}: stream output differs at overlap={overlap} shards={shards}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Criterion bench: serial vs decode-ahead overlapped ingest of
+//! file-backed traces on the two golden-pinned apps (`cg`, the largest,
+//! and `is`, a small one), in both trace formats.
+//!
+//! Pins three points per app and format:
+//! * `serial` — `overlap = 1`: the windowed (text) or streaming (binary)
+//!   one-thread decode;
+//! * `overlap-auto` — `overlap = 0`: serial on a single-CPU host,
+//!   `min(cores, 4)` decode-ahead depth otherwise — so the pair also
+//!   measures the dispatch overhead of the pipeline entry point on hosts
+//!   where auto degrades;
+//! * `overlap-4` — a fixed depth, so multi-core hosts record the actual
+//!   read/decode overlap win independent of their core count.
+//!
+//! Overlapped output is byte-identical to serial by construction (see
+//! `crates/apps/tests/overlap_parity.rs`); this bench tracks only the
+//! wall clock.
+
+use autocheck_apps::app_by_name;
+use autocheck_interp::{ExecOptions, Machine, NoHook, WriterSink};
+use autocheck_trace::{binary, AnalysisCtx, TraceSource};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::path::PathBuf;
+
+/// Trace `name` and serialize it to scratch files in both formats,
+/// returning `(text path, binary path)`. Files live for the process; the
+/// bench reads them repeatedly.
+fn trace_files(name: &str) -> (PathBuf, PathBuf) {
+    let spec = app_by_name(name).expect("known app");
+    let module = autocheck_minilang::compile(&spec.source).expect("compiles");
+    let mut sink = WriterSink::new(Vec::new());
+    Machine::new(&module, ExecOptions::default())
+        .run(&mut sink, &mut NoHook)
+        .expect("runs");
+    let text = sink.finish().expect("text trace");
+    let records = TraceSource::from_bytes(&text).records().expect("parses");
+    let bin = binary::to_bytes(&records, &AnalysisCtx::current());
+    let dir = std::env::temp_dir().join(format!("autocheck-overlap-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let text_path = dir.join(format!("{name}.txt"));
+    let bin_path = dir.join(format!("{name}.bin"));
+    std::fs::write(&text_path, &text).expect("write text trace");
+    std::fs::write(&bin_path, &bin).expect("write binary trace");
+    (text_path, bin_path)
+}
+
+fn bench_app(c: &mut Criterion, name: &str) {
+    let (text_path, bin_path) = trace_files(name);
+    for (fmt, path) in [("text", &text_path), ("binary", &bin_path)] {
+        let mut group = c.benchmark_group(format!("overlap-ingest-{name}-{fmt}"));
+        group.sample_size(10);
+        for (label, overlap) in [("serial", 1usize), ("overlap-auto", 0), ("overlap-4", 4)] {
+            group.bench_function(label, |b| {
+                b.iter(|| {
+                    let records = TraceSource::from_path(black_box(path))
+                        .overlap(overlap)
+                        .records()
+                        .expect("trace ingests");
+                    black_box(records.len())
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_cg(c: &mut Criterion) {
+    bench_app(c, "cg");
+}
+
+fn bench_is(c: &mut Criterion) {
+    bench_app(c, "is");
+}
+
+criterion_group!(benches, bench_cg, bench_is);
+criterion_main!(benches);

@@ -9,9 +9,11 @@
 //!
 //! ```text
 //! autocheck <trace-file> --function main --start 13 --end 21 \
-//!     [--index it,step] [--threads N] [--shards N] [--dot out.dot] [--collect arithmetic] \
-//!     [--stream] [--max-live-records N] [--untrusted-trace] [--metrics out.json]
-//! autocheck --batch <manifest> [--jobs N] [--shards N] [--stream] [--untrusted-trace] [--metrics out.json]
+//!     [--index it,step] [--threads N] [--shards N] [--overlap N] [--dot out.dot] \
+//!     [--collect arithmetic] [--stream] [--max-live-records N] [--untrusted-trace] \
+//!     [--metrics out.json]
+//! autocheck --batch <manifest> [--jobs N] [--shards N] [--overlap N] [--stream] \
+//!     [--untrusted-trace] [--metrics out.json]
 //! ```
 //!
 //! `--stream` analyzes the trace online through the bounded-memory
@@ -56,6 +58,16 @@
 //! carrying the v2 iteration-index footer shard without a planning
 //! pre-scan. Resource ceilings still apply to the merged session state.
 //!
+//! `--overlap N` overlaps trace ingest with analysis: the file is read and
+//! decoded on background threads, `N` record batches ahead of the fold,
+//! through a bounded channel and a recycled buffer pool (file ingest stays
+//! O(window) resident). Reports, DOT and exit codes are byte-identical to
+//! serial at every depth; only the wall clock changes. The default (`0` =
+//! auto) picks a depth from the core count — single-CPU hosts short-circuit
+//! to the serial path — and `--overlap 1` forces serial. Composes with
+//! `--shards` (overlap accelerates the materialization that feeds the
+//! sharded fold) and works in batch, `--stream`, and `--batch` modes.
+//!
 //! `--metrics <file|->` turns on the observability layer: the session runs
 //! with a metrics registry (counters, gauges, stage timers, histograms)
 //! and its versioned JSON run ledger is written to the file (`-` prints a
@@ -89,17 +101,19 @@ struct Args {
     jobs: usize,
     metrics: Option<String>,
     shards: usize,
+    overlap: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: autocheck <trace-file> --function <name> --start <line> --end <line>\n\
-         \x20                [--index v1,v2] [--threads N] [--shards N] [--dot <file>]\n\
+         \x20                [--index v1,v2] [--threads N] [--shards N] [--overlap N] [--dot <file>]\n\
          \x20                [--collect any|arithmetic] [--stream] [--max-live-records N]\n\
          \x20                [--untrusted-trace] [--metrics <file|->] [--limit <kind>=<N>]...\n\
-         \x20      autocheck --batch <manifest> [--jobs N] [--shards N] [--stream] [--untrusted-trace]\n\
-         \x20                [--metrics <file|->] [--limit <kind>=<N>]...\n\
+         \x20      autocheck --batch <manifest> [--jobs N] [--shards N] [--overlap N] [--stream]\n\
+         \x20                [--untrusted-trace] [--metrics <file|->] [--limit <kind>=<N>]...\n\
          \x20                (--shards: iteration-aligned trace shards; 0 = auto, 1 = serial)\n\
+         \x20                (--overlap: decode-ahead ingest depth; 0 = auto, 1 = serial)\n\
          \x20                (manifest lines: <trace-file> <function> <start> <end> [index,vars])\n\
          \x20                (--limit kinds: trace-records, trace-bytes, symbols, arena-bytes,\n\
          \x20                 ddg-nodes, ddg-edges, live-records; repeatable, applies per session)"
@@ -127,6 +141,8 @@ fn parse_args() -> Args {
     let mut metrics = None;
     // 0 = auto: one shard per available core (1-core hosts stay serial).
     let mut shards = 0usize;
+    // 0 = auto: decode-ahead depth from the core count (1-core = serial).
+    let mut overlap = 0usize;
     while let Some(a) = args.next() {
         let mut take = || args.next().unwrap_or_else(|| usage());
         match a.as_str() {
@@ -163,6 +179,7 @@ fn parse_args() -> Args {
             },
             "--metrics" => metrics = Some(take()),
             "--shards" => shards = take().parse().unwrap_or_else(|_| usage()),
+            "--overlap" => overlap = take().parse().unwrap_or_else(|_| usage()),
             "--batch" => batch = Some(take()),
             "--jobs" | "-j" => jobs = take().parse().unwrap_or_else(|_| usage()),
             "--help" | "-h" => usage(),
@@ -203,6 +220,7 @@ fn parse_args() -> Args {
             jobs,
             metrics,
             shards,
+            overlap,
         };
     }
     let Some(trace) = trace else { usage() };
@@ -235,6 +253,7 @@ fn parse_args() -> Args {
         jobs,
         metrics,
         shards,
+        overlap,
     }
 }
 
@@ -280,7 +299,8 @@ fn parse_manifest(path: &str, args: &Args) -> Result<Vec<autocheck_core::Analysi
         .untrusted(args.untrusted)
         .streaming(args.stream)
         .with_limits(args.limits)
-        .with_shards(args.shards);
+        .with_shards(args.shards)
+        .with_overlap(args.overlap);
         job.collect = args.collect;
         job.max_live_records = args.max_live_records;
         if let Some(ix) = fields.get(4) {
@@ -378,6 +398,7 @@ fn run_streaming(args: &Args, region: &Region, ctx: &AnalysisCtx) -> ExitCode {
             max_live_records: args.max_live_records,
             contracted_dot: args.dot.is_some(),
             shards: args.shards,
+            overlap: args.overlap,
             ..StreamConfig::default()
         })
         .with_ctx(ctx.clone());
@@ -495,25 +516,20 @@ fn main() -> ExitCode {
     if args.stream {
         return run_streaming(&args, &region, &ctx);
     }
-    // Raw bytes, not text: the trace format (text or binary) auto-detects
-    // from the leading magic inside `TraceSource`.
-    let bytes = match std::fs::read(&args.trace) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("error: cannot read `{}`: {e}", args.trace);
-            return ExitCode::FAILURE;
-        }
-    };
     let analyzer = Analyzer::new(region.clone())
         .with_index_vars(args.index.clone())
         .with_config(PipelineConfig {
             parse_threads: args.threads,
             collect: args.collect,
             shards: args.shards,
+            overlap: args.overlap,
             ..PipelineConfig::default()
         })
         .with_ctx(ctx.clone());
-    let report = match analyzer.analyze_bytes(&bytes) {
+    // The file feeds the bounded chunked reader (format auto-detected from
+    // the leading magic) — ingest stays O(window) resident and, with
+    // overlap, runs concurrently with the fold.
+    let report = match analyzer.analyze_path(&args.trace) {
         Ok(r) => r,
         Err(e) => return fail(&args, &ctx, e),
     };
@@ -541,8 +557,9 @@ fn main() -> ExitCode {
     if let Some(dot_path) = &args.dot {
         // Re-run the dependency fold (no event retention) to export the
         // contracted DDG from the frozen graph.
-        let records = match autocheck_trace::TraceSource::from_bytes(&bytes)
+        let records = match autocheck_trace::TraceSource::from_path(&args.trace)
             .ctx(&ctx)
+            .overlap(args.overlap)
             .records()
         {
             Ok(r) => r,

@@ -31,6 +31,12 @@ pub struct PipelineConfig {
     /// the plan degrades gracefully when the loop has fewer iterations
     /// than requested shards.
     pub shards: usize,
+    /// Decode-ahead depth for file ingest ([`Analyzer::analyze_path`]):
+    /// `1` = serial (the default), `0` = auto (serial on single-core
+    /// hosts), `n >= 2` = read and decode on background threads, `n`
+    /// record batches ahead. Reports are byte-identical at every depth;
+    /// see [`autocheck_trace::resolve_overlap_depth`].
+    pub overlap: usize,
 }
 
 impl Default for PipelineConfig {
@@ -40,6 +46,7 @@ impl Default for PipelineConfig {
             selective: true,
             parse_threads: 1,
             shards: 1,
+            overlap: 1,
         }
     }
 }
@@ -140,11 +147,15 @@ impl Analyzer {
         Ok(self.analyze_inner(&records, parse_time))
     }
 
-    /// Scope a [`TraceSource`] to this analyzer's session and parallelism.
+    /// Scope a [`TraceSource`] to this analyzer's session, parallelism,
+    /// and decode-ahead depth.
     fn source<'a>(&self, source: TraceSource<'a>) -> TraceSource<'a> {
-        source.ctx(&self.ctx).parallel(ParallelConfig {
-            threads: self.config.parse_threads,
-        })
+        source
+            .ctx(&self.ctx)
+            .parallel(ParallelConfig {
+                threads: self.config.parse_threads,
+            })
+            .overlap(self.config.overlap)
     }
 
     fn analyze_inner(&self, records: &[Record], parse_time: std::time::Duration) -> Report {

@@ -77,6 +77,11 @@ pub struct AnalysisJob {
     /// byte-identical to the serial fold; session resource ceilings still
     /// apply to the merged state.
     pub shards: usize,
+    /// Decode-ahead depth for trace-file ingest: `1` = serial, `0` = auto
+    /// (serial on single-core hosts), `n >= 2` = read and decode on
+    /// background threads, `n` record batches ahead of the fold. Output is
+    /// byte-identical to serial at every depth.
+    pub overlap: usize,
 }
 
 impl AnalysisJob {
@@ -95,6 +100,7 @@ impl AnalysisJob {
             limits: ResourceLimits::default(),
             dot: false,
             shards: 1,
+            overlap: 1,
         }
     }
 
@@ -131,6 +137,13 @@ impl AnalysisJob {
     /// Shard this job's trace fold across cores (`0` = auto, `1` = serial).
     pub fn with_shards(mut self, shards: usize) -> AnalysisJob {
         self.shards = shards;
+        self
+    }
+
+    /// Decode the trace ahead of the fold on background threads (`0` =
+    /// auto, `1` = serial, `n >= 2` = `n` batches of lookahead).
+    pub fn with_overlap(mut self, overlap: usize) -> AnalysisJob {
+        self.overlap = overlap;
         self
     }
 }
@@ -403,6 +416,7 @@ fn run_session_inner(job: &AnalysisJob, ctx: &AnalysisCtx) -> Result<SessionRepo
                 max_live_records: job.max_live_records,
                 contracted_dot: job.dot,
                 shards: job.shards,
+                overlap: job.overlap,
                 ..StreamConfig::default()
             })
             .with_ctx(ctx.clone())
@@ -483,6 +497,7 @@ fn run_session_inner(job: &AnalysisJob, ctx: &AnalysisCtx) -> Result<SessionRepo
             // bytes, so jobs can point at either kind of trace.
             TraceSource::from_path(path)
                 .ctx(ctx)
+                .overlap(job.overlap)
                 .records()
                 .map_err(|e| format!("cannot read `{path}`: {e}"))?,
             job.index_vars.clone().unwrap_or_default(),
@@ -504,6 +519,7 @@ fn run_session_inner(job: &AnalysisJob, ctx: &AnalysisCtx) -> Result<SessionRepo
             .with_config(PipelineConfig {
                 collect: job.collect,
                 shards: job.shards,
+                overlap: job.overlap,
                 ..PipelineConfig::default()
             })
             .with_ctx(ctx.clone());

@@ -24,7 +24,8 @@ use autocheck_stream::{
     run_sharded, Engine, EngineConfig, EngineError, EngineOutcome, LiveBoundExceeded,
 };
 use autocheck_trace::{
-    resolve_shard_count, AnalysisCtx, Record, ResourceExceeded, TraceReadError, TraceSource,
+    resolve_overlap_depth, resolve_shard_count, AnalysisCtx, Record, ResourceExceeded,
+    TraceReadError, TraceSource,
 };
 use std::fmt;
 use std::io;
@@ -51,6 +52,12 @@ pub struct StreamConfig {
     /// in memory; the O(live window) story belongs to the serial stream)
     /// and enforce the live-record bound per shard rather than globally.
     pub shards: usize,
+    /// Decode-ahead depth for reader/path inputs: `1` = serial (the
+    /// default), `0` = auto (serial on single-core hosts), `n >= 2` = read
+    /// and decode the trace on background threads, `n` record batches
+    /// ahead of the engine fold. Output is byte-identical to serial at
+    /// every depth; see [`autocheck_trace::resolve_overlap_depth`].
+    pub overlap: usize,
 }
 
 impl Default for StreamConfig {
@@ -61,6 +68,7 @@ impl Default for StreamConfig {
             max_live_records: None,
             contracted_dot: false,
             shards: 1,
+            overlap: 1,
         }
     }
 }
@@ -268,18 +276,39 @@ impl StreamAnalyzer {
     /// Analyze a trace pulled from any reader (file, pipe, socket, …) with
     /// bounded buffering — the streaming equivalent of
     /// [`crate::Analyzer::analyze_text`].
-    pub fn analyze_read<R: io::Read>(&self, reader: R) -> Result<Report, StreamError> {
+    pub fn analyze_read<R: io::Read + Send>(&self, reader: R) -> Result<Report, StreamError> {
         self.run_read(reader).map(|run| run.report)
     }
 
     /// Like [`analyze_read`](Self::analyze_read), also returning the
     /// live-window statistics. With [`StreamConfig::shards`] above 1 the
     /// records are materialized first (see [`StreamConfig::shards`] for
-    /// the trade).
-    pub fn run_read<R: io::Read>(&self, reader: R) -> Result<StreamRun, StreamError> {
+    /// the trade). With [`StreamConfig::overlap`] above 1 the trace is
+    /// read and decoded on background threads while the engine folds —
+    /// same output, decode wall overlapped away.
+    pub fn run_read<R: io::Read + Send>(&self, reader: R) -> Result<StreamRun, StreamError> {
         if resolve_shard_count(self.config.shards) > 1 {
-            let records = TraceSource::from_reader(reader).ctx(&self.ctx).records()?;
+            // Overlap accelerates the materialization that feeds the
+            // sharded fold; the two compose.
+            let records = TraceSource::from_reader(reader)
+                .ctx(&self.ctx)
+                .overlap(self.config.overlap)
+                .records()?;
             return self.run_records(&records, None);
+        }
+        if resolve_overlap_depth(self.config.overlap) > 1 {
+            return TraceSource::from_reader(reader)
+                .ctx(&self.ctx)
+                .overlap(self.config.overlap)
+                .overlapped(|batches| {
+                    let mut session = self.session();
+                    while let Some(batch) = batches.next_batch() {
+                        for record in &batch? {
+                            session.push(record)?;
+                        }
+                    }
+                    Ok(session.finish())
+                })?;
         }
         let mut session = self.session();
         let stream = TraceSource::from_reader(reader).ctx(&self.ctx).stream()?;

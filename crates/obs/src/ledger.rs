@@ -15,8 +15,10 @@
 use crate::{CounterId, GaugeId, HistId, Metrics, TimerId, HIST_BUCKETS};
 use std::fmt::Write as _;
 
-/// Schema version stamped into every ledger object.
-pub const LEDGER_VERSION: u64 = 2;
+/// Schema version stamped into every ledger object. Version 3 added the
+/// overlapped-ingest keys (`ingest.queue_wait`, `ingest.depth`,
+/// `ingest.buffer_bytes`).
+pub const LEDGER_VERSION: u64 = 3;
 
 /// `"ledger"` tag of a per-session object.
 pub const SESSION_TAG: &str = "autocheck.session";

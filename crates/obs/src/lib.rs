@@ -132,6 +132,14 @@ metric_ids! {
         /// Concurrently running sessions (service layer); peak is the
         /// realized parallelism.
         JobsInFlight => "batch.jobs_in_flight",
+        /// Record batches decoded ahead but not yet consumed in an
+        /// overlapped ingest pipeline; bounded by the configured overlap
+        /// depth plus the batches held by the producer and consumer.
+        IngestDepth => "ingest.depth",
+        /// Resident ingest buffer bytes (lookahead windows + pooled chunk
+        /// buffers); the peak is what path-based ingest keeps in memory
+        /// regardless of trace size.
+        IngestBufferBytes => "ingest.buffer_bytes",
     }
 }
 
@@ -169,6 +177,10 @@ metric_ids! {
         /// Deterministic state merge after a sharded run (fold of the
         /// partial MLI/DDG/statistics state, in shard order).
         ShardMerge => "shard.merge",
+        /// Time the consumer of a decode-ahead ingest pipeline spent
+        /// blocked waiting for the next record batch (distinct from
+        /// [`TimerId::QueueWait`], which is the service layer's job queue).
+        IngestQueueWait => "ingest.queue_wait",
     }
 }
 

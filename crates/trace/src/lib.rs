@@ -42,6 +42,7 @@ pub mod limits;
 pub mod name;
 pub mod namemap;
 pub mod nodeindex;
+pub mod overlap;
 pub mod parallel;
 pub mod parser;
 pub mod reader;
@@ -60,6 +61,7 @@ pub use limits::{parse_limit_arg, ResourceExceeded, ResourceKind, ResourceLimits
 pub use name::Name;
 pub use namemap::{NameMap, NameSet};
 pub use nodeindex::NodeIndex;
+pub use overlap::{resolve_overlap_depth, BatchStream};
 #[allow(deprecated)]
 pub use parallel::{
     parse_parallel, parse_parallel_in, parse_parallel_read, parse_parallel_read_in, ParallelConfig,

@@ -169,6 +169,16 @@ pub(crate) fn parse_windowed_core<R: Read>(
                 buf.extend_from_slice(&chunk[..n]);
             }
         }
+        if ctx.metrics().is_enabled() {
+            // The resident ingest footprint: the lookahead window plus the
+            // read scratch — what path-based ingest holds regardless of
+            // trace size (the peak is the RSS-shaped figure the bounded
+            // ingest tests pin).
+            ctx.metrics().gauge_set(
+                autocheck_obs::GaugeId::IngestBufferBytes,
+                (buf.capacity() + chunk.capacity()) as u64,
+            );
+        }
         if eof {
             if !buf.is_empty() {
                 let text = window_text(&buf).map_err(|e| offset_lines(e, lines_done))?;
@@ -203,7 +213,7 @@ pub(crate) fn parse_windowed_core<R: Read>(
 }
 
 /// Offset just past the last `\n` that is followed by a block header.
-fn last_block_header(buf: &[u8]) -> Option<usize> {
+pub(crate) fn last_block_header(buf: &[u8]) -> Option<usize> {
     buf.windows(3).rposition(|w| w == b"\n0,").map(|i| i + 1)
 }
 
@@ -214,7 +224,7 @@ fn window_text(buf: &[u8]) -> Result<&str, ParseError> {
 }
 
 /// Rebase a window-relative parse error onto the whole stream.
-fn offset_lines(mut e: ParseError, lines_before: u64) -> TraceReadError {
+pub(crate) fn offset_lines(mut e: ParseError, lines_before: u64) -> TraceReadError {
     e.line += lines_before;
     TraceReadError::Parse(e)
 }

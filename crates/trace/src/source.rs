@@ -37,6 +37,7 @@
 use crate::binary::{self, BinaryReader, BinaryStreamReader};
 use crate::ctx::AnalysisCtx;
 use crate::limits::{ResourceExceeded, ResourceKind};
+use crate::overlap::{resolve_overlap_depth, run_pipeline, BatchStream, IngestErrorClass};
 use crate::parallel::{parse_chunks, parse_windowed_core, ParallelConfig, DEFAULT_WINDOW_BYTES};
 use crate::reader::{utf8_text, RecordReader, TraceReadError};
 use crate::record::Record;
@@ -45,6 +46,10 @@ use std::io::Read;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// The boxed reader every adapter in the ingest stack wraps. `Send` so the
+/// decode-ahead pipeline can move the stack onto a producer thread.
+type BoxedReader<'a> = Box<dyn Read + Send + 'a>;
 
 /// Which on-disk trace format to expect.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -63,7 +68,7 @@ enum Input<'a> {
     Str(&'a str),
     Bytes(&'a [u8]),
     Path(PathBuf),
-    Reader(Box<dyn Read + 'a>),
+    Reader(BoxedReader<'a>),
 }
 
 /// Builder-style trace ingest over any input, either format, serial or
@@ -74,6 +79,7 @@ pub struct TraceSource<'a> {
     parallel: Option<ParallelConfig>,
     window: usize,
     format: TraceFormat,
+    overlap: usize,
 }
 
 impl<'a> TraceSource<'a> {
@@ -84,6 +90,7 @@ impl<'a> TraceSource<'a> {
             parallel: None,
             window: DEFAULT_WINDOW_BYTES,
             format: TraceFormat::Auto,
+            overlap: 1,
         }
     }
 
@@ -108,8 +115,9 @@ impl<'a> TraceSource<'a> {
     }
 
     /// Ingest from any [`Read`] (either format, detected by peeking the
-    /// first bytes).
-    pub fn from_reader(reader: impl Read + 'a) -> TraceSource<'a> {
+    /// first bytes). `Send` so ingest can be moved onto a decode-ahead
+    /// producer thread when [`overlap`](Self::overlap) asks for one.
+    pub fn from_reader(reader: impl Read + Send + 'a) -> TraceSource<'a> {
         TraceSource::new(Input::Reader(Box::new(reader)))
     }
 
@@ -141,6 +149,17 @@ impl<'a> TraceSource<'a> {
         self
     }
 
+    /// Decode-ahead depth for [`records`](Self::records) and
+    /// [`overlapped`](Self::overlapped) on path/reader inputs: `0` = auto
+    /// (serial on single-core hosts), `1` = serial (the default), `n >= 2`
+    /// = read and decode on background threads, `n` batches ahead of the
+    /// consumer. In-memory inputs and [`stream`](Self::stream) are
+    /// unaffected. See [`resolve_overlap_depth`].
+    pub fn overlap(mut self, depth: usize) -> TraceSource<'a> {
+        self.overlap = depth;
+        self
+    }
+
     /// Parse the whole trace into a `Vec<Record>`.
     ///
     /// In-memory and file inputs parse with the configured parallelism in
@@ -154,46 +173,26 @@ impl<'a> TraceSource<'a> {
         let result = match self.input {
             Input::Str(s) => records_from_bytes(s.as_bytes(), self.format, threads, &self.ctx),
             Input::Bytes(b) => records_from_bytes(b, self.format, threads, &self.ctx),
-            Input::Path(p) => (|| {
-                // Check the byte ceiling against the file's length *before*
-                // materializing it: an oversized file must not be read into
-                // memory just to be rejected.
-                if self.ctx.limits().get(ResourceKind::TraceBytes).is_some() {
-                    let len = std::fs::metadata(&p)?.len();
-                    self.ctx.limits().check(ResourceKind::TraceBytes, len)?;
-                }
-                let bytes = std::fs::read(&p)?;
-                records_from_bytes(&bytes, self.format, threads, &self.ctx)
-            })(),
-            Input::Reader(r) => {
-                let (format, reader) = peek_format(r, self.format)?;
-                let (reader, read_bytes) = MeteredReader::wrap(reader);
-                let reader = ByteLimitReader::wrap(reader, &self.ctx);
-                let result = match format {
-                    TraceFormat::Binary => {
-                        BinaryStreamReader::open(reader, &self.ctx).and_then(|r| r.collect())
-                    }
-                    _ => parse_windowed_core(reader, threads, self.window, &self.ctx),
-                }
-                .map_err(unsmuggle_limit)
-                .and_then(|recs| {
-                    check_ingest_limits(
-                        &self.ctx,
-                        recs.len() as u64,
-                        read_bytes.load(Ordering::Relaxed),
-                    )?;
-                    Ok(recs)
-                });
-                if let Ok(recs) = &result {
-                    note_ingest(
-                        &metrics,
-                        format,
-                        read_bytes.load(Ordering::Relaxed),
-                        recs.len() as u64,
-                    );
-                }
-                result
-            }
+            Input::Path(p) => open_path(&p, &self.ctx).and_then(|file| {
+                records_from_reader(
+                    file,
+                    self.format,
+                    threads,
+                    self.window,
+                    self.overlap,
+                    &self.ctx,
+                    &metrics,
+                )
+            }),
+            Input::Reader(r) => records_from_reader(
+                r,
+                self.format,
+                threads,
+                self.window,
+                self.overlap,
+                &self.ctx,
+                &metrics,
+            ),
         };
         drop(span);
         match &result {
@@ -208,11 +207,69 @@ impl<'a> TraceSource<'a> {
         result
     }
 
+    /// Run `consume` against a decode-ahead pipeline: trace bytes are read
+    /// and decoded on background threads while `consume` pulls finished
+    /// record batches from the [`BatchStream`] — so the caller's fold runs
+    /// concurrently with ingest.
+    ///
+    /// The pipeline is always built, whatever the configured overlap depth
+    /// (the depth only sizes the bounded channel); callers that want the
+    /// serial path at depth 1 branch before calling this. Producer-side
+    /// failures — I/O errors, parse errors, resource ceilings, even worker
+    /// panics — surface through the stream as the same typed
+    /// [`TraceReadError`]s serial ingest returns. Errors the producers hit
+    /// *before* the pipeline exists (opening the file, peeking the format)
+    /// surface as this function's own `Err`.
+    pub fn overlapped<T>(
+        self,
+        consume: impl FnOnce(&mut BatchStream) -> T,
+    ) -> Result<T, TraceReadError> {
+        let threads = self.parallel.map(|c| c.threads.max(1)).unwrap_or(1);
+        let metrics = self.ctx.metrics().clone();
+        let reader: BoxedReader<'a> = match self.input {
+            Input::Str(s) => Box::new(s.as_bytes()),
+            Input::Bytes(b) => Box::new(b),
+            Input::Path(p) => open_path(&p, &self.ctx)?,
+            Input::Reader(r) => r,
+        };
+        let (format, reader) = peek_format(reader, self.format)?;
+        let (reader, read_bytes) = MeteredReader::wrap(reader);
+        let reader = ByteLimitReader::wrap(reader, &self.ctx);
+        let depth = resolve_overlap_depth(self.overlap).max(1);
+        let (out, summary) = run_pipeline(
+            reader,
+            format,
+            threads,
+            self.window,
+            depth,
+            &self.ctx,
+            &read_bytes,
+            consume,
+        );
+        // Book what the serial streaming path would have booked: ingest
+        // volume per delivered record (bytes as of the last delivery), and
+        // the error-kind counter if the consumer was handed an error.
+        if summary.records > 0 {
+            note_ingest(
+                &metrics,
+                format,
+                summary.bytes_at_last_batch,
+                summary.records,
+            );
+        }
+        match summary.error {
+            Some(IngestErrorClass::Parse) => metrics.count(CounterId::ParseErrors, 1),
+            Some(IngestErrorClass::Resource) => metrics.count(CounterId::LimitExceeded, 1),
+            Some(IngestErrorClass::Io) | None => {}
+        }
+        Ok(out)
+    }
+
     /// Pull records one at a time with bounded memory (text: chunked line
     /// reader; binary: string table plus one record).
     pub fn stream(self) -> Result<TraceStream<'a>, TraceReadError> {
         let ctx = self.ctx;
-        let (format, reader): (TraceFormat, Box<dyn Read + 'a>) = match self.input {
+        let (format, reader): (TraceFormat, BoxedReader<'a>) = match self.input {
             Input::Str(s) => (
                 resolve_format(s.as_bytes(), self.format),
                 Box::new(s.as_bytes()),
@@ -255,10 +312,90 @@ impl<'a> TraceSource<'a> {
     }
 }
 
+/// Open a file for chunked ingest, pre-checking the byte ceiling against
+/// its length so an oversized file is rejected without reading a byte.
+///
+/// Path ingest is O(window) resident by construction: the file feeds the
+/// same bounded-lookahead machinery as reader inputs, so the whole trace
+/// is never materialized in memory.
+fn open_path<'a>(
+    path: &std::path::Path,
+    ctx: &AnalysisCtx,
+) -> Result<BoxedReader<'a>, TraceReadError> {
+    if ctx.limits().get(ResourceKind::TraceBytes).is_some() {
+        let len = std::fs::metadata(path)?.len();
+        ctx.limits().check(ResourceKind::TraceBytes, len)?;
+    }
+    Ok(Box::new(std::io::BufReader::new(std::fs::File::open(
+        path,
+    )?)))
+}
+
+/// The reader-input body of [`TraceSource::records`]: wrap the metering
+/// and limit stack, then parse serially (overlap depth 1) or through the
+/// decode-ahead pipeline. Error *counter* bookkeeping stays with the
+/// caller, which books it off the returned `Result` either way.
+#[allow(clippy::too_many_arguments)]
+fn records_from_reader(
+    r: BoxedReader<'_>,
+    format: TraceFormat,
+    threads: usize,
+    window: usize,
+    overlap: usize,
+    ctx: &AnalysisCtx,
+    metrics: &Metrics,
+) -> Result<Vec<Record>, TraceReadError> {
+    let (format, reader) = peek_format(r, format)?;
+    let (reader, read_bytes) = MeteredReader::wrap(reader);
+    let reader = ByteLimitReader::wrap(reader, ctx);
+    let depth = resolve_overlap_depth(overlap);
+    let result = if depth > 1 {
+        let (folded, _summary) = run_pipeline(
+            reader,
+            format,
+            threads,
+            window,
+            depth,
+            ctx,
+            &read_bytes,
+            |batches| {
+                let mut out: Vec<Record> = Vec::new();
+                while let Some(batch) = batches.next_batch() {
+                    out.extend(batch?);
+                }
+                Ok(out)
+            },
+        );
+        // The batch stream already applied `unsmuggle_limit` and the
+        // per-batch ceiling checks; by the final batch they cover the
+        // whole trace, so no trailing re-check is needed.
+        folded
+    } else {
+        match format {
+            TraceFormat::Binary => BinaryStreamReader::open(reader, ctx).and_then(|r| r.collect()),
+            _ => parse_windowed_core(reader, threads, window, ctx),
+        }
+        .map_err(unsmuggle_limit)
+        .and_then(|recs| {
+            check_ingest_limits(ctx, recs.len() as u64, read_bytes.load(Ordering::Relaxed))?;
+            Ok(recs)
+        })
+    };
+    if let Ok(recs) = &result {
+        note_ingest(
+            metrics,
+            format,
+            read_bytes.load(Ordering::Relaxed),
+            recs.len() as u64,
+        );
+    }
+    result
+}
+
 /// Check the ingest-side resource ceilings for one source: records and raw
 /// bytes for this trace, plus the session-wide symbol count and owned
 /// string bytes (which grow only through interning — i.e. through ingest).
-fn check_ingest_limits(
+pub(crate) fn check_ingest_limits(
     ctx: &AnalysisCtx,
     records: u64,
     bytes: u64,
@@ -273,7 +410,7 @@ fn check_ingest_limits(
 
 /// Recover a [`ResourceExceeded`] that [`ByteLimitReader`] smuggled through
 /// the `io::Error` channel (the only error type a [`Read`] can raise).
-fn unsmuggle_limit(e: TraceReadError) -> TraceReadError {
+pub(crate) fn unsmuggle_limit(e: TraceReadError) -> TraceReadError {
     let TraceReadError::Io(io_err) = &e else {
         return e;
     };
@@ -292,13 +429,13 @@ fn unsmuggle_limit(e: TraceReadError) -> TraceReadError {
 /// wrapping the typed [`ResourceExceeded`]; [`unsmuggle_limit`] restores it
 /// at the `TraceSource` boundary.
 struct ByteLimitReader<'a> {
-    inner: Box<dyn Read + 'a>,
+    inner: BoxedReader<'a>,
     served: u64,
     limit: u64,
 }
 
 impl<'a> ByteLimitReader<'a> {
-    fn wrap(inner: Box<dyn Read + 'a>, ctx: &AnalysisCtx) -> Box<dyn Read + 'a> {
+    fn wrap(inner: BoxedReader<'a>, ctx: &AnalysisCtx) -> BoxedReader<'a> {
         match ctx.limits().get(ResourceKind::TraceBytes) {
             Some(limit) => Box::new(ByteLimitReader {
                 inner,
@@ -348,12 +485,12 @@ fn note_ingest(metrics: &Metrics, format: TraceFormat, bytes: u64, records: u64)
 /// how reader inputs (where no one knows the length up front) feed the
 /// ingest byte counters.
 struct MeteredReader<'a> {
-    inner: Box<dyn Read + 'a>,
+    inner: BoxedReader<'a>,
     bytes: Arc<AtomicU64>,
 }
 
 impl<'a> MeteredReader<'a> {
-    fn wrap(inner: Box<dyn Read + 'a>) -> (Box<dyn Read + 'a>, Arc<AtomicU64>) {
+    fn wrap(inner: BoxedReader<'a>) -> (BoxedReader<'a>, Arc<AtomicU64>) {
         let bytes = Arc::new(AtomicU64::new(0));
         (
             Box::new(MeteredReader {
@@ -392,8 +529,8 @@ pub struct TraceStream<'a> {
 
 enum StreamInner<'a> {
     // Boxed: the text reader's line-carry buffers dwarf the binary variant.
-    Text(Box<RecordReader<Box<dyn Read + 'a>>>),
-    Binary(BinaryStreamReader<Box<dyn Read + 'a>>),
+    Text(Box<RecordReader<BoxedReader<'a>>>),
+    Binary(BinaryStreamReader<BoxedReader<'a>>),
 }
 
 impl TraceStream<'_> {
@@ -467,9 +604,9 @@ fn resolve_format(head: &[u8], format: TraceFormat) -> TraceFormat {
 /// Peek up to four bytes off `r` to resolve the format, returning a reader
 /// that replays the peeked bytes first.
 fn peek_format<'a>(
-    mut r: Box<dyn Read + 'a>,
+    mut r: BoxedReader<'a>,
     format: TraceFormat,
-) -> Result<(TraceFormat, Box<dyn Read + 'a>), TraceReadError> {
+) -> Result<(TraceFormat, BoxedReader<'a>), TraceReadError> {
     let mut head = [0u8; 4];
     let mut got = 0;
     while got < head.len() {
